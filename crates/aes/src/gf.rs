@@ -1,0 +1,115 @@
+//! Arithmetic in GF(2^8) with the AES reduction polynomial.
+//!
+//! AES works in the finite field GF(2^8) modulo the irreducible polynomial
+//! `x^8 + x^4 + x^3 + x + 1` (0x11B). `MixColumns`/`InvMixColumns` and the
+//! S-box construction are defined in terms of this arithmetic, so we
+//! implement it from first principles and derive everything else from it.
+
+/// The AES reduction polynomial, minus the `x^8` term.
+pub const POLY: u8 = 0x1b;
+
+/// Multiplies `a` by `x` (i.e. by 2) in GF(2^8).
+#[inline]
+pub fn xtime(a: u8) -> u8 {
+    let shifted = a << 1;
+    if a & 0x80 != 0 {
+        shifted ^ POLY
+    } else {
+        shifted
+    }
+}
+
+/// Multiplies two elements of GF(2^8) (Russian-peasant style).
+pub fn mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Raises `a` to the power `e` in GF(2^8).
+pub fn pow(a: u8, mut e: u32) -> u8 {
+    let mut base = a;
+    let mut acc = 1u8;
+    while e != 0 {
+        if e & 1 != 0 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Returns the multiplicative inverse of `a` in GF(2^8), with `inv(0) = 0`.
+///
+/// The multiplicative group has order 255, so `a^254 = a^-1` for `a != 0`;
+/// AES defines the inverse of 0 to be 0 for the S-box construction.
+pub fn inv(a: u8) -> u8 {
+    if a == 0 {
+        0
+    } else {
+        pow(a, 254)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_fips_examples() {
+        // FIPS-197 §4.2.1: {57} * {02} = {ae}, and repeated doubling.
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+        assert_eq!(xtime(0x8e), 0x07);
+    }
+
+    #[test]
+    fn mul_matches_fips_example() {
+        // FIPS-197 §4.2: {57} * {83} = {c1}.
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        // And {57} * {13} = {fe} from §4.2.1.
+        assert_eq!(mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive_spot_checks() {
+        for a in [0x01u8, 0x03, 0x55, 0x80, 0xff] {
+            for b in [0x02u8, 0x09, 0x0b, 0x0d, 0x0e] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [0x11u8, 0x47] {
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct_for_all_nonzero_elements() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv failed for {a:#x}");
+        }
+        assert_eq!(inv(0), 0);
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        for a in [0u8, 1, 0x53, 0xff] {
+            assert_eq!(pow(a, 0), 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Software AES-128 with Intel AES-NI-shaped operation semantics.
+//!
+//! The "crypt" isolation technique of MemSentry (EuroSys'17, §3.1/§5.3) keeps
+//! a safe region AES-encrypted in place and decrypts it only around
+//! authorized accesses, using the AES-NI instructions `aesenc`, `aesenclast`,
+//! `aesdec`, `aesdeclast`, `aeskeygenassist` and `aesimc`, with the round
+//! keys parked in the upper halves of the `ymm` registers.
+//!
+//! This crate reproduces that substrate entirely in software:
+//!
+//! * [`ops`] implements each AES-NI instruction bit-for-bit per the Intel
+//!   SDM, operating on 128-bit [`Block`]s.
+//! * [`schedule`] builds the 11 encryption round keys (and the
+//!   `aesimc`-derived decryption keys of the *equivalent inverse cipher*)
+//!   exactly the way compiled AES-NI code does.
+//! * [`cipher`] offers whole-block and whole-region encryption used by the
+//!   crypt technique, including the 128-bit-chunk region mode whose cost
+//!   scales linearly with the region size (paper §6.2).
+//!
+//! Everything is verified against the FIPS-197 appendix vectors.
+
+pub mod cipher;
+pub mod gf;
+pub mod ops;
+pub mod sbox;
+pub mod schedule;
+
+pub use cipher::{decrypt_block, encrypt_block, RegionCipher};
+pub use ops::{aesdec, aesdeclast, aesenc, aesenclast, aesimc, aeskeygenassist, Block};
+pub use schedule::{DecKeySchedule, KeySchedule};
+
+/// Number of rounds for AES-128.
+pub const ROUNDS: usize = 10;
+
+/// Number of round keys for AES-128 (initial whitening key + 10 rounds).
+pub const ROUND_KEYS: usize = ROUNDS + 1;
+
+/// Size in bytes of one AES block (one 128-bit chunk of a safe region).
+pub const BLOCK_BYTES: usize = 16;

@@ -1,0 +1,282 @@
+//! AES-NI instruction semantics on 128-bit blocks.
+//!
+//! Each function mirrors one AES-NI instruction as specified in the Intel
+//! SDM, so that the simulated CPU's crypt runtime can execute exactly the
+//! instruction sequence a compiler would emit:
+//!
+//! * `aesenc`    — one full encryption round (`ShiftRows`, `SubBytes`,
+//!   `MixColumns`, then XOR with the round key).
+//! * `aesenclast`— final round (no `MixColumns`).
+//! * `aesdec`    — one round of the *equivalent inverse cipher*
+//!   (`InvShiftRows`, `InvSubBytes`, `InvMixColumns`, XOR round key).
+//! * `aesdeclast`— final inverse round (no `InvMixColumns`).
+//! * `aesimc`    — `InvMixColumns`, used to derive decryption round keys.
+//! * `aeskeygenassist` — the key-expansion helper.
+
+use crate::gf;
+use crate::sbox;
+
+/// One 128-bit AES block, stored in memory byte order.
+///
+/// Byte `4*c + r` holds state row `r`, column `c`, matching the FIPS-197
+/// input mapping and the `xmm` register layout used by AES-NI.
+pub type Block = [u8; 16];
+
+#[inline]
+fn get(state: &Block, row: usize, col: usize) -> u8 {
+    state[4 * col + row]
+}
+
+#[inline]
+fn set(state: &mut Block, row: usize, col: usize, v: u8) {
+    state[4 * col + row] = v;
+}
+
+/// `SubBytes`: substitute every state byte through the S-box.
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = sbox::sub_byte(*b);
+    }
+}
+
+/// `InvSubBytes`: substitute every state byte through the inverse S-box.
+fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = sbox::inv_sub_byte(*b);
+    }
+}
+
+/// `ShiftRows`: cyclically shift row `r` left by `r` positions.
+fn shift_rows(state: &mut Block) {
+    let src = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            set(state, row, col, get(&src, row, (col + row) % 4));
+        }
+    }
+}
+
+/// `InvShiftRows`: cyclically shift row `r` right by `r` positions.
+fn inv_shift_rows(state: &mut Block) {
+    let src = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            set(state, row, (col + row) % 4, get(&src, row, col));
+        }
+    }
+}
+
+/// `MixColumns`: multiply each column by the fixed FIPS-197 matrix.
+fn mix_columns(state: &mut Block) {
+    for col in 0..4 {
+        let c: Vec<u8> = (0..4).map(|r| get(state, r, col)).collect();
+        set(
+            state,
+            0,
+            col,
+            gf::mul(2, c[0]) ^ gf::mul(3, c[1]) ^ c[2] ^ c[3],
+        );
+        set(
+            state,
+            1,
+            col,
+            c[0] ^ gf::mul(2, c[1]) ^ gf::mul(3, c[2]) ^ c[3],
+        );
+        set(
+            state,
+            2,
+            col,
+            c[0] ^ c[1] ^ gf::mul(2, c[2]) ^ gf::mul(3, c[3]),
+        );
+        set(
+            state,
+            3,
+            col,
+            gf::mul(3, c[0]) ^ c[1] ^ c[2] ^ gf::mul(2, c[3]),
+        );
+    }
+}
+
+/// `InvMixColumns`: multiply each column by the inverse FIPS-197 matrix.
+fn inv_mix_columns(state: &mut Block) {
+    for col in 0..4 {
+        let c: Vec<u8> = (0..4).map(|r| get(state, r, col)).collect();
+        set(
+            state,
+            0,
+            col,
+            gf::mul(0x0e, c[0]) ^ gf::mul(0x0b, c[1]) ^ gf::mul(0x0d, c[2]) ^ gf::mul(0x09, c[3]),
+        );
+        set(
+            state,
+            1,
+            col,
+            gf::mul(0x09, c[0]) ^ gf::mul(0x0e, c[1]) ^ gf::mul(0x0b, c[2]) ^ gf::mul(0x0d, c[3]),
+        );
+        set(
+            state,
+            2,
+            col,
+            gf::mul(0x0d, c[0]) ^ gf::mul(0x09, c[1]) ^ gf::mul(0x0e, c[2]) ^ gf::mul(0x0b, c[3]),
+        );
+        set(
+            state,
+            3,
+            col,
+            gf::mul(0x0b, c[0]) ^ gf::mul(0x0d, c[1]) ^ gf::mul(0x09, c[2]) ^ gf::mul(0x0e, c[3]),
+        );
+    }
+}
+
+fn xor(a: &Block, b: &Block) -> Block {
+    let mut out = *a;
+    for (o, x) in out.iter_mut().zip(b.iter()) {
+        *o ^= x;
+    }
+    out
+}
+
+/// `AESENC xmm1, xmm2`: one full AES encryption round.
+pub fn aesenc(state: Block, round_key: Block) -> Block {
+    let mut s = state;
+    shift_rows(&mut s);
+    sub_bytes(&mut s);
+    mix_columns(&mut s);
+    xor(&s, &round_key)
+}
+
+/// `AESENCLAST xmm1, xmm2`: the final AES encryption round.
+pub fn aesenclast(state: Block, round_key: Block) -> Block {
+    let mut s = state;
+    shift_rows(&mut s);
+    sub_bytes(&mut s);
+    xor(&s, &round_key)
+}
+
+/// `AESDEC xmm1, xmm2`: one round of the equivalent inverse cipher.
+pub fn aesdec(state: Block, round_key: Block) -> Block {
+    let mut s = state;
+    inv_shift_rows(&mut s);
+    inv_sub_bytes(&mut s);
+    inv_mix_columns(&mut s);
+    xor(&s, &round_key)
+}
+
+/// `AESDECLAST xmm1, xmm2`: the final round of the equivalent inverse cipher.
+pub fn aesdeclast(state: Block, round_key: Block) -> Block {
+    let mut s = state;
+    inv_shift_rows(&mut s);
+    inv_sub_bytes(&mut s);
+    xor(&s, &round_key)
+}
+
+/// `AESIMC xmm1, xmm2`: `InvMixColumns` of the source operand.
+///
+/// Used to convert encryption round keys into the round keys of the
+/// equivalent inverse cipher (paper Table 4: 9 applications, 71 cycles).
+pub fn aesimc(round_key: Block) -> Block {
+    let mut s = round_key;
+    inv_mix_columns(&mut s);
+    s
+}
+
+/// `AESKEYGENASSIST xmm1, xmm2, imm8`: key-expansion helper.
+///
+/// With source dwords `X0..X3` (little-endian) and round constant `rcon`,
+/// produces `[SubWord(X1), RotWord(SubWord(X1)) ^ rcon, SubWord(X3),
+/// RotWord(SubWord(X3)) ^ rcon]` per the Intel SDM.
+pub fn aeskeygenassist(src: Block, rcon: u8) -> Block {
+    let x1 = u32::from_le_bytes([src[4], src[5], src[6], src[7]]);
+    let x3 = u32::from_le_bytes([src[12], src[13], src[14], src[15]]);
+    let rcon = rcon as u32;
+
+    let d0 = sbox::sub_word(x1);
+    let d1 = sbox::rot_word(sbox::sub_word(x1)) ^ rcon;
+    let d2 = sbox::sub_word(x3);
+    let d3 = sbox::rot_word(sbox::sub_word(x3)) ^ rcon;
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&d0.to_le_bytes());
+    out[4..8].copy_from_slice(&d1.to_le_bytes());
+    out[8..12].copy_from_slice(&d2.to_le_bytes());
+    out[12..16].copy_from_slice(&d3.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Block {
+        let mut out = [0u8; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn shift_rows_matches_fips_round_trace() {
+        // FIPS-197 Appendix B, round 1: after SubBytes -> after ShiftRows.
+        let mut s = from_hex("d42711aee0bf98f1b8b45de51e415230");
+        shift_rows(&mut s);
+        assert_eq!(s, from_hex("d4bf5d30e0b452aeb84111f11e2798e5"));
+    }
+
+    #[test]
+    fn mix_columns_matches_fips_round_trace() {
+        // FIPS-197 Appendix B, round 1: after ShiftRows -> after MixColumns.
+        let mut s = from_hex("d4bf5d30e0b452aeb84111f11e2798e5");
+        mix_columns(&mut s);
+        assert_eq!(s, from_hex("046681e5e0cb199a48f8d37a2806264c"));
+    }
+
+    #[test]
+    fn inv_transforms_invert_forward_transforms() {
+        let start = from_hex("00112233445566778899aabbccddeeff");
+        let mut s = start;
+        shift_rows(&mut s);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, start);
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, start);
+        sub_bytes(&mut s);
+        inv_sub_bytes(&mut s);
+        assert_eq!(s, start);
+    }
+
+    #[test]
+    fn aesenc_round_is_invertible_step_by_step() {
+        // Manually invert one aesenc round: XOR the key, then apply the
+        // inverse transforms in reverse order.
+        let state = from_hex("6bc1bee22e409f96e93d7e117393172a");
+        let rk = from_hex("000102030405060708090a0b0c0d0e0f");
+        let enc = aesenc(state, rk);
+        let mut s = xor(&enc, &rk);
+        inv_mix_columns(&mut s);
+        inv_sub_bytes(&mut s);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, state);
+    }
+
+    #[test]
+    fn aeskeygenassist_produces_fips_expansion_words() {
+        // For the FIPS-197 A.1 example key, the first assist step on
+        // w[3] = 09cf4f3c with rcon 0x01 must produce
+        // RotWord(SubWord(w3)) ^ rcon = 01 eb 84 8a (little-endian bytes).
+        let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let assist = aeskeygenassist(key, 0x01);
+        // Dword 3 = RotWord(SubWord(X3)) ^ rcon.
+        let d3 = &assist[12..16];
+        assert_eq!(d3, &[0x8a ^ 0x01, 0x84, 0xeb, 0x01]);
+    }
+
+    #[test]
+    fn aesimc_is_involution_free_but_invertible_via_mix_columns() {
+        let rk = from_hex("deadbeefcafebabe0123456789abcdef");
+        let mut back = aesimc(rk);
+        mix_columns(&mut back);
+        assert_eq!(back, rk);
+    }
+}

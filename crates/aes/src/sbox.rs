@@ -1,0 +1,138 @@
+//! The AES S-box and its inverse, derived from GF(2^8) arithmetic.
+//!
+//! Rather than hard-coding opaque tables, the boxes are computed once (at
+//! first use) from the FIPS-197 definition: multiplicative inverse in
+//! GF(2^8) followed by the affine transformation. Unit tests pin a sample of
+//! entries against the published table so a derivation bug cannot slip
+//! through.
+
+use crate::gf;
+
+/// Applies the FIPS-197 affine transformation to `x`.
+///
+/// `b'_i = b_i ^ b_{(i+4)%8} ^ b_{(i+5)%8} ^ b_{(i+6)%8} ^ b_{(i+7)%8} ^ c_i`
+/// with `c = 0x63`.
+fn affine(x: u8) -> u8 {
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = (x >> i)
+            ^ (x >> ((i + 4) % 8))
+            ^ (x >> ((i + 5) % 8))
+            ^ (x >> ((i + 6) % 8))
+            ^ (x >> ((i + 7) % 8))
+            ^ (0x63 >> i);
+        out |= (bit & 1) << i;
+    }
+    out
+}
+
+fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        *slot = affine(gf::inv(i as u8));
+    }
+    table
+}
+
+fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    for (i, &s) in sbox.iter().enumerate() {
+        table[s as usize] = i as u8;
+    }
+    table
+}
+
+/// Returns the forward S-box table.
+pub fn sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u8; 256]> = OnceLock::new();
+    TABLE.get_or_init(build_sbox)
+}
+
+/// Returns the inverse S-box table.
+pub fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u8; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| build_inv_sbox(sbox()))
+}
+
+/// Substitutes a single byte through the forward S-box.
+#[inline]
+pub fn sub_byte(x: u8) -> u8 {
+    sbox()[x as usize]
+}
+
+/// Substitutes a single byte through the inverse S-box.
+#[inline]
+pub fn inv_sub_byte(x: u8) -> u8 {
+    inv_sbox()[x as usize]
+}
+
+/// Applies the forward S-box to each byte of a 32-bit word (`SubWord`).
+#[inline]
+pub fn sub_word(w: u32) -> u32 {
+    u32::from_le_bytes(w.to_le_bytes().map(sub_byte))
+}
+
+/// Rotates a 32-bit word left by one byte (`RotWord`).
+#[inline]
+pub fn rot_word(w: u32) -> u32 {
+    w.rotate_right(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_matches_published_fips_entries() {
+        // Spot checks from the FIPS-197 Figure 7 table.
+        assert_eq!(sub_byte(0x00), 0x63);
+        assert_eq!(sub_byte(0x01), 0x7c);
+        assert_eq!(sub_byte(0x53), 0xed);
+        assert_eq!(sub_byte(0xab), 0x62);
+        assert_eq!(sub_byte(0xff), 0x16);
+        assert_eq!(sub_byte(0x10), 0xca);
+        assert_eq!(sub_byte(0xc9), 0xdd);
+    }
+
+    #[test]
+    fn inv_sbox_matches_published_fips_entries() {
+        // Spot checks from the FIPS-197 Figure 14 table.
+        assert_eq!(inv_sub_byte(0x00), 0x52);
+        assert_eq!(inv_sub_byte(0x63), 0x00);
+        assert_eq!(inv_sub_byte(0xed), 0x53);
+        assert_eq!(inv_sub_byte(0x16), 0xff);
+    }
+
+    #[test]
+    fn boxes_are_mutual_inverses() {
+        for x in 0..=255u8 {
+            assert_eq!(inv_sub_byte(sub_byte(x)), x);
+            assert_eq!(sub_byte(inv_sub_byte(x)), x);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation_without_fixed_points() {
+        let mut seen = [false; 256];
+        for x in 0..=255u8 {
+            let s = sub_byte(x);
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+            assert_ne!(s, x, "AES S-box has no fixed points");
+            assert_ne!(s, !x, "AES S-box has no anti-fixed points");
+        }
+    }
+
+    #[test]
+    fn sub_word_and_rot_word_match_key_expansion_example() {
+        // From FIPS-197 Appendix A.1, first expansion step of the example
+        // key: temp = 09cf4f3c -> RotWord = cf4f3c09 -> SubWord = 8a84eb01.
+        // Words are stored little-endian here (byte 0 = low byte).
+        let temp = u32::from_le_bytes([0x09, 0xcf, 0x4f, 0x3c]);
+        let rot = rot_word(temp);
+        assert_eq!(rot.to_le_bytes(), [0xcf, 0x4f, 0x3c, 0x09]);
+        assert_eq!(sub_word(rot).to_le_bytes(), [0x8a, 0x84, 0xeb, 0x01]);
+    }
+}

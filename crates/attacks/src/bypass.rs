@@ -1,0 +1,215 @@
+//! End-to-end attacks: information hiding falls, MemSentry holds.
+//!
+//! Drives the full two-phase attack of paper §2.3 against a victim whose
+//! shadow stack is protected by a chosen technique:
+//!
+//! 1. **Reveal** — for information hiding, the allocation oracle locates
+//!    the region in ~34 queries plus one signature probe. For
+//!    deterministic isolation the region is *not even hidden* ("no need
+//!    to hide"): the attacker is granted the address for free, and still
+//!    loses.
+//! 2. **Corrupt & hijack** — overwrite the live shadow entry with the
+//!    gadget pointer (through the in-frame arbitrary write) while smashing
+//!    the on-stack return address to match, then let `victim_fn` return.
+
+use memsentry::Technique;
+use memsentry_cpu::{RunOutcome, Trap};
+
+use crate::primitive::{ArbitraryRw, Probe};
+use crate::probing::{allocation_oracle_probes, linear_scan};
+use crate::victim::{Victim, HIJACKED};
+
+/// How the attack ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackResult {
+    /// Control reached the attacker's gadget: defense bypassed.
+    Hijacked,
+    /// The disclosure probe was denied (deterministic fault at phase 1).
+    DeniedAtProbe(Trap),
+    /// The corrupting write was denied (deterministic fault at phase 2).
+    DeniedAtWrite(Trap),
+    /// The writes landed but the defense (or the technique's at-rest
+    /// state, e.g. crypt's ciphertext) caught the tampering when used.
+    DetectedAtUse(Trap),
+    /// The attacker could not locate the region within budget.
+    NotFound,
+}
+
+/// The full outcome, with attacker effort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Final result.
+    pub result: AttackResult,
+    /// Oracle queries + memory probes spent locating the region.
+    pub probes: u64,
+    /// Whether the region's plaintext was ever disclosed to the attacker.
+    pub secret_disclosed: bool,
+}
+
+/// Runs the full attack against a victim protected by `technique`.
+pub fn attack(technique: Technique, seed: u64) -> AttackOutcome {
+    let mut victim = Victim::new(technique, seed);
+    let gadget = victim.gadget_pointer();
+    let slot = victim.shadow_slot();
+    let region_base = victim.layout.base;
+
+    // --- Phase 1: reveal the safe region. -------------------------------
+    let mut probes = 0u64;
+    let mut secret_disclosed = false;
+    {
+        let mut rw = ArbitraryRw::new(&mut victim);
+        let located = if technique == Technique::InfoHiding {
+            // Allocation oracle, then one signature probe.
+            let (candidate, queries) = allocation_oracle_probes(region_base);
+            probes += queries;
+            match linear_scan(&mut rw, candidate, candidate + 4096, 4) {
+                Some((base, spent)) => {
+                    probes += spent;
+                    Some(base)
+                }
+                None => None,
+            }
+        } else {
+            // Deterministic isolation does not rely on secrecy: hand the
+            // attacker the address outright.
+            Some(region_base)
+        };
+        let Some(base) = located else {
+            return AttackOutcome {
+                result: AttackResult::NotFound,
+                probes,
+                secret_disclosed,
+            };
+        };
+        // Disclosure attempt: read the region's contents.
+        probes += 1;
+        match rw.probe(base) {
+            Probe::Value(v) => {
+                // Plaintext disclosure means the probe returned the real
+                // shadow-stack pointer (crypt returns ciphertext).
+                secret_disclosed = v > base && v < base + 4096;
+            }
+            Probe::Fault(t) => {
+                return AttackOutcome {
+                    result: AttackResult::DeniedAtProbe(t),
+                    probes,
+                    secret_disclosed,
+                };
+            }
+        }
+    }
+
+    // --- Phase 2: corrupt the live shadow entry and hijack. -------------
+    // The in-frame primitive writes *slot = gadget while victim_fn's
+    // frame is live, and smashes the on-stack return address to match.
+    victim.set_attack_inputs(slot, gadget, gadget);
+    match victim.trigger_with_attack() {
+        RunOutcome::Exited(code) if code == HIJACKED => AttackOutcome {
+            result: AttackResult::Hijacked,
+            probes,
+            secret_disclosed,
+        },
+        RunOutcome::Exited(_) => AttackOutcome {
+            result: AttackResult::NotFound,
+            probes,
+            secret_disclosed,
+        },
+        RunOutcome::Trapped(t) => {
+            // Denial faults (the isolation refused the access) versus
+            // consequence faults (the tampering landed but exploded when
+            // the defense used the corrupted state — crypt's garbled
+            // pointers, shadow-stack mismatch aborts).
+            use memsentry_mmu::Fault;
+            let denial = matches!(
+                t,
+                Trap::BoundRange { .. }
+                    | Trap::Mmu(Fault::PkeyDenied { .. })
+                    | Trap::Mmu(Fault::Ept(_))
+                    | Trap::Mmu(Fault::Protection { .. })
+            );
+            let result = if denial {
+                AttackResult::DeniedAtWrite(t)
+            } else {
+                AttackResult::DetectedAtUse(t)
+            };
+            AttackOutcome {
+                result,
+                probes,
+                secret_disclosed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_hiding_is_bypassed_with_few_probes() {
+        let out = attack(Technique::InfoHiding, 2024);
+        assert_eq!(out.result, AttackResult::Hijacked);
+        assert!(out.secret_disclosed);
+        assert!(
+            out.probes < 50,
+            "oracle attack needs ~36 probes, took {}",
+            out.probes
+        );
+    }
+
+    #[test]
+    fn mpk_stops_the_attack_at_the_probe() {
+        let out = attack(Technique::Mpk, 2024);
+        assert!(matches!(out.result, AttackResult::DeniedAtProbe(_)));
+        assert!(!out.secret_disclosed);
+    }
+
+    #[test]
+    fn vmfunc_stops_the_attack_at_the_probe() {
+        let out = attack(Technique::Vmfunc, 2024);
+        assert!(matches!(out.result, AttackResult::DeniedAtProbe(_)));
+        assert!(!out.secret_disclosed);
+    }
+
+    #[test]
+    fn mpx_stops_the_attack_at_the_probe() {
+        let out = attack(Technique::Mpx, 2024);
+        assert!(matches!(out.result, AttackResult::DeniedAtProbe(_)));
+        assert!(!out.secret_disclosed);
+    }
+
+    #[test]
+    fn crypt_denies_plaintext_and_detects_tampering() {
+        let out = attack(Technique::Crypt, 2024);
+        assert!(!out.secret_disclosed, "probe saw only ciphertext");
+        assert!(
+            matches!(out.result, AttackResult::DetectedAtUse(_)),
+            "got {:?}",
+            out.result
+        );
+    }
+
+    #[test]
+    fn sfi_attack_never_reaches_the_region() {
+        // SFI masks the probe/write into the non-sensitive partition: the
+        // probe cannot disclose the region (it reads the masked alias).
+        let out = attack(Technique::Sfi, 2024);
+        assert_ne!(out.result, AttackResult::Hijacked);
+        assert!(!out.secret_disclosed);
+    }
+
+    #[test]
+    fn deterministic_techniques_need_no_secrecy() {
+        // The paper's title: the attacker is *given* the address and the
+        // attack still fails under every deterministic technique.
+        for t in [
+            Technique::Mpk,
+            Technique::Vmfunc,
+            Technique::Mpx,
+            Technique::Crypt,
+        ] {
+            let out = attack(t, 7);
+            assert_ne!(out.result, AttackResult::Hijacked, "technique {t}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! JIT-ROP-style code disclosure (paper §2.2: "memory-disclosure
+//! vulnerabilities render all these [diversification] mechanisms
+//! ineffective", citing Snow et al.).
+//!
+//! The victim's code layout is diversified (function order permuted by a
+//! secret seed), so the attacker does not know where the useful gadget
+//! lives. With a read primitive and *readable* code, that does not
+//! matter: scan the code region, fingerprint each function by its leading
+//! opcode bytes, and call the match. With Readactor-style execute-only
+//! memory the very first code probe faults.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use memsentry_cpu::{Machine, RunOutcome, Trap};
+use memsentry_defenses::{materialize_code, Readactor};
+use memsentry_ir::{CodeAddr, FuncId, FunctionBuilder, Inst, Program, Reg};
+
+/// Number of decoy functions the gadget hides among.
+pub const DECOYS: usize = 24;
+
+/// Exit code of the gadget (attack success marker).
+pub const HIJACKED: u64 = 0x666;
+
+/// Function id of the arbitrary-read gadget.
+const PROBE: FuncId = FuncId(1);
+
+/// A diversified victim with materialized (readable or XoM) code.
+#[derive(Debug)]
+pub struct DiversifiedVictim {
+    /// The machine.
+    pub machine: Machine,
+    gadget: FuncId,
+}
+
+impl DiversifiedVictim {
+    /// Builds a victim whose gadget position is permuted by `seed`;
+    /// `xom` enables Readactor protection.
+    pub fn new(seed: u64, xom: bool) -> Self {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut probe = FunctionBuilder::new("probe");
+        probe.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rdi,
+            offset: 0,
+        });
+        probe.push(Inst::Halt);
+        p.add_function(probe.finish());
+
+        // Diversification: the gadget's slot among the decoys is secret.
+        let mut slots: Vec<usize> = (0..=DECOYS).collect();
+        slots.shuffle(&mut StdRng::seed_from_u64(seed));
+        let gadget_slot = slots[0];
+        let mut gadget = FuncId(0);
+        for i in 0..=DECOYS {
+            if i == gadget_slot {
+                let mut g = FunctionBuilder::new("gadget");
+                g.push(Inst::MovImm {
+                    dst: Reg::Rax,
+                    imm: HIJACKED,
+                });
+                g.push(Inst::Halt);
+                gadget = p.add_function(g.finish());
+            } else {
+                let mut d = FunctionBuilder::new("decoy");
+                d.push(Inst::AluImm {
+                    op: memsentry_ir::AluOp::Add,
+                    dst: Reg::Rax,
+                    imm: 1,
+                });
+                d.push(Inst::Ret);
+                p.add_function(d.finish());
+            }
+        }
+        let mut machine = Machine::new(p);
+        materialize_code(&mut machine);
+        if xom {
+            Readactor::new().enable_xom(&mut machine);
+        }
+        Self { machine, gadget }
+    }
+
+    /// Ground truth (not available to the attacker).
+    pub fn gadget(&self) -> FuncId {
+        self.gadget
+    }
+
+    /// One crash-resistant read of 8 code bytes at `addr`.
+    fn probe(&mut self, addr: u64) -> Result<u64, Trap> {
+        match self.machine.call_function(PROBE, [addr, 0, 0]) {
+            RunOutcome::Exited(v) => Ok(v),
+            RunOutcome::Trapped(t) => Err(t),
+        }
+    }
+}
+
+/// Outcome of the JIT-ROP scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JitRopResult {
+    /// The gadget was fingerprinted and control reached it.
+    Hijacked {
+        /// Code probes spent scanning.
+        probes: u64,
+    },
+    /// A code probe faulted (XoM) — scanning is impossible.
+    DeniedAtProbe {
+        /// The fault.
+        trap: Trap,
+        /// Probes spent before the denial.
+        probes: u64,
+    },
+    /// Scan completed without a match (should not happen when readable).
+    NotFound,
+}
+
+/// Runs the JIT-ROP scan-and-hijack against `victim`.
+pub fn jitrop_attack(victim: &mut DiversifiedVictim) -> JitRopResult {
+    // Signature of the gadget's leading bytes: MovImm (0x01), Halt (0x11).
+    const SIGNATURE: u64 = 0x11_01;
+    for (probes, f) in (2..(2 + DECOYS as u32 + 1)).enumerate() {
+        let probes = probes as u64 + 1;
+        let addr = CodeAddr::entry(FuncId(f)).encode();
+        match victim.probe(addr) {
+            Ok(v) => {
+                if v & 0xffff == SIGNATURE {
+                    let out = victim.machine.call_function(FuncId(f), [0; 3]);
+                    if out == RunOutcome::Exited(HIJACKED) {
+                        return JitRopResult::Hijacked { probes };
+                    }
+                }
+            }
+            Err(trap) => return JitRopResult::DeniedAtProbe { trap, probes },
+        }
+    }
+    JitRopResult::NotFound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_mmu::Fault;
+
+    #[test]
+    fn diversification_falls_to_code_scanning() {
+        for seed in [1u64, 7, 1234] {
+            let mut v = DiversifiedVictim::new(seed, false);
+            match jitrop_attack(&mut v) {
+                JitRopResult::Hijacked { probes } => {
+                    assert!(probes <= DECOYS as u64 + 1, "seed {seed}: {probes}");
+                }
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_position_actually_varies_with_the_seed() {
+        let positions: std::collections::HashSet<u32> = (0..16)
+            .map(|seed| DiversifiedVictim::new(seed, false).gadget().0)
+            .collect();
+        assert!(positions.len() > 4, "diversification must diversify");
+    }
+
+    #[test]
+    fn xom_stops_the_scan_at_the_first_probe() {
+        let mut v = DiversifiedVictim::new(7, true);
+        match jitrop_attack(&mut v) {
+            JitRopResult::DeniedAtProbe { trap, probes } => {
+                assert_eq!(probes, 1);
+                assert!(matches!(trap, Trap::Mmu(Fault::Ept(_))));
+            }
+            other => panic!("expected denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xom_does_not_break_benign_execution() {
+        let mut v = DiversifiedVictim::new(7, true);
+        let gadget = v.gadget();
+        // Legitimate control flow to any function still works.
+        assert_eq!(
+            v.machine.call_function(gadget, [0; 3]).expect_exit(),
+            HIJACKED
+        );
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Information-hiding attacks and the MemSentry threat model (paper §2.3).
+//!
+//! The attacker holds an **arbitrary read and write primitive** inside the
+//! victim process (a pair of gadgets reachable with controlled operands)
+//! but cannot yet reuse code: the defense in place stops that. The attack
+//! proceeds in two phases:
+//!
+//! 1. **Reveal the safe region.** Against information hiding this works:
+//!    crash-resistant probing, allocation oracles, and spraying all
+//!    disclose the hidden address with far fewer probes than the entropy
+//!    suggests.
+//! 2. **Corrupt the safe region, bypass the defense, hijack control.**
+//!
+//! MemSentry stops the attack *at phase one*: with deterministic
+//! isolation, the very probe (or the corrupting write) traps.
+//!
+//! * [`victim`] — a victim process: shadow-stack-defended program with an
+//!   arbitrary read/write gadget pair.
+//! * [`primitive`] — the attacker's crash-resistant probe/write wrappers.
+//! * [`probing`] — region-disclosure strategies and their probe counts.
+//! * [`bypass`] — end-to-end attack drivers used by tests, examples and
+//!   the harness.
+//! * [`jitrop`] — JIT-ROP-style code scanning against diversified,
+//!   materialized code; stopped by Readactor-style XoM.
+
+pub mod bypass;
+pub mod jitrop;
+pub mod primitive;
+pub mod probing;
+pub mod victim;
+
+pub use bypass::{attack, AttackOutcome, AttackResult};
+pub use jitrop::{jitrop_attack, DiversifiedVictim, JitRopResult};
+pub use primitive::{ArbitraryRw, Probe};
+pub use probing::{allocation_oracle_probes, linear_scan, spray_and_probe};
+pub use victim::Victim;

@@ -1,0 +1,141 @@
+//! Crash-resistant arbitrary read/write primitives.
+//!
+//! Wraps the victim's gadget functions the way real attacks wrap a
+//! vulnerability: every probe runs the read gadget with a chosen address,
+//! and faults are absorbed (crash-resistant primitives, paper §1's
+//! Gawlik et al. reference) — the process state survives and the attacker
+//! probes again. The wrapper counts probes so the strategies in
+//! [`crate::probing`] can report attack effort.
+
+use memsentry_cpu::{RunOutcome, Trap};
+
+use crate::victim::{funcs, Victim};
+
+/// Result of one crash-resistant probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Probe {
+    /// The address was readable; here is its value.
+    Value(u64),
+    /// The access faulted (absorbed by crash-resistance).
+    Fault(Trap),
+}
+
+/// The attacker's handle on the victim.
+#[derive(Debug)]
+pub struct ArbitraryRw<'a> {
+    victim: &'a mut Victim,
+    probes: u64,
+    writes: u64,
+    faults: u64,
+}
+
+impl<'a> ArbitraryRw<'a> {
+    /// Arms the primitives against `victim`.
+    pub fn new(victim: &'a mut Victim) -> Self {
+        Self {
+            victim,
+            probes: 0,
+            writes: 0,
+            faults: 0,
+        }
+    }
+
+    /// Crash-resistant read of `addr`.
+    pub fn probe(&mut self, addr: u64) -> Probe {
+        self.probes += 1;
+        match self.victim.machine.call_function(funcs::PROBE, [addr, 0, 0]) {
+            RunOutcome::Exited(v) => Probe::Value(v),
+            RunOutcome::Trapped(t) => {
+                self.faults += 1;
+                Probe::Fault(t)
+            }
+        }
+    }
+
+    /// Crash-resistant write of `value` to `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
+        self.writes += 1;
+        match self
+            .victim
+            .machine
+            .call_function(funcs::WRITE, [addr, value, 0])
+        {
+            RunOutcome::Exited(_) => Ok(()),
+            RunOutcome::Trapped(t) => Err(t),
+        }
+    }
+
+    /// Number of read probes issued.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Number of writes issued.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of faults absorbed so far. With a *crash-resistant*
+    /// primitive these are free; without one, each fault is a process
+    /// crash the attacker must survive (a restart, a respawned worker) —
+    /// the visibility/cost axis the paper's cited attacks differ on.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// The victim under attack.
+    pub fn victim(&mut self) -> &mut Victim {
+        self.victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::SCRATCH_DATA;
+    use memsentry::Technique;
+    use memsentry_mmu::{Fault, VirtAddr};
+
+    #[test]
+    fn probe_survives_unmapped_addresses() {
+        let mut v = Victim::new(Technique::InfoHiding, 3);
+        let mut rw = ArbitraryRw::new(&mut v);
+        // A wild probe faults...
+        assert!(matches!(rw.probe(0xdead_0000), Probe::Fault(_)));
+        // ...and the process is still alive for the next one.
+        rw.victim()
+            .machine
+            .space
+            .poke(VirtAddr(SCRATCH_DATA), &5u64.to_le_bytes());
+        assert_eq!(rw.probe(SCRATCH_DATA), Probe::Value(5));
+        assert_eq!(rw.probes(), 2);
+    }
+
+    #[test]
+    fn write_lands_in_ordinary_memory() {
+        let mut v = Victim::new(Technique::InfoHiding, 3);
+        let mut rw = ArbitraryRw::new(&mut v);
+        rw.write(SCRATCH_DATA, 77).unwrap();
+        assert_eq!(rw.probe(SCRATCH_DATA), Probe::Value(77));
+        assert_eq!(rw.writes(), 1);
+    }
+
+    #[test]
+    fn probe_into_mpk_region_faults_with_pkey_denial() {
+        let mut v = Victim::new(Technique::Mpk, 3);
+        let base = v.layout.base;
+        let mut rw = ArbitraryRw::new(&mut v);
+        match rw.probe(base) {
+            Probe::Fault(Trap::Mmu(Fault::PkeyDenied { .. })) => {}
+            other => panic!("expected pkey denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_into_protected_region_is_denied() {
+        let mut v = Victim::new(Technique::Vmfunc, 3);
+        let slot = v.shadow_slot();
+        let mut rw = ArbitraryRw::new(&mut v);
+        assert!(rw.write(slot, 0xbad).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Region-disclosure strategies against information hiding.
+//!
+//! The paper's §1/§2.3 cites three families of derandomization attacks;
+//! each is modelled here with its characteristic probe budget:
+//!
+//! * **Crash-resistant linear scanning** (Gawlik et al.) — probe pages
+//!   with the read primitive, absorbing faults. Exhaustive over the full
+//!   hiding range (2^34 pages) but effective once other intelligence
+//!   narrows the window. The shadow region has a recognizable signature:
+//!   slot 0 holds a pointer into the region itself.
+//! * **Allocation oracles** (Oikonomopoulos et al.) — binary-search the
+//!   size of the *hole* around the hidden region by asking the allocator
+//!   for ever-larger blocks; O(log) probes instead of O(2^entropy).
+//! * **Thread/memory spraying** (Göktaş et al.) — exhaust free address
+//!   space so the hidden region's candidate set shrinks.
+
+use memsentry::hiding::{HIDE_MAX, HIDE_MIN};
+
+use crate::primitive::{ArbitraryRw, Probe};
+
+/// Page size used for probing.
+const PAGE: u64 = 4096;
+
+/// Whether a probed value looks like a shadow-stack base (slot 0 stores
+/// a shadow-stack pointer pointing just past itself).
+fn shadow_signature(addr: u64, value: u64) -> bool {
+    value > addr && value < addr + 4096
+}
+
+/// Linear crash-resistant scan of `[lo, hi)` at page granularity.
+///
+/// Returns the located base and the number of probes spent, or `None`
+/// if the budget ran out.
+pub fn linear_scan(
+    rw: &mut ArbitraryRw<'_>,
+    lo: u64,
+    hi: u64,
+    max_probes: u64,
+) -> Option<(u64, u64)> {
+    let mut spent = 0;
+    let mut addr = lo;
+    while addr < hi && spent < max_probes {
+        spent += 1;
+        if let Probe::Value(v) = rw.probe(addr) {
+            if shadow_signature(addr, v) {
+                return Some((addr, spent));
+            }
+        }
+        addr += PAGE;
+    }
+    None
+}
+
+/// The allocation-oracle attack: binary search for the hidden region.
+///
+/// Each oracle query asks the (simulated) allocator whether a block of a
+/// chosen size fits in a chosen sub-range — the observable the real
+/// attack extracts from allocation success/failure. `hidden_base` plays
+/// the kernel's role of ground truth; the attacker only sees one bit per
+/// query. Returns `(located_base, oracle_queries)`.
+pub fn allocation_oracle_probes(hidden_base: u64) -> (u64, u64) {
+    let mut lo = HIDE_MIN;
+    let mut hi = HIDE_MAX;
+    let mut queries = 0u64;
+    while hi - lo > PAGE {
+        queries += 1;
+        let mid = lo + (hi - lo) / 2 / PAGE * PAGE;
+        // Oracle bit: "does an allocation spanning [lo, mid) succeed?"
+        // It fails iff the hidden region lies inside that span.
+        let hidden_in_lower = hidden_base < mid;
+        if hidden_in_lower {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo, queries)
+}
+
+/// Spraying: each sprayed page removes one candidate from the hiding
+/// space. Returns `(entropy_before_bits, entropy_after_bits)`.
+pub fn spray_and_probe(sprayed_pages: u64) -> (f64, f64) {
+    let total = (HIDE_MAX - HIDE_MIN) / PAGE;
+    let before = (total as f64).log2();
+    let after = ((total.saturating_sub(sprayed_pages)).max(1) as f64).log2();
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::Victim;
+    use memsentry::Technique;
+
+    #[test]
+    fn oracle_finds_the_hidden_region_in_logarithmic_queries() {
+        for seed in [1u64, 99, 12345] {
+            let v = Victim::new(Technique::InfoHiding, seed);
+            let (base, queries) = allocation_oracle_probes(v.layout.base);
+            assert_eq!(base, v.layout.base, "seed {seed}");
+            assert!(
+                queries <= 40,
+                "binary search must need ~34 queries, took {queries}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_plus_one_probe_confirms_the_signature() {
+        let mut v = Victim::new(Technique::InfoHiding, 5);
+        let (base, _) = allocation_oracle_probes(v.layout.base);
+        let mut rw = ArbitraryRw::new(&mut v);
+        let found = linear_scan(&mut rw, base, base + PAGE, 4).expect("signature");
+        assert_eq!(found.0, base);
+        assert_eq!(found.1, 1);
+    }
+
+    #[test]
+    fn linear_scan_without_intel_exceeds_any_realistic_budget() {
+        // The entropy argument: exhaustive scanning needs ~2^34 probes.
+        let mut v = Victim::new(Technique::InfoHiding, 5);
+        let mut rw = ArbitraryRw::new(&mut v);
+        assert!(linear_scan(&mut rw, HIDE_MIN, HIDE_MAX, 2_000).is_none());
+        assert_eq!(rw.probes(), 2_000);
+        let pages = (HIDE_MAX - HIDE_MIN) / PAGE;
+        assert!(pages > 1 << 30, "full scan needs {pages} probes");
+    }
+
+    #[test]
+    fn spraying_reduces_entropy() {
+        let (before, after) = spray_and_probe(1 << 30);
+        assert!(before > after);
+        assert!(before - after > 0.08, "2^30 sprays must bite: {before} -> {after}");
+    }
+
+    #[test]
+    fn scan_near_but_not_at_region_finds_nothing() {
+        let mut v = Victim::new(Technique::InfoHiding, 5);
+        let base = v.layout.base;
+        let mut rw = ArbitraryRw::new(&mut v);
+        assert!(linear_scan(&mut rw, base + 2 * PAGE, base + 10 * PAGE, 8).is_none());
+    }
+}

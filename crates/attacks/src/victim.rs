@@ -1,0 +1,293 @@
+//! The victim process used throughout the attack evaluation.
+//!
+//! A shadow-stack-defended program with the classic attacker toolkit
+//! (paper §2.3: "the attacker holds an arbitrary read and write
+//! primitive"):
+//!
+//! * `probe` / `write` gadget functions — arbitrary read/write primitives
+//!   driven with controlled operands,
+//! * `victim_fn` — a defended function containing the in-frame
+//!   vulnerability: an attacker-controlled arbitrary write (`*rbx = rbp`
+//!   when `rbx != 0`) followed by an attacker-controlled smash of its own
+//!   on-stack return address (`*rsp = r12` when `r12 != 0`),
+//! * `gadget_fn` — where the attacker wants control to land (the start of
+//!   a code-reuse chain; reaching it exits with [`HIJACKED`]).
+//!
+//! The gadgets are ordinary program code, so MemSentry's instrumentation
+//! applies to them exactly as to the rest of the program — which is the
+//! entire point: the attack is stopped at phase one by the very gadget
+//! the attacker relies on.
+//!
+//! Attacker-controlled state rides in `rbx`, `rbp`, `r12`: registers no
+//! instrumentation sequence clobbers (MPK staging uses `r9`, crypt uses
+//! `r10`, address-based scratch is `r9`-`r11`, the shadow-stack runtime
+//! reserves `r13`-`r15`).
+
+use memsentry::{Application, MemSentry, Technique};
+use memsentry_cpu::{Machine, RunOutcome};
+use memsentry_defenses::ShadowStack;
+use memsentry_ir::{CodeAddr, FunctionBuilder, Inst, Program, Reg};
+use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+use memsentry_passes::{Pass, SafeRegionLayout};
+
+/// Function ids within the victim program.
+pub mod funcs {
+    use memsentry_ir::FuncId;
+    /// Entry (runs once, halts).
+    pub const MAIN: FuncId = FuncId(0);
+    /// The defended, vulnerable function.
+    pub const VICTIM_FN: FuncId = FuncId(1);
+    /// The attacker's code-reuse target.
+    pub const GADGET_FN: FuncId = FuncId(2);
+    /// Arbitrary-read gadget: `rax = *rdi`, halts.
+    pub const PROBE: FuncId = FuncId(3);
+    /// Arbitrary-write gadget: `*rdi = rsi`, halts.
+    pub const WRITE: FuncId = FuncId(4);
+    /// Calls `victim_fn` (a defended call/ret pair), halts with 1.
+    pub const TRIGGER: FuncId = FuncId(5);
+}
+
+/// Exit code when control reached the gadget (attack success marker).
+pub const HIJACKED: u64 = 0x666;
+
+/// Exit code of a benign trigger run.
+pub const BENIGN: u64 = 1;
+
+/// Ordinary data page the attacker may touch legitimately.
+pub const SCRATCH_DATA: u64 = 0x10_0000;
+
+/// A fully assembled victim.
+#[derive(Debug)]
+pub struct Victim {
+    /// The machine, ready to drive.
+    pub machine: Machine,
+    /// The defended safe region (the shadow stack).
+    pub layout: SafeRegionLayout,
+    /// The technique protecting it.
+    pub technique: Technique,
+}
+
+fn build_program(shadow: &ShadowStack) -> Program {
+    let mut p = Program::new();
+
+    let mut main = FunctionBuilder::new("main");
+    main.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0,
+    });
+    main.push(Inst::Halt);
+    p.add_function(main.finish());
+
+    // victim_fn: the in-frame vulnerability.
+    let mut victim_fn = FunctionBuilder::new("victim_fn");
+    let skip_write = victim_fn.new_label();
+    let skip_smash = victim_fn.new_label();
+    victim_fn.push(Inst::MovImm {
+        dst: Reg::R10,
+        imm: 0,
+    });
+    victim_fn.push(Inst::JmpIf {
+        cond: memsentry_ir::Cond::Eq,
+        a: Reg::Rbx,
+        b: Reg::R10,
+        target: skip_write,
+    });
+    // The arbitrary write: *rbx = rbp.
+    victim_fn.push(Inst::Store {
+        src: Reg::Rbp,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
+    victim_fn.bind(skip_write);
+    victim_fn.push(Inst::MovImm {
+        dst: Reg::R10,
+        imm: 0,
+    });
+    victim_fn.push(Inst::JmpIf {
+        cond: memsentry_ir::Cond::Eq,
+        a: Reg::R12,
+        b: Reg::R10,
+        target: skip_smash,
+    });
+    // The stack smash: overwrite our own return address with r12.
+    victim_fn.push(Inst::Store {
+        src: Reg::R12,
+        addr: Reg::Rsp,
+        offset: 0,
+    });
+    victim_fn.bind(skip_smash);
+    victim_fn.push(Inst::Ret);
+    p.add_function(victim_fn.finish());
+
+    let mut gadget = FunctionBuilder::new("gadget_fn");
+    gadget.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: HIJACKED,
+    });
+    gadget.push(Inst::Halt);
+    p.add_function(gadget.finish());
+
+    let mut probe = FunctionBuilder::new("probe");
+    probe.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::Rdi,
+        offset: 0,
+    });
+    probe.push(Inst::Halt);
+    p.add_function(probe.finish());
+
+    let mut write = FunctionBuilder::new("write");
+    write.push(Inst::Store {
+        src: Reg::Rsi,
+        addr: Reg::Rdi,
+        offset: 0,
+    });
+    write.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0,
+    });
+    write.push(Inst::Halt);
+    p.add_function(write.finish());
+
+    let mut trigger = FunctionBuilder::new("trigger");
+    trigger.push(Inst::Call(funcs::VICTIM_FN));
+    trigger.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: BENIGN,
+    });
+    trigger.push(Inst::Halt);
+    p.add_function(trigger.finish());
+
+    // The defense pass runs first (Figure 1: defense pass, then the
+    // MemSentry pass).
+    shadow.run(&mut p);
+    p
+}
+
+impl Victim {
+    /// Builds a victim whose shadow stack is protected by `technique`.
+    ///
+    /// For [`Technique::InfoHiding`], `seed` controls the hidden placement.
+    pub fn new(technique: Technique, seed: u64) -> Self {
+        let framework = if technique == Technique::InfoHiding {
+            MemSentry::hidden(PAGE_SIZE, seed)
+        } else {
+            MemSentry::new(technique, PAGE_SIZE)
+        };
+        let layout = framework.layout();
+        let shadow = ShadowStack::new(layout);
+        let mut program = build_program(&shadow);
+        framework
+            .instrument(&mut program, Application::ProgramData)
+            .expect("instrumentation");
+        let mut machine = Machine::new(program);
+        framework.prepare_machine(&mut machine).expect("prepare");
+        // Initialize the shadow stack pointer through the framework so the
+        // technique's at-rest representation (crypt: ciphertext) holds.
+        framework.write_region(&mut machine, 0, &(layout.base + 8).to_le_bytes());
+        machine
+            .space
+            .map_region(VirtAddr(SCRATCH_DATA), PAGE_SIZE, PageFlags::rw());
+        let mut v = Self {
+            machine,
+            layout,
+            technique,
+        };
+        v.machine.call_function(funcs::MAIN, [0; 3]);
+        v
+    }
+
+    /// Sets the attacker-controlled inputs for the next trigger: the
+    /// arbitrary-write target/value and the return-address smash value
+    /// (0 disables each).
+    pub fn set_attack_inputs(&mut self, write_addr: u64, write_value: u64, smash_value: u64) {
+        self.machine.set_reg(Reg::Rbx, write_addr);
+        self.machine.set_reg(Reg::Rbp, write_value);
+        self.machine.set_reg(Reg::R12, smash_value);
+    }
+
+    /// Runs the trigger benignly (attack inputs cleared).
+    pub fn trigger(&mut self) -> RunOutcome {
+        self.set_attack_inputs(0, 0, 0);
+        self.machine.call_function(funcs::TRIGGER, [0; 3])
+    }
+
+    /// Runs the trigger with whatever attack inputs are currently set.
+    pub fn trigger_with_attack(&mut self) -> RunOutcome {
+        self.machine.call_function(funcs::TRIGGER, [0; 3])
+    }
+
+    /// The code pointer an attacker wants return addresses to become.
+    pub fn gadget_pointer(&self) -> u64 {
+        CodeAddr::entry(funcs::GADGET_FN).encode()
+    }
+
+    /// Address of the shadow entry holding `victim_fn`'s return address
+    /// while its frame is live (slot 0 is the shadow stack pointer).
+    pub fn shadow_slot(&self) -> u64 {
+        self.layout.base + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_trigger_works_under_every_technique() {
+        for technique in [
+            Technique::InfoHiding,
+            Technique::Mpk,
+            Technique::Vmfunc,
+            Technique::Crypt,
+            Technique::Mpx,
+            Technique::Sfi,
+        ] {
+            let mut v = Victim::new(technique, 7);
+            assert_eq!(v.trigger().expect_exit(), BENIGN, "technique {technique}");
+        }
+    }
+
+    #[test]
+    fn probe_gadget_reads_ordinary_memory() {
+        let mut v = Victim::new(Technique::InfoHiding, 7);
+        v.machine
+            .space
+            .poke(VirtAddr(SCRATCH_DATA), &99u64.to_le_bytes());
+        let out = v.machine.call_function(funcs::PROBE, [SCRATCH_DATA, 0, 0]);
+        assert_eq!(out.expect_exit(), 99);
+    }
+
+    #[test]
+    fn write_gadget_writes_ordinary_memory() {
+        let mut v = Victim::new(Technique::InfoHiding, 7);
+        v.machine
+            .call_function(funcs::WRITE, [SCRATCH_DATA, 1234, 0])
+            .expect_exit();
+        let mut buf = [0u8; 8];
+        v.machine.space.peek(VirtAddr(SCRATCH_DATA), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 1234);
+    }
+
+    #[test]
+    fn trigger_repeats_cleanly() {
+        let mut v = Victim::new(Technique::Mpk, 7);
+        for _ in 0..5 {
+            assert_eq!(v.trigger().expect_exit(), BENIGN);
+        }
+    }
+
+    #[test]
+    fn smash_alone_is_caught_by_the_shadow_stack() {
+        // Even with information hiding: smashing only the on-stack return
+        // address trips the epilogue comparison.
+        let mut v = Victim::new(Technique::InfoHiding, 7);
+        let gadget = v.gadget_pointer();
+        v.set_attack_inputs(0, 0, gadget);
+        let out = v.trigger_with_attack();
+        assert!(matches!(
+            out.expect_trap(),
+            memsentry_cpu::Trap::DefenseAbort { .. }
+        ));
+    }
+}

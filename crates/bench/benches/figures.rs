@@ -1,0 +1,88 @@
+//! Criterion benches over the figure harness: one representative
+//! (benchmark, technique) cell per figure, so `cargo bench` exercises the
+//! full instrumentation + simulation pipeline for every table/figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memsentry::Technique;
+use memsentry_bench::runner::{run_config, ExperimentConfig};
+use memsentry_bench::tables::table4;
+use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
+use memsentry_workloads::BenchProfile;
+
+const SB: u32 = 4;
+
+fn bench_fig3(c: &mut Criterion) {
+    let p = BenchProfile::by_name("gcc").unwrap();
+    c.bench_function("fig3/gcc_mpx_rw", |b| {
+        b.iter(|| {
+            run_config(
+                black_box(p),
+                SB,
+                ExperimentConfig::Address {
+                    kind: AddressKind::Mpx,
+                    mode: InstrumentMode::READ_WRITE,
+                },
+            )
+        })
+    });
+    c.bench_function("fig3/gcc_sfi_rw", |b| {
+        b.iter(|| {
+            run_config(
+                black_box(p),
+                SB,
+                ExperimentConfig::Address {
+                    kind: AddressKind::Sfi,
+                    mode: InstrumentMode::READ_WRITE,
+                },
+            )
+        })
+    });
+}
+
+fn domain(technique: Technique, points: SwitchPoints) -> ExperimentConfig {
+    ExperimentConfig::Domain {
+        technique,
+        points,
+        region_len: 16,
+    }
+}
+
+fn bench_fig456(c: &mut Criterion) {
+    let p = BenchProfile::by_name("povray").unwrap();
+    for (name, technique) in [
+        ("mpk", Technique::Mpk),
+        ("vmfunc", Technique::Vmfunc),
+        ("crypt", Technique::Crypt),
+    ] {
+        c.bench_function(&format!("fig4/povray_{name}"), |b| {
+            b.iter(|| run_config(black_box(p), SB, domain(technique, SwitchPoints::CallRet)))
+        });
+    }
+    c.bench_function("fig5/povray_mpk_indirect", |b| {
+        b.iter(|| {
+            run_config(
+                black_box(p),
+                SB,
+                domain(Technique::Mpk, SwitchPoints::IndirectBranch),
+            )
+        })
+    });
+    c.bench_function("fig6/povray_mpk_syscall", |b| {
+        b.iter(|| {
+            run_config(
+                black_box(p),
+                SB,
+                domain(Technique::Mpk, SwitchPoints::Syscall),
+            )
+        })
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table4/full_microbench_suite", |b| b.iter(table4));
+}
+
+criterion_group!(benches, bench_fig3, bench_fig456, bench_tables);
+criterion_main!(benches);

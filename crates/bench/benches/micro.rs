@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks: wall-clock performance of the simulator's
+//! own substrates (the Table 4 *simulated-cycle* numbers come from the
+//! `table4` binary; these track that the simulator itself stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memsentry_aes::{encrypt_block, KeySchedule, RegionCipher};
+use memsentry_bench::tables::measure_sequence;
+use memsentry_cpu::Machine;
+use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr, PAGE_SIZE};
+
+fn bench_aes(c: &mut Criterion) {
+    let ks = KeySchedule::expand(&[7u8; 16]);
+    c.bench_function("aes/encrypt_block", |b| {
+        b.iter(|| encrypt_block(black_box([42u8; 16]), &ks))
+    });
+    let rc = RegionCipher::new(&[7u8; 16]);
+    let mut region = vec![0u8; 1024];
+    c.bench_function("aes/region_1k_roundtrip", |b| {
+        b.iter(|| {
+            rc.encrypt_region(black_box(&mut region));
+            rc.decrypt_region(black_box(&mut region));
+        })
+    });
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    space.map_region(VirtAddr(0x10_0000), 64 * PAGE_SIZE, PageFlags::rw());
+    c.bench_function("mmu/checked_read_tlb_hit", |b| {
+        b.iter(|| {
+            let mut buf = [0u8; 8];
+            space.read(black_box(VirtAddr(0x10_0008)), &mut buf).unwrap();
+            buf
+        })
+    });
+    c.bench_function("mmu/mprotect_toggle", |b| {
+        b.iter(|| {
+            space.mprotect(VirtAddr(0x10_0000), PAGE_SIZE, memsentry_mmu::Prot::None);
+            space.mprotect(VirtAddr(0x10_0000), PAGE_SIZE, memsentry_mmu::Prot::ReadWrite);
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // Interpreter throughput: a 10k-instruction ALU loop.
+    let mut p = Program::new();
+    let mut b = FunctionBuilder::new("main");
+    let top = b.new_label();
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 1000 });
+    b.bind(top);
+    for i in 0..8 {
+        b.push(Inst::AluImm {
+            op: memsentry_ir::AluOp::Add,
+            dst: Reg::Rax,
+            imm: i,
+        });
+    }
+    b.push(Inst::AluImm { op: memsentry_ir::AluOp::Sub, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::MovImm { dst: Reg::Rcx, imm: 0 });
+    b.push(Inst::JmpIf {
+        cond: memsentry_ir::Cond::Ne,
+        a: Reg::Rbx,
+        b: Reg::Rcx,
+        target: top,
+    });
+    b.push(Inst::Halt);
+    p.add_function(b.finish());
+    c.bench_function("interp/10k_alu_loop", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(black_box(p.clone()));
+            m.run().expect_exit()
+        })
+    });
+    c.bench_function("interp/measure_sequence_bndcu", |bch| {
+        bch.iter(|| {
+            measure_sequence(
+                &[Inst::BndCu { bnd: 0, reg: Reg::Rbx }],
+                black_box(200),
+                false,
+            )
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use memsentry_workloads::{matmul_kernel, sort_kernel};
+    let sort = sort_kernel(128, 3);
+    c.bench_function("kernels/sort_128", |b| b.iter(|| black_box(&sort).run()));
+    let mm = matmul_kernel(8, 3);
+    c.bench_function("kernels/matmul_8", |b| b.iter(|| black_box(&mm).run()));
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use memsentry_mmu::CacheHierarchy;
+    c.bench_function("mmu/cache_sweep_64k", |b| {
+        b.iter(|| {
+            let mut cache = CacheHierarchy::new();
+            for i in 0..1024u64 {
+                cache.access(black_box(i * 64));
+            }
+            cache.stats()
+        })
+    });
+}
+
+criterion_group!(benches, bench_aes, bench_mmu, bench_interpreter, bench_kernels, bench_cache);
+criterion_main!(benches);

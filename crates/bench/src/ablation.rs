@@ -1,0 +1,255 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Five questions, each matching a claim in the paper's discussion\n//! (or the extension's design):
+//!
+//! 1. **Single vs dual MPX bounds vs SFI** (§6.3): with a full
+//!    `bndcl`+`bndcu` pair "the overhead also becomes worse: our
+//!    experiments showed it to be slightly worse than our SFI results".
+//! 2. **MPK fence**: how much of the switch cost is the `mfence` the
+//!    paper adds to model `wrpkru`'s serialization?
+//! 3. **crypt key handling** (§5.3): per-open `ymm` reload + `aesimc`
+//!    (MemSentry) vs CCFI-style pinned `xmm` keys — faster switches, but
+//!    requires recompiling every library to reserve the registers.
+//! 4. **Dune vs in-KVM VMFUNC** (§5.1): how much of VMFUNC's overhead is
+//!    the process-level virtualization converting syscalls to hypercalls
+//!    rather than the EPT switches themselves.
+//! 5. **PCID for page-table switching** (extension): tagged `cr3` writes
+//!    vs full TLB flushes per switch.
+
+use memsentry::{MemSentry, SafeRegionLayout, Technique};
+use memsentry_cpu::Machine;
+use memsentry_ir::Program;
+use memsentry_passes::{
+    AddressBasedPass, AddressKind, DomainSequences, DomainSwitchPass, InstrumentMode, Pass,
+    SwitchPoints,
+};
+use memsentry_workloads::{profiles::geomean, BenchProfile, Workload, WorkloadSpec, SPEC2006};
+
+use crate::runner::{run_config, ExperimentConfig};
+
+/// Runs `profile` with a custom domain sequence (ablation plumbing).
+fn run_custom_domain(
+    profile: &BenchProfile,
+    superblocks: u32,
+    points: SwitchPoints,
+    sequences: DomainSequences,
+    setup: impl FnOnce(&mut Machine, &SafeRegionLayout),
+) -> f64 {
+    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks,
+    });
+    let mut program: Program = workload.program.clone();
+    DomainSwitchPass::new(points, sequences).run(&mut program);
+    let mut machine = Machine::new(program);
+    let layout = SafeRegionLayout::sensitive(16);
+    setup(&mut machine, &layout);
+    workload.prepare(&mut machine);
+    machine.run().expect_exit();
+    machine.cycles() / base.cycles
+}
+
+/// Ablation 1: geomean overheads of (MPX single, MPX dual, SFI) with
+/// `-rw` instrumentation.
+pub fn mpx_bounds_ablation(superblocks: u32) -> (f64, f64, f64) {
+    let run = |kind| {
+        geomean(SPEC2006.iter().map(|p| {
+            let base = run_config(p, superblocks, ExperimentConfig::Baseline);
+            let workload = Workload::build(WorkloadSpec {
+                profile: *p,
+                superblocks,
+            });
+            let mut program = workload.program.clone();
+            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut program);
+            let mut machine = Machine::new(program);
+            workload.prepare(&mut machine);
+            machine.run().expect_exit();
+            machine.cycles() / base.cycles
+        }))
+    };
+    (
+        run(AddressKind::Mpx),
+        run(AddressKind::MpxDual),
+        run(AddressKind::Sfi),
+    )
+}
+
+/// Ablation 2: MPK at call/ret with and without the `mfence`.
+pub fn mpk_fence_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+    let layout = SafeRegionLayout::sensitive(16);
+    let fenced = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::mpk(&layout),
+        |_, _| {},
+    );
+    let unfenced = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::mpk_unfenced(&layout),
+        |_, _| {},
+    );
+    (fenced, unfenced)
+}
+
+/// Ablation 3: crypt at call/ret with MemSentry's ymm-parked keys vs
+/// CCFI-style pinned xmm keys (no xmm-confiscation penalty is applied to
+/// either, isolating the switch-sequence cost).
+pub fn crypt_keys_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+    let layout = SafeRegionLayout::sensitive(16);
+    let key = *b"ablation-crypt!!";
+    let parked = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::crypt(&layout),
+        |m, l| {
+            m.install_aes_key(&key);
+            m.space.map_region(
+                memsentry_mmu::VirtAddr(l.base),
+                memsentry_mmu::PAGE_SIZE,
+                memsentry_mmu::PageFlags::rw(),
+            );
+        },
+    );
+    let pinned = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::crypt_pinned_keys(&layout),
+        |m, l| {
+            m.pin_aes_keys(&key);
+            m.space.map_region(
+                memsentry_mmu::VirtAddr(l.base),
+                memsentry_mmu::PAGE_SIZE,
+                memsentry_mmu::PageFlags::rw(),
+            );
+        },
+    );
+    (parked, pinned)
+}
+
+/// Ablation 4: VMFUNC at system-call switch points under Dune (syscalls
+/// become vmcalls) vs an in-KVM deployment (syscalls stay native).
+pub fn vmfunc_dune_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+    let dune = crate::runner::overhead(
+        profile,
+        superblocks,
+        ExperimentConfig::Domain {
+            technique: Technique::Vmfunc,
+            points: SwitchPoints::Syscall,
+            region_len: 16,
+        },
+    );
+    // In-KVM: same instrumentation, but syscalls pass through.
+    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks,
+    });
+    let fw = MemSentry::with_layout(Technique::Vmfunc, SafeRegionLayout::sensitive(16));
+    let mut program = workload.program.clone();
+    fw.instrument_points(&mut program, SwitchPoints::Syscall)
+        .expect("instrumentation");
+    let mut machine = Machine::new(program);
+    fw.prepare_machine(&mut machine).expect("prepare");
+    machine.set_syscall_passthrough(true);
+    workload.prepare(&mut machine);
+    machine.run().expect_exit();
+    let kvm = machine.cycles() / base.cycles;
+    (dune, kvm)
+}
+
+/// Ablation 5: the value of PCID for page-table switching — tagged
+/// switches vs full-flush switches at call/ret frequency. Returns
+/// (with_pcid, without_pcid) normalized overheads.
+pub fn pcid_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+    let layout = SafeRegionLayout::sensitive(16);
+    let prep = |m: &mut Machine, l: &SafeRegionLayout| {
+        m.space.map_region(
+            memsentry_mmu::VirtAddr(l.base),
+            memsentry_mmu::PAGE_SIZE,
+            memsentry_mmu::PageFlags::rw(),
+        );
+        let view = m.space.add_view();
+        debug_assert_eq!(view, 1);
+        m.space
+            .unmap_region(memsentry_mmu::VirtAddr(l.base), memsentry_mmu::PAGE_SIZE);
+    };
+    let tagged = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::page_table_switch(&layout),
+        prep,
+    );
+    let flushing = run_custom_domain(
+        profile,
+        superblocks,
+        SwitchPoints::CallRet,
+        DomainSequences::page_table_switch_no_pcid(&layout),
+        prep,
+    );
+    (tagged, flushing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SB: u32 = 6;
+
+    #[test]
+    fn dual_bounds_mpx_is_worse_than_sfi() {
+        // The §6.3 claim, reproduced.
+        let (single, dual, sfi) = mpx_bounds_ablation(SB);
+        assert!(single < sfi, "single {single} < SFI {sfi}");
+        assert!(dual > sfi, "dual {dual} > SFI {sfi} (paper: 'slightly worse')");
+        assert!(dual < sfi * 1.35, "but only slightly: {dual} vs {sfi}");
+    }
+
+    #[test]
+    fn the_fence_is_most_of_mpk_switch_cost() {
+        let p = BenchProfile::by_name("gobmk").unwrap();
+        let (fenced, unfenced) = mpk_fence_ablation(p, SB);
+        assert!(unfenced < fenced);
+        let saved = (fenced - unfenced) / (fenced - 1.0);
+        assert!(
+            saved > 0.4,
+            "mfence should be a large share of the switch: saved {saved}"
+        );
+    }
+
+    #[test]
+    fn pinned_keys_cut_crypt_switch_cost() {
+        let p = BenchProfile::by_name("gobmk").unwrap();
+        let (parked, pinned) = crypt_keys_ablation(p, SB);
+        assert!(pinned < parked, "pinned {pinned} < parked {parked}");
+        // The per-open imc (71 cycles) dominates; pinning should cut the
+        // above-baseline overhead by more than half.
+        assert!((pinned - 1.0) < (parked - 1.0) * 0.5, "{pinned} vs {parked}");
+    }
+
+    #[test]
+    fn pcid_tagging_beats_flushing_switches() {
+        let p = BenchProfile::by_name("gobmk").unwrap();
+        let (tagged, flushing) = pcid_ablation(p, SB);
+        assert!(
+            tagged < flushing,
+            "PCID {tagged} must beat flushing {flushing}"
+        );
+    }
+
+    #[test]
+    fn dune_syscall_conversion_dominates_vmfunc_syscall_overhead() {
+        let p = BenchProfile::by_name("gcc").unwrap(); // syscall-heaviest
+        let (dune, kvm) = vmfunc_dune_ablation(p, SB * 4);
+        assert!(kvm < dune, "kvm {kvm} < dune {dune}");
+        // With passthrough, the only cost is the (tiny) vmfunc pair per
+        // syscall — most of Figure 6's VMFUNC column is Dune.
+        assert!((kvm - 1.0) < (dune - 1.0) * 0.7, "{kvm} vs {dune}");
+    }
+}

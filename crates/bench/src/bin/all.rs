@@ -1,0 +1,120 @@
+//! Runs the complete evaluation and writes every artifact (text + JSON)
+//! into `results/`. This is the one-command regeneration of the paper's
+//! tables and figures plus the ablations and extensions.
+use std::fs;
+use std::path::Path;
+
+use memsentry_bench::ablation::*;
+use memsentry_bench::kernels_study::kernel_overheads;
+use memsentry_bench::extras::*;
+use memsentry_bench::figures::{self, paper};
+use memsentry_bench::report::FigureReport;
+use memsentry_bench::tables;
+use memsentry_workloads::BenchProfile;
+
+fn main() {
+    let sb = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(figures::FIGURE_SUPERBLOCKS);
+    let out = Path::new("results");
+    fs::create_dir_all(out).expect("create results/");
+
+    let write = |name: &str, content: String| {
+        fs::write(out.join(name), &content).expect("write result");
+        println!("wrote results/{name}");
+    };
+
+    write("table1.txt", tables::table1());
+    write("table2.txt", tables::table2());
+    write("table3.txt", tables::table3());
+    write("table4.txt", tables::render_table4(&tables::table4()));
+
+    for (n, fig, target) in [
+        (3, figures::figure3(sb), &paper::FIG3[..]),
+        (4, figures::figure4(sb), &paper::FIG4[..]),
+        (5, figures::figure5(sb), &paper::FIG5[..]),
+        (6, figures::figure6(sb), &paper::FIG6[..]),
+    ] {
+        write(&format!("fig{n}.txt"), fig.render());
+        write(
+            &format!("fig{n}.json"),
+            FigureReport::from_figure(&fig, Some(target)).to_json(),
+        );
+    }
+
+    let (g, min, max) = mprotect_baseline(sb.min(12));
+    write(
+        "mprotect_baseline.txt",
+        format!("geomean {g:.1}x  min {min:.1}x  max {max:.1}x (paper: 20-50x)\n"),
+    );
+
+    let mcf = BenchProfile::by_name("mcf").unwrap();
+    let scaling = crypt_scaling(mcf, sb.min(12), &[16, 64, 256, 1024, 4096]);
+    write(
+        "crypt_scaling.txt",
+        scaling
+            .iter()
+            .map(|(s, o)| format!("{s:>6} B  {o:.2}x\n"))
+            .collect(),
+    );
+
+    let gobmk = BenchProfile::by_name("gobmk").unwrap();
+    let gcc = BenchProfile::by_name("gcc").unwrap();
+    let (s1a, s1b, s1c) = mpx_bounds_ablation(sb.min(12));
+    let (s2a, s2b) = mpk_fence_ablation(gobmk, sb.min(12));
+    let (s3a, s3b) = crypt_keys_ablation(gobmk, sb.min(12));
+    let (s4a, s4b) = vmfunc_dune_ablation(gcc, sb.min(12) * 4);
+    let (s5a, s5b) = pcid_ablation(gobmk, sb.min(12));
+    let (pts, mpk, mp) = pts_extension(sb.min(12));
+    write(
+        "ablations.txt",
+        format!(
+            "A1 mpx-single {s1a:.3}  mpx-dual {s1b:.3}  sfi {s1c:.3}\n\
+             A2 mpk-fenced {s2a:.3}  mpk-unfenced {s2b:.3}\n\
+             A3 crypt-parked {s3a:.3}  crypt-pinned {s3b:.3}\n\
+             A4 vmfunc-dune {s4a:.3}  vmfunc-kvm {s4b:.3}\n\
+             A5 pts-pcid {s5a:.3}  pts-flush {s5b:.3}\n\
+             E1 pts {pts:.3}  mpk {mpk:.3}  mprotect {mp:.3}\n"
+        ),
+    );
+    write(
+        "kernels.txt",
+        kernel_overheads()
+            .iter()
+            .map(|r| format!("{:<26} MPX-rw {:.3}  SFI-rw {:.3}\n", r.name, r.mpx_rw, r.sfi_rw))
+            .collect(),
+    );
+
+    let srv: String = {
+        use memsentry::Technique;
+        use memsentry_bench::extras::server_vs_spec;
+        use memsentry_bench::runner::ExperimentConfig;
+        use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
+        let mut out = String::new();
+        for (label, cfg) in [
+            (
+                "MPX -rw",
+                ExperimentConfig::Address {
+                    kind: AddressKind::Mpx,
+                    mode: InstrumentMode::READ_WRITE,
+                },
+            ),
+            (
+                "MPK @ syscall",
+                ExperimentConfig::Domain {
+                    technique: Technique::Mpk,
+                    points: SwitchPoints::Syscall,
+                    region_len: 16,
+                },
+            ),
+        ] {
+            let (spec, servers) = server_vs_spec(sb.min(12), cfg);
+            out.push_str(&format!("{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"));
+        }
+        out
+    };
+    write("servers.txt", srv);
+
+    println!("done ({sb} superblocks per run)");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 5. Args: `[superblocks] [--json]`.
+use memsentry_bench::figures;
+use memsentry_bench::report::FigureReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let superblocks = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(figures::FIGURE_SUPERBLOCKS);
+    let fig = figures::figure5(superblocks);
+    let paper = figures::paper::FIG5;
+    if json {
+        println!("{}", FigureReport::from_figure(&fig, Some(&paper)).to_json());
+        return;
+    }
+    print!("{}", fig.render());
+    println!("\npaper geomeans for comparison:");
+    for (label, target) in fig.labels.iter().zip(paper.iter()) {
+        println!("  {label:<10} {target:.3}");
+    }
+}

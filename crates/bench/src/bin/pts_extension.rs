@@ -1,0 +1,19 @@
+//! The page-table-switching extension (PCID-tagged address-space views):
+//! the paper's footnoted alternative, quantified.
+use memsentry_bench::extras::pts_extension;
+
+fn main() {
+    let sb = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let (pts, mpk, mprotect) = pts_extension(sb);
+    println!("domain switching at call/ret frequency (geomean over 19 benchmarks)");
+    println!("  MPK                      {mpk:.3}");
+    println!("  page-table switch (PCID) {pts:.3}");
+    println!("  mprotect baseline        {mprotect:.3}");
+    println!();
+    println!("PTS needs kernel support (the reason paper §3.1 declines it) but");
+    println!("costs only a syscall + tagged cr3 write per switch — far below");
+    println!("mprotect's PTE rewrite + TLB invalidation, far above MPK's wrpkru.");
+}

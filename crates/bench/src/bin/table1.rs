@@ -1,0 +1,4 @@
+//! Prints Table 1: the defense-system survey.
+fn main() {
+    print!("{}", memsentry_bench::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Prints Table 2: MemSentry applications and instrumentation points.
+fn main() {
+    print!("{}", memsentry_bench::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Prints Table 3: limits of the isolation techniques.
+fn main() {
+    print!("{}", memsentry_bench::tables::table3());
+}

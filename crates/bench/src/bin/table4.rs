@@ -1,0 +1,5 @@
+//! Prints Table 4: hardware-feature microbenchmarks, paper vs measured.
+fn main() {
+    let rows = memsentry_bench::tables::table4();
+    print!("{}", memsentry_bench::tables::render_table4(&rows));
+}

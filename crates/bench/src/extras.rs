@@ -1,0 +1,189 @@
+//! The remaining evaluation artifacts: the mprotect baseline (§1: 20-50x),
+//! crypt's region-size scaling (§6.2: linear, ~15x at 1 KiB), and the
+//! SafeStack case study (§6.2: no added overhead; identical to Figure 3).
+
+use memsentry::Technique;
+use memsentry_passes::SwitchPoints;
+use memsentry_workloads::{profiles::geomean, BenchProfile, SERVERS, SPEC2006};
+
+use crate::runner::{overhead, ExperimentConfig};
+
+/// The mprotect baseline at call/ret frequency over all benchmarks:
+/// returns (geomean, min, max) normalized overhead.
+pub fn mprotect_baseline(superblocks: u32) -> (f64, f64, f64) {
+    let values: Vec<f64> = SPEC2006
+        .iter()
+        .map(|p| {
+            overhead(
+                p,
+                superblocks,
+                ExperimentConfig::Domain {
+                    technique: Technique::MprotectBaseline,
+                    points: SwitchPoints::CallRet,
+                    region_len: 16,
+                },
+            )
+        })
+        .collect();
+    let g = geomean(values.iter().copied());
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0, f64::max);
+    (g, min, max)
+}
+
+/// Crypt overhead as a function of safe-region size (bytes) on a call/ret
+/// workload: returns (size, normalized overhead) pairs.
+pub fn crypt_scaling(profile: &BenchProfile, superblocks: u32, sizes: &[u64]) -> Vec<(u64, f64)> {
+    sizes
+        .iter()
+        .map(|&len| {
+            let o = overhead(
+                profile,
+                superblocks,
+                ExperimentConfig::Domain {
+                    technique: Technique::Crypt,
+                    points: SwitchPoints::CallRet,
+                    region_len: len,
+                },
+            );
+            (len, o)
+        })
+        .collect()
+}
+
+/// The SafeStack study: SafeStack itself adds no instructions, so its
+/// MemSentry overhead equals plain `-w` instrumentation (Figure 3's MPX-w
+/// and SFI-w columns). Returns (MPX-w geomean, SFI-w geomean).
+pub fn safestack_study(superblocks: u32) -> (f64, f64) {
+    use memsentry_passes::{AddressKind, InstrumentMode};
+    let run = |kind| {
+        geomean(SPEC2006.iter().map(|p| {
+            overhead(
+                p,
+                superblocks,
+                ExperimentConfig::Address {
+                    kind,
+                    mode: InstrumentMode::WRITES,
+                },
+            )
+        }))
+    };
+    (run(AddressKind::Mpx), run(AddressKind::Sfi))
+}
+
+/// I/O-bound server workloads vs SPEC (paper §6: "the overhead for I/O
+/// bound applications such as servers will be lower"). Returns
+/// (spec_geomean, server_geomean) for a given config builder.
+pub fn server_vs_spec(
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> (f64, f64) {
+    let spec = geomean(SPEC2006.iter().map(|p| overhead(p, superblocks, config)));
+    let servers = geomean(SERVERS.iter().map(|p| overhead(p, superblocks, config)));
+    (spec, servers)
+}
+
+/// The page-table-switching extension vs MPK and the mprotect baseline
+/// at call/ret frequency: (PTS, MPK, mprotect) geomean overheads.
+pub fn pts_extension(superblocks: u32) -> (f64, f64, f64) {
+    let run = |technique| {
+        geomean(SPEC2006.iter().map(|p| {
+            overhead(
+                p,
+                superblocks,
+                ExperimentConfig::Domain {
+                    technique,
+                    points: SwitchPoints::CallRet,
+                    region_len: 16,
+                },
+            )
+        }))
+    };
+    (
+        run(Technique::PageTableSwitch),
+        run(Technique::Mpk),
+        run(Technique::MprotectBaseline),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_workloads::BenchProfile;
+
+    #[test]
+    fn mprotect_baseline_is_tens_of_x() {
+        let (g, min, max) = mprotect_baseline(4);
+        assert!(g > 10.0, "geomean {g}");
+        assert!(max < 400.0, "max {max}");
+        assert!(min > 1.0);
+    }
+
+    #[test]
+    fn crypt_scales_linearly_and_hits_15x_at_1kib() {
+        let p = BenchProfile::by_name("mcf").unwrap();
+        let points = crypt_scaling(p, 4, &[16, 64, 256, 1024]);
+        // Monotone growth.
+        for w in points.windows(2) {
+            assert!(w[1].1 > w[0].1, "{points:?}");
+        }
+        let at_1k = points.last().unwrap().1;
+        assert!(at_1k > 5.0, "1 KiB region must be many-x: {at_1k}");
+        // Linearity: overhead-above-baseline roughly proportional to
+        // chunk count between 256 B and 1 KiB.
+        let above: Vec<f64> = points.iter().map(|(_, o)| o - 1.0).collect();
+        let ratio = above[3] / above[2];
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "256B -> 1KiB should grow ~4x: {ratio}"
+        );
+    }
+
+    #[test]
+    fn server_workloads_see_lower_address_based_overhead() {
+        use memsentry_passes::{AddressKind, InstrumentMode};
+        let (spec, servers) = server_vs_spec(
+            4,
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        );
+        assert!(
+            servers - 1.0 < (spec - 1.0) * 0.8,
+            "servers {servers} should be well under SPEC {spec}"
+        );
+    }
+
+    #[test]
+    fn server_workloads_punish_vmfunc_via_dune_syscalls() {
+        // The flip side: under Dune, every server syscall becomes a
+        // 613-cycle vmcall, so VMFUNC hurts servers far more than SPEC.
+        let cfg = ExperimentConfig::Domain {
+            technique: Technique::Vmfunc,
+            points: SwitchPoints::IndirectBranch,
+            region_len: 16,
+        };
+        let (spec, servers) = server_vs_spec(4, cfg);
+        let _ = spec;
+        // Dune conversion alone should be a visible share of server time.
+        assert!(servers > 1.05, "servers {servers}");
+    }
+
+    #[test]
+    fn pts_sits_between_mpk_and_mprotect() {
+        // The extension's selling point: far cheaper than mprotect (no
+        // PTE rewrites, no TLB flush thanks to PCID), but the syscall per
+        // switch keeps it well above MPK.
+        let (pts, mpk, mprotect) = pts_extension(4);
+        assert!(mpk < pts, "MPK {mpk} < PTS {pts}");
+        assert!(pts < mprotect / 3.0, "PTS {pts} << mprotect {mprotect}");
+    }
+
+    #[test]
+    fn safestack_matches_figure3_write_columns() {
+        let (mpx_w, sfi_w) = safestack_study(5);
+        assert!(mpx_w < sfi_w);
+        assert!(mpx_w > 1.0 && mpx_w < 1.2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Address-based overhead on *real* algorithms.
+//!
+//! The figures run on synthetic instruction mixes; this study repeats
+//! Figure 3's measurement on genuine kernels (insertion sort, hash table,
+//! matrix multiply) whose results are oracle-checked. If the synthetic
+//! calibration were an artifact of the generator, these numbers would
+//! diverge wildly; they land in the same band.
+
+use memsentry_cpu::Machine;
+use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
+use memsentry_workloads::{hashtable_kernel, matmul_kernel, sort_kernel, Kernel};
+
+/// One kernel row: name plus normalized overheads for MPX-rw and SFI-rw.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// MPX `-rw` normalized overhead.
+    pub mpx_rw: f64,
+    /// SFI `-rw` normalized overhead.
+    pub sfi_rw: f64,
+}
+
+fn measure(kernel: &Kernel, kind: Option<AddressKind>) -> f64 {
+    let mut program = kernel.program.clone();
+    if let Some(kind) = kind {
+        AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut program);
+    }
+    let mut machine = Machine::new(program);
+    kernel.prepare(&mut machine);
+    assert_eq!(machine.run().expect_exit(), kernel.expected);
+    machine.cycles()
+}
+
+/// Runs the study.
+pub fn kernel_overheads() -> Vec<KernelRow> {
+    let kernels: [(&'static str, Kernel); 3] = [
+        ("sort (insertion, n=512)", sort_kernel(512, 11)),
+        ("hashtable (n=512)", hashtable_kernel(512, 11)),
+        ("matmul (16x16)", matmul_kernel(16, 11)),
+    ];
+    kernels
+        .iter()
+        .map(|(name, kernel)| {
+            let base = measure(kernel, None);
+            KernelRow {
+                name,
+                mpx_rw: measure(kernel, Some(AddressKind::Mpx)) / base,
+                sfi_rw: measure(kernel, Some(AddressKind::Sfi)) / base,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_overheads_land_in_the_figure3_band() {
+        for row in kernel_overheads() {
+            assert!(
+                row.mpx_rw > 1.0 && row.mpx_rw < 1.45,
+                "{}: MPX {}",
+                row.name,
+                row.mpx_rw
+            );
+            assert!(
+                row.sfi_rw > row.mpx_rw,
+                "{}: SFI {} vs MPX {}",
+                row.name,
+                row.sfi_rw,
+                row.mpx_rw
+            );
+            assert!(row.sfi_rw < 1.8, "{}: SFI {}", row.name, row.sfi_rw);
+        }
+    }
+}

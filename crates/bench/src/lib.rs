@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The benchmark harness: regenerates every table and figure of the paper.
+//!
+//! * [`runner`] — runs one (benchmark profile, isolation configuration)
+//!   pair on the simulated machine and reports normalized overhead, the
+//!   paper's metric.
+//! * [`figures`] — Figure 3 (SFI vs MPX x -r/-w/-rw), Figures 4-6
+//!   (MPK/VMFUNC/crypt at call-ret, indirect branches, system calls).
+//! * [`tables`] — Tables 1-4 as printable text.
+//! * [`extras`] — the mprotect 20-50x baseline, the crypt region-size
+//!   scaling study, and the SafeStack case study (§6.2).
+//!
+//! Binaries under `src/bin/` print each artifact; `cargo bench` runs the
+//! same computations under Criterion for wall-clock tracking.
+
+pub mod ablation;
+pub mod extras;
+pub mod figures;
+pub mod kernels_study;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{overhead, run_config, ExperimentConfig, Measurement};

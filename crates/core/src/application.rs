@@ -1,0 +1,138 @@
+//! Application profiles: what a defense instruments (paper Table 2).
+//!
+//! Each row of the paper's Table 2 maps a class of defense system to the
+//! instrumentation points MemSentry must use — loads/stores for
+//! address-based isolation, event classes for domain-based isolation.
+
+use memsentry_passes::{InstrumentMode, SwitchPoints};
+
+/// A defense-application profile (the rows of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// Code randomization: protect code layout secrets against *reads*.
+    /// Domain switches at indirect branches.
+    CodeRandomization,
+    /// CFI variants: protect branch-target metadata against reads.
+    /// Domain switches at indirect branches.
+    Cfi,
+    /// Shadow stack: protect return addresses against *writes*.
+    /// Domain switches at call/ret.
+    ShadowStack,
+    /// CPI: protect the code-pointer safe region against writes.
+    Cpi,
+    /// Layout (re)randomization keyed to system I/O (e.g. TASR).
+    LayoutRandomization,
+    /// Heap metadata protection (DieHard-style allocators).
+    HeapProtection,
+    /// Arbitrary program data (private keys): both reads and writes,
+    /// instrumentation points from points-to information.
+    ProgramData,
+}
+
+impl Application {
+    /// Every profile, in Table 2 order.
+    pub const ALL: [Application; 7] = [
+        Application::CodeRandomization,
+        Application::Cfi,
+        Application::ShadowStack,
+        Application::Cpi,
+        Application::LayoutRandomization,
+        Application::HeapProtection,
+        Application::ProgramData,
+    ];
+
+    /// Which accesses an address-based technique must instrument
+    /// (Table 2, left half).
+    pub fn address_mode(self) -> InstrumentMode {
+        match self {
+            // Leaks of the region are the threat: instrument loads.
+            Application::CodeRandomization | Application::Cfi => InstrumentMode::READS,
+            // Integrity is the threat: instrument stores.
+            Application::ShadowStack | Application::Cpi => InstrumentMode::WRITES,
+            // TASR-style and heap metadata: integrity of the region.
+            Application::LayoutRandomization | Application::HeapProtection => {
+                InstrumentMode::WRITES
+            }
+            // Both confidentiality and integrity.
+            Application::ProgramData => InstrumentMode::READ_WRITE,
+        }
+    }
+
+    /// Where a domain-based technique must switch (Table 2, right half).
+    pub fn switch_points(self) -> SwitchPoints {
+        match self {
+            Application::CodeRandomization | Application::Cfi => SwitchPoints::IndirectBranch,
+            Application::ShadowStack | Application::Cpi => SwitchPoints::CallRet,
+            Application::LayoutRandomization => SwitchPoints::Syscall,
+            Application::HeapProtection => SwitchPoints::AllocatorCall,
+            Application::ProgramData => SwitchPoints::Privileged,
+        }
+    }
+
+    /// Display name used by the harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Application::CodeRandomization => "code randomization",
+            Application::Cfi => "CFI variants",
+            Application::ShadowStack => "shadow stack",
+            Application::Cpi => "CPI",
+            Application::LayoutRandomization => "layout randomization",
+            Application::HeapProtection => "heap protection",
+            Application::ProgramData => "program data",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_address_modes() {
+        assert_eq!(
+            Application::CodeRandomization.address_mode(),
+            InstrumentMode::READS
+        );
+        assert_eq!(Application::Cfi.address_mode(), InstrumentMode::READS);
+        assert_eq!(
+            Application::ShadowStack.address_mode(),
+            InstrumentMode::WRITES
+        );
+        assert_eq!(Application::Cpi.address_mode(), InstrumentMode::WRITES);
+        assert_eq!(
+            Application::ProgramData.address_mode(),
+            InstrumentMode::READ_WRITE
+        );
+    }
+
+    #[test]
+    fn table2_switch_points() {
+        assert_eq!(
+            Application::ShadowStack.switch_points(),
+            SwitchPoints::CallRet
+        );
+        assert_eq!(
+            Application::Cfi.switch_points(),
+            SwitchPoints::IndirectBranch
+        );
+        assert_eq!(
+            Application::LayoutRandomization.switch_points(),
+            SwitchPoints::Syscall
+        );
+        assert_eq!(
+            Application::HeapProtection.switch_points(),
+            SwitchPoints::AllocatorCall
+        );
+        assert_eq!(
+            Application::ProgramData.switch_points(),
+            SwitchPoints::Privileged
+        );
+    }
+
+    #[test]
+    fn all_profiles_have_names() {
+        for a in Application::ALL {
+            assert!(!a.name().is_empty());
+        }
+    }
+}

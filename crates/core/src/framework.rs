@@ -1,0 +1,472 @@
+//! The top-level MemSentry framework (paper Figure 1).
+//!
+//! Orchestrates the pieces: allocates the safe region, runs the right
+//! instrumentation pass for the chosen technique + application profile,
+//! and prepares the machine (page mappings, protection keys, Dune sandbox,
+//! AES keys, EPC ranges).
+
+use memsentry_aes::RegionCipher;
+use memsentry_cpu::{Machine, Trap};
+use memsentry_hv::DuneSandbox;
+use memsentry_ir::Program;
+use memsentry_mmu::{PageFlags, Pkru, Prot, VirtAddr, PAGE_SIZE};
+use memsentry_passes::{
+    AddressBasedPass, AddressKind, DomainSequences, DomainSwitchPass, PassError, PassManager,
+    SafeRegionLayout,
+};
+
+use crate::application::Application;
+use crate::hiding::HiddenRegion;
+use crate::region::SafeRegionAllocator;
+use crate::technique::{Category, Technique};
+
+/// Errors from framework operations.
+#[derive(Debug)]
+pub enum FrameworkError {
+    /// An instrumentation pass broke the program.
+    Pass(PassError),
+    /// Machine preparation failed.
+    Trap(Trap),
+}
+
+impl core::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameworkError::Pass(e) => write!(f, "{e}"),
+            FrameworkError::Trap(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+impl From<PassError> for FrameworkError {
+    fn from(e: PassError) -> Self {
+        FrameworkError::Pass(e)
+    }
+}
+
+impl From<Trap> for FrameworkError {
+    fn from(t: Trap) -> Self {
+        FrameworkError::Trap(t)
+    }
+}
+
+/// The AES key used by the crypt technique (in a real deployment this is
+/// generated at load time and lives only in `ymm`; the simulation fixes it
+/// per framework instance).
+const DEFAULT_CRYPT_KEY: [u8; 16] = *b"memsentry-crypt!";
+
+/// The MemSentry framework instance: one technique, one safe region.
+#[derive(Debug, Clone)]
+pub struct MemSentry {
+    technique: Technique,
+    layout: SafeRegionLayout,
+    crypt_key: [u8; 16],
+}
+
+impl MemSentry {
+    /// Creates a framework for `technique` with a safe region of `len`
+    /// bytes at the canonical sensitive-partition location.
+    pub fn new(technique: Technique, len: u64) -> Self {
+        let layout = if technique == Technique::InfoHiding {
+            HiddenRegion::allocate(len, 0x6d65_6d73).layout
+        } else {
+            SafeRegionAllocator::new().alloc(len)
+        };
+        Self {
+            technique,
+            layout,
+            crypt_key: DEFAULT_CRYPT_KEY,
+        }
+    }
+
+    /// An information-hiding framework with an explicit placement seed.
+    pub fn hidden(len: u64, seed: u64) -> Self {
+        Self {
+            technique: Technique::InfoHiding,
+            layout: HiddenRegion::allocate(len, seed).layout,
+            crypt_key: DEFAULT_CRYPT_KEY,
+        }
+    }
+
+    /// Uses an explicit, pre-allocated region layout.
+    pub fn with_layout(technique: Technique, layout: SafeRegionLayout) -> Self {
+        Self {
+            technique,
+            layout,
+            crypt_key: DEFAULT_CRYPT_KEY,
+        }
+    }
+
+    /// The technique in use.
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// The safe region's layout.
+    pub fn layout(&self) -> SafeRegionLayout {
+        self.layout
+    }
+
+    /// The open/close sequences for the technique (domain-based only).
+    pub fn sequences(&self) -> Option<DomainSequences> {
+        match self.technique {
+            Technique::Mpk => Some(DomainSequences::mpk(&self.layout)),
+            Technique::Vmfunc => Some(DomainSequences::vmfunc(&self.layout)),
+            Technique::Crypt => Some(DomainSequences::crypt(&self.layout)),
+            Technique::Sgx => Some(DomainSequences::sgx()),
+            Technique::MprotectBaseline => Some(DomainSequences::mprotect(&self.layout)),
+            Technique::PageTableSwitch => Some(DomainSequences::page_table_switch(&self.layout)),
+            _ => None,
+        }
+    }
+
+    /// Instruments `program` for `application` (paper Figure 1: the
+    /// MemSentry pass runs after the defense's own pass).
+    pub fn instrument(
+        &self,
+        program: &mut Program,
+        application: Application,
+    ) -> Result<(), FrameworkError> {
+        let mut pm = PassManager::new();
+        match self.technique.category() {
+            Category::AddressBased => {
+                let kind = match self.technique {
+                    Technique::Sfi => AddressKind::Sfi,
+                    Technique::Mpx => AddressKind::Mpx,
+                    _ => unreachable!("address-based techniques"),
+                };
+                pm.add(Box::new(AddressBasedPass::new(
+                    kind,
+                    application.address_mode(),
+                )));
+            }
+            Category::DomainBased | Category::Baseline => {
+                let sequences = self.sequences().expect("domain sequences");
+                pm.add(Box::new(DomainSwitchPass::new(
+                    application.switch_points(),
+                    sequences,
+                )));
+            }
+            Category::Probabilistic => {
+                // Information hiding inserts nothing — that is the point.
+            }
+        }
+        pm.run(program)?;
+        Ok(())
+    }
+
+    /// Instruments `program` with domain switches at explicit `points`
+    /// (the benchmark harness drives Figures 4-6 with this; defenses use
+    /// [`MemSentry::instrument`] with an [`Application`] profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technique is address-based or probabilistic — only
+    /// domain-based techniques and the mprotect baseline switch domains.
+    pub fn instrument_points(
+        &self,
+        program: &mut Program,
+        points: memsentry_passes::SwitchPoints,
+    ) -> Result<(), FrameworkError> {
+        let sequences = self
+            .sequences()
+            .expect("instrument_points requires a domain-based technique");
+        let mut pm = PassManager::new();
+        pm.add(Box::new(DomainSwitchPass::new(points, sequences)));
+        pm.run(program)?;
+        Ok(())
+    }
+
+    /// Writes initial contents into the safe region *respecting the
+    /// technique's at-rest representation* — for crypt the region rests
+    /// encrypted, so the bytes are folded into the ciphertext. Call after
+    /// [`MemSentry::prepare_machine`]. Offsets are region-relative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + bytes.len()` exceeds the region.
+    pub fn write_region(&self, machine: &mut Machine, offset: u64, bytes: &[u8]) {
+        assert!(
+            offset + bytes.len() as u64 <= self.layout.len,
+            "write_region out of bounds"
+        );
+        if self.technique == Technique::PageTableSwitch {
+            // The region is only mapped in the secure view.
+            let prev = machine.space.active_view();
+            machine.space.switch_view(self.layout.secure_ept as u16);
+            machine
+                .space
+                .poke(VirtAddr(self.layout.base + offset), bytes);
+            machine.space.switch_view(prev);
+        } else if self.technique == Technique::Crypt {
+            let cipher = RegionCipher::new(&self.crypt_key);
+            let mut region = vec![0u8; self.layout.len as usize];
+            machine.space.peek(VirtAddr(self.layout.base), &mut region);
+            cipher.decrypt_region(&mut region);
+            region[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+            cipher.encrypt_region(&mut region);
+            machine.space.poke(VirtAddr(self.layout.base), &region);
+        } else {
+            machine
+                .space
+                .poke(VirtAddr(self.layout.base + offset), bytes);
+        }
+    }
+
+    /// Prepares `machine`: maps the region and installs the technique's
+    /// runtime state. Must run after the program is loaded and before
+    /// `machine.run()`.
+    pub fn prepare_machine(&self, machine: &mut Machine) -> Result<(), FrameworkError> {
+        let pages = self.layout.len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        machine
+            .space
+            .map_region(VirtAddr(self.layout.base), pages, PageFlags::rw());
+        match self.technique {
+            Technique::Sfi | Technique::Mpx | Technique::InfoHiding => {}
+            Technique::Mpk => {
+                machine
+                    .space
+                    .pkey_mprotect(VirtAddr(self.layout.base), pages, self.layout.pkey);
+                machine.space.pkru = Pkru::deny_key(self.layout.pkey);
+            }
+            Technique::Vmfunc => {
+                DuneSandbox::enter(machine);
+                DuneSandbox::mark_secret_range(machine, self.layout.base, pages)?;
+            }
+            Technique::Crypt => {
+                machine.install_aes_key(&self.crypt_key);
+                // The region rests encrypted: encrypt its initial contents.
+                let cipher = RegionCipher::new(&self.crypt_key);
+                let mut bytes = vec![0u8; self.layout.len as usize];
+                machine.space.peek(VirtAddr(self.layout.base), &mut bytes);
+                cipher.encrypt_region(&mut bytes);
+                machine.space.poke(VirtAddr(self.layout.base), &bytes);
+            }
+            Technique::Sgx => {
+                machine.set_epc_range(self.layout.base, pages);
+            }
+            Technique::MprotectBaseline => {
+                machine
+                    .space
+                    .mprotect(VirtAddr(self.layout.base), pages, Prot::None);
+            }
+            Technique::PageTableSwitch => {
+                // Fork the secure view (inherits the region mapping), then
+                // remove the region from the default view.
+                let view = machine.space.add_view();
+                debug_assert_eq!(view as u32, self.layout.secure_ept);
+                machine
+                    .space
+                    .unmap_region(VirtAddr(self.layout.base), pages);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::RunOutcome;
+    use memsentry_ir::{FunctionBuilder, Inst, Reg};
+    use memsentry_mmu::Fault;
+
+    /// Program: privileged store of 7 into the region, privileged load
+    /// back, halt with the loaded value.
+    fn guarded_program(layout: &SafeRegionLayout) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: layout.base,
+        });
+        // r12/rbx survive the open/close sequences: mprotect clobbers
+        // rdi/rsi/rdx/rax, MPK clobbers r9, crypt clobbers r10.
+        b.push(Inst::MovImm {
+            dst: Reg::R12,
+            imm: 7,
+        });
+        b.push_privileged(Inst::Store {
+            src: Reg::R12,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        // Load into r8: the mprotect/MPK close sequences clobber rax/r9,
+        // so (like real register allocation) no live value stays there.
+        b.push_privileged(Inst::Load {
+            dst: Reg::R8,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::R8,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        p
+    }
+
+    /// Program: *unprivileged* read of the region.
+    fn snooping_program(layout: &SafeRegionLayout) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: layout.base,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        p
+    }
+
+    fn run_guarded(technique: Technique) -> RunOutcome {
+        let fw = MemSentry::new(technique, 64);
+        let mut p = guarded_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        m.run()
+    }
+
+    #[test]
+    fn privileged_access_works_under_every_deterministic_technique() {
+        for technique in Technique::ALL_DETERMINISTIC {
+            let out = run_guarded(technique);
+            assert_eq!(out.expect_exit(), 7, "technique {technique}");
+        }
+    }
+
+    #[test]
+    fn privileged_access_works_under_mprotect_baseline() {
+        assert_eq!(run_guarded(Technique::MprotectBaseline).expect_exit(), 7);
+    }
+
+    #[test]
+    fn mpk_blocks_unprivileged_snooping() {
+        let fw = MemSentry::new(Technique::Mpk, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::PkeyDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn vmfunc_blocks_unprivileged_snooping() {
+        let fw = MemSentry::new(Technique::Vmfunc, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::Ept(_))
+        ));
+    }
+
+    #[test]
+    fn sgx_blocks_unprivileged_snooping() {
+        let fw = MemSentry::new(Technique::Sgx, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::EpcAccessOutsideEnclave { .. }
+        ));
+    }
+
+    #[test]
+    fn mprotect_baseline_blocks_unprivileged_snooping() {
+        let fw = MemSentry::new(Technique::MprotectBaseline, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::Protection { .. })
+        ));
+    }
+
+    #[test]
+    fn page_table_switch_guards_and_denies() {
+        // The extension technique behaves like the others: privileged
+        // access works through the switch, snooping faults (the region is
+        // simply unmapped in the default view).
+        assert_eq!(run_guarded(Technique::PageTableSwitch).expect_exit(), 7);
+        let fw = MemSentry::new(Technique::PageTableSwitch, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn mpx_traps_unprivileged_pointer_into_region() {
+        let fw = MemSentry::new(Technique::Mpx, 64);
+        let mut p = snooping_program(&fw.layout());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(m.run().expect_trap(), Trap::BoundRange { .. }));
+    }
+
+    #[test]
+    fn crypt_leaks_only_ciphertext_to_snoopers() {
+        // crypt does not fault the snooper — it denies *plaintext*.
+        let fw = MemSentry::new(Technique::Crypt, 64);
+        let layout = fw.layout();
+
+        // First store a secret through the privileged path.
+        let mut p = guarded_program(&layout);
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert_eq!(m.run().expect_exit(), 7);
+
+        // Snoop the region memory directly: must not equal the secret.
+        let mut bytes = [0u8; 8];
+        m.space.peek(VirtAddr(layout.base), &mut bytes);
+        assert_ne!(u64::from_le_bytes(bytes), 7, "region rests encrypted");
+    }
+
+    #[test]
+    fn info_hiding_does_not_protect_once_address_is_known() {
+        // The motivating weakness: an attacker who learns the address
+        // reads the secret with a plain load.
+        let fw = MemSentry::hidden(64, 1234);
+        let layout = fw.layout();
+        let mut p = snooping_program(&layout);
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        m.space.poke(VirtAddr(layout.base), &0x5ec4e7u64.to_le_bytes());
+        assert_eq!(m.run().expect_exit(), 0x5ec4e7);
+    }
+
+    #[test]
+    fn instrumentation_is_noop_for_info_hiding() {
+        let fw = MemSentry::hidden(64, 1);
+        let mut p = snooping_program(&fw.layout());
+        let before = p.inst_count();
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        assert_eq!(p.inst_count(), before);
+    }
+}

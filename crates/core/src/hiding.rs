@@ -1,0 +1,94 @@
+//! The probabilistic baseline: information hiding.
+//!
+//! Instead of isolating the safe region, hide it at a random address in
+//! the huge 64-bit address space and remove all references to it (paper
+//! §2.1). The region is fully readable and writable by anyone who learns
+//! the address — which Section 2.3's attacker does. `memsentry-attacks`
+//! demonstrates the bypass; this module provides the baseline itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memsentry_mmu::PAGE_SIZE;
+#[cfg(test)]
+use memsentry_mmu::SENSITIVE_BASE;
+use memsentry_passes::SafeRegionLayout;
+
+/// Lowest address information hiding will pick (4 TB — clear of code,
+/// heap and the workload data regions).
+pub const HIDE_MIN: u64 = 0x400_0000_0000;
+
+/// Highest address (exclusive): below the stack region.
+pub const HIDE_MAX: u64 = 0x3e00_0000_0000;
+
+/// A safe region placed by information hiding.
+#[derive(Debug, Clone, Copy)]
+pub struct HiddenRegion {
+    /// The (secret) layout. `pkey`/`secure_ept` are unused: nothing
+    /// deterministic protects this region.
+    pub layout: SafeRegionLayout,
+    seed: u64,
+}
+
+impl HiddenRegion {
+    /// Hides a region of `len` bytes at a seeded-random page.
+    pub fn allocate(len: u64, seed: u64) -> Self {
+        let len = len.max(16).div_ceil(16) * 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pages = (HIDE_MAX - HIDE_MIN) / PAGE_SIZE;
+        let page = rng.gen_range(0..pages);
+        Self {
+            layout: SafeRegionLayout {
+                base: HIDE_MIN + page * PAGE_SIZE,
+                len,
+                pkey: 0,
+                secure_ept: 0,
+            },
+            seed,
+        }
+    }
+
+    /// The seed used (tests re-derive placements from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bits of entropy in the placement — what the defense's security
+    /// rests on (paper: "the protection of the safe region hinges on the
+    /// entropy of ASLR").
+    pub fn entropy_bits() -> u32 {
+        (((HIDE_MAX - HIDE_MIN) / PAGE_SIZE) as f64).log2() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_seed_deterministic() {
+        let a = HiddenRegion::allocate(64, 7);
+        let b = HiddenRegion::allocate(64, 7);
+        assert_eq!(a.layout.base, b.layout.base);
+        let c = HiddenRegion::allocate(64, 8);
+        assert_ne!(a.layout.base, c.layout.base);
+    }
+
+    #[test]
+    fn placement_is_page_aligned_and_outside_sensitive_partition() {
+        for seed in 0..32 {
+            let r = HiddenRegion::allocate(4096, seed);
+            assert_eq!(r.layout.base % PAGE_SIZE, 0);
+            assert!(r.layout.base < SENSITIVE_BASE);
+            assert!(r.layout.base >= HIDE_MIN);
+            assert!(r.layout.base + r.layout.len <= HIDE_MAX);
+        }
+    }
+
+    #[test]
+    fn entropy_is_substantial_but_finite() {
+        let bits = HiddenRegion::entropy_bits();
+        assert!(bits >= 20, "hiding must have real entropy ({bits} bits)");
+        assert!(bits <= 47, "but bounded by the address space");
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! MemSentry: deterministic memory isolation for safe regions.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (EuroSys'17): a *general* framework that lets any defense system swap
+//! probabilistic information hiding for deterministic isolation backed by
+//! commodity hardware features. Given three inputs —
+//!
+//! 1. the **safe region** (allocated with [`SafeRegionAllocator`], the
+//!    `saferegion_alloc(sz)` of the paper),
+//! 2. the **instrumentation points** (an [`Application`] profile or
+//!    explicit `privileged` annotations — `saferegion_access(ins)`),
+//! 3. the **isolation technique** (a [`Technique`]),
+//!
+//! — [`MemSentry`] instruments the program and prepares the machine so the
+//! safe region is deterministically unreachable outside the instrumentation
+//! points.
+//!
+//! # Example
+//!
+//! ```
+//! use memsentry::{Application, MemSentry, Technique};
+//! use memsentry_cpu::Machine;
+//! use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+//!
+//! // A program whose privileged store puts a secret in the safe region.
+//! let framework = MemSentry::new(Technique::Mpk, 4096);
+//! let region = framework.layout();
+//! let mut p = Program::new();
+//! let mut b = FunctionBuilder::new("main");
+//! b.push(Inst::MovImm { dst: Reg::Rbx, imm: region.base });
+//! b.push(Inst::MovImm { dst: Reg::Rsi, imm: 7 });
+//! b.push_privileged(Inst::Store { src: Reg::Rsi, addr: Reg::Rbx, offset: 0 });
+//! b.push_privileged(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+//! b.push(Inst::Halt);
+//! p.add_function(b.finish());
+//!
+//! framework.instrument(&mut p, Application::ProgramData).unwrap();
+//! let mut m = Machine::new(p);
+//! framework.prepare_machine(&mut m).unwrap();
+//! assert_eq!(m.run().expect_exit(), 7);
+//! ```
+
+pub mod application;
+pub mod framework;
+pub mod hiding;
+pub mod multi;
+pub mod region;
+pub mod technique;
+
+pub use application::Application;
+pub use framework::{FrameworkError, MemSentry};
+pub use hiding::HiddenRegion;
+pub use multi::{MultiRegion, MultiRegionError};
+pub use region::SafeRegionAllocator;
+pub use technique::{Category, DomainCount, Granularity, Technique, TechniqueLimits};
+
+pub use memsentry_passes::SafeRegionLayout;

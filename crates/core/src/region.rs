@@ -1,0 +1,92 @@
+//! Safe-region allocation (`saferegion_alloc(sz)`).
+//!
+//! Regions are carved out of the sensitive partition (>= 64 TB) with page
+//! granularity so that every technique can protect them: address-based
+//! techniques need the partition split, MPK/VMFUNC/mprotect need whole
+//! pages, crypt needs 16-byte alignment.
+
+use memsentry_mmu::{PAGE_SIZE, SENSITIVE_BASE};
+use memsentry_passes::SafeRegionLayout;
+
+/// Allocates safe regions in the sensitive partition.
+#[derive(Debug)]
+pub struct SafeRegionAllocator {
+    next: u64,
+    next_pkey: u8,
+}
+
+impl Default for SafeRegionAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SafeRegionAllocator {
+    /// Creates an allocator starting at the partition base.
+    pub fn new() -> Self {
+        Self {
+            next: SENSITIVE_BASE,
+            next_pkey: 1,
+        }
+    }
+
+    /// Allocates a region of at least `len` bytes (rounded up to 16).
+    ///
+    /// Each region receives its own pages and, while keys last, its own
+    /// protection key (MPK supports 16; key 0 is the default domain).
+    pub fn alloc(&mut self, len: u64) -> SafeRegionLayout {
+        let len = len.max(16).div_ceil(16) * 16;
+        let base = self.next;
+        let span = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.next += span;
+        let pkey = self.next_pkey;
+        if self.next_pkey < 15 {
+            self.next_pkey += 1;
+        }
+        SafeRegionLayout {
+            base,
+            len,
+            pkey,
+            secure_ept: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_page_aligned() {
+        let mut a = SafeRegionAllocator::new();
+        let r1 = a.alloc(100);
+        let r2 = a.alloc(5000);
+        let r3 = a.alloc(16);
+        for r in [r1, r2, r3] {
+            assert_eq!(r.base % PAGE_SIZE, 0);
+            assert!(r.base >= SENSITIVE_BASE);
+            assert_eq!(r.len % 16, 0);
+        }
+        assert!(r1.base + r1.len <= r2.base);
+        assert!(r2.base + r2.len <= r3.base);
+    }
+
+    #[test]
+    fn lengths_round_up_to_chunks() {
+        let mut a = SafeRegionAllocator::new();
+        assert_eq!(a.alloc(1).len, 16);
+        assert_eq!(a.alloc(17).len, 32);
+        assert_eq!(a.alloc(16).len, 16);
+    }
+
+    #[test]
+    fn pkeys_are_distinct_until_exhausted() {
+        let mut a = SafeRegionAllocator::new();
+        let keys: Vec<u8> = (0..20).map(|_| a.alloc(16).pkey).collect();
+        // First 14 allocations get keys 1..=14, then key 15 repeats.
+        for (i, &k) in keys.iter().enumerate().take(14) {
+            assert_eq!(k as usize, i + 1);
+        }
+        assert!(keys[14..].iter().all(|&k| k == 15));
+    }
+}

@@ -1,0 +1,255 @@
+//! The isolation techniques and their characteristics (paper Table 3).
+
+/// A deterministic (or baseline) isolation technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Classic software fault isolation: pointer masking (address-based).
+    Sfi,
+    /// Intel MPX repurposed with a single upper-bound check
+    /// (address-based).
+    Mpx,
+    /// Intel memory protection keys (domain-based).
+    Mpk,
+    /// EPT switching via VM functions under a Dune-like sandbox
+    /// (domain-based).
+    Vmfunc,
+    /// In-place AES-NI encryption of the region (domain-based).
+    Crypt,
+    /// Intel SGX enclaves (domain-based; measured and dismissed by the
+    /// paper for lightweight isolation).
+    Sgx,
+    /// The POSIX `mprotect` page-permission baseline (20-50x overhead).
+    MprotectBaseline,
+    /// **Extension** (not in the paper's evaluation): kernel-assisted
+    /// page-table switching sped up by PCID — the "traditional paging
+    /// (optionally sped up using the PCID feature)" alternative §3.1
+    /// declines because it "would require intrusive changes to the
+    /// kernel". The safe region is mapped only in a secure address-space
+    /// view; a switch is one syscall plus a tagged `cr3` write.
+    PageTableSwitch,
+    /// Probabilistic information hiding (ASLR entropy) — the baseline the
+    /// paper argues must be replaced.
+    InfoHiding,
+}
+
+/// Address-based vs domain-based (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Loads/stores are masked or checked against a partition.
+    AddressBased,
+    /// The sensitive domain is toggled on and off around accesses.
+    DomainBased,
+    /// A non-hardware baseline.
+    Baseline,
+    /// No deterministic guarantee at all.
+    Probabilistic,
+}
+
+/// Maximum number of isolation domains a technique supports (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainCount {
+    /// A hard architectural limit.
+    Exact(u32),
+    /// Unbounded (possibly by spilling state to memory).
+    Infinite,
+}
+
+/// Minimum granularity of isolated data (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Any byte range.
+    Byte,
+    /// Whole pages.
+    Page,
+    /// Fixed-size chunks of this many bytes.
+    Chunk(u32),
+    /// Depends on the least significant bit of the mask (SFI).
+    MaskDependent,
+}
+
+/// A technique's limits and deployment requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TechniqueLimits {
+    /// Maximum domains (Table 3; MPX is 4 in registers, infinite with
+    /// memory-spilled bounds).
+    pub max_domains: DomainCount,
+    /// Minimum granularity of the isolated data (Table 3).
+    pub granularity: Granularity,
+    /// Hardware prerequisite.
+    pub hardware: &'static str,
+    /// First Intel architecture year shipping the feature (None = not yet
+    /// shipped at paper time, e.g. MPK).
+    pub available_since: Option<u16>,
+}
+
+impl Technique {
+    /// All deterministic techniques the paper evaluates.
+    pub const ALL_DETERMINISTIC: [Technique; 6] = [
+        Technique::Sfi,
+        Technique::Mpx,
+        Technique::Mpk,
+        Technique::Vmfunc,
+        Technique::Crypt,
+        Technique::Sgx,
+    ];
+
+    /// The technique's isolation category.
+    pub fn category(self) -> Category {
+        match self {
+            Technique::Sfi | Technique::Mpx => Category::AddressBased,
+            Technique::Mpk | Technique::Vmfunc | Technique::Crypt | Technique::Sgx => {
+                Category::DomainBased
+            }
+            Technique::MprotectBaseline => Category::Baseline,
+            Technique::PageTableSwitch => Category::DomainBased,
+            Technique::InfoHiding => Category::Probabilistic,
+        }
+    }
+
+    /// Whether the technique gives a deterministic guarantee.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Technique::InfoHiding)
+    }
+
+    /// Table 3: limits of each memory isolation technique.
+    pub fn limits(self) -> TechniqueLimits {
+        match self {
+            Technique::Sfi => TechniqueLimits {
+                max_domains: DomainCount::Exact(48),
+                granularity: Granularity::MaskDependent,
+                hardware: "none (software only)",
+                available_since: Some(1978),
+            },
+            Technique::Mpx => TechniqueLimits {
+                // 4 bound registers; infinite when bounds spill to memory.
+                max_domains: DomainCount::Exact(4),
+                granularity: Granularity::Byte,
+                hardware: "Intel MPX (Skylake)",
+                available_since: Some(2015),
+            },
+            Technique::Mpk => TechniqueLimits {
+                max_domains: DomainCount::Exact(16),
+                granularity: Granularity::Page,
+                hardware: "Intel MPK (announced, unreleased at paper time)",
+                available_since: None,
+            },
+            Technique::Vmfunc => TechniqueLimits {
+                max_domains: DomainCount::Exact(512),
+                granularity: Granularity::Page,
+                hardware: "Intel VT-x EPT + VMFUNC (Haswell)",
+                available_since: Some(2013),
+            },
+            Technique::Crypt => TechniqueLimits {
+                max_domains: DomainCount::Infinite,
+                granularity: Granularity::Chunk(128 / 8),
+                hardware: "Intel AES-NI (Westmere)",
+                available_since: Some(2010),
+            },
+            Technique::Sgx => TechniqueLimits {
+                max_domains: DomainCount::Infinite,
+                granularity: Granularity::Page,
+                hardware: "Intel SGX (Skylake, signed binaries)",
+                available_since: Some(2015),
+            },
+            Technique::MprotectBaseline => TechniqueLimits {
+                max_domains: DomainCount::Infinite,
+                granularity: Granularity::Page,
+                hardware: "none (POSIX)",
+                available_since: Some(1988),
+            },
+            Technique::PageTableSwitch => TechniqueLimits {
+                // 12-bit PCIDs minus the default address space.
+                max_domains: DomainCount::Exact(4095),
+                granularity: Granularity::Page,
+                hardware: "PCID (Westmere) + kernel support",
+                available_since: Some(2010),
+            },
+            Technique::InfoHiding => TechniqueLimits {
+                max_domains: DomainCount::Infinite,
+                granularity: Granularity::Byte,
+                hardware: "none (ASLR entropy)",
+                available_since: Some(2001),
+            },
+        }
+    }
+
+    /// Display name used by the harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Sfi => "SFI",
+            Technique::Mpx => "MPX",
+            Technique::Mpk => "MPK",
+            Technique::Vmfunc => "VMFUNC",
+            Technique::Crypt => "crypt",
+            Technique::Sgx => "SGX",
+            Technique::MprotectBaseline => "mprotect",
+            Technique::PageTableSwitch => "PTS",
+            Technique::InfoHiding => "info-hiding",
+        }
+    }
+}
+
+impl core::fmt::Display for Technique {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_domain_counts() {
+        assert_eq!(Technique::Sfi.limits().max_domains, DomainCount::Exact(48));
+        assert_eq!(Technique::Mpx.limits().max_domains, DomainCount::Exact(4));
+        assert_eq!(Technique::Mpk.limits().max_domains, DomainCount::Exact(16));
+        assert_eq!(
+            Technique::Vmfunc.limits().max_domains,
+            DomainCount::Exact(512)
+        );
+        assert_eq!(Technique::Crypt.limits().max_domains, DomainCount::Infinite);
+    }
+
+    #[test]
+    fn table3_granularities() {
+        assert_eq!(Technique::Mpx.limits().granularity, Granularity::Byte);
+        assert_eq!(Technique::Mpk.limits().granularity, Granularity::Page);
+        assert_eq!(Technique::Vmfunc.limits().granularity, Granularity::Page);
+        assert_eq!(
+            Technique::Crypt.limits().granularity,
+            Granularity::Chunk(16)
+        );
+        assert_eq!(
+            Technique::Sfi.limits().granularity,
+            Granularity::MaskDependent
+        );
+    }
+
+    #[test]
+    fn categories_match_paper_sections() {
+        use Category::*;
+        assert_eq!(Technique::Sfi.category(), AddressBased);
+        assert_eq!(Technique::Mpx.category(), AddressBased);
+        assert_eq!(Technique::Mpk.category(), DomainBased);
+        assert_eq!(Technique::Vmfunc.category(), DomainBased);
+        assert_eq!(Technique::Crypt.category(), DomainBased);
+        assert_eq!(Technique::Sgx.category(), DomainBased);
+        assert_eq!(Technique::InfoHiding.category(), Probabilistic);
+    }
+
+    #[test]
+    fn only_info_hiding_is_probabilistic() {
+        for t in Technique::ALL_DETERMINISTIC {
+            assert!(t.is_deterministic());
+        }
+        assert!(!Technique::InfoHiding.is_deterministic());
+    }
+
+    #[test]
+    fn mpk_was_unreleased_at_paper_time() {
+        assert_eq!(Technique::Mpk.limits().available_since, None);
+        assert_eq!(Technique::Vmfunc.limits().available_since, Some(2013));
+        assert_eq!(Technique::Crypt.limits().available_since, Some(2010));
+    }
+}

@@ -1,0 +1,309 @@
+//! The cycle cost model.
+//!
+//! Two groups of constants live here:
+//!
+//! * **Latencies** reported by the paper's Table 4 microbenchmarks (cache
+//!   levels, `vmfunc`, `vmcall`, `syscall`, SGX transitions, AES costs).
+//!   These are echoed by the `table4` harness and used directly for the
+//!   expensive serializing operations.
+//! * **Throughput charges** for ordinary pipelined instructions. A modern
+//!   out-of-order core retires several instructions per cycle, so the
+//!   per-instruction charge is well below 1; the values are calibrated so
+//!   the instrumented-vs-baseline ratios of Figures 3–6 reproduce (see
+//!   EXPERIMENTS.md for the calibration notes).
+//!
+//! The paper's Table 4 text renders the MPK switch cost implausibly as
+//! "0.42" cycles; we model the simulated sequence the paper describes
+//! (`xmm` move out/in + bit ops + `mfence`, §5.2): `rdpkru` ~3 cycles,
+//! `wrpkru` ~18, `mfence` ~30, giving ~51 cycles per domain switch —
+//! consistent with Figures 4–6 and with later published `wrpkru`
+//! measurements (e.g. ERIM reports 11–260 cycles for equivalents).
+
+use memsentry_ir::{AluOp, Inst};
+
+/// Cycle costs for every operation of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    // --- Table 4 latencies -------------------------------------------------
+    /// L1 data-cache hit latency.
+    pub l1: f64,
+    /// L2 hit latency.
+    pub l2: f64,
+    /// L3 hit latency.
+    pub l3: f64,
+    /// DRAM access latency.
+    pub dram: f64,
+    /// `syscall` round trip.
+    pub syscall: f64,
+    /// `vmcall` (hypercall) round trip.
+    pub vmcall: f64,
+    /// `vmfunc` EPT switch.
+    pub vmfunc: f64,
+    /// SGX ECALL enter + exit.
+    pub sgx_transition: f64,
+    /// AES encryption + decryption of one chunk (11 rounds each way).
+    pub aes_encdec_pair: f64,
+    /// AES-128 key schedule via `aeskeygenassist` (10 rounds).
+    pub aes_keygen: f64,
+    /// Deriving decryption keys via `aesimc` (9 applications).
+    pub aes_imc: f64,
+    /// Loading 11 round keys from `ymm` uppers into `xmm`.
+    pub ymm_to_xmm: f64,
+
+    // --- throughput charges ------------------------------------------------
+    /// Immediate move.
+    pub mov_imm: f64,
+    /// Register move.
+    pub mov: f64,
+    /// Address computation.
+    pub lea: f64,
+    /// ALU operation.
+    pub alu: f64,
+    /// Label/Nop (front-end only).
+    pub nop: f64,
+    /// Unconditional jump.
+    pub jmp: f64,
+    /// Conditional jump (compare + branch).
+    pub jmp_if: f64,
+    /// L1-hit load (pipelined effective cost).
+    pub load: f64,
+    /// Store (store-buffer effective cost).
+    pub store: f64,
+    /// Extra cycles when a load's address register was masked by the
+    /// immediately preceding `and` (the SFI data dependency, Table 4).
+    pub sfi_load_dependency: f64,
+    /// Direct call (push + jump).
+    pub call: f64,
+    /// Indirect call.
+    pub call_indirect: f64,
+    /// Return.
+    pub ret: f64,
+    /// `malloc` runtime cost.
+    pub alloc: f64,
+    /// `free` runtime cost.
+    pub free: f64,
+    /// `bndmk`.
+    pub bndmk: f64,
+    /// `bndcu` — the single-check cost the paper measures as `< 0.1`
+    /// at microbenchmark level; as an inserted instruction it still
+    /// occupies a pipeline slot.
+    pub bndcu: f64,
+    /// `bndcl` — the *second* check of a pair is serialized behind the
+    /// first (Table 4: pair costs 0.50).
+    pub bndcl: f64,
+    /// `rdpkru`.
+    pub rdpkru: f64,
+    /// `wrpkru` (includes its architectural serialization).
+    pub wrpkru: f64,
+    /// `mfence`.
+    pub mfence: f64,
+    /// Page-walk cost per level on a TLB miss.
+    pub walk_per_level: f64,
+    /// Kernel-side cost of an `mprotect`/`pkey_mprotect` beyond the bare
+    /// syscall: VMA locking, PTE rewrite, TLB invalidation (the reason
+    /// the paper's mprotect baseline lands at 20-50x).
+    pub mprotect_kernel: f64,
+    /// Fraction of a cache-miss latency exposed to the pipeline — an
+    /// out-of-order core overlaps most of an L2/L3 miss with independent
+    /// work (memory-level parallelism).
+    pub mem_parallelism: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            l1: 4.0,
+            l2: 12.0,
+            l3: 44.0,
+            dram: 251.0,
+            syscall: 108.0,
+            vmcall: 613.0,
+            vmfunc: 147.0,
+            sgx_transition: 7664.0,
+            aes_encdec_pair: 41.0,
+            aes_keygen: 121.0,
+            aes_imc: 71.0,
+            ymm_to_xmm: 10.0,
+
+            mov_imm: 0.12,
+            mov: 0.2,
+            lea: 0.08,
+            alu: 0.28,
+            nop: 0.02,
+            jmp: 0.3,
+            jmp_if: 0.7,
+            load: 0.85,
+            store: 0.62,
+            sfi_load_dependency: 0.05,
+            call: 1.8,
+            call_indirect: 2.4,
+            ret: 1.8,
+            alloc: 40.0,
+            free: 25.0,
+            bndmk: 0.3,
+            bndcu: 0.16,
+            bndcl: 0.45,
+            rdpkru: 3.0,
+            wrpkru: 18.0,
+            mfence: 30.0,
+            walk_per_level: 9.0,
+            mprotect_kernel: 1300.0,
+            mem_parallelism: 0.25,
+        }
+    }
+}
+
+impl CostModel {
+    /// Static cost of an instruction, before dynamic adders (TLB misses,
+    /// SFI dependencies, AES region sizes).
+    pub fn inst_cost(&self, inst: &Inst) -> f64 {
+        match inst {
+            Inst::MovImm { .. } => self.mov_imm,
+            Inst::Mov { .. } => self.mov,
+            Inst::Lea { .. } => self.lea,
+            Inst::AluReg { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul => self.alu * 3.0,
+                _ => self.alu,
+            },
+            Inst::Load { .. } => self.load,
+            Inst::Store { .. } => self.store,
+            Inst::Label(_) | Inst::Nop => self.nop,
+            Inst::Jmp(_) => self.jmp,
+            Inst::JmpIf { .. } => self.jmp_if,
+            Inst::Call(_) => self.call,
+            Inst::CallIndirect { .. } => self.call_indirect,
+            Inst::Ret => self.ret,
+            Inst::Syscall { .. } => self.syscall,
+            Inst::Alloc { .. } => self.alloc,
+            Inst::Free { .. } => self.free,
+            Inst::Halt => 0.0,
+            Inst::BndMk { .. } => self.bndmk,
+            Inst::BndCu { .. } => self.bndcu,
+            Inst::BndCl { .. } => self.bndcl,
+            Inst::RdPkru { .. } => self.rdpkru,
+            Inst::WrPkru { .. } => self.wrpkru,
+            Inst::MFence => self.mfence,
+            Inst::VmFunc { .. } => self.vmfunc,
+            Inst::VmCall { .. } => self.vmcall,
+            Inst::YmmToXmm { count } => self.ymm_to_xmm * (*count as f64 / 11.0),
+            Inst::AesRegion { chunks, .. } => (self.aes_encdec_pair / 2.0) * *chunks as f64,
+            Inst::AesKeygen => self.aes_keygen,
+            Inst::AesImc => self.aes_imc,
+            Inst::SgxEnter | Inst::SgxExit => self.sgx_transition / 2.0,
+        }
+    }
+
+    /// Cost of one MPK domain switch (the full `rdpkru`/modify/`wrpkru`/
+    /// `mfence` sequence), for reporting in Table 4.
+    pub fn mpk_switch(&self) -> f64 {
+        self.rdpkru + 2.0 * self.alu + self.wrpkru + self.mfence
+    }
+
+    /// Pipeline-exposed extra latency of a data access serviced by
+    /// `level` (L1 is the baseline already included in load/store costs).
+    pub fn miss_penalty(&self, level: memsentry_mmu::HitLevel) -> f64 {
+        use memsentry_mmu::HitLevel;
+        let latency = match level {
+            HitLevel::L1 => return 0.0,
+            HitLevel::L2 => self.l2,
+            HitLevel::L3 => self.l3,
+            HitLevel::Dram => self.dram,
+        };
+        (latency - self.l1) * self.mem_parallelism
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::Reg;
+
+    #[test]
+    fn table4_latencies_match_paper() {
+        let c = CostModel::default();
+        assert_eq!(c.l1, 4.0);
+        assert_eq!(c.l2, 12.0);
+        assert_eq!(c.l3, 44.0);
+        assert_eq!(c.dram, 251.0);
+        assert_eq!(c.syscall, 108.0);
+        assert_eq!(c.vmcall, 613.0);
+        assert_eq!(c.vmfunc, 147.0);
+        assert_eq!(c.sgx_transition, 7664.0);
+        assert_eq!(c.aes_encdec_pair, 41.0);
+        assert_eq!(c.aes_keygen, 121.0);
+        assert_eq!(c.aes_imc, 71.0);
+        assert_eq!(c.ymm_to_xmm, 10.0);
+    }
+
+    #[test]
+    fn single_bound_check_is_much_cheaper_than_pair() {
+        let c = CostModel::default();
+        let single = c.inst_cost(&Inst::BndCu {
+            bnd: 0,
+            reg: Reg::Rax,
+        });
+        let pair = single
+            + c.inst_cost(&Inst::BndCl {
+                bnd: 0,
+                reg: Reg::Rax,
+            });
+        assert!(single < 0.2, "paper: single check < 0.1-ish");
+        assert!((0.4..=0.7).contains(&pair), "paper: pair ~0.50");
+    }
+
+    #[test]
+    fn mpk_switch_is_tens_of_cycles() {
+        let c = CostModel::default();
+        let s = c.mpk_switch();
+        assert!((30.0..=80.0).contains(&s), "switch cost {s}");
+        // And far below a vmfunc.
+        assert!(s < c.vmfunc / 2.0);
+    }
+
+    #[test]
+    fn vmfunc_cheaper_than_vmcall_and_comparable_to_syscall() {
+        let c = CostModel::default();
+        assert!(c.vmfunc < c.vmcall / 4.0);
+        assert!((c.vmfunc / c.syscall) < 2.0);
+    }
+
+    #[test]
+    fn aes_region_cost_scales_linearly_in_chunks() {
+        let c = CostModel::default();
+        let one = c.inst_cost(&Inst::AesRegion {
+            base: Reg::Rax,
+            chunks: 1,
+            decrypt: false,
+        });
+        let sixty_four = c.inst_cost(&Inst::AesRegion {
+            base: Reg::Rax,
+            chunks: 64,
+            decrypt: false,
+        });
+        assert!((sixty_four - 64.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordinary_instructions_are_sub_cycle() {
+        let c = CostModel::default();
+        for inst in [
+            Inst::Nop,
+            Inst::Mov {
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Store {
+                src: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+        ] {
+            assert!(c.inst_cost(&inst) < 1.0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The simulated process heap.
+//!
+//! `malloc`/`free` are instrumentation points for heap-protection defenses
+//! (DieHard-style allocators, Figure 6 / Table 2), so the allocator policy
+//! is pluggable: the default is a bump-pointer allocator with a per-size
+//! free list; `memsentry-defenses` provides a randomized DieHard-like
+//! policy on the same interface.
+
+use std::collections::HashMap;
+
+use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr, PAGE_SIZE};
+
+/// Base of the simulated heap.
+pub const HEAP_BASE: u64 = 0x2000_0000_0000;
+
+/// What an allocator policy can do: map pages and hand out addresses.
+pub trait HeapPolicy: std::fmt::Debug {
+    /// Allocates `size` bytes, mapping backing pages as needed.
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64;
+    /// Frees the allocation at `ptr`. Unknown pointers are ignored (like
+    /// glibc, the simulation does not crash on a bad free; defenses may).
+    fn free(&mut self, space: &mut AddressSpace, ptr: u64);
+    /// Bytes currently live (for tests and leak checks).
+    fn live_bytes(&self) -> u64;
+}
+
+/// The default bump allocator with size-classed free lists.
+#[derive(Debug)]
+pub struct BumpAllocator {
+    next: u64,
+    mapped_until: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    sizes: HashMap<u64, u64>,
+    live: u64,
+}
+
+impl Default for BumpAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BumpAllocator {
+    /// Creates an empty heap starting at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        Self {
+            next: HEAP_BASE,
+            mapped_until: HEAP_BASE,
+            free_lists: HashMap::new(),
+            sizes: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    fn size_class(size: u64) -> u64 {
+        size.max(16).next_power_of_two()
+    }
+
+    fn ensure_mapped(&mut self, space: &mut AddressSpace, end: u64) {
+        while self.mapped_until < end {
+            space.map_region(VirtAddr(self.mapped_until), PAGE_SIZE, PageFlags::rw());
+            self.mapped_until += PAGE_SIZE;
+        }
+    }
+}
+
+impl HeapPolicy for BumpAllocator {
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64 {
+        let class = Self::size_class(size);
+        let ptr = if let Some(ptr) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            ptr
+        } else {
+            let ptr = self.next;
+            self.next += class;
+            self.ensure_mapped(space, self.next);
+            ptr
+        };
+        self.sizes.insert(ptr, class);
+        self.live += class;
+        ptr
+    }
+
+    fn free(&mut self, _space: &mut AddressSpace, ptr: u64) {
+        if let Some(class) = self.sizes.remove(&ptr) {
+            self.live -= class;
+            self.free_lists.entry(class).or_default().push(ptr);
+        }
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_mapped() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 64);
+        let b = heap.alloc(&mut space, 64);
+        assert!(b >= a + 64 || a >= b + 64);
+        space.write_u64(VirtAddr(a), 1).unwrap();
+        space.write_u64(VirtAddr(b), 2).unwrap();
+        assert_eq!(space.read_u64(VirtAddr(a)).unwrap(), 1);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 100);
+        heap.free(&mut space, a);
+        let b = heap.alloc(&mut space, 100);
+        assert_eq!(a, b, "size-class free list should recycle");
+    }
+
+    #[test]
+    fn live_bytes_tracks_rounded_sizes() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 100); // class 128
+        assert_eq!(heap.live_bytes(), 128);
+        heap.alloc(&mut space, 16); // class 16
+        assert_eq!(heap.live_bytes(), 144);
+        heap.free(&mut space, a);
+        assert_eq!(heap.live_bytes(), 16);
+    }
+
+    #[test]
+    fn double_free_is_ignored() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 32);
+        heap.free(&mut space, a);
+        heap.free(&mut space, a);
+        assert_eq!(heap.live_bytes(), 0);
+    }
+
+    #[test]
+    fn large_allocation_spans_pages() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 3 * PAGE_SIZE);
+        // Touch first and last byte.
+        space.write(VirtAddr(a), &[1]).unwrap();
+        space
+            .write(VirtAddr(a + 3 * PAGE_SIZE - 1), &[2])
+            .unwrap();
+    }
+}

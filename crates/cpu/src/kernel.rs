@@ -1,0 +1,235 @@
+//! System-call and hypercall interfaces.
+//!
+//! The machine dispatches `syscall` to a [`SyscallHandler`] and `vmcall` to
+//! a [`HypercallHandler`]. When the process runs inside the Dune-like VM,
+//! system calls are *converted into hypercalls* (paper §5.1: "all system
+//! calls are converted into hypercalls"), which is where VMFUNC's constant
+//! overhead on syscall-heavy workloads comes from.
+
+use memsentry_mmu::{AddressSpace, Prot, VirtAddr};
+
+use crate::trap::Trap;
+
+/// Result of a system call or hypercall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallOutcome {
+    /// Return `rax` to the program.
+    Ret(u64),
+    /// Terminate the program with this exit code.
+    Exit(u64),
+}
+
+/// Handles `syscall` instructions.
+pub trait SyscallHandler: std::fmt::Debug {
+    /// Dispatches system call `nr` with arguments from `rdi`, `rsi`, `rdx`.
+    fn syscall(
+        &mut self,
+        space: &mut AddressSpace,
+        nr: u64,
+        args: [u64; 3],
+    ) -> Result<SyscallOutcome, Trap>;
+
+    /// Extra cycles the kernel spends servicing `nr` beyond the bare
+    /// syscall transition (e.g. mprotect's PTE rewrite + TLB shootdown).
+    fn cost_hint(&self, _nr: u64) -> f64 {
+        0.0
+    }
+}
+
+/// Handles `vmcall` instructions (only meaningful inside the VM).
+pub trait HypercallHandler: std::fmt::Debug {
+    /// Dispatches hypercall `nr` with arguments from `rdi`, `rsi`, `rdx`.
+    fn hypercall(
+        &mut self,
+        space: &mut AddressSpace,
+        nr: u64,
+        args: [u64; 3],
+    ) -> Result<SyscallOutcome, Trap>;
+
+    /// Extra cycles beyond the bare `vmcall` transition.
+    fn cost_hint(&self, _nr: u64) -> f64 {
+        0.0
+    }
+}
+
+/// System-call numbers understood by [`DefaultKernel`].
+pub mod nr {
+    /// `exit(code)`.
+    pub const EXIT: u64 = 0;
+    /// `write(fd, buf, len)` — discards the bytes, returns `len`.
+    pub const WRITE: u64 = 1;
+    /// `getpid()`.
+    pub const GETPID: u64 = 2;
+    /// `abort(defense_id)` — a defense runtime detected tampering.
+    pub const ABORT: u64 = 3;
+    /// `mprotect(addr, len, prot)` with prot 0=None 1=R 2=RW 3=RX.
+    pub const MPROTECT: u64 = 10;
+    /// `pkey_mprotect(addr, len, key)`.
+    pub const PKEY_MPROTECT: u64 = 11;
+    /// `switch_view(view)` — kernel-assisted page-table switch with PCID
+    /// (the paper's footnoted "traditional paging" alternative; see the
+    /// PageTableSwitch extension technique).
+    pub const SWITCH_VIEW: u64 = 12;
+    /// `switch_view` without PCID: the `cr3` write flushes the whole TLB
+    /// (pre-Westmere behaviour; kept for the PCID-value ablation).
+    pub const SWITCH_VIEW_FLUSH: u64 = 13;
+}
+
+/// The default kernel: implements the handful of calls the paper's
+/// techniques and baselines require.
+#[derive(Debug, Default)]
+pub struct DefaultKernel {
+    mprotects: u64,
+}
+
+impl DefaultKernel {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `mprotect` syscalls serviced (for the baseline harness).
+    pub fn mprotect_count(&self) -> u64 {
+        self.mprotects
+    }
+}
+
+impl SyscallHandler for DefaultKernel {
+    fn cost_hint(&self, nr: u64) -> f64 {
+        match nr {
+            nr::MPROTECT | nr::PKEY_MPROTECT => 1300.0,
+            // cr3 write with PCID: no TLB flush, just the CAM update.
+            nr::SWITCH_VIEW => 40.0,
+            // Without PCID the cr3 write itself is costlier and the real
+            // price (TLB refill) is paid downstream in walk misses.
+            nr::SWITCH_VIEW_FLUSH => 60.0,
+            _ => 0.0,
+        }
+    }
+
+    fn syscall(
+        &mut self,
+        space: &mut AddressSpace,
+        nr: u64,
+        args: [u64; 3],
+    ) -> Result<SyscallOutcome, Trap> {
+        match nr {
+            nr::EXIT => Ok(SyscallOutcome::Exit(args[0])),
+            nr::WRITE => Ok(SyscallOutcome::Ret(args[2])),
+            nr::GETPID => Ok(SyscallOutcome::Ret(4242)),
+            nr::ABORT => Err(Trap::DefenseAbort {
+                defense: match args[0] {
+                    1 => "shadow-stack",
+                    2 => "cfi",
+                    3 => "cpi",
+                    4 => "aslr-guard",
+                    5 => "diehard",
+                    6 => "safestack",
+                    _ => "defense",
+                },
+            }),
+            nr::MPROTECT => {
+                self.mprotects += 1;
+                let prot = match args[2] {
+                    0 => Prot::None,
+                    1 => Prot::Read,
+                    2 => Prot::ReadWrite,
+                    3 => Prot::ReadExec,
+                    _ => return Err(Trap::BadSyscall { nr }),
+                };
+                let ok = space.mprotect(VirtAddr(args[0]), args[1], prot);
+                Ok(SyscallOutcome::Ret(if ok { 0 } else { u64::MAX }))
+            }
+            nr::SWITCH_VIEW => {
+                let ok = space.switch_view(args[0] as u16);
+                Ok(SyscallOutcome::Ret(if ok { 0 } else { u64::MAX }))
+            }
+            nr::SWITCH_VIEW_FLUSH => {
+                let ok = space.switch_view(args[0] as u16);
+                space.flush_tlb();
+                Ok(SyscallOutcome::Ret(if ok { 0 } else { u64::MAX }))
+            }
+            nr::PKEY_MPROTECT => {
+                if args[2] >= 16 {
+                    return Err(Trap::BadSyscall { nr });
+                }
+                let ok = space.pkey_mprotect(VirtAddr(args[0]), args[1], args[2] as u8);
+                Ok(SyscallOutcome::Ret(if ok { 0 } else { u64::MAX }))
+            }
+            _ => Err(Trap::BadSyscall { nr }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_mmu::{Fault, PageFlags, PAGE_SIZE};
+
+    #[test]
+    fn exit_reports_code() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        assert_eq!(
+            k.syscall(&mut s, nr::EXIT, [7, 0, 0]).unwrap(),
+            SyscallOutcome::Exit(7)
+        );
+    }
+
+    #[test]
+    fn write_returns_length() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        assert_eq!(
+            k.syscall(&mut s, nr::WRITE, [1, 0x1000, 42]).unwrap(),
+            SyscallOutcome::Ret(42)
+        );
+    }
+
+    #[test]
+    fn mprotect_changes_permissions() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x4000), PAGE_SIZE, PageFlags::rw());
+        k.syscall(&mut s, nr::MPROTECT, [0x4000, PAGE_SIZE, 1])
+            .unwrap();
+        assert!(matches!(
+            s.write_u64(VirtAddr(0x4000), 1),
+            Err(Fault::Protection { .. })
+        ));
+        assert_eq!(k.mprotect_count(), 1);
+    }
+
+    #[test]
+    fn pkey_mprotect_assigns_key() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x4000), PAGE_SIZE, PageFlags::rw());
+        k.syscall(&mut s, nr::PKEY_MPROTECT, [0x4000, PAGE_SIZE, 5])
+            .unwrap();
+        s.pkru = memsentry_mmu::Pkru::deny_key(5);
+        assert!(matches!(
+            s.read_u64(VirtAddr(0x4000)),
+            Err(Fault::PkeyDenied { key: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_syscall_traps() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        assert_eq!(
+            k.syscall(&mut s, 999, [0; 3]),
+            Err(Trap::BadSyscall { nr: 999 })
+        );
+    }
+
+    #[test]
+    fn bad_pkey_traps() {
+        let mut k = DefaultKernel::new();
+        let mut s = AddressSpace::new();
+        assert!(k
+            .syscall(&mut s, nr::PKEY_MPROTECT, [0x4000, PAGE_SIZE, 16])
+            .is_err());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! The simulated machine: interpreter, traps, and cycle cost model.
+//!
+//! This crate executes [`memsentry_ir`] programs against a
+//! [`memsentry_mmu::AddressSpace`], charging every instruction cycles from a
+//! configurable [`cost::CostModel`] calibrated to the paper's Table 4
+//! microbenchmarks. The machine implements the hardware features MemSentry
+//! repurposes:
+//!
+//! * **MPX** — four bound registers, `bndmk`/`bndcu`/`bndcl`, raising `#BR`
+//!   ([`trap::Trap::BoundRange`]) deterministically, plus the
+//!   `bndpreserve`-style behaviour the paper relies on (§5.4).
+//! * **MPK** — `rdpkru`/`wrpkru` manipulating the address space's `pkru`.
+//! * **VMFUNC/VMCALL** — EPT switching when the process runs inside the
+//!   Dune-like VM, hypercalls dispatched to a pluggable handler.
+//! * **AES-NI** — region encryption via `memsentry-aes`, with the round
+//!   keys modelled as parked in the `ymm` upper halves.
+//!
+//! System calls go to a pluggable [`kernel::SyscallHandler`]; the default
+//! kernel implements `exit`, `write`, `mprotect` and `pkey_mprotect` — the
+//! calls the paper's techniques and baselines need.
+
+pub mod cost;
+pub mod heap;
+pub mod kernel;
+pub mod machine;
+pub mod stats;
+pub mod threads;
+pub mod trap;
+
+pub use cost::CostModel;
+pub use heap::{BumpAllocator, HeapPolicy};
+pub use kernel::{DefaultKernel, HypercallHandler, SyscallHandler};
+pub use machine::{AccessTracer, Machine, MachineConfig, RunOutcome};
+pub use stats::ExecStats;
+pub use threads::ThreadCtx;
+pub use trap::Trap;

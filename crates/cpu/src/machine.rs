@@ -1,0 +1,1226 @@
+//! The interpreter.
+//!
+//! [`Machine`] executes an IR [`Program`] against a simulated
+//! [`AddressSpace`], charging cycles from the [`CostModel`] and raising
+//! typed [`Trap`]s. All the hardware features MemSentry repurposes are
+//! implemented here with their architectural semantics: MPX bound
+//! registers, the `pkru` register, `vmfunc` EPT switching, and AES-NI
+//! region encryption.
+
+use std::collections::HashMap;
+
+use memsentry_aes::{Block, RegionCipher};
+use memsentry_ir::{AluOp, CodeAddr, Inst, Label, Program, Reg};
+use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr};
+
+use crate::cost::CostModel;
+use crate::heap::{BumpAllocator, HeapPolicy};
+use crate::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutcome};
+use crate::stats::ExecStats;
+use crate::trap::Trap;
+
+/// Top of the simulated stack (just below the 64 TB sensitive boundary).
+pub const STACK_TOP: u64 = 0x3f00_0000_0000;
+
+/// Default stack size.
+pub const STACK_SIZE: u64 = 1 << 20;
+
+/// Machine construction parameters.
+#[derive(Debug)]
+pub struct MachineConfig {
+    /// Stack size in bytes (page-rounded).
+    pub stack_size: u64,
+    /// Maximum instructions before [`Trap::OutOfFuel`].
+    pub fuel: u64,
+    /// The cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            stack_size: STACK_SIZE,
+            fuel: 200_000_000,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The program halted (via `hlt` or `exit`) with this code.
+    Exited(u64),
+    /// The program trapped.
+    Trapped(Trap),
+}
+
+impl RunOutcome {
+    /// The exit code, panicking on a trap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run trapped; tests use this when a trap is a failure.
+    pub fn expect_exit(&self) -> u64 {
+        match self {
+            RunOutcome::Exited(code) => *code,
+            RunOutcome::Trapped(t) => panic!("program trapped: {t}"),
+        }
+    }
+
+    /// The trap, panicking on a clean exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exited cleanly.
+    pub fn expect_trap(&self) -> &Trap {
+        match self {
+            RunOutcome::Trapped(t) => t,
+            RunOutcome::Exited(code) => panic!("program exited cleanly with {code}"),
+        }
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// The address space (public: harnesses map regions directly).
+    pub space: AddressSpace,
+    pub(crate) regs: [u64; 16],
+    bnd: [(u64, u64); 4],
+    pub(crate) pc: CodeAddr,
+    program: Program,
+    label_tables: Vec<HashMap<Label, u32>>,
+    cost: CostModel,
+    stats: ExecStats,
+    syscall: Option<Box<dyn SyscallHandler>>,
+    hypercall: Option<Box<dyn HypercallHandler>>,
+    in_vm: bool,
+    heap: Option<Box<dyn HeapPolicy>>,
+    cipher: Option<RegionCipher>,
+    keys_in_xmm: bool,
+    last_masked: Option<Reg>,
+    pub(crate) halted: Option<u64>,
+    fuel: u64,
+    epc: Option<(u64, u64)>,
+    in_enclave: bool,
+    tracer: Option<Box<dyn AccessTracer>>,
+    syscall_passthrough: bool,
+    pub(crate) threads: Vec<crate::threads::ThreadCtx>,
+    pub(crate) active_thread: usize,
+}
+
+/// A PIN-like dynamic tracing hook: observes every data access with the
+/// code address that performed it (paper §5.5 uses a PIN pass to record
+/// per-instruction object accesses for dynamic points-to analysis).
+pub trait AccessTracer: std::fmt::Debug {
+    /// Called for every load/store with the instruction's code address.
+    fn record(&mut self, at: CodeAddr, is_store: bool, va: u64);
+}
+
+impl Machine {
+    /// Builds a machine for `program` with the default configuration.
+    pub fn new(program: Program) -> Self {
+        Self::with_config(program, MachineConfig::default())
+    }
+
+    /// Builds a machine with an explicit configuration.
+    pub fn with_config(program: Program, config: MachineConfig) -> Self {
+        let mut space = AddressSpace::new();
+        let stack_pages = config.stack_size.div_ceil(4096) * 4096;
+        space.map_region(
+            VirtAddr(STACK_TOP - stack_pages),
+            stack_pages,
+            PageFlags::rw(),
+        );
+        let label_tables = program.functions.iter().map(|f| f.label_table()).collect();
+        let mut regs = [0u64; 16];
+        regs[Reg::Rsp.index()] = STACK_TOP - 64;
+        Self {
+            space,
+            regs,
+            bnd: [(0, u64::MAX); 4],
+            pc: CodeAddr::entry(program.entry),
+            program,
+            label_tables,
+            cost: config.cost,
+            stats: ExecStats::default(),
+            syscall: Some(Box::new(DefaultKernel::new())),
+            hypercall: None,
+            in_vm: false,
+            heap: Some(Box::new(BumpAllocator::new())),
+            cipher: None,
+            keys_in_xmm: false,
+            last_masked: None,
+            halted: None,
+            fuel: config.fuel,
+            epc: None,
+            in_enclave: false,
+            tracer: None,
+            syscall_passthrough: false,
+            threads: Vec::new(),
+            active_thread: 0,
+        }
+    }
+
+    /// Whether the active thread has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted.is_some()
+    }
+
+    /// The active thread's exit code, if halted.
+    pub fn exit_code(&self) -> Option<u64> {
+        self.halted
+    }
+
+    /// Installs a dynamic access tracer (and returns any previous one).
+    pub fn set_tracer(&mut self, tracer: Box<dyn AccessTracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the tracer, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn AccessTracer>> {
+        self.tracer.take()
+    }
+
+    /// Declares `[base, base+len)` as EPC (enclave) memory: data accesses
+    /// to it fault unless the machine is inside the enclave.
+    pub fn set_epc_range(&mut self, base: u64, len: u64) {
+        self.epc = Some((base, base + len));
+    }
+
+    /// Whether execution is currently inside the enclave.
+    pub fn in_enclave(&self) -> bool {
+        self.in_enclave
+    }
+
+    fn check_epc(&self, va: u64) -> Result<(), Trap> {
+        if let Some((lo, hi)) = self.epc {
+            if va >= lo && va < hi && !self.in_enclave {
+                return Err(Trap::EpcAccessOutsideEnclave { addr: va });
+            }
+        }
+        Ok(())
+    }
+
+    // --- configuration -----------------------------------------------------
+
+    /// Replaces the system-call handler.
+    pub fn set_syscall_handler(&mut self, handler: Box<dyn SyscallHandler>) {
+        self.syscall = Some(handler);
+    }
+
+    /// Installs a hypercall handler (the Dune hypervisor).
+    pub fn set_hypercall_handler(&mut self, handler: Box<dyn HypercallHandler>) {
+        self.hypercall = Some(handler);
+    }
+
+    /// Marks the process as running inside the VM: system calls are
+    /// converted to hypercalls (charged at `vmcall` cost) and `vmfunc`
+    /// becomes available.
+    pub fn set_in_vm(&mut self, in_vm: bool) {
+        self.in_vm = in_vm;
+    }
+
+    /// Whether the machine runs inside the VM.
+    pub fn in_vm(&self) -> bool {
+        self.in_vm
+    }
+
+    /// Replaces the heap allocator policy.
+    pub fn set_heap(&mut self, heap: Box<dyn HeapPolicy>) {
+        self.heap = Some(heap);
+    }
+
+    /// Installs the AES key for the crypt technique. Round keys are
+    /// modelled as parked in the `ymm` upper halves (paper §5.3); they must
+    /// still be staged into `xmm` by `YmmToXmm` before `AesRegion` runs.
+    pub fn install_aes_key(&mut self, key: &Block) {
+        self.cipher = Some(RegionCipher::new(key));
+        self.keys_in_xmm = false;
+    }
+
+    /// Installs the AES key *pinned* in `xmm` (the CCFI-style ablation):
+    /// `AesRegion` works immediately, with no `YmmToXmm` staging, at the
+    /// modelled cost of reserving the registers system-wide.
+    pub fn pin_aes_keys(&mut self, key: &Block) {
+        self.cipher = Some(RegionCipher::new(key));
+        self.keys_in_xmm = true;
+    }
+
+    /// When set (and in the VM), system calls are serviced natively by the
+    /// host kernel instead of being converted to hypercalls — modelling a
+    /// whole-system KVM deployment of the VMFUNC technique rather than the
+    /// Dune per-process sandbox (paper §5.1: "not fundamental to our
+    /// design; one could also implement the EPT management in KVM").
+    pub fn set_syscall_passthrough(&mut self, passthrough: bool) {
+        self.syscall_passthrough = passthrough;
+    }
+
+    /// Reads a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads a bound register.
+    pub fn bound(&self, i: usize) -> (u64, u64) {
+        self.bnd[i]
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Simulated cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.stats.cycles
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    // --- execution ----------------------------------------------------------
+
+    /// Re-enters the program at `func` with `args` in `rdi`/`rsi`/`rdx`
+    /// and runs until halt or trap.
+    ///
+    /// Used by tests and the attack harness to drive individual gadgets
+    /// (e.g. an arbitrary-write primitive) against a live machine. The
+    /// target function must end in `Halt`, not `Ret` — there is no return
+    /// address on the stack for it.
+    pub fn call_function(&mut self, func: memsentry_ir::FuncId, args: [u64; 3]) -> RunOutcome {
+        self.halted = None;
+        self.regs[Reg::Rdi.index()] = args[0];
+        self.regs[Reg::Rsi.index()] = args[1];
+        self.regs[Reg::Rdx.index()] = args[2];
+        self.pc = CodeAddr::entry(func);
+        self.run()
+    }
+
+    /// Runs to completion (halt, trap, or fuel exhaustion).
+    pub fn run(&mut self) -> RunOutcome {
+        loop {
+            match self.step() {
+                Ok(()) => {
+                    if let Some(code) = self.halted {
+                        return RunOutcome::Exited(code);
+                    }
+                }
+                Err(t) => return RunOutcome::Trapped(t),
+            }
+        }
+    }
+
+    fn label_target(&self, func: memsentry_ir::FuncId, label: Label) -> u32 {
+        self.label_tables[func.0 as usize][&label]
+    }
+
+    fn push_u64(&mut self, value: u64) -> Result<(), Trap> {
+        let rsp = self.regs[Reg::Rsp.index()] - 8;
+        self.regs[Reg::Rsp.index()] = rsp;
+        self.space.write_u64(VirtAddr(rsp), value)?;
+        Ok(())
+    }
+
+    fn pop_u64(&mut self) -> Result<u64, Trap> {
+        let rsp = self.regs[Reg::Rsp.index()];
+        let v = self.space.read_u64(VirtAddr(rsp))?;
+        self.regs[Reg::Rsp.index()] = rsp + 8;
+        Ok(v)
+    }
+
+    fn dispatch_syscall(&mut self, nr: u64) -> Result<(), Trap> {
+        let args = [
+            self.regs[Reg::Rdi.index()],
+            self.regs[Reg::Rsi.index()],
+            self.regs[Reg::Rdx.index()],
+        ];
+        let outcome = if self.in_vm && !self.syscall_passthrough {
+            // Inside the VM the syscall becomes a hypercall: charge the
+            // difference between vmcall and the already-charged syscall.
+            self.stats.cycles += self.cost.vmcall - self.cost.syscall;
+            self.stats.vmcalls += 1;
+            let mut handler = self
+                .hypercall
+                .take()
+                .ok_or(Trap::VmError { reason: "no hypervisor" })?;
+            let r = handler.hypercall(&mut self.space, nr, args);
+            self.stats.cycles += handler.cost_hint(nr);
+            self.hypercall = Some(handler);
+            r?
+        } else {
+            let mut handler = self.syscall.take().expect("syscall handler");
+            let r = handler.syscall(&mut self.space, nr, args);
+            self.stats.cycles += handler.cost_hint(nr);
+            self.syscall = Some(handler);
+            r?
+        };
+        match outcome {
+            SyscallOutcome::Ret(v) => self.regs[Reg::Rax.index()] = v,
+            SyscallOutcome::Exit(code) => self.halted = Some(code),
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> Result<(), Trap> {
+        if self.stats.instructions >= self.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        let func = self.pc.func;
+        let body = &self.program.func(func).body;
+        let node = match body.get(self.pc.index as usize) {
+            Some(n) => *n,
+            None => {
+                return Err(Trap::BadCodePointer {
+                    value: self.pc.encode(),
+                })
+            }
+        };
+        let inst = node.inst;
+        self.pc.index += 1;
+        self.stats.instructions += 1;
+        self.stats.cycles += self.cost.inst_cost(&inst);
+
+        let mut next_masked = None;
+        match inst {
+            Inst::MovImm { dst, imm } => self.regs[dst.index()] = imm,
+            Inst::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            Inst::Lea { dst, base, offset } => {
+                self.regs[dst.index()] = self.regs[base.index()].wrapping_add(offset as u64);
+            }
+            Inst::AluReg { op, dst, src } => {
+                let b = self.regs[src.index()];
+                self.alu(op, dst, b);
+                if op == AluOp::And {
+                    next_masked = Some(dst);
+                }
+            }
+            Inst::AluImm { op, dst, imm } => {
+                self.alu(op, dst, imm);
+                if op == AluOp::And {
+                    next_masked = Some(dst);
+                }
+            }
+            Inst::Load { dst, addr, offset } => {
+                if self.last_masked == Some(addr) {
+                    self.stats.cycles += self.cost.sfi_load_dependency;
+                }
+                let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        CodeAddr {
+                            func,
+                            index: self.pc.index - 1,
+                        },
+                        false,
+                        va.0,
+                    );
+                }
+                self.check_epc(va.0)?;
+                let mut buf = [0u8; 8];
+                let info = self.space.read(va, &mut buf)?;
+                if !info.tlb_hit {
+                    self.stats.cycles += info.walk_levels as f64 * self.cost.walk_per_level;
+                }
+                self.stats.cycles += self.cost.miss_penalty(info.hit_level);
+                self.regs[dst.index()] = u64::from_le_bytes(buf);
+                self.stats.loads += 1;
+            }
+            Inst::Store { src, addr, offset } => {
+                let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        CodeAddr {
+                            func,
+                            index: self.pc.index - 1,
+                        },
+                        true,
+                        va.0,
+                    );
+                }
+                self.check_epc(va.0)?;
+                let info = self.space.write_u64(va, self.regs[src.index()])?;
+                if !info.tlb_hit {
+                    self.stats.cycles += info.walk_levels as f64 * self.cost.walk_per_level;
+                }
+                // Stores retire through the store buffer; only a sliver of
+                // the miss latency is exposed.
+                self.stats.cycles += 0.3 * self.cost.miss_penalty(info.hit_level);
+                self.stats.stores += 1;
+            }
+            Inst::Label(_) | Inst::Nop | Inst::MFence => {}
+            Inst::Jmp(l) => self.pc.index = self.label_target(func, l),
+            Inst::JmpIf { cond, a, b, target } => {
+                if cond.eval(self.regs[a.index()], self.regs[b.index()]) {
+                    self.pc.index = self.label_target(func, target);
+                }
+            }
+            Inst::Call(callee) => {
+                let ret = self.pc.encode();
+                self.push_u64(ret)?;
+                self.pc = CodeAddr::entry(callee);
+                self.stats.calls += 1;
+            }
+            Inst::CallIndirect { target } => {
+                let value = self.regs[target.index()];
+                let dest = CodeAddr::decode(value).ok_or(Trap::BadCodePointer { value })?;
+                if dest.func.0 as usize >= self.program.functions.len() {
+                    return Err(Trap::BadCodePointer { value });
+                }
+                let ret = self.pc.encode();
+                self.push_u64(ret)?;
+                self.pc = dest;
+                self.stats.indirect_calls += 1;
+            }
+            Inst::Ret => {
+                let value = self.pop_u64()?;
+                let dest = CodeAddr::decode(value).ok_or(Trap::BadCodePointer { value })?;
+                if dest.func.0 as usize >= self.program.functions.len()
+                    || dest.index as usize > self.program.func(dest.func).body.len()
+                {
+                    return Err(Trap::BadCodePointer { value });
+                }
+                self.pc = dest;
+                self.stats.rets += 1;
+            }
+            Inst::Syscall { nr } => {
+                self.stats.syscalls += 1;
+                self.dispatch_syscall(nr)?;
+            }
+            Inst::Alloc { size } => {
+                let size = self.regs[size.index()];
+                let mut heap = self.heap.take().expect("heap");
+                let ptr = heap.alloc(&mut self.space, size);
+                self.heap = Some(heap);
+                self.regs[Reg::Rax.index()] = ptr;
+                self.stats.allocator_calls += 1;
+            }
+            Inst::Free { ptr } => {
+                let p = self.regs[ptr.index()];
+                let mut heap = self.heap.take().expect("heap");
+                heap.free(&mut self.space, p);
+                self.heap = Some(heap);
+                self.stats.allocator_calls += 1;
+            }
+            Inst::Halt => self.halted = Some(self.regs[Reg::Rax.index()]),
+            Inst::BndMk { bnd, lower, upper } => {
+                self.bnd[bnd as usize] = (lower, upper);
+            }
+            Inst::BndCu { bnd, reg } => {
+                self.stats.bound_checks += 1;
+                let v = self.regs[reg.index()];
+                let (_, upper) = self.bnd[bnd as usize];
+                if v > upper {
+                    return Err(Trap::BoundRange {
+                        reg,
+                        value: v,
+                        bound: upper,
+                    });
+                }
+            }
+            Inst::BndCl { bnd, reg } => {
+                self.stats.bound_checks += 1;
+                let v = self.regs[reg.index()];
+                let (lower, _) = self.bnd[bnd as usize];
+                if v < lower {
+                    return Err(Trap::BoundRange {
+                        reg,
+                        value: v,
+                        bound: lower,
+                    });
+                }
+            }
+            Inst::RdPkru { dst } => {
+                self.regs[dst.index()] = self.space.pkru.0 as u64;
+            }
+            Inst::WrPkru { src } => {
+                self.space.pkru = memsentry_mmu::Pkru(self.regs[src.index()] as u32);
+                self.stats.wrpkrus += 1;
+            }
+            Inst::VmFunc { eptp } => {
+                if !self.in_vm {
+                    return Err(Trap::VmError {
+                        reason: "vmfunc outside VM",
+                    });
+                }
+                let ept = self.space.ept_mut().ok_or(Trap::VmError {
+                    reason: "no EPT installed",
+                })?;
+                if !ept.vmfunc_switch(eptp as usize) {
+                    return Err(Trap::VmError {
+                        reason: "EPTP index out of range",
+                    });
+                }
+                self.stats.vmfuncs += 1;
+            }
+            Inst::VmCall { nr } => {
+                if !self.in_vm {
+                    return Err(Trap::VmError {
+                        reason: "vmcall outside VM",
+                    });
+                }
+                self.stats.vmcalls += 1;
+                let args = [
+                    self.regs[Reg::Rdi.index()],
+                    self.regs[Reg::Rsi.index()],
+                    self.regs[Reg::Rdx.index()],
+                ];
+                let mut handler = self.hypercall.take().ok_or(Trap::VmError {
+                    reason: "no hypervisor",
+                })?;
+                let r = handler.hypercall(&mut self.space, nr, args);
+                self.hypercall = Some(handler);
+                match r? {
+                    SyscallOutcome::Ret(v) => self.regs[Reg::Rax.index()] = v,
+                    SyscallOutcome::Exit(code) => self.halted = Some(code),
+                }
+            }
+            Inst::YmmToXmm { .. } => {
+                self.keys_in_xmm = true;
+            }
+            Inst::AesKeygen | Inst::AesImc => {
+                // Key material is derived in registers; semantically the
+                // cipher is already installed, these charge cycles.
+            }
+            Inst::AesRegion {
+                base,
+                chunks,
+                decrypt,
+            } => {
+                let cipher = self.cipher.as_ref().ok_or(Trap::MissingAesKeys)?;
+                if !self.keys_in_xmm {
+                    return Err(Trap::MissingAesKeys);
+                }
+                let cipher = cipher.clone();
+                let len = chunks as usize * 16;
+                let va = VirtAddr(self.regs[base.index()]);
+                let mut buf = vec![0u8; len];
+                self.space.read(va, &mut buf)?;
+                if decrypt {
+                    cipher.decrypt_region(&mut buf);
+                } else {
+                    cipher.encrypt_region(&mut buf);
+                }
+                self.space.write(va, &buf)?;
+                self.stats.aes_chunks += chunks as u64;
+            }
+            Inst::SgxEnter => {
+                self.in_enclave = true;
+                self.stats.sgx_transitions += 1;
+            }
+            Inst::SgxExit => {
+                self.in_enclave = false;
+            }
+        }
+        self.last_masked = next_masked;
+        Ok(())
+    }
+
+    fn alu(&mut self, op: AluOp, dst: Reg, b: u64) {
+        let a = self.regs[dst.index()];
+        self.regs[dst.index()] = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            AluOp::Mul => a.wrapping_mul(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{Cond, FuncId, FunctionBuilder};
+    use memsentry_mmu::SENSITIVE_BASE;
+
+    fn run_main(build: impl FnOnce(&mut FunctionBuilder)) -> (RunOutcome, Machine) {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        build(&mut b);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        let out = m.run();
+        (out, m)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 40,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 2,
+            });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_exit(), 42);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // Sum 1..=10 into rax.
+        let (out, m) = run_main(|b| {
+            let top = b.new_label();
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 0,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: 11,
+            });
+            b.bind(top);
+            b.push(Inst::AluReg {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+            b.push(Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::Rbx,
+                b: Reg::Rcx,
+                target: top,
+            });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_exit(), 55);
+        assert!(m.cycles() > 0.0);
+    }
+
+    #[test]
+    fn stack_calls_and_returns() {
+        let mut p = Program::new();
+        let mut callee = FunctionBuilder::new("callee");
+        callee.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 99,
+        });
+        callee.push(Inst::Ret);
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(callee.finish());
+        let mut m = Machine::new(p);
+        let out = m.run();
+        assert_eq!(out.expect_exit(), 99);
+        assert_eq!(m.stats().calls, 1);
+        assert_eq!(m.stats().rets, 1);
+    }
+
+    #[test]
+    fn indirect_call_via_code_pointer() {
+        let mut p = Program::new();
+        let mut target = FunctionBuilder::new("target");
+        target.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 7,
+        });
+        target.push(Inst::Ret);
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: CodeAddr::entry(FuncId(1)).encode(),
+        });
+        main.push(Inst::CallIndirect { target: Reg::Rbx });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(target.finish());
+        let mut m = Machine::new(p);
+        assert_eq!(m.run().expect_exit(), 7);
+        assert_eq!(m.stats().indirect_calls, 1);
+    }
+
+    #[test]
+    fn indirect_call_to_garbage_traps() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0xdead,
+            });
+            b.push(Inst::CallIndirect { target: Reg::Rbx });
+            b.push(Inst::Halt);
+        });
+        assert!(matches!(
+            out.expect_trap(),
+            Trap::BadCodePointer { value: 0xdead }
+        ));
+    }
+
+    #[test]
+    fn corrupted_return_address_hijacks_control_flow() {
+        // The attack the paper defends against: overwrite the on-stack
+        // return address and `ret` follows it.
+        let mut p = Program::new();
+        let mut victim = FunctionBuilder::new("victim");
+        // Overwrite our own return address with gadget's entry.
+        victim.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: CodeAddr::entry(FuncId(2)).encode(),
+        });
+        victim.push(Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rsp,
+            offset: 0,
+        });
+        victim.push(Inst::Ret);
+        let mut gadget = FunctionBuilder::new("gadget");
+        gadget.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x666,
+        });
+        gadget.push(Inst::Halt);
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0,
+        });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(victim.finish());
+        p.add_function(gadget.finish());
+        let mut m = Machine::new(p);
+        assert_eq!(m.run().expect_exit(), 0x666, "hijack must succeed undefended");
+    }
+
+    #[test]
+    fn memory_roundtrip_through_mapped_region() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1234,
+        });
+        b.push(Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 8,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 8,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        assert_eq!(m.run().expect_exit(), 1234);
+        assert_eq!(m.stats().loads, 1);
+        assert_eq!(m.stats().stores, 1);
+    }
+
+    #[test]
+    fn bndcu_traps_above_bound() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: SENSITIVE_BASE - 1,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: SENSITIVE_BASE + 8,
+            });
+            b.push(Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rcx,
+            });
+            b.push(Inst::Halt);
+        });
+        assert!(matches!(out.expect_trap(), Trap::BoundRange { .. }));
+    }
+
+    #[test]
+    fn bndcu_passes_below_bound() {
+        let (out, m) = run_main(|b| {
+            b.push(Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: SENSITIVE_BASE - 1,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: 0x1000,
+            });
+            b.push(Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rcx,
+            });
+            b.push(Inst::Halt);
+        });
+        out.expect_exit();
+        assert_eq!(m.stats().bound_checks, 1);
+    }
+
+    #[test]
+    fn wrpkru_updates_pkru() {
+        let (_, m) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 0b1100,
+            });
+            b.push(Inst::WrPkru { src: Reg::Rax });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(m.space.pkru.0, 0b1100);
+        assert_eq!(m.stats().wrpkrus, 1);
+    }
+
+    #[test]
+    fn vmfunc_outside_vm_traps() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::VmFunc { eptp: 1 });
+            b.push(Inst::Halt);
+        });
+        assert!(matches!(out.expect_trap(), Trap::VmError { .. }));
+    }
+
+    #[test]
+    fn syscall_exit_ends_program() {
+        let (out, m) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: 5,
+            });
+            b.push(Inst::Syscall { nr: 0 });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_exit(), 5);
+        assert_eq!(m.stats().syscalls, 1);
+    }
+
+    #[test]
+    fn alloc_and_free_through_heap() {
+        let (out, m) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: 64,
+            });
+            b.push(Inst::Alloc { size: Reg::Rdi });
+            // Store to the allocation to prove it is mapped.
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 77,
+            });
+            b.push(Inst::Store {
+                src: Reg::Rbx,
+                addr: Reg::Rax,
+                offset: 0,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rax,
+                offset: 0,
+            });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_exit(), 77);
+        assert_eq!(m.stats().allocator_calls, 1);
+    }
+
+    #[test]
+    fn aes_region_without_keys_traps() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x10_0000,
+            });
+            b.push(Inst::AesRegion {
+                base: Reg::Rbx,
+                chunks: 1,
+                decrypt: false,
+            });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_trap(), &Trap::MissingAesKeys);
+    }
+
+    #[test]
+    fn aes_region_roundtrips_memory() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
+        b.push(Inst::YmmToXmm { count: 11 });
+        b.push(Inst::AesRegion {
+            base: Reg::Rbx,
+            chunks: 2,
+            decrypt: false,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::R8,
+            src: Reg::Rax,
+        });
+        b.push(Inst::AesRegion {
+            base: Reg::Rbx,
+            chunks: 2,
+            decrypt: true,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        m.space.poke(VirtAddr(0x10_0000), &0xabcdu64.to_le_bytes());
+        m.install_aes_key(&[9u8; 16]);
+        let out = m.run();
+        // After the final decrypt the original value is back in rax.
+        assert_eq!(out.expect_exit(), 0xabcd);
+        // And while encrypted, the loaded value differed.
+        assert_ne!(m.reg(Reg::R8), 0xabcd);
+        assert_eq!(m.stats().aes_chunks, 4);
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let top = b.new_label();
+        b.bind(top);
+        b.push(Inst::Jmp(top));
+        p.add_function(b.finish());
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                fuel: 1000,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.run().expect_trap(), &Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn shift_amounts_mask_to_six_bits() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::MovImm { dst: Reg::Rax, imm: 1 });
+            b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::Rax, imm: 65 });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_exit(), 2, "shl 65 == shl 1 on x86");
+    }
+
+    #[test]
+    fn ret_to_out_of_range_function_traps() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: CodeAddr::entry(FuncId(99)).encode(),
+            });
+            b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rsp, offset: -8 });
+            b.push(Inst::AluImm { op: AluOp::Sub, dst: Reg::Rsp, imm: 8 });
+            b.push(Inst::Ret);
+            b.push(Inst::Halt);
+        });
+        assert!(matches!(out.expect_trap(), Trap::BadCodePointer { .. }));
+    }
+
+    #[test]
+    fn epc_range_enforced_only_outside_enclave() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+        b.push(Inst::SgxEnter);
+        b.push(Inst::MovImm { dst: Reg::Rcx, imm: 5 });
+        b.push(Inst::Store { src: Reg::Rcx, addr: Reg::Rbx, offset: 0 });
+        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+        b.push(Inst::SgxExit);
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        m.set_epc_range(0x10_0000, 4096);
+        assert_eq!(m.run().expect_exit(), 5);
+        assert_eq!(m.stats().sgx_transitions, 1);
+        assert!(!m.in_enclave());
+        // Outside the enclave the same access traps.
+        let (out, _) = {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+            b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut m = Machine::new(p);
+            m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+            m.set_epc_range(0x10_0000, 4096);
+            (m.run(), m)
+        };
+        assert!(matches!(
+            out.expect_trap(),
+            Trap::EpcAccessOutsideEnclave { .. }
+        ));
+    }
+
+    #[test]
+    fn pinned_aes_keys_skip_staging() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+        b.push(Inst::AesRegion { base: Reg::Rbx, chunks: 1, decrypt: false });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        m.pin_aes_keys(&[3u8; 16]);
+        m.run().expect_exit();
+        assert_eq!(m.stats().aes_chunks, 1);
+    }
+
+    #[test]
+    fn call_function_passes_arguments() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut adder = FunctionBuilder::new("adder");
+        adder.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rdi });
+        adder.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rsi });
+        adder.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rdx });
+        adder.push(Inst::Halt);
+        p.add_function(adder.finish());
+        let mut m = Machine::new(p);
+        assert_eq!(m.call_function(FuncId(1), [10, 20, 12]).expect_exit(), 42);
+        // Re-entry works repeatedly.
+        assert_eq!(m.call_function(FuncId(1), [1, 2, 3]).expect_exit(), 6);
+    }
+
+    #[test]
+    fn cache_misses_cost_more_than_hits() {
+        // Two loads to the same line vs two to distinct far lines.
+        let build = |stride: i64| {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+            for i in 0..32 {
+                b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: i * stride });
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut m = Machine::new(p);
+            m.space
+                .map_region(VirtAddr(0x10_0000), 64 * 4096, PageFlags::rw());
+            m.run().expect_exit();
+            m.cycles()
+        };
+        let hot = build(0);
+        let cold = build(4096);
+        assert!(cold > hot * 2.0, "cold {cold} vs hot {hot}");
+    }
+
+    #[test]
+    fn sfi_dependency_adder_charged_for_masked_load() {
+        // Two identical programs except one masks the address register
+        // right before the load; the masked one must cost more.
+        let build = |mask: bool| {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x10_0000,
+            });
+            if mask {
+                b.push(Inst::AluImm {
+                    op: AluOp::And,
+                    dst: Reg::Rbx,
+                    imm: memsentry_mmu::addr::SFI_MASK,
+                });
+            } else {
+                b.push(Inst::Nop);
+            }
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut m = Machine::new(p);
+            m.space
+                .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+            m.run().expect_exit();
+            m.cycles()
+        };
+        let masked = build(true);
+        let unmasked = build(false);
+        assert!(masked > unmasked, "{masked} vs {unmasked}");
+    }
+
+    #[test]
+    fn in_vm_syscall_charged_as_vmcall() {
+        // Same program, in and out of the VM; the VM run must cost more
+        // because the syscall becomes a hypercall.
+        #[derive(Debug)]
+        struct NullHv;
+        impl HypercallHandler for NullHv {
+            fn hypercall(
+                &mut self,
+                _s: &mut AddressSpace,
+                _nr: u64,
+                args: [u64; 3],
+            ) -> Result<SyscallOutcome, Trap> {
+                Ok(SyscallOutcome::Exit(args[0]))
+            }
+        }
+        let prog = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::Syscall { nr: 0 });
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            p
+        };
+        let mut native = Machine::new(prog());
+        native.run().expect_exit();
+        let mut vm = Machine::new(prog());
+        vm.set_in_vm(true);
+        vm.set_hypercall_handler(Box::new(NullHv));
+        vm.run().expect_exit();
+        assert!(vm.cycles() > native.cycles() + 400.0);
+        assert_eq!(vm.stats().vmcalls, 1);
+    }
+}

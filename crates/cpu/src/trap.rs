@@ -1,0 +1,117 @@
+//! Machine traps.
+//!
+//! Traps are how deterministic isolation manifests: an attacker (or buggy
+//! program) touching a protected safe region produces a typed trap rather
+//! than a silent disclosure. The integration tests assert on exactly these
+//! values.
+
+use memsentry_ir::Reg;
+use memsentry_mmu::Fault;
+
+/// Why execution stopped or faulted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Memory-translation fault (page, pkey or EPT violation).
+    Mmu(Fault),
+    /// MPX `#BR`: a pointer failed a bounds check.
+    BoundRange {
+        /// The register checked.
+        reg: Reg,
+        /// Its value.
+        value: u64,
+        /// The violated bound (upper for `bndcu`, lower for `bndcl`).
+        bound: u64,
+    },
+    /// `vmfunc`/`vmcall` executed outside the VM, or a bad EPTP index.
+    VmError {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An indirect branch or return targeted a non-code value — e.g. a
+    /// corrupted return address that does not decode.
+    BadCodePointer {
+        /// The raw value.
+        value: u64,
+    },
+    /// AES region operation without keys loaded into `xmm`.
+    MissingAesKeys,
+    /// Access to an EPC (enclave) page from outside the enclave.
+    ///
+    /// Real SGX returns abort-page semantics; the simulation makes the
+    /// denial visible as a deterministic trap.
+    EpcAccessOutsideEnclave {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Unknown system call or hypercall number.
+    BadSyscall {
+        /// The number.
+        nr: u64,
+    },
+    /// The program executed its instruction budget without halting.
+    OutOfFuel,
+    /// A defense runtime detected tampering (e.g. shadow-stack mismatch)
+    /// and aborted the process.
+    DefenseAbort {
+        /// Which defense aborted.
+        defense: &'static str,
+    },
+}
+
+impl From<Fault> for Trap {
+    fn from(f: Fault) -> Self {
+        Trap::Mmu(f)
+    }
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::Mmu(fault) => write!(f, "memory fault: {fault:?}"),
+            Trap::BoundRange { reg, value, bound } => {
+                write!(f, "#BR: {reg}={value:#x} violates bound {bound:#x}")
+            }
+            Trap::VmError { reason } => write!(f, "VM error: {reason}"),
+            Trap::BadCodePointer { value } => {
+                write!(f, "bad code pointer {value:#x}")
+            }
+            Trap::MissingAesKeys => write!(f, "AES keys not loaded"),
+            Trap::EpcAccessOutsideEnclave { addr } => {
+                write!(f, "EPC access outside enclave at {addr:#x}")
+            }
+            Trap::BadSyscall { nr } => write!(f, "bad syscall {nr}"),
+            Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::DefenseAbort { defense } => write!(f, "{defense}: tampering detected"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_mmu::{Access, VirtAddr};
+
+    #[test]
+    fn mmu_fault_converts() {
+        let fault = Fault::NotMapped {
+            addr: VirtAddr(0x1000),
+            access: Access::Read,
+        };
+        let t: Trap = fault.into();
+        assert_eq!(t, Trap::Mmu(fault));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::BoundRange {
+            reg: Reg::Rcx,
+            value: 64 << 40,
+            bound: (64 << 40) - 1,
+        };
+        let s = t.to_string();
+        assert!(s.contains("#BR"));
+        assert!(s.contains("rcx"));
+    }
+}

@@ -1,0 +1,200 @@
+//! ASLR-Guard-style code-pointer encryption (paper §2.2).
+//!
+//! Code pointers never rest in plain form: each stored pointer is XORed
+//! with a per-entry key from a preallocated key table (the AG-RandMap).
+//! Dereferencing decodes through the table. The scheme is stronger than a
+//! single global XOR key (PointerGuard) because leaking one encoded
+//! pointer reveals nothing about others — but the AG-RandMap itself must
+//! be isolated against both reads (key disclosure forges pointers) and
+//! writes (key nulling degrades to plaintext). That table is the safe
+//! region MemSentry protects.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memsentry_cpu::Machine;
+use memsentry_ir::{AluOp, FunctionBuilder, Inst, Reg};
+use memsentry_mmu::VirtAddr;
+use memsentry_passes::SafeRegionLayout;
+
+/// The ASLR-Guard runtime: an AG-RandMap in the safe region.
+#[derive(Debug, Clone)]
+pub struct AslrGuard {
+    /// The safe region holding one 8-byte XOR key per slot.
+    pub layout: SafeRegionLayout,
+    keys: Vec<u64>,
+}
+
+impl AslrGuard {
+    /// Creates the runtime with seeded per-slot keys.
+    pub fn new(layout: SafeRegionLayout, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slots = (layout.len / 8) as usize;
+        Self {
+            layout,
+            keys: (0..slots).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of key slots.
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Writes the AG-RandMap into the safe region (after mapping).
+    pub fn setup(&self, machine: &mut Machine) {
+        for (i, key) in self.keys.iter().enumerate() {
+            machine.space.poke(
+                VirtAddr(self.layout.base + 8 * i as u64),
+                &key.to_le_bytes(),
+            );
+        }
+    }
+
+    /// Encodes a code pointer for storage (done at pointer-creation time
+    /// by instrumented code; here a runtime helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn encode(&self, slot: usize, pointer: u64) -> u64 {
+        pointer ^ self.keys[slot]
+    }
+
+    /// Emits the (privileged) decode sequence: `reg ^= AG-RandMap[slot]`.
+    ///
+    /// The key load is privileged — it touches the safe region — so any
+    /// MemSentry technique can guard it.
+    pub fn emit_decode(&self, b: &mut FunctionBuilder, reg: Reg, slot: usize) {
+        b.push_privileged(Inst::MovImm {
+            dst: Reg::R14,
+            imm: self.layout.base + 8 * slot as u64,
+        });
+        b.push_privileged(Inst::Load {
+            dst: Reg::R14,
+            addr: Reg::R14,
+            offset: 0,
+        });
+        b.push_privileged(Inst::AluReg {
+            op: AluOp::Xor,
+            dst: reg,
+            src: Reg::R14,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::{Machine, Trap};
+    use memsentry_ir::{verify, CodeAddr, FuncId, Program};
+    use memsentry_mmu::{PageFlags, PAGE_SIZE};
+
+    fn guard() -> AslrGuard {
+        AslrGuard::new(SafeRegionLayout::sensitive(256), 42)
+    }
+
+    /// main loads an encoded pointer from data memory, decodes via the
+    /// AG-RandMap, and calls it.
+    fn program(g: &AslrGuard, stored: u64) -> (Program, u64) {
+        let data = 0x10_0000u64;
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: data,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        g.emit_decode(&mut b, Reg::Rcx, 3);
+        b.push(Inst::CallIndirect { target: Reg::Rcx });
+        b.push(Inst::Halt);
+        let mut target = FunctionBuilder::new("target");
+        target.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 77,
+        });
+        target.push(Inst::Ret);
+        p.add_function(b.finish());
+        p.add_function(target.finish());
+        let _ = stored;
+        (p, data)
+    }
+
+    fn machine(g: &AslrGuard, p: Program, stored: u64, data: u64) -> Machine {
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            VirtAddr(g.layout.base),
+            g.layout.len.max(PAGE_SIZE),
+            PageFlags::rw(),
+        );
+        m.space
+            .map_region(VirtAddr(data), PAGE_SIZE, PageFlags::rw());
+        g.setup(&mut m);
+        m.space.poke(VirtAddr(data), &stored.to_le_bytes());
+        m
+    }
+
+    #[test]
+    fn encoded_pointer_differs_from_plain() {
+        let g = guard();
+        let ptr = CodeAddr::entry(FuncId(1)).encode();
+        assert_ne!(g.encode(3, ptr), ptr);
+        // Distinct slots produce distinct encodings (per-entry keys).
+        assert_ne!(g.encode(3, ptr), g.encode(4, ptr));
+    }
+
+    #[test]
+    fn decode_and_call_works() {
+        let g = guard();
+        let ptr = CodeAddr::entry(FuncId(1)).encode();
+        let (p, data) = program(&g, 0);
+        verify(&p).unwrap();
+        let mut m = machine(&g, p, g.encode(3, ptr), data);
+        assert_eq!(m.run().expect_exit(), 77);
+    }
+
+    #[test]
+    fn attacker_planting_a_raw_pointer_crashes() {
+        // The defense in action: an attacker overwrites the stored value
+        // with a *plain* code pointer; the decode XOR garbles it.
+        let g = guard();
+        let ptr = CodeAddr::entry(FuncId(1)).encode();
+        let (p, data) = program(&g, 0);
+        let mut m = machine(&g, p, ptr, data); // raw, not encoded
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::BadCodePointer { .. }
+        ));
+    }
+
+    #[test]
+    fn attacker_who_reads_the_randmap_forges_pointers() {
+        // The paper's motivation for isolating the AG-RandMap: with the
+        // key leaked, the attacker encodes their own target.
+        let g = guard();
+        let gadget = CodeAddr::entry(FuncId(1)).encode();
+        let leaked_key = g.keys[3]; // the disclosure
+        let forged = gadget ^ leaked_key;
+        let (p, data) = program(&g, 0);
+        let mut m = machine(&g, p, forged, data);
+        assert_eq!(m.run().expect_exit(), 77, "forgery succeeds after leak");
+    }
+
+    #[test]
+    fn keys_are_seed_deterministic() {
+        let a = AslrGuard::new(SafeRegionLayout::sensitive(256), 9);
+        let b = AslrGuard::new(SafeRegionLayout::sensitive(256), 9);
+        assert_eq!(a.keys, b.keys);
+        let c = AslrGuard::new(SafeRegionLayout::sensitive(256), 10);
+        assert_ne!(a.keys, c.keys);
+    }
+
+    #[test]
+    fn slot_count_matches_region_size() {
+        assert_eq!(guard().slots(), 32);
+    }
+}

@@ -1,0 +1,266 @@
+//! Coarse-grained control-flow integrity (paper §2.2).
+//!
+//! A target table in the safe region holds one word per function: 1 if
+//! the function is a legitimate indirect-branch target. Before every
+//! indirect call, inserted (privileged) code derives the callee's function
+//! index from the code pointer, loads its table entry, and aborts unless
+//! it is 1. Like CCFIR/bin-CFI the policy is coarse — any registered
+//! target passes — which is exactly why the table's *integrity* matters:
+//! an attacker who can flip one word whitelists any gadget. MemSentry
+//! isolates the table.
+
+use memsentry_cpu::kernel::nr;
+use memsentry_cpu::Machine;
+use memsentry_ir::func::{CODE_BASE, MAX_FUNC_INSTS};
+use memsentry_ir::{AluOp, Cond, FuncId, Inst, InstNode, Label, Program, Reg};
+use memsentry_mmu::VirtAddr;
+use memsentry_passes::{Pass, SafeRegionLayout};
+
+/// Abort code reported via the `abort` syscall.
+pub const ABORT_CODE: u64 = 2;
+
+/// The coarse CFI defense.
+#[derive(Debug, Clone)]
+pub struct CfiDefense {
+    /// The safe region holding the target table (8 bytes per function).
+    pub layout: SafeRegionLayout,
+    /// Functions that are legitimate indirect-branch targets.
+    pub allowed: Vec<FuncId>,
+}
+
+impl CfiDefense {
+    /// Creates the defense.
+    pub fn new(layout: SafeRegionLayout, allowed: Vec<FuncId>) -> Self {
+        Self { layout, allowed }
+    }
+
+    /// Writes the target table into the safe region (after mapping).
+    pub fn setup(&self, machine: &mut Machine) {
+        for f in &self.allowed {
+            machine.space.poke(
+                VirtAddr(self.layout.base + 8 * f.0 as u64),
+                &1u64.to_le_bytes(),
+            );
+        }
+    }
+
+    /// The check sequence for an indirect call through `target`.
+    fn check(&self, target: Reg, abort: Label) -> Vec<InstNode> {
+        let shift = MAX_FUNC_INSTS.trailing_zeros() as u64;
+        [
+            Inst::Mov {
+                dst: Reg::R13,
+                src: target,
+            },
+            // func index = (ptr - CODE_BASE) >> log2(MAX_FUNC_INSTS).
+            Inst::AluImm {
+                op: AluOp::Sub,
+                dst: Reg::R13,
+                imm: CODE_BASE,
+            },
+            Inst::AluImm {
+                op: AluOp::Shr,
+                dst: Reg::R13,
+                imm: shift,
+            },
+            Inst::AluImm {
+                op: AluOp::Shl,
+                dst: Reg::R13,
+                imm: 3,
+            },
+            Inst::MovImm {
+                dst: Reg::R14,
+                imm: self.layout.base,
+            },
+            Inst::AluReg {
+                op: AluOp::Add,
+                dst: Reg::R13,
+                src: Reg::R14,
+            },
+            Inst::Load {
+                dst: Reg::R13,
+                addr: Reg::R13,
+                offset: 0,
+            },
+            Inst::MovImm {
+                dst: Reg::R14,
+                imm: 1,
+            },
+            Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::R13,
+                b: Reg::R14,
+                target: abort,
+            },
+        ]
+        .into_iter()
+        .map(InstNode::privileged)
+        .collect()
+    }
+}
+
+impl Pass for CfiDefense {
+    fn name(&self) -> &'static str {
+        "coarse-cfi"
+    }
+
+    fn run(&self, program: &mut Program) {
+        for func in &mut program.functions {
+            if func.privileged
+                || !func
+                    .body
+                    .iter()
+                    .any(|n| matches!(n.inst, Inst::CallIndirect { .. }))
+            {
+                continue;
+            }
+            let abort = Label(
+                func.body
+                    .iter()
+                    .filter_map(|n| match n.inst {
+                        Inst::Label(l) => Some(l.0 + 1),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0)
+                    .max(0xCF1_0000),
+            );
+            let mut new = Vec::with_capacity(func.body.len() + 16);
+            for node in std::mem::take(&mut func.body) {
+                if let Inst::CallIndirect { target } = node.inst {
+                    new.extend(self.check(target, abort));
+                }
+                new.push(node);
+            }
+            new.push(InstNode::plain(Inst::Label(abort)));
+            new.push(InstNode::plain(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: ABORT_CODE,
+            }));
+            new.push(InstNode::plain(Inst::Syscall { nr: nr::ABORT }));
+            new.push(InstNode::plain(Inst::Halt));
+            func.body = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::{RunOutcome, Trap};
+    use memsentry_ir::{verify, CodeAddr, FunctionBuilder};
+    use memsentry_mmu::{PageFlags, PAGE_SIZE};
+
+    fn layout() -> SafeRegionLayout {
+        SafeRegionLayout::sensitive(PAGE_SIZE)
+    }
+
+    /// main indirect-calls the function whose encoded pointer is `target`.
+    fn program(target: FuncId) -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: CodeAddr::entry(target).encode(),
+        });
+        main.push(Inst::CallIndirect { target: Reg::Rbx });
+        main.push(Inst::Halt);
+        let mut good = FunctionBuilder::new("good");
+        good.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        good.push(Inst::Ret);
+        let mut gadget = FunctionBuilder::new("gadget");
+        gadget.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x666,
+        });
+        gadget.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(good.finish());
+        p.add_function(gadget.finish());
+        p
+    }
+
+    fn run(p: Program, cfi: &CfiDefense) -> RunOutcome {
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            VirtAddr(cfi.layout.base),
+            cfi.layout.len.max(PAGE_SIZE),
+            PageFlags::rw(),
+        );
+        cfi.setup(&mut m);
+        m.run()
+    }
+
+    fn defense() -> CfiDefense {
+        CfiDefense::new(layout(), vec![FuncId(1)])
+    }
+
+    #[test]
+    fn allowed_target_passes() {
+        let cfi = defense();
+        let mut p = program(FuncId(1));
+        cfi.run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, &cfi).expect_exit(), 1);
+    }
+
+    #[test]
+    fn disallowed_target_aborts() {
+        let cfi = defense();
+        let mut p = program(FuncId(2));
+        cfi.run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(
+            run(p, &cfi).expect_trap(),
+            &Trap::DefenseAbort { defense: "cfi" }
+        );
+    }
+
+    #[test]
+    fn without_cfi_the_gadget_call_succeeds() {
+        let cfi = defense();
+        let p = program(FuncId(2));
+        assert_eq!(run(p, &cfi).expect_exit(), 0x666);
+    }
+
+    #[test]
+    fn flipping_one_table_word_defeats_coarse_cfi() {
+        // The paper's point: the table's integrity IS the defense. An
+        // attacker with a write primitive whitelists the gadget.
+        let cfi = defense();
+        let mut p = program(FuncId(2));
+        cfi.run(&mut p);
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            VirtAddr(cfi.layout.base),
+            cfi.layout.len.max(PAGE_SIZE),
+            PageFlags::rw(),
+        );
+        cfi.setup(&mut m);
+        // Arbitrary-write primitive: allow function 2.
+        m.space
+            .poke(VirtAddr(cfi.layout.base + 16), &1u64.to_le_bytes());
+        assert_eq!(m.run().expect_exit(), 0x666, "defense bypassed");
+    }
+
+    #[test]
+    fn garbage_pointer_faults_deterministically() {
+        let cfi = defense();
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x1234,
+        });
+        main.push(Inst::CallIndirect { target: Reg::Rbx });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        cfi.run(&mut p);
+        // The derived table index is enormous: the table load faults.
+        let out = run(p, &cfi);
+        assert!(matches!(out.expect_trap(), Trap::Mmu(_)));
+    }
+}

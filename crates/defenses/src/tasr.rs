@@ -1,0 +1,292 @@
+//! TASR-style timely rerandomization (paper §2.2, Table 1: "System I/O").
+//!
+//! TASR rerandomizes the code layout at every input/output system call
+//! and maintains a list of activated code pointers to patch afterwards.
+//! "Isolation of the list of code pointers is essential, since the
+//! attacker could first leak the list ... and then replace them."
+//!
+//! The simulation models a relocation epoch: every stored code pointer is
+//! encoded as `ptr ^ epoch`; each system call draws a fresh epoch and the
+//! runtime re-encodes every registered pointer location (the kernel-side
+//! rerandomizer, out of the attacker's reach, like TASR's). Indirect
+//! calls decode through the current epoch — a privileged load from the
+//! safe region, so MemSentry can pin it to any technique.
+//!
+//! The security payoff: a pointer value *leaked before* a system call is
+//! stale after it and detonates as a bad code pointer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memsentry_cpu::kernel::{DefaultKernel, SyscallHandler, SyscallOutcome};
+use memsentry_cpu::{Machine, Trap};
+use memsentry_ir::{AluOp, FunctionBuilder, Inst, Reg};
+use memsentry_mmu::{AddressSpace, VirtAddr};
+use memsentry_passes::SafeRegionLayout;
+
+/// The TASR runtime state: epoch slot + registered pointer locations.
+#[derive(Debug, Clone)]
+pub struct TasrDefense {
+    /// The safe region; `[base]` holds the current epoch.
+    pub layout: SafeRegionLayout,
+    /// Data-memory addresses holding encoded code pointers.
+    pub locations: Vec<u64>,
+    seed: u64,
+}
+
+impl TasrDefense {
+    /// Creates the defense over `layout` for the given pointer locations.
+    pub fn new(layout: SafeRegionLayout, locations: Vec<u64>, seed: u64) -> Self {
+        Self {
+            layout,
+            locations,
+            seed,
+        }
+    }
+
+    /// Initial epoch (deterministic from the seed).
+    pub fn initial_epoch(&self) -> u64 {
+        StdRng::seed_from_u64(self.seed).gen()
+    }
+
+    /// Installs the epoch and the initially encoded pointers, and swaps
+    /// the machine's kernel for the rerandomizing one. `pointers` are the
+    /// plaintext code pointers for each registered location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers.len()` differs from the registered locations.
+    pub fn setup(&self, machine: &mut Machine, pointers: &[u64]) {
+        assert_eq!(pointers.len(), self.locations.len());
+        let epoch = self.initial_epoch();
+        machine
+            .space
+            .poke(VirtAddr(self.layout.base), &epoch.to_le_bytes());
+        for (&loc, &ptr) in self.locations.iter().zip(pointers) {
+            machine
+                .space
+                .poke(VirtAddr(loc), &(ptr ^ epoch).to_le_bytes());
+        }
+        machine.set_syscall_handler(Box::new(TasrKernel {
+            inner: DefaultKernel::new(),
+            layout: self.layout,
+            locations: self.locations.clone(),
+            rng: StdRng::seed_from_u64(self.seed ^ 0x7a57),
+            rerandomizations: 0,
+        }));
+    }
+
+    /// Emits the (privileged) decode of an encoded pointer already in
+    /// `reg`: `reg ^= epoch`.
+    pub fn emit_decode(&self, b: &mut FunctionBuilder, reg: Reg) {
+        b.push_privileged(Inst::MovImm {
+            dst: Reg::R14,
+            imm: self.layout.base,
+        });
+        b.push_privileged(Inst::Load {
+            dst: Reg::R14,
+            addr: Reg::R14,
+            offset: 0,
+        });
+        b.push_privileged(Inst::AluReg {
+            op: AluOp::Xor,
+            dst: reg,
+            src: Reg::R14,
+        });
+    }
+}
+
+/// The kernel wrapper that rerandomizes on every system call.
+#[derive(Debug)]
+struct TasrKernel {
+    inner: DefaultKernel,
+    layout: SafeRegionLayout,
+    locations: Vec<u64>,
+    rng: StdRng,
+    rerandomizations: u64,
+}
+
+impl SyscallHandler for TasrKernel {
+    fn syscall(
+        &mut self,
+        space: &mut AddressSpace,
+        nr: u64,
+        args: [u64; 3],
+    ) -> Result<SyscallOutcome, Trap> {
+        // Rerandomize: fresh epoch, re-encode every registered pointer.
+        let mut old = [0u8; 8];
+        space.peek(VirtAddr(self.layout.base), &mut old);
+        let old = u64::from_le_bytes(old);
+        let new: u64 = self.rng.gen();
+        for &loc in &self.locations {
+            let mut stored = [0u8; 8];
+            space.peek(VirtAddr(loc), &mut stored);
+            let plain = u64::from_le_bytes(stored) ^ old;
+            space.poke(VirtAddr(loc), &(plain ^ new).to_le_bytes());
+        }
+        space.poke(VirtAddr(self.layout.base), &new.to_le_bytes());
+        self.rerandomizations += 1;
+        self.inner.syscall(space, nr, args)
+    }
+
+    fn cost_hint(&self, nr: u64) -> f64 {
+        // Re-encoding N pointers costs ~2 memory round trips each.
+        self.inner.cost_hint(nr) + self.locations.len() as f64 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::kernel::nr;
+    use memsentry_ir::{verify, CodeAddr, FuncId, Program};
+    use memsentry_mmu::{PageFlags, PAGE_SIZE};
+
+    const PTR_SLOT: u64 = 0x10_0000;
+
+    /// main: (optional syscall), load encoded ptr, decode, call it.
+    fn program(t: &TasrDefense, syscall_first: bool, decode: bool) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        if syscall_first {
+            b.push(Inst::Syscall { nr: nr::GETPID });
+        }
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: PTR_SLOT,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        if decode {
+            t.emit_decode(&mut b, Reg::Rcx);
+        }
+        b.push(Inst::CallIndirect { target: Reg::Rcx });
+        b.push(Inst::Halt);
+        let mut target = FunctionBuilder::new("target");
+        target.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 55,
+        });
+        target.push(Inst::Ret);
+        p.add_function(b.finish());
+        p.add_function(target.finish());
+        p
+    }
+
+    fn machine(t: &TasrDefense, p: Program) -> Machine {
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            VirtAddr(t.layout.base),
+            t.layout.len.max(PAGE_SIZE),
+            PageFlags::rw(),
+        );
+        m.space
+            .map_region(VirtAddr(PTR_SLOT), PAGE_SIZE, PageFlags::rw());
+        t.setup(&mut m, &[CodeAddr::entry(FuncId(1)).encode()]);
+        m
+    }
+
+    fn defense() -> TasrDefense {
+        TasrDefense::new(SafeRegionLayout::sensitive(64), vec![PTR_SLOT], 99)
+    }
+
+    #[test]
+    fn decode_and_call_works_before_and_after_rerandomization() {
+        let t = defense();
+        for syscall_first in [false, true] {
+            let p = program(&t, syscall_first, true);
+            verify(&p).unwrap();
+            assert_eq!(machine(&t, p).run().expect_exit(), 55);
+        }
+    }
+
+    #[test]
+    fn pointers_at_rest_are_never_plaintext() {
+        let t = defense();
+        let mut m = machine(&t, program(&t, false, true));
+        let mut buf = [0u8; 8];
+        m.space.peek(VirtAddr(PTR_SLOT), &mut buf);
+        assert_ne!(
+            u64::from_le_bytes(buf),
+            CodeAddr::entry(FuncId(1)).encode(),
+            "stored pointer must be epoch-encoded"
+        );
+    }
+
+    #[test]
+    fn leaked_pointer_goes_stale_after_one_syscall() {
+        // The attacker leaks the encoded value, a syscall rerandomizes,
+        // then the attacker replays the leaked value.
+        let t = defense();
+        let mut m = machine(&t, program(&t, true, false));
+        // Replace the stored value with what the attacker leaked *now*
+        // (pre-syscall encoding) — equivalently, skip the re-encode by
+        // replaying: simplest faithful model: freeze the leaked bytes.
+        let mut leaked = [0u8; 8];
+        m.space.peek(VirtAddr(PTR_SLOT), &mut leaked);
+        // Run: the program does a syscall (epoch changes, slot re-encoded)
+        // and then calls the *raw loaded* value... but we want the replay:
+        // after the run the slot holds the new encoding; plant the stale
+        // leak and call again via a fresh program without decode.
+        let out = m.run();
+        // Without decode, calling the (current) encoded value already
+        // traps — encoded pointers are not valid code addresses.
+        assert!(matches!(out.expect_trap(), Trap::BadCodePointer { .. }));
+
+        // Now the replay scenario, with decode: plant the stale leak.
+        let t2 = defense();
+        let mut m2 = machine(&t2, program(&t2, true, true));
+        let mut stale = [0u8; 8];
+        m2.space.peek(VirtAddr(PTR_SLOT), &mut stale);
+        // Pre-poison the slot with the stale encoding; the program's
+        // syscall re-encodes it (treating it as a pointer), so instead
+        // poison after the kernel ran: easiest is to step the machine
+        // past the syscall, then poke.
+        while m2.stats().syscalls == 0 {
+            m2.step().unwrap();
+        }
+        m2.space.poke(VirtAddr(PTR_SLOT), &stale);
+        let out = m2.run();
+        assert!(
+            matches!(out, memsentry_cpu::RunOutcome::Trapped(Trap::BadCodePointer { .. })),
+            "stale leak must not decode to a valid target: {out:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_slot_is_protectable_by_memsentry() {
+        use memsentry::{Application, MemSentry, Technique};
+        let fw = MemSentry::new(Technique::Mpk, 64);
+        let t = TasrDefense::new(fw.layout(), vec![PTR_SLOT], 7);
+        let mut p = program(&t, false, true);
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        m.space
+            .map_region(VirtAddr(PTR_SLOT), PAGE_SIZE, PageFlags::rw());
+        t.setup(&mut m, &[CodeAddr::entry(FuncId(1)).encode()]);
+        assert_eq!(m.run().expect_exit(), 55);
+    }
+
+    #[test]
+    fn rerandomization_cost_scales_with_pointer_count() {
+        let small = TasrKernel {
+            inner: DefaultKernel::new(),
+            layout: SafeRegionLayout::sensitive(64),
+            locations: vec![0; 4],
+            rng: StdRng::seed_from_u64(0),
+            rerandomizations: 0,
+        };
+        let large = TasrKernel {
+            inner: DefaultKernel::new(),
+            layout: SafeRegionLayout::sensitive(64),
+            locations: vec![0; 400],
+            rng: StdRng::seed_from_u64(0),
+            rerandomizations: 0,
+        };
+        assert!(large.cost_hint(nr::GETPID) > small.cost_hint(nr::GETPID) * 50.0);
+    }
+}

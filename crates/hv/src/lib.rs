@@ -1,0 +1,337 @@
+#![warn(missing_docs)]
+
+//! A Dune-like per-process hypervisor.
+//!
+//! The paper's VMFUNC technique does not virtualize the whole operating
+//! system: it uses Dune (Belay et al., OSDI'12) to run *a single process*
+//! inside a VT-x guest, with a stripped-down per-process hypervisor and a
+//! tiny library OS handling kernel tasks. MemSentry modifies Dune to
+//! maintain **multiple EPT copies** filled on demand, adds a hypercall that
+//! marks mappings *private to one EPT*, and lets the instrumented program
+//! switch EPTs with `vmfunc` (paper §5.1).
+//!
+//! This crate reproduces that arrangement on the simulated machine:
+//!
+//! * [`DuneSandbox`] puts a [`Machine`] inside the VM: installs an
+//!   [`EptSet`], flips the machine's in-VM flag (so system calls are
+//!   converted to hypercalls at `vmcall` cost — the source of VMFUNC's
+//!   residual overhead on syscall-heavy code), and registers the
+//!   hypervisor as the hypercall handler.
+//! * [`DuneHypervisor`] services hypercalls: forwarded system calls go to
+//!   the in-VM kernel proxy; [`hypercall_nr::MARK_SECRET`] walks the
+//!   guest's page tables and restricts the backing frames to the secure
+//!   EPT.
+
+use memsentry_cpu::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutcome};
+use memsentry_cpu::{Machine, Trap};
+use memsentry_mmu::{AddressSpace, EptSet, VirtAddr, PAGE_SIZE};
+
+/// Hypercall numbers understood by [`DuneHypervisor`].
+pub mod hypercall_nr {
+    /// `mark_secret(va, len, ept_index)`: make the backing frames of the
+    /// virtual range present only in EPT `ept_index`.
+    pub const MARK_SECRET: u64 = 0x100;
+}
+
+/// Index of the default (non-sensitive) EPT.
+pub const EPT_DEFAULT: usize = 0;
+
+/// Index of the secure EPT holding the safe-region mappings.
+pub const EPT_SECURE: usize = 1;
+
+/// The per-process hypervisor: forwards system calls and manages secret
+/// mappings.
+#[derive(Debug, Default)]
+pub struct DuneHypervisor {
+    kernel: DefaultKernel,
+    secret_pages: u64,
+}
+
+impl DuneHypervisor {
+    /// Creates the hypervisor with a fresh kernel proxy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages marked secret so far.
+    pub fn secret_pages(&self) -> u64 {
+        self.secret_pages
+    }
+
+    fn mark_secret(
+        &mut self,
+        space: &mut AddressSpace,
+        va: u64,
+        len: u64,
+        ept_index: u64,
+    ) -> Result<SyscallOutcome, Trap> {
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        for i in 0..pages {
+            let page = VirtAddr(va).page_base().0 + i * PAGE_SIZE;
+            let gpfn = space
+                .gpfn_of(VirtAddr(page))
+                .ok_or(Trap::VmError {
+                    reason: "mark_secret on unmapped page",
+                })?;
+            let ept = space.ept_mut().ok_or(Trap::VmError {
+                reason: "mark_secret without EPT",
+            })?;
+            if ept_index as usize >= ept.count() {
+                return Err(Trap::VmError {
+                    reason: "mark_secret: bad EPT index",
+                });
+            }
+            ept.mark_secret(gpfn, ept_index as usize);
+            self.secret_pages += 1;
+        }
+        Ok(SyscallOutcome::Ret(0))
+    }
+}
+
+impl HypercallHandler for DuneHypervisor {
+    fn cost_hint(&self, nr: u64) -> f64 {
+        self.kernel.cost_hint(nr)
+    }
+
+    fn hypercall(
+        &mut self,
+        space: &mut AddressSpace,
+        nr: u64,
+        args: [u64; 3],
+    ) -> Result<SyscallOutcome, Trap> {
+        match nr {
+            hypercall_nr::MARK_SECRET => self.mark_secret(space, args[0], args[1], args[2]),
+            // Anything else is a forwarded system call: the Dune sandbox
+            // converts guest syscalls into hypercalls and the hypervisor
+            // proxies them to the host kernel.
+            _ => self.kernel.syscall(space, nr, args),
+        }
+    }
+}
+
+/// Sets up the Dune sandbox around a machine.
+#[derive(Debug)]
+pub struct DuneSandbox;
+
+impl DuneSandbox {
+    /// Enters the VM: installs a two-EPT set (demand-filled, like Dune's
+    /// on-fault population), the hypervisor, and flips the in-VM flag.
+    pub fn enter(machine: &mut Machine) {
+        let ept = EptSet::new(2, true);
+        machine.space.install_ept(ept);
+        machine.set_hypercall_handler(Box::new(DuneHypervisor::new()));
+        machine.set_in_vm(true);
+    }
+
+    /// Enters the VM assuming the caller already installed a (possibly
+    /// larger) EPT set — used for multi-domain setups with one EPT per
+    /// safe region.
+    pub fn enter_with_existing_ept(machine: &mut Machine) {
+        machine.set_hypercall_handler(Box::new(DuneHypervisor::new()));
+        machine.set_in_vm(true);
+    }
+
+    /// Marks a virtual range secret to the secure EPT directly (the
+    /// setup-time equivalent of the guest issuing the hypercall itself).
+    pub fn mark_secret_range(machine: &mut Machine, va: u64, len: u64) -> Result<(), Trap> {
+        Self::mark_secret_range_in(machine, va, len, EPT_SECURE)
+    }
+
+    /// Marks a virtual range secret to an explicit EPT index.
+    pub fn mark_secret_range_in(
+        machine: &mut Machine,
+        va: u64,
+        len: u64,
+        ept_index: usize,
+    ) -> Result<(), Trap> {
+        let mut hv = DuneHypervisor::new();
+        hv.mark_secret(&mut machine.space, va, len, ept_index as u64)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::RunOutcome;
+    use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+    use memsentry_mmu::{Fault, PageFlags};
+
+    fn machine_with(build: impl FnOnce(&mut FunctionBuilder)) -> Machine {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        build(&mut b);
+        p.add_function(b.finish());
+        Machine::new(p)
+    }
+
+    #[test]
+    fn sandboxed_machine_is_in_vm_with_two_epts() {
+        let mut m = machine_with(|b| {
+            b.push(Inst::Halt);
+        });
+        DuneSandbox::enter(&mut m);
+        assert!(m.in_vm());
+        assert_eq!(m.space.ept_mut().unwrap().count(), 2);
+    }
+
+    #[test]
+    fn guest_syscall_is_forwarded_through_hypervisor() {
+        let mut m = machine_with(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: 3,
+            });
+            b.push(Inst::Syscall { nr: 0 }); // exit(3)
+            b.push(Inst::Halt);
+        });
+        DuneSandbox::enter(&mut m);
+        assert_eq!(m.run().expect_exit(), 3);
+        assert_eq!(m.stats().vmcalls, 1, "syscall converted to hypercall");
+    }
+
+    #[test]
+    fn secret_page_unreachable_from_default_ept() {
+        let secret_va = 0x3000_0000u64;
+        let mut m = machine_with(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: secret_va,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::Halt);
+        });
+        m.space
+            .map_region(VirtAddr(secret_va), PAGE_SIZE, PageFlags::rw());
+        m.space.poke(VirtAddr(secret_va), &77u64.to_le_bytes());
+        DuneSandbox::enter(&mut m);
+        DuneSandbox::mark_secret_range(&mut m, secret_va, PAGE_SIZE).unwrap();
+        match m.run() {
+            RunOutcome::Trapped(Trap::Mmu(Fault::Ept(v))) => {
+                assert_eq!(v.ept_index, EPT_DEFAULT);
+            }
+            other => panic!("expected EPT violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vmfunc_opens_and_closes_the_secret_domain() {
+        let secret_va = 0x3000_0000u64;
+        let mut m = machine_with(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: secret_va,
+            });
+            b.push(Inst::VmFunc {
+                eptp: EPT_SECURE as u32,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::VmFunc {
+                eptp: EPT_DEFAULT as u32,
+            });
+            b.push(Inst::Halt);
+        });
+        m.space
+            .map_region(VirtAddr(secret_va), PAGE_SIZE, PageFlags::rw());
+        m.space.poke(VirtAddr(secret_va), &4242u64.to_le_bytes());
+        DuneSandbox::enter(&mut m);
+        DuneSandbox::mark_secret_range(&mut m, secret_va, PAGE_SIZE).unwrap();
+        assert_eq!(m.run().expect_exit(), 4242);
+        assert_eq!(m.stats().vmfuncs, 2);
+    }
+
+    #[test]
+    fn guest_can_mark_secret_via_hypercall() {
+        let secret_va = 0x3000_0000u64;
+        let mut m = machine_with(|b| {
+            // mark_secret(secret_va, PAGE_SIZE, EPT_SECURE)
+            b.push(Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: secret_va,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rsi,
+                imm: PAGE_SIZE,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rdx,
+                imm: EPT_SECURE as u64,
+            });
+            b.push(Inst::VmCall {
+                nr: hypercall_nr::MARK_SECRET,
+            });
+            // Then try to read it from the default domain: must fault.
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: secret_va,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::Halt);
+        });
+        m.space
+            .map_region(VirtAddr(secret_va), PAGE_SIZE, PageFlags::rw());
+        DuneSandbox::enter(&mut m);
+        let out = m.run();
+        assert!(matches!(
+            out.expect_trap(),
+            Trap::Mmu(Fault::Ept(_))
+        ));
+    }
+
+    #[test]
+    fn mark_secret_on_unmapped_page_errors() {
+        let mut m = machine_with(|b| {
+            b.push(Inst::Halt);
+        });
+        DuneSandbox::enter(&mut m);
+        let err = DuneSandbox::mark_secret_range(&mut m, 0xdead_0000, PAGE_SIZE).unwrap_err();
+        assert!(matches!(err, Trap::VmError { .. }));
+    }
+
+    #[test]
+    fn normal_pages_stay_accessible_in_both_domains() {
+        let data_va = 0x4000_0000u64;
+        let mut m = machine_with(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: data_va,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::VmFunc {
+                eptp: EPT_SECURE as u32,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rcx,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::AluReg {
+                op: memsentry_ir::AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rcx,
+            });
+            b.push(Inst::Halt);
+        });
+        m.space
+            .map_region(VirtAddr(data_va), PAGE_SIZE, PageFlags::rw());
+        m.space.poke(VirtAddr(data_va), &21u64.to_le_bytes());
+        DuneSandbox::enter(&mut m);
+        assert_eq!(m.run().expect_exit(), 42);
+    }
+}

@@ -1,0 +1,258 @@
+//! Functions, programs, code addresses and the builder API.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, InstNode, Label};
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FuncId(pub u32);
+
+/// Base of the virtual code region; encoded code pointers live here.
+pub const CODE_BASE: u64 = 0x10_0000_0000;
+
+/// Maximum instructions per function supported by the encoding.
+pub const MAX_FUNC_INSTS: u64 = 1 << 24;
+
+/// A code address: function + instruction index.
+///
+/// Encoded into a u64 so code pointers (return addresses, function
+/// pointers) can be stored in simulated memory, leaked, and overwritten by
+/// attackers — exactly the values the paper's defenses protect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeAddr {
+    /// The function.
+    pub func: FuncId,
+    /// Instruction index within the function body.
+    pub index: u32,
+}
+
+impl CodeAddr {
+    /// The entry point of `func`.
+    pub fn entry(func: FuncId) -> Self {
+        Self { func, index: 0 }
+    }
+
+    /// Encodes the address into a pointer-sized value.
+    pub fn encode(self) -> u64 {
+        CODE_BASE + (self.func.0 as u64) * MAX_FUNC_INSTS + self.index as u64
+    }
+
+    /// Decodes a pointer-sized value; `None` if it is not a code address.
+    pub fn decode(value: u64) -> Option<Self> {
+        let off = value.checked_sub(CODE_BASE)?;
+        let func = off / MAX_FUNC_INSTS;
+        let index = off % MAX_FUNC_INSTS;
+        if func > u32::MAX as u64 {
+            return None;
+        }
+        Some(Self {
+            func: FuncId(func as u32),
+            index: index as u32,
+        })
+    }
+}
+
+/// A function: a linear instruction sequence with labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (for diagnostics and defense registries).
+    pub name: String,
+    /// Instruction sequence.
+    pub body: Vec<InstNode>,
+    /// Whether the whole function may touch the safe region — the paper's
+    /// annotation for static-library runtime functions (§3, "Usage").
+    pub privileged: bool,
+}
+
+impl Function {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            body: Vec::new(),
+            privileged: false,
+        }
+    }
+
+    /// Resolves each label to the index of its marker instruction.
+    pub fn label_table(&self) -> HashMap<Label, u32> {
+        let mut table = HashMap::new();
+        for (i, node) in self.body.iter().enumerate() {
+            if let Inst::Label(l) = node.inst {
+                table.insert(l, i as u32);
+            }
+        }
+        table
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The functions; [`FuncId`] indexes this vector.
+    pub functions: Vec<Function>,
+    /// The entry function (defaults to function 0).
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(func);
+        id
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (a malformed program is a bug in the
+    /// generator or a pass, not a runtime condition).
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Looks up a function mutably.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Finds a function by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.body.len()).sum()
+    }
+}
+
+/// Incremental builder for a [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    next_label: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            func: Function::new(name),
+            next_label: 0,
+        }
+    }
+
+    /// Marks the whole function as privileged.
+    pub fn privileged(mut self) -> Self {
+        self.func.privileged = true;
+        self
+    }
+
+    /// Allocates a fresh label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.func.body.push(InstNode::plain(inst));
+        self
+    }
+
+    /// Appends a privileged instruction (may touch the safe region).
+    pub fn push_privileged(&mut self, inst: Inst) -> &mut Self {
+        self.func.body.push(InstNode::privileged(inst));
+        self
+    }
+
+    /// Binds `label` at the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        self.func.body.push(InstNode::plain(Inst::Label(label)));
+        self
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn code_addr_roundtrip() {
+        for (f, i) in [(0u32, 0u32), (1, 0), (0, 1), (17, 12345), (1000, 99)] {
+            let a = CodeAddr {
+                func: FuncId(f),
+                index: i,
+            };
+            assert_eq!(CodeAddr::decode(a.encode()), Some(a));
+        }
+    }
+
+    #[test]
+    fn non_code_values_do_not_decode() {
+        assert_eq!(CodeAddr::decode(0), None);
+        assert_eq!(CodeAddr::decode(CODE_BASE - 1), None);
+    }
+
+    #[test]
+    fn code_addresses_stay_below_sensitive_partition() {
+        let a = CodeAddr {
+            func: FuncId(100_000),
+            index: 1_000_000,
+        };
+        assert!(a.encode() < 64 << 40, "code pointers are non-sensitive");
+    }
+
+    #[test]
+    fn builder_produces_labelled_body() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        b.bind(l);
+        b.push(Inst::Ret);
+        let f = b.finish();
+        assert_eq!(f.body.len(), 3);
+        assert_eq!(f.label_table()[&l], 1);
+    }
+
+    #[test]
+    fn program_lookup_by_name() {
+        let mut p = Program::new();
+        let a = p.add_function(Function::new("alpha"));
+        let b = p.add_function(Function::new("beta"));
+        assert_eq!(p.find("alpha"), Some(a));
+        assert_eq!(p.find("beta"), Some(b));
+        assert_eq!(p.find("gamma"), None);
+        assert_eq!(p.func(b).name, "beta");
+    }
+
+    #[test]
+    fn labels_are_unique_per_builder() {
+        let mut b = FunctionBuilder::new("f");
+        let l1 = b.new_label();
+        let l2 = b.new_label();
+        assert_ne!(l1, l2);
+    }
+}

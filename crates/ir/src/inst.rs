@@ -1,0 +1,410 @@
+//! The instruction set of the simulated machine.
+//!
+//! The set is deliberately small but covers everything MemSentry's analysis
+//! distinguishes (paper Tables 1 and 2): loads, stores, direct and indirect
+//! calls, returns, system calls, allocator calls — plus the hardware
+//! operations the instrumentation passes insert.
+
+use crate::func::FuncId;
+use crate::reg::Reg;
+
+/// A branch target within a function, resolved by the assembler/verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+}
+
+/// Comparison conditions for conditional branches (unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two u64 operands.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst <- imm`.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst <- src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Address computation: `dst <- base + offset` (no memory access).
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Base register.
+        base: Reg,
+        /// Signed displacement.
+        offset: i64,
+    },
+    /// `dst <- dst op src`.
+    AluReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand register.
+        src: Reg,
+    },
+    /// `dst <- dst op imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand immediate.
+        imm: u64,
+    },
+    /// 8-byte load: `dst <- mem[addr + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Signed displacement.
+        offset: i64,
+    },
+    /// 8-byte store: `mem[addr + offset] <- src`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Signed displacement.
+        offset: i64,
+    },
+    /// Branch-target marker; executes as a no-op.
+    Label(Label),
+    /// Unconditional branch.
+    Jmp(Label),
+    /// Conditional branch: jump when `cond(a, b)` holds.
+    JmpIf {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Target label.
+        target: Label,
+    },
+    /// Direct call: pushes the return address on the stack.
+    Call(FuncId),
+    /// Indirect call through a code pointer in `target`.
+    CallIndirect {
+        /// Register holding an encoded [`crate::func::CodeAddr`].
+        target: Reg,
+    },
+    /// Return: pops the return address from the stack and jumps to it.
+    Ret,
+    /// System call; arguments in `rdi`, `rsi`, `rdx`, result in `rax`.
+    Syscall {
+        /// System-call number.
+        nr: u64,
+    },
+    /// Allocator call `rax <- malloc(size)`; an instrumentation point for
+    /// heap-protection defenses.
+    Alloc {
+        /// Register holding the requested size.
+        size: Reg,
+    },
+    /// Allocator call `free(ptr)`.
+    Free {
+        /// Register holding the pointer.
+        ptr: Reg,
+    },
+    /// Stops the machine; the value of `rax` is the exit code.
+    Halt,
+    /// No operation.
+    Nop,
+
+    // --- hardware-feature operations inserted by instrumentation ---------
+    /// `bndmk`: loads bound register `bnd` with `[lower, upper]`.
+    BndMk {
+        /// Bound register index (0..3).
+        bnd: u8,
+        /// Lower bound.
+        lower: u64,
+        /// Upper bound (inclusive check limit).
+        upper: u64,
+    },
+    /// `bndcu`: raises `#BR` if `reg` is **above** the upper bound.
+    BndCu {
+        /// Bound register index (0..3).
+        bnd: u8,
+        /// Pointer register to check.
+        reg: Reg,
+    },
+    /// `bndcl`: raises `#BR` if `reg` is **below** the lower bound.
+    BndCl {
+        /// Bound register index (0..3).
+        bnd: u8,
+        /// Pointer register to check.
+        reg: Reg,
+    },
+    /// `rdpkru`: `dst <- pkru` (clobbers `rcx`, `rdx` architecturally).
+    RdPkru {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `wrpkru`: `pkru <- src` (requires `rcx = rdx = 0` on hardware).
+    WrPkru {
+        /// Source register.
+        src: Reg,
+    },
+    /// `mfence`: serializes memory accesses (cost-model only).
+    MFence,
+    /// `vmfunc(0, eptp)`: switch the active EPT. Faults if not in a VM.
+    VmFunc {
+        /// EPTP-list index to activate.
+        eptp: u32,
+    },
+    /// `vmcall`: hypercall to the (Dune) hypervisor.
+    VmCall {
+        /// Hypercall number; arguments in `rdi`, `rsi`, `rdx`.
+        nr: u64,
+    },
+    /// Copies AES round keys from the upper `ymm` halves into `xmm`
+    /// registers (11 moves; paper Table 4: 10 cycles).
+    YmmToXmm {
+        /// Number of 128-bit keys moved.
+        count: u8,
+    },
+    /// Encrypts or decrypts `chunks` 128-bit chunks in place at the
+    /// address in `base` using the machine's region cipher.
+    AesRegion {
+        /// Register holding the region base address.
+        base: Reg,
+        /// Number of 16-byte chunks.
+        chunks: u32,
+        /// `true` to decrypt, `false` to encrypt.
+        decrypt: bool,
+    },
+    /// Runs the AES-128 key schedule (paper Table 4: 121 cycles).
+    AesKeygen,
+    /// Derives the decryption round keys via `aesimc` (Table 4: 71 cycles).
+    AesImc,
+    /// ECALL: enters the enclave; EPC pages become accessible.
+    ///
+    /// One enter + exit pair costs the paper's measured 7664 cycles.
+    SgxEnter,
+    /// Exits the enclave (the return half of the ECALL, or an OCALL).
+    SgxExit,
+}
+
+impl Inst {
+    /// A one-byte opcode used when code pages are *materialized* into the
+    /// simulated address space (one byte per instruction, at the
+    /// instruction's [`crate::func::CodeAddr`] encoding). Reading these
+    /// bytes is what lets a JIT-ROP-style attacker fingerprint gadgets —
+    /// and what execute-only memory (Readactor) denies.
+    pub fn opcode_byte(&self) -> u8 {
+        match self {
+            Inst::MovImm { .. } => 0x01,
+            Inst::Mov { .. } => 0x02,
+            Inst::Lea { .. } => 0x03,
+            Inst::AluReg { .. } => 0x04,
+            Inst::AluImm { .. } => 0x05,
+            Inst::Load { .. } => 0x06,
+            Inst::Store { .. } => 0x07,
+            Inst::Label(_) => 0x08,
+            Inst::Jmp(_) => 0x09,
+            Inst::JmpIf { .. } => 0x0a,
+            Inst::Call(_) => 0x0b,
+            Inst::CallIndirect { .. } => 0x0c,
+            Inst::Ret => 0x0d,
+            Inst::Syscall { .. } => 0x0e,
+            Inst::Alloc { .. } => 0x0f,
+            Inst::Free { .. } => 0x10,
+            Inst::Halt => 0x11,
+            Inst::Nop => 0x12,
+            Inst::BndMk { .. } => 0x13,
+            Inst::BndCu { .. } => 0x14,
+            Inst::BndCl { .. } => 0x15,
+            Inst::RdPkru { .. } => 0x16,
+            Inst::WrPkru { .. } => 0x17,
+            Inst::MFence => 0x18,
+            Inst::VmFunc { .. } => 0x19,
+            Inst::VmCall { .. } => 0x1a,
+            Inst::YmmToXmm { .. } => 0x1b,
+            Inst::AesRegion { decrypt: false, .. } => 0x1c,
+            Inst::AesRegion { decrypt: true, .. } => 0x1d,
+            Inst::AesKeygen => 0x1e,
+            Inst::AesImc => 0x1f,
+            Inst::SgxEnter => 0x20,
+            Inst::SgxExit => 0x21,
+        }
+    }
+
+    /// Whether this instruction reads from memory (a load).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this instruction writes to memory (a store).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Whether this is an indirect branch (Table 1's "indirect branches").
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, Inst::CallIndirect { .. })
+    }
+
+    /// Whether this instruction enters or leaves a function (`call`/`ret`).
+    pub fn is_call_or_ret(&self) -> bool {
+        matches!(
+            self,
+            Inst::Call(_) | Inst::CallIndirect { .. } | Inst::Ret
+        )
+    }
+
+    /// Whether this is a system call.
+    pub fn is_syscall(&self) -> bool {
+        matches!(self, Inst::Syscall { .. })
+    }
+
+    /// Whether this is an allocator call (`malloc`/`free`).
+    pub fn is_allocator_call(&self) -> bool {
+        matches!(self, Inst::Alloc { .. } | Inst::Free { .. })
+    }
+}
+
+/// An instruction plus its MemSentry annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstNode {
+    /// The instruction.
+    pub inst: Inst,
+    /// The `saferegion_access` annotation: privileged instructions are
+    /// allowed to touch the safe region, so address-based passes do not
+    /// mask/check them and domain-based passes open the domain around them.
+    pub privileged: bool,
+}
+
+impl InstNode {
+    /// A plain (non-privileged) instruction node.
+    pub fn plain(inst: Inst) -> Self {
+        Self {
+            inst,
+            privileged: false,
+        }
+    }
+
+    /// A privileged instruction node (may touch the safe region).
+    pub fn privileged(inst: Inst) -> Self {
+        Self {
+            inst,
+            privileged: true,
+        }
+    }
+}
+
+impl From<Inst> for InstNode {
+    fn from(inst: Inst) -> Self {
+        Self::plain(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_covers_all_orderings() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(3, 4));
+        assert!(Cond::Le.eval(4, 4));
+        assert!(Cond::Gt.eval(5, 4));
+        assert!(Cond::Ge.eval(4, 4));
+        assert!(!Cond::Lt.eval(4, 3));
+    }
+
+    #[test]
+    fn instruction_class_predicates() {
+        let load = Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        };
+        let store = Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        };
+        assert!(load.is_load() && !load.is_store());
+        assert!(store.is_store() && !store.is_load());
+        assert!(Inst::Ret.is_call_or_ret());
+        assert!(Inst::Call(FuncId(0)).is_call_or_ret());
+        assert!(Inst::CallIndirect { target: Reg::Rax }.is_indirect_branch());
+        assert!(Inst::Syscall { nr: 1 }.is_syscall());
+        assert!(Inst::Alloc { size: Reg::Rdi }.is_allocator_call());
+        assert!(Inst::Free { ptr: Reg::Rdi }.is_allocator_call());
+        assert!(!Inst::Nop.is_call_or_ret());
+    }
+
+    #[test]
+    fn opcode_bytes_distinguish_instruction_classes() {
+        let a = Inst::MovImm { dst: Reg::Rax, imm: 0 }.opcode_byte();
+        let b = Inst::Ret.opcode_byte();
+        let c = Inst::Halt.opcode_byte();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // Same class, different operands: same opcode.
+        assert_eq!(
+            Inst::MovImm { dst: Reg::Rbx, imm: 7 }.opcode_byte(),
+            a
+        );
+    }
+
+    #[test]
+    fn node_privilege_marking() {
+        let n = InstNode::plain(Inst::Nop);
+        assert!(!n.privileged);
+        let p = InstNode::privileged(Inst::Nop);
+        assert!(p.privileged);
+        let via_from: InstNode = Inst::Halt.into();
+        assert!(!via_from.privileged);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Intermediate representation for the MemSentry reproduction.
+//!
+//! MemSentry is an LLVM pass: it transforms a program's IR, inserting
+//! isolation instrumentation around memory accesses and instrumentation
+//! points (paper Figure 1). This crate provides the equivalent
+//! representation for the simulated machine:
+//!
+//! * [`reg`] — the architectural register file names.
+//! * [`inst`] — the instruction set, including the repurposed hardware
+//!   operations (`bndcu`/`bndcl`, `rdpkru`/`wrpkru`, `vmfunc`, `vmcall`,
+//!   AES region ops) that the instrumentation passes insert.
+//! * [`func`] — functions, labels, programs, and a builder API.
+//! * [`mod@verify`] — a structural verifier run after every pass.
+//! * [`mod@print`] — a textual disassembler for debugging and docs.
+//!
+//! Instructions carry a `privileged` flag — the equivalent of MemSentry's
+//! `saferegion_access(ins)` annotation: address-based passes skip
+//! instrumenting privileged accesses, domain-based passes wrap them with
+//! domain switches.
+
+pub mod func;
+pub mod inst;
+pub mod parse;
+pub mod print;
+pub mod reg;
+pub mod verify;
+
+pub use func::{CodeAddr, FuncId, Function, FunctionBuilder, Program};
+pub use inst::{AluOp, Cond, Inst, InstNode, Label};
+pub use parse::{parse_program, ParseError};
+pub use reg::Reg;
+pub use verify::{verify, VerifyError};

@@ -1,0 +1,419 @@
+//! Parser for the textual listing produced by [`crate::print`].
+//!
+//! `parse_program(&format_program(&p))` reproduces `p` exactly, so
+//! programs can be stored as golden files, hand-edited in tests, and
+//! round-tripped through the disassembler. The grammar is exactly the
+//! printer's output; the parser reports line-precise errors.
+
+use crate::func::{FuncId, Function, Program};
+use crate::inst::{AluOp, Cond, Inst, InstNode, Label};
+use crate::reg::Reg;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    for r in Reg::ALL {
+        if r.to_string() == s {
+            return Ok(r);
+        }
+    }
+    Err(err(line, format!("unknown register '{s}'")))
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, ParseError> {
+    let s = s.trim().trim_end_matches(',').trim_end_matches(']');
+    let (digits, radix, neg) = if let Some(rest) = s.strip_prefix("-0x") {
+        (rest, 16, true)
+    } else if let Some(rest) = s.strip_prefix("0x") {
+        (rest, 16, false)
+    } else if let Some(rest) = s.strip_prefix('-') {
+        (rest, 10, true)
+    } else {
+        (s, 10, false)
+    };
+    let v = u64::from_str_radix(digits, radix)
+        .map_err(|e| err(line, format!("bad number '{s}': {e}")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Parses a `[reg+0x..]` or `[reg-0x..]` memory operand.
+fn parse_mem(s: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let inner = s
+        .trim()
+        .trim_end_matches(',')
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got '{s}'")))?;
+    match inner.find(['+', '-']) {
+        Some(split) => {
+            let reg = parse_reg(&inner[..split], line)?;
+            let off = parse_u64(&inner[split..].replace('+', ""), line)? as i64;
+            Ok((reg, off))
+        }
+        // Bare `[reg]` (e.g. the AES region operand).
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+fn parse_label(s: &str, line: usize) -> Result<Label, ParseError> {
+    let n = s
+        .trim()
+        .trim_end_matches(':')
+        .strip_prefix(".L")
+        .ok_or_else(|| err(line, format!("expected label, got '{s}'")))?;
+    Ok(Label(
+        n.parse()
+            .map_err(|e| err(line, format!("bad label '{s}': {e}")))?,
+    ))
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
+    let text = text.trim();
+    if let Some(label) = text.strip_suffix(':') {
+        return Ok(Inst::Label(parse_label(label, line)?));
+    }
+    let (op, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let alu = |op: AluOp| -> Result<Inst, ParseError> {
+        let dst = parse_reg(args[0], line)?;
+        if let Ok(src) = parse_reg(args[1], line) {
+            Ok(Inst::AluReg { op, dst, src })
+        } else {
+            Ok(Inst::AluImm {
+                op,
+                dst,
+                imm: parse_u64(args[1], line)?,
+            })
+        }
+    };
+    match op {
+        "mov" => {
+            if args.len() != 2 {
+                return Err(err(line, "mov needs two operands"));
+            }
+            if args[0].starts_with('[') {
+                let (addr, offset) = parse_mem(args[0], line)?;
+                Ok(Inst::Store {
+                    src: parse_reg(args[1], line)?,
+                    addr,
+                    offset,
+                })
+            } else if args[1].starts_with('[') {
+                let (addr, offset) = parse_mem(args[1], line)?;
+                Ok(Inst::Load {
+                    dst: parse_reg(args[0], line)?,
+                    addr,
+                    offset,
+                })
+            } else if let Ok(src) = parse_reg(args[1], line) {
+                Ok(Inst::Mov {
+                    dst: parse_reg(args[0], line)?,
+                    src,
+                })
+            } else {
+                Ok(Inst::MovImm {
+                    dst: parse_reg(args[0], line)?,
+                    imm: parse_u64(args[1], line)?,
+                })
+            }
+        }
+        "lea" => {
+            let (base, offset) = parse_mem(args[1], line)?;
+            Ok(Inst::Lea {
+                dst: parse_reg(args[0], line)?,
+                base,
+                offset,
+            })
+        }
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "shl" => alu(AluOp::Shl),
+        "shr" => alu(AluOp::Shr),
+        "mul" => alu(AluOp::Mul),
+        "jmp" => Ok(Inst::Jmp(parse_label(args[0], line)?)),
+        "jeq" | "jne" | "jlt" | "jle" | "jgt" | "jge" => {
+            let cond = match op {
+                "jeq" => Cond::Eq,
+                "jne" => Cond::Ne,
+                "jlt" => Cond::Lt,
+                "jle" => Cond::Le,
+                "jgt" => Cond::Gt,
+                _ => Cond::Ge,
+            };
+            Ok(Inst::JmpIf {
+                cond,
+                a: parse_reg(args[0], line)?,
+                b: parse_reg(args[1], line)?,
+                target: parse_label(args[2], line)?,
+            })
+        }
+        "call" => {
+            let target = args[0];
+            if let Some(reg) = target.strip_prefix('*') {
+                Ok(Inst::CallIndirect {
+                    target: parse_reg(reg, line)?,
+                })
+            } else if let Some(f) = target.strip_prefix("fn") {
+                Ok(Inst::Call(FuncId(
+                    f.parse()
+                        .map_err(|e| err(line, format!("bad function '{target}': {e}")))?,
+                )))
+            } else if let Some(arg) = target
+                .strip_prefix("malloc(")
+                .and_then(|t| t.strip_suffix(')'))
+            {
+                Ok(Inst::Alloc {
+                    size: parse_reg(arg, line)?,
+                })
+            } else if let Some(arg) = target
+                .strip_prefix("free(")
+                .and_then(|t| t.strip_suffix(')'))
+            {
+                Ok(Inst::Free {
+                    ptr: parse_reg(arg, line)?,
+                })
+            } else {
+                Err(err(line, format!("bad call target '{target}'")))
+            }
+        }
+        "ret" => Ok(Inst::Ret),
+        "syscall" => Ok(Inst::Syscall {
+            nr: parse_u64(args[0], line)?,
+        }),
+        "hlt" => Ok(Inst::Halt),
+        "nop" => Ok(Inst::Nop),
+        "bndmk" => {
+            // bndmk bnd0, [lo, hi]
+            let bnd = args[0]
+                .strip_prefix("bnd")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(line, "bad bound register"))?;
+            let lower = parse_u64(args[1].trim_start_matches('['), line)?;
+            let upper = parse_u64(args[2].trim_end_matches(']'), line)?;
+            Ok(Inst::BndMk { bnd, lower, upper })
+        }
+        "bndcu" | "bndcl" => {
+            let reg = parse_reg(args[0], line)?;
+            let bnd = args[1]
+                .strip_prefix("bnd")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(line, "bad bound register"))?;
+            Ok(if op == "bndcu" {
+                Inst::BndCu { bnd, reg }
+            } else {
+                Inst::BndCl { bnd, reg }
+            })
+        }
+        "rdpkru" => Ok(Inst::RdPkru {
+            dst: parse_reg(args[0], line)?,
+        }),
+        "wrpkru" => Ok(Inst::WrPkru {
+            src: parse_reg(args[0], line)?,
+        }),
+        "mfence" => Ok(Inst::MFence),
+        "vmfunc" => Ok(Inst::VmFunc {
+            eptp: parse_u64(args[1], line)? as u32,
+        }),
+        "vmcall" => Ok(Inst::VmCall {
+            nr: parse_u64(args[0], line)?,
+        }),
+        "vextracti128" => {
+            let count = args[0]
+                .strip_prefix('x')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(line, "bad key count"))?;
+            Ok(Inst::YmmToXmm { count })
+        }
+        "aesenc" | "aesdec" => {
+            // aesenc [r10], 4 chunks
+            let (base, _) = parse_mem(args[0], line)?;
+            let chunks = args[1]
+                .split_whitespace()
+                .next()
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(line, "bad chunk count"))?;
+            Ok(Inst::AesRegion {
+                base,
+                chunks,
+                decrypt: op == "aesdec",
+            })
+        }
+        "aeskeygenassist" => Ok(Inst::AesKeygen),
+        "aesimc" => Ok(Inst::AesImc),
+        "eenter" => Ok(Inst::SgxEnter),
+        "eexit" => Ok(Inst::SgxExit),
+        _ => Err(err(line, format!("unknown mnemonic '{op}'"))),
+    }
+}
+
+/// Parses a whole listing back into a [`Program`].
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    let mut current: Option<Function> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !raw.starts_with(' ') {
+            // Function header: `fn0 <name>[ [privileged]]:`
+            if let Some(f) = current.take() {
+                program.add_function(f);
+            }
+            let name = line
+                .split('<')
+                .nth(1)
+                .and_then(|t| t.split('>').next())
+                .ok_or_else(|| err(line_no, format!("bad function header '{line}'")))?;
+            let mut func = Function::new(name);
+            func.privileged = line.contains("[privileged]");
+            current = Some(func);
+            continue;
+        }
+        let func = current
+            .as_mut()
+            .ok_or_else(|| err(line_no, "instruction before any function header"))?;
+        let body = line.trim_start();
+        let (privileged, text) = match body.strip_prefix("! ") {
+            Some(rest) => (true, rest),
+            None => (false, body),
+        };
+        let inst = parse_inst(text, line_no)?;
+        func.body.push(InstNode {
+            inst,
+            privileged,
+        });
+    }
+    if let Some(f) = current.take() {
+        program.add_function(f);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::format_program;
+    use crate::func::FunctionBuilder;
+
+    fn roundtrip(p: &Program) {
+        let text = format_program(p);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(&parsed, p, "listing:\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_every_instruction_kind() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("kitchen_sink");
+        let l = b.new_label();
+        b.push(Inst::MovImm { dst: Reg::Rax, imm: 0xdead });
+        b.push(Inst::Mov { dst: Reg::Rbx, src: Reg::Rax });
+        b.push(Inst::Lea { dst: Reg::Rcx, base: Reg::Rbx, offset: -8 });
+        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rbx });
+        b.push(Inst::AluImm { op: AluOp::Xor, dst: Reg::Rax, imm: 0xff });
+        b.push(Inst::Load { dst: Reg::Rdx, addr: Reg::Rbx, offset: 16 });
+        b.push_privileged(Inst::Store { src: Reg::Rdx, addr: Reg::Rbx, offset: 0 });
+        b.bind(l);
+        b.push(Inst::JmpIf { cond: Cond::Ne, a: Reg::Rax, b: Reg::Rbx, target: l });
+        b.push(Inst::Call(FuncId(1)));
+        b.push(Inst::CallIndirect { target: Reg::R8 });
+        b.push(Inst::Syscall { nr: 2 });
+        b.push(Inst::Alloc { size: Reg::Rdi });
+        b.push(Inst::Free { ptr: Reg::Rax });
+        b.push(Inst::BndMk { bnd: 0, lower: 0, upper: 0x3fff_ffff_ffff });
+        b.push(Inst::BndCu { bnd: 0, reg: Reg::Rcx });
+        b.push(Inst::BndCl { bnd: 1, reg: Reg::Rcx });
+        b.push(Inst::RdPkru { dst: Reg::R9 });
+        b.push(Inst::WrPkru { src: Reg::R9 });
+        b.push(Inst::MFence);
+        b.push(Inst::VmFunc { eptp: 1 });
+        b.push(Inst::VmCall { nr: 0x100 });
+        b.push(Inst::YmmToXmm { count: 11 });
+        b.push(Inst::AesRegion { base: Reg::R10, chunks: 4, decrypt: true });
+        b.push(Inst::AesRegion { base: Reg::R10, chunks: 4, decrypt: false });
+        b.push(Inst::AesKeygen);
+        b.push(Inst::AesImc);
+        b.push(Inst::SgxEnter);
+        b.push(Inst::SgxExit);
+        b.push(Inst::Nop);
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut callee = FunctionBuilder::new("callee");
+        callee.push(Inst::Ret);
+        p.add_function(callee.privileged().finish());
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn preserves_privileged_markers_and_function_attrs() {
+        let text = "\
+fn0 <main>:
+    mov    rax, 0x1
+  ! mov    [rbx+0x0], rax
+    hlt
+fn1 <rt> [privileged]:
+    ret
+";
+        let p = parse_program(text).unwrap();
+        assert!(!p.functions[0].body[0].privileged);
+        assert!(p.functions[0].body[1].privileged);
+        assert!(p.functions[1].privileged);
+        assert_eq!(p.functions[1].name, "rt");
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "fn0 <main>:\n    mov rax, 0x1\n    frobnicate rax\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_instructions_outside_functions() {
+        let e = parse_program("    nop\n").unwrap_err();
+        assert!(e.message.contains("before any function"));
+    }
+
+    #[test]
+    fn negative_displacements_roundtrip() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rsp, offset: -64 });
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        roundtrip(&p);
+    }
+}

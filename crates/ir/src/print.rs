@@ -1,0 +1,119 @@
+//! Textual disassembly of programs.
+//!
+//! Produces a readable listing similar to the paper's Figure 2, used by the
+//! examples and for debugging instrumentation passes.
+
+use crate::func::Program;
+use crate::inst::Inst;
+
+/// Renders one instruction as assembly-like text.
+pub fn format_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::MovImm { dst, imm } => format!("mov    {dst}, {imm:#x}"),
+        Inst::Mov { dst, src } => format!("mov    {dst}, {src}"),
+        Inst::Lea { dst, base, offset } => format!("lea    {dst}, [{base}{offset:+#x}]"),
+        Inst::AluReg { op, dst, src } => format!("{:<6} {dst}, {src}", format!("{op:?}").to_lowercase()),
+        Inst::AluImm { op, dst, imm } => {
+            format!("{:<6} {dst}, {imm:#x}", format!("{op:?}").to_lowercase())
+        }
+        Inst::Load { dst, addr, offset } => format!("mov    {dst}, [{addr}{offset:+#x}]"),
+        Inst::Store { src, addr, offset } => format!("mov    [{addr}{offset:+#x}], {src}"),
+        Inst::Label(l) => format!(".L{}:", l.0),
+        Inst::Jmp(l) => format!("jmp    .L{}", l.0),
+        Inst::JmpIf { cond, a, b, target } => {
+            format!("j{:<5} {a}, {b}, .L{}", format!("{cond:?}").to_lowercase(), target.0)
+        }
+        Inst::Call(f) => format!("call   fn{}", f.0),
+        Inst::CallIndirect { target } => format!("call   *{target}"),
+        Inst::Ret => "ret".to_string(),
+        Inst::Syscall { nr } => format!("syscall {nr}"),
+        Inst::Alloc { size } => format!("call   malloc({size})"),
+        Inst::Free { ptr } => format!("call   free({ptr})"),
+        Inst::Halt => "hlt".to_string(),
+        Inst::Nop => "nop".to_string(),
+        Inst::BndMk { bnd, lower, upper } => {
+            format!("bndmk  bnd{bnd}, [{lower:#x}, {upper:#x}]")
+        }
+        Inst::BndCu { bnd, reg } => format!("bndcu  {reg}, bnd{bnd}"),
+        Inst::BndCl { bnd, reg } => format!("bndcl  {reg}, bnd{bnd}"),
+        Inst::RdPkru { dst } => format!("rdpkru {dst}"),
+        Inst::WrPkru { src } => format!("wrpkru {src}"),
+        Inst::MFence => "mfence".to_string(),
+        Inst::VmFunc { eptp } => format!("vmfunc 0, {eptp}"),
+        Inst::VmCall { nr } => format!("vmcall {nr}"),
+        Inst::YmmToXmm { count } => format!("vextracti128 x{count}"),
+        Inst::AesRegion {
+            base,
+            chunks,
+            decrypt,
+        } => format!(
+            "{}    [{base}], {chunks} chunks",
+            if *decrypt { "aesdec" } else { "aesenc" }
+        ),
+        Inst::AesKeygen => "aeskeygenassist x10".to_string(),
+        Inst::AesImc => "aesimc x9".to_string(),
+        Inst::SgxEnter => "eenter".to_string(),
+        Inst::SgxExit => "eexit".to_string(),
+    }
+}
+
+/// Renders the whole program as a listing.
+pub fn format_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        let tag = if f.privileged { " [privileged]" } else { "" };
+        out.push_str(&format!("fn{} <{}>{}:\n", i, f.name, tag));
+        for node in &f.body {
+            let priv_mark = if node.privileged { "!" } else { " " };
+            out.push_str(&format!("  {priv_mark} {}\n", format_inst(&node.inst)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncId, FunctionBuilder, Program};
+    use crate::reg::Reg;
+
+    #[test]
+    fn formats_figure2_style_sequence() {
+        // The paper's Figure 2b: lea + bndcu + mov.
+        let lea = Inst::Lea {
+            dst: Reg::Rcx,
+            base: Reg::Rbx,
+            offset: 8,
+        };
+        let chk = Inst::BndCu {
+            bnd: 0,
+            reg: Reg::Rcx,
+        };
+        let mov = Inst::Store {
+            src: Reg::Rdi,
+            addr: Reg::Rcx,
+            offset: 0,
+        };
+        assert_eq!(format_inst(&lea), "lea    rcx, [rbx+0x8]");
+        assert_eq!(format_inst(&chk), "bndcu  rcx, bnd0");
+        assert_eq!(format_inst(&mov), "mov    [rcx+0x0], rdi");
+    }
+
+    #[test]
+    fn program_listing_marks_privileged() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Call(FuncId(0)));
+        b.push_privileged(Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let text = format_program(&p);
+        assert!(text.contains("fn0 <main>"));
+        assert!(text.contains("! mov"));
+        assert!(text.contains("hlt"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Architectural general-purpose register names.
+
+/// The sixteen x86-64 general-purpose registers.
+///
+/// The instrumentation passes care about specific registers because the
+/// hardware features do: `wrpkru` clobbers `rax`, `rcx`, `rdx` (paper §5.2)
+/// and `vmfunc` takes its function number in `rax` and the EPTP index in
+/// `rcx` (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rbx,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::Rbp,
+        Reg::Rsp,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Index of the register in the machine's register file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The registers clobbered by the MPK instrumentation sequence.
+    pub const PKRU_CLOBBERS: [Reg; 3] = [Reg::Rax, Reg::Rcx, Reg::Rdx];
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Reg::Rax => "rax",
+            Reg::Rbx => "rbx",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::Rbp => "rbp",
+            Reg::Rsp => "rsp",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::Rax.to_string(), "rax");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+}

@@ -1,0 +1,255 @@
+//! Structural verification of programs.
+//!
+//! Every instrumentation pass must leave the program verifiable; the pass
+//! manager re-runs the verifier after each pass so a transformation bug is
+//! caught at instrumentation time rather than as a confusing interpreter
+//! fault.
+
+use std::collections::HashSet;
+
+use crate::func::{FuncId, Program, MAX_FUNC_INSTS};
+use crate::inst::{Inst, Label};
+
+/// A structural defect found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no functions.
+    Empty,
+    /// The entry function id is out of range.
+    BadEntry(FuncId),
+    /// A label is bound more than once in a function.
+    DuplicateLabel {
+        /// Offending function.
+        func: FuncId,
+        /// The label.
+        label: Label,
+    },
+    /// A branch targets a label that is never bound.
+    UndefinedLabel {
+        /// Offending function.
+        func: FuncId,
+        /// The label.
+        label: Label,
+    },
+    /// A direct call targets a function that does not exist.
+    BadCallTarget {
+        /// Offending function.
+        func: FuncId,
+        /// The missing callee.
+        callee: FuncId,
+    },
+    /// A bound-register index is not in 0..=3.
+    BadBndRegister {
+        /// Offending function.
+        func: FuncId,
+        /// The index used.
+        bnd: u8,
+    },
+    /// Function body exceeds what a [`crate::func::CodeAddr`] can encode.
+    FunctionTooLarge {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// Execution can fall off the end of the function (the last
+    /// instruction is not `ret`, `halt` or an unconditional jump).
+    FallsOffEnd {
+        /// Offending function.
+        func: FuncId,
+    },
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "program has no functions"),
+            VerifyError::BadEntry(id) => write!(f, "entry function {} out of range", id.0),
+            VerifyError::DuplicateLabel { func, label } => {
+                write!(f, "function {}: label {} bound twice", func.0, label.0)
+            }
+            VerifyError::UndefinedLabel { func, label } => {
+                write!(f, "function {}: label {} never bound", func.0, label.0)
+            }
+            VerifyError::BadCallTarget { func, callee } => {
+                write!(f, "function {}: call to missing function {}", func.0, callee.0)
+            }
+            VerifyError::BadBndRegister { func, bnd } => {
+                write!(f, "function {}: bound register {} out of range", func.0, bnd)
+            }
+            VerifyError::FunctionTooLarge { func } => {
+                write!(f, "function {} exceeds encodable size", func.0)
+            }
+            VerifyError::FallsOffEnd { func } => {
+                write!(f, "function {} can fall off its end", func.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies the structural invariants of `program`.
+pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    if program.functions.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if program.entry.0 as usize >= program.functions.len() {
+        return Err(VerifyError::BadEntry(program.entry));
+    }
+    for (fi, func) in program.functions.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        if func.body.len() as u64 >= MAX_FUNC_INSTS {
+            return Err(VerifyError::FunctionTooLarge { func: fid });
+        }
+        let mut bound: HashSet<Label> = HashSet::new();
+        let mut used: HashSet<Label> = HashSet::new();
+        for node in &func.body {
+            match node.inst {
+                Inst::Label(l)
+                    if !bound.insert(l) => {
+                        return Err(VerifyError::DuplicateLabel { func: fid, label: l });
+                    }
+                Inst::Jmp(l) => {
+                    used.insert(l);
+                }
+                Inst::JmpIf { target, .. } => {
+                    used.insert(target);
+                }
+                Inst::Call(callee)
+                    if callee.0 as usize >= program.functions.len() => {
+                        return Err(VerifyError::BadCallTarget { func: fid, callee });
+                    }
+                Inst::BndMk { bnd, .. } | Inst::BndCu { bnd, .. } | Inst::BndCl { bnd, .. }
+                    if bnd > 3 => {
+                        return Err(VerifyError::BadBndRegister { func: fid, bnd });
+                    }
+                _ => {}
+            }
+        }
+        if let Some(l) = used.difference(&bound).next() {
+            return Err(VerifyError::UndefinedLabel { func: fid, label: *l });
+        }
+        let terminated = matches!(
+            func.body.last().map(|n| n.inst),
+            Some(Inst::Ret) | Some(Inst::Halt) | Some(Inst::Jmp(_))
+        );
+        if !terminated {
+            return Err(VerifyError::FallsOffEnd { func: fid });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Function, FunctionBuilder};
+    use crate::reg::Reg;
+
+    fn ret_fn(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        b.push(Inst::Ret);
+        b.finish()
+    }
+
+    #[test]
+    fn empty_program_fails() {
+        assert_eq!(verify(&Program::new()), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn minimal_valid_program_passes() {
+        let mut p = Program::new();
+        p.add_function(ret_fn("main"));
+        assert_eq!(verify(&p), Ok(()));
+    }
+
+    #[test]
+    fn bad_entry_detected() {
+        let mut p = Program::new();
+        p.add_function(ret_fn("main"));
+        p.entry = FuncId(3);
+        assert!(matches!(verify(&p), Err(VerifyError::BadEntry(_))));
+    }
+
+    #[test]
+    fn undefined_label_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Jmp(Label(9)));
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::UndefinedLabel { label: Label(9), .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Label(Label(0)));
+        b.push(Inst::Label(Label(0)));
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_call_target_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Call(FuncId(7)));
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::BadCallTarget { callee: FuncId(7), .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bnd_register_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::BndCu {
+            bnd: 4,
+            reg: Reg::Rax,
+        });
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::BadBndRegister { bnd: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn falling_off_end_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Nop);
+        p.add_function(b.finish());
+        assert!(matches!(verify(&p), Err(VerifyError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn conditional_branch_to_bound_label_passes() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.push(Inst::JmpIf {
+            cond: crate::inst::Cond::Eq,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: l,
+        });
+        b.bind(l);
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        assert_eq!(verify(&p), Ok(()));
+    }
+}

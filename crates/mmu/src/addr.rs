@@ -1,0 +1,146 @@
+//! Address types and layout constants.
+//!
+//! The simulated machine uses the x86-64 canonical 48-bit virtual address
+//! space. Following the paper's address-based partitioning (§5.4, Figure 2),
+//! the *sensitive partition* is everything at or above 64 TB
+//! ([`SENSITIVE_BASE`]); the SFI mask and the single MPX upper bound are
+//! both derived from that split.
+
+/// Number of implemented virtual-address bits.
+pub const VA_BITS: u32 = 48;
+
+/// Page size in bytes (4 KiB pages only; large pages are out of scope).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// First address of the sensitive partition: 64 TB.
+///
+/// The paper masks pointers with `0x00003fffffffffff` (Figure 2c) and sets
+/// `bnd0.upper` to 64 TB, so user-visible addresses below this limit are
+/// non-sensitive and everything in `[64 TB, 128 TB)` is sensitive.
+pub const SENSITIVE_BASE: u64 = 64 << 40;
+
+/// The SFI mask from the paper's Figure 2c: confines a pointer below 64 TB.
+pub const SFI_MASK: u64 = 0x0000_3fff_ffff_ffff;
+
+/// End of the user portion of the address space (128 TB, 47 bits).
+pub const USER_TOP: u64 = 128 << 40;
+
+/// A virtual address in the simulated guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl VirtAddr {
+    /// Returns the page-aligned base of the page containing this address.
+    #[inline]
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Returns the offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the virtual page number.
+    #[inline]
+    pub fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Whether the address lies in the low (user, positive) canonical half.
+    ///
+    /// The simulation only maps user addresses, so "canonical" here means
+    /// below 2^47.
+    #[inline]
+    pub fn is_canonical_user(self) -> bool {
+        self.0 < USER_TOP
+    }
+
+    /// Whether the address falls in the sensitive partition (>= 64 TB).
+    #[inline]
+    pub fn is_sensitive_partition(self) -> bool {
+        self.0 >= SENSITIVE_BASE
+    }
+
+    /// Index into the page-table level `level` (3 = root .. 0 = leaf).
+    #[inline]
+    pub fn pt_index(self, level: u32) -> u64 {
+        (self.0 >> (PAGE_SHIFT + 9 * level)) & 0x1ff
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical frame number.
+    #[inline]
+    pub fn pfn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Returns the offset within the frame.
+    #[inline]
+    pub fn frame_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl core::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+impl core::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.page_base().0, 0x1234_5000);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.vpn(), 0x12345);
+    }
+
+    #[test]
+    fn pt_indices_cover_48_bits() {
+        let a = VirtAddr(0x0000_ffff_ffff_ffff);
+        for level in 0..4 {
+            assert_eq!(a.pt_index(level), 0x1ff);
+        }
+        let b = VirtAddr((1 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 5);
+        assert_eq!(b.pt_index(3), 1);
+        assert_eq!(b.pt_index(2), 2);
+        assert_eq!(b.pt_index(1), 3);
+        assert_eq!(b.pt_index(0), 4);
+        assert_eq!(b.page_offset(), 5);
+    }
+
+    #[test]
+    fn sensitive_partition_boundary() {
+        assert!(!VirtAddr(SENSITIVE_BASE - 1).is_sensitive_partition());
+        assert!(VirtAddr(SENSITIVE_BASE).is_sensitive_partition());
+        // The SFI mask confines any address below the boundary.
+        assert_eq!(SFI_MASK + 1, SENSITIVE_BASE);
+    }
+
+    #[test]
+    fn canonical_user_limits() {
+        assert!(VirtAddr(0).is_canonical_user());
+        assert!(VirtAddr(USER_TOP - 1).is_canonical_user());
+        assert!(!VirtAddr(USER_TOP).is_canonical_user());
+    }
+}

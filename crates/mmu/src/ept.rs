@@ -1,0 +1,288 @@
+//! Extended page tables and EPT-pointer switching.
+//!
+//! Under VT-x, guest-physical addresses produced by the guest's own page
+//! tables are translated again through the active EPT. The VMFUNC isolation
+//! technique (paper §3.1, §5.1) maintains a *list* of EPTs: every EPT maps
+//! all normal pages, but the safe region's pages are present **only** in the
+//! secure EPT. The guest switches the active EPT with
+//! `vmfunc(0, index)` — no hypervisor exit — so sensitive pages exist only
+//! between the open/close calls the instrumentation inserts.
+//!
+//! This module models the EPT list at page granularity. The Dune-like
+//! hypervisor in `memsentry-hv` populates it on demand, mirrors the paper's
+//! "mark mapping secret" hypercall, and exposes `vmfunc`.
+
+use std::collections::HashMap;
+
+/// Access attempted through the EPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EptAccess {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// An EPT violation (would be a VM exit on real hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptViolation {
+    /// Guest-physical frame number of the faulting access.
+    pub gpfn: u64,
+    /// The access that faulted.
+    pub access: EptAccess,
+    /// Index of the EPT that was active.
+    pub ept_index: usize,
+}
+
+/// One guest-physical-to-host mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptEntry {
+    /// Host physical frame number.
+    pub hpfn: u64,
+    /// Read permitted.
+    pub read: bool,
+    /// Write permitted.
+    pub write: bool,
+    /// Execute permitted.
+    pub exec: bool,
+}
+
+impl EptEntry {
+    /// Identity RWX mapping for `gpfn`.
+    pub fn identity(gpfn: u64) -> Self {
+        Self {
+            hpfn: gpfn,
+            read: true,
+            write: true,
+            exec: true,
+        }
+    }
+
+    fn permits(&self, access: EptAccess) -> bool {
+        match access {
+            EptAccess::Read => self.read,
+            EptAccess::Write => self.write,
+            EptAccess::Exec => self.exec,
+        }
+    }
+}
+
+/// One extended page table.
+#[derive(Debug, Default)]
+pub struct Ept {
+    entries: HashMap<u64, Option<EptEntry>>,
+}
+
+impl Ept {
+    /// Looks up `gpfn`; `None` means not yet populated (an EPT fault the
+    /// hypervisor may service on demand), `Some(None)` means explicitly
+    /// unmapped (a secret page of another domain).
+    pub fn lookup(&self, gpfn: u64) -> Option<Option<EptEntry>> {
+        self.entries.get(&gpfn).copied()
+    }
+
+    /// Installs a mapping.
+    pub fn map(&mut self, gpfn: u64, entry: EptEntry) {
+        self.entries.insert(gpfn, Some(entry));
+    }
+
+    /// Explicitly removes a mapping so on-demand population cannot restore
+    /// it (how secret pages are hidden from the non-secure EPTs).
+    pub fn deny(&mut self, gpfn: u64) {
+        self.entries.insert(gpfn, None);
+    }
+
+    /// Number of populated (or denied) slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no slots are populated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The hypervisor's list of EPTs plus the active pointer.
+#[derive(Debug)]
+pub struct EptSet {
+    epts: Vec<Ept>,
+    active: usize,
+    /// When `true`, unpopulated slots fault into on-demand identity
+    /// mappings (like Dune's demand-fill) rather than violating.
+    demand_fill: bool,
+    switches: u64,
+}
+
+/// Maximum number of EPTP-list entries supported by `vmfunc` (Table 3).
+pub const MAX_EPTS: usize = 512;
+
+impl EptSet {
+    /// Creates `count` empty EPTs with EPT 0 active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds [`MAX_EPTS`]; the EPTP list is a
+    /// fixed-size hardware structure configured by the hypervisor.
+    pub fn new(count: usize, demand_fill: bool) -> Self {
+        assert!((1..=MAX_EPTS).contains(&count), "EPTP list size {count}");
+        Self {
+            epts: (0..count).map(|_| Ept::default()).collect(),
+            active: 0,
+            demand_fill,
+            switches: 0,
+        }
+    }
+
+    /// Number of EPTs in the list.
+    pub fn count(&self) -> usize {
+        self.epts.len()
+    }
+
+    /// Index of the active EPT.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// Number of `vmfunc` switches performed.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// `vmfunc(0, index)`: switches the active EPT.
+    ///
+    /// Returns `false` (a VM exit on hardware) if `index` is out of range.
+    pub fn vmfunc_switch(&mut self, index: usize) -> bool {
+        if index >= self.epts.len() {
+            return false;
+        }
+        self.active = index;
+        self.switches += 1;
+        true
+    }
+
+    /// Accesses EPT `index` mutably (hypervisor-side operation).
+    pub fn ept_mut(&mut self, index: usize) -> &mut Ept {
+        &mut self.epts[index]
+    }
+
+    /// Marks `gpfn` secret to EPT `owner`: mapped there, denied everywhere
+    /// else. This is the hypercall MemSentry adds to Dune (paper §5.1).
+    pub fn mark_secret(&mut self, gpfn: u64, owner: usize) {
+        for (i, ept) in self.epts.iter_mut().enumerate() {
+            if i == owner {
+                ept.map(gpfn, EptEntry::identity(gpfn));
+            } else {
+                ept.deny(gpfn);
+            }
+        }
+    }
+
+    /// Translates `gpfn` through the active EPT.
+    pub fn translate(&mut self, gpfn: u64, access: EptAccess) -> Result<u64, EptViolation> {
+        let violation = EptViolation {
+            gpfn,
+            access,
+            ept_index: self.active,
+        };
+        let ept = &mut self.epts[self.active];
+        match ept.lookup(gpfn) {
+            Some(Some(entry)) => {
+                if entry.permits(access) {
+                    Ok(entry.hpfn)
+                } else {
+                    Err(violation)
+                }
+            }
+            Some(None) => Err(violation),
+            None => {
+                if self.demand_fill {
+                    // Dune-style: populate an identity mapping on fault.
+                    ept.map(gpfn, EptEntry::identity(gpfn));
+                    Ok(gpfn)
+                } else {
+                    Err(violation)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_fill_populates_identity() {
+        let mut set = EptSet::new(2, true);
+        assert_eq!(set.translate(7, EptAccess::Read), Ok(7));
+        assert_eq!(set.epts[0].len(), 1);
+    }
+
+    #[test]
+    fn without_demand_fill_unpopulated_violates() {
+        let mut set = EptSet::new(1, false);
+        let err = set.translate(7, EptAccess::Read).unwrap_err();
+        assert_eq!(err.gpfn, 7);
+        assert_eq!(err.ept_index, 0);
+    }
+
+    #[test]
+    fn secret_page_visible_only_in_owner_ept() {
+        let mut set = EptSet::new(2, true);
+        set.mark_secret(100, 1);
+        // From EPT 0 (default domain) the page violates...
+        let err = set.translate(100, EptAccess::Read).unwrap_err();
+        assert_eq!(err.access, EptAccess::Read);
+        // ...and demand fill must NOT resurrect it.
+        assert!(set.translate(100, EptAccess::Read).is_err());
+        // After vmfunc to the secure EPT the page is reachable.
+        assert!(set.vmfunc_switch(1));
+        assert_eq!(set.translate(100, EptAccess::Read), Ok(100));
+        // Normal pages stay reachable from both.
+        assert_eq!(set.translate(5, EptAccess::Write), Ok(5));
+        assert!(set.vmfunc_switch(0));
+        assert_eq!(set.translate(5, EptAccess::Write), Ok(5));
+    }
+
+    #[test]
+    fn vmfunc_rejects_out_of_range_index() {
+        let mut set = EptSet::new(2, true);
+        assert!(!set.vmfunc_switch(2));
+        assert_eq!(set.active_index(), 0);
+    }
+
+    #[test]
+    fn switch_count_tracks_vmfuncs() {
+        let mut set = EptSet::new(3, true);
+        set.vmfunc_switch(1);
+        set.vmfunc_switch(2);
+        set.vmfunc_switch(0);
+        assert_eq!(set.switch_count(), 3);
+    }
+
+    #[test]
+    fn permission_bits_are_enforced() {
+        let mut set = EptSet::new(1, false);
+        set.ept_mut(0).map(
+            9,
+            EptEntry {
+                hpfn: 9,
+                read: true,
+                write: false,
+                exec: false,
+            },
+        );
+        assert!(set.translate(9, EptAccess::Read).is_ok());
+        assert!(set.translate(9, EptAccess::Write).is_err());
+        assert!(set.translate(9, EptAccess::Exec).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "EPTP list size")]
+    fn oversized_ept_list_panics() {
+        EptSet::new(MAX_EPTS + 1, true);
+    }
+}

@@ -1,0 +1,133 @@
+//! Sparse simulated physical memory.
+//!
+//! Frames are allocated lazily: the guest can map any physical frame and the
+//! backing storage appears on first touch. A bump frame allocator hands out
+//! fresh frames for page tables and anonymous mappings.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, PAGE_SIZE};
+
+/// Simulated physical memory: a sparse map from frame number to 4 KiB frame.
+#[derive(Debug, Default)]
+pub struct PhysMemory {
+    frames: HashMap<u64, Box<[u8]>>,
+    next_free_pfn: u64,
+}
+
+impl PhysMemory {
+    /// Creates empty physical memory whose frame allocator starts at
+    /// frame 1 (frame 0 is reserved so a zero PTE can never look mapped).
+    pub fn new() -> Self {
+        Self {
+            frames: HashMap::new(),
+            next_free_pfn: 1,
+        }
+    }
+
+    /// Allocates a fresh, zeroed frame and returns its base address.
+    pub fn alloc_frame(&mut self) -> PhysAddr {
+        let pfn = self.next_free_pfn;
+        self.next_free_pfn += 1;
+        self.frames
+            .insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        PhysAddr(pfn << 12)
+    }
+
+    /// Number of frames currently materialized.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
+        self.frames
+            .entry(pfn)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, crossing frames as needed.
+    pub fn read(&mut self, addr: PhysAddr, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let pos = addr.0 + i as u64;
+            let off = (pos & (PAGE_SIZE - 1)) as usize;
+            *b = self.frame_mut(pos >> 12)[off];
+        }
+    }
+
+    /// Writes `buf` starting at `addr`, crossing frames as needed.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) {
+        for (i, &b) in buf.iter().enumerate() {
+            let pos = addr.0 + i as u64;
+            let off = (pos & (PAGE_SIZE - 1)) as usize;
+            self.frame_mut(pos >> 12)[off] = b;
+        }
+    }
+
+    /// Reads a little-endian u64 at `addr`.
+    pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian u64 at `addr`.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_distinct_zeroed_frames() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc_frame();
+        let b = pm.alloc_frame();
+        assert_ne!(a, b);
+        assert_eq!(a.frame_offset(), 0);
+        let mut buf = [1u8; 16];
+        pm.read(a, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn frame_zero_is_never_allocated() {
+        let mut pm = PhysMemory::new();
+        for _ in 0..64 {
+            assert_ne!(pm.alloc_frame().pfn(), 0);
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip_within_frame() {
+        let mut pm = PhysMemory::new();
+        let f = pm.alloc_frame();
+        pm.write(PhysAddr(f.0 + 100), b"memsentry");
+        let mut buf = [0u8; 9];
+        pm.read(PhysAddr(f.0 + 100), &mut buf);
+        assert_eq!(&buf, b"memsentry");
+    }
+
+    #[test]
+    fn read_write_cross_frame_boundary() {
+        let mut pm = PhysMemory::new();
+        let base = PhysAddr((42 << 12) + PAGE_SIZE - 4);
+        pm.write(base, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut buf = [0u8; 8];
+        pm.read(base, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn u64_accessors_are_little_endian() {
+        let mut pm = PhysMemory::new();
+        let f = pm.alloc_frame();
+        pm.write_u64(f, 0x0102_0304_0506_0708);
+        let mut buf = [0u8; 8];
+        pm.read(f, &mut buf);
+        assert_eq!(buf, [8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(pm.read_u64(f), 0x0102_0304_0506_0708);
+    }
+}

@@ -1,0 +1,149 @@
+//! The MPK `pkru` register.
+//!
+//! `pkru` holds two bits per protection key: access-disable (AD, even bit)
+//! and write-disable (WD, odd bit), for 16 keys. User code reads it with
+//! `rdpkru` and writes it with `wrpkru` — which is exactly what makes MPK
+//! usable for safe-region isolation from user space (paper §3.1).
+
+/// Number of protection keys supported by MPK.
+pub const PKEY_COUNT: usize = 16;
+
+/// The 32-bit `pkru` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pkru(pub u32);
+
+impl Pkru {
+    /// A `pkru` value that permits everything (all bits clear).
+    pub fn allow_all() -> Self {
+        Pkru(0)
+    }
+
+    /// A `pkru` value that denies all access to `key` and permits the rest.
+    ///
+    /// This is the steady state of the MPK technique: the sensitive domain's
+    /// key is access-disabled except inside instrumentation points.
+    pub fn deny_key(key: u8) -> Self {
+        let mut p = Pkru(0);
+        p.set_access_disable(key, true);
+        p.set_write_disable(key, true);
+        p
+    }
+
+    fn bit(key: u8, write: bool) -> u32 {
+        assert!((key as usize) < PKEY_COUNT, "pkey {key} out of range");
+        1 << (2 * key as u32 + write as u32)
+    }
+
+    /// Whether reads (any access) to pages with `key` are disabled.
+    pub fn access_disabled(self, key: u8) -> bool {
+        self.0 & Self::bit(key, false) != 0
+    }
+
+    /// Whether writes to pages with `key` are disabled.
+    pub fn write_disabled(self, key: u8) -> bool {
+        self.0 & Self::bit(key, true) != 0
+    }
+
+    /// Sets or clears the access-disable bit of `key`.
+    pub fn set_access_disable(&mut self, key: u8, disable: bool) {
+        if disable {
+            self.0 |= Self::bit(key, false);
+        } else {
+            self.0 &= !Self::bit(key, false);
+        }
+    }
+
+    /// Sets or clears the write-disable bit of `key`.
+    pub fn set_write_disable(&mut self, key: u8, disable: bool) {
+        if disable {
+            self.0 |= Self::bit(key, true);
+        } else {
+            self.0 &= !Self::bit(key, true);
+        }
+    }
+
+    /// Permission check as the hardware performs it on a data access.
+    ///
+    /// Key 0 is subject to the same bits as the others; the kernel simply
+    /// never disables it for ordinary memory.
+    pub fn permits(self, key: u8, write: bool) -> bool {
+        if self.access_disabled(key) {
+            return false;
+        }
+        if write && self.write_disabled(key) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_permits_everything() {
+        let p = Pkru::allow_all();
+        for key in 0..PKEY_COUNT as u8 {
+            assert!(p.permits(key, false));
+            assert!(p.permits(key, true));
+        }
+    }
+
+    #[test]
+    fn deny_key_blocks_only_that_key() {
+        let p = Pkru::deny_key(5);
+        assert!(!p.permits(5, false));
+        assert!(!p.permits(5, true));
+        for key in (0..PKEY_COUNT as u8).filter(|&k| k != 5) {
+            assert!(p.permits(key, true), "key {key} should be unaffected");
+        }
+    }
+
+    #[test]
+    fn write_disable_alone_keeps_reads() {
+        let mut p = Pkru::allow_all();
+        p.set_write_disable(7, true);
+        assert!(p.permits(7, false), "reads stay allowed");
+        assert!(!p.permits(7, true), "writes are blocked");
+    }
+
+    #[test]
+    fn access_disable_blocks_reads_and_writes() {
+        let mut p = Pkru::allow_all();
+        p.set_access_disable(3, true);
+        assert!(!p.permits(3, false));
+        assert!(!p.permits(3, true));
+    }
+
+    #[test]
+    fn bit_layout_matches_sdm() {
+        // AD(k) = bit 2k, WD(k) = bit 2k+1.
+        let mut p = Pkru::allow_all();
+        p.set_access_disable(1, true);
+        assert_eq!(p.0, 0b0100);
+        p.set_write_disable(1, true);
+        assert_eq!(p.0, 0b1100);
+        p.set_access_disable(0, true);
+        assert_eq!(p.0, 0b1101);
+    }
+
+    #[test]
+    fn toggling_restores_permission() {
+        // The MPK instrumentation opens and closes the domain: verify a
+        // full wrpkru round trip.
+        let mut p = Pkru::deny_key(9);
+        p.set_access_disable(9, false);
+        p.set_write_disable(9, false);
+        assert!(p.permits(9, true));
+        p.set_access_disable(9, true);
+        p.set_write_disable(9, true);
+        assert!(!p.permits(9, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        Pkru::allow_all().permits(16, false);
+    }
+}

@@ -1,0 +1,219 @@
+//! Page-table-entry bit layout.
+//!
+//! The layout follows the Intel SDM for 4-level paging: bit 0 present,
+//! bit 1 writable, bit 2 user, bits 51:12 frame address, bits 62:59 the
+//! MPK protection key, bit 63 execute-disable. Accessed/dirty are modeled
+//! because the walker sets them like hardware does.
+
+use crate::addr::PhysAddr;
+
+/// Permission and status bits of a [`Pte`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFlags {
+    /// Entry is valid.
+    pub present: bool,
+    /// Page may be written.
+    pub writable: bool,
+    /// Page is reachable from user mode.
+    pub user: bool,
+    /// Hardware has touched the page (set by the walker on access).
+    pub accessed: bool,
+    /// Hardware has written the page (set by the walker on store).
+    pub dirty: bool,
+    /// Instruction fetch is forbidden (XD).
+    pub no_execute: bool,
+}
+
+impl PageFlags {
+    /// Read-write user data page.
+    pub fn rw() -> Self {
+        Self {
+            present: true,
+            writable: true,
+            user: true,
+            accessed: false,
+            dirty: false,
+            no_execute: true,
+        }
+    }
+
+    /// Read-only user data page.
+    pub fn ro() -> Self {
+        Self {
+            writable: false,
+            ..Self::rw()
+        }
+    }
+
+    /// Executable (and readable) user code page.
+    pub fn rx() -> Self {
+        Self {
+            writable: false,
+            no_execute: false,
+            ..Self::rw()
+        }
+    }
+}
+
+const BIT_PRESENT: u64 = 1 << 0;
+const BIT_WRITABLE: u64 = 1 << 1;
+const BIT_USER: u64 = 1 << 2;
+const BIT_ACCESSED: u64 = 1 << 5;
+const BIT_DIRTY: u64 = 1 << 6;
+const BIT_NX: u64 = 1 << 63;
+const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+const PKEY_SHIFT: u32 = 59;
+const PKEY_MASK: u64 = 0xf << PKEY_SHIFT;
+
+/// A 64-bit page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// Builds a leaf entry mapping `frame` with `flags` and protection
+    /// key 0.
+    pub fn leaf(frame: PhysAddr, flags: PageFlags) -> Self {
+        let mut pte = Pte(frame.0 & ADDR_MASK);
+        pte.set_flags(flags);
+        pte
+    }
+
+    /// Builds a non-leaf entry pointing at the next-level table.
+    ///
+    /// Intermediate entries are present, writable and user so leaf flags
+    /// alone decide permissions (the common OS convention).
+    pub fn table(next: PhysAddr) -> Self {
+        Pte((next.0 & ADDR_MASK) | BIT_PRESENT | BIT_WRITABLE | BIT_USER)
+    }
+
+    /// Whether the entry is present.
+    pub fn present(self) -> bool {
+        self.0 & BIT_PRESENT != 0
+    }
+
+    /// Physical address this entry points at (frame or next table).
+    pub fn addr(self) -> PhysAddr {
+        PhysAddr(self.0 & ADDR_MASK)
+    }
+
+    /// Decodes the permission/status flags.
+    pub fn flags(self) -> PageFlags {
+        PageFlags {
+            present: self.present(),
+            writable: self.0 & BIT_WRITABLE != 0,
+            user: self.0 & BIT_USER != 0,
+            accessed: self.0 & BIT_ACCESSED != 0,
+            dirty: self.0 & BIT_DIRTY != 0,
+            no_execute: self.0 & BIT_NX != 0,
+        }
+    }
+
+    /// Overwrites the permission/status flags, preserving address and key.
+    pub fn set_flags(&mut self, flags: PageFlags) {
+        let mut v = self.0 & (ADDR_MASK | PKEY_MASK);
+        if flags.present {
+            v |= BIT_PRESENT;
+        }
+        if flags.writable {
+            v |= BIT_WRITABLE;
+        }
+        if flags.user {
+            v |= BIT_USER;
+        }
+        if flags.accessed {
+            v |= BIT_ACCESSED;
+        }
+        if flags.dirty {
+            v |= BIT_DIRTY;
+        }
+        if flags.no_execute {
+            v |= BIT_NX;
+        }
+        self.0 = v;
+    }
+
+    /// The MPK protection key (0..15) of this page.
+    pub fn pkey(self) -> u8 {
+        ((self.0 & PKEY_MASK) >> PKEY_SHIFT) as u8
+    }
+
+    /// Sets the protection key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 16`; only the kernel can set keys and it validates
+    /// them first, so an out-of-range key is a simulator bug.
+    pub fn set_pkey(&mut self, key: u8) {
+        assert!(key < 16, "protection key {key} out of range");
+        self.0 = (self.0 & !PKEY_MASK) | ((key as u64) << PKEY_SHIFT);
+    }
+
+    /// Marks the entry accessed (and dirty when `write`).
+    pub fn mark_used(&mut self, write: bool) {
+        self.0 |= BIT_ACCESSED;
+        if write {
+            self.0 |= BIT_DIRTY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrips_flags_and_address() {
+        let frame = PhysAddr(0x1234_5000);
+        let pte = Pte::leaf(frame, PageFlags::rw());
+        assert!(pte.present());
+        assert_eq!(pte.addr(), frame);
+        let f = pte.flags();
+        assert!(f.writable && f.user && f.no_execute);
+        assert!(!f.accessed && !f.dirty);
+    }
+
+    #[test]
+    fn pkey_occupies_bits_59_to_62() {
+        let mut pte = Pte::leaf(PhysAddr(0x1000), PageFlags::rw());
+        pte.set_pkey(0xA);
+        assert_eq!(pte.pkey(), 0xA);
+        assert_eq!((pte.0 >> 59) & 0xf, 0xA);
+        // Key does not disturb NX or address.
+        assert_eq!(pte.addr(), PhysAddr(0x1000));
+        assert!(pte.flags().no_execute);
+    }
+
+    #[test]
+    fn set_flags_preserves_pkey_and_address() {
+        let mut pte = Pte::leaf(PhysAddr(0x7000), PageFlags::rw());
+        pte.set_pkey(3);
+        pte.set_flags(PageFlags::ro());
+        assert_eq!(pte.pkey(), 3);
+        assert_eq!(pte.addr(), PhysAddr(0x7000));
+        assert!(!pte.flags().writable);
+    }
+
+    #[test]
+    fn mark_used_sets_accessed_and_dirty() {
+        let mut pte = Pte::leaf(PhysAddr(0x2000), PageFlags::rw());
+        pte.mark_used(false);
+        assert!(pte.flags().accessed);
+        assert!(!pte.flags().dirty);
+        pte.mark_used(true);
+        assert!(pte.flags().dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_pkey_panics() {
+        let mut pte = Pte::leaf(PhysAddr(0x2000), PageFlags::rw());
+        pte.set_pkey(16);
+    }
+
+    #[test]
+    fn rx_flags_allow_execution() {
+        let pte = Pte::leaf(PhysAddr(0x3000), PageFlags::rx());
+        assert!(!pte.flags().no_execute);
+        assert!(!pte.flags().writable);
+    }
+}

@@ -1,0 +1,699 @@
+//! The composed address-translation pipeline.
+//!
+//! [`AddressSpace`] is what the simulated CPU performs every load, store and
+//! instruction fetch through. A data access goes: canonical check -> TLB ->
+//! page walk -> page permission check -> protection-key check (`pkru`) ->
+//! optional EPT translation (when the process runs inside the Dune-like
+//! VM). Each stage can raise a typed [`Fault`], which is precisely how the
+//! paper's domain-based techniques turn an attacker's stray access into a
+//! deterministic crash instead of a silent leak.
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use crate::cache::{CacheHierarchy, CacheStats, HitLevel};
+use crate::ept::{EptAccess, EptSet, EptViolation};
+use crate::phys::PhysMemory;
+use crate::pkey::Pkru;
+use crate::pte::PageFlags;
+use crate::tlb::{Tlb, TlbStats};
+use crate::walk::PageTable;
+
+/// The kind of memory access being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Protection for `mprotect`-style calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prot {
+    /// No access (`PROT_NONE`).
+    None,
+    /// Read-only.
+    Read,
+    /// Read and write.
+    ReadWrite,
+    /// Read and execute.
+    ReadExec,
+}
+
+impl Prot {
+    fn flags(self) -> PageFlags {
+        match self {
+            Prot::None => PageFlags {
+                present: true,
+                writable: false,
+                user: false,
+                accessed: false,
+                dirty: false,
+                no_execute: true,
+            },
+            Prot::Read => PageFlags::ro(),
+            Prot::ReadWrite => PageFlags::rw(),
+            Prot::ReadExec => PageFlags::rx(),
+        }
+    }
+}
+
+/// A memory-access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Address outside the canonical user range.
+    NonCanonical {
+        /// The offending address.
+        addr: VirtAddr,
+    },
+    /// No translation for the page (`#PF`, present bit clear).
+    NotMapped {
+        /// The offending address.
+        addr: VirtAddr,
+        /// The attempted access.
+        access: Access,
+    },
+    /// Page-permission violation (`#PF`: write to read-only, NX fetch,
+    /// or access to a supervisor-only / PROT_NONE page).
+    Protection {
+        /// The offending address.
+        addr: VirtAddr,
+        /// The attempted access.
+        access: Access,
+    },
+    /// Protection-key violation (`#PF` with the PK bit set).
+    PkeyDenied {
+        /// The offending address.
+        addr: VirtAddr,
+        /// The attempted access.
+        access: Access,
+        /// The page's protection key.
+        key: u8,
+    },
+    /// EPT violation while running inside the VM.
+    Ept(EptViolation),
+}
+
+/// Per-access outcome used for cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Whether the translation was served by the TLB.
+    pub tlb_hit: bool,
+    /// Number of page-walk memory references (0 on a TLB hit).
+    pub walk_levels: u32,
+    /// Which cache level serviced the data (L1 for fetch checks).
+    pub hit_level: HitLevel,
+}
+
+/// A full simulated address space.
+///
+/// # Examples
+///
+/// ```
+/// use memsentry_mmu::{AddressSpace, Fault, PageFlags, Pkru, VirtAddr, PAGE_SIZE};
+///
+/// let mut space = AddressSpace::new();
+/// space.map_region(VirtAddr(0x1000), PAGE_SIZE, PageFlags::rw());
+/// space.write_u64(VirtAddr(0x1000), 42).unwrap();
+///
+/// // Tag the page with protection key 3 and close the domain: the same
+/// // access now faults deterministically.
+/// space.pkey_mprotect(VirtAddr(0x1000), PAGE_SIZE, 3);
+/// space.pkru = Pkru::deny_key(3);
+/// assert!(matches!(
+///     space.read_u64(VirtAddr(0x1000)),
+///     Err(Fault::PkeyDenied { key: 3, .. })
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    pm: PhysMemory,
+    views: Vec<PageTable>,
+    active_view: u16,
+    tlb: Tlb,
+    /// The MPK `pkru` register (architecturally per-thread; the simulation
+    /// is single-threaded).
+    pub pkru: Pkru,
+    ept: Option<EptSet>,
+    cache: CacheHierarchy,
+    mprotect_calls: u64,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        let mut pm = PhysMemory::new();
+        let pt = PageTable::new(&mut pm);
+        Self {
+            pm,
+            views: vec![pt],
+            active_view: 0,
+            tlb: Tlb::new(),
+            pkru: Pkru::allow_all(),
+            ept: None,
+            cache: CacheHierarchy::new(),
+            mprotect_calls: 0,
+        }
+    }
+
+    /// Installs an EPT set: the process now runs inside the VM and every
+    /// access is additionally translated through the active EPT.
+    pub fn install_ept(&mut self, ept: EptSet) {
+        self.ept = Some(ept);
+    }
+
+    /// Access to the installed EPT set, if any.
+    pub fn ept_mut(&mut self) -> Option<&mut EptSet> {
+        self.ept.as_mut()
+    }
+
+    /// Whether the space runs under an EPT.
+    pub fn has_ept(&self) -> bool {
+        self.ept.is_some()
+    }
+
+    /// The TLB statistics so far.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// The data-cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Flushes the whole TLB (a `cr3` write without PCID).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush_all();
+    }
+
+    /// Number of `mprotect` calls performed.
+    pub fn mprotect_calls(&self) -> u64 {
+        self.mprotect_calls
+    }
+
+    fn pt(&self) -> PageTable {
+        self.views[self.active_view as usize]
+    }
+
+    // --- address-space views (PCID / page-table switching) ------------------
+
+    /// The active view (its index doubles as the PCID).
+    pub fn active_view(&self) -> u16 {
+        self.active_view
+    }
+
+    /// Number of views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Creates a new view as a *copy* of the active one's leaf mappings
+    /// and returns its id. Later `map`/`unmap` calls affect only the
+    /// then-active view, so views can diverge — the mechanism behind the
+    /// kernel-assisted page-table-switching technique.
+    pub fn add_view(&mut self) -> u16 {
+        let new_pt = PageTable::new(&mut self.pm);
+        for (va, pte) in self.pt().mappings(&mut self.pm) {
+            let flags = pte.flags();
+            new_pt.map(&mut self.pm, va, pte.addr(), flags);
+            if pte.pkey() != 0 {
+                new_pt.set_pkey(&mut self.pm, va, pte.pkey());
+            }
+        }
+        self.views.push(new_pt);
+        (self.views.len() - 1) as u16
+    }
+
+    /// Switches the active view (a `mov cr3` with PCID: the TLB keeps its
+    /// tagged entries). Returns `false` for an unknown view.
+    pub fn switch_view(&mut self, view: u16) -> bool {
+        if (view as usize) < self.views.len() {
+            self.active_view = view;
+            true
+        } else {
+            false
+        }
+    }
+
+    // --- kernel-side mapping API -------------------------------------------
+
+    /// Maps `len` bytes starting at page-aligned `start` as anonymous
+    /// memory with `flags`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not page aligned; mapping is a kernel-side
+    /// (trusted) operation in the simulation.
+    pub fn map_region(&mut self, start: VirtAddr, len: u64, flags: PageFlags) {
+        assert_eq!(start.page_offset(), 0, "map_region requires page alignment");
+        let pages = len.div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            self.pt()
+                .map_anon(&mut self.pm, VirtAddr(start.0 + i * PAGE_SIZE), flags);
+        }
+    }
+
+    /// Unmaps the pages covering `[start, start+len)` and flushes the TLB.
+    pub fn unmap_region(&mut self, start: VirtAddr, len: u64) {
+        let pages = len.div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            let va = VirtAddr(start.page_base().0 + i * PAGE_SIZE);
+            self.pt().unmap(&mut self.pm, va);
+            self.tlb.flush_page(va.vpn());
+        }
+    }
+
+    /// `mprotect(2)`: changes page permissions over a range and flushes the
+    /// affected TLB entries. Returns `false` if any page was unmapped.
+    pub fn mprotect(&mut self, start: VirtAddr, len: u64, prot: Prot) -> bool {
+        self.mprotect_calls += 1;
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        let mut ok = true;
+        for i in 0..pages {
+            let va = VirtAddr(start.page_base().0 + i * PAGE_SIZE);
+            ok &= self.pt().protect(&mut self.pm, va, prot.flags());
+            self.tlb.flush_page(va.vpn());
+        }
+        ok
+    }
+
+    /// `pkey_mprotect(2)`: assigns protection key `key` to a range.
+    pub fn pkey_mprotect(&mut self, start: VirtAddr, len: u64, key: u8) -> bool {
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        let mut ok = true;
+        for i in 0..pages {
+            let va = VirtAddr(start.page_base().0 + i * PAGE_SIZE);
+            ok &= self.pt().set_pkey(&mut self.pm, va, key);
+            self.tlb.flush_page(va.vpn());
+        }
+        ok
+    }
+
+    /// Guest-physical frame number backing the page of `va`, if mapped.
+    ///
+    /// The Dune hypervisor uses this to translate the guest's "mark this
+    /// mapping secret" hypercall argument into an EPT frame.
+    pub fn gpfn_of(&mut self, va: VirtAddr) -> Option<u64> {
+        let pt = self.pt();
+        pt.translate(&mut self.pm, va.page_base()).map(|pa| pa.pfn())
+    }
+
+    /// Kernel-side (unchecked) write, used to initialize memory contents.
+    pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) -> bool {
+        for (i, &b) in bytes.iter().enumerate() {
+            match self.pt().translate(&mut self.pm, VirtAddr(va.0 + i as u64)) {
+                Some(pa) => self.pm.write(pa, &[b]),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Kernel-side (unchecked) read.
+    pub fn peek(&mut self, va: VirtAddr, buf: &mut [u8]) -> bool {
+        for (i, b) in buf.iter_mut().enumerate() {
+            match self.pt().translate(&mut self.pm, VirtAddr(va.0 + i as u64)) {
+                Some(pa) => {
+                    let mut tmp = [0u8; 1];
+                    self.pm.read(pa, &mut tmp);
+                    *b = tmp[0];
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    // --- user-side checked access ------------------------------------------
+
+    fn check_page(&mut self, va: VirtAddr, access: Access) -> Result<(PhysAddr, AccessInfo), Fault> {
+        if !va.is_canonical_user() {
+            return Err(Fault::NonCanonical { addr: va });
+        }
+        let vpn = va.vpn();
+        let (pte, info) = match self.tlb.lookup(self.active_view, vpn) {
+            Some(pte) => (
+                pte,
+                AccessInfo {
+                    tlb_hit: true,
+                    walk_levels: 0,
+                    hit_level: HitLevel::L1,
+                },
+            ),
+            None => {
+                let pt = self.pt();
+                let res = pt
+                    .walk(&mut self.pm, va)
+                    .ok_or(Fault::NotMapped { addr: va, access })?;
+                pt.update_leaf(&mut self.pm, va, |p| p.mark_used(access == Access::Write));
+                self.tlb.insert(self.active_view, vpn, res.pte);
+                (
+                    res.pte,
+                    AccessInfo {
+                        tlb_hit: false,
+                        walk_levels: res.levels_touched,
+                        hit_level: HitLevel::L1,
+                    },
+                )
+            }
+        };
+        let flags = pte.flags();
+        let denied = match access {
+            Access::Read => !flags.user,
+            Access::Write => !flags.user || !flags.writable,
+            Access::Fetch => !flags.user || flags.no_execute,
+        };
+        if denied {
+            return Err(Fault::Protection { addr: va, access });
+        }
+        // Protection keys gate data accesses only (SDM: not instruction
+        // fetches).
+        if access != Access::Fetch {
+            let key = pte.pkey();
+            if !self.pkru.permits(key, access == Access::Write) {
+                return Err(Fault::PkeyDenied {
+                    addr: va,
+                    access,
+                    key,
+                });
+            }
+        }
+        let gpa = PhysAddr(pte.addr().0 + va.page_offset());
+        let hpa = match &mut self.ept {
+            Some(ept) => {
+                let ea = match access {
+                    Access::Read => EptAccess::Read,
+                    Access::Write => EptAccess::Write,
+                    Access::Fetch => EptAccess::Exec,
+                };
+                let hpfn = ept.translate(gpa.pfn(), ea).map_err(Fault::Ept)?;
+                PhysAddr((hpfn << 12) + gpa.frame_offset())
+            }
+            None => gpa,
+        };
+        Ok((hpa, info))
+    }
+
+    /// Checked user read of `buf.len()` bytes at `va`.
+    pub fn read(&mut self, va: VirtAddr, buf: &mut [u8]) -> Result<AccessInfo, Fault> {
+        self.access(va, buf.len() as u64, Access::Read, |pm, pa, range| {
+            pm.read(pa, &mut buf[range]);
+        })
+    }
+
+    /// Checked user write of `bytes` at `va`.
+    pub fn write(&mut self, va: VirtAddr, bytes: &[u8]) -> Result<AccessInfo, Fault> {
+        self.access(va, bytes.len() as u64, Access::Write, |pm, pa, range| {
+            pm.write(pa, &bytes[range]);
+        })
+    }
+
+    /// Checked instruction-fetch permission test for the page at `va`.
+    pub fn check_fetch(&mut self, va: VirtAddr) -> Result<AccessInfo, Fault> {
+        self.check_page(va, Access::Fetch).map(|(_, info)| info)
+    }
+
+    fn access(
+        &mut self,
+        va: VirtAddr,
+        len: u64,
+        kind: Access,
+        mut touch: impl FnMut(&mut PhysMemory, PhysAddr, std::ops::Range<usize>),
+    ) -> Result<AccessInfo, Fault> {
+        let mut done = 0u64;
+        let mut first_info: Option<AccessInfo> = None;
+        while done < len {
+            let cur = VirtAddr(va.0 + done);
+            let in_page = (PAGE_SIZE - cur.page_offset()).min(len - done);
+            let (pa, mut info) = self.check_page(cur, kind)?;
+            info.hit_level = self.cache.access(pa.0);
+            first_info.get_or_insert(info);
+            touch(
+                &mut self.pm,
+                pa,
+                done as usize..(done + in_page) as usize,
+            );
+            done += in_page;
+        }
+        Ok(first_info.unwrap_or(AccessInfo {
+            tlb_hit: true,
+            walk_levels: 0,
+            hit_level: HitLevel::L1,
+        }))
+    }
+
+    /// Checked read of a little-endian u64.
+    pub fn read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault> {
+        let mut buf = [0u8; 8];
+        self.read(va, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Checked write of a little-endian u64.
+    pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<AccessInfo, Fault> {
+        self.write(va, &value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SENSITIVE_BASE;
+
+    fn space_with_page(va: u64, flags: PageFlags) -> AddressSpace {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(va), PAGE_SIZE, flags);
+        s
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = space_with_page(0x1000, PageFlags::rw());
+        s.write(VirtAddr(0x1100), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        s.read(VirtAddr(0x1100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut s = space_with_page(0x1000, PageFlags::ro());
+        let err = s.write(VirtAddr(0x1000), b"x").unwrap_err();
+        assert!(matches!(err, Fault::Protection { access: Access::Write, .. }));
+        // Reads still work.
+        let mut b = [0u8; 1];
+        s.read(VirtAddr(0x1000), &mut b).unwrap();
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut s = AddressSpace::new();
+        let err = s.read_u64(VirtAddr(0x5000)).unwrap_err();
+        assert!(matches!(err, Fault::NotMapped { .. }));
+    }
+
+    #[test]
+    fn non_canonical_access_faults() {
+        let mut s = AddressSpace::new();
+        let err = s.read_u64(VirtAddr(1 << 60)).unwrap_err();
+        assert!(matches!(err, Fault::NonCanonical { .. }));
+    }
+
+    #[test]
+    fn fetch_from_nx_page_faults_but_data_read_works() {
+        let mut s = space_with_page(0x2000, PageFlags::rw());
+        assert!(matches!(
+            s.check_fetch(VirtAddr(0x2000)),
+            Err(Fault::Protection { access: Access::Fetch, .. })
+        ));
+        let mut s = space_with_page(0x2000, PageFlags::rx());
+        s.check_fetch(VirtAddr(0x2000)).unwrap();
+    }
+
+    #[test]
+    fn pkey_denies_data_access_but_not_fetch() {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x3000), PAGE_SIZE, PageFlags::rx());
+        s.pkey_mprotect(VirtAddr(0x3000), PAGE_SIZE, 4);
+        s.pkru = Pkru::deny_key(4);
+        let err = s.read_u64(VirtAddr(0x3000)).unwrap_err();
+        assert!(matches!(err, Fault::PkeyDenied { key: 4, .. }));
+        // Instruction fetches are not subject to pkeys.
+        s.check_fetch(VirtAddr(0x3000)).unwrap();
+    }
+
+    #[test]
+    fn pkey_write_disable_permits_reads() {
+        let mut s = space_with_page(0x3000, PageFlags::rw());
+        s.pkey_mprotect(VirtAddr(0x3000), PAGE_SIZE, 2);
+        s.pkru.set_write_disable(2, true);
+        s.read_u64(VirtAddr(0x3000)).unwrap();
+        let err = s.write_u64(VirtAddr(0x3000), 1).unwrap_err();
+        assert!(matches!(err, Fault::PkeyDenied { key: 2, access: Access::Write, .. }));
+    }
+
+    #[test]
+    fn wrpkru_toggle_reopens_access() {
+        let mut s = space_with_page(0x3000, PageFlags::rw());
+        s.pkey_mprotect(VirtAddr(0x3000), PAGE_SIZE, 1);
+        s.pkru = Pkru::deny_key(1);
+        assert!(s.read_u64(VirtAddr(0x3000)).is_err());
+        s.pkru.set_access_disable(1, false);
+        s.pkru.set_write_disable(1, false);
+        s.write_u64(VirtAddr(0x3000), 0xdead).unwrap();
+        assert_eq!(s.read_u64(VirtAddr(0x3000)).unwrap(), 0xdead);
+    }
+
+    #[test]
+    fn mprotect_none_then_restore() {
+        let mut s = space_with_page(0x4000, PageFlags::rw());
+        assert!(s.mprotect(VirtAddr(0x4000), PAGE_SIZE, Prot::None));
+        assert!(matches!(
+            s.read_u64(VirtAddr(0x4000)),
+            Err(Fault::Protection { .. })
+        ));
+        assert!(s.mprotect(VirtAddr(0x4000), PAGE_SIZE, Prot::ReadWrite));
+        s.write_u64(VirtAddr(0x4000), 7).unwrap();
+        assert_eq!(s.mprotect_calls(), 2);
+    }
+
+    #[test]
+    fn mprotect_flushes_stale_tlb_entry() {
+        let mut s = space_with_page(0x4000, PageFlags::rw());
+        // Prime the TLB.
+        s.write_u64(VirtAddr(0x4000), 1).unwrap();
+        s.mprotect(VirtAddr(0x4000), PAGE_SIZE, Prot::Read);
+        // The cached writable PTE must not win.
+        assert!(s.write_u64(VirtAddr(0x4000), 2).is_err());
+    }
+
+    #[test]
+    fn cross_page_write_spans_mappings() {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x6000), 2 * PAGE_SIZE, PageFlags::rw());
+        let data: Vec<u8> = (0..16).collect();
+        s.write(VirtAddr(0x6000 + PAGE_SIZE - 8), &data).unwrap();
+        let mut buf = [0u8; 16];
+        s.read(VirtAddr(0x6000 + PAGE_SIZE - 8), &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..]);
+    }
+
+    #[test]
+    fn cross_page_write_faults_midway_if_second_page_missing() {
+        let mut s = space_with_page(0x6000, PageFlags::rw());
+        let err = s
+            .write(VirtAddr(0x6000 + PAGE_SIZE - 4), &[0u8; 8])
+            .unwrap_err();
+        assert!(matches!(err, Fault::NotMapped { .. }));
+    }
+
+    #[test]
+    fn tlb_hit_reported_on_second_access() {
+        let mut s = space_with_page(0x7000, PageFlags::rw());
+        s.read_u64(VirtAddr(0x7000)).unwrap();
+        let info = s.write_u64(VirtAddr(0x7008), 1).unwrap();
+        assert!(info.tlb_hit);
+        assert!(s.tlb_stats().hits >= 1);
+        assert!(s.tlb_stats().misses >= 1);
+    }
+
+    #[test]
+    fn ept_secret_page_faults_in_default_domain() {
+        let mut s = space_with_page(SENSITIVE_BASE, PageFlags::rw());
+        // Find the guest-physical frame of the page to mark secret.
+        s.write_u64(VirtAddr(SENSITIVE_BASE), 0x5afe).unwrap();
+        let mut ept = EptSet::new(2, true);
+        // Mark every currently mapped gpfn secret to EPT 1. The data page
+        // is the last allocated frame; mark a generous range.
+        for gpfn in 0..64 {
+            ept.mark_secret(gpfn, 1);
+        }
+        s.install_ept(ept);
+        let err = s.read_u64(VirtAddr(SENSITIVE_BASE)).unwrap_err();
+        assert!(matches!(err, Fault::Ept(_)));
+        s.ept_mut().unwrap().vmfunc_switch(1);
+        assert_eq!(s.read_u64(VirtAddr(SENSITIVE_BASE)).unwrap(), 0x5afe);
+    }
+
+    #[test]
+    fn views_diverge_after_fork() {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x5000), PAGE_SIZE, PageFlags::rw());
+        s.poke(VirtAddr(0x5000), &7u64.to_le_bytes());
+        let secure = s.add_view();
+        // Unmap from view 0; view `secure` keeps the page (same frame).
+        s.unmap_region(VirtAddr(0x5000), PAGE_SIZE);
+        assert!(matches!(
+            s.read_u64(VirtAddr(0x5000)),
+            Err(Fault::NotMapped { .. })
+        ));
+        assert!(s.switch_view(secure));
+        assert_eq!(s.read_u64(VirtAddr(0x5000)).unwrap(), 7);
+    }
+
+    #[test]
+    fn switch_to_unknown_view_fails() {
+        let mut s = AddressSpace::new();
+        assert!(!s.switch_view(3));
+        assert_eq!(s.active_view(), 0);
+    }
+
+    #[test]
+    fn pcid_prevents_stale_tlb_entries_across_views() {
+        // Access the page from the secure view (priming the TLB), switch
+        // back, and verify the cached translation does NOT leak into the
+        // default view.
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x6000), PAGE_SIZE, PageFlags::rw());
+        let secure = s.add_view();
+        s.unmap_region(VirtAddr(0x6000), PAGE_SIZE);
+        s.switch_view(secure);
+        s.write_u64(VirtAddr(0x6000), 1).unwrap(); // TLB now holds (secure, vpn)
+        s.switch_view(0);
+        assert!(
+            matches!(s.read_u64(VirtAddr(0x6000)), Err(Fault::NotMapped { .. })),
+            "PCID tag must prevent the secure view's TLB entry from serving view 0"
+        );
+        // And no flush happened: switching back still hits the TLB.
+        s.switch_view(secure);
+        let before = s.tlb_stats().hits;
+        s.read_u64(VirtAddr(0x6000)).unwrap();
+        assert!(s.tlb_stats().hits > before);
+    }
+
+    #[test]
+    fn view_clone_preserves_pkeys_and_flags() {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x7000), PAGE_SIZE, PageFlags::ro());
+        s.pkey_mprotect(VirtAddr(0x7000), PAGE_SIZE, 3);
+        let v = s.add_view();
+        s.switch_view(v);
+        assert!(matches!(
+            s.write_u64(VirtAddr(0x7000), 1),
+            Err(Fault::Protection { .. })
+        ));
+        s.pkru = Pkru::deny_key(3);
+        assert!(matches!(
+            s.read_u64(VirtAddr(0x7000)),
+            Err(Fault::PkeyDenied { key: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn peek_poke_bypass_checks() {
+        let mut s = space_with_page(0x8000, PageFlags::ro());
+        assert!(s.poke(VirtAddr(0x8000), b"kernel"));
+        let mut buf = [0u8; 6];
+        assert!(s.peek(VirtAddr(0x8000), &mut buf));
+        assert_eq!(&buf, b"kernel");
+        assert!(!s.poke(VirtAddr(0x0dea_d000), b"x"), "unmapped poke fails");
+    }
+}

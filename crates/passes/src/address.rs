@@ -1,0 +1,450 @@
+//! Address-based instrumentation: SFI masking and single-bound MPX checks.
+//!
+//! Implements the paper's Figure 2 transformations. Every non-privileged
+//! load/store (depending on the mode) is split into an address computation
+//! (`lea`) followed by either:
+//!
+//! * **MPX** — a single `bndcu` against `bnd0`, whose upper bound is the
+//!   64 TB partition boundary, installed by a `bndmk` prepended to the
+//!   entry function. A pointer into the sensitive partition faults
+//!   deterministically (`#BR`).
+//! * **SFI** — `movabs mask` + `and`, forcing the pointer below 64 TB. The
+//!   access cannot reach the sensitive partition but is silently redirected
+//!   rather than reported (the paper's noted SFI downside).
+
+use memsentry_ir::{AluOp, Inst, InstNode, Program, Reg};
+use memsentry_mmu::addr::{SENSITIVE_BASE, SFI_MASK};
+
+use crate::manager::Pass;
+
+/// Which accesses to instrument (the paper's `-r`, `-w`, `-rw` modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentMode {
+    /// Instrument loads (protects confidentiality — CFI metadata, keys).
+    pub loads: bool,
+    /// Instrument stores (protects integrity — shadow stacks, CPI).
+    pub stores: bool,
+}
+
+impl InstrumentMode {
+    /// Loads only (`-r`).
+    pub const READS: Self = Self {
+        loads: true,
+        stores: false,
+    };
+    /// Stores only (`-w`).
+    pub const WRITES: Self = Self {
+        loads: false,
+        stores: true,
+    };
+    /// Both (`-rw`).
+    pub const READ_WRITE: Self = Self {
+        loads: true,
+        stores: true,
+    };
+}
+
+/// The two address-based techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressKind {
+    /// Classic software fault isolation (pointer masking).
+    Sfi,
+    /// Intel MPX repurposed with a single upper-bound check.
+    Mpx,
+    /// MPX with a full dual-bounds check (`bndcl` + `bndcu`) — the
+    /// "arbitrary bounds" situation of paper §6.3, where MPX "becomes
+    /// slightly worse than our SFI results". Kept for the ablation study.
+    MpxDual,
+    /// ISboxing (Deng et al., IFIP SEC'15; paper §7): a 32-bit
+    /// address-size prefix truncates every access below 4 GiB. Nearly
+    /// free at runtime, but it "significantly reduces the available
+    /// address space" — the stack and heap must fit under 4 GiB too.
+    IsBoxing,
+}
+
+/// The ISboxing mask: the address-size prefix truncates to 32 bits.
+pub const ISBOXING_MASK: u64 = 0xffff_ffff;
+
+/// The address-based instrumentation pass.
+///
+/// # Examples
+///
+/// ```
+/// use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+/// use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
+///
+/// let mut p = Program::new();
+/// let mut b = FunctionBuilder::new("main");
+/// b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+/// b.push(Inst::Halt);
+/// p.add_function(b.finish());
+///
+/// AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+/// // The store is now guarded: bndmk (entry), lea, bndcu, store.
+/// assert!(p.functions[0]
+///     .body
+///     .iter()
+///     .any(|n| matches!(n.inst, Inst::BndCu { .. })));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AddressBasedPass {
+    /// SFI or MPX.
+    pub kind: AddressKind,
+    /// Which access kinds to instrument.
+    pub mode: InstrumentMode,
+}
+
+impl AddressBasedPass {
+    /// Creates the pass.
+    pub fn new(kind: AddressKind, mode: InstrumentMode) -> Self {
+        Self { kind, mode }
+    }
+
+    fn scratch_reg(avoid: &[Reg]) -> Reg {
+        let pool = [Reg::R11, Reg::R10, Reg::R9];
+        *pool
+            .iter()
+            .find(|r| !avoid.contains(r))
+            .expect("scratch register")
+    }
+
+    fn rewrite(&self, out: &mut Vec<InstNode>, node: InstNode) {
+        match node.inst {
+            Inst::Load { dst, addr, offset }
+                if self.mode.loads && !node.privileged =>
+            {
+                let s1 = Self::scratch_reg(&[addr]);
+                self.emit_check(out, addr, offset, s1);
+                out.push(Inst::Load {
+                    dst,
+                    addr: s1,
+                    offset: 0,
+                }
+                .into());
+            }
+            Inst::Store { src, addr, offset }
+                if self.mode.stores && !node.privileged =>
+            {
+                let s1 = Self::scratch_reg(&[addr, src]);
+                self.emit_check(out, addr, offset, s1);
+                out.push(Inst::Store {
+                    src,
+                    addr: s1,
+                    offset: 0,
+                }
+                .into());
+            }
+            _ => out.push(node),
+        }
+    }
+
+    fn emit_check(&self, out: &mut Vec<InstNode>, addr: Reg, offset: i64, s1: Reg) {
+        out.push(
+            Inst::Lea {
+                dst: s1,
+                base: addr,
+                offset,
+            }
+            .into(),
+        );
+        match self.kind {
+            AddressKind::Mpx => {
+                out.push(Inst::BndCu { bnd: 0, reg: s1 }.into());
+            }
+            AddressKind::MpxDual => {
+                out.push(Inst::BndCl { bnd: 0, reg: s1 }.into());
+                out.push(Inst::BndCu { bnd: 0, reg: s1 }.into());
+            }
+            AddressKind::Sfi => {
+                // Figure 2c's movabs+and; the IR folds the 64-bit mask
+                // into one `and` immediate.
+                out.push(
+                    Inst::AluImm {
+                        op: AluOp::And,
+                        dst: s1,
+                        imm: SFI_MASK,
+                    }
+                    .into(),
+                );
+            }
+            AddressKind::IsBoxing => {
+                // The prefix truncation, made explicit in the IR.
+                out.push(
+                    Inst::AluImm {
+                        op: AluOp::And,
+                        dst: s1,
+                        imm: ISBOXING_MASK,
+                    }
+                    .into(),
+                );
+            }
+        }
+    }
+}
+
+impl Pass for AddressBasedPass {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            AddressKind::Sfi => "sfi-instrument",
+            AddressKind::Mpx => "mpx-instrument",
+            AddressKind::MpxDual => "mpx-dual-instrument",
+            AddressKind::IsBoxing => "isboxing-instrument",
+        }
+    }
+
+    fn run(&self, program: &mut Program) {
+        for func in &mut program.functions {
+            if func.privileged {
+                continue;
+            }
+            let old = std::mem::take(&mut func.body);
+            let mut new = Vec::with_capacity(old.len() * 2);
+            for node in old {
+                self.rewrite(&mut new, node);
+            }
+            func.body = new;
+        }
+        if matches!(self.kind, AddressKind::Mpx | AddressKind::MpxDual) {
+            // Initialize bnd0 to [0, 64 TB) at program start, with
+            // bndpreserve semantics (the machine never spills bounds).
+            let entry = program.entry;
+            program.func_mut(entry).body.insert(
+                0,
+                Inst::BndMk {
+                    bnd: 0,
+                    lower: 0,
+                    upper: SENSITIVE_BASE - 1,
+                }
+                .into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::{Machine, RunOutcome, Trap};
+    use memsentry_ir::{verify, FunctionBuilder};
+    use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+
+    /// Builds: store 11 to data, load it back, halt with the value.
+    fn sample_program(data_addr: u64, privileged: bool) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: data_addr,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 11,
+        });
+        let store = Inst::Store {
+            src: Reg::Rdi,
+            addr: Reg::Rbx,
+            offset: 8,
+        };
+        let load = Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 8,
+        };
+        if privileged {
+            b.push_privileged(store);
+            b.push_privileged(load);
+        } else {
+            b.push(store);
+            b.push(load);
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        p
+    }
+
+    fn run(p: Program, map_at: u64) -> RunOutcome {
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(map_at), PAGE_SIZE, PageFlags::rw());
+        m.run()
+    }
+
+    #[test]
+    fn mpx_preserves_benign_semantics() {
+        let mut p = sample_program(0x10_0000, false);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, 0x10_0000).expect_exit(), 11);
+    }
+
+    #[test]
+    fn sfi_preserves_benign_semantics() {
+        let mut p = sample_program(0x10_0000, false);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, 0x10_0000).expect_exit(), 11);
+    }
+
+    #[test]
+    fn mpx_faults_on_sensitive_pointer() {
+        let mut p = sample_program(SENSITIVE_BASE, false);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        let out = run(p, SENSITIVE_BASE);
+        assert!(matches!(out.expect_trap(), Trap::BoundRange { .. }));
+    }
+
+    #[test]
+    fn sfi_redirects_sensitive_pointer_below_64tb() {
+        // SFI cannot *detect* the violation: the store is forced below the
+        // boundary (paper §3.2). Map both the sensitive page and its
+        // masked alias; the value must land at the alias.
+        let mut p = sample_program(SENSITIVE_BASE, false);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::WRITES).run(&mut p);
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(SENSITIVE_BASE), PAGE_SIZE, PageFlags::rw());
+        let alias = (SENSITIVE_BASE + 8) & SFI_MASK; // == 8
+        m.space.map_region(VirtAddr(0), PAGE_SIZE, PageFlags::rw());
+        // The (uninstrumented) load still reads the sensitive page, which
+        // was never written: it returns 0, not 11.
+        assert_eq!(m.run().expect_exit(), 0);
+        let mut buf = [0u8; 8];
+        m.space.peek(VirtAddr(alias), &mut buf).then_some(()).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 11, "store redirected to alias");
+    }
+
+    #[test]
+    fn privileged_accesses_are_not_instrumented() {
+        let mut p = sample_program(SENSITIVE_BASE, true);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        assert_eq!(run(p, SENSITIVE_BASE).expect_exit(), 11);
+    }
+
+    #[test]
+    fn privileged_functions_are_skipped_entirely() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("runtime");
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Ret);
+        p.add_function(b.privileged().finish());
+        let before = p.functions[0].body.len();
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        assert_eq!(p.functions[0].body.len(), before);
+    }
+
+    #[test]
+    fn reads_mode_leaves_stores_alone() {
+        let mut p = sample_program(0x10_0000, false);
+        let before_stores = count_insts(&p, |i| i.is_store());
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READS).run(&mut p);
+        let checks = count_insts(&p, |i| matches!(i, Inst::BndCu { .. }));
+        assert_eq!(checks, 1, "only the load is checked");
+        assert_eq!(count_insts(&p, |i| i.is_store()), before_stores);
+    }
+
+    #[test]
+    fn mpx_prepends_exactly_one_bndmk() {
+        let mut p = sample_program(0x10_0000, false);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+        assert!(matches!(
+            p.functions[0].body[0].inst,
+            Inst::BndMk { bnd: 0, lower: 0, .. }
+        ));
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndMk { .. })), 1);
+    }
+
+    #[test]
+    fn store_scratch_never_collides_with_source() {
+        // Store with src = r11 (the first scratch candidate).
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::R11,
+            imm: 23,
+        });
+        b.push(Inst::Store {
+            src: Reg::R11,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(run(p, 0x10_0000).expect_exit(), 23);
+    }
+
+    #[test]
+    fn mpx_dual_emits_both_checks_and_preserves_semantics() {
+        let mut p = sample_program(0x10_0000, false);
+        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE).run(&mut p);
+        verify(&p).unwrap();
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndCl { .. })), 2);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndCu { .. })), 2);
+        assert_eq!(run(p, 0x10_0000).expect_exit(), 11);
+    }
+
+    #[test]
+    fn mpx_dual_faults_on_sensitive_pointer() {
+        let mut p = sample_program(SENSITIVE_BASE, false);
+        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE).run(&mut p);
+        let out = run(p, SENSITIVE_BASE);
+        assert!(matches!(out.expect_trap(), Trap::BoundRange { .. }));
+    }
+
+    #[test]
+    fn isboxing_confines_accesses_below_4gib() {
+        // The safe region (anywhere above 4 GiB) is unreachable...
+        let mut p = sample_program(0x2_0000_0000, false);
+        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE).run(&mut p);
+        verify(&p).unwrap();
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(0x2_0000_0000), PAGE_SIZE, PageFlags::rw());
+        // The masked alias (0x0 page) is unmapped: deterministic fault.
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(memsentry_mmu::Fault::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn isboxing_breaks_programs_with_high_data() {
+        // The paper's §7 caveat, demonstrated: the simulated stack lives
+        // near 63 TB, so even a benign push is truncated away — the whole
+        // process layout must be squeezed under 4 GiB.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rsp,
+            offset: -8,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE).run(&mut p);
+        let mut m = Machine::new(p);
+        assert!(m.run().expect_trap().to_string().contains("memory fault"));
+    }
+
+    fn count_insts(p: &Program, pred: impl Fn(&Inst) -> bool) -> usize {
+        p.functions
+            .iter()
+            .flat_map(|f| f.body.iter())
+            .filter(|n| pred(&n.inst))
+            .count()
+    }
+}

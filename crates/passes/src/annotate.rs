@@ -1,0 +1,177 @@
+//! Automatic annotation of defense runtime libraries.
+//!
+//! Paper §3, "Usage": "For the general case where defense passes insert
+//! calls to functions at certain points, these functions should be
+//! annotated so they can access the safe region. For the common case
+//! where these are contained in a static library, we have included a pass
+//! to automatically create these annotations."
+//!
+//! [`AnnotateLibraryPass`] is that pass: every function whose name starts
+//! with the library prefix is marked privileged (whole-function
+//! `saferegion_access`), so a defense can link its runtime and get the
+//! annotations for free.
+
+use memsentry_ir::{Inst, Program};
+
+use crate::manager::Pass;
+
+/// Marks all functions with a given name prefix as privileged.
+#[derive(Debug, Clone)]
+pub struct AnnotateLibraryPass {
+    /// The library's naming prefix (e.g. `"rt_"`).
+    pub prefix: String,
+}
+
+impl AnnotateLibraryPass {
+    /// Creates the pass for `prefix`.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Self {
+            prefix: prefix.into(),
+        }
+    }
+}
+
+impl Pass for AnnotateLibraryPass {
+    fn name(&self) -> &'static str {
+        "annotate-library"
+    }
+
+    fn run(&self, program: &mut Program) {
+        for func in &mut program.functions {
+            if func.name.starts_with(&self.prefix) {
+                func.privileged = true;
+                for node in &mut func.body {
+                    // Control transfers never touch the region and must
+                    // not end up inside an open/close window (a wrapped
+                    // `ret` would leave the close sequence unreachable).
+                    let control = matches!(
+                        node.inst,
+                        Inst::Ret
+                            | Inst::Halt
+                            | Inst::Jmp(_)
+                            | Inst::JmpIf { .. }
+                            | Inst::Call(_)
+                            | Inst::CallIndirect { .. }
+                            | Inst::Label(_)
+                    );
+                    node.privileged = !control;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_cpu::{Machine, Trap};
+    use memsentry_ir::{verify, FuncId, FunctionBuilder, Inst, Reg};
+    use memsentry_mmu::Fault;
+
+    use crate::domain::{DomainSwitchPass, SwitchPoints};
+    use crate::layout::SafeRegionLayout;
+    use crate::sequences::DomainSequences;
+
+    /// main calls rt_store then rt_load; the runtime functions touch the
+    /// region without any hand annotations.
+    fn program(region_base: u64) -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: region_base,
+        });
+        main.push(Inst::MovImm {
+            dst: Reg::R12,
+            imm: 9,
+        });
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Call(FuncId(2)));
+        main.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::R8,
+        });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut store = FunctionBuilder::new("rt_store");
+        store.push(Inst::Store {
+            src: Reg::R12,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        store.push(Inst::Ret);
+        p.add_function(store.finish());
+        let mut load = FunctionBuilder::new("rt_load");
+        load.push(Inst::Load {
+            dst: Reg::R8,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        load.push(Inst::Ret);
+        p.add_function(load.finish());
+        p
+    }
+
+    #[test]
+    fn prefix_functions_become_privileged() {
+        let mut p = program(0);
+        AnnotateLibraryPass::new("rt_").run(&mut p);
+        assert!(!p.functions[0].privileged);
+        assert!(p.functions[1].privileged);
+        assert!(p.functions[2].privileged);
+        // Data instructions are privileged; the terminator is not.
+        assert!(p.functions[1].body[0].privileged);
+        assert!(!p.functions[1].body[1].privileged);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn annotated_library_composes_with_domain_switching() {
+        // The full §3 "Usage" flow: auto-annotate, then wrap the
+        // privileged runtime bodies with MPK switches.
+        let region = SafeRegionLayout::sensitive(64);
+        let mut p = program(region.base);
+        AnnotateLibraryPass::new("rt_").run(&mut p);
+        DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
+            .run(&mut p);
+        verify(&p).unwrap();
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            memsentry_mmu::VirtAddr(region.base),
+            memsentry_mmu::PAGE_SIZE,
+            memsentry_mmu::PageFlags::rw(),
+        );
+        m.space.pkey_mprotect(
+            memsentry_mmu::VirtAddr(region.base),
+            memsentry_mmu::PAGE_SIZE,
+            region.pkey,
+        );
+        m.space.pkru = memsentry_mmu::Pkru::deny_key(region.pkey);
+        assert_eq!(m.run().expect_exit(), 9);
+    }
+
+    #[test]
+    fn unannotated_program_faults_where_annotated_succeeds() {
+        let region = SafeRegionLayout::sensitive(64);
+        let mut p = program(region.base);
+        // No annotation pass: the runtime accesses stay unprivileged.
+        DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
+            .run(&mut p);
+        let mut m = Machine::new(p);
+        m.space.map_region(
+            memsentry_mmu::VirtAddr(region.base),
+            memsentry_mmu::PAGE_SIZE,
+            memsentry_mmu::PageFlags::rw(),
+        );
+        m.space.pkey_mprotect(
+            memsentry_mmu::VirtAddr(region.base),
+            memsentry_mmu::PAGE_SIZE,
+            region.pkey,
+        );
+        m.space.pkru = memsentry_mmu::Pkru::deny_key(region.pkey);
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(Fault::PkeyDenied { .. })
+        ));
+    }
+}

@@ -1,0 +1,293 @@
+//! Domain-based instrumentation: wrapping switch points with open/close.
+//!
+//! Two flavours, matching how the paper uses domain switching:
+//!
+//! * **Event points** (call/ret, indirect branches, system calls,
+//!   allocator calls): the open/close pair is inserted *before* the event
+//!   instruction — the defense's privileged work (e.g. a shadow-stack
+//!   push) happens inside that window, and the domain is closed again
+//!   before control transfers. This is what Figures 4-6 measure.
+//! * **Privileged instructions** (the `saferegion_access` annotation): the
+//!   instruction itself must run with the domain open, so the pass brackets
+//!   it: open before, close after.
+
+use memsentry_ir::{Inst, InstNode, Program};
+
+use crate::manager::Pass;
+use crate::sequences::DomainSequences;
+
+/// Which instructions are instrumentation points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPoints {
+    /// Every `call` and `ret` (shadow stacks; Figure 4).
+    CallRet,
+    /// Every indirect branch (CFI, layout randomization; Figure 5).
+    IndirectBranch,
+    /// Every system call (TASR-style, I/O interposition; Figure 6).
+    Syscall,
+    /// Every `malloc`/`free` (heap protectors; paper §6.2 "similar
+    /// results for calls to the allocator").
+    AllocatorCall,
+    /// Every instruction annotated privileged (arbitrary program data).
+    Privileged,
+}
+
+impl SwitchPoints {
+    fn matches(self, node: &InstNode) -> bool {
+        match self {
+            SwitchPoints::CallRet => node.inst.is_call_or_ret(),
+            SwitchPoints::IndirectBranch => node.inst.is_indirect_branch(),
+            SwitchPoints::Syscall => node.inst.is_syscall(),
+            SwitchPoints::AllocatorCall => node.inst.is_allocator_call(),
+            SwitchPoints::Privileged => node.privileged,
+        }
+    }
+}
+
+/// The domain-switch instrumentation pass.
+#[derive(Debug, Clone)]
+pub struct DomainSwitchPass {
+    /// Which instructions get a domain switch.
+    pub points: SwitchPoints,
+    /// The technique's open/close sequences.
+    pub sequences: DomainSequences,
+}
+
+impl DomainSwitchPass {
+    /// Creates the pass.
+    pub fn new(points: SwitchPoints, sequences: DomainSequences) -> Self {
+        Self { points, sequences }
+    }
+}
+
+impl Pass for DomainSwitchPass {
+    fn name(&self) -> &'static str {
+        "domain-switch"
+    }
+
+    fn run(&self, program: &mut Program) {
+        let wrap_around = self.points == SwitchPoints::Privileged;
+        for func in &mut program.functions {
+            // Privileged (runtime) functions already run with the domain
+            // managed by their caller in event mode; in Privileged mode
+            // their bodies are exactly what we instrument.
+            if !wrap_around && func.privileged {
+                continue;
+            }
+            let old = std::mem::take(&mut func.body);
+            let mut new = Vec::with_capacity(old.len() + 8);
+            let mut i = 0;
+            while i < old.len() {
+                let node = old[i];
+                if !self.points.matches(&node) {
+                    new.push(node);
+                    i += 1;
+                    continue;
+                }
+                for inst in &self.sequences.open {
+                    new.push(InstNode::privileged(*inst));
+                }
+                if wrap_around {
+                    // Wrap the whole maximal run of consecutive privileged
+                    // instructions with ONE open/close pair — a defense
+                    // runtime sequence is a single instrumentation point,
+                    // not one per instruction.
+                    while i < old.len() && self.points.matches(&old[i]) {
+                        new.push(old[i]);
+                        i += 1;
+                    }
+                    for inst in &self.sequences.close {
+                        new.push(InstNode::privileged(*inst));
+                    }
+                } else {
+                    for inst in &self.sequences.close {
+                        new.push(InstNode::privileged(*inst));
+                    }
+                    new.push(node);
+                    i += 1;
+                }
+            }
+            func.body = new;
+        }
+    }
+}
+
+/// Counts instructions matching `pred` (test/bench helper).
+pub fn count_insts(program: &Program, pred: impl Fn(&Inst) -> bool) -> usize {
+    program
+        .functions
+        .iter()
+        .flat_map(|f| f.body.iter())
+        .filter(|n| pred(&n.inst))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SafeRegionLayout;
+    use memsentry_cpu::{Machine, Trap};
+    use memsentry_ir::{verify, FuncId, FunctionBuilder, Reg};
+    use memsentry_mmu::{PageFlags, Pkru, VirtAddr, PAGE_SIZE};
+
+    fn call_heavy_program() -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Halt);
+        let mut leaf = FunctionBuilder::new("leaf");
+        leaf.push(Inst::Nop);
+        leaf.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(leaf.finish());
+        p
+    }
+
+    #[test]
+    fn callret_mode_wraps_calls_and_rets() {
+        let mut p = call_heavy_program();
+        let layout = SafeRegionLayout::sensitive(64);
+        DomainSwitchPass::new(SwitchPoints::CallRet, DomainSequences::mpk(&layout)).run(&mut p);
+        verify(&p).unwrap();
+        // 2 calls + 1 ret = 3 switch points, each open+close = 2 wrpkru.
+        assert_eq!(
+            count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })),
+            6
+        );
+        // Program still runs.
+        let mut m = Machine::new(p);
+        m.run().expect_exit();
+        assert_eq!(m.stats().wrpkrus, 6 + 2); // leaf called twice: its ret executes twice...
+    }
+
+    #[test]
+    fn semantics_preserved_under_vmfunc_requires_vm() {
+        let mut p = call_heavy_program();
+        let layout = SafeRegionLayout::sensitive(64);
+        DomainSwitchPass::new(SwitchPoints::CallRet, DomainSequences::vmfunc(&layout))
+            .run(&mut p);
+        // Without the Dune sandbox, vmfunc traps: deterministic failure,
+        // not silent no-op.
+        let mut m = Machine::new(p);
+        assert!(matches!(m.run().expect_trap(), Trap::VmError { .. }));
+    }
+
+    #[test]
+    fn privileged_mode_brackets_the_instruction() {
+        let region = SafeRegionLayout::sensitive(PAGE_SIZE);
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: region.base,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rsi,
+            imm: 99,
+        });
+        b.push_privileged(Inst::Store {
+            src: Reg::Rsi,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push_privileged(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
+            .run(&mut p);
+        verify(&p).unwrap();
+
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(region.base), PAGE_SIZE, PageFlags::rw());
+        m.space
+            .pkey_mprotect(VirtAddr(region.base), PAGE_SIZE, region.pkey);
+        m.space.pkru = Pkru::deny_key(region.pkey);
+        // The privileged accesses succeed because the pass opens the
+        // domain around them...
+        assert_eq!(m.run().expect_exit(), 99);
+        // ...and the domain is closed again afterwards.
+        assert!(!m.space.pkru.permits(region.pkey, false));
+    }
+
+    #[test]
+    fn unprivileged_access_to_pkey_region_still_faults() {
+        let region = SafeRegionLayout::sensitive(PAGE_SIZE);
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: region.base,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
+            .run(&mut p);
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(region.base), PAGE_SIZE, PageFlags::rw());
+        m.space
+            .pkey_mprotect(VirtAddr(region.base), PAGE_SIZE, region.pkey);
+        m.space.pkru = Pkru::deny_key(region.pkey);
+        assert!(matches!(
+            m.run().expect_trap(),
+            Trap::Mmu(memsentry_mmu::Fault::PkeyDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn syscall_mode_only_touches_syscalls() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Call(FuncId(0)));
+        b.push(Inst::Syscall { nr: 2 });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let layout = SafeRegionLayout::sensitive(64);
+        DomainSwitchPass::new(SwitchPoints::Syscall, DomainSequences::mpk(&layout)).run(&mut p);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 2);
+    }
+
+    #[test]
+    fn allocator_mode_wraps_malloc_and_free() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 32,
+        });
+        b.push(Inst::Alloc { size: Reg::Rdi });
+        b.push(Inst::Free { ptr: Reg::Rax });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let layout = SafeRegionLayout::sensitive(64);
+        DomainSwitchPass::new(
+            SwitchPoints::AllocatorCall,
+            DomainSequences::mpk(&layout),
+        )
+        .run(&mut p);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 4);
+    }
+
+    #[test]
+    fn indirect_mode_skips_direct_calls() {
+        let mut p = call_heavy_program();
+        let layout = SafeRegionLayout::sensitive(64);
+        DomainSwitchPass::new(
+            SwitchPoints::IndirectBranch,
+            DomainSequences::mpk(&layout),
+        )
+        .run(&mut p);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 0);
+    }
+}

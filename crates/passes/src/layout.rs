@@ -1,0 +1,71 @@
+//! Safe-region layout description shared by the passes.
+
+use memsentry_mmu::SENSITIVE_BASE;
+
+/// Where the safe region lives and how the techniques address it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafeRegionLayout {
+    /// Base virtual address of the region.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// MPK protection key assigned to the region's pages.
+    pub pkey: u8,
+    /// EPTP-list index of the secure EPT holding the region's mappings.
+    pub secure_ept: u32,
+}
+
+impl SafeRegionLayout {
+    /// A layout at the canonical spot in the sensitive partition.
+    pub fn sensitive(len: u64) -> Self {
+        Self {
+            base: SENSITIVE_BASE,
+            len,
+            pkey: 1,
+            secure_ept: 1,
+        }
+    }
+
+    /// Number of 16-byte chunks the crypt technique processes per switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 16; the safe-region
+    /// allocator always rounds lengths up.
+    pub fn chunks(&self) -> u32 {
+        assert!(self.len.is_multiple_of(16), "safe region length must be 16-aligned");
+        (self.len / 16) as u32
+    }
+
+    /// Whether `va` falls inside the region.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.base && va < self.base + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_layout_sits_at_64tb() {
+        let l = SafeRegionLayout::sensitive(4096);
+        assert_eq!(l.base, 64 << 40);
+        assert!(l.contains(l.base));
+        assert!(l.contains(l.base + 4095));
+        assert!(!l.contains(l.base + 4096));
+        assert!(!l.contains(l.base - 1));
+    }
+
+    #[test]
+    fn chunk_count() {
+        assert_eq!(SafeRegionLayout::sensitive(16).chunks(), 1);
+        assert_eq!(SafeRegionLayout::sensitive(1024).chunks(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-aligned")]
+    fn unaligned_length_panics() {
+        SafeRegionLayout::sensitive(17).chunks();
+    }
+}

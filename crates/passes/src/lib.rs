@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! MemSentry's instrumentation passes.
+//!
+//! The paper implements MemSentry as LLVM passes that run after a defense's
+//! own passes (Figure 1). Given (a) the safe region, (b) the
+//! instrumentation points, and (c) the chosen isolation technique, the
+//! passes transform the program:
+//!
+//! * [`address`] — **address-based** isolation (paper §3.2, Figure 2):
+//!   every non-privileged load and/or store is split into `lea` + check +
+//!   access, where the check is either the SFI `and`-mask or a single MPX
+//!   `bndcu` against the 64 TB partition boundary.
+//! * [`domain`] — **domain-based** isolation (paper §3.1): open/close
+//!   instruction sequences are wrapped around the instrumentation points
+//!   (call/ret, indirect branches, system calls, allocator calls, or
+//!   explicitly annotated privileged instructions).
+//! * [`sequences`] — the canonical open/close sequences for MPK, VMFUNC,
+//!   crypt, SGX, and the `mprotect` baseline.
+//! * [`pointsto`] — static (conservative) and dynamic (trace-based,
+//!   PIN-like) points-to analyses for protecting arbitrary program data
+//!   (paper §5.5).
+//! * [`manager`] — a pass manager that re-verifies the program after every
+//!   pass.
+
+pub mod address;
+pub mod annotate;
+pub mod domain;
+pub mod layout;
+pub mod manager;
+pub mod pointsto;
+pub mod sequences;
+
+pub use address::{AddressBasedPass, AddressKind, InstrumentMode};
+pub use annotate::AnnotateLibraryPass;
+pub use domain::{DomainSwitchPass, SwitchPoints};
+pub use layout::SafeRegionLayout;
+pub use manager::{Pass, PassError, PassManager};
+pub use pointsto::{DynamicPointsTo, StaticPointsTo};
+pub use sequences::DomainSequences;

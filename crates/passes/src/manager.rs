@@ -1,0 +1,132 @@
+//! The pass manager.
+//!
+//! Runs a pipeline of passes over a program, re-verifying structural
+//! invariants after each one so a broken transformation is reported with
+//! the name of the pass that produced it.
+
+use memsentry_ir::{verify, Program, VerifyError};
+
+/// A program transformation.
+pub trait Pass {
+    /// Human-readable pass name.
+    fn name(&self) -> &'static str;
+    /// Transforms the program in place.
+    fn run(&self, program: &mut Program);
+}
+
+/// A verification failure attributed to the pass that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// The offending pass.
+    pub pass: &'static str,
+    /// What the verifier found.
+    pub error: VerifyError,
+}
+
+impl core::fmt::Display for PassError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pass '{}' broke the program: {}", self.pass, self.error)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// An ordered pipeline of passes.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs the pipeline, verifying after every pass (and once up front).
+    pub fn run(&self, program: &mut Program) -> Result<(), PassError> {
+        verify(program).map_err(|error| PassError {
+            pass: "<input>",
+            error,
+        })?;
+        for pass in &self.passes {
+            pass.run(program);
+            verify(program).map_err(|error| PassError {
+                pass: pass.name(),
+                error,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{FunctionBuilder, Inst};
+
+    struct AppendNop;
+    impl Pass for AppendNop {
+        fn name(&self) -> &'static str {
+            "append-nop"
+        }
+        fn run(&self, program: &mut Program) {
+            for f in &mut program.functions {
+                f.body.insert(0, Inst::Nop.into());
+            }
+        }
+    }
+
+    struct Truncate;
+    impl Pass for Truncate {
+        fn name(&self) -> &'static str {
+            "truncate"
+        }
+        fn run(&self, program: &mut Program) {
+            for f in &mut program.functions {
+                f.body.pop();
+            }
+        }
+    }
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        p
+    }
+
+    #[test]
+    fn pipeline_runs_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AppendNop)).add(Box::new(AppendNop));
+        let mut p = program();
+        pm.run(&mut p).unwrap();
+        assert_eq!(p.functions[0].body.len(), 3);
+    }
+
+    #[test]
+    fn broken_pass_is_named() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(Truncate)); // removes the Halt -> falls off end
+        let mut p = program();
+        let err = pm.run(&mut p).unwrap_err();
+        assert_eq!(err.pass, "truncate");
+    }
+
+    #[test]
+    fn invalid_input_is_reported_before_any_pass() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AppendNop));
+        let mut p = Program::new();
+        let err = pm.run(&mut p).unwrap_err();
+        assert_eq!(err.pass, "<input>");
+    }
+}

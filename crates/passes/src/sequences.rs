@@ -1,0 +1,308 @@
+//! Canonical domain open/close instruction sequences.
+//!
+//! Each domain-based technique toggles the sensitive domain with a short
+//! instruction sequence (paper §3.1/§5). These builders produce exactly
+//! those sequences; the [`crate::domain::DomainSwitchPass`] wraps them
+//! around the instrumentation points.
+
+use memsentry_cpu::kernel::nr;
+use memsentry_ir::{AluOp, Inst, Reg};
+
+use crate::layout::SafeRegionLayout;
+
+/// An open/close pair of instruction sequences.
+#[derive(Debug, Clone, Default)]
+pub struct DomainSequences {
+    /// Instructions that make the sensitive domain accessible.
+    pub open: Vec<Inst>,
+    /// Instructions that close it again.
+    pub close: Vec<Inst>,
+}
+
+impl DomainSequences {
+    /// MPK: `rdpkru` / clear the region's AD+WD bits / `wrpkru` /
+    /// `mfence`, and the reverse to close (paper §5.2).
+    ///
+    /// Architecturally the sequence clobbers `rax`/`rcx`/`rdx`; the paper
+    /// notes LLVM's register allocator works around the clobbers (at some
+    /// spill cost). The IR models the post-allocation result by staging
+    /// `pkru` through a scratch register.
+    pub fn mpk(layout: &SafeRegionLayout) -> Self {
+        let bits = 0b11u64 << (2 * layout.pkey as u32);
+        Self {
+            open: vec![
+                Inst::RdPkru { dst: Reg::R9 },
+                Inst::AluImm {
+                    op: AluOp::And,
+                    dst: Reg::R9,
+                    imm: !bits,
+                },
+                Inst::WrPkru { src: Reg::R9 },
+                Inst::MFence,
+            ],
+            close: vec![
+                Inst::RdPkru { dst: Reg::R9 },
+                Inst::AluImm {
+                    op: AluOp::Or,
+                    dst: Reg::R9,
+                    imm: bits,
+                },
+                Inst::WrPkru { src: Reg::R9 },
+                Inst::MFence,
+            ],
+        }
+    }
+
+    /// MPK without the `mfence` (ablation): what the switch would cost if
+    /// `wrpkru`'s own serialization were the only barrier. Unsafe against
+    /// speculative reordering of the protected accesses; benchmark-only.
+    pub fn mpk_unfenced(layout: &SafeRegionLayout) -> Self {
+        let mut s = Self::mpk(layout);
+        s.open.retain(|i| !matches!(i, Inst::MFence));
+        s.close.retain(|i| !matches!(i, Inst::MFence));
+        s
+    }
+
+    /// crypt with the round keys *pinned* in `xmm` (ablation): the CCFI
+    /// approach the paper rejects (§5.3) — no per-open `ymm` reload and no
+    /// `aesimc`, at the cost of reserving xmm registers system-wide
+    /// (recompiling every library). Benchmark-only.
+    pub fn crypt_pinned_keys(layout: &SafeRegionLayout) -> Self {
+        let mut s = Self::crypt(layout);
+        s.open
+            .retain(|i| !matches!(i, Inst::YmmToXmm { .. } | Inst::AesImc));
+        s.close.retain(|i| !matches!(i, Inst::YmmToXmm { .. }));
+        s
+    }
+
+    /// VMFUNC: switch to the secure EPT and back (paper §5.1).
+    pub fn vmfunc(layout: &SafeRegionLayout) -> Self {
+        Self {
+            open: vec![Inst::VmFunc {
+                eptp: layout.secure_ept,
+            }],
+            close: vec![Inst::VmFunc { eptp: 0 }],
+        }
+    }
+
+    /// crypt: stage round keys from `ymm` into `xmm`, decrypt the region
+    /// in place; re-encrypt on close (paper §5.3). Clobbers `r10`.
+    ///
+    /// Only the *encryption* round keys fit in the `ymm` upper halves;
+    /// decryption derives the equivalent-inverse-cipher keys with
+    /// `aesimc` on every open (Table 4: "AES imc (9 rounds): 71 cycles"
+    /// — the paper: "calculating all required keys for decryption is far
+    /// more costly ... the initialization cost per block will thus be
+    /// higher for decryption").
+    pub fn crypt(layout: &SafeRegionLayout) -> Self {
+        let chunks = layout.chunks();
+        Self {
+            open: vec![
+                Inst::YmmToXmm { count: 11 },
+                Inst::AesImc,
+                Inst::MovImm {
+                    dst: Reg::R10,
+                    imm: layout.base,
+                },
+                Inst::AesRegion {
+                    base: Reg::R10,
+                    chunks,
+                    decrypt: true,
+                },
+            ],
+            // The close re-encrypts with the keys still staged in xmm
+            // from the open; no reload is needed.
+            close: vec![
+                Inst::MovImm {
+                    dst: Reg::R10,
+                    imm: layout.base,
+                },
+                Inst::AesRegion {
+                    base: Reg::R10,
+                    chunks,
+                    decrypt: false,
+                },
+            ],
+        }
+    }
+
+    /// SGX: an ECALL transition in and out of the enclave.
+    pub fn sgx() -> Self {
+        Self {
+            open: vec![Inst::SgxEnter],
+            close: vec![Inst::SgxExit],
+        }
+    }
+
+    /// Page-table switching (extension): `switch_view(secure)` to open,
+    /// `switch_view(0)` to close — one syscall each, with PCID keeping the
+    /// TLB warm. Clobbers `rdi`/`rax`.
+    pub fn page_table_switch(layout: &SafeRegionLayout) -> Self {
+        let call = |view: u64| {
+            vec![
+                Inst::MovImm {
+                    dst: Reg::Rdi,
+                    imm: view,
+                },
+                Inst::Syscall {
+                    nr: nr::SWITCH_VIEW,
+                },
+            ]
+        };
+        Self {
+            open: call(layout.secure_ept as u64),
+            close: call(0),
+        }
+    }
+
+    /// Page-table switching without PCID (ablation): every switch flushes
+    /// the TLB, so the cost shows up as downstream page-walk misses.
+    pub fn page_table_switch_no_pcid(layout: &SafeRegionLayout) -> Self {
+        let call = |view: u64| {
+            vec![
+                Inst::MovImm {
+                    dst: Reg::Rdi,
+                    imm: view,
+                },
+                Inst::Syscall {
+                    nr: nr::SWITCH_VIEW_FLUSH,
+                },
+            ]
+        };
+        Self {
+            open: call(layout.secure_ept as u64),
+            close: call(0),
+        }
+    }
+
+    /// The POSIX baseline: `mprotect` the region RW to open, PROT_NONE to
+    /// close (the 20-50x overhead strategy of paper §1). Clobbers
+    /// `rdi`/`rsi`/`rdx`/`rax`.
+    pub fn mprotect(layout: &SafeRegionLayout) -> Self {
+        let call = |prot: u64| {
+            vec![
+                Inst::MovImm {
+                    dst: Reg::Rdi,
+                    imm: layout.base,
+                },
+                Inst::MovImm {
+                    dst: Reg::Rsi,
+                    imm: layout.len,
+                },
+                Inst::MovImm {
+                    dst: Reg::Rdx,
+                    imm: prot,
+                },
+                Inst::Syscall { nr: nr::MPROTECT },
+            ]
+        };
+        Self {
+            open: call(2),  // ReadWrite
+            close: call(0), // None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> SafeRegionLayout {
+        SafeRegionLayout::sensitive(64)
+    }
+
+    #[test]
+    fn mpk_sequences_toggle_the_right_bits() {
+        let s = DomainSequences::mpk(&layout());
+        assert!(matches!(s.open[0], Inst::RdPkru { .. }));
+        match (s.open[1], s.close[1]) {
+            (
+                Inst::AluImm {
+                    op: AluOp::And,
+                    imm: and_imm,
+                    ..
+                },
+                Inst::AluImm {
+                    op: AluOp::Or,
+                    imm: or_imm,
+                    ..
+                },
+            ) => {
+                assert_eq!(or_imm, 0b11 << 2, "pkey 1 bits");
+                assert_eq!(and_imm, !or_imm);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(s.open[3], Inst::MFence));
+        assert!(matches!(s.close[3], Inst::MFence));
+    }
+
+    #[test]
+    fn vmfunc_sequences_switch_to_secure_and_back() {
+        let s = DomainSequences::vmfunc(&layout());
+        assert_eq!(s.open, vec![Inst::VmFunc { eptp: 1 }]);
+        assert_eq!(s.close, vec![Inst::VmFunc { eptp: 0 }]);
+    }
+
+    #[test]
+    fn crypt_sequences_decrypt_then_reencrypt() {
+        let s = DomainSequences::crypt(&layout());
+        assert!(matches!(s.open[1], Inst::AesImc));
+        assert!(matches!(
+            s.open[3],
+            Inst::AesRegion {
+                decrypt: true,
+                chunks: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s.close[1],
+            Inst::AesRegion {
+                decrypt: false,
+                chunks: 4,
+                ..
+            }
+        ));
+        assert!(matches!(s.open[0], Inst::YmmToXmm { count: 11 }));
+    }
+
+    #[test]
+    fn mprotect_sequences_are_syscalls() {
+        let s = DomainSequences::mprotect(&layout());
+        assert!(matches!(s.open[3], Inst::Syscall { nr: 10 }));
+        assert!(matches!(s.close[3], Inst::Syscall { nr: 10 }));
+        // Open grants RW (2), close revokes (0).
+        assert!(matches!(s.open[2], Inst::MovImm { imm: 2, .. }));
+        assert!(matches!(s.close[2], Inst::MovImm { imm: 0, .. }));
+    }
+
+    #[test]
+    fn mpk_unfenced_drops_only_the_fences() {
+        let full = DomainSequences::mpk(&layout());
+        let lean = DomainSequences::mpk_unfenced(&layout());
+        assert_eq!(lean.open.len(), full.open.len() - 1);
+        assert!(lean.open.iter().all(|i| !matches!(i, Inst::MFence)));
+        assert!(lean.close.iter().any(|i| matches!(i, Inst::WrPkru { .. })));
+    }
+
+    #[test]
+    fn crypt_pinned_keys_drops_reload_and_imc() {
+        let lean = DomainSequences::crypt_pinned_keys(&layout());
+        assert!(lean
+            .open
+            .iter()
+            .all(|i| !matches!(i, Inst::YmmToXmm { .. } | Inst::AesImc)));
+        assert!(lean
+            .open
+            .iter()
+            .any(|i| matches!(i, Inst::AesRegion { decrypt: true, .. })));
+    }
+
+    #[test]
+    fn sgx_sequences_are_transitions() {
+        let s = DomainSequences::sgx();
+        assert_eq!(s.open, vec![Inst::SgxEnter]);
+        assert_eq!(s.close, vec![Inst::SgxExit]);
+    }
+}

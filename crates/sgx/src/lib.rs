@@ -1,0 +1,314 @@
+#![warn(missing_docs)]
+
+//! An SGX enclave model.
+//!
+//! The paper evaluates SGX as a domain-based isolation candidate and
+//! rejects it for lightweight safe-region isolation (§3.1): transitions
+//! cost ~7664 cycles, the enclave's mappings are fixed at initialization
+//! (no dynamic memory), size is limited by the EPC, the accessor *code*
+//! must move inside the enclave, and binaries need an Intel-issued signing
+//! key. This crate models exactly those properties:
+//!
+//! * [`EnclaveBuilder`] — `ECREATE`/`EADD`-style construction: pages are
+//!   added (and measured) before `EINIT`; afterwards the layout is frozen.
+//! * [`Enclave`] — `ECALL`s into registered entry points, `OCALL`s out,
+//!   transition counting for the cost model, and an EPC capacity limit.
+//! * Launch control — initialization requires a signature token; an
+//!   unsigned enclave refuses to run, mirroring the deployment obstacle
+//!   the paper cites.
+//!
+//! Enclave memory enforcement on the simulated machine itself is handled
+//! by `memsentry-cpu` (`Machine::set_epc_range` + `SgxEnter`/`SgxExit`).
+
+use std::collections::HashMap;
+
+/// EPC capacity in bytes (the ~93 MiB usable of the 128 MiB EPC on
+/// Skylake-era parts; rounded for the model).
+pub const EPC_CAPACITY: u64 = 96 << 20;
+
+/// Page size inside the enclave.
+pub const SGX_PAGE: u64 = 4096;
+
+/// Errors from enclave construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// Operation requires an initialized enclave.
+    NotInitialized,
+    /// Operation is only legal before `EINIT` (e.g. adding pages).
+    AlreadyInitialized,
+    /// The EPC is exhausted.
+    EpcFull,
+    /// `EINIT` without a valid launch token (unsigned binary).
+    BadLaunchToken,
+    /// ECALL to an unregistered entry point.
+    NoSuchEntryPoint(u32),
+    /// Access outside the enclave's fixed address range.
+    OutOfRange {
+        /// The offending offset.
+        offset: u64,
+    },
+}
+
+impl core::fmt::Display for SgxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SgxError::NotInitialized => write!(f, "enclave not initialized"),
+            SgxError::AlreadyInitialized => write!(f, "enclave already initialized"),
+            SgxError::EpcFull => write!(f, "EPC capacity exhausted"),
+            SgxError::BadLaunchToken => write!(f, "invalid launch token (unsigned enclave)"),
+            SgxError::NoSuchEntryPoint(i) => write!(f, "no ECALL entry point {i}"),
+            SgxError::OutOfRange { offset } => write!(f, "offset {offset:#x} outside enclave"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+/// An ECALL entry point: operates on the enclave's private memory with the
+/// caller-supplied arguments, returning one value.
+pub type EcallFn = fn(&mut [u8], [u64; 3]) -> u64;
+
+/// FNV-1a 64-bit hash, used as the enclave measurement (`MRENCLAVE` stand-in).
+fn fnv1a(data: &[u8], mut state: u64) -> u64 {
+    for &b in data {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// Builds an enclave: add pages, register entry points, then `EINIT`.
+#[derive(Debug)]
+pub struct EnclaveBuilder {
+    pages: Vec<Vec<u8>>,
+    entry_points: HashMap<u32, EcallFn>,
+    measurement: u64,
+    epc_used: u64,
+}
+
+impl Default for EnclaveBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EnclaveBuilder {
+    /// `ECREATE`: starts an empty enclave.
+    pub fn new() -> Self {
+        Self {
+            pages: Vec::new(),
+            entry_points: HashMap::new(),
+            measurement: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            epc_used: 0,
+        }
+    }
+
+    /// `EADD`: adds (and measures) one page of initial content.
+    pub fn add_page(&mut self, content: &[u8]) -> Result<(), SgxError> {
+        if self.epc_used + SGX_PAGE > EPC_CAPACITY {
+            return Err(SgxError::EpcFull);
+        }
+        let mut page = vec![0u8; SGX_PAGE as usize];
+        let n = content.len().min(page.len());
+        page[..n].copy_from_slice(&content[..n]);
+        self.measurement = fnv1a(&page, self.measurement);
+        self.pages.push(page);
+        self.epc_used += SGX_PAGE;
+        Ok(())
+    }
+
+    /// Registers an ECALL entry point (part of the enclave's code image).
+    pub fn entry_point(&mut self, index: u32, f: EcallFn) {
+        self.entry_points.insert(index, f);
+        self.measurement = fnv1a(&index.to_le_bytes(), self.measurement);
+    }
+
+    /// The measurement accumulated so far.
+    pub fn measurement(&self) -> u64 {
+        self.measurement
+    }
+
+    /// A valid launch token for this enclave (what Intel's launch enclave
+    /// would produce for a signed binary).
+    pub fn sign(&self) -> u64 {
+        self.measurement ^ 0x5163_4e41_5455_5245 // "SIGNATURE"-ish tag
+    }
+
+    /// `EINIT`: finalizes the enclave. Fails without a valid token.
+    pub fn init(self, launch_token: u64) -> Result<Enclave, SgxError> {
+        if launch_token != self.sign() {
+            return Err(SgxError::BadLaunchToken);
+        }
+        Ok(Enclave {
+            memory: self.pages.concat(),
+            entry_points: self.entry_points,
+            measurement: self.measurement,
+            transitions: 0,
+            ocalls: 0,
+        })
+    }
+}
+
+/// A finalized enclave.
+#[derive(Debug)]
+pub struct Enclave {
+    memory: Vec<u8>,
+    entry_points: HashMap<u32, EcallFn>,
+    measurement: u64,
+    transitions: u64,
+    ocalls: u64,
+}
+
+impl Enclave {
+    /// The enclave's measurement (attestation identity).
+    pub fn measurement(&self) -> u64 {
+        self.measurement
+    }
+
+    /// Enclave size in bytes — fixed forever at `EINIT` (the paper:
+    /// "currently the mappings of the enclave are fixed: no new memory can
+    /// be allocated").
+    pub fn size(&self) -> u64 {
+        self.memory.len() as u64
+    }
+
+    /// Number of ECALL transitions performed (each costs the paper's 7664
+    /// cycles of enter+exit).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Number of OCALLs performed.
+    pub fn ocalls(&self) -> u64 {
+        self.ocalls
+    }
+
+    /// `ECALL`: enters the enclave through entry point `index`.
+    pub fn ecall(&mut self, index: u32, args: [u64; 3]) -> Result<u64, SgxError> {
+        let f = *self
+            .entry_points
+            .get(&index)
+            .ok_or(SgxError::NoSuchEntryPoint(index))?;
+        self.transitions += 1;
+        Ok(f(&mut self.memory, args))
+    }
+
+    /// `OCALL`: the enclave calls out (e.g. for I/O); modelled as a
+    /// counted transition.
+    pub fn ocall(&mut self) {
+        self.ocalls += 1;
+        self.transitions += 1;
+    }
+
+    /// Reads enclave memory *from inside* (used by entry-point closures in
+    /// tests; outside code has no access to `memory`).
+    pub fn debug_read(&self, offset: u64, len: usize) -> Result<&[u8], SgxError> {
+        let end = offset as usize + len;
+        self.memory
+            .get(offset as usize..end)
+            .ok_or(SgxError::OutOfRange { offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_word(mem: &mut [u8], args: [u64; 3]) -> u64 {
+        let off = args[0] as usize;
+        mem[off..off + 8].copy_from_slice(&args[1].to_le_bytes());
+        0
+    }
+
+    fn load_word(mem: &mut [u8], args: [u64; 3]) -> u64 {
+        let off = args[0] as usize;
+        u64::from_le_bytes(mem[off..off + 8].try_into().unwrap())
+    }
+
+    fn two_page_enclave() -> Enclave {
+        let mut b = EnclaveBuilder::new();
+        b.add_page(&[0u8; 16]).unwrap();
+        b.add_page(&[0u8; 16]).unwrap();
+        b.entry_point(0, store_word);
+        b.entry_point(1, load_word);
+        let token = b.sign();
+        b.init(token).unwrap()
+    }
+
+    #[test]
+    fn ecall_roundtrip_through_entry_points() {
+        let mut e = two_page_enclave();
+        e.ecall(0, [64, 0xfeed, 0]).unwrap();
+        assert_eq!(e.ecall(1, [64, 0, 0]).unwrap(), 0xfeed);
+        assert_eq!(e.transitions(), 2);
+    }
+
+    #[test]
+    fn unsigned_enclave_refuses_to_init() {
+        let mut b = EnclaveBuilder::new();
+        b.add_page(&[1, 2, 3]).unwrap();
+        assert_eq!(b.init(0xbad).unwrap_err(), SgxError::BadLaunchToken);
+    }
+
+    #[test]
+    fn measurement_depends_on_content_and_entry_points() {
+        let mut a = EnclaveBuilder::new();
+        a.add_page(&[1]).unwrap();
+        let mut b = EnclaveBuilder::new();
+        b.add_page(&[2]).unwrap();
+        assert_ne!(a.measurement(), b.measurement());
+        let before = a.measurement();
+        a.entry_point(0, store_word);
+        assert_ne!(a.measurement(), before);
+    }
+
+    #[test]
+    fn size_is_fixed_after_init() {
+        let e = two_page_enclave();
+        assert_eq!(e.size(), 2 * SGX_PAGE);
+        // There is deliberately no API to grow a finalized enclave.
+    }
+
+    #[test]
+    fn epc_capacity_is_enforced() {
+        let mut b = EnclaveBuilder::new();
+        let pages = EPC_CAPACITY / SGX_PAGE;
+        // Filling the whole EPC page by page would be slow; jump near the
+        // end by constructing the used counter directly through adds of
+        // the final pages.
+        for _ in 0..16 {
+            b.add_page(&[]).unwrap();
+        }
+        b.epc_used = EPC_CAPACITY - SGX_PAGE;
+        b.add_page(&[]).unwrap();
+        assert_eq!(b.add_page(&[]).unwrap_err(), SgxError::EpcFull);
+        let _ = pages;
+    }
+
+    #[test]
+    fn missing_entry_point_errors() {
+        let mut e = two_page_enclave();
+        assert_eq!(
+            e.ecall(9, [0; 3]).unwrap_err(),
+            SgxError::NoSuchEntryPoint(9)
+        );
+    }
+
+    #[test]
+    fn ocall_counts_as_transition() {
+        let mut e = two_page_enclave();
+        e.ocall();
+        assert_eq!(e.ocalls(), 1);
+        assert_eq!(e.transitions(), 1);
+    }
+
+    #[test]
+    fn debug_read_bounds_checked() {
+        let e = two_page_enclave();
+        assert!(e.debug_read(0, 8).is_ok());
+        assert!(matches!(
+            e.debug_read(e.size(), 8),
+            Err(SgxError::OutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,407 @@
+//! Real algorithm kernels written in the IR.
+//!
+//! The synthetic profiles match SPEC's *statistics*; these kernels are
+//! genuine programs — a sort, an open-addressing hash table, and a matrix
+//! multiply — whose *results* can be checked against a Rust oracle. They
+//! serve as end-to-end evidence that instrumentation preserves semantics
+//! (a diff between any technique's run and the oracle would expose an
+//! interpreter or pass bug), and as small non-synthetic benchmarks.
+
+use memsentry_cpu::Machine;
+use memsentry_ir::{AluOp, Cond, FunctionBuilder, Inst, Program, Reg};
+use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+
+/// Base address of kernel data.
+pub const KERNEL_DATA: u64 = 0x6000_0000;
+
+/// An IR kernel plus its memory layout.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The program; exit code is the kernel's checksum.
+    pub program: Program,
+    /// Bytes of data to map at [`KERNEL_DATA`].
+    pub data: Vec<u8>,
+    /// The expected exit code (computed by the Rust oracle).
+    pub expected: u64,
+}
+
+impl Kernel {
+    /// Maps and initializes the kernel's data on a machine.
+    pub fn prepare(&self, machine: &mut Machine) {
+        let len = (self.data.len() as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        machine
+            .space
+            .map_region(VirtAddr(KERNEL_DATA), len.max(PAGE_SIZE), PageFlags::rw());
+        machine.space.poke(VirtAddr(KERNEL_DATA), &self.data);
+    }
+
+    /// Runs the kernel on a fresh machine and returns the exit code.
+    pub fn run(&self) -> u64 {
+        let mut m = Machine::new(self.program.clone());
+        self.prepare(&mut m);
+        m.run().expect_exit()
+    }
+}
+
+fn words(values: &[u64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Deterministic pseudo-random u64s (xorshift) for kernel inputs.
+fn inputs(n: usize, mut seed: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % 10_000
+        })
+        .collect()
+}
+
+/// Insertion sort over `n` u64s; exits with `sum(a[i] * (i+1))` of the
+/// sorted array (order-sensitive checksum).
+pub fn sort_kernel(n: u64, seed: u64) -> Kernel {
+    let values = inputs(n as usize, seed | 1);
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let expected: u64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.wrapping_mul(i as u64 + 1))
+        .fold(0u64, u64::wrapping_add);
+
+    let mut p = Program::new();
+    let mut b = FunctionBuilder::new("sort");
+    let outer = b.new_label();
+    let inner = b.new_label();
+    let place = b.new_label();
+    let next = b.new_label();
+    let sum_loop = b.new_label();
+    let done = b.new_label();
+
+    // r12 = base, rbx = i (element index), rcx = n.
+    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
+    b.bind(outer);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: done });
+    // r8 = &a[i]; rax = key.
+    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
+    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    // r9 walks left from &a[i].
+    b.push(Inst::Mov { dst: Reg::R9, src: Reg::R8 });
+    b.bind(inner);
+    b.push(Inst::JmpIf { cond: Cond::Le, a: Reg::R9, b: Reg::R12, target: place });
+    b.push(Inst::Load { dst: Reg::R10, addr: Reg::R9, offset: -8 });
+    b.push(Inst::JmpIf { cond: Cond::Le, a: Reg::R10, b: Reg::Rax, target: place });
+    b.push(Inst::Store { src: Reg::R10, addr: Reg::R9, offset: 0 });
+    b.push(Inst::AluImm { op: AluOp::Sub, dst: Reg::R9, imm: 8 });
+    b.push(Inst::Jmp(inner));
+    b.bind(place);
+    b.push(Inst::Store { src: Reg::Rax, addr: Reg::R9, offset: 0 });
+    b.bind(next);
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::Jmp(outer));
+    // Checksum: rbp = sum(a[i] * (i+1)).
+    b.bind(done);
+    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.bind(sum_loop);
+    {
+        let fin = b.new_label();
+        b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: fin });
+        b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
+        b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
+        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
+        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+        b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rbx });
+        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+        b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::Rax, src: Reg::R9 });
+        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rbp, src: Reg::Rax });
+        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+        b.push(Inst::Jmp(sum_loop));
+        b.bind(fin);
+    }
+    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Halt);
+    p.add_function(b.finish());
+
+    Kernel {
+        program: p,
+        data: words(&values),
+        expected,
+    }
+}
+
+/// Open-addressing hash table: inserts `n` keys into a `2*capacity`-slot
+/// table (linear probing), then looks them all up; exits with the number
+/// found (must equal `n`).
+pub fn hashtable_kernel(n: u64, seed: u64) -> Kernel {
+    let capacity = (2 * n).next_power_of_two();
+    let mask = capacity - 1;
+    // Distinct nonzero keys.
+    let mut keys = inputs(n as usize, seed | 1);
+    keys.sort_unstable();
+    keys.dedup();
+    let mut k = 1u64;
+    while (keys.len() as u64) < n {
+        keys.push(10_000 + k);
+        k += 1;
+    }
+    for key in keys.iter_mut() {
+        *key += 1; // nonzero
+    }
+    let n = keys.len() as u64;
+
+    // Layout: [0 .. n*8) keys, [key_end .. key_end + capacity*8) table.
+    let table_off = n * 8;
+    let mut data = words(&keys);
+    data.extend(std::iter::repeat_n(0u8, (capacity * 8) as usize));
+
+    let mut p = Program::new();
+    let mut b = FunctionBuilder::new("hashtable");
+    // r12 = base; rcx = n.
+    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
+    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
+
+    // Insert phase: for i in 0..n.
+    let ins_outer = b.new_label();
+    let ins_probe = b.new_label();
+    let ins_next = b.new_label();
+    let ins_done = b.new_label();
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.bind(ins_outer);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: ins_done });
+    // rax = key = a[i].
+    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
+    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    // r9 = slot = key & mask.
+    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rax });
+    b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+    b.bind(ins_probe);
+    // r10 = &table[slot]; r11 = table[slot].
+    b.push(Inst::Mov { dst: Reg::R10, src: Reg::R9 });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R10, imm: 3 });
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R10, imm: KERNEL_DATA + table_off });
+    b.push(Inst::Load { dst: Reg::R11, addr: Reg::R10, offset: 0 });
+    {
+        let empty = b.new_label();
+        b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
+        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::Rbp, target: empty });
+        // Occupied: advance slot.
+        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+        b.push(Inst::Jmp(ins_probe));
+        b.bind(empty);
+    }
+    b.push(Inst::Store { src: Reg::Rax, addr: Reg::R10, offset: 0 });
+    b.bind(ins_next);
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::Jmp(ins_outer));
+    b.bind(ins_done);
+
+    // Lookup phase: count hits in rbp.
+    let look_outer = b.new_label();
+    let look_probe = b.new_label();
+    let look_next = b.new_label();
+    let look_done = b.new_label();
+    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.bind(look_outer);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: look_done });
+    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
+    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rax });
+    b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+    b.bind(look_probe);
+    b.push(Inst::Mov { dst: Reg::R10, src: Reg::R9 });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R10, imm: 3 });
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R10, imm: KERNEL_DATA + table_off });
+    b.push(Inst::Load { dst: Reg::R11, addr: Reg::R10, offset: 0 });
+    {
+        let found = b.new_label();
+        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::Rax, target: found });
+        // Not this slot: empty means miss (count nothing), else advance.
+        let miss = look_next;
+        b.push(Inst::MovImm { dst: Reg::R13, imm: 0 });
+        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::R13, target: miss });
+        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+        b.push(Inst::Jmp(look_probe));
+        b.bind(found);
+        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbp, imm: 1 });
+    }
+    b.bind(look_next);
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::Jmp(look_outer));
+    b.bind(look_done);
+    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Halt);
+    p.add_function(b.finish());
+
+    Kernel {
+        program: p,
+        data,
+        expected: n,
+    }
+}
+
+/// `n x n` u64 matrix multiply `C = A * B` (wrapping); exits with the
+/// wrapping sum of `C`.
+pub fn matmul_kernel(n: u64, seed: u64) -> Kernel {
+    let a = inputs((n * n) as usize, seed | 1);
+    let bm = inputs((n * n) as usize, seed.wrapping_add(0x9e37) | 1);
+    let mut expected = 0u64;
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            let mut acc = 0u64;
+            for k in 0..n as usize {
+                acc = acc.wrapping_add(a[i * n as usize + k].wrapping_mul(bm[k * n as usize + j]));
+            }
+            expected = expected.wrapping_add(acc);
+        }
+    }
+
+    // Layout: A at 0, B at n*n*8; C is accumulated in a register sum.
+    let b_off = n * n * 8;
+    let mut data = words(&a);
+    data.extend(words(&bm));
+
+    let mut p = Program::new();
+    let mut b = FunctionBuilder::new("matmul");
+    let li = b.new_label();
+    let lj = b.new_label();
+    let lk = b.new_label();
+    let done_i = b.new_label();
+    let done_j = b.new_label();
+    let done_k = b.new_label();
+    // r12 = base, rcx = n, rbp = total.
+    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
+    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
+    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 }); // i
+    b.bind(li);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: done_i });
+    b.push(Inst::MovImm { dst: Reg::Rsi, imm: 0 }); // j
+    b.bind(lj);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rsi, b: Reg::Rcx, target: done_j });
+    b.push(Inst::MovImm { dst: Reg::Rdi, imm: 0 }); // k
+    b.push(Inst::MovImm { dst: Reg::R13, imm: 0 }); // acc
+    b.bind(lk);
+    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rdi, b: Reg::Rcx, target: done_k });
+    // r8 = &A[i*n + k].
+    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
+    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::R8, src: Reg::Rcx });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::Rdi });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
+    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    // r9 = &B[k*n + j].
+    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rdi });
+    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::R9, src: Reg::Rcx });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R9, src: Reg::Rsi });
+    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R9, imm: 3 });
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: KERNEL_DATA + b_off });
+    b.push(Inst::Load { dst: Reg::R10, addr: Reg::R9, offset: 0 });
+    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::Rax, src: Reg::R10 });
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R13, src: Reg::Rax });
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rdi, imm: 1 });
+    b.push(Inst::Jmp(lk));
+    b.bind(done_k);
+    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rbp, src: Reg::R13 });
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rsi, imm: 1 });
+    b.push(Inst::Jmp(lj));
+    b.bind(done_j);
+    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::Jmp(li));
+    b.bind(done_i);
+    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Halt);
+    p.add_function(b.finish());
+
+    Kernel {
+        program: p,
+        data,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::verify;
+    use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
+
+    #[test]
+    fn sort_matches_the_oracle() {
+        for (n, seed) in [(8u64, 1u64), (64, 42), (200, 7)] {
+            let k = sort_kernel(n, seed);
+            verify(&k.program).unwrap();
+            assert_eq!(k.run(), k.expected, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn hashtable_finds_every_inserted_key() {
+        for (n, seed) in [(8u64, 1u64), (100, 42)] {
+            let k = hashtable_kernel(n, seed);
+            verify(&k.program).unwrap();
+            assert_eq!(k.run(), k.expected, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_the_oracle() {
+        for (n, seed) in [(3u64, 1u64), (8, 42), (12, 9)] {
+            let k = matmul_kernel(n, seed);
+            verify(&k.program).unwrap();
+            assert_eq!(k.run(), k.expected, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn instrumentation_preserves_kernel_results() {
+        // The differential check that matters: every address-based
+        // technique leaves real algorithms bit-identical.
+        let kernels = [
+            sort_kernel(64, 3),
+            hashtable_kernel(64, 3),
+            matmul_kernel(8, 3),
+        ];
+        for kernel in &kernels {
+            for kind in [AddressKind::Mpx, AddressKind::Sfi, AddressKind::MpxDual] {
+                let mut p = kernel.program.clone();
+                AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut p);
+                verify(&p).unwrap();
+                let mut m = Machine::new(p);
+                kernel.prepare(&mut m);
+                assert_eq!(
+                    m.run().expect_exit(),
+                    kernel.expected,
+                    "{kind:?} broke a kernel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_have_distinct_memory_behaviour() {
+        // matmul is load-heavy, sort is store-heavy relative to loads.
+        let run_stats = |k: &Kernel| {
+            let mut m = Machine::new(k.program.clone());
+            k.prepare(&mut m);
+            m.run().expect_exit();
+            (m.stats().loads as f64, m.stats().stores as f64)
+        };
+        let (sl, ss) = run_stats(&sort_kernel(128, 5));
+        let (ml, ms) = run_stats(&matmul_kernel(10, 5));
+        assert!(ml / ms.max(1.0) > sl / ss, "matmul more load-biased");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! SPEC CPU2006-like workloads for the simulated machine.
+//!
+//! The paper evaluates MemSentry on the 19 C/C++ benchmarks of SPEC
+//! CPU2006. SPEC itself is proprietary and runs on real hardware, so this
+//! crate substitutes deterministic synthetic workloads with *per-benchmark
+//! instruction mixes*: loads, stores, call/ret pairs, indirect branches,
+//! system calls and allocator calls per kilo-instruction, a working-set
+//! size that drives TLB behaviour, and an `xmm` intensity that models how
+//! much the benchmark loses when crypt confiscates the `ymm` register
+//! uppers (paper §6.2: "for benchmarks that already heavily rely on the
+//! xmm registers, crypt incurs a more significant performance overhead").
+//!
+//! The substitution preserves what the figures measure: overhead is a
+//! function of (event frequency x per-event instrumentation cost) over a
+//! baseline cycle budget, so matching the mixes reproduces the *shape* of
+//! Figures 3-6 without the authors' testbed. See DESIGN.md §2.
+
+pub mod generator;
+pub mod kernels;
+pub mod profiles;
+
+pub use generator::{Workload, WorkloadSpec, DATA_BASE};
+pub use kernels::{hashtable_kernel, matmul_kernel, sort_kernel, Kernel};
+pub use profiles::{BenchProfile, SERVERS, SPEC2006};

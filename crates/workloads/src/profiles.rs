@@ -1,0 +1,177 @@
+//! Per-benchmark instruction-mix profiles.
+//!
+//! Event rates are per 1000 retired instructions, drawn from the
+//! published characterizations of SPEC CPU2006 (memory-heavy `mcf`/`lbm`,
+//! call-heavy `povray`/`xalancbmk`/`perlbench`, branchless `libquantum`,
+//! vectorized FP in `milc`/`lbm`/`sphinx3`) and calibrated so the
+//! simulated overheads reproduce the paper's Figures 3-6 geomeans (see
+//! EXPERIMENTS.md for the calibration table).
+
+/// One SPEC CPU2006 C/C++ benchmark's behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// SPEC name, e.g. "400.perlbench".
+    pub name: &'static str,
+    /// Floating-point (CFP2006) benchmark.
+    pub fp: bool,
+    /// Loads per kilo-instruction.
+    pub loads_pk: u32,
+    /// Stores per kilo-instruction.
+    pub stores_pk: u32,
+    /// Call+ret pairs per kilo-instruction.
+    pub callret_pk: f64,
+    /// Indirect calls per kilo-instruction.
+    pub indirect_pk: f64,
+    /// System calls per *million* instructions.
+    pub syscalls_pm: f64,
+    /// Allocator call pairs (malloc+free) per million instructions.
+    pub allocs_pm: f64,
+    /// Working-set size in pages (drives TLB behaviour).
+    pub ws_pages: u32,
+    /// Fractional slowdown when the `ymm` uppers are confiscated by the
+    /// crypt technique (loss of vectorization + xmm spills).
+    pub xmm_penalty: f64,
+}
+
+/// The 19 C/C++ benchmarks of SPEC CPU2006 the paper evaluates.
+pub const SPEC2006: [BenchProfile; 19] = [
+    BenchProfile { name: "400.perlbench", fp: false, loads_pk: 290, stores_pk: 85, callret_pk: 6.38, indirect_pk: 3.2, syscalls_pm: 30.0, allocs_pm: 120.0, ws_pages: 8, xmm_penalty: 0.0315 },
+    BenchProfile { name: "401.bzip2", fp: false, loads_pk: 270, stores_pk: 70, callret_pk: 0.935, indirect_pk: 0.25, syscalls_pm: 10.0, allocs_pm: 2.0, ws_pages: 16, xmm_penalty: 0.0189 },
+    BenchProfile { name: "403.gcc", fp: false, loads_pk: 300, stores_pk: 90, callret_pk: 4.0, indirect_pk: 2.1, syscalls_pm: 60.0, allocs_pm: 200.0, ws_pages: 24, xmm_penalty: 0.0315 },
+    BenchProfile { name: "429.mcf", fp: false, loads_pk: 380, stores_pk: 60, callret_pk: 1.19, indirect_pk: 0.25, syscalls_pm: 8.0, allocs_pm: 1.0, ws_pages: 64, xmm_penalty: 0.0126 },
+    BenchProfile { name: "433.milc", fp: true, loads_pk: 310, stores_pk: 75, callret_pk: 1.02, indirect_pk: 0.3, syscalls_pm: 25.0, allocs_pm: 4.0, ws_pages: 48, xmm_penalty: 0.725 },
+    BenchProfile { name: "444.namd", fp: true, loads_pk: 320, stores_pk: 60, callret_pk: 0.468, indirect_pk: 0.12, syscalls_pm: 6.0, allocs_pm: 1.0, ws_pages: 12, xmm_penalty: 0.158 },
+    BenchProfile { name: "445.gobmk", fp: false, loads_pk: 260, stores_pk: 75, callret_pk: 5.18, indirect_pk: 2.6, syscalls_pm: 12.0, allocs_pm: 10.0, ws_pages: 10, xmm_penalty: 0.0252 },
+    BenchProfile { name: "447.dealII", fp: true, loads_pk: 330, stores_pk: 80, callret_pk: 3.48, indirect_pk: 2.6, syscalls_pm: 10.0, allocs_pm: 60.0, ws_pages: 20, xmm_penalty: 0.208 },
+    BenchProfile { name: "450.soplex", fp: true, loads_pk: 340, stores_pk: 70, callret_pk: 2.04, indirect_pk: 1.1, syscalls_pm: 12.0, allocs_pm: 20.0, ws_pages: 28, xmm_penalty: 0.365 },
+    BenchProfile { name: "453.povray", fp: true, loads_pk: 300, stores_pk: 80, callret_pk: 8.67, indirect_pk: 4.4, syscalls_pm: 10.0, allocs_pm: 40.0, ws_pages: 6, xmm_penalty: 0.29 },
+    BenchProfile { name: "456.hmmer", fp: false, loads_pk: 290, stores_pk: 110, callret_pk: 0.595, indirect_pk: 0.12, syscalls_pm: 6.0, allocs_pm: 2.0, ws_pages: 6, xmm_penalty: 0.29 },
+    BenchProfile { name: "458.sjeng", fp: false, loads_pk: 250, stores_pk: 65, callret_pk: 4.42, indirect_pk: 2.2, syscalls_pm: 6.0, allocs_pm: 1.0, ws_pages: 10, xmm_penalty: 0.0189 },
+    BenchProfile { name: "462.libquantum", fp: false, loads_pk: 240, stores_pk: 45, callret_pk: 0.34, indirect_pk: 0.06, syscalls_pm: 8.0, allocs_pm: 1.0, ws_pages: 32, xmm_penalty: 0.0504 },
+    BenchProfile { name: "464.h264ref", fp: false, loads_pk: 330, stores_pk: 95, callret_pk: 2.55, indirect_pk: 1.3, syscalls_pm: 10.0, allocs_pm: 6.0, ws_pages: 12, xmm_penalty: 0.176 },
+    BenchProfile { name: "470.lbm", fp: true, loads_pk: 330, stores_pk: 95, callret_pk: 0.23, indirect_pk: 0.04, syscalls_pm: 5.0, allocs_pm: 0.5, ws_pages: 64, xmm_penalty: 1.09 },
+    BenchProfile { name: "471.omnetpp", fp: false, loads_pk: 320, stores_pk: 90, callret_pk: 5.78, indirect_pk: 4.4, syscalls_pm: 15.0, allocs_pm: 300.0, ws_pages: 32, xmm_penalty: 0.0315 },
+    BenchProfile { name: "473.astar", fp: false, loads_pk: 310, stores_pk: 70, callret_pk: 2.89, indirect_pk: 1.4, syscalls_pm: 6.0, allocs_pm: 30.0, ws_pages: 24, xmm_penalty: 0.0252 },
+    BenchProfile { name: "482.sphinx3", fp: true, loads_pk: 330, stores_pk: 60, callret_pk: 1.7, indirect_pk: 0.8, syscalls_pm: 10.0, allocs_pm: 8.0, ws_pages: 20, xmm_penalty: 0.806 },
+    BenchProfile { name: "483.xalancbmk", fp: false, loads_pk: 300, stores_pk: 85, callret_pk: 9.78, indirect_pk: 5.2, syscalls_pm: 20.0, allocs_pm: 150.0, ws_pages: 24, xmm_penalty: 0.0882 },
+];
+
+/// Server-style, I/O-bound workloads (paper §6: "SPEC is very memory and
+/// CPU intensive, and thus the overhead for I/O bound applications such
+/// as servers will be lower"). Much higher syscall rates, lower
+/// memory-access density, frequent allocator churn.
+pub const SERVERS: [BenchProfile; 3] = [
+    BenchProfile { name: "srv.webserver", fp: false, loads_pk: 180, stores_pk: 55, callret_pk: 3.4, indirect_pk: 1.7, syscalls_pm: 9000.0, allocs_pm: 800.0, ws_pages: 16, xmm_penalty: 0.03 },
+    BenchProfile { name: "srv.kvstore", fp: false, loads_pk: 200, stores_pk: 70, callret_pk: 2.1, indirect_pk: 0.8, syscalls_pm: 14000.0, allocs_pm: 2000.0, ws_pages: 32, xmm_penalty: 0.02 },
+    BenchProfile { name: "srv.proxy", fp: false, loads_pk: 150, stores_pk: 45, callret_pk: 2.6, indirect_pk: 1.2, syscalls_pm: 22000.0, allocs_pm: 400.0, ws_pages: 8, xmm_penalty: 0.02 },
+];
+
+impl BenchProfile {
+    /// Looks up a profile by (suffix of) its name.
+    pub fn by_name(name: &str) -> Option<&'static BenchProfile> {
+        SPEC2006
+            .iter()
+            .chain(SERVERS.iter())
+            .find(|p| p.name.contains(name))
+    }
+
+    /// Short name without the SPEC number prefix.
+    pub fn short_name(&self) -> &'static str {
+        self.name.split('.').nth(1).unwrap_or(self.name)
+    }
+}
+
+/// Geometric mean helper used across the harness.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_like_the_paper() {
+        assert_eq!(SPEC2006.len(), 19);
+    }
+
+    #[test]
+    fn names_are_unique_and_spec_formatted() {
+        let mut names: Vec<_> = SPEC2006.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+        for p in &SPEC2006 {
+            assert!(p.name.contains('.'), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_suffix() {
+        assert_eq!(BenchProfile::by_name("mcf").unwrap().name, "429.mcf");
+        assert_eq!(BenchProfile::by_name("povray").unwrap().short_name(), "povray");
+        assert!(BenchProfile::by_name("no-such").is_none());
+    }
+
+    #[test]
+    fn mixes_are_sane() {
+        for p in &SPEC2006 {
+            assert!(p.loads_pk > p.stores_pk, "{}: loads dominate stores", p.name);
+            assert!(p.loads_pk as f64 + p.stores_pk as f64 + 4.0 * p.callret_pk < 900.0);
+            assert!(p.indirect_pk <= p.callret_pk, "{}", p.name);
+            assert!(p.xmm_penalty >= 0.0 && p.xmm_penalty < 2.0);
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_carry_the_xmm_penalties() {
+        // The crypt column of Figure 6 is driven by FP/vector benchmarks.
+        let max_int = SPEC2006
+            .iter()
+            .filter(|p| !p.fp)
+            .map(|p| p.xmm_penalty)
+            .fold(0.0, f64::max);
+        let max_fp = SPEC2006
+            .iter()
+            .filter(|p| p.fp)
+            .map(|p| p.xmm_penalty)
+            .fold(0.0, f64::max);
+        assert!(max_fp > 1.0, "lbm/milc-class penalties");
+        assert!(max_fp > max_int);
+    }
+
+    #[test]
+    fn call_heavy_benchmarks_match_known_spec_behaviour() {
+        let call = |n: &str| BenchProfile::by_name(n).unwrap().callret_pk;
+        assert!(call("xalancbmk") > call("lbm") * 10.0);
+        assert!(call("povray") > call("libquantum") * 10.0);
+    }
+
+    #[test]
+    fn server_profiles_are_syscall_heavy() {
+        let max_spec = SPEC2006
+            .iter()
+            .map(|p| p.syscalls_pm)
+            .fold(0.0, f64::max);
+        for p in &SERVERS {
+            assert!(p.syscalls_pm > max_spec * 50.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: protect a safe region with MemSentry in a dozen lines.
+//!
+//! Builds a small program whose privileged instructions store and reload a
+//! secret in a safe region, instruments it with the MPK technique, and
+//! shows (a) the program still works, (b) an unprivileged snooper faults
+//! deterministically, and (c) what the instrumentation actually inserted.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use memsentry_repro::cpu::Machine;
+use memsentry_repro::ir::print::format_program;
+use memsentry_repro::ir::{FunctionBuilder, Inst, Program, Reg};
+use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+
+fn main() {
+    // 1. Pick a technique and allocate the safe region (saferegion_alloc).
+    let framework = MemSentry::new(Technique::Mpk, 4096);
+    let region = framework.layout();
+    println!("safe region: {:#x}..{:#x} (pkey {})\n", region.base, region.base + region.len, region.pkey);
+
+    // 2. Build a program. Privileged instructions (saferegion_access) may
+    //    touch the region; everything else may not.
+    let mut program = Program::new();
+    let mut b = FunctionBuilder::new("main");
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: region.base });
+    b.push(Inst::MovImm { dst: Reg::R12, imm: 0x5ec2e7 });
+    b.push_privileged(Inst::Store { src: Reg::R12, addr: Reg::Rbx, offset: 0 });
+    b.push_privileged(Inst::Load { dst: Reg::R8, addr: Reg::Rbx, offset: 0 });
+    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::R8 });
+    b.push(Inst::Halt);
+    program.add_function(b.finish());
+
+    // 3. Instrument (the MemSentry pass) and prepare the machine.
+    framework
+        .instrument(&mut program, Application::ProgramData)
+        .expect("instrumentation");
+    println!("instrumented program:\n{}", format_program(&program));
+
+    let mut machine = Machine::new(program);
+    framework.prepare_machine(&mut machine).expect("prepare");
+
+    // 4. Run: the privileged path works...
+    let out = machine.run();
+    println!("privileged store+load: exit = {:#x}", out.expect_exit());
+
+    // 5. ...and a snooper does not.
+    let mut snoop = Program::new();
+    let mut b = FunctionBuilder::new("snoop");
+    b.push(Inst::MovImm { dst: Reg::Rbx, imm: region.base });
+    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+    b.push(Inst::Halt);
+    snoop.add_function(b.finish());
+    framework
+        .instrument(&mut snoop, Application::ProgramData)
+        .expect("instrumentation");
+    let mut machine = Machine::new(snoop);
+    framework.prepare_machine(&mut machine).expect("prepare");
+    match machine.run() {
+        memsentry_repro::cpu::RunOutcome::Trapped(t) => {
+            println!("unprivileged snoop:    {t}")
+        }
+        other => panic!("snoop should have faulted, got {other:?}"),
+    }
+}

@@ -1,0 +1,180 @@
+//! `msentry` — the command-line front end to the MemSentry framework.
+//!
+//! Works on textual IR listings (the format `memsentry-ir`'s printer and
+//! parser share). Subcommands:
+//!
+//! ```text
+//! msentry run <file>                         execute a listing
+//! msentry instrument <file> -t <technique> -a <application>
+//!                                            print the instrumented listing
+//! msentry protect <file> -t <technique> -a <application>
+//!                                            instrument AND run
+//! msentry check <file>                       parse + verify only
+//! msentry techniques                         list techniques (Table 3)
+//! ```
+//!
+//! Example listing (`demo.ms`):
+//!
+//! ```text
+//! fn0 <main>:
+//!     mov    rbx, 0x400000000000
+//!     mov    r12, 0x2a
+//!   ! mov    [rbx+0x0], r12
+//!   ! mov    rax, [rbx+0x0]
+//!     hlt
+//! ```
+
+use std::process::ExitCode;
+
+use memsentry_repro::cpu::{Machine, RunOutcome};
+use memsentry_repro::ir::{parse_program, print::format_program, verify, Program};
+use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+
+fn technique_from(name: &str) -> Option<Technique> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "sfi" => Technique::Sfi,
+        "mpx" => Technique::Mpx,
+        "mpk" => Technique::Mpk,
+        "vmfunc" => Technique::Vmfunc,
+        "crypt" => Technique::Crypt,
+        "sgx" => Technique::Sgx,
+        "mprotect" => Technique::MprotectBaseline,
+        "pts" => Technique::PageTableSwitch,
+        "info-hiding" | "hiding" => Technique::InfoHiding,
+        _ => return None,
+    })
+}
+
+fn application_from(name: &str) -> Option<Application> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "code-randomization" => Application::CodeRandomization,
+        "cfi" => Application::Cfi,
+        "shadow-stack" => Application::ShadowStack,
+        "cpi" => Application::Cpi,
+        "layout-randomization" => Application::LayoutRandomization,
+        "heap" | "heap-protection" => Application::HeapProtection,
+        "data" | "program-data" => Application::ProgramData,
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let program = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    verify(&program).map_err(|e| format!("{path}: verification failed: {e}"))?;
+    Ok(program)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run_machine(framework: Option<&MemSentry>, program: Program) -> ExitCode {
+    let mut machine = Machine::new(program);
+    if let Some(fw) = framework {
+        if let Err(e) = fw.prepare_machine(&mut machine) {
+            eprintln!("prepare failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match machine.run() {
+        RunOutcome::Exited(code) => {
+            println!(
+                "exited with {code:#x} after {} instructions ({:.0} cycles)",
+                machine.stats().instructions,
+                machine.cycles()
+            );
+            ExitCode::SUCCESS
+        }
+        RunOutcome::Trapped(t) => {
+            println!("trapped: {t}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: msentry <run|check|instrument|protect|techniques> [<file>] \
+         [-t <technique>] [-a <application>] [--region <bytes>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "techniques" => {
+            println!("{}", memsentry_bench::tables::table3());
+            println!("plus extensions: PTS (page-table switching, PCID)");
+            ExitCode::SUCCESS
+        }
+        "run" | "check" | "instrument" | "protect" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let mut program = match load(path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "check" {
+                println!(
+                    "{path}: ok ({} functions, {} instructions)",
+                    program.functions.len(),
+                    program.inst_count()
+                );
+                return ExitCode::SUCCESS;
+            }
+            if cmd == "run" {
+                return run_machine(None, program);
+            }
+            // instrument / protect
+            let technique = match flag(&args, "-t").as_deref().map(technique_from) {
+                Some(Some(t)) => t,
+                _ => {
+                    eprintln!("missing or unknown -t <technique> (try: mpk, mpx, sfi, vmfunc, crypt, sgx, mprotect, pts)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let application = match flag(&args, "-a").as_deref().map(application_from) {
+                Some(Some(a)) => a,
+                None => Application::ProgramData,
+                Some(None) => {
+                    eprintln!("unknown -a <application> (try: shadow-stack, cfi, cpi, heap, data)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let region = flag(&args, "--region")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4096);
+            let framework = MemSentry::new(technique, region);
+            println!(
+                "# technique {} / application {:?} / region {:#x}+{:#x}",
+                technique,
+                application,
+                framework.layout().base,
+                framework.layout().len
+            );
+            if let Err(e) = framework.instrument(&mut program, application) {
+                eprintln!("instrumentation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            if cmd == "instrument" {
+                print!("{}", format_program(&program));
+                return ExitCode::SUCCESS;
+            }
+            run_machine(Some(&framework), program)
+        }
+        _ => usage(),
+    }
+}

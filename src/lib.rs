@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the MemSentry reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests in this package can use a single dependency. The
+//! actual framework lives in [`memsentry`]; see the README for a tour.
+
+pub use memsentry;
+pub use memsentry_aes as aes;
+pub use memsentry_attacks as attacks;
+pub use memsentry_cpu as cpu;
+pub use memsentry_defenses as defenses;
+pub use memsentry_hv as hv;
+pub use memsentry_ir as ir;
+pub use memsentry_mmu as mmu;
+pub use memsentry_passes as passes;
+pub use memsentry_sgx as sgx;
+pub use memsentry_workloads as workloads;

@@ -1,0 +1,241 @@
+//! End-to-end integration: framework x defenses x attacks across crates.
+
+use memsentry_repro::attacks::{attack, AttackResult};
+use memsentry_repro::cpu::{Machine, RunOutcome, Trap};
+use memsentry_repro::defenses::{CfiDefense, DieHardAllocator, ShadowStack};
+use memsentry_repro::ir::{CodeAddr, FuncId, FunctionBuilder, Inst, Program, Reg};
+use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+use memsentry_repro::passes::Pass;
+
+/// The full attack of paper §2.3 across the whole technique matrix: the
+/// headline result of the reproduction.
+#[test]
+fn attack_matrix_matches_paper_claims() {
+    // Information hiding: bypassed, cheaply.
+    let hiding = attack(Technique::InfoHiding, 1);
+    assert_eq!(hiding.result, AttackResult::Hijacked);
+    assert!(hiding.probes < 60);
+
+    // Every deterministic technique: attack fails, zero probing needed to
+    // "find" the region because it is not hidden at all.
+    for technique in [
+        Technique::Mpk,
+        Technique::Vmfunc,
+        Technique::Crypt,
+        Technique::Mpx,
+        Technique::Sfi,
+    ] {
+        let out = attack(technique, 1);
+        assert_ne!(out.result, AttackResult::Hijacked, "{technique}");
+        assert!(!out.secret_disclosed, "{technique} leaked plaintext");
+    }
+}
+
+/// Shadow stack composed with every technique defeats a return hijack.
+#[test]
+fn shadow_stack_hardened_by_every_technique() {
+    fn hijack_program() -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0,
+        });
+        main.push(Inst::Halt);
+        let mut victim = FunctionBuilder::new("victim");
+        victim.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: CodeAddr::entry(FuncId(2)).encode(),
+        });
+        victim.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rsp,
+            offset: 0,
+        });
+        victim.push(Inst::Ret);
+        let mut gadget = FunctionBuilder::new("gadget");
+        gadget.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x666,
+        });
+        gadget.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(victim.finish());
+        p.add_function(gadget.finish());
+        p
+    }
+
+    for technique in Technique::ALL_DETERMINISTIC {
+        let fw = MemSentry::new(technique, 4096);
+        let shadow = ShadowStack::new(fw.layout());
+        let mut p = hijack_program();
+        shadow.run(&mut p);
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        fw.write_region(&mut m, 0, &(fw.layout().base + 8).to_le_bytes());
+        match m.run() {
+            RunOutcome::Exited(code) => {
+                assert_ne!(code, 0x666, "{technique}: hijack succeeded");
+            }
+            RunOutcome::Trapped(t) => {
+                // Either the defense caught it or the technique faulted the
+                // tampering — both are deterministic wins.
+                let ok = matches!(
+                    t,
+                    Trap::DefenseAbort { .. } | Trap::Mmu(_) | Trap::BoundRange { .. }
+                );
+                assert!(ok, "{technique}: unexpected trap {t}");
+            }
+        }
+    }
+}
+
+/// CFI's target table protected by MPK survives the table-flip attack
+/// that defeats it under information hiding.
+#[test]
+fn cfi_table_flip_blocked_by_isolation() {
+    fn program(target: FuncId) -> Program {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: CodeAddr::entry(target).encode(),
+        });
+        main.push(Inst::CallIndirect { target: Reg::Rbx });
+        main.push(Inst::Halt);
+        let mut good = FunctionBuilder::new("good");
+        good.push(Inst::Ret);
+        let mut gadget = FunctionBuilder::new("gadget");
+        gadget.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x666,
+        });
+        gadget.push(Inst::Ret);
+        p.add_function(main.finish());
+        p.add_function(good.finish());
+        p.add_function(gadget.finish());
+        p
+    }
+
+    let fw = MemSentry::new(Technique::Mpk, 4096);
+    let cfi = CfiDefense::new(fw.layout(), vec![FuncId(1)]);
+    let mut p = program(FuncId(2));
+    // Prepend the attacker's table-flip store.
+    let base = fw.layout().base;
+    let main = p.func_mut(FuncId(0));
+    main.body.insert(
+        0,
+        Inst::MovImm {
+            dst: Reg::R8,
+            imm: base + 16,
+        }
+        .into(),
+    );
+    main.body.insert(
+        1,
+        Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 1,
+        }
+        .into(),
+    );
+    main.body.insert(
+        2,
+        Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::R8,
+            offset: 0,
+        }
+        .into(),
+    );
+    cfi.run(&mut p);
+    fw.instrument(&mut p, Application::ProgramData).unwrap();
+    let mut m = Machine::new(p);
+    fw.prepare_machine(&mut m).unwrap();
+    fw.write_region(&mut m, 8, &1u64.to_le_bytes());
+    // The flip store hits the pkey-protected table: deterministic fault
+    // before the whitelisted gadget call can happen.
+    assert!(matches!(m.run(), RunOutcome::Trapped(Trap::Mmu(_))));
+}
+
+/// DieHard as the machine's allocator, with allocator-call switch points.
+#[test]
+fn diehard_allocator_composes_with_domain_switching() {
+    let fw = MemSentry::new(Technique::Mpk, 4096);
+    let mut p = Program::new();
+    let mut b = FunctionBuilder::new("main");
+    b.push(Inst::MovImm {
+        dst: Reg::Rdi,
+        imm: 128,
+    });
+    b.push(Inst::Alloc { size: Reg::Rdi });
+    b.push(Inst::Mov {
+        dst: Reg::Rbx,
+        src: Reg::Rax,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: 9,
+    });
+    b.push(Inst::Store {
+        src: Reg::Rcx,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
+    b.push(Inst::Free { ptr: Reg::Rbx });
+    b.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0,
+    });
+    b.push(Inst::Halt);
+    p.add_function(b.finish());
+    fw.instrument(&mut p, Application::HeapProtection).unwrap();
+    let mut m = Machine::new(p);
+    m.set_heap(Box::new(DieHardAllocator::new(11)));
+    fw.prepare_machine(&mut m).unwrap();
+    let out = m.run();
+    assert_eq!(out.expect_exit(), 0);
+    // malloc and free each got an open+close pair.
+    assert_eq!(m.stats().wrpkrus, 4);
+    assert_eq!(m.stats().allocator_calls, 2);
+}
+
+/// SGX is functional but absurdly expensive — the paper's conclusion.
+#[test]
+fn sgx_works_but_costs_orders_of_magnitude_more() {
+    let run = |technique| {
+        let fw = MemSentry::new(technique, 64);
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: fw.layout().base,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::R12,
+            imm: 5,
+        });
+        for _ in 0..16 {
+            b.push_privileged(Inst::Store {
+                src: Reg::R12,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        fw.instrument(&mut p, Application::ProgramData).unwrap();
+        let mut m = Machine::new(p);
+        fw.prepare_machine(&mut m).unwrap();
+        m.run().expect_exit();
+        m.cycles()
+    };
+    let mpk = run(Technique::Mpk);
+    let sgx = run(Technique::Sgx);
+    assert!(
+        sgx > mpk * 20.0,
+        "SGX ({sgx}) must dwarf MPK ({mpk}) — paper Table 4"
+    );
+}

@@ -1,0 +1,91 @@
+//! Smoke tests over the evaluation harness: every table and figure
+//! regenerates, with the qualitative relationships the paper reports.
+
+use memsentry_bench::extras::{crypt_scaling, mprotect_baseline, safestack_study};
+use memsentry_bench::figures::{figure3, figure4, figure5, figure6};
+use memsentry_bench::tables::{render_table4, table1, table2, table3, table4};
+use memsentry_repro::workloads::BenchProfile;
+
+const SB: u32 = 5;
+
+#[test]
+fn every_table_renders() {
+    assert!(table1().contains("CPI"));
+    assert!(table2().contains("program data"));
+    assert!(table3().contains("VMFUNC"));
+    let t4 = render_table4(&table4());
+    assert!(t4.contains("vmfunc"));
+    assert!(t4.contains("147"));
+}
+
+#[test]
+fn every_figure_renders_19_rows() {
+    for fig in [figure3(SB), figure4(SB), figure5(SB), figure6(SB)] {
+        assert_eq!(fig.rows.len(), 19, "{}", fig.title);
+        assert!(fig.geomeans.iter().all(|&g| g >= 1.0), "{}", fig.title);
+        assert!(!fig.render().is_empty());
+    }
+}
+
+#[test]
+fn headline_comparisons_hold() {
+    // MPX beats SFI for address-based isolation (paper abstract:
+    // "up to 7.5% vs 21.6% for SFI" per-benchmark, geomeans 12 vs 17.1).
+    let f3 = figure3(SB);
+    for pair in [(0, 1), (2, 3), (4, 5)] {
+        assert!(
+            f3.geomeans[pair.0] < f3.geomeans[pair.1],
+            "{}: MPX {} !< SFI {}",
+            f3.title,
+            f3.geomeans[pair.0],
+            f3.geomeans[pair.1]
+        );
+    }
+    // Domain-based ordering flips with switch frequency: at call/ret MPK
+    // is best and VMFUNC worst; at syscalls crypt is worst (xmm loss).
+    let f4 = figure4(SB);
+    assert!(f4.geomeans[0] < f4.geomeans[2] && f4.geomeans[2] < f4.geomeans[1]);
+    let f6 = figure6(SB * 4);
+    assert!(f6.geomeans[0] < f6.geomeans[1] && f6.geomeans[1] < f6.geomeans[2]);
+}
+
+#[test]
+fn address_based_beats_domain_based_at_call_ret_frequency() {
+    // The paper's §6.3 conclusion: frequent switches favor address-based.
+    let f3 = figure3(SB);
+    let f4 = figure4(SB);
+    let mpx_w = f3.geomeans[0];
+    let mpk_callret = f4.geomeans[0];
+    assert!(
+        mpx_w < mpk_callret,
+        "MPX-w {mpx_w} should beat MPK at call/ret {mpk_callret}"
+    );
+}
+
+#[test]
+fn mprotect_baseline_in_paper_band() {
+    let (geomean, _, _) = mprotect_baseline(SB);
+    assert!(
+        (10.0..80.0).contains(&geomean),
+        "paper: 20-50x; measured {geomean}"
+    );
+}
+
+#[test]
+fn crypt_scaling_near_paper_15x_at_1kib() {
+    let p = BenchProfile::by_name("mcf").unwrap();
+    let points = crypt_scaling(p, SB, &[16, 1024]);
+    let at_1k = points[1].1;
+    assert!(
+        (8.0..30.0).contains(&at_1k),
+        "paper: ~15x at 1 KiB; measured {at_1k}"
+    );
+}
+
+#[test]
+fn safestack_equals_write_instrumentation() {
+    let (mpx_w, sfi_w) = safestack_study(SB);
+    let f3 = figure3(SB);
+    assert!((mpx_w - f3.geomeans[0]).abs() < 0.02);
+    assert!((sfi_w - f3.geomeans[1]).abs() < 0.02);
+}

@@ -1,0 +1,57 @@
+//! Golden-file integration: a textual listing is parsed, verified,
+//! defended, instrumented and executed — the whole toolchain driven from
+//! text, like the `msentry` CLI does.
+
+use memsentry_repro::cpu::{Machine, Trap};
+use memsentry_repro::defenses::ShadowStack;
+use memsentry_repro::ir::{parse_program, print::format_program, verify, CodeAddr, FuncId, Reg};
+use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+use memsentry_repro::passes::Pass;
+
+const LISTING: &str = include_str!("data/shadow_demo.ms");
+
+#[test]
+fn golden_listing_parses_verifies_and_runs() {
+    let p = parse_program(LISTING).unwrap();
+    verify(&p).unwrap();
+    assert_eq!(p.functions.len(), 3);
+    // Benign run (r12 = 0 skips the smash).
+    let mut m = Machine::new(p);
+    assert_eq!(m.run().expect_exit(), 1);
+}
+
+#[test]
+fn golden_listing_roundtrips_through_the_printer() {
+    let p = parse_program(LISTING).unwrap();
+    let reparsed = parse_program(&format_program(&p)).unwrap();
+    assert_eq!(reparsed, p);
+}
+
+#[test]
+fn golden_listing_hijack_and_defense() {
+    // Arm the smash: r12 = gadget pointer.
+    let gadget = CodeAddr::entry(FuncId(2)).encode();
+
+    // Undefended: hijacked.
+    let p = parse_program(LISTING).unwrap();
+    let mut m = Machine::new(p.clone());
+    m.set_reg(Reg::R12, gadget);
+    assert_eq!(m.run().expect_exit(), 0x666);
+
+    // Shadow stack + MPK via the framework: detected.
+    let fw = MemSentry::new(Technique::Mpk, 4096);
+    let shadow = ShadowStack::new(fw.layout());
+    let mut defended = p;
+    shadow.run(&mut defended);
+    fw.instrument(&mut defended, Application::ProgramData).unwrap();
+    let mut m = Machine::new(defended);
+    fw.prepare_machine(&mut m).unwrap();
+    fw.write_region(&mut m, 0, &(fw.layout().base + 8).to_le_bytes());
+    m.set_reg(Reg::R12, gadget);
+    assert_eq!(
+        m.run().expect_trap(),
+        &Trap::DefenseAbort {
+            defense: "shadow-stack"
+        }
+    );
+}

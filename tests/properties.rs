@@ -1,0 +1,358 @@
+//! Property-based tests over the core substrates (proptest).
+
+use proptest::prelude::*;
+
+use memsentry_repro::aes::{decrypt_block, encrypt_block, DecKeySchedule, KeySchedule, RegionCipher};
+use memsentry_repro::cpu::Machine;
+use memsentry_repro::ir::{AluOp, CodeAddr, FuncId, FunctionBuilder, Inst, Program, Reg};
+use memsentry_repro::memsentry::{HiddenRegion, SafeRegionAllocator};
+use memsentry_repro::passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
+use memsentry_repro::mmu::addr::SFI_MASK;
+use memsentry_repro::mmu::{
+    AddressSpace, PageFlags, PhysMemory, PageTable, Pkru, VirtAddr, PAGE_SIZE, SENSITIVE_BASE,
+};
+
+proptest! {
+    /// AES block encryption round-trips for arbitrary keys and blocks.
+    #[test]
+    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let ks = KeySchedule::expand(&key);
+        let dk = DecKeySchedule::from_enc(&ks);
+        let ct = encrypt_block(block, &ks);
+        prop_assert_eq!(decrypt_block(ct, &dk), block);
+        // No fixed point for random inputs, overwhelmingly.
+        prop_assert_ne!(ct, block);
+    }
+
+    /// Region encryption round-trips for arbitrary contents and sizes.
+    #[test]
+    fn aes_region_roundtrip(key in any::<[u8; 16]>(), data in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let chunks = data.len();
+        let mut region: Vec<u8> = data.iter().cycle().take(chunks * 16).copied().collect();
+        let original = region.clone();
+        let rc = RegionCipher::new(&key);
+        rc.encrypt_region(&mut region);
+        prop_assert_ne!(&region, &original);
+        rc.decrypt_region(&mut region);
+        prop_assert_eq!(&region, &original);
+    }
+
+    /// The two key-expansion implementations always agree.
+    #[test]
+    fn keygenassist_matches_fips_expansion(key in any::<[u8; 16]>()) {
+        prop_assert_eq!(
+            KeySchedule::expand(&key),
+            KeySchedule::expand_with_keygenassist(&key)
+        );
+    }
+
+    /// The SFI mask confines every pointer below the partition boundary,
+    /// and is the identity for pointers already below it.
+    #[test]
+    fn sfi_mask_invariants(ptr in any::<u64>()) {
+        let masked = ptr & SFI_MASK;
+        prop_assert!(masked < SENSITIVE_BASE);
+        if ptr <= SFI_MASK {
+            prop_assert_eq!(masked, ptr);
+        }
+    }
+
+    /// Page tables: map-then-translate returns the mapped frame with the
+    /// right page offset, for arbitrary user addresses.
+    #[test]
+    fn page_table_translate(vpn in 0u64..(1 << 35), offset in 0u64..PAGE_SIZE) {
+        let mut pm = PhysMemory::new();
+        let pt = PageTable::new(&mut pm);
+        let va = VirtAddr(vpn * PAGE_SIZE + offset);
+        let frame = pt.map_anon(&mut pm, va, PageFlags::rw());
+        let pa = pt.translate(&mut pm, va).unwrap();
+        prop_assert_eq!(pa.0, frame.0 + offset);
+        // Unmap removes it.
+        pt.unmap(&mut pm, va);
+        prop_assert!(pt.translate(&mut pm, va).is_none());
+    }
+
+    /// pkru encode/decode: every (key, ad, wd) combination round-trips and
+    /// permissions follow the bits.
+    #[test]
+    fn pkru_bits_roundtrip(key in 0u8..16, ad in any::<bool>(), wd in any::<bool>()) {
+        let mut p = Pkru::allow_all();
+        p.set_access_disable(key, ad);
+        p.set_write_disable(key, wd);
+        prop_assert_eq!(p.access_disabled(key), ad);
+        prop_assert_eq!(p.write_disabled(key), wd);
+        prop_assert_eq!(p.permits(key, false), !ad);
+        prop_assert_eq!(p.permits(key, true), !ad && !wd);
+    }
+
+    /// Safe-region allocations never overlap and always stay in the
+    /// sensitive partition.
+    #[test]
+    fn safe_regions_disjoint(sizes in proptest::collection::vec(1u64..20_000, 1..20)) {
+        let mut alloc = SafeRegionAllocator::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for size in sizes {
+            let r = alloc.alloc(size);
+            prop_assert!(r.base >= SENSITIVE_BASE);
+            prop_assert!(r.len >= size);
+            for &(b, e) in &spans {
+                prop_assert!(r.base >= e || r.base + r.len <= b);
+            }
+            spans.push((r.base, r.base + r.len));
+        }
+    }
+
+    /// Hidden regions stay inside the hiding range and are page aligned,
+    /// for arbitrary seeds.
+    #[test]
+    fn hidden_region_placement(seed in any::<u64>(), len in 1u64..10_000) {
+        let r = HiddenRegion::allocate(len, seed);
+        prop_assert_eq!(r.layout.base % PAGE_SIZE, 0);
+        prop_assert!(r.layout.base < SENSITIVE_BASE);
+        prop_assert!(r.layout.len >= len);
+    }
+
+    /// CodeAddr encoding is injective over realistic programs.
+    #[test]
+    fn code_addr_injective(f1 in 0u32..1000, i1 in 0u32..10_000, f2 in 0u32..1000, i2 in 0u32..10_000) {
+        let a = CodeAddr { func: FuncId(f1), index: i1 };
+        let b = CodeAddr { func: FuncId(f2), index: i2 };
+        prop_assert_eq!(a.encode() == b.encode(), a == b);
+        prop_assert_eq!(CodeAddr::decode(a.encode()), Some(a));
+    }
+
+    /// The interpreter computes ALU chains exactly like a direct Rust
+    /// evaluation (differential test against an oracle).
+    #[test]
+    fn interpreter_matches_alu_oracle(
+        init in any::<u64>(),
+        ops in proptest::collection::vec((0u8..6, any::<u64>()), 1..40),
+    ) {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: Reg::Rax, imm: init });
+        let mut expected = init;
+        for (op, imm) in &ops {
+            let (alu, f): (AluOp, fn(u64, u64) -> u64) = match op {
+                0 => (AluOp::Add, u64::wrapping_add),
+                1 => (AluOp::Sub, u64::wrapping_sub),
+                2 => (AluOp::And, std::ops::BitAnd::bitand),
+                3 => (AluOp::Or, std::ops::BitOr::bitor),
+                4 => (AluOp::Xor, std::ops::BitXor::bitxor),
+                _ => (AluOp::Mul, u64::wrapping_mul),
+            };
+            expected = f(expected, *imm);
+            b.push(Inst::AluImm { op: alu, dst: Reg::Rax, imm: *imm });
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        prop_assert_eq!(m.run().expect_exit(), expected);
+    }
+
+    /// Checked memory writes round-trip through the full translation
+    /// pipeline for arbitrary in-page offsets and values.
+    #[test]
+    fn address_space_rw_roundtrip(off in 0u64..(PAGE_SIZE * 3 - 8), value in any::<u64>()) {
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x40_0000), 3 * PAGE_SIZE, PageFlags::rw());
+        s.write_u64(VirtAddr(0x40_0000 + off), value).unwrap();
+        prop_assert_eq!(s.read_u64(VirtAddr(0x40_0000 + off)).unwrap(), value);
+    }
+
+    /// Machine cycle accounting is monotone and positive for any program
+    /// that retires at least one instruction.
+    #[test]
+    fn cycles_monotone(n in 1u64..200) {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        for i in 0..n {
+            b.push(Inst::MovImm { dst: Reg::Rax, imm: i });
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        let mut last = 0.0;
+        while m.step().is_ok() {
+            prop_assert!(m.cycles() >= last);
+            last = m.cycles();
+            if m.stats().instructions > n {
+                break;
+            }
+        }
+        prop_assert!(last > 0.0);
+    }
+    /// Address-based instrumentation never changes the result of a benign
+    /// program (differential test: baseline vs MPX vs dual-MPX vs SFI on
+    /// randomly generated load/store/ALU programs).
+    #[test]
+    fn instrumentation_preserves_benign_semantics(
+        ops in proptest::collection::vec((0u8..5, 0u64..400, any::<u64>()), 1..60),
+    ) {
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x40_0000 });
+            b.push(Inst::MovImm { dst: Reg::Rax, imm: 1 });
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset }),
+                    1 => b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset }),
+                    2 => b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm }),
+                    3 => b.push(Inst::AluImm { op: AluOp::Xor, dst: Reg::Rax, imm: *imm }),
+                    _ => b.push(Inst::Lea { dst: Reg::Rcx, base: Reg::Rbx, offset }),
+                };
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            p
+        };
+        let run = |p: Program| {
+            let mut m = Machine::new(p);
+            m.space.map_region(VirtAddr(0x40_0000), PAGE_SIZE, PageFlags::rw());
+            m.run().expect_exit()
+        };
+        let baseline = run(build());
+        for kind in [AddressKind::Mpx, AddressKind::MpxDual, AddressKind::Sfi] {
+            let mut p = build();
+            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut p);
+            memsentry_repro::ir::verify(&p).unwrap();
+            prop_assert_eq!(run(p), baseline, "kind {:?}", kind);
+        }
+    }
+
+    /// The workload generator is a pure function of its spec: identical
+    /// specs produce bit-identical programs and cycle counts.
+    #[test]
+    fn workloads_are_deterministic(which in 0usize..19, superblocks in 1u32..4) {
+        use memsentry_repro::workloads::{Workload, WorkloadSpec, SPEC2006};
+        let spec = WorkloadSpec { profile: SPEC2006[which], superblocks };
+        let a = Workload::build(spec);
+        let b = Workload::build(spec);
+        prop_assert_eq!(&a.program, &b.program);
+        let cycles = |w: &Workload| {
+            let mut m = Machine::new(w.program.clone());
+            w.prepare(&mut m);
+            m.run().expect_exit();
+            m.cycles()
+        };
+        prop_assert_eq!(cycles(&a), cycles(&b));
+    }
+    /// print -> parse round-trips arbitrary programs (fuzzed over the
+    /// instruction space).
+    #[test]
+    fn listing_roundtrip(
+        insts in proptest::collection::vec((0u8..12, 0usize..16, 0usize..16, any::<u32>()), 1..50),
+        privileged_fn in any::<bool>(),
+    ) {
+        use memsentry_repro::ir::{parse_program, print::format_program, InstNode, Function};
+        let reg = |i: usize| Reg::ALL[i];
+        let mut f = Function::new("fuzzed");
+        f.privileged = privileged_fn;
+        for (k, a, b, imm) in &insts {
+            let (a, b, imm) = (reg(*a), reg(*b), *imm as u64);
+            let inst = match k {
+                0 => Inst::MovImm { dst: a, imm },
+                1 => Inst::Mov { dst: a, src: b },
+                2 => Inst::Lea { dst: a, base: b, offset: imm as i64 % 4096 - 2048 },
+                3 => Inst::Load { dst: a, addr: b, offset: (imm % 512) as i64 },
+                4 => Inst::Store { src: a, addr: b, offset: (imm % 512) as i64 },
+                5 => Inst::AluImm { op: AluOp::Add, dst: a, imm },
+                6 => Inst::AluReg { op: AluOp::Xor, dst: a, src: b },
+                7 => Inst::BndCu { bnd: (imm % 4) as u8, reg: a },
+                8 => Inst::WrPkru { src: a },
+                9 => Inst::VmFunc { eptp: (imm % 512) as u32 },
+                10 => Inst::Syscall { nr: imm % 12 },
+                _ => Inst::Nop,
+            };
+            f.body.push(InstNode { inst, privileged: imm % 3 == 0 });
+        }
+        f.body.push(InstNode::plain(Inst::Halt));
+        let mut p = Program::new();
+        p.add_function(f);
+        let text = format_program(&p);
+        let parsed = parse_program(&text).unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_is_panic_free(text in "[ -~\n]{0,400}") {
+        use memsentry_repro::ir::parse_program;
+        let _ = parse_program(&text);
+    }
+
+    /// Every SPEC and server profile generates a program whose measured
+    /// load/store mix tracks the profile within 20%.
+    #[test]
+    fn all_profiles_track_their_mix(which in 0usize..22) {
+        use memsentry_repro::workloads::{Workload, WorkloadSpec, SERVERS, SPEC2006};
+        let profile = if which < 19 { SPEC2006[which] } else { SERVERS[which - 19] };
+        let w = Workload::build(WorkloadSpec { profile, superblocks: 12 });
+        let mut m = Machine::new(w.program.clone());
+        w.prepare(&mut m);
+        m.run().expect_exit();
+        let s = m.stats();
+        let per_k = |x: u64| x as f64 * 1000.0 / s.instructions as f64;
+        let loads = per_k(s.loads);
+        prop_assert!(
+            (loads - f64::from(profile.loads_pk)).abs() / f64::from(profile.loads_pk) < 0.2,
+            "{}: loads/k {} vs {}", profile.name, loads, profile.loads_pk
+        );
+        let stores = per_k(s.stores);
+        prop_assert!(
+            (stores - f64::from(profile.stores_pk)).abs() / f64::from(profile.stores_pk) < 0.2,
+            "{}: stores/k {} vs {}", profile.name, stores, profile.stores_pk
+        );
+    }
+    /// The shadow-stack defense (under MPK) is semantics-preserving over
+    /// random benign call trees of arbitrary shape.
+    #[test]
+    fn shadow_stack_preserves_random_call_trees(
+        tree in proptest::collection::vec(0u8..3, 1..14),
+    ) {
+        use memsentry_repro::defenses::ShadowStack;
+        use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+        use memsentry_repro::passes::Pass;
+        use memsentry_repro::ir::FuncId;
+
+        // Build a chain of functions; each either calls the next one 0, 1
+        // or 2 times before returning, and bumps a counter in rbx.
+        let n = tree.len();
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbx });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        for (i, &calls) in tree.iter().enumerate() {
+            let mut f = FunctionBuilder::new(format!("f{i}"));
+            f.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+            if i + 1 < n {
+                for _ in 0..calls {
+                    f.push(Inst::Call(FuncId(i as u32 + 2)));
+                }
+            }
+            f.push(Inst::Ret);
+            p.add_function(f.finish());
+        }
+        let baseline = {
+            let mut m = Machine::new(p.clone());
+            m.run().expect_exit()
+        };
+        let fw = MemSentry::new(Technique::Mpk, 1 << 16);
+        let shadow = ShadowStack::new(fw.layout());
+        let mut defended = p;
+        shadow.run(&mut defended);
+        fw.instrument(&mut defended, Application::ProgramData).unwrap();
+        let mut m = Machine::new(defended);
+        fw.prepare_machine(&mut m).unwrap();
+        fw.write_region(&mut m, 0, &(fw.layout().base + 8).to_le_bytes());
+        prop_assert_eq!(m.run().expect_exit(), baseline);
+    }
+}
+
+
+
+

@@ -26,12 +26,8 @@ impl KeySchedule {
     pub fn expand(key: &Block) -> Self {
         let mut w = [0u32; 4 * ROUND_KEYS];
         for (i, slot) in w.iter_mut().take(4).enumerate() {
-            *slot = u32::from_le_bytes([
-                key[4 * i],
-                key[4 * i + 1],
-                key[4 * i + 2],
-                key[4 * i + 3],
-            ]);
+            *slot =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
         for i in 4..4 * ROUND_KEYS {
             let mut temp = w[i - 1];
@@ -126,7 +122,10 @@ mod tests {
     fn expansion_matches_fips_appendix_a1() {
         let ks = KeySchedule::expand(&from_hex(FIPS_KEY));
         // Round key 1 = w4..w7 from FIPS-197 A.1.
-        assert_eq!(ks.round_keys[1], from_hex("a0fafe1788542cb123a339392a6c7605"));
+        assert_eq!(
+            ks.round_keys[1],
+            from_hex("a0fafe1788542cb123a339392a6c7605")
+        );
         // Round key 10 = w40..w43.
         assert_eq!(
             ks.round_keys[10],

@@ -43,7 +43,11 @@ impl<'a> ArbitraryRw<'a> {
     /// Crash-resistant read of `addr`.
     pub fn probe(&mut self, addr: u64) -> Probe {
         self.probes += 1;
-        match self.victim.machine.call_function(funcs::PROBE, [addr, 0, 0]) {
+        match self
+            .victim
+            .machine
+            .call_function(funcs::PROBE, [addr, 0, 0])
+        {
             RunOutcome::Exited(v) => Probe::Value(v),
             RunOutcome::Trapped(t) => {
                 self.faults += 1;

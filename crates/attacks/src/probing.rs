@@ -130,7 +130,10 @@ mod tests {
     fn spraying_reduces_entropy() {
         let (before, after) = spray_and_probe(1 << 30);
         assert!(before > after);
-        assert!(before - after > 0.08, "2^30 sprays must bite: {before} -> {after}");
+        assert!(
+            before - after > 0.08,
+            "2^30 sprays must bite: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn build_program(shadow: &ShadowStack) -> Program {
 
     // The defense pass runs first (Figure 1: defense pass, then the
     // MemSentry pass).
-    shadow.run(&mut p);
+    shadow.run(&mut p).expect("instrumentation failed");
     p
 }
 

@@ -32,14 +32,20 @@ fn bench_mmu(c: &mut Criterion) {
     c.bench_function("mmu/checked_read_tlb_hit", |b| {
         b.iter(|| {
             let mut buf = [0u8; 8];
-            space.read(black_box(VirtAddr(0x10_0008)), &mut buf).unwrap();
+            space
+                .read(black_box(VirtAddr(0x10_0008)), &mut buf)
+                .unwrap();
             buf
         })
     });
     c.bench_function("mmu/mprotect_toggle", |b| {
         b.iter(|| {
             space.mprotect(VirtAddr(0x10_0000), PAGE_SIZE, memsentry_mmu::Prot::None);
-            space.mprotect(VirtAddr(0x10_0000), PAGE_SIZE, memsentry_mmu::Prot::ReadWrite);
+            space.mprotect(
+                VirtAddr(0x10_0000),
+                PAGE_SIZE,
+                memsentry_mmu::Prot::ReadWrite,
+            );
         })
     });
 }
@@ -49,7 +55,10 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut p = Program::new();
     let mut b = FunctionBuilder::new("main");
     let top = b.new_label();
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 1000 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 1000,
+    });
     b.bind(top);
     for i in 0..8 {
         b.push(Inst::AluImm {
@@ -58,8 +67,15 @@ fn bench_interpreter(c: &mut Criterion) {
             imm: i,
         });
     }
-    b.push(Inst::AluImm { op: memsentry_ir::AluOp::Sub, dst: Reg::Rbx, imm: 1 });
-    b.push(Inst::MovImm { dst: Reg::Rcx, imm: 0 });
+    b.push(Inst::AluImm {
+        op: memsentry_ir::AluOp::Sub,
+        dst: Reg::Rbx,
+        imm: 1,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: 0,
+    });
     b.push(Inst::JmpIf {
         cond: memsentry_ir::Cond::Ne,
         a: Reg::Rbx,
@@ -77,7 +93,10 @@ fn bench_interpreter(c: &mut Criterion) {
     c.bench_function("interp/measure_sequence_bndcu", |bch| {
         bch.iter(|| {
             measure_sequence(
-                &[Inst::BndCu { bnd: 0, reg: Reg::Rbx }],
+                &[Inst::BndCu {
+                    bnd: 0,
+                    reg: Reg::Rbx,
+                }],
                 black_box(200),
                 false,
             )
@@ -106,5 +125,12 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_aes, bench_mmu, bench_interpreter, bench_kernels, bench_cache);
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_mmu,
+    bench_interpreter,
+    bench_kernels,
+    bench_cache
+);
 criterion_main!(benches);

@@ -41,7 +41,9 @@ fn run_custom_domain(
         superblocks,
     });
     let mut program: Program = workload.program.clone();
-    DomainSwitchPass::new(points, sequences).run(&mut program);
+    DomainSwitchPass::new(points, sequences)
+        .run(&mut program)
+        .expect("instrumentation failed");
     let mut machine = Machine::new(program);
     let layout = SafeRegionLayout::sensitive(16);
     setup(&mut machine, &layout);
@@ -61,7 +63,9 @@ pub fn mpx_bounds_ablation(superblocks: u32) -> (f64, f64, f64) {
                 superblocks,
             });
             let mut program = workload.program.clone();
-            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut program);
+            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE)
+                .run(&mut program)
+                .expect("instrumentation failed");
             let mut machine = Machine::new(program);
             workload.prepare(&mut machine);
             machine.run().expect_exit();
@@ -207,7 +211,10 @@ mod tests {
         // The §6.3 claim, reproduced.
         let (single, dual, sfi) = mpx_bounds_ablation(SB);
         assert!(single < sfi, "single {single} < SFI {sfi}");
-        assert!(dual > sfi, "dual {dual} > SFI {sfi} (paper: 'slightly worse')");
+        assert!(
+            dual > sfi,
+            "dual {dual} > SFI {sfi} (paper: 'slightly worse')"
+        );
         assert!(dual < sfi * 1.35, "but only slightly: {dual} vs {sfi}");
     }
 
@@ -230,7 +237,10 @@ mod tests {
         assert!(pinned < parked, "pinned {pinned} < parked {parked}");
         // The per-open imc (71 cycles) dominates; pinning should cut the
         // above-baseline overhead by more than half.
-        assert!((pinned - 1.0) < (parked - 1.0) * 0.5, "{pinned} vs {parked}");
+        assert!(
+            (pinned - 1.0) < (parked - 1.0) * 0.5,
+            "{pinned} vs {parked}"
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@ use std::fs;
 use std::path::Path;
 
 use memsentry_bench::ablation::*;
-use memsentry_bench::kernels_study::kernel_overheads;
 use memsentry_bench::extras::*;
 use memsentry_bench::figures::{self, paper};
+use memsentry_bench::kernels_study::kernel_overheads;
 use memsentry_bench::report::FigureReport;
 use memsentry_bench::tables;
 use memsentry_workloads::BenchProfile;
@@ -82,7 +82,12 @@ fn main() {
         "kernels.txt",
         kernel_overheads()
             .iter()
-            .map(|r| format!("{:<26} MPX-rw {:.3}  SFI-rw {:.3}\n", r.name, r.mpx_rw, r.sfi_rw))
+            .map(|r| {
+                format!(
+                    "{:<26} MPX-rw {:.3}  SFI-rw {:.3}\n",
+                    r.name, r.mpx_rw, r.sfi_rw
+                )
+            })
             .collect(),
     );
 
@@ -110,7 +115,9 @@ fn main() {
             ),
         ] {
             let (spec, servers) = server_vs_spec(sb.min(12), cfg);
-            out.push_str(&format!("{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"));
+            out.push_str(&format!(
+                "{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"
+            ));
         }
         out
     };

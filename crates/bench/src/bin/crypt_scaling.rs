@@ -8,9 +8,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
     let p = BenchProfile::by_name("mcf").expect("profile");
-    println!("crypt region-size scaling on {} (call/ret switching)", p.name);
+    println!(
+        "crypt region-size scaling on {} (call/ret switching)",
+        p.name
+    );
     println!("{:>10}  {:>10}", "bytes", "overhead");
-    for (size, o) in crypt_scaling(p, superblocks, &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096]) {
+    for (size, o) in crypt_scaling(
+        p,
+        superblocks,
+        &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
+    ) {
         println!("{size:>10}  {o:>9.2}x");
     }
     println!("(paper: cost grows linearly; ~15x at 1024 bytes)");

@@ -12,7 +12,10 @@ fn main() {
     let fig = figures::figure4(superblocks);
     let paper = figures::paper::FIG4;
     if json {
-        println!("{}", FigureReport::from_figure(&fig, Some(&paper)).to_json());
+        println!(
+            "{}",
+            FigureReport::from_figure(&fig, Some(&paper)).to_json()
+        );
         return;
     }
     print!("{}", fig.render());

@@ -12,11 +12,44 @@ fn main() {
         .unwrap_or(12);
     println!("{:<28} {:>10} {:>10}", "config", "SPEC", "servers");
     let rows: Vec<(&str, ExperimentConfig)> = vec![
-        ("MPX -rw", ExperimentConfig::Address { kind: AddressKind::Mpx, mode: InstrumentMode::READ_WRITE }),
-        ("SFI -rw", ExperimentConfig::Address { kind: AddressKind::Sfi, mode: InstrumentMode::READ_WRITE }),
-        ("MPK @ call/ret", ExperimentConfig::Domain { technique: Technique::Mpk, points: SwitchPoints::CallRet, region_len: 16 }),
-        ("VMFUNC @ indirect", ExperimentConfig::Domain { technique: Technique::Vmfunc, points: SwitchPoints::IndirectBranch, region_len: 16 }),
-        ("MPK @ syscall", ExperimentConfig::Domain { technique: Technique::Mpk, points: SwitchPoints::Syscall, region_len: 16 }),
+        (
+            "MPX -rw",
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        ),
+        (
+            "SFI -rw",
+            ExperimentConfig::Address {
+                kind: AddressKind::Sfi,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        ),
+        (
+            "MPK @ call/ret",
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::CallRet,
+                region_len: 16,
+            },
+        ),
+        (
+            "VMFUNC @ indirect",
+            ExperimentConfig::Domain {
+                technique: Technique::Vmfunc,
+                points: SwitchPoints::IndirectBranch,
+                region_len: 16,
+            },
+        ),
+        (
+            "MPK @ syscall",
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::Syscall,
+                region_len: 16,
+            },
+        ),
     ];
     for (label, cfg) in rows {
         let (spec, servers) = server_vs_spec(sb, cfg);

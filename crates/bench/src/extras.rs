@@ -74,10 +74,7 @@ pub fn safestack_study(superblocks: u32) -> (f64, f64) {
 /// I/O-bound server workloads vs SPEC (paper §6: "the overhead for I/O
 /// bound applications such as servers will be lower"). Returns
 /// (spec_geomean, server_geomean) for a given config builder.
-pub fn server_vs_spec(
-    superblocks: u32,
-    config: ExperimentConfig,
-) -> (f64, f64) {
+pub fn server_vs_spec(superblocks: u32, config: ExperimentConfig) -> (f64, f64) {
     let spec = geomean(SPEC2006.iter().map(|p| overhead(p, superblocks, config)));
     let servers = geomean(SERVERS.iter().map(|p| overhead(p, superblocks, config)));
     (spec, servers)

@@ -23,11 +23,7 @@ pub struct Figure {
 }
 
 impl Figure {
-    fn compute(
-        title: &'static str,
-        superblocks: u32,
-        configs: &[ExperimentConfig],
-    ) -> Self {
+    fn compute(title: &'static str, superblocks: u32, configs: &[ExperimentConfig]) -> Self {
         let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
         let mut rows = Vec::with_capacity(SPEC2006.len());
         for profile in &SPEC2006 {
@@ -91,11 +87,7 @@ pub fn figure3(superblocks: u32) -> Figure {
     )
 }
 
-fn domain_figure(
-    title: &'static str,
-    superblocks: u32,
-    points: SwitchPoints,
-) -> Figure {
+fn domain_figure(title: &'static str, superblocks: u32, points: SwitchPoints) -> Figure {
     let cfg = |technique| ExperimentConfig::Domain {
         technique,
         points,

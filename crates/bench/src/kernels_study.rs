@@ -24,7 +24,9 @@ pub struct KernelRow {
 fn measure(kernel: &Kernel, kind: Option<AddressKind>) -> f64 {
     let mut program = kernel.program.clone();
     if let Some(kind) = kind {
-        AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut program);
+        AddressBasedPass::new(kind, InstrumentMode::READ_WRITE)
+            .run(&mut program)
+            .expect("instrumentation failed");
     }
     let mut machine = Machine::new(program);
     kernel.prepare(&mut machine);

@@ -77,7 +77,9 @@ pub fn run_config(
     let framework = match config {
         ExperimentConfig::Baseline => None,
         ExperimentConfig::Address { kind, mode } => {
-            AddressBasedPass::new(kind, mode).run(&mut program);
+            AddressBasedPass::new(kind, mode)
+                .run(&mut program)
+                .expect("instrumentation failed");
             None
         }
         ExperimentConfig::Domain {

@@ -159,10 +159,26 @@ pub fn table4() -> Vec<Table4Row> {
         Inst::MFence,
     ];
     vec![
-        Table4Row { name: "L1 cache access", paper: Some(4.0), measured: c.l1 },
-        Table4Row { name: "L2 cache access", paper: Some(12.0), measured: c.l2 },
-        Table4Row { name: "L3 cache access", paper: Some(44.0), measured: c.l3 },
-        Table4Row { name: "DRAM access", paper: Some(251.0), measured: c.dram },
+        Table4Row {
+            name: "L1 cache access",
+            paper: Some(4.0),
+            measured: c.l1,
+        },
+        Table4Row {
+            name: "L2 cache access",
+            paper: Some(12.0),
+            measured: c.l2,
+        },
+        Table4Row {
+            name: "L3 cache access",
+            paper: Some(44.0),
+            measured: c.l3,
+        },
+        Table4Row {
+            name: "DRAM access",
+            paper: Some(251.0),
+            measured: c.dram,
+        },
         Table4Row {
             name: "SFI (and, result used by load)",
             paper: Some(0.22),
@@ -198,15 +214,28 @@ pub fn table4() -> Vec<Table4Row> {
         Table4Row {
             name: "MPX (single bndcu)",
             paper: Some(0.1),
-            measured: measure_sequence(&[Inst::BndCu { bnd: 0, reg: Reg::Rbx }], reps, false),
+            measured: measure_sequence(
+                &[Inst::BndCu {
+                    bnd: 0,
+                    reg: Reg::Rbx,
+                }],
+                reps,
+                false,
+            ),
         },
         Table4Row {
             name: "MPX (both bndcl and bndcu)",
             paper: Some(0.50),
             measured: measure_sequence(
                 &[
-                    Inst::BndCl { bnd: 0, reg: Reg::Rbx },
-                    Inst::BndCu { bnd: 0, reg: Reg::Rbx },
+                    Inst::BndCl {
+                        bnd: 0,
+                        reg: Reg::Rbx,
+                    },
+                    Inst::BndCu {
+                        bnd: 0,
+                        reg: Reg::Rbx,
+                    },
                 ],
                 reps,
                 false,

@@ -1,0 +1,521 @@
+//! The address-based checker: every non-privileged access must be
+//! dominated by a check of its address register.
+//!
+//! A per-register "checked" fact flows forward through the CFG: an SFI or
+//! ISboxing mask (`and reg, MASK`) or an MPX upper-bound check
+//! (`bndcu reg`) establishes it; *any* other write to the register —
+//! including loads into it, moves, and the clobbers of calls — kills it.
+//! The join is intersection: a register is checked at a merge point only
+//! if it is checked on every incoming path. An access is accepted only at
+//! displacement 0 from a checked register, because a checked value is
+//! `<= SFI_MASK` and even `+8` could step across the partition boundary.
+//!
+//! MPX additionally requires a `bndmk` in the entry function whose upper
+//! bound actually excludes the sensitive partition; `bndcu` against an
+//! uninitialized or too-wide bound proves nothing
+//! ([`FindingKind::MissingBoundSetup`]).
+
+use memsentry_ir::dataflow::{forward_fixpoint, JoinLattice};
+use memsentry_ir::{AluOp, Cfg, FuncId, Function, Inst, InstNode, Program, Reg};
+use memsentry_mmu::addr::{SENSITIVE_BASE, SFI_MASK};
+
+use crate::diag::{Finding, FindingKind};
+use crate::policy::AddressPolicy;
+
+/// The ISboxing truncation mask (32-bit address-size prefix). Mirrors
+/// `memsentry_passes::address::ISBOXING_MASK`, which this crate cannot
+/// import without a dependency cycle.
+pub const ISBOXING_MASK: u64 = 0xffff_ffff;
+
+/// Per-register checked facts as a bitmask over [`Reg::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Checked(u16);
+
+impl Checked {
+    const NONE: Self = Checked(0);
+
+    fn is_checked(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    fn set(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    fn clear(&mut self, reg: Reg) {
+        self.0 &= !(1 << reg.index());
+    }
+}
+
+impl JoinLattice for Checked {
+    fn join(&self, other: &Self) -> Self {
+        Checked(self.0 & other.0)
+    }
+}
+
+/// The register `inst` writes, for kill purposes (`None` when it writes
+/// no general-purpose register).
+fn written_reg(inst: &Inst) -> Option<Reg> {
+    match *inst {
+        Inst::MovImm { dst, .. }
+        | Inst::Mov { dst, .. }
+        | Inst::Lea { dst, .. }
+        | Inst::AluReg { dst, .. }
+        | Inst::AluImm { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::RdPkru { dst } => Some(dst),
+        _ => None,
+    }
+}
+
+/// Applies one instruction to the checked state.
+fn transfer(state: &mut Checked, inst: &Inst) {
+    match *inst {
+        // A masking AND establishes the fact...
+        Inst::AluImm {
+            op: AluOp::And,
+            dst,
+            imm,
+        } if imm == SFI_MASK || imm == ISBOXING_MASK => state.set(dst),
+        // ...a bound check proves the register without modifying it...
+        Inst::BndCu { reg, .. } => state.set(reg),
+        Inst::BndCl { .. } | Inst::BndMk { .. } => {}
+        // ...calls and world switches may rewrite anything...
+        Inst::Call(_) | Inst::CallIndirect { .. } | Inst::SgxEnter | Inst::SgxExit => {
+            *state = Checked::NONE;
+        }
+        // ...the kernel and allocator return in `rax`.
+        Inst::Syscall { .. } | Inst::Alloc { .. } | Inst::VmCall { .. } => state.clear(Reg::Rax),
+        _ => {
+            if let Some(dst) = written_reg(inst) {
+                state.clear(dst);
+            }
+        }
+    }
+}
+
+/// Walks a block, checking accesses when `findings` is `Some`.
+fn walk_block(
+    program: &Program,
+    func: FuncId,
+    body: &[InstNode],
+    range: (usize, usize),
+    entry: Checked,
+    mode: AddressPolicy,
+    mut findings: Option<&mut Vec<Finding>>,
+) -> Checked {
+    let mut state = entry;
+    for (i, node) in body.iter().enumerate().take(range.1).skip(range.0) {
+        if let Some(sink) = findings.as_deref_mut() {
+            if !node.privileged {
+                let violation = match node.inst {
+                    Inst::Load { addr, offset, .. } if mode.loads => (!state.is_checked(addr)
+                        || offset != 0)
+                        .then_some((FindingKind::UncheckedLoad, addr, offset)),
+                    Inst::Store { addr, offset, .. } if mode.stores => (!state.is_checked(addr)
+                        || offset != 0)
+                        .then_some((FindingKind::UncheckedStore, addr, offset)),
+                    _ => None,
+                };
+                if let Some((kind, addr, offset)) = violation {
+                    let why = if state.is_checked(addr) {
+                        format!("displacement {offset} may step past the checked address")
+                    } else {
+                        format!("address register {addr} is not dominated by a mask or bound check")
+                    };
+                    sink.push(Finding::at(program, func, i, kind, why));
+                }
+            }
+        }
+        transfer(&mut state, &node.inst);
+    }
+    state
+}
+
+/// Verifies MPX bound setup: every bound register used by a check must be
+/// installed by a `bndmk` in the entry function with an upper bound below
+/// the sensitive partition.
+fn check_bound_setup(program: &Program, findings: &mut Vec<Finding>) {
+    let entry = program.func(program.entry);
+    let covered = |bnd: u8| {
+        entry.body.iter().any(|n| {
+            matches!(n.inst, Inst::BndMk { bnd: b, upper, .. }
+                     if b == bnd && upper < SENSITIVE_BASE)
+        })
+    };
+    let mut reported = [false; 4];
+    for (fi, f) in program.functions.iter().enumerate() {
+        if f.privileged {
+            continue;
+        }
+        for (i, node) in f.body.iter().enumerate() {
+            let (Inst::BndCu { bnd, .. } | Inst::BndCl { bnd, .. }) = node.inst else {
+                continue;
+            };
+            let slot = (bnd as usize).min(3);
+            if !reported[slot] && !covered(bnd) {
+                reported[slot] = true;
+                findings.push(Finding::at(
+                    program,
+                    FuncId(fi as u32),
+                    i,
+                    FindingKind::MissingBoundSetup,
+                    format!(
+                        "bnd{bnd} is checked against but never installed with an \
+                         upper bound below the sensitive partition"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the address checker over one function.
+fn check_function(
+    program: &Program,
+    func: FuncId,
+    f: &Function,
+    mode: AddressPolicy,
+    findings: &mut Vec<Finding>,
+) {
+    let cfg = Cfg::build(f);
+    let states = forward_fixpoint(&cfg, Checked::NONE, |block, s| {
+        let b = &cfg.blocks[block.0];
+        walk_block(program, func, &f.body, (b.start, b.end), *s, mode, None)
+    });
+    for (block, entry) in cfg.blocks.iter().zip(&states) {
+        let Some(entry) = entry else { continue };
+        walk_block(
+            program,
+            func,
+            &f.body,
+            (block.start, block.end),
+            *entry,
+            mode,
+            Some(findings),
+        );
+    }
+}
+
+/// Runs the address checker over every non-privileged function.
+pub fn check_addresses(program: &Program, mode: AddressPolicy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if f.privileged {
+            continue;
+        }
+        check_function(program, FuncId(i as u32), f, mode, &mut findings);
+    }
+    check_bound_setup(program, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{Cond, FunctionBuilder};
+
+    fn program_of(body: Vec<Inst>) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        for inst in body {
+            b.push(inst);
+        }
+        p.add_function(b.finish());
+        p
+    }
+
+    fn kinds(p: &Program, mode: AddressPolicy) -> Vec<FindingKind> {
+        check_addresses(p, mode)
+            .into_iter()
+            .map(|f| f.kind)
+            .collect()
+    }
+
+    fn masked_load() -> Vec<Inst> {
+        vec![
+            Inst::Lea {
+                dst: Reg::R11,
+                base: Reg::Rbx,
+                offset: 8,
+            },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::R11,
+                imm: SFI_MASK,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::R11,
+                offset: 0,
+            },
+            Inst::Halt,
+        ]
+    }
+
+    #[test]
+    fn masked_access_is_clean() {
+        assert!(kinds(&program_of(masked_load()), AddressPolicy::READ_WRITE).is_empty());
+    }
+
+    #[test]
+    fn unchecked_load_is_flagged() {
+        let body = vec![
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::UncheckedLoad]
+        );
+    }
+
+    #[test]
+    fn mode_limits_what_is_required() {
+        let body = vec![
+            Inst::Store {
+                src: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert!(kinds(&program_of(body.clone()), AddressPolicy::READS).is_empty());
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::WRITES),
+            vec![FindingKind::UncheckedStore]
+        );
+    }
+
+    #[test]
+    fn nonzero_displacement_after_check_is_flagged() {
+        let mut body = masked_load();
+        body[2] = Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::R11,
+            offset: 8,
+        };
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::UncheckedLoad]
+        );
+    }
+
+    #[test]
+    fn intervening_write_kills_the_check() {
+        let mut body = masked_load();
+        body.insert(
+            2,
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::R11,
+                imm: 64,
+            },
+        );
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::UncheckedLoad]
+        );
+    }
+
+    #[test]
+    fn call_invalidates_all_checks() {
+        let mut body = masked_load();
+        body.insert(2, Inst::Call(memsentry_ir::FuncId(0)));
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::UncheckedLoad]
+        );
+    }
+
+    #[test]
+    fn bndcu_with_proper_bndmk_is_clean() {
+        let body = vec![
+            Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: SENSITIVE_BASE - 1,
+            },
+            Inst::Lea {
+                dst: Reg::R11,
+                base: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::BndCu {
+                bnd: 0,
+                reg: Reg::R11,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::R11,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert!(kinds(&program_of(body), AddressPolicy::READS).is_empty());
+    }
+
+    #[test]
+    fn bndcu_without_bndmk_reports_missing_setup() {
+        let body = vec![
+            Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rbx,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::MissingBoundSetup]
+        );
+    }
+
+    #[test]
+    fn too_wide_bndmk_still_reports_missing_setup() {
+        let body = vec![
+            Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: u64::MAX,
+            },
+            Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rbx,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert_eq!(
+            kinds(&program_of(body), AddressPolicy::READS),
+            vec![FindingKind::MissingBoundSetup]
+        );
+    }
+
+    #[test]
+    fn privileged_accesses_are_exempt() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push_privileged(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert!(kinds(&p, AddressPolicy::READ_WRITE).is_empty());
+    }
+
+    #[test]
+    fn privileged_functions_are_exempt() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("rt");
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Ret);
+        p.add_function(b.privileged().finish());
+        assert!(kinds(&p, AddressPolicy::READ_WRITE).is_empty());
+    }
+
+    #[test]
+    fn check_on_one_path_only_is_insufficient() {
+        // One arm masks, the other does not; the merged access is flagged.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let skip = b.new_label();
+        b.push(Inst::Lea {
+            dst: Reg::R11,
+            base: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: skip,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R11,
+            imm: SFI_MASK,
+        });
+        b.bind(skip);
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::R11,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert_eq!(
+            kinds(&p, AddressPolicy::READS),
+            vec![FindingKind::UncheckedLoad]
+        );
+    }
+
+    #[test]
+    fn check_on_both_paths_merges_clean() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let other = b.new_label();
+        let join = b.new_label();
+        b.push(Inst::Lea {
+            dst: Reg::R11,
+            base: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: other,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R11,
+            imm: SFI_MASK,
+        });
+        b.push(Inst::Jmp(join));
+        b.bind(other);
+        b.push(Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R11,
+            imm: SFI_MASK,
+        });
+        b.bind(join);
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::R11,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert!(kinds(&p, AddressPolicy::READS).is_empty());
+    }
+
+    #[test]
+    fn isboxing_mask_also_counts_as_a_check() {
+        let mut body = masked_load();
+        body[1] = Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R11,
+            imm: ISBOXING_MASK,
+        };
+        assert!(kinds(&program_of(body), AddressPolicy::READS).is_empty());
+    }
+}

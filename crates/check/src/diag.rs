@@ -1,0 +1,147 @@
+//! Checker diagnostics: findings with function/instruction locations.
+
+use memsentry_ir::print::format_inst;
+use memsentry_ir::{FuncId, Program};
+
+/// What kind of soundness violation a [`Finding`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// A non-privileged load whose address register is not dominated by an
+    /// SFI mask or MPX bound check (or the access carries a displacement
+    /// that could step past the checked value).
+    UncheckedLoad,
+    /// A non-privileged store whose address register is not checked.
+    UncheckedStore,
+    /// MPX checks are used but no `bndmk` in the entry function installs a
+    /// bound that actually excludes the sensitive partition.
+    MissingBoundSetup,
+    /// The safe region is open (or possibly open) across a call, return,
+    /// syscall, indirect branch, allocator call or program exit.
+    DomainLeak,
+    /// A blessed open sequence executes while the domain is already open.
+    DoubleOpen,
+    /// A blessed close sequence executes while the domain is closed.
+    UnmatchedClose,
+    /// CFG paths disagree about whether the domain is open at a merge
+    /// point, so no static guarantee holds from there on.
+    AmbiguousWindow,
+    /// A domain-switching instruction (`wrpkru`, `vmfunc`, SGX
+    /// transition, `mprotect`/view-switch syscall) outside any blessed
+    /// open/close sequence — the ERIM scan's "unsafe occurrence".
+    StrayDomainSwitch,
+    /// An AES key-schedule/region instruction outside a blessed crypt
+    /// sequence.
+    StrayKeyReload,
+    /// An instrumentation sequence writes a register outside its
+    /// documented clobber set — it would destroy a live program value.
+    ClobberedLiveRegister,
+}
+
+impl FindingKind {
+    /// The stable kebab-case identifier printed by the CLI.
+    pub fn slug(self) -> &'static str {
+        match self {
+            FindingKind::UncheckedLoad => "unchecked-load",
+            FindingKind::UncheckedStore => "unchecked-store",
+            FindingKind::MissingBoundSetup => "missing-bound-setup",
+            FindingKind::DomainLeak => "domain-leak",
+            FindingKind::DoubleOpen => "double-open",
+            FindingKind::UnmatchedClose => "unmatched-close",
+            FindingKind::AmbiguousWindow => "ambiguous-window",
+            FindingKind::StrayDomainSwitch => "stray-domain-switch",
+            FindingKind::StrayKeyReload => "stray-key-reload",
+            FindingKind::ClobberedLiveRegister => "clobbered-live-register",
+        }
+    }
+}
+
+impl core::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One soundness violation, located to an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violation class.
+    pub kind: FindingKind,
+    /// The function containing the instruction.
+    pub func: FuncId,
+    /// The function's name (carried so reports stay readable without the
+    /// program at hand).
+    pub func_name: String,
+    /// Instruction index within the function body.
+    pub index: usize,
+    /// The offending instruction, disassembled.
+    pub inst: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding for `program.functions[func].body[index]`.
+    pub fn at(
+        program: &Program,
+        func: FuncId,
+        index: usize,
+        kind: FindingKind,
+        message: impl Into<String>,
+    ) -> Self {
+        let f = program.func(func);
+        Self {
+            kind,
+            func,
+            func_name: f.name.clone(),
+            index,
+            inst: format_inst(&f.body[index].inst),
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for Finding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "fn{} <{}> @{}: [{}] {}: `{}`",
+            self.func.0, self.func_name, self.index, self.kind, self.message, self.inst
+        )
+    }
+}
+
+/// The result of a full checker run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// All findings, in function/instruction order.
+    pub findings: Vec<Finding>,
+}
+
+impl CheckReport {
+    /// Whether the program passed every analysis.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The findings of one kind (test helper).
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+}
+
+impl core::fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "clean");
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckReport {}

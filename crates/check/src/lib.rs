@@ -1,0 +1,141 @@
+#![warn(missing_docs)]
+
+//! Static isolation-soundness checking for MemSentry-instrumented
+//! programs.
+//!
+//! MemSentry's guarantee is only as strong as its instrumentation: one
+//! load that escapes SFI masking, or one domain window left open across a
+//! call, silently reduces deterministic isolation back to information
+//! hiding. ERIM (PAPERS.md) showed for MPK that a *static* scan — unsafe
+//! `WRPKRU` occurrences plus call-gate verification — is what turns the
+//! mechanism into a defense. This crate is that scan, generalized to
+//! every technique in the repo, built on the CFG and forward-dataflow
+//! support in [`memsentry_ir::cfg`] and [`memsentry_ir::dataflow`] and
+//! running without executing a single instruction.
+//!
+//! Three analyses:
+//!
+//! * the **domain-window checker** ([`window`]) — an abstract
+//!   open/closed lattice per program point; flags windows left (possibly)
+//!   open across calls/returns/syscalls/exits, double opens, unmatched
+//!   closes and merge-point ambiguity;
+//! * the **ERIM-style gadget scan** and **register-discipline lint**
+//!   (also [`window`], sharing the walk) — domain-switch or key-reload
+//!   instructions outside the blessed sequences of [`sequence`], and
+//!   instrumentation that clobbers the live registers `rbx`/`rbp`/`r12`;
+//! * the **address checker** ([`address`]) — proves every non-privileged
+//!   load/store is dominated by an SFI/ISboxing mask or MPX bound check
+//!   of its address register, with no intervening clobber. Opt-in via
+//!   [`CheckPolicy`], since uninstrumented programs legitimately fail it.
+//!
+//! Known incompleteness (documented, deliberate): the analyses are
+//! intra-procedural (calls conservatively kill checked-address facts and
+//! must occur with the window closed, so no cross-function state
+//! arises); blessed sequences are matched structurally, so immediates —
+//! pkey masks, region bases, view ids — are not compared against a
+//! layout; and liveness of `rbx`/`rbp`/`r12` is assumed rather than
+//! computed, matching the repo's documented register discipline.
+//!
+//! # Example
+//!
+//! ```
+//! use memsentry_check::{check_program, CheckPolicy, FindingKind};
+//! use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+//!
+//! let mut p = Program::new();
+//! let mut b = FunctionBuilder::new("main");
+//! b.push(Inst::WrPkru { src: Reg::Rax }); // a stray ERIM gadget
+//! b.push(Inst::Halt);
+//! p.add_function(b.finish());
+//!
+//! let report = check_program(&p, &CheckPolicy::universal());
+//! assert_eq!(report.findings[0].kind, FindingKind::StrayDomainSwitch);
+//! ```
+
+pub mod address;
+pub mod diag;
+pub mod policy;
+pub mod sequence;
+pub mod window;
+
+pub use diag::{CheckReport, Finding, FindingKind};
+pub use policy::{AddressPolicy, CheckPolicy};
+pub use sequence::{match_sequence, SeqKind, SeqMatch, SeqTech};
+
+use memsentry_ir::Program;
+
+/// Runs every analysis selected by `policy` and returns the combined
+/// report, ordered by function and instruction index.
+pub fn check_program(program: &Program, policy: &CheckPolicy) -> CheckReport {
+    let mut findings = window::check_windows(program);
+    if let Some(mode) = policy.address {
+        findings.extend(address::check_addresses(program, mode));
+    }
+    findings.sort_by_key(|f| (f.func, f.index, f.kind));
+    CheckReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{FunctionBuilder, Inst, Reg};
+
+    #[test]
+    fn clean_program_produces_clean_report() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 7,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let report = check_program(&p, &CheckPolicy::universal());
+        assert!(report.is_clean());
+        assert_eq!(report.to_string(), "clean");
+    }
+
+    #[test]
+    fn address_analysis_is_opt_in() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert!(check_program(&p, &CheckPolicy::universal()).is_clean());
+        let report = check_program(&p, &CheckPolicy::address_checked(AddressPolicy::READS));
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, FindingKind::UncheckedLoad);
+    }
+
+    #[test]
+    fn findings_are_ordered_and_located() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::WrPkru { src: Reg::Rax });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 4,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let report = check_program(&p, &CheckPolicy::address_checked(AddressPolicy::READS));
+        let kinds: Vec<_> = report.findings.iter().map(|f| (f.index, f.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, FindingKind::StrayDomainSwitch),
+                (1, FindingKind::UncheckedLoad)
+            ]
+        );
+        let line = report.findings[0].to_string();
+        assert!(line.contains("fn0 <main> @0"), "{line}");
+        assert!(line.contains("stray-domain-switch"), "{line}");
+        assert!(line.contains("wrpkru"), "{line}");
+    }
+}

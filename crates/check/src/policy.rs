@@ -1,0 +1,59 @@
+//! What the checker should require of a program.
+//!
+//! The universal analyses — domain-window soundness, the ERIM-style
+//! gadget scan, and the register-discipline lint — hold for *any*
+//! program, instrumented or not, so they always run. The address-based
+//! analysis is different: an uninstrumented program legitimately has
+//! unchecked accesses, so it only runs when the caller states that the
+//! program is supposed to be address-instrumented (and for which access
+//! kinds — the paper's `-r`/`-w`/`-rw` modes).
+
+/// Which access kinds the address checker must see protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressPolicy {
+    /// Every non-privileged load must be dominated by a check.
+    pub loads: bool,
+    /// Every non-privileged store must be dominated by a check.
+    pub stores: bool,
+}
+
+impl AddressPolicy {
+    /// Loads only (`-r`).
+    pub const READS: Self = Self {
+        loads: true,
+        stores: false,
+    };
+    /// Stores only (`-w`).
+    pub const WRITES: Self = Self {
+        loads: false,
+        stores: true,
+    };
+    /// Both (`-rw`).
+    pub const READ_WRITE: Self = Self {
+        loads: true,
+        stores: true,
+    };
+}
+
+/// Configuration for one checker run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckPolicy {
+    /// When set, the program claims address-based instrumentation and the
+    /// address checker verifies it. When `None`, only the universal
+    /// analyses run.
+    pub address: Option<AddressPolicy>,
+}
+
+impl CheckPolicy {
+    /// Universal analyses only (domain windows, gadget scan, discipline).
+    pub fn universal() -> Self {
+        Self::default()
+    }
+
+    /// Universal analyses plus the address checker in `mode`.
+    pub fn address_checked(mode: AddressPolicy) -> Self {
+        Self {
+            address: Some(mode),
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Structural recognition of blessed open/close sequences.
+//!
+//! The ERIM insight (PAPERS.md): `wrpkru` is only safe when it occurs
+//! inside a known call-gate sequence; any other occurrence is an attack
+//! gadget. This module generalizes that to every domain-based technique
+//! in the repo: it matches the *shape* of each canonical sequence from
+//! `memsentry_passes::DomainSequences` — with register operands bound
+//! structurally rather than compared against a fixed layout — so the
+//! checker works on bare `.ms` listings without knowing the safe region's
+//! base, pkey or EPT index.
+
+use memsentry_cpu::kernel::nr;
+use memsentry_ir::{AluOp, Inst, InstNode, Reg};
+
+/// Whether a matched sequence opens or closes the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqKind {
+    /// Makes the safe region accessible.
+    Open,
+    /// Protects it again.
+    Close,
+}
+
+/// Which technique's sequence matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqTech {
+    /// `rdpkru; and/or; wrpkru[; mfence]`.
+    Mpk,
+    /// A single `vmfunc` EPT switch.
+    Vmfunc,
+    /// `[ymm-reload; aesimc;] movimm; aesdec/aesenc`.
+    Crypt,
+    /// `sgx_enter` / `sgx_exit`.
+    Sgx,
+    /// `movimm rdi; syscall switch_view[_flush]`.
+    PageTableSwitch,
+    /// `movimm rdi; movimm rsi; movimm rdx; syscall mprotect`.
+    Mprotect,
+}
+
+impl SeqTech {
+    /// The registers a well-formed sequence of this technique may write
+    /// (the documented clobber sets; syscalls also write `rax`).
+    pub fn allowed_clobbers(self) -> &'static [Reg] {
+        match self {
+            SeqTech::Mpk => &[Reg::R9],
+            SeqTech::Crypt => &[Reg::R10],
+            SeqTech::Vmfunc => &[],
+            SeqTech::Sgx => &[],
+            SeqTech::PageTableSwitch => &[Reg::Rdi, Reg::Rax],
+            SeqTech::Mprotect => &[Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rax],
+        }
+    }
+
+    /// Display name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeqTech::Mpk => "mpk",
+            SeqTech::Vmfunc => "vmfunc",
+            SeqTech::Crypt => "crypt",
+            SeqTech::Sgx => "sgx",
+            SeqTech::PageTableSwitch => "page-table-switch",
+            SeqTech::Mprotect => "mprotect",
+        }
+    }
+}
+
+/// A blessed sequence found at some instruction index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqMatch {
+    /// Open or close.
+    pub kind: SeqKind,
+    /// The technique whose sequence this is.
+    pub tech: SeqTech,
+    /// Number of instructions consumed.
+    pub len: usize,
+    /// Registers the matched instructions write.
+    pub writes: Vec<Reg>,
+}
+
+/// Tries to match a blessed sequence starting at `body[at]`, without
+/// reading past `end` (the enclosing basic block's boundary — canonical
+/// sequences are straight-line, so a match never needs to cross one).
+pub fn match_sequence(body: &[InstNode], at: usize, end: usize) -> Option<SeqMatch> {
+    let window = &body[at..end.min(body.len())];
+    match_mpk(window)
+        .or_else(|| match_crypt_full(window))
+        .or_else(|| match_mprotect(window))
+        .or_else(|| match_page_table_switch(window))
+        .or_else(|| match_crypt_bare(window))
+        .or_else(|| match_single(window))
+}
+
+/// `rdpkru R; and/or R, imm; wrpkru R; [mfence]`.
+fn match_mpk(w: &[InstNode]) -> Option<SeqMatch> {
+    let (a, b, c) = (w.first()?.inst, w.get(1)?.inst, w.get(2)?.inst);
+    let Inst::RdPkru { dst } = a else {
+        return None;
+    };
+    let Inst::AluImm {
+        op, dst: alu_dst, ..
+    } = b
+    else {
+        return None;
+    };
+    let kind = match op {
+        AluOp::And => SeqKind::Open,
+        AluOp::Or => SeqKind::Close,
+        _ => return None,
+    };
+    if alu_dst != dst {
+        return None;
+    }
+    let Inst::WrPkru { src } = c else {
+        return None;
+    };
+    if src != dst {
+        return None;
+    }
+    let len = if matches!(w.get(3).map(|n| n.inst), Some(Inst::MFence)) {
+        4
+    } else {
+        3
+    };
+    Some(SeqMatch {
+        kind,
+        tech: SeqTech::Mpk,
+        len,
+        writes: vec![dst],
+    })
+}
+
+/// `ymm_to_xmm; aesimc; movimm R; aesdec [R]` — the full crypt open.
+fn match_crypt_full(w: &[InstNode]) -> Option<SeqMatch> {
+    if !matches!(w.first()?.inst, Inst::YmmToXmm { .. }) {
+        return None;
+    }
+    if !matches!(w.get(1)?.inst, Inst::AesImc) {
+        return None;
+    }
+    let tail = match_crypt_bare(&w[2..])?;
+    if tail.kind != SeqKind::Open {
+        return None;
+    }
+    Some(SeqMatch {
+        len: tail.len + 2,
+        ..tail
+    })
+}
+
+/// `movimm R; aesdec/aesenc [R]` — crypt close, or the pinned-keys
+/// ablation's open (no per-open key reload).
+fn match_crypt_bare(w: &[InstNode]) -> Option<SeqMatch> {
+    let Inst::MovImm { dst, .. } = w.first()?.inst else {
+        return None;
+    };
+    let Inst::AesRegion { base, decrypt, .. } = w.get(1)?.inst else {
+        return None;
+    };
+    if base != dst {
+        return None;
+    }
+    Some(SeqMatch {
+        kind: if decrypt {
+            SeqKind::Open
+        } else {
+            SeqKind::Close
+        },
+        tech: SeqTech::Crypt,
+        len: 2,
+        writes: vec![dst],
+    })
+}
+
+/// `movimm rdi, base; movimm rsi, len; movimm rdx, prot; syscall mprotect`.
+fn match_mprotect(w: &[InstNode]) -> Option<SeqMatch> {
+    let regs = [Reg::Rdi, Reg::Rsi, Reg::Rdx];
+    let mut prot = 0;
+    for (i, reg) in regs.into_iter().enumerate() {
+        let Inst::MovImm { dst, imm } = w.get(i)?.inst else {
+            return None;
+        };
+        if dst != reg {
+            return None;
+        }
+        prot = imm;
+    }
+    if !matches!(w.get(3)?.inst, Inst::Syscall { nr: n } if n == nr::MPROTECT) {
+        return None;
+    }
+    Some(SeqMatch {
+        kind: if prot != 0 {
+            SeqKind::Open
+        } else {
+            SeqKind::Close
+        },
+        tech: SeqTech::Mprotect,
+        len: 4,
+        writes: vec![Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rax],
+    })
+}
+
+/// `movimm rdi, view; syscall switch_view[_flush]`.
+fn match_page_table_switch(w: &[InstNode]) -> Option<SeqMatch> {
+    let Inst::MovImm { dst, imm: view } = w.first()?.inst else {
+        return None;
+    };
+    if dst != Reg::Rdi {
+        return None;
+    }
+    if !matches!(
+        w.get(1)?.inst,
+        Inst::Syscall { nr: n } if n == nr::SWITCH_VIEW || n == nr::SWITCH_VIEW_FLUSH
+    ) {
+        return None;
+    }
+    Some(SeqMatch {
+        kind: if view != 0 {
+            SeqKind::Open
+        } else {
+            SeqKind::Close
+        },
+        tech: SeqTech::PageTableSwitch,
+        len: 2,
+        writes: vec![Reg::Rdi, Reg::Rax],
+    })
+}
+
+/// Single-instruction sequences: `vmfunc` and the SGX transitions.
+fn match_single(w: &[InstNode]) -> Option<SeqMatch> {
+    let (kind, tech) = match w.first()?.inst {
+        Inst::VmFunc { eptp } => (
+            if eptp != 0 {
+                SeqKind::Open
+            } else {
+                SeqKind::Close
+            },
+            SeqTech::Vmfunc,
+        ),
+        Inst::SgxEnter => (SeqKind::Open, SeqTech::Sgx),
+        Inst::SgxExit => (SeqKind::Close, SeqTech::Sgx),
+        _ => return None,
+    };
+    Some(SeqMatch {
+        kind,
+        tech,
+        len: 1,
+        writes: Vec::new(),
+    })
+}
+
+/// Classifies a lone instruction for the gadget scan: `Some(true)` for a
+/// domain switch, `Some(false)` for an AES key operation, `None` for a
+/// harmless instruction. Only consulted for instructions *outside* any
+/// blessed sequence.
+pub fn gadget_class(inst: &Inst) -> Option<bool> {
+    match inst {
+        Inst::WrPkru { .. } | Inst::VmFunc { .. } | Inst::SgxEnter | Inst::SgxExit => Some(true),
+        Inst::Syscall { nr: n }
+            if *n == nr::MPROTECT
+                || *n == nr::PKEY_MPROTECT
+                || *n == nr::SWITCH_VIEW
+                || *n == nr::SWITCH_VIEW_FLUSH =>
+        {
+            Some(true)
+        }
+        Inst::YmmToXmm { .. } | Inst::AesImc | Inst::AesKeygen | Inst::AesRegion { .. } => {
+            Some(false)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(insts: &[Inst]) -> Vec<InstNode> {
+        insts.iter().copied().map(InstNode::privileged).collect()
+    }
+
+    #[test]
+    fn mpk_open_and_close_match_with_any_staging_register() {
+        for reg in [Reg::R9, Reg::Rbx] {
+            let body = nodes(&[
+                Inst::RdPkru { dst: reg },
+                Inst::AluImm {
+                    op: AluOp::And,
+                    dst: reg,
+                    imm: !0xc,
+                },
+                Inst::WrPkru { src: reg },
+                Inst::MFence,
+            ]);
+            let m = match_sequence(&body, 0, body.len()).expect("mpk open");
+            assert_eq!(m.kind, SeqKind::Open);
+            assert_eq!(m.tech, SeqTech::Mpk);
+            assert_eq!(m.len, 4);
+            assert_eq!(m.writes, vec![reg]);
+        }
+    }
+
+    #[test]
+    fn mpk_without_fence_matches_three_instructions() {
+        let body = nodes(&[
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::Or,
+                dst: Reg::R9,
+                imm: 0xc,
+            },
+            Inst::WrPkru { src: Reg::R9 },
+            Inst::Halt,
+        ]);
+        let m = match_sequence(&body, 0, body.len()).expect("unfenced close");
+        assert_eq!((m.kind, m.len), (SeqKind::Close, 3));
+    }
+
+    #[test]
+    fn mismatched_staging_register_does_not_match() {
+        let body = nodes(&[
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::R9,
+                imm: !0xc,
+            },
+            Inst::WrPkru { src: Reg::R10 },
+        ]);
+        assert!(match_sequence(&body, 0, body.len()).is_none());
+    }
+
+    #[test]
+    fn crypt_open_full_and_pinned_both_match() {
+        let full = nodes(&[
+            Inst::YmmToXmm { count: 11 },
+            Inst::AesImc,
+            Inst::MovImm {
+                dst: Reg::R10,
+                imm: 0x1000,
+            },
+            Inst::AesRegion {
+                base: Reg::R10,
+                chunks: 4,
+                decrypt: true,
+            },
+        ]);
+        let m = match_sequence(&full, 0, full.len()).expect("crypt open");
+        assert_eq!((m.kind, m.tech, m.len), (SeqKind::Open, SeqTech::Crypt, 4));
+        let pinned = nodes(&full[2..].iter().map(|n| n.inst).collect::<Vec<_>>());
+        let m = match_sequence(&pinned, 0, pinned.len()).expect("pinned open");
+        assert_eq!(m.len, 2);
+    }
+
+    #[test]
+    fn mprotect_and_pts_are_distinguished_by_their_syscall() {
+        let mprot = nodes(&[
+            Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: 0x1000,
+            },
+            Inst::MovImm {
+                dst: Reg::Rsi,
+                imm: 64,
+            },
+            Inst::MovImm {
+                dst: Reg::Rdx,
+                imm: 2,
+            },
+            Inst::Syscall { nr: nr::MPROTECT },
+        ]);
+        let m = match_sequence(&mprot, 0, mprot.len()).expect("mprotect open");
+        assert_eq!(
+            (m.tech, m.kind, m.len),
+            (SeqTech::Mprotect, SeqKind::Open, 4)
+        );
+
+        let pts = nodes(&[
+            Inst::MovImm {
+                dst: Reg::Rdi,
+                imm: 0,
+            },
+            Inst::Syscall {
+                nr: nr::SWITCH_VIEW,
+            },
+        ]);
+        let m = match_sequence(&pts, 0, pts.len()).expect("pts close");
+        assert_eq!(
+            (m.tech, m.kind, m.len),
+            (SeqTech::PageTableSwitch, SeqKind::Close, 2)
+        );
+    }
+
+    #[test]
+    fn vmfunc_and_sgx_match_singly() {
+        let body = nodes(&[Inst::VmFunc { eptp: 1 }]);
+        assert_eq!(match_sequence(&body, 0, 1).unwrap().kind, SeqKind::Open);
+        let body = nodes(&[Inst::VmFunc { eptp: 0 }]);
+        assert_eq!(match_sequence(&body, 0, 1).unwrap().kind, SeqKind::Close);
+        let body = nodes(&[Inst::SgxEnter]);
+        assert_eq!(match_sequence(&body, 0, 1).unwrap().tech, SeqTech::Sgx);
+    }
+
+    #[test]
+    fn ordinary_instructions_do_not_match() {
+        let body = nodes(&[
+            Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 3,
+            },
+            Inst::Halt,
+        ]);
+        assert!(match_sequence(&body, 0, body.len()).is_none());
+    }
+
+    #[test]
+    fn gadget_class_covers_switches_and_key_ops() {
+        assert_eq!(gadget_class(&Inst::WrPkru { src: Reg::R9 }), Some(true));
+        assert_eq!(gadget_class(&Inst::VmFunc { eptp: 0 }), Some(true));
+        assert_eq!(
+            gadget_class(&Inst::Syscall { nr: nr::MPROTECT }),
+            Some(true)
+        );
+        assert_eq!(gadget_class(&Inst::Syscall { nr: nr::GETPID }), None);
+        assert_eq!(gadget_class(&Inst::AesKeygen), Some(false));
+        assert_eq!(gadget_class(&Inst::Nop), None);
+        assert_eq!(gadget_class(&Inst::RdPkru { dst: Reg::R9 }), None);
+    }
+}

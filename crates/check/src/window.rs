@@ -1,0 +1,504 @@
+//! The domain-window checker, ERIM-style gadget scan and
+//! register-discipline lint.
+//!
+//! One walk over each function serves all three analyses, because they
+//! share the same structural backbone: blessed open/close sequences are
+//! consumed atomically (their members are neither gadgets nor events),
+//! and everything between them is interpreted under the current abstract
+//! window state.
+//!
+//! * **Window state** is a three-point lattice `Closed < Open <
+//!   Conflict`, solved by forward dataflow over the CFG. An *event* —
+//!   call, indirect call, return, syscall, allocator call or `halt` —
+//!   while the window is (possibly) open is a [`FindingKind::DomainLeak`]:
+//!   control leaves the instrumented path with the safe region exposed.
+//!   Re-opening an open window is a [`FindingKind::DoubleOpen`], closing
+//!   a closed one an [`FindingKind::UnmatchedClose`], and a merge point
+//!   whose predecessors disagree is a [`FindingKind::AmbiguousWindow`].
+//! * **Gadgets**: any domain-switch or key-reload instruction outside a
+//!   blessed sequence is flagged
+//!   ([`FindingKind::StrayDomainSwitch`]/[`FindingKind::StrayKeyReload`]),
+//!   regardless of window state — ERIM's binary-scan rule.
+//! * **Discipline**: a blessed sequence or address-check cluster that
+//!   writes `rbx`, `rbp`, `r12` or `rsp` destroys a value the surrounding
+//!   program keeps live ([`FindingKind::ClobberedLiveRegister`]).
+
+use memsentry_ir::dataflow::{forward_fixpoint, JoinLattice};
+use memsentry_ir::{AluOp, Cfg, FuncId, Function, Inst, InstNode, Program, Reg};
+use memsentry_mmu::addr::SFI_MASK;
+
+use crate::diag::{Finding, FindingKind};
+use crate::sequence::{gadget_class, match_sequence, SeqKind, SeqMatch};
+
+/// Registers the surrounding program keeps live across instrumentation
+/// points (CLAUDE.md register discipline) — instrumentation must never
+/// write them.
+pub const LIVE_REGS: [Reg; 4] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::Rsp];
+
+/// The abstract open/closed state of the safe region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// The region is protected.
+    Closed,
+    /// The region is accessible.
+    Open,
+    /// Paths disagree; no guarantee holds.
+    Conflict,
+}
+
+impl JoinLattice for Window {
+    fn join(&self, other: &Self) -> Self {
+        if self == other {
+            *self
+        } else {
+            Window::Conflict
+        }
+    }
+}
+
+/// Whether `inst` transfers control or crosses a protection boundary —
+/// the points the paper instruments (Table 1) plus program exit.
+fn is_event(inst: &Inst) -> bool {
+    inst.is_call_or_ret()
+        || inst.is_syscall()
+        || inst.is_allocator_call()
+        || matches!(inst, Inst::Halt)
+}
+
+/// Walks one basic block from `entry`, returning the exit state. When
+/// `findings` is `Some`, emits diagnostics (the reporting pass); when
+/// `None`, only computes the transfer (the fixpoint pass).
+fn walk_block(
+    program: &Program,
+    func: FuncId,
+    body: &[InstNode],
+    range: (usize, usize),
+    entry: Window,
+    mut findings: Option<&mut Vec<Finding>>,
+) -> Window {
+    let (start, end) = range;
+    let mut state = entry;
+    let mut report = |f: Finding| {
+        if let Some(sink) = findings.as_deref_mut() {
+            sink.push(f);
+        }
+    };
+    if state == Window::Conflict {
+        report(Finding::at(
+            program,
+            func,
+            start,
+            FindingKind::AmbiguousWindow,
+            "incoming paths disagree on whether the safe region is open".to_string(),
+        ));
+    }
+    let mut i = start;
+    while i < end {
+        if let Some(SeqMatch {
+            kind,
+            tech,
+            len,
+            writes,
+        }) = match_sequence(body, i, end)
+        {
+            for reg in &writes {
+                if LIVE_REGS.contains(reg) && !tech.allowed_clobbers().contains(reg) {
+                    report(Finding::at(
+                        program,
+                        func,
+                        i,
+                        FindingKind::ClobberedLiveRegister,
+                        format!(
+                            "{} sequence stages through live register {reg} \
+                             (documented clobbers: {:?})",
+                            tech.name(),
+                            tech.allowed_clobbers()
+                        ),
+                    ));
+                }
+            }
+            match kind {
+                SeqKind::Open => {
+                    if state == Window::Open {
+                        report(Finding::at(
+                            program,
+                            func,
+                            i,
+                            FindingKind::DoubleOpen,
+                            format!("{} open while the domain is already open", tech.name()),
+                        ));
+                    }
+                    state = Window::Open;
+                }
+                SeqKind::Close => {
+                    if state == Window::Closed {
+                        report(Finding::at(
+                            program,
+                            func,
+                            i,
+                            FindingKind::UnmatchedClose,
+                            format!("{} close while the domain is already closed", tech.name()),
+                        ));
+                    }
+                    state = Window::Closed;
+                }
+            }
+            i += len;
+            continue;
+        }
+
+        let node = &body[i];
+        match gadget_class(&node.inst) {
+            Some(true) => report(Finding::at(
+                program,
+                func,
+                i,
+                FindingKind::StrayDomainSwitch,
+                "domain switch outside any blessed open/close sequence".to_string(),
+            )),
+            Some(false) => report(Finding::at(
+                program,
+                func,
+                i,
+                FindingKind::StrayKeyReload,
+                "AES key/region operation outside any blessed crypt sequence".to_string(),
+            )),
+            None => {}
+        }
+        if is_event(&node.inst) && state != Window::Closed {
+            let how = if state == Window::Open {
+                "open"
+            } else {
+                "possibly open"
+            };
+            report(Finding::at(
+                program,
+                func,
+                i,
+                FindingKind::DomainLeak,
+                format!("safe region is {how} across this instruction"),
+            ));
+        }
+        // Address-check cluster discipline: a `lea` that feeds a mask or
+        // bound check is instrumentation scratch and must not be a live
+        // register.
+        if let Inst::Lea { dst, .. } = node.inst {
+            if LIVE_REGS.contains(&dst) && i + 1 < end && checks_register(&body[i + 1].inst, dst) {
+                report(Finding::at(
+                    program,
+                    func,
+                    i,
+                    FindingKind::ClobberedLiveRegister,
+                    format!(
+                        "address check stages through live register {dst} \
+                         (scratch pool is r9-r11)"
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+    state
+}
+
+/// Whether `inst` is an address check (SFI/ISboxing mask or MPX bound
+/// check) applied to `reg`.
+fn checks_register(inst: &Inst, reg: Reg) -> bool {
+    match *inst {
+        Inst::AluImm {
+            op: AluOp::And,
+            dst,
+            imm,
+        } => dst == reg && (imm == SFI_MASK || imm == crate::address::ISBOXING_MASK),
+        Inst::BndCu { reg: r, .. } | Inst::BndCl { reg: r, .. } => r == reg,
+        _ => false,
+    }
+}
+
+/// Runs the window/gadget/discipline analyses over one function.
+fn check_function(program: &Program, func: FuncId, f: &Function, findings: &mut Vec<Finding>) {
+    let cfg = Cfg::build(f);
+    let states = forward_fixpoint(&cfg, Window::Closed, |block, s| {
+        let b = &cfg.blocks[block.0];
+        walk_block(program, func, &f.body, (b.start, b.end), *s, None)
+    });
+    for (block, entry) in cfg.blocks.iter().zip(&states) {
+        // Unreachable blocks are dead code: nothing they do can leak.
+        let Some(entry) = entry else { continue };
+        walk_block(
+            program,
+            func,
+            &f.body,
+            (block.start, block.end),
+            *entry,
+            Some(findings),
+        );
+    }
+}
+
+/// Runs the universal analyses over every function of `program`.
+pub fn check_windows(program: &Program) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        check_function(program, FuncId(i as u32), f, &mut findings);
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{Cond, FunctionBuilder};
+
+    fn mpk_open() -> [Inst; 4] {
+        [
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::R9,
+                imm: !0xc,
+            },
+            Inst::WrPkru { src: Reg::R9 },
+            Inst::MFence,
+        ]
+    }
+
+    fn mpk_close() -> [Inst; 4] {
+        [
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::Or,
+                dst: Reg::R9,
+                imm: 0xc,
+            },
+            Inst::WrPkru { src: Reg::R9 },
+            Inst::MFence,
+        ]
+    }
+
+    fn program_of(body: Vec<Inst>) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        for inst in body {
+            b.push(inst);
+        }
+        p.add_function(b.finish());
+        p
+    }
+
+    fn kinds(p: &Program) -> Vec<FindingKind> {
+        check_windows(p).into_iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn balanced_window_is_clean() {
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        body.extend(mpk_close());
+        body.push(Inst::Halt);
+        assert!(kinds(&program_of(body)).is_empty());
+    }
+
+    #[test]
+    fn open_across_halt_is_a_leak() {
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Halt);
+        assert_eq!(kinds(&program_of(body)), vec![FindingKind::DomainLeak]);
+    }
+
+    #[test]
+    fn open_across_call_and_syscall_leak() {
+        use memsentry_ir::FuncId as F;
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Call(F(0)));
+        body.push(Inst::Syscall { nr: 2 });
+        body.extend(mpk_close());
+        body.push(Inst::Halt);
+        assert_eq!(
+            kinds(&program_of(body)),
+            vec![FindingKind::DomainLeak, FindingKind::DomainLeak]
+        );
+    }
+
+    #[test]
+    fn double_open_and_unmatched_close_are_flagged() {
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.extend(mpk_open());
+        body.extend(mpk_close());
+        body.extend(mpk_close());
+        body.push(Inst::Halt);
+        assert_eq!(
+            kinds(&program_of(body)),
+            vec![FindingKind::DoubleOpen, FindingKind::UnmatchedClose]
+        );
+    }
+
+    #[test]
+    fn stray_wrpkru_is_a_gadget() {
+        let body = vec![Inst::WrPkru { src: Reg::Rax }, Inst::Halt];
+        assert_eq!(
+            kinds(&program_of(body)),
+            vec![FindingKind::StrayDomainSwitch]
+        );
+    }
+
+    #[test]
+    fn stray_key_reload_is_flagged() {
+        let body = vec![Inst::AesKeygen, Inst::Halt];
+        assert_eq!(kinds(&program_of(body)), vec![FindingKind::StrayKeyReload]);
+    }
+
+    #[test]
+    fn branch_out_of_open_window_leaks_on_the_escaping_path() {
+        // open; jmpif -> done; close; ret ... done: halt
+        // The taken edge reaches `halt` with the window open.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let done = b.new_label();
+        for i in mpk_open() {
+            b.push(i);
+        }
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: done,
+        });
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.push(Inst::Ret);
+        b.bind(done);
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert_eq!(kinds(&p), vec![FindingKind::DomainLeak]);
+    }
+
+    #[test]
+    fn merge_of_open_and_closed_is_ambiguous() {
+        // One arm closes, the other doesn't; the merge disagrees and the
+        // following ret leaks on the possibly-open state.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let skip = b.new_label();
+        for i in mpk_open() {
+            b.push(i);
+        }
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: skip,
+        });
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.bind(skip);
+        b.push(Inst::Ret);
+        p.add_function(b.finish());
+        let got = kinds(&p);
+        assert!(got.contains(&FindingKind::AmbiguousWindow), "{got:?}");
+        assert!(got.contains(&FindingKind::DomainLeak), "{got:?}");
+    }
+
+    #[test]
+    fn mpk_staged_through_live_register_is_clobbering() {
+        let body = vec![
+            Inst::RdPkru { dst: Reg::Rbx },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::Rbx,
+                imm: !0xc,
+            },
+            Inst::WrPkru { src: Reg::Rbx },
+            Inst::MFence,
+            Inst::RdPkru { dst: Reg::Rbx },
+            Inst::AluImm {
+                op: AluOp::Or,
+                dst: Reg::Rbx,
+                imm: 0xc,
+            },
+            Inst::WrPkru { src: Reg::Rbx },
+            Inst::MFence,
+            Inst::Halt,
+        ];
+        assert_eq!(
+            kinds(&program_of(body)),
+            vec![
+                FindingKind::ClobberedLiveRegister,
+                FindingKind::ClobberedLiveRegister
+            ]
+        );
+    }
+
+    #[test]
+    fn lea_check_cluster_through_live_register_is_clobbering() {
+        let body = vec![
+            Inst::Lea {
+                dst: Reg::R12,
+                base: Reg::Rbx,
+                offset: 8,
+            },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::R12,
+                imm: SFI_MASK,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::R12,
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        assert_eq!(
+            kinds(&program_of(body)),
+            vec![FindingKind::ClobberedLiveRegister]
+        );
+    }
+
+    #[test]
+    fn plain_programs_are_clean() {
+        let body = vec![
+            Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x10_0000,
+            },
+            Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+            Inst::Syscall { nr: 2 },
+            Inst::Halt,
+        ];
+        assert!(kinds(&program_of(body)).is_empty());
+    }
+
+    #[test]
+    fn loop_with_balanced_window_converges_clean() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let top = b.new_label();
+        b.bind(top);
+        for i in mpk_open() {
+            b.push(i);
+        }
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rbx,
+            b: Reg::Rcx,
+            target: top,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        assert!(kinds(&p).is_empty());
+    }
+}

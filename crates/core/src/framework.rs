@@ -6,13 +6,14 @@
 //! AES keys, EPC ranges).
 
 use memsentry_aes::RegionCipher;
+use memsentry_check::{AddressPolicy, CheckPolicy};
 use memsentry_cpu::{Machine, Trap};
 use memsentry_hv::DuneSandbox;
 use memsentry_ir::Program;
 use memsentry_mmu::{PageFlags, Pkru, Prot, VirtAddr, PAGE_SIZE};
 use memsentry_passes::{
-    AddressBasedPass, AddressKind, DomainSequences, DomainSwitchPass, PassError, PassManager,
-    SafeRegionLayout,
+    AddressBasedPass, AddressKind, DomainSequences, DomainSwitchPass, InstrumentMode, PassError,
+    PassManager, SafeRegionLayout,
 };
 
 use crate::application::Application;
@@ -27,6 +28,13 @@ pub enum FrameworkError {
     Pass(PassError),
     /// Machine preparation failed.
     Trap(Trap),
+    /// The technique does not support the requested operation.
+    Unsupported {
+        /// The technique that was asked to do something it cannot.
+        technique: Technique,
+        /// The unsupported operation.
+        operation: &'static str,
+    },
 }
 
 impl core::fmt::Display for FrameworkError {
@@ -34,6 +42,12 @@ impl core::fmt::Display for FrameworkError {
         match self {
             FrameworkError::Pass(e) => write!(f, "{e}"),
             FrameworkError::Trap(t) => write!(f, "{t}"),
+            FrameworkError::Unsupported {
+                technique,
+                operation,
+            } => {
+                write!(f, "technique {technique} does not support {operation}")
+            }
         }
     }
 }
@@ -122,8 +136,24 @@ impl MemSentry {
         }
     }
 
+    /// The soundness-check policy for this technique: address-based
+    /// techniques additionally prove every instrumented access dominated
+    /// by its check; everything else gets the universal window/gadget/
+    /// discipline analyses.
+    fn check_policy(&self, mode: InstrumentMode) -> CheckPolicy {
+        match self.technique.category() {
+            Category::AddressBased => CheckPolicy::address_checked(AddressPolicy {
+                loads: mode.loads,
+                stores: mode.stores,
+            }),
+            _ => CheckPolicy::universal(),
+        }
+    }
+
     /// Instruments `program` for `application` (paper Figure 1: the
-    /// MemSentry pass runs after the defense's own pass).
+    /// MemSentry pass runs after the defense's own pass). After the
+    /// pipeline, the isolation soundness checker re-verifies the output;
+    /// unsound instrumentation is an error, not a silent weakness.
     pub fn instrument(
         &self,
         program: &mut Program,
@@ -143,7 +173,10 @@ impl MemSentry {
                 )));
             }
             Category::DomainBased | Category::Baseline => {
-                let sequences = self.sequences().expect("domain sequences");
+                let sequences = self.sequences().ok_or(FrameworkError::Unsupported {
+                    technique: self.technique,
+                    operation: "domain switch sequences",
+                })?;
                 pm.add(Box::new(DomainSwitchPass::new(
                     application.switch_points(),
                     sequences,
@@ -153,28 +186,33 @@ impl MemSentry {
                 // Information hiding inserts nothing — that is the point.
             }
         }
+        pm.with_check(self.check_policy(application.address_mode()));
         pm.run(program)?;
         Ok(())
     }
 
     /// Instruments `program` with domain switches at explicit `points`
     /// (the benchmark harness drives Figures 4-6 with this; defenses use
-    /// [`MemSentry::instrument`] with an [`Application`] profile).
+    /// [`MemSentry::instrument`] with an [`Application`] profile). The
+    /// isolation soundness checker runs on the output here too.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the technique is address-based or probabilistic — only
-    /// domain-based techniques and the mprotect baseline switch domains.
+    /// Returns [`FrameworkError::Unsupported`] if the technique is
+    /// address-based or probabilistic — only domain-based techniques and
+    /// the mprotect baseline switch domains.
     pub fn instrument_points(
         &self,
         program: &mut Program,
         points: memsentry_passes::SwitchPoints,
     ) -> Result<(), FrameworkError> {
-        let sequences = self
-            .sequences()
-            .expect("instrument_points requires a domain-based technique");
+        let sequences = self.sequences().ok_or(FrameworkError::Unsupported {
+            technique: self.technique,
+            operation: "instrument_points (domain switching)",
+        })?;
         let mut pm = PassManager::new();
         pm.add(Box::new(DomainSwitchPass::new(points, sequences)));
+        pm.with_check(CheckPolicy::universal());
         pm.run(program)?;
         Ok(())
     }
@@ -369,10 +407,7 @@ mod tests {
         fw.instrument(&mut p, Application::ProgramData).unwrap();
         let mut m = Machine::new(p);
         fw.prepare_machine(&mut m).unwrap();
-        assert!(matches!(
-            m.run().expect_trap(),
-            Trap::Mmu(Fault::Ept(_))
-        ));
+        assert!(matches!(m.run().expect_trap(), Trap::Mmu(Fault::Ept(_))));
     }
 
     #[test]
@@ -457,7 +492,8 @@ mod tests {
         fw.instrument(&mut p, Application::ProgramData).unwrap();
         let mut m = Machine::new(p);
         fw.prepare_machine(&mut m).unwrap();
-        m.space.poke(VirtAddr(layout.base), &0x5ec4e7u64.to_le_bytes());
+        m.space
+            .poke(VirtAddr(layout.base), &0x5ec4e7u64.to_le_bytes());
         assert_eq!(m.run().expect_exit(), 0x5ec4e7);
     }
 

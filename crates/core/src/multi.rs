@@ -16,8 +16,8 @@
 //!   the program but **not from each other**; [`MultiRegion::disjoint`]
 //!   reports `false`, matching Table 3's 4-bound / mask-dependent limits.
 
-use memsentry_hv::DuneSandbox;
 use memsentry_cpu::{Machine, Trap};
+use memsentry_hv::DuneSandbox;
 use memsentry_mmu::{EptSet, PageFlags, VirtAddr, PAGE_SIZE};
 use memsentry_passes::{DomainSequences, SafeRegionLayout};
 
@@ -294,10 +294,7 @@ mod tests {
         p2.add_function(fb.finish());
         let mut m2 = Machine::new(p2);
         multi.prepare_machine(&mut m2).unwrap();
-        assert!(matches!(
-            m2.run().expect_trap(),
-            Trap::Mmu(Fault::Ept(_))
-        ));
+        assert!(matches!(m2.run().expect_trap(), Trap::Mmu(Fault::Ept(_))));
     }
 
     #[test]

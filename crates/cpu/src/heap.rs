@@ -147,8 +147,6 @@ mod tests {
         let a = heap.alloc(&mut space, 3 * PAGE_SIZE);
         // Touch first and last byte.
         space.write(VirtAddr(a), &[1]).unwrap();
-        space
-            .write(VirtAddr(a + 3 * PAGE_SIZE - 1), &[2])
-            .unwrap();
+        space.write(VirtAddr(a + 3 * PAGE_SIZE - 1), &[2]).unwrap();
     }
 }

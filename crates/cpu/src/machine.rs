@@ -348,10 +348,9 @@ impl Machine {
             // difference between vmcall and the already-charged syscall.
             self.stats.cycles += self.cost.vmcall - self.cost.syscall;
             self.stats.vmcalls += 1;
-            let mut handler = self
-                .hypercall
-                .take()
-                .ok_or(Trap::VmError { reason: "no hypervisor" })?;
+            let mut handler = self.hypercall.take().ok_or(Trap::VmError {
+                reason: "no hypervisor",
+            })?;
             let r = handler.hypercall(&mut self.space, nr, args);
             self.stats.cycles += handler.cost_hint(nr);
             self.hypercall = Some(handler);
@@ -807,7 +806,11 @@ mod tests {
         p.add_function(victim.finish());
         p.add_function(gadget.finish());
         let mut m = Machine::new(p);
-        assert_eq!(m.run().expect_exit(), 0x666, "hijack must succeed undefended");
+        assert_eq!(
+            m.run().expect_exit(),
+            0x666,
+            "hijack must succeed undefended"
+        );
     }
 
     #[test]
@@ -1037,8 +1040,15 @@ mod tests {
     #[test]
     fn shift_amounts_mask_to_six_bits() {
         let (out, _) = run_main(|b| {
-            b.push(Inst::MovImm { dst: Reg::Rax, imm: 1 });
-            b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::Rax, imm: 65 });
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 1,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Shl,
+                dst: Reg::Rax,
+                imm: 65,
+            });
             b.push(Inst::Halt);
         });
         assert_eq!(out.expect_exit(), 2, "shl 65 == shl 1 on x86");
@@ -1051,8 +1061,16 @@ mod tests {
                 dst: Reg::Rax,
                 imm: CodeAddr::entry(FuncId(99)).encode(),
             });
-            b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rsp, offset: -8 });
-            b.push(Inst::AluImm { op: AluOp::Sub, dst: Reg::Rsp, imm: 8 });
+            b.push(Inst::Store {
+                src: Reg::Rax,
+                addr: Reg::Rsp,
+                offset: -8,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Sub,
+                dst: Reg::Rsp,
+                imm: 8,
+            });
             b.push(Inst::Ret);
             b.push(Inst::Halt);
         });
@@ -1063,16 +1081,31 @@ mod tests {
     fn epc_range_enforced_only_outside_enclave() {
         let mut p = Program::new();
         let mut b = FunctionBuilder::new("main");
-        b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
         b.push(Inst::SgxEnter);
-        b.push(Inst::MovImm { dst: Reg::Rcx, imm: 5 });
-        b.push(Inst::Store { src: Reg::Rcx, addr: Reg::Rbx, offset: 0 });
-        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+        b.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 5,
+        });
+        b.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
         b.push(Inst::SgxExit);
         b.push(Inst::Halt);
         p.add_function(b.finish());
         let mut m = Machine::new(p);
-        m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        m.space
+            .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
         m.set_epc_range(0x10_0000, 4096);
         assert_eq!(m.run().expect_exit(), 5);
         assert_eq!(m.stats().sgx_transitions, 1);
@@ -1081,12 +1114,20 @@ mod tests {
         let (out, _) = {
             let mut p = Program::new();
             let mut b = FunctionBuilder::new("main");
-            b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
-            b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x10_0000,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
             b.push(Inst::Halt);
             p.add_function(b.finish());
             let mut m = Machine::new(p);
-            m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+            m.space
+                .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
             m.set_epc_range(0x10_0000, 4096);
             (m.run(), m)
         };
@@ -1100,12 +1141,20 @@ mod tests {
     fn pinned_aes_keys_skip_staging() {
         let mut p = Program::new();
         let mut b = FunctionBuilder::new("main");
-        b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
-        b.push(Inst::AesRegion { base: Reg::Rbx, chunks: 1, decrypt: false });
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
+        b.push(Inst::AesRegion {
+            base: Reg::Rbx,
+            chunks: 1,
+            decrypt: false,
+        });
         b.push(Inst::Halt);
         p.add_function(b.finish());
         let mut m = Machine::new(p);
-        m.space.map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
+        m.space
+            .map_region(VirtAddr(0x10_0000), 4096, PageFlags::rw());
         m.pin_aes_keys(&[3u8; 16]);
         m.run().expect_exit();
         assert_eq!(m.stats().aes_chunks, 1);
@@ -1118,9 +1167,20 @@ mod tests {
         b.push(Inst::Halt);
         p.add_function(b.finish());
         let mut adder = FunctionBuilder::new("adder");
-        adder.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rdi });
-        adder.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rsi });
-        adder.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rdx });
+        adder.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        adder.push(Inst::AluReg {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: Reg::Rsi,
+        });
+        adder.push(Inst::AluReg {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: Reg::Rdx,
+        });
         adder.push(Inst::Halt);
         p.add_function(adder.finish());
         let mut m = Machine::new(p);
@@ -1135,9 +1195,16 @@ mod tests {
         let build = |stride: i64| {
             let mut p = Program::new();
             let mut b = FunctionBuilder::new("main");
-            b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x10_0000,
+            });
             for i in 0..32 {
-                b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: i * stride });
+                b.push(Inst::Load {
+                    dst: Reg::Rax,
+                    addr: Reg::Rbx,
+                    offset: i * stride,
+                });
             }
             b.push(Inst::Halt);
             p.add_function(b.finish());

@@ -174,10 +174,20 @@ mod tests {
         let mut p = Program::new();
         let mut main = FunctionBuilder::new("main");
         let spin = main.new_label();
-        main.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
         main.bind(spin);
-        main.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
-        main.push(Inst::MovImm { dst: Reg::Rcx, imm: 0 });
+        main.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        main.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0,
+        });
         main.push(Inst::JmpIf {
             cond: memsentry_ir::Cond::Eq,
             a: Reg::Rax,
@@ -187,9 +197,19 @@ mod tests {
         main.push(Inst::Halt);
         p.add_function(main.finish());
         let mut worker = FunctionBuilder::new("worker");
-        worker.push(Inst::MovImm { dst: Reg::Rbx, imm: 0x10_0000 });
-        worker.push(Inst::MovImm { dst: Reg::Rcx, imm: 7 });
-        worker.push(Inst::Store { src: Reg::Rcx, addr: Reg::Rbx, offset: 0 });
+        worker.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0x10_0000,
+        });
+        worker.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 7,
+        });
+        worker.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
         worker.push(Inst::Halt);
         p.add_function(worker.finish());
         p
@@ -233,23 +253,54 @@ mod tests {
         const SECRET: u64 = 0x3000_0000;
         let mut p = Program::new();
         let mut main = FunctionBuilder::new("main");
-        main.push(Inst::MovImm { dst: Reg::Rbx, imm: SECRET });
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SECRET,
+        });
         for _ in 0..8 {
-            main.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rcx, imm: 1 });
+            main.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rcx,
+                imm: 1,
+            });
         }
-        main.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+        main.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
         main.push(Inst::Halt);
         p.add_function(main.finish());
         let mut w = FunctionBuilder::new("worker");
         let spin = w.new_label();
-        w.push(Inst::MovImm { dst: Reg::R9, imm: 0 });
+        w.push(Inst::MovImm {
+            dst: Reg::R9,
+            imm: 0,
+        });
         w.push(Inst::WrPkru { src: Reg::R9 });
-        w.push(Inst::MovImm { dst: Reg::Rbx, imm: SECRET });
-        w.push(Inst::MovImm { dst: Reg::Rcx, imm: 200 });
+        w.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SECRET,
+        });
+        w.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 200,
+        });
         w.bind(spin);
-        w.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
-        w.push(Inst::AluImm { op: AluOp::Sub, dst: Reg::Rcx, imm: 1 });
-        w.push(Inst::MovImm { dst: Reg::R8, imm: 0 });
+        w.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        w.push(Inst::AluImm {
+            op: AluOp::Sub,
+            dst: Reg::Rcx,
+            imm: 1,
+        });
+        w.push(Inst::MovImm {
+            dst: Reg::R8,
+            imm: 0,
+        });
         w.push(Inst::JmpIf {
             cond: memsentry_ir::Cond::Ne,
             a: Reg::Rcx,
@@ -280,14 +331,27 @@ mod tests {
         const SECRET: u64 = 0x3000_0000;
         let mut p = Program::new();
         let mut main = FunctionBuilder::new("main");
-        main.push(Inst::MovImm { dst: Reg::Rax, imm: 1 });
+        main.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
         main.push(Inst::Halt);
         p.add_function(main.finish());
         let mut w = FunctionBuilder::new("worker");
-        w.push(Inst::MovImm { dst: Reg::R9, imm: 0 });
+        w.push(Inst::MovImm {
+            dst: Reg::R9,
+            imm: 0,
+        });
         w.push(Inst::WrPkru { src: Reg::R9 });
-        w.push(Inst::MovImm { dst: Reg::Rbx, imm: SECRET });
-        w.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+        w.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SECRET,
+        });
+        w.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
         w.push(Inst::Halt);
         p.add_function(w.finish());
         let mut m = Machine::new(p);

@@ -165,10 +165,7 @@ mod tests {
         let ptr = CodeAddr::entry(FuncId(1)).encode();
         let (p, data) = program(&g, 0);
         let mut m = machine(&g, p, ptr, data); // raw, not encoded
-        assert!(matches!(
-            m.run().expect_trap(),
-            Trap::BadCodePointer { .. }
-        ));
+        assert!(matches!(m.run().expect_trap(), Trap::BadCodePointer { .. }));
     }
 
     #[test]

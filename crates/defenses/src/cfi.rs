@@ -14,7 +14,7 @@ use memsentry_cpu::Machine;
 use memsentry_ir::func::{CODE_BASE, MAX_FUNC_INSTS};
 use memsentry_ir::{AluOp, Cond, FuncId, Inst, InstNode, Label, Program, Reg};
 use memsentry_mmu::VirtAddr;
-use memsentry_passes::{Pass, SafeRegionLayout};
+use memsentry_passes::{Pass, PassFailure, SafeRegionLayout};
 
 /// Abort code reported via the `abort` syscall.
 pub const ABORT_CODE: u64 = 2;
@@ -86,15 +86,18 @@ impl CfiDefense {
                 dst: Reg::R14,
                 imm: 1,
             },
-            Inst::JmpIf {
-                cond: Cond::Ne,
-                a: Reg::R13,
-                b: Reg::R14,
-                target: abort,
-            },
         ]
         .into_iter()
         .map(InstNode::privileged)
+        // The branch is a plain control transfer: were it privileged,
+        // domain wrapping would place the close sequence after it,
+        // leaving the window open on the taken (abort) path.
+        .chain([InstNode::plain(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::R13,
+            b: Reg::R14,
+            target: abort,
+        })])
         .collect()
     }
 }
@@ -104,7 +107,7 @@ impl Pass for CfiDefense {
         "coarse-cfi"
     }
 
-    fn run(&self, program: &mut Program) {
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
         for func in &mut program.functions {
             if func.privileged
                 || !func
@@ -141,6 +144,7 @@ impl Pass for CfiDefense {
             new.push(InstNode::plain(Inst::Halt));
             func.body = new;
         }
+        Ok(())
     }
 }
 
@@ -202,7 +206,7 @@ mod tests {
     fn allowed_target_passes() {
         let cfi = defense();
         let mut p = program(FuncId(1));
-        cfi.run(&mut p);
+        cfi.run(&mut p).unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, &cfi).expect_exit(), 1);
     }
@@ -211,7 +215,7 @@ mod tests {
     fn disallowed_target_aborts() {
         let cfi = defense();
         let mut p = program(FuncId(2));
-        cfi.run(&mut p);
+        cfi.run(&mut p).unwrap();
         verify(&p).unwrap();
         assert_eq!(
             run(p, &cfi).expect_trap(),
@@ -232,7 +236,7 @@ mod tests {
         // attacker with a write primitive whitelists the gadget.
         let cfi = defense();
         let mut p = program(FuncId(2));
-        cfi.run(&mut p);
+        cfi.run(&mut p).unwrap();
         let mut m = Machine::new(p);
         m.space.map_region(
             VirtAddr(cfi.layout.base),
@@ -258,7 +262,7 @@ mod tests {
         main.push(Inst::CallIndirect { target: Reg::Rbx });
         main.push(Inst::Halt);
         p.add_function(main.finish());
-        cfi.run(&mut p);
+        cfi.run(&mut p).unwrap();
         // The derived table index is enormous: the table load faults.
         let out = run(p, &cfi);
         assert!(matches!(out.expect_trap(), Trap::Mmu(_)));

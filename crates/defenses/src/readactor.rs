@@ -86,15 +86,20 @@ impl Readactor {
                     .expect("materialize_code must run before enable_xom");
                 let count = machine.space.ept_mut().expect("EPT").count();
                 for ept_index in 0..count {
-                    machine.space.ept_mut().expect("EPT").ept_mut(ept_index).map(
-                        gpfn,
-                        EptEntry {
-                            hpfn: gpfn,
-                            read: false,
-                            write: false,
-                            exec: true,
-                        },
-                    );
+                    machine
+                        .space
+                        .ept_mut()
+                        .expect("EPT")
+                        .ept_mut(ept_index)
+                        .map(
+                            gpfn,
+                            EptEntry {
+                                hpfn: gpfn,
+                                read: false,
+                                write: false,
+                                exec: true,
+                            },
+                        );
                 }
                 self.protected_pages += 1;
             }

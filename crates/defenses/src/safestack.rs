@@ -205,7 +205,9 @@ mod tests {
         // Address-based -w instrumentation of the same program also works
         // when the safe stack is relocated into the sensitive partition;
         // here we check the instrumentation at least preserves verification.
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
     }
 }

@@ -15,7 +15,7 @@ use memsentry_cpu::kernel::nr;
 use memsentry_cpu::Machine;
 use memsentry_ir::{AluOp, Cond, Inst, InstNode, Program, Reg};
 use memsentry_mmu::VirtAddr;
-use memsentry_passes::{Pass, SafeRegionLayout};
+use memsentry_passes::{Pass, PassFailure, SafeRegionLayout};
 
 /// Abort code reported via the `abort` syscall.
 pub const ABORT_CODE: u64 = 1;
@@ -117,16 +117,18 @@ impl ShadowStack {
                 addr: Reg::Rsp,
                 offset: 0,
             },
-            // Mismatch -> abort.
-            Inst::JmpIf {
-                cond: Cond::Ne,
-                a: Reg::R13,
-                b: Reg::R14,
-                target: abort,
-            },
         ]
         .into_iter()
         .map(InstNode::privileged)
+        // Mismatch -> abort. The branch is a plain control transfer: were
+        // it privileged, domain wrapping would place the close sequence
+        // after it, leaving the window open on the taken (abort) path.
+        .chain([InstNode::plain(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::R13,
+            b: Reg::R14,
+            target: abort,
+        })])
         .collect()
     }
 }
@@ -136,7 +138,7 @@ impl Pass for ShadowStack {
         "shadow-stack"
     }
 
-    fn run(&self, program: &mut Program) {
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
         for func in &mut program.functions {
             if func.privileged || !func.body.iter().any(|n| matches!(n.inst, Inst::Ret)) {
                 continue;
@@ -170,6 +172,7 @@ impl Pass for ShadowStack {
             new.push(InstNode::plain(Inst::Halt));
             func.body = new;
         }
+        Ok(())
     }
 }
 
@@ -235,7 +238,7 @@ mod tests {
     fn benign_program_unaffected() {
         let ss = ShadowStack::new(layout());
         let mut p = program(false);
-        ss.run(&mut p);
+        ss.run(&mut p).unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, &ss).expect_exit(), 42);
     }
@@ -252,7 +255,7 @@ mod tests {
     fn hijack_detected_with_the_defense() {
         let ss = ShadowStack::new(layout());
         let mut p = program(true);
-        ss.run(&mut p);
+        ss.run(&mut p).unwrap();
         verify(&p).unwrap();
         let out = run(p, &ss);
         assert_eq!(
@@ -283,7 +286,7 @@ mod tests {
         p.add_function(a.finish());
         p.add_function(b.finish());
         let ss = ShadowStack::new(layout());
-        ss.run(&mut p);
+        ss.run(&mut p).unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, &ss).expect_exit(), 5);
     }
@@ -331,7 +334,7 @@ mod tests {
         p.add_function(main.finish());
         p.add_function(rec.finish());
         let ss = ShadowStack::new(layout());
-        ss.run(&mut p);
+        ss.run(&mut p).unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, &ss).expect_exit(), 5);
     }
@@ -346,7 +349,7 @@ mod tests {
         rt.push(Inst::Ret);
         p.add_function(rt.privileged().finish());
         let before = p.functions[1].body.len();
-        ShadowStack::new(layout()).run(&mut p);
+        ShadowStack::new(layout()).run(&mut p).unwrap();
         assert_eq!(p.functions[1].body.len(), before);
     }
 }

@@ -70,9 +70,7 @@ impl Springboard {
     /// Writes the stub table into the (mapped) region.
     pub fn setup(&self, machine: &mut Machine) {
         for (i, slot) in self.slots.iter().enumerate() {
-            let value = slot
-                .map(|f| CodeAddr::entry(f).encode())
-                .unwrap_or(0);
+            let value = slot.map(|f| CodeAddr::entry(f).encode()).unwrap_or(0);
             machine.space.poke(
                 VirtAddr(self.layout.base + 8 * i as u64),
                 &value.to_le_bytes(),

@@ -170,11 +170,7 @@ mod tests {
     #[test]
     fn every_row_protects_against_something() {
         for d in DEFENSE_SURVEY {
-            assert!(
-                d.vuln_read || d.vuln_write,
-                "{} protects nothing?",
-                d.name
-            );
+            assert!(d.vuln_read || d.vuln_write, "{} protects nothing?", d.name);
             assert!(!d.instrumentation_points.is_empty());
             assert!(!d.protected_component.is_empty());
         }
@@ -182,7 +178,10 @@ mod tests {
 
     #[test]
     fn known_rows_match_the_paper() {
-        let shadow = DEFENSE_SURVEY.iter().find(|d| d.name == "Shadow Stack").unwrap();
+        let shadow = DEFENSE_SURVEY
+            .iter()
+            .find(|d| d.name == "Shadow Stack")
+            .unwrap();
         assert_eq!(shadow.instrumentation_points, "call/ret");
         assert!(shadow.vuln_write && !shadow.vuln_read);
         let cpi = DEFENSE_SURVEY.iter().find(|d| d.name == "CPI").unwrap();

@@ -251,7 +251,10 @@ mod tests {
         m2.space.poke(VirtAddr(PTR_SLOT), &stale);
         let out = m2.run();
         assert!(
-            matches!(out, memsentry_cpu::RunOutcome::Trapped(Trap::BadCodePointer { .. })),
+            matches!(
+                out,
+                memsentry_cpu::RunOutcome::Trapped(Trap::BadCodePointer { .. })
+            ),
             "stale leak must not decode to a valid target: {out:?}"
         );
     }

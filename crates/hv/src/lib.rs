@@ -68,11 +68,9 @@ impl DuneHypervisor {
         let pages = len.div_ceil(PAGE_SIZE).max(1);
         for i in 0..pages {
             let page = VirtAddr(va).page_base().0 + i * PAGE_SIZE;
-            let gpfn = space
-                .gpfn_of(VirtAddr(page))
-                .ok_or(Trap::VmError {
-                    reason: "mark_secret on unmapped page",
-                })?;
+            let gpfn = space.gpfn_of(VirtAddr(page)).ok_or(Trap::VmError {
+                reason: "mark_secret on unmapped page",
+            })?;
             let ept = space.ept_mut().ok_or(Trap::VmError {
                 reason: "mark_secret without EPT",
             })?;
@@ -284,10 +282,7 @@ mod tests {
             .map_region(VirtAddr(secret_va), PAGE_SIZE, PageFlags::rw());
         DuneSandbox::enter(&mut m);
         let out = m.run();
-        assert!(matches!(
-            out.expect_trap(),
-            Trap::Mmu(Fault::Ept(_))
-        ));
+        assert!(matches!(out.expect_trap(), Trap::Mmu(Fault::Ept(_))));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Intra-procedural control-flow graphs.
+//!
+//! The static checkers in `memsentry-check` reason about paths through a
+//! function: an address check only protects an access if it *dominates*
+//! it, and a domain window is only sound if it is closed on *every* path.
+//! [`Cfg::build`] discovers basic blocks from a [`Function`]'s linear
+//! instruction sequence — block leaders are the entry, every label
+//! (a potential branch target), and every instruction following a
+//! terminator — and records successor edges for the dataflow solver in
+//! [`crate::dataflow`].
+//!
+//! Calls (`call`, indirect calls, syscalls, allocator calls) do **not**
+//! terminate a block: control returns to the next instruction, and the
+//! checkers model their effects in their transfer functions instead.
+
+use crate::func::Function;
+use crate::inst::Inst;
+
+/// Index of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// A basic block: the half-open instruction range `start..end` within the
+/// function body, plus its successor blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction in the block.
+    pub start: usize,
+    /// One past the last instruction in the block.
+    pub end: usize,
+    /// Successor blocks (0, 1 or 2 entries).
+    pub succs: Vec<BlockId>,
+}
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks in source order; block 0 is the function entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    ///
+    /// Undefined branch targets (which [`crate::verify`] rejects) simply
+    /// produce no edge, so the graph is well-defined even for programs
+    /// that fail structural verification.
+    pub fn build(func: &Function) -> Self {
+        let n = func.body.len();
+        if n == 0 {
+            return Self { blocks: Vec::new() };
+        }
+        let labels = func.label_table();
+
+        // Leaders: entry, every label marker, every instruction after a
+        // terminator, and every branch target.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, node) in func.body.iter().enumerate() {
+            match node.inst {
+                Inst::Label(_) => leader[i] = true,
+                Inst::Jmp(l) => {
+                    if let Some(&t) = labels.get(&l) {
+                        leader[t as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Inst::JmpIf { target, .. } => {
+                    if let Some(&t) = labels.get(&target) {
+                        leader[t as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Inst::Ret | Inst::Halt if i + 1 < n => leader[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        // Carve the body into blocks and map instruction index -> block.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for i in 0..n {
+            if leader[i] {
+                blocks.push(BasicBlock {
+                    start: i,
+                    end: i,
+                    succs: Vec::new(),
+                });
+            }
+            let b = blocks.len() - 1;
+            block_of[i] = b;
+            blocks[b].end = i + 1;
+        }
+
+        // Successor edges from each block's final instruction.
+        for (b, block) in blocks.iter_mut().enumerate() {
+            let last = block.end - 1;
+            let mut succs = Vec::new();
+            match func.body[last].inst {
+                Inst::Jmp(l) => {
+                    if let Some(&t) = labels.get(&l) {
+                        succs.push(BlockId(block_of[t as usize]));
+                    }
+                }
+                Inst::JmpIf { target, .. } => {
+                    if let Some(&t) = labels.get(&target) {
+                        succs.push(BlockId(block_of[t as usize]));
+                    }
+                    if block.end < n {
+                        succs.push(BlockId(b + 1));
+                    }
+                }
+                Inst::Ret | Inst::Halt => {}
+                _ => {
+                    if block.end < n {
+                        succs.push(BlockId(b + 1));
+                    }
+                }
+            }
+            succs.dedup();
+            block.succs = succs;
+        }
+
+        Self { blocks }
+    }
+
+    /// The block containing instruction `index`, if any.
+    pub fn block_containing(&self, index: usize) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.start <= index && index < b.end)
+            .map(BlockId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        b.push(Inst::Nop);
+        b.push(Inst::Halt);
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        // if (rax != rbx) { rax = 1 } else { rax = 2 }; halt
+        let mut b = FunctionBuilder::new("f");
+        let then = b.new_label();
+        let done = b.new_label();
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: then,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 2,
+        });
+        b.push(Inst::Jmp(done));
+        b.bind(then);
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        b.bind(done);
+        b.push(Inst::Halt);
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.blocks.len(), 4);
+        // Entry branches to both the then-block and the fallthrough.
+        assert_eq!(cfg.blocks[0].succs, vec![BlockId(2), BlockId(1)]);
+        // Both arms merge at `done`.
+        assert_eq!(cfg.blocks[1].succs, vec![BlockId(3)]);
+        assert_eq!(cfg.blocks[2].succs, vec![BlockId(3)]);
+        assert!(cfg.blocks[3].succs.is_empty());
+    }
+
+    #[test]
+    fn back_edge_forms_a_loop() {
+        let mut b = FunctionBuilder::new("f");
+        let top = b.new_label();
+        b.bind(top);
+        b.push(Inst::AluImm {
+            op: crate::inst::AluOp::Sub,
+            dst: Reg::Rbx,
+            imm: 1,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rbx,
+            b: Reg::Rcx,
+            target: top,
+        });
+        b.push(Inst::Halt);
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.blocks.len(), 2);
+        assert!(cfg.blocks[0].succs.contains(&BlockId(0)), "back edge");
+        assert!(cfg.blocks[0].succs.contains(&BlockId(1)), "exit edge");
+    }
+
+    #[test]
+    fn calls_do_not_split_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Call(crate::func::FuncId(1)));
+        b.push(Inst::Syscall { nr: 0 });
+        b.push(Inst::Ret);
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.blocks.len(), 1);
+    }
+
+    #[test]
+    fn ret_mid_function_splits() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Ret);
+        b.push(Inst::Halt); // unreachable tail
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.blocks.len(), 2);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn empty_function_has_no_blocks() {
+        let cfg = Cfg::build(&crate::func::Function::new("e"));
+        assert!(cfg.blocks.is_empty());
+        assert_eq!(cfg.block_containing(0), None);
+    }
+
+    #[test]
+    fn block_containing_finds_the_owner() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Ret);
+        b.push(Inst::Halt);
+        let cfg = Cfg::build(&b.finish());
+        assert_eq!(cfg.block_containing(0), Some(BlockId(0)));
+        assert_eq!(cfg.block_containing(1), Some(BlockId(1)));
+        assert_eq!(cfg.block_containing(2), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! A small forward-dataflow solver over [`Cfg`]s.
+//!
+//! The checkers in `memsentry-check` are classic forward analyses: an
+//! abstract state flows from the function entry through every path, with
+//! per-instruction transfer functions and a join at merge points. This
+//! module provides the generic worklist fixpoint so each checker only
+//! supplies its lattice ([`JoinLattice`]) and transfer function.
+//!
+//! Unreachable blocks stay at bottom, represented as `None` in the result
+//! vector — the checkers skip them, matching the convention that dead
+//! code cannot leak the safe region.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A join-semilattice: abstract states that can be merged at CFG joins.
+///
+/// `join` must be commutative, associative and idempotent, and the
+/// lattice must have finite height for the fixpoint to terminate.
+pub trait JoinLattice: Clone + PartialEq {
+    /// The least upper bound of two states.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// Runs a forward worklist fixpoint over `cfg`.
+///
+/// `entry` is the abstract state on entry to block 0; `transfer` maps a
+/// block and its entry state to its exit state (applying the block's
+/// instructions in order). Returns the fixed entry state of every block,
+/// `None` for blocks unreachable from the entry.
+pub fn forward_fixpoint<S: JoinLattice>(
+    cfg: &Cfg,
+    entry: S,
+    mut transfer: impl FnMut(BlockId, &S) -> S,
+) -> Vec<Option<S>> {
+    let n = cfg.blocks.len();
+    let mut states: Vec<Option<S>> = vec![None; n];
+    if n == 0 {
+        return states;
+    }
+    states[0] = Some(entry);
+    let mut worklist = std::collections::VecDeque::from([BlockId(0)]);
+    let mut queued = vec![false; n];
+    queued[0] = true;
+
+    while let Some(block) = worklist.pop_front() {
+        queued[block.0] = false;
+        let in_state = states[block.0]
+            .clone()
+            .expect("worklist only holds reached blocks");
+        let out = transfer(block, &in_state);
+        for &succ in &cfg.blocks[block.0].succs {
+            let merged = match &states[succ.0] {
+                Some(old) => old.join(&out),
+                None => out.clone(),
+            };
+            if states[succ.0].as_ref() != Some(&merged) {
+                states[succ.0] = Some(merged);
+                if !queued[succ.0] {
+                    queued[succ.0] = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::inst::{Cond, Inst};
+    use crate::reg::Reg;
+
+    /// Three-point lattice used by the domain-window checker.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Tri {
+        A,
+        B,
+        Top,
+    }
+
+    impl JoinLattice for Tri {
+        fn join(&self, other: &Self) -> Self {
+            if self == other {
+                *self
+            } else {
+                Tri::Top
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_disagreeing_paths_goes_to_top() {
+        // Diamond: one arm produces A, the other B; the join sees Top.
+        let mut b = FunctionBuilder::new("f");
+        let then = b.new_label();
+        let done = b.new_label();
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: then,
+        });
+        b.push(Inst::Nop); // fallthrough arm -> B
+        b.push(Inst::Jmp(done));
+        b.bind(then); // then arm -> A
+        b.bind(done);
+        b.push(Inst::Halt);
+        let cfg = crate::cfg::Cfg::build(&b.finish());
+        let states = forward_fixpoint(&cfg, Tri::A, |block, s| {
+            // The fallthrough arm (block 1) flips the state to B.
+            if block.0 == 1 {
+                Tri::B
+            } else {
+                *s
+            }
+        });
+        let merge = cfg.block_containing(4).expect("merge block exists");
+        assert_eq!(states[merge.0], Some(Tri::Top));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_bottom() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Ret);
+        b.push(Inst::Halt); // dead
+        let cfg = crate::cfg::Cfg::build(&b.finish());
+        let states = forward_fixpoint(&cfg, Tri::A, |_, s| *s);
+        assert_eq!(states[0], Some(Tri::A));
+        assert_eq!(states[1], None);
+    }
+
+    #[test]
+    fn loop_reaches_a_fixpoint() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        struct Count(u8);
+        impl JoinLattice for Count {
+            fn join(&self, other: &Self) -> Self {
+                Count(self.0.max(other.0))
+            }
+        }
+        let mut b = FunctionBuilder::new("f");
+        let top = b.new_label();
+        b.bind(top);
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rbx,
+            b: Reg::Rcx,
+            target: top,
+        });
+        b.push(Inst::Halt);
+        let cfg = crate::cfg::Cfg::build(&b.finish());
+        // Saturating transfer: state climbs to the lattice top (3) and
+        // stops — the fixpoint terminates despite the back edge.
+        let states = forward_fixpoint(&cfg, Count(0), |_, s| Count((s.0 + 1).min(3)));
+        assert_eq!(states[0], Some(Count(3)));
+    }
+}

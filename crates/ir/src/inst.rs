@@ -294,10 +294,7 @@ impl Inst {
 
     /// Whether this instruction enters or leaves a function (`call`/`ret`).
     pub fn is_call_or_ret(&self) -> bool {
-        matches!(
-            self,
-            Inst::Call(_) | Inst::CallIndirect { .. } | Inst::Ret
-        )
+        matches!(self, Inst::Call(_) | Inst::CallIndirect { .. } | Inst::Ret)
     }
 
     /// Whether this is a system call.
@@ -386,14 +383,22 @@ mod tests {
 
     #[test]
     fn opcode_bytes_distinguish_instruction_classes() {
-        let a = Inst::MovImm { dst: Reg::Rax, imm: 0 }.opcode_byte();
+        let a = Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0,
+        }
+        .opcode_byte();
         let b = Inst::Ret.opcode_byte();
         let c = Inst::Halt.opcode_byte();
         assert_ne!(a, b);
         assert_ne!(b, c);
         // Same class, different operands: same opcode.
         assert_eq!(
-            Inst::MovImm { dst: Reg::Rbx, imm: 7 }.opcode_byte(),
+            Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 7
+            }
+            .opcode_byte(),
             a
         );
     }

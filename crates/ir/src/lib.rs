@@ -8,6 +8,8 @@
 //! representation for the simulated machine:
 //!
 //! * [`reg`] — the architectural register file names.
+//! * [`cfg`] / [`dataflow`] — basic-block discovery and a forward
+//!   worklist solver, the analysis substrate for `memsentry-check`.
 //! * [`inst`] — the instruction set, including the repurposed hardware
 //!   operations (`bndcu`/`bndcl`, `rdpkru`/`wrpkru`, `vmfunc`, `vmcall`,
 //!   AES region ops) that the instrumentation passes insert.
@@ -20,6 +22,8 @@
 //! instrumenting privileged accesses, domain-based passes wrap them with
 //! domain switches.
 
+pub mod cfg;
+pub mod dataflow;
 pub mod func;
 pub mod inst;
 pub mod parse;
@@ -27,6 +31,8 @@ pub mod print;
 pub mod reg;
 pub mod verify;
 
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use dataflow::{forward_fixpoint, JoinLattice};
 pub use func::{CodeAddr, FuncId, Function, FunctionBuilder, Program};
 pub use inst::{AluOp, Cond, Inst, InstNode, Label};
 pub use parse::{parse_program, ParseError};

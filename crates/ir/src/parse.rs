@@ -184,10 +184,9 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
                     target: parse_reg(reg, line)?,
                 })
             } else if let Some(f) = target.strip_prefix("fn") {
-                Ok(Inst::Call(FuncId(
-                    f.parse()
-                        .map_err(|e| err(line, format!("bad function '{target}': {e}")))?,
-                )))
+                Ok(Inst::Call(FuncId(f.parse().map_err(|e| {
+                    err(line, format!("bad function '{target}': {e}"))
+                })?)))
             } else if let Some(arg) = target
                 .strip_prefix("malloc(")
                 .and_then(|t| t.strip_suffix(')'))
@@ -310,10 +309,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             None => (false, body),
         };
         let inst = parse_inst(text, line_no)?;
-        func.body.push(InstNode {
-            inst,
-            privileged,
-        });
+        func.body.push(InstNode { inst, privileged });
     }
     if let Some(f) = current.take() {
         program.add_function(f);
@@ -324,8 +320,8 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::print::format_program;
     use crate::func::FunctionBuilder;
+    use crate::print::format_program;
 
     fn roundtrip(p: &Program) {
         let text = format_program(p);
@@ -338,31 +334,80 @@ mod tests {
         let mut p = Program::new();
         let mut b = FunctionBuilder::new("kitchen_sink");
         let l = b.new_label();
-        b.push(Inst::MovImm { dst: Reg::Rax, imm: 0xdead });
-        b.push(Inst::Mov { dst: Reg::Rbx, src: Reg::Rax });
-        b.push(Inst::Lea { dst: Reg::Rcx, base: Reg::Rbx, offset: -8 });
-        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rax, src: Reg::Rbx });
-        b.push(Inst::AluImm { op: AluOp::Xor, dst: Reg::Rax, imm: 0xff });
-        b.push(Inst::Load { dst: Reg::Rdx, addr: Reg::Rbx, offset: 16 });
-        b.push_privileged(Inst::Store { src: Reg::Rdx, addr: Reg::Rbx, offset: 0 });
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0xdead,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::Rbx,
+            src: Reg::Rax,
+        });
+        b.push(Inst::Lea {
+            dst: Reg::Rcx,
+            base: Reg::Rbx,
+            offset: -8,
+        });
+        b.push(Inst::AluReg {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: Reg::Rbx,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::Xor,
+            dst: Reg::Rax,
+            imm: 0xff,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rdx,
+            addr: Reg::Rbx,
+            offset: 16,
+        });
+        b.push_privileged(Inst::Store {
+            src: Reg::Rdx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
         b.bind(l);
-        b.push(Inst::JmpIf { cond: Cond::Ne, a: Reg::Rax, b: Reg::Rbx, target: l });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: l,
+        });
         b.push(Inst::Call(FuncId(1)));
         b.push(Inst::CallIndirect { target: Reg::R8 });
         b.push(Inst::Syscall { nr: 2 });
         b.push(Inst::Alloc { size: Reg::Rdi });
         b.push(Inst::Free { ptr: Reg::Rax });
-        b.push(Inst::BndMk { bnd: 0, lower: 0, upper: 0x3fff_ffff_ffff });
-        b.push(Inst::BndCu { bnd: 0, reg: Reg::Rcx });
-        b.push(Inst::BndCl { bnd: 1, reg: Reg::Rcx });
+        b.push(Inst::BndMk {
+            bnd: 0,
+            lower: 0,
+            upper: 0x3fff_ffff_ffff,
+        });
+        b.push(Inst::BndCu {
+            bnd: 0,
+            reg: Reg::Rcx,
+        });
+        b.push(Inst::BndCl {
+            bnd: 1,
+            reg: Reg::Rcx,
+        });
         b.push(Inst::RdPkru { dst: Reg::R9 });
         b.push(Inst::WrPkru { src: Reg::R9 });
         b.push(Inst::MFence);
         b.push(Inst::VmFunc { eptp: 1 });
         b.push(Inst::VmCall { nr: 0x100 });
         b.push(Inst::YmmToXmm { count: 11 });
-        b.push(Inst::AesRegion { base: Reg::R10, chunks: 4, decrypt: true });
-        b.push(Inst::AesRegion { base: Reg::R10, chunks: 4, decrypt: false });
+        b.push(Inst::AesRegion {
+            base: Reg::R10,
+            chunks: 4,
+            decrypt: true,
+        });
+        b.push(Inst::AesRegion {
+            base: Reg::R10,
+            chunks: 4,
+            decrypt: false,
+        });
         b.push(Inst::AesKeygen);
         b.push(Inst::AesImc);
         b.push(Inst::SgxEnter);
@@ -411,7 +456,11 @@ fn1 <rt> [privileged]:
     fn negative_displacements_roundtrip() {
         let mut p = Program::new();
         let mut b = FunctionBuilder::new("f");
-        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rsp, offset: -64 });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rsp,
+            offset: -64,
+        });
         b.push(Inst::Ret);
         p.add_function(b.finish());
         roundtrip(&p);

@@ -12,7 +12,9 @@ pub fn format_inst(inst: &Inst) -> String {
         Inst::MovImm { dst, imm } => format!("mov    {dst}, {imm:#x}"),
         Inst::Mov { dst, src } => format!("mov    {dst}, {src}"),
         Inst::Lea { dst, base, offset } => format!("lea    {dst}, [{base}{offset:+#x}]"),
-        Inst::AluReg { op, dst, src } => format!("{:<6} {dst}, {src}", format!("{op:?}").to_lowercase()),
+        Inst::AluReg { op, dst, src } => {
+            format!("{:<6} {dst}, {src}", format!("{op:?}").to_lowercase())
+        }
         Inst::AluImm { op, dst, imm } => {
             format!("{:<6} {dst}, {imm:#x}", format!("{op:?}").to_lowercase())
         }
@@ -21,7 +23,11 @@ pub fn format_inst(inst: &Inst) -> String {
         Inst::Label(l) => format!(".L{}:", l.0),
         Inst::Jmp(l) => format!("jmp    .L{}", l.0),
         Inst::JmpIf { cond, a, b, target } => {
-            format!("j{:<5} {a}, {b}, .L{}", format!("{cond:?}").to_lowercase(), target.0)
+            format!(
+                "j{:<5} {a}, {b}, .L{}",
+                format!("{cond:?}").to_lowercase(),
+                target.0
+            )
         }
         Inst::Call(f) => format!("call   fn{}", f.0),
         Inst::CallIndirect { target } => format!("call   *{target}"),

@@ -70,10 +70,18 @@ impl core::fmt::Display for VerifyError {
                 write!(f, "function {}: label {} never bound", func.0, label.0)
             }
             VerifyError::BadCallTarget { func, callee } => {
-                write!(f, "function {}: call to missing function {}", func.0, callee.0)
+                write!(
+                    f,
+                    "function {}: call to missing function {}",
+                    func.0, callee.0
+                )
             }
             VerifyError::BadBndRegister { func, bnd } => {
-                write!(f, "function {}: bound register {} out of range", func.0, bnd)
+                write!(
+                    f,
+                    "function {}: bound register {} out of range",
+                    func.0, bnd
+                )
             }
             VerifyError::FunctionTooLarge { func } => {
                 write!(f, "function {} exceeds encodable size", func.0)
@@ -104,29 +112,34 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
         let mut used: HashSet<Label> = HashSet::new();
         for node in &func.body {
             match node.inst {
-                Inst::Label(l)
-                    if !bound.insert(l) => {
-                        return Err(VerifyError::DuplicateLabel { func: fid, label: l });
-                    }
+                Inst::Label(l) if !bound.insert(l) => {
+                    return Err(VerifyError::DuplicateLabel {
+                        func: fid,
+                        label: l,
+                    });
+                }
                 Inst::Jmp(l) => {
                     used.insert(l);
                 }
                 Inst::JmpIf { target, .. } => {
                     used.insert(target);
                 }
-                Inst::Call(callee)
-                    if callee.0 as usize >= program.functions.len() => {
-                        return Err(VerifyError::BadCallTarget { func: fid, callee });
-                    }
+                Inst::Call(callee) if callee.0 as usize >= program.functions.len() => {
+                    return Err(VerifyError::BadCallTarget { func: fid, callee });
+                }
                 Inst::BndMk { bnd, .. } | Inst::BndCu { bnd, .. } | Inst::BndCl { bnd, .. }
-                    if bnd > 3 => {
-                        return Err(VerifyError::BadBndRegister { func: fid, bnd });
-                    }
+                    if bnd > 3 =>
+                {
+                    return Err(VerifyError::BadBndRegister { func: fid, bnd });
+                }
                 _ => {}
             }
         }
         if let Some(l) = used.difference(&bound).next() {
-            return Err(VerifyError::UndefinedLabel { func: fid, label: *l });
+            return Err(VerifyError::UndefinedLabel {
+                func: fid,
+                label: *l,
+            });
         }
         let terminated = matches!(
             func.body.last().map(|n| n.inst),
@@ -180,7 +193,10 @@ mod tests {
         p.add_function(b.finish());
         assert!(matches!(
             verify(&p),
-            Err(VerifyError::UndefinedLabel { label: Label(9), .. })
+            Err(VerifyError::UndefinedLabel {
+                label: Label(9),
+                ..
+            })
         ));
     }
 
@@ -207,7 +223,10 @@ mod tests {
         p.add_function(b.finish());
         assert!(matches!(
             verify(&p),
-            Err(VerifyError::BadCallTarget { callee: FuncId(7), .. })
+            Err(VerifyError::BadCallTarget {
+                callee: FuncId(7),
+                ..
+            })
         ));
     }
 

@@ -303,7 +303,8 @@ impl AddressSpace {
     /// mapping secret" hypercall argument into an EPT frame.
     pub fn gpfn_of(&mut self, va: VirtAddr) -> Option<u64> {
         let pt = self.pt();
-        pt.translate(&mut self.pm, va.page_base()).map(|pa| pa.pfn())
+        pt.translate(&mut self.pm, va.page_base())
+            .map(|pa| pa.pfn())
     }
 
     /// Kernel-side (unchecked) write, used to initialize memory contents.
@@ -334,7 +335,11 @@ impl AddressSpace {
 
     // --- user-side checked access ------------------------------------------
 
-    fn check_page(&mut self, va: VirtAddr, access: Access) -> Result<(PhysAddr, AccessInfo), Fault> {
+    fn check_page(
+        &mut self,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<(PhysAddr, AccessInfo), Fault> {
         if !va.is_canonical_user() {
             return Err(Fault::NonCanonical { addr: va });
         }
@@ -436,11 +441,7 @@ impl AddressSpace {
             let (pa, mut info) = self.check_page(cur, kind)?;
             info.hit_level = self.cache.access(pa.0);
             first_info.get_or_insert(info);
-            touch(
-                &mut self.pm,
-                pa,
-                done as usize..(done + in_page) as usize,
-            );
+            touch(&mut self.pm, pa, done as usize..(done + in_page) as usize);
             done += in_page;
         }
         Ok(first_info.unwrap_or(AccessInfo {
@@ -487,7 +488,13 @@ mod tests {
     fn write_to_readonly_faults() {
         let mut s = space_with_page(0x1000, PageFlags::ro());
         let err = s.write(VirtAddr(0x1000), b"x").unwrap_err();
-        assert!(matches!(err, Fault::Protection { access: Access::Write, .. }));
+        assert!(matches!(
+            err,
+            Fault::Protection {
+                access: Access::Write,
+                ..
+            }
+        ));
         // Reads still work.
         let mut b = [0u8; 1];
         s.read(VirtAddr(0x1000), &mut b).unwrap();
@@ -512,7 +519,10 @@ mod tests {
         let mut s = space_with_page(0x2000, PageFlags::rw());
         assert!(matches!(
             s.check_fetch(VirtAddr(0x2000)),
-            Err(Fault::Protection { access: Access::Fetch, .. })
+            Err(Fault::Protection {
+                access: Access::Fetch,
+                ..
+            })
         ));
         let mut s = space_with_page(0x2000, PageFlags::rx());
         s.check_fetch(VirtAddr(0x2000)).unwrap();
@@ -537,7 +547,14 @@ mod tests {
         s.pkru.set_write_disable(2, true);
         s.read_u64(VirtAddr(0x3000)).unwrap();
         let err = s.write_u64(VirtAddr(0x3000), 1).unwrap_err();
-        assert!(matches!(err, Fault::PkeyDenied { key: 2, access: Access::Write, .. }));
+        assert!(matches!(
+            err,
+            Fault::PkeyDenied {
+                key: 2,
+                access: Access::Write,
+                ..
+            }
+        ));
     }
 
     #[test]

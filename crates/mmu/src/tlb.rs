@@ -125,7 +125,14 @@ mod tests {
         assert!(tlb.lookup(0, 42).is_none());
         tlb.insert(0, 42, pte());
         assert_eq!(tlb.lookup(0, 42), Some(pte()));
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1, flushes: 0 });
+        assert_eq!(
+            tlb.stats(),
+            TlbStats {
+                hits: 1,
+                misses: 1,
+                flushes: 0
+            }
+        );
     }
 
     #[test]

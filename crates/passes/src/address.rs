@@ -15,7 +15,7 @@
 use memsentry_ir::{AluOp, Inst, InstNode, Program, Reg};
 use memsentry_mmu::addr::{SENSITIVE_BASE, SFI_MASK};
 
-use crate::manager::Pass;
+use crate::manager::{Pass, PassFailure};
 
 /// Which accesses to instrument (the paper's `-r`, `-w`, `-rw` modes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +79,7 @@ pub const ISBOXING_MASK: u64 = 0xffff_ffff;
 /// b.push(Inst::Halt);
 /// p.add_function(b.finish());
 ///
-/// AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+/// AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p).unwrap();
 /// // The store is now guarded: bndmk (entry), lea, bndcu, store.
 /// assert!(p.functions[0]
 ///     .body
@@ -100,42 +100,53 @@ impl AddressBasedPass {
         Self { kind, mode }
     }
 
-    fn scratch_reg(avoid: &[Reg]) -> Reg {
+    fn scratch_reg(avoid: &[Reg], func: &str, index: usize) -> Result<Reg, PassFailure> {
         let pool = [Reg::R11, Reg::R10, Reg::R9];
-        *pool
-            .iter()
+        pool.iter()
             .find(|r| !avoid.contains(r))
-            .expect("scratch register")
+            .copied()
+            .ok_or_else(|| PassFailure::NoScratchRegister {
+                func: func.to_string(),
+                index,
+                avoid: avoid.to_vec(),
+            })
     }
 
-    fn rewrite(&self, out: &mut Vec<InstNode>, node: InstNode) {
+    fn rewrite(
+        &self,
+        out: &mut Vec<InstNode>,
+        node: InstNode,
+        func: &str,
+        index: usize,
+    ) -> Result<(), PassFailure> {
         match node.inst {
-            Inst::Load { dst, addr, offset }
-                if self.mode.loads && !node.privileged =>
-            {
-                let s1 = Self::scratch_reg(&[addr]);
+            Inst::Load { dst, addr, offset } if self.mode.loads && !node.privileged => {
+                let s1 = Self::scratch_reg(&[addr], func, index)?;
                 self.emit_check(out, addr, offset, s1);
-                out.push(Inst::Load {
-                    dst,
-                    addr: s1,
-                    offset: 0,
-                }
-                .into());
+                out.push(
+                    Inst::Load {
+                        dst,
+                        addr: s1,
+                        offset: 0,
+                    }
+                    .into(),
+                );
             }
-            Inst::Store { src, addr, offset }
-                if self.mode.stores && !node.privileged =>
-            {
-                let s1 = Self::scratch_reg(&[addr, src]);
+            Inst::Store { src, addr, offset } if self.mode.stores && !node.privileged => {
+                let s1 = Self::scratch_reg(&[addr, src], func, index)?;
                 self.emit_check(out, addr, offset, s1);
-                out.push(Inst::Store {
-                    src,
-                    addr: s1,
-                    offset: 0,
-                }
-                .into());
+                out.push(
+                    Inst::Store {
+                        src,
+                        addr: s1,
+                        offset: 0,
+                    }
+                    .into(),
+                );
             }
             _ => out.push(node),
         }
+        Ok(())
     }
 
     fn emit_check(&self, out: &mut Vec<InstNode>, addr: Reg, offset: i64, s1: Reg) {
@@ -192,15 +203,15 @@ impl Pass for AddressBasedPass {
         }
     }
 
-    fn run(&self, program: &mut Program) {
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
         for func in &mut program.functions {
             if func.privileged {
                 continue;
             }
             let old = std::mem::take(&mut func.body);
             let mut new = Vec::with_capacity(old.len() * 2);
-            for node in old {
-                self.rewrite(&mut new, node);
+            for (index, node) in old.into_iter().enumerate() {
+                self.rewrite(&mut new, node, &func.name, index)?;
             }
             func.body = new;
         }
@@ -218,6 +229,7 @@ impl Pass for AddressBasedPass {
                 .into(),
             );
         }
+        Ok(())
     }
 }
 
@@ -272,7 +284,9 @@ mod tests {
     #[test]
     fn mpx_preserves_benign_semantics() {
         let mut p = sample_program(0x10_0000, false);
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, 0x10_0000).expect_exit(), 11);
     }
@@ -280,7 +294,9 @@ mod tests {
     #[test]
     fn sfi_preserves_benign_semantics() {
         let mut p = sample_program(0x10_0000, false);
-        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, 0x10_0000).expect_exit(), 11);
     }
@@ -288,7 +304,9 @@ mod tests {
     #[test]
     fn mpx_faults_on_sensitive_pointer() {
         let mut p = sample_program(SENSITIVE_BASE, false);
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         let out = run(p, SENSITIVE_BASE);
         assert!(matches!(out.expect_trap(), Trap::BoundRange { .. }));
     }
@@ -299,7 +317,9 @@ mod tests {
         // boundary (paper §3.2). Map both the sensitive page and its
         // masked alias; the value must land at the alias.
         let mut p = sample_program(SENSITIVE_BASE, false);
-        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::WRITES).run(&mut p);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::WRITES)
+            .run(&mut p)
+            .unwrap();
         let mut m = Machine::new(p);
         m.space
             .map_region(VirtAddr(SENSITIVE_BASE), PAGE_SIZE, PageFlags::rw());
@@ -309,14 +329,19 @@ mod tests {
         // was never written: it returns 0, not 11.
         assert_eq!(m.run().expect_exit(), 0);
         let mut buf = [0u8; 8];
-        m.space.peek(VirtAddr(alias), &mut buf).then_some(()).unwrap();
+        m.space
+            .peek(VirtAddr(alias), &mut buf)
+            .then_some(())
+            .unwrap();
         assert_eq!(u64::from_le_bytes(buf), 11, "store redirected to alias");
     }
 
     #[test]
     fn privileged_accesses_are_not_instrumented() {
         let mut p = sample_program(SENSITIVE_BASE, true);
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         assert_eq!(run(p, SENSITIVE_BASE).expect_exit(), 11);
     }
 
@@ -332,7 +357,9 @@ mod tests {
         b.push(Inst::Ret);
         p.add_function(b.privileged().finish());
         let before = p.functions[0].body.len();
-        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         assert_eq!(p.functions[0].body.len(), before);
     }
 
@@ -340,7 +367,9 @@ mod tests {
     fn reads_mode_leaves_stores_alone() {
         let mut p = sample_program(0x10_0000, false);
         let before_stores = count_insts(&p, |i| i.is_store());
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READS).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READS)
+            .run(&mut p)
+            .unwrap();
         let checks = count_insts(&p, |i| matches!(i, Inst::BndCu { .. }));
         assert_eq!(checks, 1, "only the load is checked");
         assert_eq!(count_insts(&p, |i| i.is_store()), before_stores);
@@ -349,10 +378,16 @@ mod tests {
     #[test]
     fn mpx_prepends_exactly_one_bndmk() {
         let mut p = sample_program(0x10_0000, false);
-        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES).run(&mut p);
+        AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::WRITES)
+            .run(&mut p)
+            .unwrap();
         assert!(matches!(
             p.functions[0].body[0].inst,
-            Inst::BndMk { bnd: 0, lower: 0, .. }
+            Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                ..
+            }
         ));
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndMk { .. })), 1);
     }
@@ -382,7 +417,9 @@ mod tests {
         });
         b.push(Inst::Halt);
         p.add_function(b.finish());
-        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         assert_eq!(run(p, 0x10_0000).expect_exit(), 23);
     }
@@ -390,7 +427,9 @@ mod tests {
     #[test]
     fn mpx_dual_emits_both_checks_and_preserves_semantics() {
         let mut p = sample_program(0x10_0000, false);
-        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndCl { .. })), 2);
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::BndCu { .. })), 2);
@@ -400,7 +439,9 @@ mod tests {
     #[test]
     fn mpx_dual_faults_on_sensitive_pointer() {
         let mut p = sample_program(SENSITIVE_BASE, false);
-        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         let out = run(p, SENSITIVE_BASE);
         assert!(matches!(out.expect_trap(), Trap::BoundRange { .. }));
     }
@@ -409,7 +450,9 @@ mod tests {
     fn isboxing_confines_accesses_below_4gib() {
         // The safe region (anywhere above 4 GiB) is unreachable...
         let mut p = sample_program(0x2_0000_0000, false);
-        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         let mut m = Machine::new(p);
         m.space
@@ -435,7 +478,9 @@ mod tests {
         });
         b.push(Inst::Halt);
         p.add_function(b.finish());
-        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE).run(&mut p);
+        AddressBasedPass::new(AddressKind::IsBoxing, InstrumentMode::READ_WRITE)
+            .run(&mut p)
+            .unwrap();
         let mut m = Machine::new(p);
         assert!(m.run().expect_trap().to_string().contains("memory fault"));
     }

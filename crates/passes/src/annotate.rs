@@ -13,7 +13,7 @@
 
 use memsentry_ir::{Inst, Program};
 
-use crate::manager::Pass;
+use crate::manager::{Pass, PassFailure};
 
 /// Marks all functions with a given name prefix as privileged.
 #[derive(Debug, Clone)]
@@ -36,7 +36,7 @@ impl Pass for AnnotateLibraryPass {
         "annotate-library"
     }
 
-    fn run(&self, program: &mut Program) {
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
         for func in &mut program.functions {
             if func.name.starts_with(&self.prefix) {
                 func.privileged = true;
@@ -58,6 +58,7 @@ impl Pass for AnnotateLibraryPass {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -115,7 +116,7 @@ mod tests {
     #[test]
     fn prefix_functions_become_privileged() {
         let mut p = program(0);
-        AnnotateLibraryPass::new("rt_").run(&mut p);
+        AnnotateLibraryPass::new("rt_").run(&mut p).unwrap();
         assert!(!p.functions[0].privileged);
         assert!(p.functions[1].privileged);
         assert!(p.functions[2].privileged);
@@ -131,9 +132,10 @@ mod tests {
         // privileged runtime bodies with MPK switches.
         let region = SafeRegionLayout::sensitive(64);
         let mut p = program(region.base);
-        AnnotateLibraryPass::new("rt_").run(&mut p);
+        AnnotateLibraryPass::new("rt_").run(&mut p).unwrap();
         DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
-            .run(&mut p);
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         let mut m = Machine::new(p);
         m.space.map_region(
@@ -156,7 +158,8 @@ mod tests {
         let mut p = program(region.base);
         // No annotation pass: the runtime accesses stay unprivileged.
         DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
-            .run(&mut p);
+            .run(&mut p)
+            .unwrap();
         let mut m = Machine::new(p);
         m.space.map_region(
             memsentry_mmu::VirtAddr(region.base),

@@ -13,7 +13,7 @@
 
 use memsentry_ir::{Inst, InstNode, Program};
 
-use crate::manager::Pass;
+use crate::manager::{Pass, PassFailure};
 use crate::sequences::DomainSequences;
 
 /// Which instructions are instrumentation points.
@@ -65,7 +65,7 @@ impl Pass for DomainSwitchPass {
         "domain-switch"
     }
 
-    fn run(&self, program: &mut Program) {
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
         let wrap_around = self.points == SwitchPoints::Privileged;
         for func in &mut program.functions {
             // Privileged (runtime) functions already run with the domain
@@ -109,6 +109,7 @@ impl Pass for DomainSwitchPass {
             }
             func.body = new;
         }
+        Ok(())
     }
 }
 
@@ -148,13 +149,12 @@ mod tests {
     fn callret_mode_wraps_calls_and_rets() {
         let mut p = call_heavy_program();
         let layout = SafeRegionLayout::sensitive(64);
-        DomainSwitchPass::new(SwitchPoints::CallRet, DomainSequences::mpk(&layout)).run(&mut p);
+        DomainSwitchPass::new(SwitchPoints::CallRet, DomainSequences::mpk(&layout))
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
         // 2 calls + 1 ret = 3 switch points, each open+close = 2 wrpkru.
-        assert_eq!(
-            count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })),
-            6
-        );
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 6);
         // Program still runs.
         let mut m = Machine::new(p);
         m.run().expect_exit();
@@ -166,7 +166,8 @@ mod tests {
         let mut p = call_heavy_program();
         let layout = SafeRegionLayout::sensitive(64);
         DomainSwitchPass::new(SwitchPoints::CallRet, DomainSequences::vmfunc(&layout))
-            .run(&mut p);
+            .run(&mut p)
+            .unwrap();
         // Without the Dune sandbox, vmfunc traps: deterministic failure,
         // not silent no-op.
         let mut m = Machine::new(p);
@@ -199,7 +200,8 @@ mod tests {
         b.push(Inst::Halt);
         p.add_function(b.finish());
         DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
-            .run(&mut p);
+            .run(&mut p)
+            .unwrap();
         verify(&p).unwrap();
 
         let mut m = Machine::new(p);
@@ -232,7 +234,8 @@ mod tests {
         b.push(Inst::Halt);
         p.add_function(b.finish());
         DomainSwitchPass::new(SwitchPoints::Privileged, DomainSequences::mpk(&region))
-            .run(&mut p);
+            .run(&mut p)
+            .unwrap();
         let mut m = Machine::new(p);
         m.space
             .map_region(VirtAddr(region.base), PAGE_SIZE, PageFlags::rw());
@@ -254,7 +257,9 @@ mod tests {
         b.push(Inst::Halt);
         p.add_function(b.finish());
         let layout = SafeRegionLayout::sensitive(64);
-        DomainSwitchPass::new(SwitchPoints::Syscall, DomainSequences::mpk(&layout)).run(&mut p);
+        DomainSwitchPass::new(SwitchPoints::Syscall, DomainSequences::mpk(&layout))
+            .run(&mut p)
+            .unwrap();
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 2);
     }
 
@@ -271,11 +276,9 @@ mod tests {
         b.push(Inst::Halt);
         p.add_function(b.finish());
         let layout = SafeRegionLayout::sensitive(64);
-        DomainSwitchPass::new(
-            SwitchPoints::AllocatorCall,
-            DomainSequences::mpk(&layout),
-        )
-        .run(&mut p);
+        DomainSwitchPass::new(SwitchPoints::AllocatorCall, DomainSequences::mpk(&layout))
+            .run(&mut p)
+            .unwrap();
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 4);
     }
 
@@ -283,11 +286,9 @@ mod tests {
     fn indirect_mode_skips_direct_calls() {
         let mut p = call_heavy_program();
         let layout = SafeRegionLayout::sensitive(64);
-        DomainSwitchPass::new(
-            SwitchPoints::IndirectBranch,
-            DomainSequences::mpk(&layout),
-        )
-        .run(&mut p);
+        DomainSwitchPass::new(SwitchPoints::IndirectBranch, DomainSequences::mpk(&layout))
+            .run(&mut p)
+            .unwrap();
         assert_eq!(count_insts(&p, |i| matches!(i, Inst::WrPkru { .. })), 0);
     }
 }

@@ -33,7 +33,10 @@ impl SafeRegionLayout {
     /// Panics if the length is not a multiple of 16; the safe-region
     /// allocator always rounds lengths up.
     pub fn chunks(&self) -> u32 {
-        assert!(self.len.is_multiple_of(16), "safe region length must be 16-aligned");
+        assert!(
+            self.len.is_multiple_of(16),
+            "safe region length must be 16-aligned"
+        );
         (self.len / 16) as u32
     }
 

@@ -21,7 +21,8 @@
 //!   PIN-like) points-to analyses for protecting arbitrary program data
 //!   (paper §5.5).
 //! * [`manager`] — a pass manager that re-verifies the program after every
-//!   pass.
+//!   pass, and can run the `memsentry-check` isolation soundness analysis
+//!   on the pipeline's final output ([`PassManager::with_check`]).
 
 pub mod address;
 pub mod annotate;
@@ -35,6 +36,6 @@ pub use address::{AddressBasedPass, AddressKind, InstrumentMode};
 pub use annotate::AnnotateLibraryPass;
 pub use domain::{DomainSwitchPass, SwitchPoints};
 pub use layout::SafeRegionLayout;
-pub use manager::{Pass, PassError, PassManager};
+pub use manager::{Pass, PassError, PassErrorKind, PassFailure, PassManager, CHECK_STAGE};
 pub use pointsto::{DynamicPointsTo, StaticPointsTo};
 pub use sequences::DomainSequences;

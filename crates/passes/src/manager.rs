@@ -2,30 +2,96 @@
 //!
 //! Runs a pipeline of passes over a program, re-verifying structural
 //! invariants after each one so a broken transformation is reported with
-//! the name of the pass that produced it.
+//! the name of the pass that produced it. With [`PassManager::with_check`]
+//! the pipeline additionally runs the `memsentry-check` isolation
+//! soundness analysis on the final program, turning "the instrumentation
+//! claims to protect the region" into a machine-checked post-condition.
 
-use memsentry_ir::{verify, Program, VerifyError};
+use memsentry_check::{check_program, CheckPolicy, CheckReport};
+use memsentry_ir::{verify, Program, Reg, VerifyError};
+
+/// Name under which post-pipeline checker findings are attributed.
+pub const CHECK_STAGE: &str = "isolation-check";
+
+/// A failure inside a pass's own transformation logic (as opposed to the
+/// structural verifier catching its output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassFailure {
+    /// The instrumentation needed a scratch register but every candidate
+    /// in the pool is reserved by the instruction being rewritten.
+    NoScratchRegister {
+        /// The function being instrumented.
+        func: String,
+        /// Index of the instruction that could not be rewritten.
+        index: usize,
+        /// The registers that had to be avoided.
+        avoid: Vec<Reg>,
+    },
+    /// The pass does not apply to the given configuration.
+    Unsupported {
+        /// Why the pass cannot run.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for PassFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PassFailure::NoScratchRegister { func, index, avoid } => write!(
+                f,
+                "no scratch register free in <{func}> at instruction {index} (avoiding {avoid:?})"
+            ),
+            PassFailure::Unsupported { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PassFailure {}
 
 /// A program transformation.
 pub trait Pass {
     /// Human-readable pass name.
     fn name(&self) -> &'static str;
     /// Transforms the program in place.
-    fn run(&self, program: &mut Program);
+    fn run(&self, program: &mut Program) -> Result<(), PassFailure>;
 }
 
-/// A verification failure attributed to the pass that caused it.
+/// What went wrong in a pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassErrorKind {
+    /// The structural verifier rejected the stage's output (or the
+    /// pipeline's input, attributed to [`PassError::pass`] `"<input>"`).
+    Verify(VerifyError),
+    /// The pass itself reported a typed failure.
+    Failed(PassFailure),
+    /// The post-pipeline isolation checker found violations.
+    Check(CheckReport),
+}
+
+impl core::fmt::Display for PassErrorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PassErrorKind::Verify(e) => write!(f, "broke the program: {e}"),
+            PassErrorKind::Failed(e) => write!(f, "failed: {e}"),
+            PassErrorKind::Check(report) => {
+                write!(f, "left unsound instrumentation:\n{report}")
+            }
+        }
+    }
+}
+
+/// A pipeline failure attributed to the stage that caused it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PassError {
-    /// The offending pass.
+    /// The offending pass (or [`CHECK_STAGE`] / `"<input>"`).
     pub pass: &'static str,
-    /// What the verifier found.
-    pub error: VerifyError,
+    /// What the stage reported.
+    pub kind: PassErrorKind,
 }
 
 impl core::fmt::Display for PassError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "pass '{}' broke the program: {}", self.pass, self.error)
+        write!(f, "pass '{}' {}", self.pass, self.kind)
     }
 }
 
@@ -35,6 +101,7 @@ impl std::error::Error for PassError {}
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
+    check: Option<CheckPolicy>,
 }
 
 impl PassManager {
@@ -49,18 +116,39 @@ impl PassManager {
         self
     }
 
-    /// Runs the pipeline, verifying after every pass (and once up front).
+    /// Enables the post-pipeline isolation soundness check. Findings are
+    /// reported as a [`PassErrorKind::Check`] attributed to
+    /// [`CHECK_STAGE`].
+    pub fn with_check(&mut self, policy: CheckPolicy) -> &mut Self {
+        self.check = Some(policy);
+        self
+    }
+
+    /// Runs the pipeline, verifying after every pass (and once up front),
+    /// then running the isolation checker if enabled.
     pub fn run(&self, program: &mut Program) -> Result<(), PassError> {
         verify(program).map_err(|error| PassError {
             pass: "<input>",
-            error,
+            kind: PassErrorKind::Verify(error),
         })?;
         for pass in &self.passes {
-            pass.run(program);
+            pass.run(program).map_err(|failure| PassError {
+                pass: pass.name(),
+                kind: PassErrorKind::Failed(failure),
+            })?;
             verify(program).map_err(|error| PassError {
                 pass: pass.name(),
-                error,
+                kind: PassErrorKind::Verify(error),
             })?;
+        }
+        if let Some(policy) = &self.check {
+            let report = check_program(program, policy);
+            if !report.is_clean() {
+                return Err(PassError {
+                    pass: CHECK_STAGE,
+                    kind: PassErrorKind::Check(report),
+                });
+            }
         }
         Ok(())
     }
@@ -69,6 +157,7 @@ impl PassManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memsentry_check::FindingKind;
     use memsentry_ir::{FunctionBuilder, Inst};
 
     struct AppendNop;
@@ -76,10 +165,11 @@ mod tests {
         fn name(&self) -> &'static str {
             "append-nop"
         }
-        fn run(&self, program: &mut Program) {
+        fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
             for f in &mut program.functions {
                 f.body.insert(0, Inst::Nop.into());
             }
+            Ok(())
         }
     }
 
@@ -88,10 +178,41 @@ mod tests {
         fn name(&self) -> &'static str {
             "truncate"
         }
-        fn run(&self, program: &mut Program) {
+        fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
             for f in &mut program.functions {
                 f.body.pop();
             }
+            Ok(())
+        }
+    }
+
+    struct StrayGadget;
+    impl Pass for StrayGadget {
+        fn name(&self) -> &'static str {
+            "stray-gadget"
+        }
+        fn run(&self, program: &mut Program) -> Result<(), PassFailure> {
+            let f = &mut program.functions[0];
+            f.body.insert(
+                0,
+                Inst::WrPkru {
+                    src: memsentry_ir::Reg::Rax,
+                }
+                .into(),
+            );
+            Ok(())
+        }
+    }
+
+    struct GiveUp;
+    impl Pass for GiveUp {
+        fn name(&self) -> &'static str {
+            "give-up"
+        }
+        fn run(&self, _program: &mut Program) -> Result<(), PassFailure> {
+            Err(PassFailure::Unsupported {
+                reason: "not today".into(),
+            })
         }
     }
 
@@ -119,6 +240,7 @@ mod tests {
         let mut p = program();
         let err = pm.run(&mut p).unwrap_err();
         assert_eq!(err.pass, "truncate");
+        assert!(matches!(err.kind, PassErrorKind::Verify(_)));
     }
 
     #[test]
@@ -128,5 +250,41 @@ mod tests {
         let mut p = Program::new();
         let err = pm.run(&mut p).unwrap_err();
         assert_eq!(err.pass, "<input>");
+    }
+
+    #[test]
+    fn failing_pass_surfaces_its_typed_error() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(GiveUp));
+        let mut p = program();
+        let err = pm.run(&mut p).unwrap_err();
+        assert_eq!(err.pass, "give-up");
+        assert!(matches!(
+            err.kind,
+            PassErrorKind::Failed(PassFailure::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn check_stage_flags_unsound_output() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(StrayGadget))
+            .with_check(CheckPolicy::universal());
+        let mut p = program();
+        let err = pm.run(&mut p).unwrap_err();
+        assert_eq!(err.pass, CHECK_STAGE);
+        let PassErrorKind::Check(report) = err.kind else {
+            panic!("expected check findings, got {:?}", err.kind);
+        };
+        assert_eq!(report.findings[0].kind, FindingKind::StrayDomainSwitch);
+    }
+
+    #[test]
+    fn check_stage_passes_clean_pipelines() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AppendNop))
+            .with_check(CheckPolicy::universal());
+        let mut p = program();
+        pm.run(&mut p).unwrap();
     }
 }

@@ -43,22 +43,18 @@ impl StaticPointsTo {
                 let before = tainted.len();
                 for node in &func.body {
                     match node.inst {
-                        Inst::MovImm { dst, imm }
-                            if self.layout.contains(imm) => {
-                                tainted.insert(dst);
-                            }
-                        Inst::Mov { dst, src }
-                            if tainted.contains(&src) => {
-                                tainted.insert(dst);
-                            }
-                        Inst::Lea { dst, base, .. }
-                            if tainted.contains(&base) => {
-                                tainted.insert(dst);
-                            }
-                        Inst::AluReg { dst, src, .. }
-                            if tainted.contains(&src) => {
-                                tainted.insert(dst);
-                            }
+                        Inst::MovImm { dst, imm } if self.layout.contains(imm) => {
+                            tainted.insert(dst);
+                        }
+                        Inst::Mov { dst, src } if tainted.contains(&src) => {
+                            tainted.insert(dst);
+                        }
+                        Inst::Lea { dst, base, .. } if tainted.contains(&base) => {
+                            tainted.insert(dst);
+                        }
+                        Inst::AluReg { dst, src, .. } if tainted.contains(&src) => {
+                            tainted.insert(dst);
+                        }
                         // The conservative heart of DSA-likeness: any value
                         // loaded from memory may be a pointer to the region.
                         Inst::Load { dst, .. } => {

@@ -119,12 +119,9 @@ impl Workload {
             slots.push(Slot::Filler(i));
         }
         // Deterministic per-benchmark interleaving.
-        let seed = p
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-            });
+        let seed = p.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
         slots.shuffle(&mut StdRng::seed_from_u64(seed));
 
         // ~90% of accesses hit a hot 4 KiB window (L1-resident, like real
@@ -408,7 +405,7 @@ mod tests {
             "stores/k {stores} vs {}",
             p.stores_pk
         );
-        let pairs = per_k(s.calls.min(s.rets)) ;
+        let pairs = per_k(s.calls.min(s.rets));
         // Block + leaf calls: block itself is one call per superblock.
         assert!(
             pairs > p.callret_pk * 0.7 && pairs < p.callret_pk * 1.6,

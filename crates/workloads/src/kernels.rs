@@ -81,51 +81,161 @@ pub fn sort_kernel(n: u64, seed: u64) -> Kernel {
     let done = b.new_label();
 
     // r12 = base, rbx = i (element index), rcx = n.
-    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 1 });
-    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
+    b.push(Inst::MovImm {
+        dst: Reg::R12,
+        imm: KERNEL_DATA,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 1,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: n,
+    });
     b.bind(outer);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: done });
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rbx,
+        b: Reg::Rcx,
+        target: done,
+    });
     // r8 = &a[i]; rax = key.
-    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
-    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    b.push(Inst::Mov {
+        dst: Reg::R8,
+        src: Reg::Rbx,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R8,
+        imm: 3,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Reg::R12,
+    });
+    b.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::R8,
+        offset: 0,
+    });
     // r9 walks left from &a[i].
-    b.push(Inst::Mov { dst: Reg::R9, src: Reg::R8 });
+    b.push(Inst::Mov {
+        dst: Reg::R9,
+        src: Reg::R8,
+    });
     b.bind(inner);
-    b.push(Inst::JmpIf { cond: Cond::Le, a: Reg::R9, b: Reg::R12, target: place });
-    b.push(Inst::Load { dst: Reg::R10, addr: Reg::R9, offset: -8 });
-    b.push(Inst::JmpIf { cond: Cond::Le, a: Reg::R10, b: Reg::Rax, target: place });
-    b.push(Inst::Store { src: Reg::R10, addr: Reg::R9, offset: 0 });
-    b.push(Inst::AluImm { op: AluOp::Sub, dst: Reg::R9, imm: 8 });
+    b.push(Inst::JmpIf {
+        cond: Cond::Le,
+        a: Reg::R9,
+        b: Reg::R12,
+        target: place,
+    });
+    b.push(Inst::Load {
+        dst: Reg::R10,
+        addr: Reg::R9,
+        offset: -8,
+    });
+    b.push(Inst::JmpIf {
+        cond: Cond::Le,
+        a: Reg::R10,
+        b: Reg::Rax,
+        target: place,
+    });
+    b.push(Inst::Store {
+        src: Reg::R10,
+        addr: Reg::R9,
+        offset: 0,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Sub,
+        dst: Reg::R9,
+        imm: 8,
+    });
     b.push(Inst::Jmp(inner));
     b.bind(place);
-    b.push(Inst::Store { src: Reg::Rax, addr: Reg::R9, offset: 0 });
+    b.push(Inst::Store {
+        src: Reg::Rax,
+        addr: Reg::R9,
+        offset: 0,
+    });
     b.bind(next);
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rbx,
+        imm: 1,
+    });
     b.push(Inst::Jmp(outer));
     // Checksum: rbp = sum(a[i] * (i+1)).
     b.bind(done);
-    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbp,
+        imm: 0,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 0,
+    });
     b.bind(sum_loop);
     {
         let fin = b.new_label();
-        b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: fin });
-        b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
-        b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
-        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
-        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
-        b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rbx });
-        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
-        b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::Rax, src: Reg::R9 });
-        b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rbp, src: Reg::Rax });
-        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ge,
+            a: Reg::Rbx,
+            b: Reg::Rcx,
+            target: fin,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::R8,
+            src: Reg::Rbx,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::Shl,
+            dst: Reg::R8,
+            imm: 3,
+        });
+        b.push(Inst::AluReg {
+            op: AluOp::Add,
+            dst: Reg::R8,
+            src: Reg::R12,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::R8,
+            offset: 0,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::R9,
+            src: Reg::Rbx,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R9,
+            imm: 1,
+        });
+        b.push(Inst::AluReg {
+            op: AluOp::Mul,
+            dst: Reg::Rax,
+            src: Reg::R9,
+        });
+        b.push(Inst::AluReg {
+            op: AluOp::Add,
+            dst: Reg::Rbp,
+            src: Reg::Rax,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::Rbx,
+            imm: 1,
+        });
         b.push(Inst::Jmp(sum_loop));
         b.bind(fin);
     }
-    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Mov {
+        dst: Reg::Rax,
+        src: Reg::Rbp,
+    });
     b.push(Inst::Halt);
     p.add_function(b.finish());
 
@@ -164,44 +274,119 @@ pub fn hashtable_kernel(n: u64, seed: u64) -> Kernel {
     let mut p = Program::new();
     let mut b = FunctionBuilder::new("hashtable");
     // r12 = base; rcx = n.
-    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
-    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
+    b.push(Inst::MovImm {
+        dst: Reg::R12,
+        imm: KERNEL_DATA,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: n,
+    });
 
     // Insert phase: for i in 0..n.
     let ins_outer = b.new_label();
     let ins_probe = b.new_label();
     let ins_next = b.new_label();
     let ins_done = b.new_label();
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 0,
+    });
     b.bind(ins_outer);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: ins_done });
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rbx,
+        b: Reg::Rcx,
+        target: ins_done,
+    });
     // rax = key = a[i].
-    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
-    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    b.push(Inst::Mov {
+        dst: Reg::R8,
+        src: Reg::Rbx,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R8,
+        imm: 3,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Reg::R12,
+    });
+    b.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::R8,
+        offset: 0,
+    });
     // r9 = slot = key & mask.
-    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rax });
-    b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+    b.push(Inst::Mov {
+        dst: Reg::R9,
+        src: Reg::Rax,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::And,
+        dst: Reg::R9,
+        imm: mask,
+    });
     b.bind(ins_probe);
     // r10 = &table[slot]; r11 = table[slot].
-    b.push(Inst::Mov { dst: Reg::R10, src: Reg::R9 });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R10, imm: 3 });
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R10, imm: KERNEL_DATA + table_off });
-    b.push(Inst::Load { dst: Reg::R11, addr: Reg::R10, offset: 0 });
+    b.push(Inst::Mov {
+        dst: Reg::R10,
+        src: Reg::R9,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R10,
+        imm: 3,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::R10,
+        imm: KERNEL_DATA + table_off,
+    });
+    b.push(Inst::Load {
+        dst: Reg::R11,
+        addr: Reg::R10,
+        offset: 0,
+    });
     {
         let empty = b.new_label();
-        b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
-        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::Rbp, target: empty });
+        b.push(Inst::MovImm {
+            dst: Reg::Rbp,
+            imm: 0,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Eq,
+            a: Reg::R11,
+            b: Reg::Rbp,
+            target: empty,
+        });
         // Occupied: advance slot.
-        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
-        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R9,
+            imm: 1,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R9,
+            imm: mask,
+        });
         b.push(Inst::Jmp(ins_probe));
         b.bind(empty);
     }
-    b.push(Inst::Store { src: Reg::Rax, addr: Reg::R10, offset: 0 });
+    b.push(Inst::Store {
+        src: Reg::Rax,
+        addr: Reg::R10,
+        offset: 0,
+    });
     b.bind(ins_next);
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rbx,
+        imm: 1,
+    });
     b.push(Inst::Jmp(ins_outer));
     b.bind(ins_done);
 
@@ -210,39 +395,119 @@ pub fn hashtable_kernel(n: u64, seed: u64) -> Kernel {
     let look_probe = b.new_label();
     let look_next = b.new_label();
     let look_done = b.new_label();
-    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbp,
+        imm: 0,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 0,
+    });
     b.bind(look_outer);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: look_done });
-    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
-    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
-    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rax });
-    b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rbx,
+        b: Reg::Rcx,
+        target: look_done,
+    });
+    b.push(Inst::Mov {
+        dst: Reg::R8,
+        src: Reg::Rbx,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R8,
+        imm: 3,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Reg::R12,
+    });
+    b.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::R8,
+        offset: 0,
+    });
+    b.push(Inst::Mov {
+        dst: Reg::R9,
+        src: Reg::Rax,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::And,
+        dst: Reg::R9,
+        imm: mask,
+    });
     b.bind(look_probe);
-    b.push(Inst::Mov { dst: Reg::R10, src: Reg::R9 });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R10, imm: 3 });
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R10, imm: KERNEL_DATA + table_off });
-    b.push(Inst::Load { dst: Reg::R11, addr: Reg::R10, offset: 0 });
+    b.push(Inst::Mov {
+        dst: Reg::R10,
+        src: Reg::R9,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R10,
+        imm: 3,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::R10,
+        imm: KERNEL_DATA + table_off,
+    });
+    b.push(Inst::Load {
+        dst: Reg::R11,
+        addr: Reg::R10,
+        offset: 0,
+    });
     {
         let found = b.new_label();
-        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::Rax, target: found });
+        b.push(Inst::JmpIf {
+            cond: Cond::Eq,
+            a: Reg::R11,
+            b: Reg::Rax,
+            target: found,
+        });
         // Not this slot: empty means miss (count nothing), else advance.
         let miss = look_next;
-        b.push(Inst::MovImm { dst: Reg::R13, imm: 0 });
-        b.push(Inst::JmpIf { cond: Cond::Eq, a: Reg::R11, b: Reg::R13, target: miss });
-        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
-        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: mask });
+        b.push(Inst::MovImm {
+            dst: Reg::R13,
+            imm: 0,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Eq,
+            a: Reg::R11,
+            b: Reg::R13,
+            target: miss,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R9,
+            imm: 1,
+        });
+        b.push(Inst::AluImm {
+            op: AluOp::And,
+            dst: Reg::R9,
+            imm: mask,
+        });
         b.push(Inst::Jmp(look_probe));
         b.bind(found);
-        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbp, imm: 1 });
+        b.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::Rbp,
+            imm: 1,
+        });
     }
     b.bind(look_next);
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rbx,
+        imm: 1,
+    });
     b.push(Inst::Jmp(look_outer));
     b.bind(look_done);
-    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Mov {
+        dst: Reg::Rax,
+        src: Reg::Rbp,
+    });
     b.push(Inst::Halt);
     p.add_function(b.finish());
 
@@ -283,46 +548,155 @@ pub fn matmul_kernel(n: u64, seed: u64) -> Kernel {
     let done_j = b.new_label();
     let done_k = b.new_label();
     // r12 = base, rcx = n, rbp = total.
-    b.push(Inst::MovImm { dst: Reg::R12, imm: KERNEL_DATA });
-    b.push(Inst::MovImm { dst: Reg::Rcx, imm: n });
-    b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: 0 }); // i
+    b.push(Inst::MovImm {
+        dst: Reg::R12,
+        imm: KERNEL_DATA,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: n,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbp,
+        imm: 0,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: 0,
+    }); // i
     b.bind(li);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rbx, b: Reg::Rcx, target: done_i });
-    b.push(Inst::MovImm { dst: Reg::Rsi, imm: 0 }); // j
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rbx,
+        b: Reg::Rcx,
+        target: done_i,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rsi,
+        imm: 0,
+    }); // j
     b.bind(lj);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rsi, b: Reg::Rcx, target: done_j });
-    b.push(Inst::MovImm { dst: Reg::Rdi, imm: 0 }); // k
-    b.push(Inst::MovImm { dst: Reg::R13, imm: 0 }); // acc
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rsi,
+        b: Reg::Rcx,
+        target: done_j,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::Rdi,
+        imm: 0,
+    }); // k
+    b.push(Inst::MovImm {
+        dst: Reg::R13,
+        imm: 0,
+    }); // acc
     b.bind(lk);
-    b.push(Inst::JmpIf { cond: Cond::Ge, a: Reg::Rdi, b: Reg::Rcx, target: done_k });
+    b.push(Inst::JmpIf {
+        cond: Cond::Ge,
+        a: Reg::Rdi,
+        b: Reg::Rcx,
+        target: done_k,
+    });
     // r8 = &A[i*n + k].
-    b.push(Inst::Mov { dst: Reg::R8, src: Reg::Rbx });
-    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::R8, src: Reg::Rcx });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::Rdi });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R8, imm: 3 });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R8, src: Reg::R12 });
-    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::R8, offset: 0 });
+    b.push(Inst::Mov {
+        dst: Reg::R8,
+        src: Reg::Rbx,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Mul,
+        dst: Reg::R8,
+        src: Reg::Rcx,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Reg::Rdi,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R8,
+        imm: 3,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Reg::R12,
+    });
+    b.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::R8,
+        offset: 0,
+    });
     // r9 = &B[k*n + j].
-    b.push(Inst::Mov { dst: Reg::R9, src: Reg::Rdi });
-    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::R9, src: Reg::Rcx });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R9, src: Reg::Rsi });
-    b.push(Inst::AluImm { op: AluOp::Shl, dst: Reg::R9, imm: 3 });
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: KERNEL_DATA + b_off });
-    b.push(Inst::Load { dst: Reg::R10, addr: Reg::R9, offset: 0 });
-    b.push(Inst::AluReg { op: AluOp::Mul, dst: Reg::Rax, src: Reg::R10 });
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::R13, src: Reg::Rax });
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rdi, imm: 1 });
+    b.push(Inst::Mov {
+        dst: Reg::R9,
+        src: Reg::Rdi,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Mul,
+        dst: Reg::R9,
+        src: Reg::Rcx,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R9,
+        src: Reg::Rsi,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Shl,
+        dst: Reg::R9,
+        imm: 3,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::R9,
+        imm: KERNEL_DATA + b_off,
+    });
+    b.push(Inst::Load {
+        dst: Reg::R10,
+        addr: Reg::R9,
+        offset: 0,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Mul,
+        dst: Reg::Rax,
+        src: Reg::R10,
+    });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::R13,
+        src: Reg::Rax,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rdi,
+        imm: 1,
+    });
     b.push(Inst::Jmp(lk));
     b.bind(done_k);
-    b.push(Inst::AluReg { op: AluOp::Add, dst: Reg::Rbp, src: Reg::R13 });
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rsi, imm: 1 });
+    b.push(Inst::AluReg {
+        op: AluOp::Add,
+        dst: Reg::Rbp,
+        src: Reg::R13,
+    });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rsi,
+        imm: 1,
+    });
     b.push(Inst::Jmp(lj));
     b.bind(done_j);
-    b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbx, imm: 1 });
+    b.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rbx,
+        imm: 1,
+    });
     b.push(Inst::Jmp(li));
     b.bind(done_i);
-    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::Rbp });
+    b.push(Inst::Mov {
+        dst: Reg::Rax,
+        src: Reg::Rbp,
+    });
     b.push(Inst::Halt);
     p.add_function(b.finish());
 
@@ -378,7 +752,9 @@ mod tests {
         for kernel in &kernels {
             for kind in [AddressKind::Mpx, AddressKind::Sfi, AddressKind::MpxDual] {
                 let mut p = kernel.program.clone();
-                AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut p);
+                AddressBasedPass::new(kind, InstrumentMode::READ_WRITE)
+                    .run(&mut p)
+                    .expect("instrumentation failed");
                 verify(&p).unwrap();
                 let mut m = Machine::new(p);
                 kernel.prepare(&mut m);

@@ -35,25 +35,234 @@ pub struct BenchProfile {
 
 /// The 19 C/C++ benchmarks of SPEC CPU2006 the paper evaluates.
 pub const SPEC2006: [BenchProfile; 19] = [
-    BenchProfile { name: "400.perlbench", fp: false, loads_pk: 290, stores_pk: 85, callret_pk: 6.38, indirect_pk: 3.2, syscalls_pm: 30.0, allocs_pm: 120.0, ws_pages: 8, xmm_penalty: 0.0315 },
-    BenchProfile { name: "401.bzip2", fp: false, loads_pk: 270, stores_pk: 70, callret_pk: 0.935, indirect_pk: 0.25, syscalls_pm: 10.0, allocs_pm: 2.0, ws_pages: 16, xmm_penalty: 0.0189 },
-    BenchProfile { name: "403.gcc", fp: false, loads_pk: 300, stores_pk: 90, callret_pk: 4.0, indirect_pk: 2.1, syscalls_pm: 60.0, allocs_pm: 200.0, ws_pages: 24, xmm_penalty: 0.0315 },
-    BenchProfile { name: "429.mcf", fp: false, loads_pk: 380, stores_pk: 60, callret_pk: 1.19, indirect_pk: 0.25, syscalls_pm: 8.0, allocs_pm: 1.0, ws_pages: 64, xmm_penalty: 0.0126 },
-    BenchProfile { name: "433.milc", fp: true, loads_pk: 310, stores_pk: 75, callret_pk: 1.02, indirect_pk: 0.3, syscalls_pm: 25.0, allocs_pm: 4.0, ws_pages: 48, xmm_penalty: 0.725 },
-    BenchProfile { name: "444.namd", fp: true, loads_pk: 320, stores_pk: 60, callret_pk: 0.468, indirect_pk: 0.12, syscalls_pm: 6.0, allocs_pm: 1.0, ws_pages: 12, xmm_penalty: 0.158 },
-    BenchProfile { name: "445.gobmk", fp: false, loads_pk: 260, stores_pk: 75, callret_pk: 5.18, indirect_pk: 2.6, syscalls_pm: 12.0, allocs_pm: 10.0, ws_pages: 10, xmm_penalty: 0.0252 },
-    BenchProfile { name: "447.dealII", fp: true, loads_pk: 330, stores_pk: 80, callret_pk: 3.48, indirect_pk: 2.6, syscalls_pm: 10.0, allocs_pm: 60.0, ws_pages: 20, xmm_penalty: 0.208 },
-    BenchProfile { name: "450.soplex", fp: true, loads_pk: 340, stores_pk: 70, callret_pk: 2.04, indirect_pk: 1.1, syscalls_pm: 12.0, allocs_pm: 20.0, ws_pages: 28, xmm_penalty: 0.365 },
-    BenchProfile { name: "453.povray", fp: true, loads_pk: 300, stores_pk: 80, callret_pk: 8.67, indirect_pk: 4.4, syscalls_pm: 10.0, allocs_pm: 40.0, ws_pages: 6, xmm_penalty: 0.29 },
-    BenchProfile { name: "456.hmmer", fp: false, loads_pk: 290, stores_pk: 110, callret_pk: 0.595, indirect_pk: 0.12, syscalls_pm: 6.0, allocs_pm: 2.0, ws_pages: 6, xmm_penalty: 0.29 },
-    BenchProfile { name: "458.sjeng", fp: false, loads_pk: 250, stores_pk: 65, callret_pk: 4.42, indirect_pk: 2.2, syscalls_pm: 6.0, allocs_pm: 1.0, ws_pages: 10, xmm_penalty: 0.0189 },
-    BenchProfile { name: "462.libquantum", fp: false, loads_pk: 240, stores_pk: 45, callret_pk: 0.34, indirect_pk: 0.06, syscalls_pm: 8.0, allocs_pm: 1.0, ws_pages: 32, xmm_penalty: 0.0504 },
-    BenchProfile { name: "464.h264ref", fp: false, loads_pk: 330, stores_pk: 95, callret_pk: 2.55, indirect_pk: 1.3, syscalls_pm: 10.0, allocs_pm: 6.0, ws_pages: 12, xmm_penalty: 0.176 },
-    BenchProfile { name: "470.lbm", fp: true, loads_pk: 330, stores_pk: 95, callret_pk: 0.23, indirect_pk: 0.04, syscalls_pm: 5.0, allocs_pm: 0.5, ws_pages: 64, xmm_penalty: 1.09 },
-    BenchProfile { name: "471.omnetpp", fp: false, loads_pk: 320, stores_pk: 90, callret_pk: 5.78, indirect_pk: 4.4, syscalls_pm: 15.0, allocs_pm: 300.0, ws_pages: 32, xmm_penalty: 0.0315 },
-    BenchProfile { name: "473.astar", fp: false, loads_pk: 310, stores_pk: 70, callret_pk: 2.89, indirect_pk: 1.4, syscalls_pm: 6.0, allocs_pm: 30.0, ws_pages: 24, xmm_penalty: 0.0252 },
-    BenchProfile { name: "482.sphinx3", fp: true, loads_pk: 330, stores_pk: 60, callret_pk: 1.7, indirect_pk: 0.8, syscalls_pm: 10.0, allocs_pm: 8.0, ws_pages: 20, xmm_penalty: 0.806 },
-    BenchProfile { name: "483.xalancbmk", fp: false, loads_pk: 300, stores_pk: 85, callret_pk: 9.78, indirect_pk: 5.2, syscalls_pm: 20.0, allocs_pm: 150.0, ws_pages: 24, xmm_penalty: 0.0882 },
+    BenchProfile {
+        name: "400.perlbench",
+        fp: false,
+        loads_pk: 290,
+        stores_pk: 85,
+        callret_pk: 6.38,
+        indirect_pk: 3.2,
+        syscalls_pm: 30.0,
+        allocs_pm: 120.0,
+        ws_pages: 8,
+        xmm_penalty: 0.0315,
+    },
+    BenchProfile {
+        name: "401.bzip2",
+        fp: false,
+        loads_pk: 270,
+        stores_pk: 70,
+        callret_pk: 0.935,
+        indirect_pk: 0.25,
+        syscalls_pm: 10.0,
+        allocs_pm: 2.0,
+        ws_pages: 16,
+        xmm_penalty: 0.0189,
+    },
+    BenchProfile {
+        name: "403.gcc",
+        fp: false,
+        loads_pk: 300,
+        stores_pk: 90,
+        callret_pk: 4.0,
+        indirect_pk: 2.1,
+        syscalls_pm: 60.0,
+        allocs_pm: 200.0,
+        ws_pages: 24,
+        xmm_penalty: 0.0315,
+    },
+    BenchProfile {
+        name: "429.mcf",
+        fp: false,
+        loads_pk: 380,
+        stores_pk: 60,
+        callret_pk: 1.19,
+        indirect_pk: 0.25,
+        syscalls_pm: 8.0,
+        allocs_pm: 1.0,
+        ws_pages: 64,
+        xmm_penalty: 0.0126,
+    },
+    BenchProfile {
+        name: "433.milc",
+        fp: true,
+        loads_pk: 310,
+        stores_pk: 75,
+        callret_pk: 1.02,
+        indirect_pk: 0.3,
+        syscalls_pm: 25.0,
+        allocs_pm: 4.0,
+        ws_pages: 48,
+        xmm_penalty: 0.725,
+    },
+    BenchProfile {
+        name: "444.namd",
+        fp: true,
+        loads_pk: 320,
+        stores_pk: 60,
+        callret_pk: 0.468,
+        indirect_pk: 0.12,
+        syscalls_pm: 6.0,
+        allocs_pm: 1.0,
+        ws_pages: 12,
+        xmm_penalty: 0.158,
+    },
+    BenchProfile {
+        name: "445.gobmk",
+        fp: false,
+        loads_pk: 260,
+        stores_pk: 75,
+        callret_pk: 5.18,
+        indirect_pk: 2.6,
+        syscalls_pm: 12.0,
+        allocs_pm: 10.0,
+        ws_pages: 10,
+        xmm_penalty: 0.0252,
+    },
+    BenchProfile {
+        name: "447.dealII",
+        fp: true,
+        loads_pk: 330,
+        stores_pk: 80,
+        callret_pk: 3.48,
+        indirect_pk: 2.6,
+        syscalls_pm: 10.0,
+        allocs_pm: 60.0,
+        ws_pages: 20,
+        xmm_penalty: 0.208,
+    },
+    BenchProfile {
+        name: "450.soplex",
+        fp: true,
+        loads_pk: 340,
+        stores_pk: 70,
+        callret_pk: 2.04,
+        indirect_pk: 1.1,
+        syscalls_pm: 12.0,
+        allocs_pm: 20.0,
+        ws_pages: 28,
+        xmm_penalty: 0.365,
+    },
+    BenchProfile {
+        name: "453.povray",
+        fp: true,
+        loads_pk: 300,
+        stores_pk: 80,
+        callret_pk: 8.67,
+        indirect_pk: 4.4,
+        syscalls_pm: 10.0,
+        allocs_pm: 40.0,
+        ws_pages: 6,
+        xmm_penalty: 0.29,
+    },
+    BenchProfile {
+        name: "456.hmmer",
+        fp: false,
+        loads_pk: 290,
+        stores_pk: 110,
+        callret_pk: 0.595,
+        indirect_pk: 0.12,
+        syscalls_pm: 6.0,
+        allocs_pm: 2.0,
+        ws_pages: 6,
+        xmm_penalty: 0.29,
+    },
+    BenchProfile {
+        name: "458.sjeng",
+        fp: false,
+        loads_pk: 250,
+        stores_pk: 65,
+        callret_pk: 4.42,
+        indirect_pk: 2.2,
+        syscalls_pm: 6.0,
+        allocs_pm: 1.0,
+        ws_pages: 10,
+        xmm_penalty: 0.0189,
+    },
+    BenchProfile {
+        name: "462.libquantum",
+        fp: false,
+        loads_pk: 240,
+        stores_pk: 45,
+        callret_pk: 0.34,
+        indirect_pk: 0.06,
+        syscalls_pm: 8.0,
+        allocs_pm: 1.0,
+        ws_pages: 32,
+        xmm_penalty: 0.0504,
+    },
+    BenchProfile {
+        name: "464.h264ref",
+        fp: false,
+        loads_pk: 330,
+        stores_pk: 95,
+        callret_pk: 2.55,
+        indirect_pk: 1.3,
+        syscalls_pm: 10.0,
+        allocs_pm: 6.0,
+        ws_pages: 12,
+        xmm_penalty: 0.176,
+    },
+    BenchProfile {
+        name: "470.lbm",
+        fp: true,
+        loads_pk: 330,
+        stores_pk: 95,
+        callret_pk: 0.23,
+        indirect_pk: 0.04,
+        syscalls_pm: 5.0,
+        allocs_pm: 0.5,
+        ws_pages: 64,
+        xmm_penalty: 1.09,
+    },
+    BenchProfile {
+        name: "471.omnetpp",
+        fp: false,
+        loads_pk: 320,
+        stores_pk: 90,
+        callret_pk: 5.78,
+        indirect_pk: 4.4,
+        syscalls_pm: 15.0,
+        allocs_pm: 300.0,
+        ws_pages: 32,
+        xmm_penalty: 0.0315,
+    },
+    BenchProfile {
+        name: "473.astar",
+        fp: false,
+        loads_pk: 310,
+        stores_pk: 70,
+        callret_pk: 2.89,
+        indirect_pk: 1.4,
+        syscalls_pm: 6.0,
+        allocs_pm: 30.0,
+        ws_pages: 24,
+        xmm_penalty: 0.0252,
+    },
+    BenchProfile {
+        name: "482.sphinx3",
+        fp: true,
+        loads_pk: 330,
+        stores_pk: 60,
+        callret_pk: 1.7,
+        indirect_pk: 0.8,
+        syscalls_pm: 10.0,
+        allocs_pm: 8.0,
+        ws_pages: 20,
+        xmm_penalty: 0.806,
+    },
+    BenchProfile {
+        name: "483.xalancbmk",
+        fp: false,
+        loads_pk: 300,
+        stores_pk: 85,
+        callret_pk: 9.78,
+        indirect_pk: 5.2,
+        syscalls_pm: 20.0,
+        allocs_pm: 150.0,
+        ws_pages: 24,
+        xmm_penalty: 0.0882,
+    },
 ];
 
 /// Server-style, I/O-bound workloads (paper §6: "SPEC is very memory and
@@ -61,9 +270,42 @@ pub const SPEC2006: [BenchProfile; 19] = [
 /// as servers will be lower"). Much higher syscall rates, lower
 /// memory-access density, frequent allocator churn.
 pub const SERVERS: [BenchProfile; 3] = [
-    BenchProfile { name: "srv.webserver", fp: false, loads_pk: 180, stores_pk: 55, callret_pk: 3.4, indirect_pk: 1.7, syscalls_pm: 9000.0, allocs_pm: 800.0, ws_pages: 16, xmm_penalty: 0.03 },
-    BenchProfile { name: "srv.kvstore", fp: false, loads_pk: 200, stores_pk: 70, callret_pk: 2.1, indirect_pk: 0.8, syscalls_pm: 14000.0, allocs_pm: 2000.0, ws_pages: 32, xmm_penalty: 0.02 },
-    BenchProfile { name: "srv.proxy", fp: false, loads_pk: 150, stores_pk: 45, callret_pk: 2.6, indirect_pk: 1.2, syscalls_pm: 22000.0, allocs_pm: 400.0, ws_pages: 8, xmm_penalty: 0.02 },
+    BenchProfile {
+        name: "srv.webserver",
+        fp: false,
+        loads_pk: 180,
+        stores_pk: 55,
+        callret_pk: 3.4,
+        indirect_pk: 1.7,
+        syscalls_pm: 9000.0,
+        allocs_pm: 800.0,
+        ws_pages: 16,
+        xmm_penalty: 0.03,
+    },
+    BenchProfile {
+        name: "srv.kvstore",
+        fp: false,
+        loads_pk: 200,
+        stores_pk: 70,
+        callret_pk: 2.1,
+        indirect_pk: 0.8,
+        syscalls_pm: 14000.0,
+        allocs_pm: 2000.0,
+        ws_pages: 32,
+        xmm_penalty: 0.02,
+    },
+    BenchProfile {
+        name: "srv.proxy",
+        fp: false,
+        loads_pk: 150,
+        stores_pk: 45,
+        callret_pk: 2.6,
+        indirect_pk: 1.2,
+        syscalls_pm: 22000.0,
+        allocs_pm: 400.0,
+        ws_pages: 8,
+        xmm_penalty: 0.02,
+    },
 ];
 
 impl BenchProfile {
@@ -119,14 +361,21 @@ mod tests {
     #[test]
     fn lookup_by_suffix() {
         assert_eq!(BenchProfile::by_name("mcf").unwrap().name, "429.mcf");
-        assert_eq!(BenchProfile::by_name("povray").unwrap().short_name(), "povray");
+        assert_eq!(
+            BenchProfile::by_name("povray").unwrap().short_name(),
+            "povray"
+        );
         assert!(BenchProfile::by_name("no-such").is_none());
     }
 
     #[test]
     fn mixes_are_sane() {
         for p in &SPEC2006 {
-            assert!(p.loads_pk > p.stores_pk, "{}: loads dominate stores", p.name);
+            assert!(
+                p.loads_pk > p.stores_pk,
+                "{}: loads dominate stores",
+                p.name
+            );
             assert!(p.loads_pk as f64 + p.stores_pk as f64 + 4.0 * p.callret_pk < 900.0);
             assert!(p.indirect_pk <= p.callret_pk, "{}", p.name);
             assert!(p.xmm_penalty >= 0.0 && p.xmm_penalty < 2.0);
@@ -159,10 +408,7 @@ mod tests {
 
     #[test]
     fn server_profiles_are_syscall_heavy() {
-        let max_spec = SPEC2006
-            .iter()
-            .map(|p| p.syscalls_pm)
-            .fold(0.0, f64::max);
+        let max_spec = SPEC2006.iter().map(|p| p.syscalls_pm).fold(0.0, f64::max);
         for p in &SERVERS {
             assert!(p.syscalls_pm > max_spec * 50.0, "{}", p.name);
         }

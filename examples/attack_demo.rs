@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example attack_demo`
 
-use memsentry_repro::attacks::{attack, jitrop_attack, AttackResult, DiversifiedVictim, JitRopResult};
+use memsentry_repro::attacks::{
+    attack, jitrop_attack, AttackResult, DiversifiedVictim, JitRopResult,
+};
 use memsentry_repro::memsentry::{HiddenRegion, Technique};
 
 fn main() {
@@ -61,9 +63,9 @@ fn main() {
     }
     let mut v = DiversifiedVictim::new(2026, true);
     match jitrop_attack(&mut v) {
-        JitRopResult::DeniedAtProbe { trap, probes } => println!(
-            "  + Readactor XoM:     scan dead at probe {probes} ({trap})"
-        ),
+        JitRopResult::DeniedAtProbe { trap, probes } => {
+            println!("  + Readactor XoM:     scan dead at probe {probes} ({trap})")
+        }
         other => println!("  + Readactor XoM:     {other:?}"),
     }
 }

@@ -21,8 +21,7 @@ fn main() {
     );
 
     // Sort benchmarks by switch frequency to make the crossover visible.
-    let mut profiles: Vec<&BenchProfile> =
-        memsentry_repro::workloads::SPEC2006.iter().collect();
+    let mut profiles: Vec<&BenchProfile> = memsentry_repro::workloads::SPEC2006.iter().collect();
     profiles.sort_by(|a, b| a.callret_pk.total_cmp(&b.callret_pk));
 
     let mut crossover: Option<&str> = None;

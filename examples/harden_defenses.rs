@@ -18,17 +18,27 @@ fn ret_hijack_program() -> Program {
     let mut p = Program::new();
     let mut main = FunctionBuilder::new("main");
     main.push(Inst::Call(FuncId(1)));
-    main.push(Inst::MovImm { dst: Reg::Rax, imm: 0 });
+    main.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0,
+    });
     main.push(Inst::Halt);
     let mut victim = FunctionBuilder::new("victim");
     victim.push(Inst::MovImm {
         dst: Reg::Rcx,
         imm: CodeAddr::entry(FuncId(2)).encode(),
     });
-    victim.push(Inst::Store { src: Reg::Rcx, addr: Reg::Rsp, offset: 0 });
+    victim.push(Inst::Store {
+        src: Reg::Rcx,
+        addr: Reg::Rsp,
+        offset: 0,
+    });
     victim.push(Inst::Ret);
     let mut gadget = FunctionBuilder::new("gadget");
-    gadget.push(Inst::MovImm { dst: Reg::Rax, imm: 0x666 });
+    gadget.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0x666,
+    });
     gadget.push(Inst::Halt);
     p.add_function(main.finish());
     p.add_function(victim.finish());
@@ -48,10 +58,16 @@ fn cfi_bypass_program() -> Program {
     main.push(Inst::CallIndirect { target: Reg::Rbx });
     main.push(Inst::Halt);
     let mut good = FunctionBuilder::new("intended");
-    good.push(Inst::MovImm { dst: Reg::Rax, imm: 1 });
+    good.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 1,
+    });
     good.push(Inst::Ret);
     let mut gadget = FunctionBuilder::new("gadget");
-    gadget.push(Inst::MovImm { dst: Reg::Rax, imm: 0x666 });
+    gadget.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0x666,
+    });
     gadget.push(Inst::Ret);
     p.add_function(main.finish());
     p.add_function(good.finish());
@@ -78,7 +94,7 @@ fn main() {
         let fw = MemSentry::new(technique, 4096);
         let shadow = ShadowStack::new(fw.layout());
         let mut p = ret_hijack_program();
-        shadow.run(&mut p); // defense pass first (Figure 1)
+        shadow.run(&mut p).unwrap(); // defense pass first (Figure 1)
         fw.instrument(&mut p, Application::ProgramData).unwrap();
         let mut m = Machine::new(p);
         fw.prepare_machine(&mut m).unwrap();
@@ -96,7 +112,7 @@ fn main() {
     let fw = MemSentry::new(Technique::Mpk, 4096);
     let cfi = CfiDefense::new(fw.layout(), vec![FuncId(1)]);
     let mut p = cfi_bypass_program();
-    cfi.run(&mut p);
+    cfi.run(&mut p).unwrap();
     fw.instrument(&mut p, Application::ProgramData).unwrap();
     let mut m = Machine::new(p);
     fw.prepare_machine(&mut m).unwrap();

@@ -83,7 +83,8 @@ fn build(key_addr: u64) -> Program {
 fn fresh_machine(fw: &MemSentry, p: Program) -> Machine {
     let mut m = Machine::new(p);
     fw.prepare_machine(&mut m).expect("prepare");
-    m.space.map_region(VirtAddr(DATA), PAGE_SIZE, PageFlags::rw());
+    m.space
+        .map_region(VirtAddr(DATA), PAGE_SIZE, PageFlags::rw());
     m.space.poke(VirtAddr(DATA), &0x1111u64.to_le_bytes());
     fw.write_region(&mut m, 0, &KEY_VALUE.to_le_bytes());
     m

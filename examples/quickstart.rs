@@ -16,17 +16,39 @@ fn main() {
     // 1. Pick a technique and allocate the safe region (saferegion_alloc).
     let framework = MemSentry::new(Technique::Mpk, 4096);
     let region = framework.layout();
-    println!("safe region: {:#x}..{:#x} (pkey {})\n", region.base, region.base + region.len, region.pkey);
+    println!(
+        "safe region: {:#x}..{:#x} (pkey {})\n",
+        region.base,
+        region.base + region.len,
+        region.pkey
+    );
 
     // 2. Build a program. Privileged instructions (saferegion_access) may
     //    touch the region; everything else may not.
     let mut program = Program::new();
     let mut b = FunctionBuilder::new("main");
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: region.base });
-    b.push(Inst::MovImm { dst: Reg::R12, imm: 0x5ec2e7 });
-    b.push_privileged(Inst::Store { src: Reg::R12, addr: Reg::Rbx, offset: 0 });
-    b.push_privileged(Inst::Load { dst: Reg::R8, addr: Reg::Rbx, offset: 0 });
-    b.push(Inst::Mov { dst: Reg::Rax, src: Reg::R8 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: region.base,
+    });
+    b.push(Inst::MovImm {
+        dst: Reg::R12,
+        imm: 0x5ec2e7,
+    });
+    b.push_privileged(Inst::Store {
+        src: Reg::R12,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
+    b.push_privileged(Inst::Load {
+        dst: Reg::R8,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
+    b.push(Inst::Mov {
+        dst: Reg::Rax,
+        src: Reg::R8,
+    });
     b.push(Inst::Halt);
     program.add_function(b.finish());
 
@@ -46,8 +68,15 @@ fn main() {
     // 5. ...and a snooper does not.
     let mut snoop = Program::new();
     let mut b = FunctionBuilder::new("snoop");
-    b.push(Inst::MovImm { dst: Reg::Rbx, imm: region.base });
-    b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 0 });
+    b.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: region.base,
+    });
+    b.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
     b.push(Inst::Halt);
     snoop.add_function(b.finish());
     framework

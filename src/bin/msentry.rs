@@ -9,7 +9,12 @@
 //!                                            print the instrumented listing
 //! msentry protect <file> -t <technique> -a <application>
 //!                                            instrument AND run
-//! msentry check <file>                       parse + verify only
+//! msentry check <file> [--address r|w|rw]    parse + verify + isolation
+//!                                            soundness analysis (domain
+//!                                            windows, ERIM gadget scan,
+//!                                            register discipline; --address
+//!                                            additionally requires SFI/MPX
+//!                                            checks on loads/stores)
 //! msentry techniques                         list techniques (Table 3)
 //! ```
 //!
@@ -26,6 +31,7 @@
 
 use std::process::ExitCode;
 
+use memsentry_repro::check::{check_program, AddressPolicy, CheckPolicy};
 use memsentry_repro::cpu::{Machine, RunOutcome};
 use memsentry_repro::ir::{parse_program, print::format_program, verify, Program};
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
@@ -59,8 +65,7 @@ fn application_from(name: &str) -> Option<Application> {
 }
 
 fn load(path: &str) -> Result<Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let program = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
     verify(&program).map_err(|e| format!("{path}: verification failed: {e}"))?;
     Ok(program)
@@ -100,7 +105,7 @@ fn run_machine(framework: Option<&MemSentry>, program: Program) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msentry <run|check|instrument|protect|techniques> [<file>] \
-         [-t <technique>] [-a <application>] [--region <bytes>]"
+         [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>]"
     );
     ExitCode::FAILURE
 }
@@ -128,12 +133,37 @@ fn main() -> ExitCode {
                 }
             };
             if cmd == "check" {
-                println!(
-                    "{path}: ok ({} functions, {} instructions)",
-                    program.functions.len(),
-                    program.inst_count()
-                );
-                return ExitCode::SUCCESS;
+                let policy = if args.iter().any(|a| a == "--address") {
+                    match flag(&args, "--address").as_deref() {
+                        Some("r") => CheckPolicy::address_checked(AddressPolicy::READS),
+                        Some("w") => CheckPolicy::address_checked(AddressPolicy::WRITES),
+                        Some("rw") => CheckPolicy::address_checked(AddressPolicy::READ_WRITE),
+                        Some(other) => {
+                            eprintln!("unknown --address mode '{other}' (try: r, w, rw)");
+                            return ExitCode::FAILURE;
+                        }
+                        None => {
+                            eprintln!("--address requires a mode (try: r, w, rw)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    CheckPolicy::universal()
+                };
+                let report = check_program(&program, &policy);
+                if report.is_clean() {
+                    println!(
+                        "{path}: ok ({} functions, {} instructions)",
+                        program.functions.len(),
+                        program.inst_count()
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                for finding in &report.findings {
+                    println!("{path}: {finding}");
+                }
+                eprintln!("{path}: {} finding(s)", report.findings.len());
+                return ExitCode::FAILURE;
             }
             if cmd == "run" {
                 return run_machine(None, program);

@@ -9,6 +9,7 @@
 pub use memsentry;
 pub use memsentry_aes as aes;
 pub use memsentry_attacks as attacks;
+pub use memsentry_check as check;
 pub use memsentry_cpu as cpu;
 pub use memsentry_defenses as defenses;
 pub use memsentry_hv as hv;

@@ -4,10 +4,7 @@ use std::process::Command;
 
 const MSENTRY: &str = env!("CARGO_BIN_EXE_msentry");
 const DEMO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/shadow_demo.ms");
-const PRIV_DEMO: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/data/privileged_demo.ms"
-);
+const PRIV_DEMO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/privileged_demo.ms");
 
 fn run(args: &[&str]) -> (bool, String) {
     let out = Command::new(MSENTRY)
@@ -22,11 +19,76 @@ fn run(args: &[&str]) -> (bool, String) {
     (out.status.success(), text)
 }
 
+fn data(name: &str) -> String {
+    format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
 #[test]
 fn check_accepts_the_golden_listing() {
     let (ok, text) = run(&["check", DEMO]);
     assert!(ok, "{text}");
     assert!(text.contains("3 functions"), "{text}");
+}
+
+#[test]
+fn check_flags_the_missing_mask() {
+    // Only with address checking requested: an uninstrumented listing is
+    // not inherently wrong.
+    let path = data("bad_missing_mask.ms");
+    let (ok, text) = run(&["check", &path]);
+    assert!(ok, "{text}");
+    let (ok, text) = run(&["check", &path, "--address", "w"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("unchecked-store"), "{text}");
+    assert!(text.contains("fn0 <main> @5"), "{text}");
+    assert!(text.contains("1 finding"), "{text}");
+}
+
+#[test]
+fn check_flags_the_unclosed_domain() {
+    let (ok, text) = run(&["check", &data("bad_unclosed_domain.ms")]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("domain-leak"), "{text}");
+    assert!(text.contains("fn0 <main> @4"), "{text}");
+    assert!(text.contains("call"), "{text}");
+}
+
+#[test]
+fn check_flags_the_clobbered_live_register() {
+    let (ok, text) = run(&["check", &data("bad_clobber.ms")]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("clobbered-live-register"), "{text}");
+    assert!(text.contains("rbx"), "{text}");
+}
+
+#[test]
+fn check_flags_the_stray_wrpkru() {
+    let (ok, text) = run(&["check", &data("bad_stray_wrpkru.ms")]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("stray-domain-switch"), "{text}");
+    assert!(text.contains("fn0 <main> @1"), "{text}");
+    assert!(text.contains("wrpkru"), "{text}");
+}
+
+#[test]
+fn check_passes_instrumented_output_end_to_end() {
+    // instrument | check: the checker must accept what the framework
+    // emits. MPK exercises the window analyses; write the listing out and
+    // re-check it through the CLI.
+    let (ok, text) = run(&["instrument", PRIV_DEMO, "-t", "mpk", "-a", "data"]);
+    assert!(ok, "{text}");
+    let listing: String = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with("exited"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let dir = std::env::temp_dir().join("msentry-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("instrumented_mpk.ms");
+    std::fs::write(&path, listing).unwrap();
+    let (ok, text) = run(&["check", path.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("ok ("), "{text}");
 }
 
 #[test]
@@ -53,7 +115,10 @@ fn protect_runs_under_each_technique() {
         if !matches!(technique, "pts" | "mpk") {
             // The privileged load lands 0x2a in rax (mpk/pts close
             // sequences legitimately clobber rax via r9/syscall).
-            assert!(text.contains("0x2a") || technique == "crypt", "{technique}: {text}");
+            assert!(
+                text.contains("0x2a") || technique == "crypt",
+                "{technique}: {text}"
+            );
         }
     }
 }

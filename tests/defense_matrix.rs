@@ -47,7 +47,11 @@ fn cpi_composes_with_every_domain_technique() {
         verify(&p).unwrap();
         let mut m = Machine::new(p);
         fw.prepare_machine(&mut m).unwrap();
-        fw.write_region(&mut m, 0, &CodeAddr::entry(FuncId(1)).encode().to_le_bytes());
+        fw.write_region(
+            &mut m,
+            0,
+            &CodeAddr::entry(FuncId(1)).encode().to_le_bytes(),
+        );
         assert_eq!(m.run().expect_exit(), 21, "CPI x {technique}");
     }
 }
@@ -100,7 +104,7 @@ fn cfi_composes_with_every_domain_technique() {
                 imm: CodeAddr::entry(FuncId(1)).encode(),
             });
         });
-        cfi.run(&mut p);
+        cfi.run(&mut p).unwrap();
         fw.instrument(&mut p, Application::ProgramData).unwrap();
         verify(&p).unwrap();
         let mut m = Machine::new(p);

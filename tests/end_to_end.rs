@@ -70,7 +70,7 @@ fn shadow_stack_hardened_by_every_technique() {
         let fw = MemSentry::new(technique, 4096);
         let shadow = ShadowStack::new(fw.layout());
         let mut p = hijack_program();
-        shadow.run(&mut p);
+        shadow.run(&mut p).unwrap();
         fw.instrument(&mut p, Application::ProgramData).unwrap();
         let mut m = Machine::new(p);
         fw.prepare_machine(&mut m).unwrap();
@@ -150,7 +150,7 @@ fn cfi_table_flip_blocked_by_isolation() {
         }
         .into(),
     );
-    cfi.run(&mut p);
+    cfi.run(&mut p).unwrap();
     fw.instrument(&mut p, Application::ProgramData).unwrap();
     let mut m = Machine::new(p);
     fw.prepare_machine(&mut m).unwrap();

@@ -42,8 +42,9 @@ fn golden_listing_hijack_and_defense() {
     let fw = MemSentry::new(Technique::Mpk, 4096);
     let shadow = ShadowStack::new(fw.layout());
     let mut defended = p;
-    shadow.run(&mut defended);
-    fw.instrument(&mut defended, Application::ProgramData).unwrap();
+    shadow.run(&mut defended).unwrap();
+    fw.instrument(&mut defended, Application::ProgramData)
+        .unwrap();
     let mut m = Machine::new(defended);
     fw.prepare_machine(&mut m).unwrap();
     fw.write_region(&mut m, 0, &(fw.layout().base + 8).to_le_bytes());

@@ -2,15 +2,17 @@
 
 use proptest::prelude::*;
 
-use memsentry_repro::aes::{decrypt_block, encrypt_block, DecKeySchedule, KeySchedule, RegionCipher};
+use memsentry_repro::aes::{
+    decrypt_block, encrypt_block, DecKeySchedule, KeySchedule, RegionCipher,
+};
 use memsentry_repro::cpu::Machine;
 use memsentry_repro::ir::{AluOp, CodeAddr, FuncId, FunctionBuilder, Inst, Program, Reg};
 use memsentry_repro::memsentry::{HiddenRegion, SafeRegionAllocator};
-use memsentry_repro::passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
 use memsentry_repro::mmu::addr::SFI_MASK;
 use memsentry_repro::mmu::{
-    AddressSpace, PageFlags, PhysMemory, PageTable, Pkru, VirtAddr, PAGE_SIZE, SENSITIVE_BASE,
+    AddressSpace, PageFlags, PageTable, PhysMemory, Pkru, VirtAddr, PAGE_SIZE, SENSITIVE_BASE,
 };
+use memsentry_repro::passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
 
 proptest! {
     /// AES block encryption round-trips for arbitrary keys and blocks.
@@ -216,7 +218,7 @@ proptest! {
         let baseline = run(build());
         for kind in [AddressKind::Mpx, AddressKind::MpxDual, AddressKind::Sfi] {
             let mut p = build();
-            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut p);
+            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE).run(&mut p).unwrap();
             memsentry_repro::ir::verify(&p).unwrap();
             prop_assert_eq!(run(p), baseline, "kind {:?}", kind);
         }
@@ -344,15 +346,60 @@ proptest! {
         let fw = MemSentry::new(Technique::Mpk, 1 << 16);
         let shadow = ShadowStack::new(fw.layout());
         let mut defended = p;
-        shadow.run(&mut defended);
+        shadow.run(&mut defended).unwrap();
         fw.instrument(&mut defended, Application::ProgramData).unwrap();
         let mut m = Machine::new(defended);
         fw.prepare_machine(&mut m).unwrap();
         fw.write_region(&mut m, 0, &(fw.layout().base + 8).to_le_bytes());
         prop_assert_eq!(m.run().expect_exit(), baseline);
     }
+
+    /// Every technique's instrumentation is checker-clean on every
+    /// workload profile and application: the isolation soundness analyses
+    /// never false-positive on programs the shipped passes produce.
+    /// (`instrument` already runs the checker internally; the explicit
+    /// `check_program` call asserts the report on the final program.)
+    #[test]
+    fn instrumented_workloads_are_checker_clean(
+        which in 0usize..19,
+        app in 0usize..7,
+        superblocks in 1u32..3,
+    ) {
+        use memsentry_repro::check::{check_program, AddressPolicy, CheckPolicy};
+        use memsentry_repro::memsentry::{Application, Category, MemSentry, Technique};
+        use memsentry_repro::workloads::{Workload, WorkloadSpec, SPEC2006};
+
+        let w = Workload::build(WorkloadSpec { profile: SPEC2006[which], superblocks });
+        let application = Application::ALL[app];
+        let techniques = [
+            Technique::Sfi,
+            Technique::Mpx,
+            Technique::Mpk,
+            Technique::Vmfunc,
+            Technique::Crypt,
+            Technique::Sgx,
+            Technique::MprotectBaseline,
+            Technique::PageTableSwitch,
+            Technique::InfoHiding,
+        ];
+        for technique in techniques {
+            let fw = MemSentry::new(technique, 4096);
+            let mut p = w.program.clone();
+            fw.instrument(&mut p, application).unwrap();
+            let policy = if technique.category() == Category::AddressBased {
+                let mode = application.address_mode();
+                CheckPolicy::address_checked(AddressPolicy {
+                    loads: mode.loads,
+                    stores: mode.stores,
+                })
+            } else {
+                CheckPolicy::universal()
+            };
+            let report = check_program(&p, &policy);
+            prop_assert!(
+                report.is_clean(),
+                "{technique} / {application:?}:\n{report}"
+            );
+        }
+    }
 }
-
-
-
-

@@ -77,9 +77,7 @@ fn enclave_memory_is_fixed_at_init() {
         e.ecall(0, [i, 0, 0]).unwrap();
     }
     // The 512th push would write past the fixed image.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        e.ecall(0, [511, 0, 0])
-    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.ecall(0, [511, 0, 0])));
     assert!(result.is_err(), "fixed-size enclave must not grow");
 }
 

@@ -1,6 +1,7 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 //!
-//! Five questions, each matching a claim in the paper's discussion\n//! (or the extension's design):
+//! Five questions, each matching a claim in the paper's discussion
+//! (or the extension's design):
 //!
 //! 1. **Single vs dual MPX bounds vs SFI** (§6.3): with a full
 //!    `bndcl`+`bndcu` pair "the overhead also becomes worse: our
@@ -15,27 +16,42 @@
 //!    rather than the EPT switches themselves.
 //! 5. **PCID for page-table switching** (extension): tagged `cr3` writes
 //!    vs full TLB flushes per switch.
+//!
+//! The ablations' *custom* arms (unfenced MPK, pinned keys, passthrough
+//! syscalls, no-PCID switching) are deliberately run outside
+//! [`crate::runner::run_config`] — they bypass `prepare_machine` to
+//! isolate the switch-sequence cost — but every baseline divide-by comes
+//! from the shared [`Session`], so the expensive uninstrumented runs are
+//! simulated once per benchmark across the whole harness.
 
 use memsentry::{MemSentry, SafeRegionLayout, Technique};
-use memsentry_cpu::Machine;
+use memsentry_cpu::{Machine, RunOutcome};
 use memsentry_ir::Program;
 use memsentry_passes::{
-    AddressBasedPass, AddressKind, DomainSequences, DomainSwitchPass, InstrumentMode, Pass,
-    SwitchPoints,
+    AddressKind, DomainSequences, DomainSwitchPass, InstrumentMode, Pass, SwitchPoints,
 };
 use memsentry_workloads::{profiles::geomean, BenchProfile, Workload, WorkloadSpec, SPEC2006};
 
-use crate::runner::{run_config, ExperimentConfig};
+use crate::measure::Session;
+use crate::runner::{CellFailure, ExperimentConfig, MeasureError};
 
-/// Runs `profile` with a custom domain sequence (ablation plumbing).
+/// Runs `profile` with a custom domain sequence (ablation plumbing); the
+/// baseline comes from the session's cache.
 fn run_custom_domain(
+    session: &Session,
+    label: &'static str,
     profile: &BenchProfile,
     superblocks: u32,
     points: SwitchPoints,
     sequences: DomainSequences,
     setup: impl FnOnce(&mut Machine, &SafeRegionLayout),
-) -> f64 {
-    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
+) -> Result<f64, MeasureError> {
+    let fail = |failure: CellFailure| MeasureError {
+        benchmark: profile.short_name(),
+        config: label.into(),
+        failure,
+    };
+    let base = session.measure(profile, superblocks, ExperimentConfig::Baseline)?;
     let workload = Workload::build(WorkloadSpec {
         profile: *profile,
         superblocks,
@@ -43,69 +59,96 @@ fn run_custom_domain(
     let mut program: Program = workload.program.clone();
     DomainSwitchPass::new(points, sequences)
         .run(&mut program)
-        .expect("instrumentation failed");
+        .map_err(|e| fail(CellFailure::Pass(e)))?;
     let mut machine = Machine::new(program);
     let layout = SafeRegionLayout::sensitive(16);
     setup(&mut machine, &layout);
     workload.prepare(&mut machine);
-    machine.run().expect_exit();
-    machine.cycles() / base.cycles
+    if let RunOutcome::Trapped(trap) = machine.run() {
+        return Err(fail(CellFailure::Trapped(trap)));
+    }
+    Ok(machine.cycles() / base.cycles)
 }
 
 /// Ablation 1: geomean overheads of (MPX single, MPX dual, SFI) with
 /// `-rw` instrumentation.
-pub fn mpx_bounds_ablation(superblocks: u32) -> (f64, f64, f64) {
-    let run = |kind| {
-        geomean(SPEC2006.iter().map(|p| {
-            let base = run_config(p, superblocks, ExperimentConfig::Baseline);
-            let workload = Workload::build(WorkloadSpec {
-                profile: *p,
-                superblocks,
-            });
-            let mut program = workload.program.clone();
-            AddressBasedPass::new(kind, InstrumentMode::READ_WRITE)
-                .run(&mut program)
-                .expect("instrumentation failed");
-            let mut machine = Machine::new(program);
-            workload.prepare(&mut machine);
-            machine.run().expect_exit();
-            machine.cycles() / base.cycles
-        }))
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn mpx_bounds_ablation(
+    session: &Session,
+    superblocks: u32,
+) -> Result<(f64, f64, f64), MeasureError> {
+    let cfg = |kind| ExperimentConfig::Address {
+        kind,
+        mode: InstrumentMode::READ_WRITE,
     };
-    (
-        run(AddressKind::Mpx),
-        run(AddressKind::MpxDual),
-        run(AddressKind::Sfi),
-    )
+    let grid = session.overhead_grid(
+        &SPEC2006,
+        superblocks,
+        &[
+            cfg(AddressKind::Mpx),
+            cfg(AddressKind::MpxDual),
+            cfg(AddressKind::Sfi),
+        ],
+    )?;
+    Ok((
+        geomean(grid.iter().map(|row| row[0])),
+        geomean(grid.iter().map(|row| row[1])),
+        geomean(grid.iter().map(|row| row[2])),
+    ))
 }
 
 /// Ablation 2: MPK at call/ret with and without the `mfence`.
-pub fn mpk_fence_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn mpk_fence_ablation(
+    session: &Session,
+    profile: &BenchProfile,
+    superblocks: u32,
+) -> Result<(f64, f64), MeasureError> {
     let layout = SafeRegionLayout::sensitive(16);
     let fenced = run_custom_domain(
+        session,
+        "MPK",
         profile,
         superblocks,
         SwitchPoints::CallRet,
         DomainSequences::mpk(&layout),
         |_, _| {},
-    );
+    )?;
     let unfenced = run_custom_domain(
+        session,
+        "MPK-unfenced",
         profile,
         superblocks,
         SwitchPoints::CallRet,
         DomainSequences::mpk_unfenced(&layout),
         |_, _| {},
-    );
-    (fenced, unfenced)
+    )?;
+    Ok((fenced, unfenced))
 }
 
 /// Ablation 3: crypt at call/ret with MemSentry's ymm-parked keys vs
 /// CCFI-style pinned xmm keys (no xmm-confiscation penalty is applied to
 /// either, isolating the switch-sequence cost).
-pub fn crypt_keys_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn crypt_keys_ablation(
+    session: &Session,
+    profile: &BenchProfile,
+    superblocks: u32,
+) -> Result<(f64, f64), MeasureError> {
     let layout = SafeRegionLayout::sensitive(16);
     let key = *b"ablation-crypt!!";
     let parked = run_custom_domain(
+        session,
+        "crypt-parked",
         profile,
         superblocks,
         SwitchPoints::CallRet,
@@ -118,8 +161,10 @@ pub fn crypt_keys_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f6
                 memsentry_mmu::PageFlags::rw(),
             );
         },
-    );
+    )?;
     let pinned = run_custom_domain(
+        session,
+        "crypt-pinned",
         profile,
         superblocks,
         SwitchPoints::CallRet,
@@ -132,14 +177,27 @@ pub fn crypt_keys_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f6
                 memsentry_mmu::PageFlags::rw(),
             );
         },
-    );
-    (parked, pinned)
+    )?;
+    Ok((parked, pinned))
 }
 
 /// Ablation 4: VMFUNC at system-call switch points under Dune (syscalls
 /// become vmcalls) vs an in-KVM deployment (syscalls stay native).
-pub fn vmfunc_dune_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
-    let dune = crate::runner::overhead(
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn vmfunc_dune_ablation(
+    session: &Session,
+    profile: &BenchProfile,
+    superblocks: u32,
+) -> Result<(f64, f64), MeasureError> {
+    let fail = |failure: CellFailure| MeasureError {
+        benchmark: profile.short_name(),
+        config: "VMFUNC-kvm".into(),
+        failure,
+    };
+    let dune = session.overhead(
         profile,
         superblocks,
         ExperimentConfig::Domain {
@@ -147,9 +205,9 @@ pub fn vmfunc_dune_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f
             points: SwitchPoints::Syscall,
             region_len: 16,
         },
-    );
+    )?;
     // In-KVM: same instrumentation, but syscalls pass through.
-    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
+    let base = session.measure(profile, superblocks, ExperimentConfig::Baseline)?;
     let workload = Workload::build(WorkloadSpec {
         profile: *profile,
         superblocks,
@@ -157,20 +215,31 @@ pub fn vmfunc_dune_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f
     let fw = MemSentry::with_layout(Technique::Vmfunc, SafeRegionLayout::sensitive(16));
     let mut program = workload.program.clone();
     fw.instrument_points(&mut program, SwitchPoints::Syscall)
-        .expect("instrumentation");
+        .map_err(|e| fail(e.into()))?;
     let mut machine = Machine::new(program);
-    fw.prepare_machine(&mut machine).expect("prepare");
+    fw.prepare_machine(&mut machine)
+        .map_err(|e| fail(e.into()))?;
     machine.set_syscall_passthrough(true);
     workload.prepare(&mut machine);
-    machine.run().expect_exit();
+    if let RunOutcome::Trapped(trap) = machine.run() {
+        return Err(fail(CellFailure::Trapped(trap)));
+    }
     let kvm = machine.cycles() / base.cycles;
-    (dune, kvm)
+    Ok((dune, kvm))
 }
 
 /// Ablation 5: the value of PCID for page-table switching — tagged
 /// switches vs full-flush switches at call/ret frequency. Returns
 /// (with_pcid, without_pcid) normalized overheads.
-pub fn pcid_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn pcid_ablation(
+    session: &Session,
+    profile: &BenchProfile,
+    superblocks: u32,
+) -> Result<(f64, f64), MeasureError> {
     let layout = SafeRegionLayout::sensitive(16);
     let prep = |m: &mut Machine, l: &SafeRegionLayout| {
         m.space.map_region(
@@ -184,20 +253,24 @@ pub fn pcid_ablation(profile: &BenchProfile, superblocks: u32) -> (f64, f64) {
             .unmap_region(memsentry_mmu::VirtAddr(l.base), memsentry_mmu::PAGE_SIZE);
     };
     let tagged = run_custom_domain(
+        session,
+        "PTS-pcid",
         profile,
         superblocks,
         SwitchPoints::CallRet,
         DomainSequences::page_table_switch(&layout),
         prep,
-    );
+    )?;
     let flushing = run_custom_domain(
+        session,
+        "PTS-flush",
         profile,
         superblocks,
         SwitchPoints::CallRet,
         DomainSequences::page_table_switch_no_pcid(&layout),
         prep,
-    );
-    (tagged, flushing)
+    )?;
+    Ok((tagged, flushing))
 }
 
 #[cfg(test)]
@@ -209,7 +282,7 @@ mod tests {
     #[test]
     fn dual_bounds_mpx_is_worse_than_sfi() {
         // The §6.3 claim, reproduced.
-        let (single, dual, sfi) = mpx_bounds_ablation(SB);
+        let (single, dual, sfi) = mpx_bounds_ablation(&Session::new(), SB).unwrap();
         assert!(single < sfi, "single {single} < SFI {sfi}");
         assert!(
             dual > sfi,
@@ -221,7 +294,7 @@ mod tests {
     #[test]
     fn the_fence_is_most_of_mpk_switch_cost() {
         let p = BenchProfile::by_name("gobmk").unwrap();
-        let (fenced, unfenced) = mpk_fence_ablation(p, SB);
+        let (fenced, unfenced) = mpk_fence_ablation(&Session::new(), p, SB).unwrap();
         assert!(unfenced < fenced);
         let saved = (fenced - unfenced) / (fenced - 1.0);
         assert!(
@@ -233,7 +306,7 @@ mod tests {
     #[test]
     fn pinned_keys_cut_crypt_switch_cost() {
         let p = BenchProfile::by_name("gobmk").unwrap();
-        let (parked, pinned) = crypt_keys_ablation(p, SB);
+        let (parked, pinned) = crypt_keys_ablation(&Session::new(), p, SB).unwrap();
         assert!(pinned < parked, "pinned {pinned} < parked {parked}");
         // The per-open imc (71 cycles) dominates; pinning should cut the
         // above-baseline overhead by more than half.
@@ -246,7 +319,7 @@ mod tests {
     #[test]
     fn pcid_tagging_beats_flushing_switches() {
         let p = BenchProfile::by_name("gobmk").unwrap();
-        let (tagged, flushing) = pcid_ablation(p, SB);
+        let (tagged, flushing) = pcid_ablation(&Session::new(), p, SB).unwrap();
         assert!(
             tagged < flushing,
             "PCID {tagged} must beat flushing {flushing}"
@@ -256,10 +329,22 @@ mod tests {
     #[test]
     fn dune_syscall_conversion_dominates_vmfunc_syscall_overhead() {
         let p = BenchProfile::by_name("gcc").unwrap(); // syscall-heaviest
-        let (dune, kvm) = vmfunc_dune_ablation(p, SB * 4);
+        let (dune, kvm) = vmfunc_dune_ablation(&Session::new(), p, SB * 4).unwrap();
         assert!(kvm < dune, "kvm {kvm} < dune {dune}");
         // With passthrough, the only cost is the (tiny) vmfunc pair per
         // syscall — most of Figure 6's VMFUNC column is Dune.
         assert!((kvm - 1.0) < (dune - 1.0) * 0.7, "{kvm} vs {dune}");
+    }
+
+    #[test]
+    fn one_session_serves_all_single_profile_ablations() {
+        // Fence, keys and PCID ablations on the same benchmark reuse one
+        // cached baseline run.
+        let session = Session::new();
+        let p = BenchProfile::by_name("gobmk").unwrap();
+        mpk_fence_ablation(&session, p, SB).unwrap();
+        crypt_keys_ablation(&session, p, SB).unwrap();
+        pcid_ablation(&session, p, SB).unwrap();
+        assert_eq!(session.baseline_runs(), 1);
     }
 }

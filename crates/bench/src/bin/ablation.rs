@@ -1,40 +1,41 @@
 //! Ablation studies over the design choices (see DESIGN.md and the
 //! module docs of `memsentry_bench::ablation`).
+//! Args: `[superblocks] [--jobs N]`.
 use memsentry_bench::ablation::*;
+use memsentry_bench::cli;
 use memsentry_workloads::BenchProfile;
 
 fn main() {
-    let sb = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let args = cli::parse_or_exit("ablation [superblocks] [--jobs N]");
+    let session = args.session();
+    let sb = args.superblocks_or(12);
     let gobmk = BenchProfile::by_name("gobmk").unwrap();
     let gcc = BenchProfile::by_name("gcc").unwrap();
 
     println!("Ablation 1: MPX bounds checks vs SFI (-rw geomean over 19 benchmarks)");
-    let (single, dual, sfi) = mpx_bounds_ablation(sb);
+    let (single, dual, sfi) = cli::ok_or_exit(mpx_bounds_ablation(&session, sb));
     println!("  MPX single bndcu   {single:.3}");
     println!("  MPX bndcl+bndcu    {dual:.3}");
     println!("  SFI                {sfi:.3}");
     println!("  (paper §6.3: dual-bounds MPX is 'slightly worse' than SFI)\n");
 
     println!("Ablation 2: the mfence share of the MPK switch (gobmk, call/ret)");
-    let (fenced, unfenced) = mpk_fence_ablation(gobmk, sb);
+    let (fenced, unfenced) = cli::ok_or_exit(mpk_fence_ablation(&session, gobmk, sb));
     println!("  with mfence        {fenced:.3}");
     println!("  without mfence     {unfenced:.3}\n");
 
     println!("Ablation 3: crypt key handling (gobmk, call/ret, no xmm penalty)");
-    let (parked, pinned) = crypt_keys_ablation(gobmk, sb);
+    let (parked, pinned) = cli::ok_or_exit(crypt_keys_ablation(&session, gobmk, sb));
     println!("  ymm-parked + imc   {parked:.3}   (MemSentry, deployable)");
     println!("  xmm-pinned (CCFI)  {pinned:.3}   (requires system-wide recompilation)\n");
 
     println!("Ablation 5: PCID value for page-table switching (gobmk, call/ret)");
-    let (tagged, flushing) = pcid_ablation(gobmk, sb);
+    let (tagged, flushing) = cli::ok_or_exit(pcid_ablation(&session, gobmk, sb));
     println!("  PCID-tagged switches   {tagged:.3}");
     println!("  flushing switches      {flushing:.3}\n");
 
     println!("Ablation 4: Dune vs in-KVM VMFUNC (gcc, syscall switch points)");
-    let (dune, kvm) = vmfunc_dune_ablation(gcc, sb * 4);
+    let (dune, kvm) = cli::ok_or_exit(vmfunc_dune_ablation(&session, gcc, sb * 4));
     println!("  Dune (syscalls -> vmcalls) {dune:.3}");
     println!("  in-KVM (native syscalls)   {kvm:.3}");
     println!("  (paper §5.1: the Dune deployment is 'not fundamental to our design')");

@@ -1,86 +1,139 @@
 //! Runs the complete evaluation and writes every artifact (text + JSON)
 //! into `results/`. This is the one-command regeneration of the paper's
 //! tables and figures plus the ablations and extensions.
+//!
+//! Args: `[superblocks] [--jobs N]`. All measurements flow through one
+//! `Session`, so the per-benchmark baselines are simulated once and
+//! shared by every artifact, and grids fan out over `N` workers; the
+//! artifact bytes are identical for any `--jobs` value (the CI
+//! determinism job diffs `--jobs 1` against the parallel default).
+//! Progress and per-artifact wall-clock go to stdout; a failing artifact
+//! is reported with its structured measurement error and the run exits
+//! nonzero after attempting the rest.
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use memsentry_bench::ablation::*;
 use memsentry_bench::extras::*;
-use memsentry_bench::figures::{self, paper};
+use memsentry_bench::figures::{self, paper, Figure};
 use memsentry_bench::kernels_study::kernel_overheads;
+use memsentry_bench::measure::Session;
 use memsentry_bench::report::FigureReport;
-use memsentry_bench::tables;
+use memsentry_bench::runner::MeasureError;
+use memsentry_bench::{cli, tables};
 use memsentry_workloads::BenchProfile;
 
+/// Times one artifact, writes it on success, records the failure
+/// otherwise.
+fn stage(
+    out: &Path,
+    failures: &mut Vec<MeasureError>,
+    name: &str,
+    produce: impl FnOnce() -> Result<String, MeasureError>,
+) {
+    let started = Instant::now();
+    match produce() {
+        Ok(content) => {
+            fs::write(out.join(name), content).expect("write result");
+            println!(
+                "wrote results/{name}  ({:.2}s)",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("FAILED results/{name}: {e}");
+            failures.push(e);
+        }
+    }
+}
+
 fn main() {
-    let sb = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(figures::FIGURE_SUPERBLOCKS);
+    let args = cli::parse_or_exit("all [superblocks] [--jobs N]");
+    let sb = args.superblocks_or(figures::FIGURE_SUPERBLOCKS);
+    let session = args.session();
+    let started = Instant::now();
     let out = Path::new("results");
     fs::create_dir_all(out).expect("create results/");
+    let mut failures: Vec<MeasureError> = Vec::new();
+    println!(
+        "regenerating results/ ({sb} superblocks per run, {} worker(s))",
+        session.jobs()
+    );
 
-    let write = |name: &str, content: String| {
-        fs::write(out.join(name), &content).expect("write result");
-        println!("wrote results/{name}");
-    };
+    stage(out, &mut failures, "table1.txt", || Ok(tables::table1()));
+    stage(out, &mut failures, "table2.txt", || Ok(tables::table2()));
+    stage(out, &mut failures, "table3.txt", || Ok(tables::table3()));
+    stage(out, &mut failures, "table4.txt", || {
+        Ok(tables::render_table4(&tables::table4()))
+    });
 
-    write("table1.txt", tables::table1());
-    write("table2.txt", tables::table2());
-    write("table3.txt", tables::table3());
-    write("table4.txt", tables::render_table4(&tables::table4()));
-
-    for (n, fig, target) in [
-        (3, figures::figure3(sb), &paper::FIG3[..]),
-        (4, figures::figure4(sb), &paper::FIG4[..]),
-        (5, figures::figure5(sb), &paper::FIG5[..]),
-        (6, figures::figure6(sb), &paper::FIG6[..]),
-    ] {
-        write(&format!("fig{n}.txt"), fig.render());
-        write(
-            &format!("fig{n}.json"),
-            FigureReport::from_figure(&fig, Some(target)).to_json(),
-        );
+    type FigureFn = fn(&Session, u32) -> Result<Figure, MeasureError>;
+    let figure_fns: [(u32, FigureFn, &[f64]); 4] = [
+        (3, figures::figure3, &paper::FIG3),
+        (4, figures::figure4, &paper::FIG4),
+        (5, figures::figure5, &paper::FIG5),
+        (6, figures::figure6, &paper::FIG6),
+    ];
+    for (n, figure_fn, target) in figure_fns {
+        let computed = Instant::now();
+        match figure_fn(&session, sb) {
+            Ok(fig) => {
+                println!(
+                    "computed figure {n}  ({:.2}s)",
+                    computed.elapsed().as_secs_f64()
+                );
+                stage(out, &mut failures, &format!("fig{n}.txt"), || {
+                    Ok(fig.render())
+                });
+                stage(out, &mut failures, &format!("fig{n}.json"), || {
+                    Ok(FigureReport::from_figure(&fig, Some(target)).to_json())
+                });
+            }
+            Err(e) => {
+                eprintln!("FAILED figure {n}: {e}");
+                failures.push(e);
+            }
+        }
     }
 
-    let (g, min, max) = mprotect_baseline(sb.min(12));
-    write(
-        "mprotect_baseline.txt",
-        format!("geomean {g:.1}x  min {min:.1}x  max {max:.1}x (paper: 20-50x)\n"),
-    );
+    stage(out, &mut failures, "mprotect_baseline.txt", || {
+        let (g, min, max) = mprotect_baseline(&session, sb.min(12))?;
+        Ok(format!(
+            "geomean {g:.1}x  min {min:.1}x  max {max:.1}x (paper: 20-50x)\n"
+        ))
+    });
 
-    let mcf = BenchProfile::by_name("mcf").unwrap();
-    let scaling = crypt_scaling(mcf, sb.min(12), &[16, 64, 256, 1024, 4096]);
-    write(
-        "crypt_scaling.txt",
-        scaling
+    stage(out, &mut failures, "crypt_scaling.txt", || {
+        let mcf = BenchProfile::by_name("mcf").unwrap();
+        let scaling = crypt_scaling(&session, mcf, sb.min(12), &[16, 64, 256, 1024, 4096])?;
+        Ok(scaling
             .iter()
             .map(|(s, o)| format!("{s:>6} B  {o:.2}x\n"))
-            .collect(),
-    );
+            .collect())
+    });
 
-    let gobmk = BenchProfile::by_name("gobmk").unwrap();
-    let gcc = BenchProfile::by_name("gcc").unwrap();
-    let (s1a, s1b, s1c) = mpx_bounds_ablation(sb.min(12));
-    let (s2a, s2b) = mpk_fence_ablation(gobmk, sb.min(12));
-    let (s3a, s3b) = crypt_keys_ablation(gobmk, sb.min(12));
-    let (s4a, s4b) = vmfunc_dune_ablation(gcc, sb.min(12) * 4);
-    let (s5a, s5b) = pcid_ablation(gobmk, sb.min(12));
-    let (pts, mpk, mp) = pts_extension(sb.min(12));
-    write(
-        "ablations.txt",
-        format!(
+    stage(out, &mut failures, "ablations.txt", || {
+        let gobmk = BenchProfile::by_name("gobmk").unwrap();
+        let gcc = BenchProfile::by_name("gcc").unwrap();
+        let (s1a, s1b, s1c) = mpx_bounds_ablation(&session, sb.min(12))?;
+        let (s2a, s2b) = mpk_fence_ablation(&session, gobmk, sb.min(12))?;
+        let (s3a, s3b) = crypt_keys_ablation(&session, gobmk, sb.min(12))?;
+        let (s4a, s4b) = vmfunc_dune_ablation(&session, gcc, sb.min(12) * 4)?;
+        let (s5a, s5b) = pcid_ablation(&session, gobmk, sb.min(12))?;
+        let (pts, mpk, mp) = pts_extension(&session, sb.min(12))?;
+        Ok(format!(
             "A1 mpx-single {s1a:.3}  mpx-dual {s1b:.3}  sfi {s1c:.3}\n\
              A2 mpk-fenced {s2a:.3}  mpk-unfenced {s2b:.3}\n\
              A3 crypt-parked {s3a:.3}  crypt-pinned {s3b:.3}\n\
              A4 vmfunc-dune {s4a:.3}  vmfunc-kvm {s4b:.3}\n\
              A5 pts-pcid {s5a:.3}  pts-flush {s5b:.3}\n\
              E1 pts {pts:.3}  mpk {mpk:.3}  mprotect {mp:.3}\n"
-        ),
-    );
-    write(
-        "kernels.txt",
-        kernel_overheads()
+        ))
+    });
+
+    stage(out, &mut failures, "kernels.txt", || {
+        Ok(kernel_overheads(&session)?
             .iter()
             .map(|r| {
                 format!(
@@ -88,15 +141,14 @@ fn main() {
                     r.name, r.mpx_rw, r.sfi_rw
                 )
             })
-            .collect(),
-    );
+            .collect())
+    });
 
-    let srv: String = {
+    stage(out, &mut failures, "servers.txt", || {
         use memsentry::Technique;
-        use memsentry_bench::extras::server_vs_spec;
         use memsentry_bench::runner::ExperimentConfig;
         use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
-        let mut out = String::new();
+        let mut srv = String::new();
         for (label, cfg) in [
             (
                 "MPX -rw",
@@ -114,14 +166,28 @@ fn main() {
                 },
             ),
         ] {
-            let (spec, servers) = server_vs_spec(sb.min(12), cfg);
-            out.push_str(&format!(
+            let (spec, servers) = server_vs_spec(&session, sb.min(12), cfg)?;
+            srv.push_str(&format!(
                 "{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"
             ));
         }
-        out
-    };
-    write("servers.txt", srv);
+        Ok(srv)
+    });
 
     println!("done ({sb} superblocks per run)");
+    println!(
+        "{} simulations ({} baseline runs, {} cache hits) on {} worker(s) in {:.1}s",
+        session.simulations(),
+        session.baseline_runs(),
+        session.cache_hits(),
+        session.jobs(),
+        started.elapsed().as_secs_f64()
+    );
+    if !failures.is_empty() {
+        eprintln!("{} artifact(s) failed:", failures.len());
+        for e in &failures {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,23 +1,26 @@
 //! Crypt overhead vs safe-region size (paper §6.2: linear, ~15x at 1 KiB).
+//! Args: `[superblocks] [--jobs N]`.
+use memsentry_bench::cli;
 use memsentry_bench::extras::crypt_scaling;
 use memsentry_workloads::BenchProfile;
 
 fn main() {
-    let superblocks = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let args = cli::parse_or_exit("crypt_scaling [superblocks] [--jobs N]");
+    let session = args.session();
+    let superblocks = args.superblocks_or(12);
     let p = BenchProfile::by_name("mcf").expect("profile");
     println!(
         "crypt region-size scaling on {} (call/ret switching)",
         p.name
     );
     println!("{:>10}  {:>10}", "bytes", "overhead");
-    for (size, o) in crypt_scaling(
+    let points = cli::ok_or_exit(crypt_scaling(
+        &session,
         p,
         superblocks,
         &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
-    ) {
+    ));
+    for (size, o) in points {
         println!("{size:>10}  {o:>9.2}x");
     }
     println!("(paper: cost grows linearly; ~15x at 1024 bytes)");

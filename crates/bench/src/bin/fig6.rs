@@ -1,17 +1,14 @@
-//! Regenerates Figure 6. Args: `[superblocks] [--json]`.
-use memsentry_bench::figures;
+//! Regenerates Figure 6. Args: `[superblocks] [--jobs N] [--json]`.
 use memsentry_bench::report::FigureReport;
+use memsentry_bench::{cli, figures};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let superblocks = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(figures::FIGURE_SUPERBLOCKS);
-    let fig = figures::figure6(superblocks);
+    let args = cli::parse_or_exit("fig6 [superblocks] [--jobs N] [--json]");
+    let session = args.session();
+    let superblocks = args.superblocks_or(figures::FIGURE_SUPERBLOCKS);
+    let fig = cli::ok_or_exit(figures::figure6(&session, superblocks));
     let paper = figures::paper::FIG6;
-    if json {
+    if args.json {
         println!(
             "{}",
             FigureReport::from_figure(&fig, Some(&paper)).to_json()

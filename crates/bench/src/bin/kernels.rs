@@ -1,9 +1,13 @@
 //! Address-based overhead on real, oracle-checked algorithm kernels.
+//! Args: `[--jobs N]`.
+use memsentry_bench::cli;
 use memsentry_bench::kernels_study::kernel_overheads;
 
 fn main() {
+    let args = cli::parse_or_exit("kernels [--jobs N]");
+    let session = args.session();
     println!("{:<26} {:>8} {:>8}", "kernel", "MPX-rw", "SFI-rw");
-    for row in kernel_overheads() {
+    for row in cli::ok_or_exit(kernel_overheads(&session)) {
         println!("{:<26} {:>8.3} {:>8.3}", row.name, row.mpx_rw, row.sfi_rw);
     }
     println!("\n(synthetic Figure 3 geomeans: MPX-rw 1.159, SFI-rw 1.265)");

@@ -1,12 +1,13 @@
 //! The POSIX mprotect baseline (paper §1: 20-50x overhead).
+//! Args: `[superblocks] [--jobs N]`.
+use memsentry_bench::cli;
 use memsentry_bench::extras::mprotect_baseline;
 
 fn main() {
-    let superblocks = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let (geomean, min, max) = mprotect_baseline(superblocks);
+    let args = cli::parse_or_exit("mprotect_baseline [superblocks] [--jobs N]");
+    let session = args.session();
+    let superblocks = args.superblocks_or(12);
+    let (geomean, min, max) = cli::ok_or_exit(mprotect_baseline(&session, superblocks));
     println!("mprotect page-permission baseline at call/ret frequency");
     println!("  geomean {geomean:.1}x   min {min:.1}x   max {max:.1}x");
     println!("  (paper: \"significant overhead (e.g., 20-50x in our experiments)\")");

@@ -1,13 +1,14 @@
 //! The page-table-switching extension (PCID-tagged address-space views):
 //! the paper's footnoted alternative, quantified.
+//! Args: `[superblocks] [--jobs N]`.
+use memsentry_bench::cli;
 use memsentry_bench::extras::pts_extension;
 
 fn main() {
-    let sb = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let (pts, mpk, mprotect) = pts_extension(sb);
+    let args = cli::parse_or_exit("pts_extension [superblocks] [--jobs N]");
+    let session = args.session();
+    let sb = args.superblocks_or(12);
+    let (pts, mpk, mprotect) = cli::ok_or_exit(pts_extension(&session, sb));
     println!("domain switching at call/ret frequency (geomean over 19 benchmarks)");
     println!("  MPK                      {mpk:.3}");
     println!("  page-table switch (PCID) {pts:.3}");

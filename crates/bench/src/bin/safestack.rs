@@ -1,13 +1,14 @@
 //! The SafeStack case study (paper §6.2): MemSentry -w on a production
 //! shadow-stack-style defense; identical to Figure 3's write columns.
+//! Args: `[superblocks] [--jobs N]`.
+use memsentry_bench::cli;
 use memsentry_bench::extras::safestack_study;
 
 fn main() {
-    let superblocks = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
-    let (mpx_w, sfi_w) = safestack_study(superblocks);
+    let args = cli::parse_or_exit("safestack [superblocks] [--jobs N]");
+    let session = args.session();
+    let superblocks = args.superblocks_or(20);
+    let (mpx_w, sfi_w) = cli::ok_or_exit(safestack_study(&session, superblocks));
     println!("SafeStack hardened with MemSentry (write instrumentation)");
     println!("  MPX-w geomean {mpx_w:.3}   (paper: 1.028)");
     println!("  SFI-w geomean {sfi_w:.3}   (paper: 1.040)");

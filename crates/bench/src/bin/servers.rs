@@ -1,15 +1,16 @@
 //! Server-style I/O-bound workloads vs SPEC (paper §6: "the overhead for
 //! I/O bound applications such as servers will be lower").
+//! Args: `[superblocks] [--jobs N]`.
 use memsentry::Technique;
+use memsentry_bench::cli;
 use memsentry_bench::extras::server_vs_spec;
 use memsentry_bench::runner::ExperimentConfig;
 use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
 
 fn main() {
-    let sb = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let args = cli::parse_or_exit("servers [superblocks] [--jobs N]");
+    let session = args.session();
+    let sb = args.superblocks_or(12);
     println!("{:<28} {:>10} {:>10}", "config", "SPEC", "servers");
     let rows: Vec<(&str, ExperimentConfig)> = vec![
         (
@@ -52,7 +53,7 @@ fn main() {
         ),
     ];
     for (label, cfg) in rows {
-        let (spec, servers) = server_vs_spec(sb, cfg);
+        let (spec, servers) = cli::ok_or_exit(server_vs_spec(&session, sb, cfg));
         println!("{label:<28} {spec:>10.3} {servers:>10.3}");
     }
     println!();

@@ -1,0 +1,173 @@
+//! Shared argument parsing for the harness binaries.
+//!
+//! All `bin/` entry points accept the same surface:
+//!
+//! ```text
+//! <bin> [superblocks] [--jobs N] [--json]
+//! ```
+//!
+//! A malformed superblock count is a hard usage error — historically the
+//! binaries fell back to the default on anything unparseable
+//! (`.and_then(|s| s.parse().ok())`), so `all 4O` silently regenerated
+//! the full 40-superblock artifact set instead of failing fast.
+
+use crate::measure::Session;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Superblock count, if given (binaries apply their own default).
+    pub superblocks: Option<u32>,
+    /// Worker count (`--jobs N`); `None` means one per hardware thread.
+    pub jobs: Option<usize>,
+    /// `--json`: emit the machine-readable artifact as well.
+    pub json: bool,
+}
+
+impl HarnessArgs {
+    /// The superblock count, or `default` when the argument was omitted.
+    pub fn superblocks_or(&self, default: u32) -> u32 {
+        self.superblocks.unwrap_or(default)
+    }
+
+    /// Builds the measurement session the parsed `--jobs` asks for.
+    pub fn session(&self) -> Session {
+        match self.jobs {
+            Some(n) => Session::with_jobs(n),
+            None => Session::new(),
+        }
+    }
+}
+
+/// Parses harness arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a one-line description for an unparseable superblock count, a
+/// bad `--jobs` value, an unknown flag, or a stray extra positional.
+pub fn parse(args: impl IntoIterator<Item = String>) -> Result<HarnessArgs, String> {
+    let mut parsed = HarnessArgs {
+        superblocks: None,
+        jobs: None,
+        json: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            parsed.json = true;
+        } else if let Some(value) = arg
+            .strip_prefix("--jobs=")
+            .map(str::to_owned)
+            .or_else(|| (arg == "--jobs").then(|| args.next().unwrap_or_default()))
+        {
+            let jobs: usize = value
+                .parse()
+                .map_err(|_| format!("--jobs needs a positive integer, got '{value}'"))?;
+            if jobs == 0 {
+                return Err("--jobs needs a positive integer, got '0'".into());
+            }
+            parsed.jobs = Some(jobs);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag '{arg}'"));
+        } else if parsed.superblocks.is_some() {
+            return Err(format!("unexpected extra argument '{arg}'"));
+        } else {
+            let sb: u32 = arg
+                .parse()
+                .map_err(|_| format!("superblock count must be an integer, got '{arg}'"))?;
+            if sb == 0 {
+                return Err("superblock count must be at least 1".into());
+            }
+            parsed.superblocks = Some(sb);
+        }
+    }
+    Ok(parsed)
+}
+
+/// Unwraps a measurement result, or prints the structured error to
+/// stderr and exits with status 1.
+pub fn ok_or_exit<T>(result: Result<T, crate::runner::MeasureError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `std::env::args()` or prints the error plus `usage` to stderr
+/// and exits with status 2 — the binaries' shared entry point.
+pub fn parse_or_exit(usage: &str) -> HarnessArgs {
+    match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<HarnessArgs, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_args_leave_defaults() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a.superblocks, None);
+        assert_eq!(a.jobs, None);
+        assert!(!a.json);
+        assert_eq!(a.superblocks_or(40), 40);
+    }
+
+    #[test]
+    fn positional_superblocks_and_flags() {
+        let a = p(&["12", "--jobs", "3", "--json"]).unwrap();
+        assert_eq!(a.superblocks, Some(12));
+        assert_eq!(a.jobs, Some(3));
+        assert!(a.json);
+        assert_eq!(a.superblocks_or(40), 12);
+        assert_eq!(a.session().jobs(), 3);
+    }
+
+    #[test]
+    fn jobs_equals_form() {
+        assert_eq!(p(&["--jobs=5"]).unwrap().jobs, Some(5));
+    }
+
+    #[test]
+    fn garbage_superblocks_is_an_error_not_the_default() {
+        // The regression this module exists for: "4O" (letter O) used to
+        // silently select the 40-superblock default.
+        assert!(p(&["4O"]).unwrap_err().contains("4O"));
+        assert!(p(&["-3"]).is_err());
+        assert!(p(&["0"]).is_err());
+    }
+
+    #[test]
+    fn bad_jobs_values_are_errors() {
+        assert!(p(&["--jobs"]).is_err());
+        assert!(p(&["--jobs", "zero"]).is_err());
+        assert!(p(&["--jobs", "0"]).is_err());
+        assert!(p(&["--jobs="]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_positionals_are_errors() {
+        assert!(p(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        assert!(p(&["8", "9"]).unwrap_err().contains("9"));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = p(&["--json", "7"]).unwrap();
+        assert_eq!(a.superblocks, Some(7));
+        assert!(a.json);
+    }
+}

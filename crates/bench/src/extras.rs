@@ -1,106 +1,133 @@
 //! The remaining evaluation artifacts: the mprotect baseline (§1: 20-50x),
 //! crypt's region-size scaling (§6.2: linear, ~15x at 1 KiB), and the
 //! SafeStack case study (§6.2: no added overhead; identical to Figure 3).
+//!
+//! All artifacts draw from a shared [`Session`], so the per-benchmark
+//! baseline simulations are shared with the figures (and with each other)
+//! when the superblock counts line up.
 
 use memsentry::Technique;
 use memsentry_passes::SwitchPoints;
 use memsentry_workloads::{profiles::geomean, BenchProfile, SERVERS, SPEC2006};
 
-use crate::runner::{overhead, ExperimentConfig};
+use crate::measure::Session;
+use crate::runner::{ExperimentConfig, MeasureError};
 
 /// The mprotect baseline at call/ret frequency over all benchmarks:
 /// returns (geomean, min, max) normalized overhead.
-pub fn mprotect_baseline(superblocks: u32) -> (f64, f64, f64) {
-    let values: Vec<f64> = SPEC2006
-        .iter()
-        .map(|p| {
-            overhead(
-                p,
-                superblocks,
-                ExperimentConfig::Domain {
-                    technique: Technique::MprotectBaseline,
-                    points: SwitchPoints::CallRet,
-                    region_len: 16,
-                },
-            )
-        })
-        .collect();
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn mprotect_baseline(
+    session: &Session,
+    superblocks: u32,
+) -> Result<(f64, f64, f64), MeasureError> {
+    let config = ExperimentConfig::Domain {
+        technique: Technique::MprotectBaseline,
+        points: SwitchPoints::CallRet,
+        region_len: 16,
+    };
+    let grid = session.overhead_grid(&SPEC2006, superblocks, &[config])?;
+    let values: Vec<f64> = grid.into_iter().map(|row| row[0]).collect();
     let g = geomean(values.iter().copied());
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(0.0, f64::max);
-    (g, min, max)
+    Ok((g, min, max))
 }
 
 /// Crypt overhead as a function of safe-region size (bytes) on a call/ret
 /// workload: returns (size, normalized overhead) pairs.
-pub fn crypt_scaling(profile: &BenchProfile, superblocks: u32, sizes: &[u64]) -> Vec<(u64, f64)> {
-    sizes
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn crypt_scaling(
+    session: &Session,
+    profile: &BenchProfile,
+    superblocks: u32,
+    sizes: &[u64],
+) -> Result<Vec<(u64, f64)>, MeasureError> {
+    let configs: Vec<ExperimentConfig> = sizes
         .iter()
-        .map(|&len| {
-            let o = overhead(
-                profile,
-                superblocks,
-                ExperimentConfig::Domain {
-                    technique: Technique::Crypt,
-                    points: SwitchPoints::CallRet,
-                    region_len: len,
-                },
-            );
-            (len, o)
+        .map(|&len| ExperimentConfig::Domain {
+            technique: Technique::Crypt,
+            points: SwitchPoints::CallRet,
+            region_len: len,
         })
-        .collect()
+        .collect();
+    let grid = session.overhead_grid(std::slice::from_ref(profile), superblocks, &configs)?;
+    Ok(sizes.iter().copied().zip(grid[0].iter().copied()).collect())
 }
 
 /// The SafeStack study: SafeStack itself adds no instructions, so its
 /// MemSentry overhead equals plain `-w` instrumentation (Figure 3's MPX-w
 /// and SFI-w columns). Returns (MPX-w geomean, SFI-w geomean).
-pub fn safestack_study(superblocks: u32) -> (f64, f64) {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn safestack_study(session: &Session, superblocks: u32) -> Result<(f64, f64), MeasureError> {
     use memsentry_passes::{AddressKind, InstrumentMode};
-    let run = |kind| {
-        geomean(SPEC2006.iter().map(|p| {
-            overhead(
-                p,
-                superblocks,
-                ExperimentConfig::Address {
-                    kind,
-                    mode: InstrumentMode::WRITES,
-                },
-            )
-        }))
+    let cfg = |kind| ExperimentConfig::Address {
+        kind,
+        mode: InstrumentMode::WRITES,
     };
-    (run(AddressKind::Mpx), run(AddressKind::Sfi))
+    let grid = session.overhead_grid(
+        &SPEC2006,
+        superblocks,
+        &[cfg(AddressKind::Mpx), cfg(AddressKind::Sfi)],
+    )?;
+    let mpx = geomean(grid.iter().map(|row| row[0]));
+    let sfi = geomean(grid.iter().map(|row| row[1]));
+    Ok((mpx, sfi))
 }
 
 /// I/O-bound server workloads vs SPEC (paper §6: "the overhead for I/O
 /// bound applications such as servers will be lower"). Returns
 /// (spec_geomean, server_geomean) for a given config builder.
-pub fn server_vs_spec(superblocks: u32, config: ExperimentConfig) -> (f64, f64) {
-    let spec = geomean(SPEC2006.iter().map(|p| overhead(p, superblocks, config)));
-    let servers = geomean(SERVERS.iter().map(|p| overhead(p, superblocks, config)));
-    (spec, servers)
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn server_vs_spec(
+    session: &Session,
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> Result<(f64, f64), MeasureError> {
+    let spec_grid = session.overhead_grid(&SPEC2006, superblocks, &[config])?;
+    let server_grid = session.overhead_grid(&SERVERS, superblocks, &[config])?;
+    let spec = geomean(spec_grid.iter().map(|row| row[0]));
+    let servers = geomean(server_grid.iter().map(|row| row[0]));
+    Ok((spec, servers))
 }
 
 /// The page-table-switching extension vs MPK and the mprotect baseline
 /// at call/ret frequency: (PTS, MPK, mprotect) geomean overheads.
-pub fn pts_extension(superblocks: u32) -> (f64, f64, f64) {
-    let run = |technique| {
-        geomean(SPEC2006.iter().map(|p| {
-            overhead(
-                p,
-                superblocks,
-                ExperimentConfig::Domain {
-                    technique,
-                    points: SwitchPoints::CallRet,
-                    region_len: 16,
-                },
-            )
-        }))
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn pts_extension(session: &Session, superblocks: u32) -> Result<(f64, f64, f64), MeasureError> {
+    let cfg = |technique| ExperimentConfig::Domain {
+        technique,
+        points: SwitchPoints::CallRet,
+        region_len: 16,
     };
-    (
-        run(Technique::PageTableSwitch),
-        run(Technique::Mpk),
-        run(Technique::MprotectBaseline),
-    )
+    let grid = session.overhead_grid(
+        &SPEC2006,
+        superblocks,
+        &[
+            cfg(Technique::PageTableSwitch),
+            cfg(Technique::Mpk),
+            cfg(Technique::MprotectBaseline),
+        ],
+    )?;
+    Ok((
+        geomean(grid.iter().map(|row| row[0])),
+        geomean(grid.iter().map(|row| row[1])),
+        geomean(grid.iter().map(|row| row[2])),
+    ))
 }
 
 #[cfg(test)]
@@ -110,7 +137,7 @@ mod tests {
 
     #[test]
     fn mprotect_baseline_is_tens_of_x() {
-        let (g, min, max) = mprotect_baseline(4);
+        let (g, min, max) = mprotect_baseline(&Session::new(), 4).unwrap();
         assert!(g > 10.0, "geomean {g}");
         assert!(max < 400.0, "max {max}");
         assert!(min > 1.0);
@@ -119,7 +146,7 @@ mod tests {
     #[test]
     fn crypt_scales_linearly_and_hits_15x_at_1kib() {
         let p = BenchProfile::by_name("mcf").unwrap();
-        let points = crypt_scaling(p, 4, &[16, 64, 256, 1024]);
+        let points = crypt_scaling(&Session::new(), p, 4, &[16, 64, 256, 1024]).unwrap();
         // Monotone growth.
         for w in points.windows(2) {
             assert!(w[1].1 > w[0].1, "{points:?}");
@@ -140,12 +167,14 @@ mod tests {
     fn server_workloads_see_lower_address_based_overhead() {
         use memsentry_passes::{AddressKind, InstrumentMode};
         let (spec, servers) = server_vs_spec(
+            &Session::new(),
             4,
             ExperimentConfig::Address {
                 kind: AddressKind::Mpx,
                 mode: InstrumentMode::READ_WRITE,
             },
-        );
+        )
+        .unwrap();
         assert!(
             servers - 1.0 < (spec - 1.0) * 0.8,
             "servers {servers} should be well under SPEC {spec}"
@@ -161,7 +190,7 @@ mod tests {
             points: SwitchPoints::IndirectBranch,
             region_len: 16,
         };
-        let (spec, servers) = server_vs_spec(4, cfg);
+        let (spec, servers) = server_vs_spec(&Session::new(), 4, cfg).unwrap();
         let _ = spec;
         // Dune conversion alone should be a visible share of server time.
         assert!(servers > 1.05, "servers {servers}");
@@ -172,15 +201,26 @@ mod tests {
         // The extension's selling point: far cheaper than mprotect (no
         // PTE rewrites, no TLB flush thanks to PCID), but the syscall per
         // switch keeps it well above MPK.
-        let (pts, mpk, mprotect) = pts_extension(4);
+        let (pts, mpk, mprotect) = pts_extension(&Session::new(), 4).unwrap();
         assert!(mpk < pts, "MPK {mpk} < PTS {pts}");
         assert!(pts < mprotect / 3.0, "PTS {pts} << mprotect {mprotect}");
     }
 
     #[test]
     fn safestack_matches_figure3_write_columns() {
-        let (mpx_w, sfi_w) = safestack_study(5);
+        let (mpx_w, sfi_w) = safestack_study(&Session::new(), 5).unwrap();
         assert!(mpx_w < sfi_w);
         assert!(mpx_w > 1.0 && mpx_w < 1.2);
+    }
+
+    #[test]
+    fn extras_share_baselines_with_each_other() {
+        // mprotect baseline + PTS study at the same superblock count:
+        // 19 baseline cells total, not 19 per artifact.
+        let session = Session::new();
+        mprotect_baseline(&session, 4).unwrap();
+        assert_eq!(session.baseline_runs(), SPEC2006.len() as u64);
+        pts_extension(&session, 4).unwrap();
+        assert_eq!(session.baseline_runs(), SPEC2006.len() as u64);
     }
 }

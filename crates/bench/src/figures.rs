@@ -1,10 +1,15 @@
 //! Figure regeneration: the paper's Figures 3-6.
+//!
+//! Every figure is computed through a [`Session`], which shares one
+//! baseline simulation per benchmark across all series and figures and
+//! fans the (benchmark × config) grid out over worker threads.
 
 use memsentry::Technique;
 use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
 use memsentry_workloads::{profiles::geomean, BenchProfile, SPEC2006};
 
-use crate::runner::{overhead, ExperimentConfig};
+use crate::measure::Session;
+use crate::runner::{ExperimentConfig, MeasureError};
 
 /// Number of superblock iterations per figure run (~4000 insts each).
 pub const FIGURE_SUPERBLOCKS: u32 = 40;
@@ -23,25 +28,28 @@ pub struct Figure {
 }
 
 impl Figure {
-    fn compute(title: &'static str, superblocks: u32, configs: &[ExperimentConfig]) -> Self {
+    fn compute(
+        title: &'static str,
+        session: &Session,
+        superblocks: u32,
+        configs: &[ExperimentConfig],
+    ) -> Result<Self, MeasureError> {
         let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
-        let mut rows = Vec::with_capacity(SPEC2006.len());
-        for profile in &SPEC2006 {
-            let values: Vec<f64> = configs
-                .iter()
-                .map(|c| overhead(profile, superblocks, *c))
-                .collect();
-            rows.push((profile.short_name(), values));
-        }
+        let grid = session.overhead_grid(&SPEC2006, superblocks, configs)?;
+        let rows: Vec<(&'static str, Vec<f64>)> = SPEC2006
+            .iter()
+            .map(BenchProfile::short_name)
+            .zip(grid)
+            .collect();
         let geomeans = (0..configs.len())
             .map(|i| geomean(rows.iter().map(|(_, v)| v[i])))
             .collect();
-        Self {
+        Ok(Self {
             title,
             labels,
             rows,
             geomeans,
-        }
+        })
     }
 
     /// Renders the figure as an aligned text table (the harness output).
@@ -71,10 +79,15 @@ impl Figure {
 
 /// Figure 3: SPEC overhead for instrumenting all stores (-w), loads (-r)
 /// and both (-rw) for SFI and MPX.
-pub fn figure3(superblocks: u32) -> Figure {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn figure3(session: &Session, superblocks: u32) -> Result<Figure, MeasureError> {
     let cfg = |kind, mode| ExperimentConfig::Address { kind, mode };
     Figure::compute(
         "Figure 3: address-based instrumentation (SFI vs MPX)",
+        session,
         superblocks,
         &[
             cfg(AddressKind::Mpx, InstrumentMode::WRITES),
@@ -87,7 +100,12 @@ pub fn figure3(superblocks: u32) -> Figure {
     )
 }
 
-fn domain_figure(title: &'static str, superblocks: u32, points: SwitchPoints) -> Figure {
+fn domain_figure(
+    title: &'static str,
+    session: &Session,
+    superblocks: u32,
+    points: SwitchPoints,
+) -> Result<Figure, MeasureError> {
     let cfg = |technique| ExperimentConfig::Domain {
         technique,
         points,
@@ -95,6 +113,7 @@ fn domain_figure(title: &'static str, superblocks: u32, points: SwitchPoints) ->
     };
     Figure::compute(
         title,
+        session,
         superblocks,
         &[
             cfg(Technique::Mpk),
@@ -105,27 +124,42 @@ fn domain_figure(title: &'static str, superblocks: u32, points: SwitchPoints) ->
 }
 
 /// Figure 4: domain switch at every call and ret (shadow stack).
-pub fn figure4(superblocks: u32) -> Figure {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn figure4(session: &Session, superblocks: u32) -> Result<Figure, MeasureError> {
     domain_figure(
         "Figure 4: domain switches at every call/ret (shadow stack)",
+        session,
         superblocks,
         SwitchPoints::CallRet,
     )
 }
 
 /// Figure 5: domain switch at every indirect branch (CFI / layout rando).
-pub fn figure5(superblocks: u32) -> Figure {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn figure5(session: &Session, superblocks: u32) -> Result<Figure, MeasureError> {
     domain_figure(
         "Figure 5: domain switches at every indirect branch",
+        session,
         superblocks,
         SwitchPoints::IndirectBranch,
     )
 }
 
 /// Figure 6: domain switch at every system call.
-pub fn figure6(superblocks: u32) -> Figure {
+///
+/// # Errors
+///
+/// Propagates the first failing measurement cell.
+pub fn figure6(session: &Session, superblocks: u32) -> Result<Figure, MeasureError> {
     domain_figure(
         "Figure 6: domain switches at every system call",
+        session,
         superblocks,
         SwitchPoints::Syscall,
     )
@@ -164,7 +198,7 @@ mod tests {
 
     #[test]
     fn figure3_shape_matches_paper() {
-        let fig = figure3(SB);
+        let fig = figure3(&Session::new(), SB).unwrap();
         for (i, &target) in paper::FIG3.iter().enumerate() {
             assert!(
                 within(fig.geomeans[i], target, 0.5),
@@ -184,7 +218,7 @@ mod tests {
 
     #[test]
     fn figure4_shape_matches_paper() {
-        let fig = figure4(SB);
+        let fig = figure4(&Session::new(), SB).unwrap();
         for (i, &target) in paper::FIG4.iter().enumerate() {
             assert!(
                 within(fig.geomeans[i], target, 0.5),
@@ -201,7 +235,7 @@ mod tests {
 
     #[test]
     fn figure5_shape_matches_paper() {
-        let fig = figure5(SB);
+        let fig = figure5(&Session::new(), SB).unwrap();
         for (i, &target) in paper::FIG5.iter().enumerate() {
             assert!(
                 within(fig.geomeans[i], target, 0.6),
@@ -216,7 +250,7 @@ mod tests {
 
     #[test]
     fn figure6_shape_matches_paper() {
-        let fig = figure6(SB * 4);
+        let fig = figure6(&Session::new(), SB * 4).unwrap();
         for (i, &target) in paper::FIG6.iter().enumerate() {
             assert!(
                 within(fig.geomeans[i], target, 0.8),
@@ -235,7 +269,7 @@ mod tests {
 
     #[test]
     fn figure4_peaks_on_call_heavy_benchmarks() {
-        let fig = figure4(SB);
+        let fig = figure4(&Session::new(), SB).unwrap();
         let vmfunc_of = |name: &str| {
             fig.rows
                 .iter()
@@ -251,9 +285,22 @@ mod tests {
 
     #[test]
     fn render_produces_a_full_table() {
-        let fig = figure6(SB);
+        let fig = figure6(&Session::new(), SB).unwrap();
         let text = fig.render();
         assert!(text.contains("geomean"));
         assert_eq!(text.lines().count(), 2 + 19 + 1);
+    }
+
+    #[test]
+    fn one_session_shares_baselines_across_figures() {
+        // Figures 4-6 at the same superblock count must reuse the same 19
+        // baseline cells; only the instrumented cells differ.
+        let session = Session::new();
+        figure4(&session, SB).unwrap();
+        let after_one = session.baseline_runs();
+        assert_eq!(after_one, SPEC2006.len() as u64);
+        figure5(&session, SB).unwrap();
+        figure6(&session, SB).unwrap();
+        assert_eq!(session.baseline_runs(), after_one);
     }
 }

@@ -5,10 +5,18 @@
 //! matrix multiply) whose results are oracle-checked. If the synthetic
 //! calibration were an artifact of the generator, these numbers would
 //! diverge wildly; they land in the same band.
+//!
+//! Kernels are not [`memsentry_workloads::BenchProfile`]s, so their runs
+//! don't go through the session *cache*; the session still provides the
+//! worker pool (the three kernels measure concurrently) and the study's
+//! failures surface as structured [`MeasureError`]s like everything else.
 
-use memsentry_cpu::Machine;
+use memsentry_cpu::{Machine, RunOutcome};
 use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass};
 use memsentry_workloads::{hashtable_kernel, matmul_kernel, sort_kernel, Kernel};
+
+use crate::measure::Session;
+use crate::runner::{CellFailure, MeasureError};
 
 /// One kernel row: name plus normalized overheads for MPX-rw and SFI-rw.
 #[derive(Debug, Clone)]
@@ -21,37 +29,58 @@ pub struct KernelRow {
     pub sfi_rw: f64,
 }
 
-fn measure(kernel: &Kernel, kind: Option<AddressKind>) -> f64 {
+fn measure(
+    name: &'static str,
+    kernel: &Kernel,
+    kind: Option<AddressKind>,
+) -> Result<f64, MeasureError> {
+    let fail = |failure: CellFailure| MeasureError {
+        benchmark: name,
+        config: match kind {
+            None => "baseline".into(),
+            Some(AddressKind::Sfi) => "SFI-rw".into(),
+            _ => "MPX-rw".into(),
+        },
+        failure,
+    };
     let mut program = kernel.program.clone();
     if let Some(kind) = kind {
         AddressBasedPass::new(kind, InstrumentMode::READ_WRITE)
             .run(&mut program)
-            .expect("instrumentation failed");
+            .map_err(|e| fail(CellFailure::Pass(e)))?;
     }
     let mut machine = Machine::new(program);
     kernel.prepare(&mut machine);
-    assert_eq!(machine.run().expect_exit(), kernel.expected);
-    machine.cycles()
+    match machine.run() {
+        RunOutcome::Trapped(trap) => Err(fail(CellFailure::Trapped(trap))),
+        RunOutcome::Exited(code) => {
+            // The oracle: instrumentation must not change the result.
+            assert_eq!(code, kernel.expected, "{name}: kernel result corrupted");
+            Ok(machine.cycles())
+        }
+    }
 }
 
-/// Runs the study.
-pub fn kernel_overheads() -> Vec<KernelRow> {
+/// Runs the study on the session's worker pool.
+///
+/// # Errors
+///
+/// Propagates the first failing kernel measurement in input order.
+pub fn kernel_overheads(session: &Session) -> Result<Vec<KernelRow>, MeasureError> {
     let kernels: [(&'static str, Kernel); 3] = [
         ("sort (insertion, n=512)", sort_kernel(512, 11)),
         ("hashtable (n=512)", hashtable_kernel(512, 11)),
         ("matmul (16x16)", matmul_kernel(16, 11)),
     ];
-    kernels
-        .iter()
-        .map(|(name, kernel)| {
-            let base = measure(kernel, None);
-            KernelRow {
-                name,
-                mpx_rw: measure(kernel, Some(AddressKind::Mpx)) / base,
-                sfi_rw: measure(kernel, Some(AddressKind::Sfi)) / base,
-            }
+    let rows = session.parallel_map(&kernels, |&(name, ref kernel)| {
+        let base = measure(name, kernel, None)?;
+        Ok(KernelRow {
+            name,
+            mpx_rw: measure(name, kernel, Some(AddressKind::Mpx))? / base,
+            sfi_rw: measure(name, kernel, Some(AddressKind::Sfi))? / base,
         })
-        .collect()
+    });
+    rows.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -60,7 +89,7 @@ mod tests {
 
     #[test]
     fn kernel_overheads_land_in_the_figure3_band() {
-        for row in kernel_overheads() {
+        for row in kernel_overheads(&Session::new()).unwrap() {
             assert!(
                 row.mpx_rw > 1.0 && row.mpx_rw < 1.45,
                 "{}: MPX {}",
@@ -75,6 +104,17 @@ mod tests {
                 row.mpx_rw
             );
             assert!(row.sfi_rw < 1.8, "{}: SFI {}", row.name, row.sfi_rw);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_kernel_studies_agree() {
+        let serial = kernel_overheads(&Session::with_jobs(1)).unwrap();
+        let parallel = kernel_overheads(&Session::with_jobs(3)).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.mpx_rw.to_bits(), p.mpx_rw.to_bits());
+            assert_eq!(s.sfi_rw.to_bits(), p.sfi_rw.to_bits());
         }
     }
 }

@@ -5,6 +5,12 @@
 //! * [`runner`] — runs one (benchmark profile, isolation configuration)
 //!   pair on the simulated machine and reports normalized overhead, the
 //!   paper's metric.
+//! * [`measure`] — the [`measure::Session`] engine every artifact draws
+//!   from: memoizes measurement cells (one baseline simulation per
+//!   benchmark), fans grids out over worker threads, and reports failures
+//!   as structured values.
+//! * [`cli`] — the shared `[superblocks] [--jobs N] [--json]` argument
+//!   surface of the `bin/` entry points.
 //! * [`figures`] — Figure 3 (SFI vs MPX x -r/-w/-rw), Figures 4-6
 //!   (MPK/VMFUNC/crypt at call-ret, indirect branches, system calls).
 //! * [`tables`] — Tables 1-4 as printable text.
@@ -15,11 +21,14 @@
 //! same computations under Criterion for wall-clock tracking.
 
 pub mod ablation;
+pub mod cli;
 pub mod extras;
 pub mod figures;
 pub mod kernels_study;
+pub mod measure;
 pub mod report;
 pub mod runner;
 pub mod tables;
 
-pub use runner::{overhead, run_config, ExperimentConfig, Measurement};
+pub use measure::Session;
+pub use runner::{overhead, run_config, CellFailure, ExperimentConfig, MeasureError, Measurement};

@@ -1,0 +1,345 @@
+//! The measurement engine: a memoizing, parallel front-end over
+//! [`crate::runner::run_config`].
+//!
+//! Every artifact generator (figures, tables, ablations, extras, the
+//! kernel study, the server workloads and all `bin/` entry points) draws
+//! its measurements from one [`Session`]. The session
+//!
+//! * **deduplicates simulations**: results are cached per
+//!   `(profile, superblocks, config)` cell, so the baseline run that every
+//!   overhead number divides by is simulated exactly once per
+//!   `(profile, superblocks)` pair instead of once per figure column;
+//! * **fans out across threads**: grid computations run on a small
+//!   work-stealing pool built on [`std::thread::scope`] (no external
+//!   dependencies), bounded by the session's job count;
+//! * **stays deterministic**: the simulator is cycle-deterministic per
+//!   cell and results are reassembled in input order, so serial
+//!   (`jobs = 1`) and parallel sessions produce byte-identical artifacts
+//!   (asserted in `tests/measurement_cache.rs` and by the CI determinism
+//!   job);
+//! * **propagates failures as values**: a cell that cannot be
+//!   instrumented or traps yields a [`MeasureError`] that is cached and
+//!   reported like any other result — a broken cell never panics a worker
+//!   thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use memsentry_workloads::BenchProfile;
+
+use crate::runner::{run_config, ExperimentConfig, MeasureError, Measurement};
+
+/// A measurement cell: one benchmark at one length under one
+/// configuration. `BenchProfile` instances are `'static` table entries,
+/// so the name identifies the profile.
+type CellKey = (&'static str, u32, ExperimentConfig);
+
+/// What a cell resolves to (cached verbatim, including failures).
+type CellResult = Result<Measurement, MeasureError>;
+
+/// A concurrency-safe, memoizing measurement session.
+///
+/// Create one per harness invocation and route every measurement through
+/// it; see the module docs for what that buys.
+#[derive(Debug)]
+pub struct Session {
+    jobs: usize,
+    cells: Mutex<HashMap<CellKey, Arc<OnceLock<CellResult>>>>,
+    simulations: AtomicU64,
+    baseline_runs: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session using one worker per available hardware thread.
+    pub fn new() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_jobs(jobs)
+    }
+
+    /// A session with an explicit worker count (`--jobs N`; clamped to at
+    /// least 1). `with_jobs(1)` runs everything serially on the calling
+    /// thread.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            cells: Mutex::new(HashMap::new()),
+            simulations: AtomicU64::new(0),
+            baseline_runs: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker count grid computations fan out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Simulations actually executed (cache misses).
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// Baseline simulations actually executed — at most one per
+    /// `(profile, superblocks)` pair for the session's lifetime.
+    pub fn baseline_runs(&self) -> u64 {
+        self.baseline_runs.load(Ordering::Relaxed)
+    }
+
+    /// Measurements served from the cache instead of re-simulated.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Measures one cell, simulating at most once per distinct
+    /// `(profile, superblocks, config)` for the session's lifetime.
+    /// Concurrent requests for the same in-flight cell block on the
+    /// first computation rather than duplicating it. Failures are cached
+    /// and replayed exactly like successes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly cached) [`MeasureError`] of the cell.
+    pub fn measure(
+        &self,
+        profile: &BenchProfile,
+        superblocks: u32,
+        config: ExperimentConfig,
+    ) -> CellResult {
+        let key = (profile.name, superblocks, config);
+        let slot = {
+            let mut cells = self.cells.lock().unwrap();
+            Arc::clone(cells.entry(key).or_default())
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            if config == ExperimentConfig::Baseline {
+                self.baseline_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            run_config(profile, superblocks, config)
+        });
+        if !fresh {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Normalized overhead of `config` over the baseline, both memoized.
+    /// Agrees bit-for-bit with [`crate::runner::overhead`] (property-
+    /// tested in `tests/measurement_cache.rs`): the cached baseline and
+    /// instrumented cycle counts are the exact values a fresh run
+    /// produces, so the quotient is too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`MeasureError`] of whichever of the two cells
+    /// failed.
+    pub fn overhead(
+        &self,
+        profile: &BenchProfile,
+        superblocks: u32,
+        config: ExperimentConfig,
+    ) -> Result<f64, MeasureError> {
+        let base = self.measure(profile, superblocks, ExperimentConfig::Baseline)?;
+        let inst = self.measure(profile, superblocks, config)?;
+        Ok(inst.cycles / base.cycles)
+    }
+
+    /// Computes the full `profiles` × `configs` overhead grid, fanning
+    /// the cells out over the session's workers. The returned matrix is
+    /// indexed `[profile][config]` in input order regardless of how the
+    /// cells were scheduled; with several configs per profile the
+    /// baseline of each profile is simulated once and shared.
+    ///
+    /// # Errors
+    ///
+    /// If any cell fails, returns the failure of the first broken cell
+    /// in row-major order (deterministic under parallelism: every cell
+    /// resolves to a value before selection).
+    pub fn overhead_grid(
+        &self,
+        profiles: &[BenchProfile],
+        superblocks: u32,
+        configs: &[ExperimentConfig],
+    ) -> Result<Vec<Vec<f64>>, MeasureError> {
+        let cells: Vec<(usize, usize)> = (0..profiles.len())
+            .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
+            .collect();
+        let results = self.parallel_map(&cells, |&(p, c)| {
+            self.overhead(&profiles[p], superblocks, configs[c])
+        });
+        let mut flat = results.into_iter();
+        let mut rows = Vec::with_capacity(profiles.len());
+        for _ in profiles {
+            let mut row = Vec::with_capacity(configs.len());
+            for _ in configs {
+                row.push(flat.next().expect("grid cell count")?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Applies `f` to every item on the session's worker pool and returns
+    /// the results in input order. With `jobs = 1` (or a single item)
+    /// this degenerates to a plain serial map on the calling thread.
+    /// Worker panics propagate to the caller when the scope joins.
+    pub fn parallel_map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.jobs.min(items.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let value = f(&items[i]);
+                    *slots[i].lock().unwrap() = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every slot filled by a worker")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{self, CellFailure};
+    use memsentry::Technique;
+    use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
+    use memsentry_workloads::SPEC2006;
+
+    const SB: u32 = 6;
+
+    fn mpx_rw() -> ExperimentConfig {
+        ExperimentConfig::Address {
+            kind: AddressKind::Mpx,
+            mode: InstrumentMode::READ_WRITE,
+        }
+    }
+
+    fn mpk_callret() -> ExperimentConfig {
+        ExperimentConfig::Domain {
+            technique: Technique::Mpk,
+            points: SwitchPoints::CallRet,
+            region_len: 16,
+        }
+    }
+
+    #[test]
+    fn cached_overhead_is_bitwise_identical_to_uncached() {
+        let session = Session::with_jobs(1);
+        for config in [mpx_rw(), mpk_callret()] {
+            let cached = session.overhead(&SPEC2006[0], SB, config).unwrap();
+            let fresh = runner::overhead(&SPEC2006[0], SB, config).unwrap();
+            assert_eq!(cached.to_bits(), fresh.to_bits(), "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn baseline_is_simulated_exactly_once() {
+        let session = Session::with_jobs(1);
+        session.overhead(&SPEC2006[0], SB, mpx_rw()).unwrap();
+        session.overhead(&SPEC2006[0], SB, mpk_callret()).unwrap();
+        session
+            .measure(&SPEC2006[0], SB, ExperimentConfig::Baseline)
+            .unwrap();
+        assert_eq!(session.baseline_runs(), 1);
+        assert_eq!(session.simulations(), 3); // baseline + 2 instrumented
+        assert_eq!(session.cache_hits(), 2); // 2nd + 3rd baseline requests
+    }
+
+    #[test]
+    fn distinct_superblocks_are_distinct_cells() {
+        let session = Session::with_jobs(1);
+        session
+            .measure(&SPEC2006[0], SB, ExperimentConfig::Baseline)
+            .unwrap();
+        session
+            .measure(&SPEC2006[0], SB + 1, ExperimentConfig::Baseline)
+            .unwrap();
+        assert_eq!(session.baseline_runs(), 2);
+    }
+
+    #[test]
+    fn serial_and_parallel_grids_are_identical() {
+        let profiles = [SPEC2006[0], SPEC2006[5], SPEC2006[11]];
+        let configs = [mpx_rw(), mpk_callret()];
+        let serial = Session::with_jobs(1)
+            .overhead_grid(&profiles, SB, &configs)
+            .unwrap();
+        let parallel = Session::with_jobs(4)
+            .overhead_grid(&profiles, SB, &configs)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 3);
+        assert!(serial.iter().all(|row| row.len() == 2));
+    }
+
+    #[test]
+    fn grid_shares_one_baseline_per_profile() {
+        let session = Session::with_jobs(4);
+        let profiles = [SPEC2006[0], SPEC2006[1]];
+        let configs = [mpx_rw(), mpk_callret()];
+        session.overhead_grid(&profiles, SB, &configs).unwrap();
+        assert_eq!(session.baseline_runs(), profiles.len() as u64);
+        assert_eq!(
+            session.simulations(),
+            (profiles.len() * (configs.len() + 1)) as u64
+        );
+    }
+
+    #[test]
+    fn unsupported_cell_reports_structured_error_and_is_cached() {
+        let session = Session::with_jobs(1);
+        let bad = ExperimentConfig::Domain {
+            technique: Technique::Sfi,
+            points: SwitchPoints::CallRet,
+            region_len: 16,
+        };
+        let err = session.overhead(&SPEC2006[0], SB, bad).unwrap_err();
+        assert_eq!(err.benchmark, SPEC2006[0].short_name());
+        assert!(matches!(err.failure, CellFailure::Unsupported { .. }));
+        let sims = session.simulations();
+        let again = session.overhead(&SPEC2006[0], SB, bad).unwrap_err();
+        assert_eq!(again, err, "failure replayed from cache");
+        assert_eq!(session.simulations(), sims, "failure not re-simulated");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let session = Session::with_jobs(4);
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = session.parallel_map(&items, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

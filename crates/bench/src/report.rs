@@ -66,10 +66,11 @@ impl FigureReport {
 mod tests {
     use super::*;
     use crate::figures::{figure6, paper};
+    use crate::measure::Session;
 
     #[test]
     fn report_roundtrips_through_json() {
-        let fig = figure6(3);
+        let fig = figure6(&Session::new(), 3).unwrap();
         let report = FigureReport::from_figure(&fig, Some(&paper::FIG6));
         let json = report.to_json();
         let back: FigureReport = serde_json::from_str(&json).unwrap();
@@ -80,7 +81,7 @@ mod tests {
 
     #[test]
     fn json_contains_benchmarks_and_labels() {
-        let fig = figure6(2);
+        let fig = figure6(&Session::new(), 2).unwrap();
         let json = FigureReport::from_figure(&fig, None).to_json();
         assert!(json.contains("xalancbmk"));
         assert!(json.contains("MPK"));

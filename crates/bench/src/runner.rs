@@ -1,12 +1,21 @@
 //! Runs one benchmark profile under one isolation configuration.
+//!
+//! Measurement is fallible end-to-end: a cell that cannot be instrumented
+//! or that traps on the simulated machine reports a structured
+//! [`MeasureError`] naming the benchmark, the configuration and the
+//! underlying failure, instead of panicking inside a worker thread. The
+//! memoizing/parallel front-end over this module is
+//! [`crate::measure::Session`].
 
-use memsentry::{MemSentry, SafeRegionLayout, Technique};
-use memsentry_cpu::{ExecStats, Machine};
-use memsentry_passes::{AddressBasedPass, AddressKind, InstrumentMode, Pass, SwitchPoints};
+use memsentry::{FrameworkError, MemSentry, SafeRegionLayout, Technique};
+use memsentry_cpu::{ExecStats, Machine, RunOutcome, Trap};
+use memsentry_passes::{
+    AddressBasedPass, AddressKind, InstrumentMode, Pass, PassError, PassFailure, SwitchPoints,
+};
 use memsentry_workloads::{BenchProfile, Workload, WorkloadSpec};
 
 /// One isolation configuration of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExperimentConfig {
     /// Uninstrumented run (the denominator of every figure).
     Baseline,
@@ -53,6 +62,79 @@ impl ExperimentConfig {
     }
 }
 
+/// Why one measurement cell failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellFailure {
+    /// An instrumentation pipeline stage failed (the pass itself, the
+    /// structural verifier, or the isolation soundness checker).
+    Instrument(PassError),
+    /// A raw pass failure outside a managed pipeline.
+    Pass(PassFailure),
+    /// The technique cannot express the requested configuration.
+    Unsupported {
+        /// The technique asked to do something it cannot.
+        technique: Technique,
+        /// The unsupported operation.
+        operation: &'static str,
+    },
+    /// The (instrumented) program trapped instead of exiting.
+    Trapped(Trap),
+}
+
+impl core::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CellFailure::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            CellFailure::Pass(e) => write!(f, "pass failed: {e}"),
+            CellFailure::Unsupported {
+                technique,
+                operation,
+            } => write!(f, "technique {technique} does not support {operation}"),
+            CellFailure::Trapped(t) => write!(f, "program trapped: {t}"),
+        }
+    }
+}
+
+impl From<FrameworkError> for CellFailure {
+    fn from(e: FrameworkError) -> Self {
+        match e {
+            FrameworkError::Pass(e) => CellFailure::Instrument(e),
+            FrameworkError::Trap(t) => CellFailure::Trapped(t),
+            FrameworkError::Unsupported {
+                technique,
+                operation,
+            } => CellFailure::Unsupported {
+                technique,
+                operation,
+            },
+        }
+    }
+}
+
+/// A structured measurement failure: which cell of the evaluation grid
+/// broke, and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureError {
+    /// Short benchmark name of the failing cell.
+    pub benchmark: &'static str,
+    /// Configuration label of the failing cell.
+    pub config: String,
+    /// The underlying failure.
+    pub failure: CellFailure,
+}
+
+impl core::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "measurement cell ({}, {}) failed: {}",
+            self.benchmark, self.config, self.failure
+        )
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// The result of one run.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
@@ -63,11 +145,22 @@ pub struct Measurement {
 }
 
 /// Runs `profile` for `superblocks` iterations under `config`.
+///
+/// # Errors
+///
+/// Returns a [`MeasureError`] if instrumentation fails or the program
+/// traps; the error carries the benchmark, the configuration label and
+/// the typed failure detail.
 pub fn run_config(
     profile: &BenchProfile,
     superblocks: u32,
     config: ExperimentConfig,
-) -> Measurement {
+) -> Result<Measurement, MeasureError> {
+    let fail = |failure: CellFailure| MeasureError {
+        benchmark: profile.short_name(),
+        config: config.label(),
+        failure,
+    };
     let workload = Workload::build(WorkloadSpec {
         profile: *profile,
         superblocks,
@@ -79,7 +172,7 @@ pub fn run_config(
         ExperimentConfig::Address { kind, mode } => {
             AddressBasedPass::new(kind, mode)
                 .run(&mut program)
-                .expect("instrumentation failed");
+                .map_err(|e| fail(CellFailure::Pass(e)))?;
             None
         }
         ExperimentConfig::Domain {
@@ -90,40 +183,55 @@ pub fn run_config(
             let layout = SafeRegionLayout::sensitive(region_len);
             let fw = MemSentry::with_layout(technique, layout);
             fw.instrument_points(&mut program, points)
-                .expect("domain instrumentation");
+                .map_err(|e| fail(e.into()))?;
             Some(fw)
         }
     };
 
     let mut machine = Machine::new(program);
     if let Some(fw) = &framework {
-        fw.prepare_machine(&mut machine).expect("prepare");
+        fw.prepare_machine(&mut machine)
+            .map_err(|e| fail(e.into()))?;
     }
     workload.prepare(&mut machine);
-    let out = machine.run();
-    out.expect_exit();
-    let mut cycles = machine.cycles();
+    if let RunOutcome::Trapped(trap) = machine.run() {
+        return Err(fail(CellFailure::Trapped(trap)));
+    }
+    let mut stats = *machine.stats();
     // crypt confiscates the ymm uppers for the whole execution: the
-    // benchmark's vector code pays a static penalty (paper §6.2).
+    // benchmark's vector code pays a static penalty (paper §6.2). Applied
+    // to the statistics record so `Measurement::cycles` and
+    // `stats.cycles` always agree.
     if let ExperimentConfig::Domain {
         technique: Technique::Crypt,
         ..
     } = config
     {
-        cycles *= 1.0 + profile.xmm_penalty;
+        stats.cycles *= 1.0 + profile.xmm_penalty;
     }
-    Measurement {
-        cycles,
-        stats: *machine.stats(),
-    }
+    Ok(Measurement {
+        cycles: stats.cycles,
+        stats,
+    })
 }
 
 /// Normalized run-time overhead of `config` over the baseline (1.0 = no
 /// overhead), the metric of the paper's figures.
-pub fn overhead(profile: &BenchProfile, superblocks: u32, config: ExperimentConfig) -> f64 {
-    let base = run_config(profile, superblocks, ExperimentConfig::Baseline);
-    let inst = run_config(profile, superblocks, config);
-    inst.cycles / base.cycles
+///
+/// This re-simulates the baseline on every call; artifact regeneration
+/// goes through [`crate::measure::Session::overhead`], which memoizes it.
+///
+/// # Errors
+///
+/// Propagates the [`MeasureError`] of whichever of the two runs failed.
+pub fn overhead(
+    profile: &BenchProfile,
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> Result<f64, MeasureError> {
+    let base = run_config(profile, superblocks, ExperimentConfig::Baseline)?;
+    let inst = run_config(profile, superblocks, config)?;
+    Ok(inst.cycles / base.cycles)
 }
 
 #[cfg(test)]
@@ -135,7 +243,7 @@ mod tests {
 
     #[test]
     fn baseline_runs_and_counts() {
-        let m = run_config(&SPEC2006[0], SB, ExperimentConfig::Baseline);
+        let m = run_config(&SPEC2006[0], SB, ExperimentConfig::Baseline).unwrap();
         assert!(m.cycles > 0.0);
         assert!(m.stats.instructions > SB as u64 * 3000);
     }
@@ -149,7 +257,8 @@ mod tests {
                 kind: AddressKind::Mpx,
                 mode: InstrumentMode::WRITES,
             },
-        );
+        )
+        .unwrap();
         assert!(o > 1.0 && o < 1.2, "MPX-w {o}");
     }
 
@@ -162,7 +271,8 @@ mod tests {
                 kind: AddressKind::Mpx,
                 mode: InstrumentMode::READ_WRITE,
             },
-        );
+        )
+        .unwrap();
         let sfi = overhead(
             &SPEC2006[2],
             SB,
@@ -170,7 +280,8 @@ mod tests {
                 kind: AddressKind::Sfi,
                 mode: InstrumentMode::READ_WRITE,
             },
-        );
+        )
+        .unwrap();
         assert!(sfi > mpx, "SFI {sfi} vs MPX {mpx}");
     }
 
@@ -182,9 +293,9 @@ mod tests {
             points: SwitchPoints::CallRet,
             region_len: 16,
         };
-        let mpk = overhead(p, SB, cfg(Technique::Mpk));
-        let crypt = overhead(p, SB, cfg(Technique::Crypt));
-        let vmfunc = overhead(p, SB, cfg(Technique::Vmfunc));
+        let mpk = overhead(p, SB, cfg(Technique::Mpk)).unwrap();
+        let crypt = overhead(p, SB, cfg(Technique::Crypt)).unwrap();
+        let vmfunc = overhead(p, SB, cfg(Technique::Vmfunc)).unwrap();
         assert!(mpk < crypt, "MPK {mpk} < crypt {crypt}");
         assert!(crypt < vmfunc, "crypt {crypt} < VMFUNC {vmfunc}");
         assert!(mpk > 1.0);
@@ -200,7 +311,8 @@ mod tests {
                 points: SwitchPoints::Syscall,
                 region_len: 16,
             },
-        );
+        )
+        .unwrap();
         assert!(o < 1.05, "MPK@syscall {o}");
     }
 
@@ -215,7 +327,8 @@ mod tests {
                 points: SwitchPoints::CallRet,
                 region_len: 16,
             },
-        );
+        )
+        .unwrap();
         // Each call and each ret triggers open+close = 2 vmfuncs.
         let events = m.stats.calls + m.stats.rets + m.stats.indirect_calls;
         assert_eq!(m.stats.vmfuncs, 2 * events);
@@ -232,7 +345,88 @@ mod tests {
                 points: SwitchPoints::Syscall,
                 region_len: 16,
             },
-        );
+        )
+        .unwrap();
         assert!(o > 2.0, "lbm under crypt {o} (1 + 1.73 penalty)");
+    }
+
+    #[test]
+    fn cycles_and_stats_cycles_agree_for_every_config() {
+        // Regression test for the crypt xmm-penalty inconsistency: the
+        // penalty used to be applied to `Measurement::cycles` only,
+        // leaving `stats.cycles` at the raw machine count.
+        let lbm = memsentry_workloads::BenchProfile::by_name("lbm").unwrap();
+        let configs = [
+            ExperimentConfig::Baseline,
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::READ_WRITE,
+            },
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::CallRet,
+                region_len: 16,
+            },
+            ExperimentConfig::Domain {
+                technique: Technique::Crypt,
+                points: SwitchPoints::CallRet,
+                region_len: 16,
+            },
+        ];
+        for config in configs {
+            let m = run_config(lbm, SB, config).unwrap();
+            assert_eq!(
+                m.cycles,
+                m.stats.cycles,
+                "{}: Measurement.cycles and stats.cycles disagree",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn crypt_penalty_reaches_the_stats_record() {
+        // The penalized crypt run must be dearer than MPK at the same
+        // switch points *in the stats record too* — lbm barely switches,
+        // so the difference is almost entirely the xmm confiscation.
+        let lbm = memsentry_workloads::BenchProfile::by_name("lbm").unwrap();
+        let cfg = |technique| ExperimentConfig::Domain {
+            technique,
+            points: SwitchPoints::Syscall,
+            region_len: 16,
+        };
+        let crypt = run_config(lbm, SB, cfg(Technique::Crypt)).unwrap();
+        let mpk = run_config(lbm, SB, cfg(Technique::Mpk)).unwrap();
+        assert!(
+            crypt.stats.cycles > mpk.stats.cycles * (1.0 + lbm.xmm_penalty) * 0.9,
+            "crypt stats.cycles {} vs mpk {}",
+            crypt.stats.cycles,
+            mpk.stats.cycles
+        );
+    }
+
+    #[test]
+    fn unsupported_domain_config_reports_structured_error() {
+        // SFI has no domain-switch sequences; the cell must fail with a
+        // typed error naming the cell, not panic.
+        let err = run_config(
+            &SPEC2006[0],
+            SB,
+            ExperimentConfig::Domain {
+                technique: Technique::Sfi,
+                points: SwitchPoints::CallRet,
+                region_len: 16,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.benchmark, SPEC2006[0].short_name());
+        assert!(matches!(
+            err.failure,
+            CellFailure::Unsupported {
+                technique: Technique::Sfi,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("SFI"), "{err}");
     }
 }

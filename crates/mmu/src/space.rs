@@ -593,6 +593,19 @@ mod tests {
     }
 
     #[test]
+    fn mprotect_and_unmap_count_page_flushes() {
+        // The per-page invalidation cost of the mprotect baseline and the
+        // PTS extension is observable: one page flush per page touched.
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0x4000), 2 * PAGE_SIZE, PageFlags::rw());
+        assert_eq!(s.tlb_stats().page_flushes, 0);
+        s.mprotect(VirtAddr(0x4000), 2 * PAGE_SIZE, Prot::Read);
+        assert_eq!(s.tlb_stats().page_flushes, 2);
+        s.unmap_region(VirtAddr(0x4000), PAGE_SIZE);
+        assert_eq!(s.tlb_stats().page_flushes, 3);
+    }
+
+    #[test]
     fn cross_page_write_spans_mappings() {
         let mut s = AddressSpace::new();
         s.map_region(VirtAddr(0x6000), 2 * PAGE_SIZE, PageFlags::rw());

@@ -21,6 +21,11 @@ pub struct TlbStats {
     pub misses: u64,
     /// Full flushes performed.
     pub flushes: u64,
+    /// Single-page invalidations (`invlpg`) executed, counted whether or
+    /// not the page was actually cached — the cost the kernel pays per
+    /// `mprotect`/`munmap` page, which the PTS/mprotect ablations assert
+    /// on.
+    pub page_flushes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +94,7 @@ impl Tlb {
     /// Invalidates the entry for one page in every address space
     /// (`invlpg` broadcast; the kernel invalidates across PCIDs).
     pub fn flush_page(&mut self, vpn: u64) {
+        self.stats.page_flushes += 1;
         let slot = (vpn as usize) % TLB_ENTRIES;
         if self.entries[slot].vpn == vpn {
             self.entries[slot].valid = false;
@@ -130,7 +136,8 @@ mod tests {
             TlbStats {
                 hits: 1,
                 misses: 1,
-                flushes: 0
+                flushes: 0,
+                page_flushes: 0
             }
         );
     }
@@ -162,6 +169,21 @@ mod tests {
         tlb.flush_page(3);
         assert!(tlb.lookup(0, 3).is_none());
         assert!(tlb.lookup(0, 4).is_some());
+        assert_eq!(tlb.stats().page_flushes, 1);
+    }
+
+    #[test]
+    fn flush_page_counts_even_when_page_is_not_cached() {
+        // A different vpn occupying the slot must survive the invlpg, but
+        // the invalidation itself still happened and must be visible in
+        // the stats (the mprotect/PTS ablations count these).
+        let mut tlb = Tlb::new();
+        tlb.insert(0, 5, pte());
+        tlb.flush_page(5 + TLB_ENTRIES as u64); // same slot, different vpn
+        assert!(tlb.lookup(0, 5).is_some(), "resident entry must survive");
+        assert_eq!(tlb.stats().page_flushes, 1);
+        tlb.flush_page(999); // empty slot
+        assert_eq!(tlb.stats().page_flushes, 2);
     }
 
     #[test]

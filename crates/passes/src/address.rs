@@ -18,7 +18,7 @@ use memsentry_mmu::addr::{SENSITIVE_BASE, SFI_MASK};
 use crate::manager::{Pass, PassFailure};
 
 /// Which accesses to instrument (the paper's `-r`, `-w`, `-rw` modes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrumentMode {
     /// Instrument loads (protects confidentiality — CFI metadata, keys).
     pub loads: bool,
@@ -45,7 +45,7 @@ impl InstrumentMode {
 }
 
 /// The two address-based techniques.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddressKind {
     /// Classic software fault isolation (pointer masking).
     Sfi,

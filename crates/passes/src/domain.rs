@@ -17,7 +17,7 @@ use crate::manager::{Pass, PassFailure};
 use crate::sequences::DomainSequences;
 
 /// Which instructions are instrumentation points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwitchPoints {
     /// Every `call` and `ret` (shadow stacks; Figure 4).
     CallRet,

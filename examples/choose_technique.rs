@@ -10,10 +10,14 @@ use memsentry_repro::memsentry::Technique;
 use memsentry_repro::passes::{AddressKind, InstrumentMode, SwitchPoints};
 use memsentry_repro::workloads::BenchProfile;
 
-use memsentry_bench::runner::{overhead, ExperimentConfig};
+use memsentry_bench::measure::Session;
+use memsentry_bench::runner::ExperimentConfig;
 
 fn main() {
     let superblocks = 12;
+    // One session for the whole sweep: each benchmark's baseline is
+    // simulated once and shared by all four technique columns.
+    let session = Session::new();
     println!("normalized overhead by call/ret frequency (profile sweep)\n");
     println!(
         "{:<24} {:>8} {:>8} {:>8} {:>8}",
@@ -26,24 +30,28 @@ fn main() {
 
     let mut crossover: Option<&str> = None;
     for p in profiles {
-        let mpx = overhead(
-            p,
-            superblocks,
-            ExperimentConfig::Address {
-                kind: AddressKind::Mpx,
-                mode: InstrumentMode::WRITES,
-            },
-        );
-        let domain = |t| {
-            overhead(
+        let mpx = session
+            .overhead(
                 p,
                 superblocks,
-                ExperimentConfig::Domain {
-                    technique: t,
-                    points: SwitchPoints::CallRet,
-                    region_len: 16,
+                ExperimentConfig::Address {
+                    kind: AddressKind::Mpx,
+                    mode: InstrumentMode::WRITES,
                 },
             )
+            .expect("measurement");
+        let domain = |t| {
+            session
+                .overhead(
+                    p,
+                    superblocks,
+                    ExperimentConfig::Domain {
+                        technique: t,
+                        points: SwitchPoints::CallRet,
+                        region_len: 16,
+                    },
+                )
+                .expect("measurement")
         };
         let mpk = domain(Technique::Mpk);
         let vmf = domain(Technique::Vmfunc);

@@ -3,6 +3,7 @@
 
 use memsentry_bench::extras::{crypt_scaling, mprotect_baseline, safestack_study};
 use memsentry_bench::figures::{figure3, figure4, figure5, figure6};
+use memsentry_bench::measure::Session;
 use memsentry_bench::tables::{render_table4, table1, table2, table3, table4};
 use memsentry_repro::workloads::BenchProfile;
 
@@ -20,18 +21,27 @@ fn every_table_renders() {
 
 #[test]
 fn every_figure_renders_19_rows() {
-    for fig in [figure3(SB), figure4(SB), figure5(SB), figure6(SB)] {
+    let s = Session::new();
+    for fig in [
+        figure3(&s, SB).unwrap(),
+        figure4(&s, SB).unwrap(),
+        figure5(&s, SB).unwrap(),
+        figure6(&s, SB).unwrap(),
+    ] {
         assert_eq!(fig.rows.len(), 19, "{}", fig.title);
         assert!(fig.geomeans.iter().all(|&g| g >= 1.0), "{}", fig.title);
         assert!(!fig.render().is_empty());
     }
+    // The whole run shares the 19 baseline simulations.
+    assert_eq!(s.baseline_runs(), 19);
 }
 
 #[test]
 fn headline_comparisons_hold() {
+    let s = Session::new();
     // MPX beats SFI for address-based isolation (paper abstract:
     // "up to 7.5% vs 21.6% for SFI" per-benchmark, geomeans 12 vs 17.1).
-    let f3 = figure3(SB);
+    let f3 = figure3(&s, SB).unwrap();
     for pair in [(0, 1), (2, 3), (4, 5)] {
         assert!(
             f3.geomeans[pair.0] < f3.geomeans[pair.1],
@@ -43,17 +53,18 @@ fn headline_comparisons_hold() {
     }
     // Domain-based ordering flips with switch frequency: at call/ret MPK
     // is best and VMFUNC worst; at syscalls crypt is worst (xmm loss).
-    let f4 = figure4(SB);
+    let f4 = figure4(&s, SB).unwrap();
     assert!(f4.geomeans[0] < f4.geomeans[2] && f4.geomeans[2] < f4.geomeans[1]);
-    let f6 = figure6(SB * 4);
+    let f6 = figure6(&s, SB * 4).unwrap();
     assert!(f6.geomeans[0] < f6.geomeans[1] && f6.geomeans[1] < f6.geomeans[2]);
 }
 
 #[test]
 fn address_based_beats_domain_based_at_call_ret_frequency() {
+    let s = Session::new();
     // The paper's §6.3 conclusion: frequent switches favor address-based.
-    let f3 = figure3(SB);
-    let f4 = figure4(SB);
+    let f3 = figure3(&s, SB).unwrap();
+    let f4 = figure4(&s, SB).unwrap();
     let mpx_w = f3.geomeans[0];
     let mpk_callret = f4.geomeans[0];
     assert!(
@@ -64,7 +75,7 @@ fn address_based_beats_domain_based_at_call_ret_frequency() {
 
 #[test]
 fn mprotect_baseline_in_paper_band() {
-    let (geomean, _, _) = mprotect_baseline(SB);
+    let (geomean, _, _) = mprotect_baseline(&Session::new(), SB).unwrap();
     assert!(
         (10.0..80.0).contains(&geomean),
         "paper: 20-50x; measured {geomean}"
@@ -74,7 +85,7 @@ fn mprotect_baseline_in_paper_band() {
 #[test]
 fn crypt_scaling_near_paper_15x_at_1kib() {
     let p = BenchProfile::by_name("mcf").unwrap();
-    let points = crypt_scaling(p, SB, &[16, 1024]);
+    let points = crypt_scaling(&Session::new(), p, SB, &[16, 1024]).unwrap();
     let at_1k = points[1].1;
     assert!(
         (8.0..30.0).contains(&at_1k),
@@ -84,8 +95,9 @@ fn crypt_scaling_near_paper_15x_at_1kib() {
 
 #[test]
 fn safestack_equals_write_instrumentation() {
-    let (mpx_w, sfi_w) = safestack_study(SB);
-    let f3 = figure3(SB);
+    let s = Session::new();
+    let (mpx_w, sfi_w) = safestack_study(&s, SB).unwrap();
+    let f3 = figure3(&s, SB).unwrap();
     assert!((mpx_w - f3.geomeans[0]).abs() < 0.02);
     assert!((sfi_w - f3.geomeans[1]).abs() < 0.02);
 }

@@ -1,0 +1,101 @@
+//! Properties of the measurement engine (`memsentry_bench::measure`):
+//!
+//! * caching is invisible — a session's `overhead` is bit-identical to a
+//!   fresh uncached `runner::overhead` for every technique × profile;
+//! * parallelism is invisible — serial (`--jobs 1`) and parallel
+//!   sessions produce byte-identical figures (the in-process half of the
+//!   CI determinism job, which additionally diffs `results/` on disk).
+
+use memsentry_bench::figures::figure4;
+use memsentry_bench::measure::Session;
+use memsentry_bench::runner::{self, ExperimentConfig};
+use memsentry_repro::memsentry::Technique;
+use memsentry_repro::passes::{AddressKind, InstrumentMode, SwitchPoints};
+use memsentry_repro::workloads::SPEC2006;
+use proptest::prelude::*;
+
+const SB: u32 = 4;
+
+/// Every configuration the harness measures: all address-based kinds and
+/// modes, and every domain technique at every switch-point class used by
+/// the artifacts. (ISboxing is omitted: its 32-bit truncation breaks
+/// programs with high addresses by design — workload stacks live above
+/// 4 GiB — and no artifact measures it.)
+fn any_config() -> impl Strategy<Value = ExperimentConfig> {
+    let kind = prop_oneof![
+        Just(AddressKind::Sfi),
+        Just(AddressKind::Mpx),
+        Just(AddressKind::MpxDual),
+    ];
+    let mode = prop_oneof![
+        Just(InstrumentMode::READS),
+        Just(InstrumentMode::WRITES),
+        Just(InstrumentMode::READ_WRITE),
+    ];
+    let technique = prop_oneof![
+        Just(Technique::Mpk),
+        Just(Technique::Vmfunc),
+        Just(Technique::Crypt),
+        Just(Technique::MprotectBaseline),
+        Just(Technique::PageTableSwitch),
+    ];
+    let points = prop_oneof![
+        Just(SwitchPoints::CallRet),
+        Just(SwitchPoints::IndirectBranch),
+        Just(SwitchPoints::Syscall),
+        Just(SwitchPoints::AllocatorCall),
+    ];
+    prop_oneof![
+        (kind, mode).prop_map(|(kind, mode)| ExperimentConfig::Address { kind, mode }),
+        (technique, points, prop_oneof![Just(16u64), Just(256u64)]).prop_map(
+            |(technique, points, region_len)| ExperimentConfig::Domain {
+                technique,
+                points,
+                region_len,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_and_uncached_overheads_agree_exactly(
+        profile_idx in 0usize..SPEC2006.len(),
+        config in any_config(),
+    ) {
+        let profile = &SPEC2006[profile_idx];
+        let session = Session::with_jobs(1);
+        // Hit the cell twice: the second read must come from the cache.
+        let first = session.overhead(profile, SB, config).unwrap();
+        let second = session.overhead(profile, SB, config).unwrap();
+        let fresh = runner::overhead(profile, SB, config).unwrap();
+        prop_assert_eq!(first.to_bits(), fresh.to_bits());
+        prop_assert_eq!(second.to_bits(), fresh.to_bits());
+        prop_assert!(session.cache_hits() > 0);
+    }
+}
+
+#[test]
+fn serial_and_parallel_figures_are_byte_identical() {
+    let serial = figure4(&Session::with_jobs(1), SB).unwrap();
+    let parallel = figure4(&Session::with_jobs(8), SB).unwrap();
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for ((name_s, row_s), (name_p, row_p)) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(name_s, name_p);
+        let bits_s: Vec<u64> = row_s.iter().map(|v| v.to_bits()).collect();
+        let bits_p: Vec<u64> = row_p.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_s, bits_p, "{name_s}");
+    }
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Scheduling nondeterminism must never leak into the numbers: two
+    // parallel sessions over the same grid agree with each other.
+    let a = figure4(&Session::with_jobs(4), SB).unwrap();
+    let b = figure4(&Session::with_jobs(4), SB).unwrap();
+    assert_eq!(a.render(), b.render());
+}

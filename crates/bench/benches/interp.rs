@@ -1,0 +1,91 @@
+//! Criterion interpreter-throughput benchmarks for the pre-decoded
+//! execution engine.
+//!
+//! These track the wall-clock speed of the simulator hot path itself —
+//! the quantity the decoded-stream + memory-fast-path work optimizes —
+//! on realistic instruction mixes: a full synthetic SPEC workload
+//! (baseline and MPK call/ret-instrumented) and the genuine IR kernels.
+//! The headline before/after numbers are recorded in `BENCH_interp.json`
+//! at the repository root; `cargo bench --bench interp` reproduces them.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use memsentry::{MemSentry, SafeRegionLayout, Technique};
+use memsentry_cpu::Machine;
+use memsentry_passes::SwitchPoints;
+use memsentry_workloads::{sort_kernel, BenchProfile, Workload, WorkloadSpec};
+
+/// Superblock count for the workload benches: large enough that run time
+/// dwarfs construction, small enough for Criterion's sample counts.
+const SUPERBLOCKS: u32 = 10;
+
+fn bench_workload_throughput(c: &mut Criterion) {
+    let profile = BenchProfile::by_name("gobmk").unwrap();
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks: SUPERBLOCKS,
+    });
+
+    // Count retired instructions once so Criterion reports elem/s =
+    // simulated instructions per second.
+    let instructions = {
+        let mut m = Machine::new(workload.program.clone());
+        workload.prepare(&mut m);
+        m.run().expect_exit();
+        m.stats().instructions
+    };
+
+    let mut group = c.benchmark_group("interp");
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("gobmk_baseline", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(workload.program.clone()));
+            workload.prepare(&mut m);
+            m.run().expect_exit();
+            m.stats().instructions
+        })
+    });
+
+    let mut instrumented = workload.program.clone();
+    let framework = MemSentry::with_layout(Technique::Mpk, SafeRegionLayout::sensitive(16));
+    framework
+        .instrument_points(&mut instrumented, SwitchPoints::CallRet)
+        .expect("instrument");
+    let mpk_instructions = {
+        let mut m = Machine::new(instrumented.clone());
+        framework.prepare_machine(&mut m).expect("prepare");
+        workload.prepare(&mut m);
+        m.run().expect_exit();
+        m.stats().instructions
+    };
+    group.throughput(Throughput::Elements(mpk_instructions));
+    group.bench_function("gobmk_mpk_callret", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(instrumented.clone()));
+            framework.prepare_machine(&mut m).expect("prepare");
+            workload.prepare(&mut m);
+            m.run().expect_exit();
+            m.stats().instructions
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernel_throughput(c: &mut Criterion) {
+    // A genuine (non-synthetic) program, load/store and branch heavy.
+    let kernel = sort_kernel(256, 3);
+    let instructions = {
+        let mut m = Machine::new(kernel.program.clone());
+        kernel.prepare(&mut m);
+        m.run().expect_exit();
+        m.stats().instructions
+    };
+    let mut group = c.benchmark_group("interp");
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("sort_256", |b| b.iter(|| black_box(&kernel).run()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_throughput, bench_kernel_throughput);
+criterion_main!(benches);

@@ -2,12 +2,17 @@
 //! into `results/`. This is the one-command regeneration of the paper's
 //! tables and figures plus the ablations and extensions.
 //!
-//! Args: `[superblocks] [--jobs N]`. All measurements flow through one
-//! `Session`, so the per-benchmark baselines are simulated once and
-//! shared by every artifact, and grids fan out over `N` workers; the
-//! artifact bytes are identical for any `--jobs` value (the CI
+//! Args: `[superblocks] [--jobs N] [--json]`. All measurements flow
+//! through one `Session`, so the per-benchmark baselines are simulated
+//! once and shared by every artifact, and grids fan out over `N` workers;
+//! the artifact bytes are identical for any `--jobs` value (the CI
 //! determinism job diffs `--jobs 1` against the parallel default).
-//! Progress and per-artifact wall-clock go to stdout; a failing artifact
+//! Progress, per-artifact wall-clock and per-artifact simulated
+//! instruction counts go to stdout, and the final summary reports
+//! aggregate interpreter throughput (simulated instructions per second).
+//! `--json` additionally prints the whole summary as one JSON object on
+//! stdout (nothing extra is written into `results/`, which must stay
+//! byte-determined by the measurement inputs alone). A failing artifact
 //! is reported with its structured measurement error and the run exits
 //! nonzero after attempting the rest.
 use std::fs;
@@ -24,22 +29,39 @@ use memsentry_bench::runner::MeasureError;
 use memsentry_bench::{cli, tables};
 use memsentry_workloads::BenchProfile;
 
+/// Wall-clock and simulation work attributed to one produced artifact
+/// (or one figure computation), for the summary and `--json` output.
+struct StageRecord {
+    name: String,
+    seconds: f64,
+    sim_instructions: u64,
+}
+
 /// Times one artifact, writes it on success, records the failure
-/// otherwise.
+/// otherwise. The simulated-instruction count is the session counter's
+/// delta across the producer: cache hits contribute zero, so work is
+/// attributed to the artifact that first forced each simulation.
 fn stage(
     out: &Path,
+    session: &Session,
+    records: &mut Vec<StageRecord>,
     failures: &mut Vec<MeasureError>,
     name: &str,
     produce: impl FnOnce() -> Result<String, MeasureError>,
 ) {
     let started = Instant::now();
+    let insts_before = session.sim_instructions();
     match produce() {
         Ok(content) => {
             fs::write(out.join(name), content).expect("write result");
-            println!(
-                "wrote results/{name}  ({:.2}s)",
-                started.elapsed().as_secs_f64()
-            );
+            let seconds = started.elapsed().as_secs_f64();
+            let sim_instructions = session.sim_instructions() - insts_before;
+            println!("wrote results/{name}  ({seconds:.2}s, {sim_instructions} sim insts)");
+            records.push(StageRecord {
+                name: name.to_string(),
+                seconds,
+                sim_instructions,
+            });
         }
         Err(e) => {
             eprintln!("FAILED results/{name}: {e}");
@@ -49,24 +71,51 @@ fn stage(
 }
 
 fn main() {
-    let args = cli::parse_or_exit("all [superblocks] [--jobs N]");
+    let args = cli::parse_or_exit("all [superblocks] [--jobs N] [--json]");
     let sb = args.superblocks_or(figures::FIGURE_SUPERBLOCKS);
     let session = args.session();
     let started = Instant::now();
     let out = Path::new("results");
     fs::create_dir_all(out).expect("create results/");
     let mut failures: Vec<MeasureError> = Vec::new();
+    let mut records: Vec<StageRecord> = Vec::new();
     println!(
         "regenerating results/ ({sb} superblocks per run, {} worker(s))",
         session.jobs()
     );
 
-    stage(out, &mut failures, "table1.txt", || Ok(tables::table1()));
-    stage(out, &mut failures, "table2.txt", || Ok(tables::table2()));
-    stage(out, &mut failures, "table3.txt", || Ok(tables::table3()));
-    stage(out, &mut failures, "table4.txt", || {
-        Ok(tables::render_table4(&tables::table4()))
-    });
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "table1.txt",
+        || Ok(tables::table1()),
+    );
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "table2.txt",
+        || Ok(tables::table2()),
+    );
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "table3.txt",
+        || Ok(tables::table3()),
+    );
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "table4.txt",
+        || Ok(tables::render_table4(&tables::table4())),
+    );
 
     type FigureFn = fn(&Session, u32) -> Result<Figure, MeasureError>;
     let figure_fns: [(u32, FigureFn, &[f64]); 4] = [
@@ -77,18 +126,33 @@ fn main() {
     ];
     for (n, figure_fn, target) in figure_fns {
         let computed = Instant::now();
+        let insts_before = session.sim_instructions();
         match figure_fn(&session, sb) {
             Ok(fig) => {
-                println!(
-                    "computed figure {n}  ({:.2}s)",
-                    computed.elapsed().as_secs_f64()
+                let seconds = computed.elapsed().as_secs_f64();
+                let sim_instructions = session.sim_instructions() - insts_before;
+                println!("computed figure {n}  ({seconds:.2}s, {sim_instructions} sim insts)");
+                records.push(StageRecord {
+                    name: format!("fig{n}"),
+                    seconds,
+                    sim_instructions,
+                });
+                stage(
+                    out,
+                    &session,
+                    &mut records,
+                    &mut failures,
+                    &format!("fig{n}.txt"),
+                    || Ok(fig.render()),
                 );
-                stage(out, &mut failures, &format!("fig{n}.txt"), || {
-                    Ok(fig.render())
-                });
-                stage(out, &mut failures, &format!("fig{n}.json"), || {
-                    Ok(FigureReport::from_figure(&fig, Some(target)).to_json())
-                });
+                stage(
+                    out,
+                    &session,
+                    &mut records,
+                    &mut failures,
+                    &format!("fig{n}.json"),
+                    || Ok(FigureReport::from_figure(&fig, Some(target)).to_json()),
+                );
             }
             Err(e) => {
                 eprintln!("FAILED figure {n}: {e}");
@@ -97,83 +161,121 @@ fn main() {
         }
     }
 
-    stage(out, &mut failures, "mprotect_baseline.txt", || {
-        let (g, min, max) = mprotect_baseline(&session, sb.min(12))?;
-        Ok(format!(
-            "geomean {g:.1}x  min {min:.1}x  max {max:.1}x (paper: 20-50x)\n"
-        ))
-    });
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "mprotect_baseline.txt",
+        || {
+            let (g, min, max) = mprotect_baseline(&session, sb.min(12))?;
+            Ok(format!(
+                "geomean {g:.1}x  min {min:.1}x  max {max:.1}x (paper: 20-50x)\n"
+            ))
+        },
+    );
 
-    stage(out, &mut failures, "crypt_scaling.txt", || {
-        let mcf = BenchProfile::by_name("mcf").unwrap();
-        let scaling = crypt_scaling(&session, mcf, sb.min(12), &[16, 64, 256, 1024, 4096])?;
-        Ok(scaling
-            .iter()
-            .map(|(s, o)| format!("{s:>6} B  {o:.2}x\n"))
-            .collect())
-    });
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "crypt_scaling.txt",
+        || {
+            let mcf = BenchProfile::by_name("mcf").unwrap();
+            let scaling = crypt_scaling(&session, mcf, sb.min(12), &[16, 64, 256, 1024, 4096])?;
+            Ok(scaling
+                .iter()
+                .map(|(s, o)| format!("{s:>6} B  {o:.2}x\n"))
+                .collect())
+        },
+    );
 
-    stage(out, &mut failures, "ablations.txt", || {
-        let gobmk = BenchProfile::by_name("gobmk").unwrap();
-        let gcc = BenchProfile::by_name("gcc").unwrap();
-        let (s1a, s1b, s1c) = mpx_bounds_ablation(&session, sb.min(12))?;
-        let (s2a, s2b) = mpk_fence_ablation(&session, gobmk, sb.min(12))?;
-        let (s3a, s3b) = crypt_keys_ablation(&session, gobmk, sb.min(12))?;
-        let (s4a, s4b) = vmfunc_dune_ablation(&session, gcc, sb.min(12) * 4)?;
-        let (s5a, s5b) = pcid_ablation(&session, gobmk, sb.min(12))?;
-        let (pts, mpk, mp) = pts_extension(&session, sb.min(12))?;
-        Ok(format!(
-            "A1 mpx-single {s1a:.3}  mpx-dual {s1b:.3}  sfi {s1c:.3}\n\
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "ablations.txt",
+        || {
+            let gobmk = BenchProfile::by_name("gobmk").unwrap();
+            let gcc = BenchProfile::by_name("gcc").unwrap();
+            let (s1a, s1b, s1c) = mpx_bounds_ablation(&session, sb.min(12))?;
+            let (s2a, s2b) = mpk_fence_ablation(&session, gobmk, sb.min(12))?;
+            let (s3a, s3b) = crypt_keys_ablation(&session, gobmk, sb.min(12))?;
+            let (s4a, s4b) = vmfunc_dune_ablation(&session, gcc, sb.min(12) * 4)?;
+            let (s5a, s5b) = pcid_ablation(&session, gobmk, sb.min(12))?;
+            let (pts, mpk, mp) = pts_extension(&session, sb.min(12))?;
+            Ok(format!(
+                "A1 mpx-single {s1a:.3}  mpx-dual {s1b:.3}  sfi {s1c:.3}\n\
              A2 mpk-fenced {s2a:.3}  mpk-unfenced {s2b:.3}\n\
              A3 crypt-parked {s3a:.3}  crypt-pinned {s3b:.3}\n\
              A4 vmfunc-dune {s4a:.3}  vmfunc-kvm {s4b:.3}\n\
              A5 pts-pcid {s5a:.3}  pts-flush {s5b:.3}\n\
              E1 pts {pts:.3}  mpk {mpk:.3}  mprotect {mp:.3}\n"
-        ))
-    });
+            ))
+        },
+    );
 
-    stage(out, &mut failures, "kernels.txt", || {
-        Ok(kernel_overheads(&session)?
-            .iter()
-            .map(|r| {
-                format!(
-                    "{:<26} MPX-rw {:.3}  SFI-rw {:.3}\n",
-                    r.name, r.mpx_rw, r.sfi_rw
-                )
-            })
-            .collect())
-    });
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "kernels.txt",
+        || {
+            Ok(kernel_overheads(&session)?
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{:<26} MPX-rw {:.3}  SFI-rw {:.3}\n",
+                        r.name, r.mpx_rw, r.sfi_rw
+                    )
+                })
+                .collect())
+        },
+    );
 
-    stage(out, &mut failures, "servers.txt", || {
-        use memsentry::Technique;
-        use memsentry_bench::runner::ExperimentConfig;
-        use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
-        let mut srv = String::new();
-        for (label, cfg) in [
-            (
-                "MPX -rw",
-                ExperimentConfig::Address {
-                    kind: AddressKind::Mpx,
-                    mode: InstrumentMode::READ_WRITE,
-                },
-            ),
-            (
-                "MPK @ syscall",
-                ExperimentConfig::Domain {
-                    technique: Technique::Mpk,
-                    points: SwitchPoints::Syscall,
-                    region_len: 16,
-                },
-            ),
-        ] {
-            let (spec, servers) = server_vs_spec(&session, sb.min(12), cfg)?;
-            srv.push_str(&format!(
-                "{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"
-            ));
-        }
-        Ok(srv)
-    });
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "servers.txt",
+        || {
+            use memsentry::Technique;
+            use memsentry_bench::runner::ExperimentConfig;
+            use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
+            let mut srv = String::new();
+            for (label, cfg) in [
+                (
+                    "MPX -rw",
+                    ExperimentConfig::Address {
+                        kind: AddressKind::Mpx,
+                        mode: InstrumentMode::READ_WRITE,
+                    },
+                ),
+                (
+                    "MPK @ syscall",
+                    ExperimentConfig::Domain {
+                        technique: Technique::Mpk,
+                        points: SwitchPoints::Syscall,
+                        region_len: 16,
+                    },
+                ),
+            ] {
+                let (spec, servers) = server_vs_spec(&session, sb.min(12), cfg)?;
+                srv.push_str(&format!(
+                    "{label:<16} SPEC {spec:.3}  servers {servers:.3}\n"
+                ));
+            }
+            Ok(srv)
+        },
+    );
 
+    let wall = started.elapsed().as_secs_f64();
+    let sim_instructions = session.sim_instructions();
+    let per_sec = sim_instructions as f64 / wall.max(f64::MIN_POSITIVE);
     println!("done ({sb} superblocks per run)");
     println!(
         "{} simulations ({} baseline runs, {} cache hits) on {} worker(s) in {:.1}s",
@@ -181,8 +283,39 @@ fn main() {
         session.baseline_runs(),
         session.cache_hits(),
         session.jobs(),
-        started.elapsed().as_secs_f64()
+        wall
     );
+    println!(
+        "{sim_instructions} instructions simulated ({:.2} Minst/s aggregate)",
+        per_sec / 1e6
+    );
+    if args.json {
+        let summary = serde_json::json!({
+            "superblocks": sb,
+            "jobs": session.jobs(),
+            "wall_seconds": wall,
+            "simulations": session.simulations(),
+            "baseline_runs": session.baseline_runs(),
+            "cache_hits": session.cache_hits(),
+            "sim_instructions": sim_instructions,
+            "sim_instructions_per_sec": per_sec,
+            "artifacts": records
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "name": r.name,
+                        "seconds": r.seconds,
+                        "sim_instructions": r.sim_instructions,
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "failures": failures.len(),
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("summary serialization")
+        );
+    }
     if !failures.is_empty() {
         eprintln!("{} artifact(s) failed:", failures.len());
         for e in &failures {

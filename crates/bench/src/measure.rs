@@ -49,6 +49,7 @@ pub struct Session {
     simulations: AtomicU64,
     baseline_runs: AtomicU64,
     cache_hits: AtomicU64,
+    sim_instructions: AtomicU64,
 }
 
 impl Default for Session {
@@ -76,6 +77,7 @@ impl Session {
             simulations: AtomicU64::new(0),
             baseline_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            sim_instructions: AtomicU64::new(0),
         }
     }
 
@@ -98,6 +100,13 @@ impl Session {
     /// Measurements served from the cache instead of re-simulated.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total instructions retired by the simulator across every fresh
+    /// (non-cached, successful) simulation of the session — the numerator
+    /// of the interpreter-throughput summary `--bin all` prints.
+    pub fn sim_instructions(&self) -> u64 {
+        self.sim_instructions.load(Ordering::Relaxed)
     }
 
     /// Measures one cell, simulating at most once per distinct
@@ -127,7 +136,12 @@ impl Session {
             if config == ExperimentConfig::Baseline {
                 self.baseline_runs.fetch_add(1, Ordering::Relaxed);
             }
-            run_config(profile, superblocks, config)
+            let result = run_config(profile, superblocks, config);
+            if let Ok(m) = &result {
+                self.sim_instructions
+                    .fetch_add(m.stats.instructions, Ordering::Relaxed);
+            }
+            result
         });
         if !fresh {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -333,6 +347,20 @@ mod tests {
         let again = session.overhead(&SPEC2006[0], SB, bad).unwrap_err();
         assert_eq!(again, err, "failure replayed from cache");
         assert_eq!(session.simulations(), sims, "failure not re-simulated");
+    }
+
+    #[test]
+    fn sim_instructions_counts_fresh_runs_only() {
+        let session = Session::with_jobs(1);
+        let m = session
+            .measure(&SPEC2006[0], SB, ExperimentConfig::Baseline)
+            .unwrap();
+        assert_eq!(session.sim_instructions(), m.stats.instructions);
+        // A cache hit must not double-count.
+        session
+            .measure(&SPEC2006[0], SB, ExperimentConfig::Baseline)
+            .unwrap();
+        assert_eq!(session.sim_instructions(), m.stats.instructions);
     }
 
     #[test]

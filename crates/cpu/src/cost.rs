@@ -107,6 +107,13 @@ pub struct CostModel {
     /// out-of-order core overlaps most of an L2/L3 miss with independent
     /// work (memory-level parallelism).
     pub mem_parallelism: f64,
+    /// Fraction of a *store* miss latency exposed to the pipeline, applied
+    /// on top of [`CostModel::miss_penalty`]. Stores retire through the
+    /// store buffer, so the core hides even more of their miss latency
+    /// than a load's (`mem_parallelism`); like `mem_parallelism` this is a
+    /// calibration knob, jointly tuned with the workload profiles to
+    /// reproduce the Figure 3-6 geomeans.
+    pub store_buffer_exposure: f64,
 }
 
 impl Default for CostModel {
@@ -149,6 +156,7 @@ impl Default for CostModel {
             walk_per_level: 9.0,
             mprotect_kernel: 1300.0,
             mem_parallelism: 0.25,
+            store_buffer_exposure: 0.3,
         }
     }
 }

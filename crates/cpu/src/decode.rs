@@ -1,0 +1,269 @@
+//! Pre-decoded execution engine.
+//!
+//! At construction the [`crate::Machine`] lowers every [`Function`] body
+//! into a flat [`DecodedInst`] stream so the hot interpreter loop never
+//! touches the IR again:
+//!
+//! - jump and branch targets are resolved from [`Label`]s to instruction
+//!   indices once, eliminating the per-transfer
+//!   `label_tables[func][&label]` hash lookup;
+//! - the static per-instruction cycle charge
+//!   ([`CostModel::inst_cost`]) is precomputed and fused into the decoded
+//!   slot, so stepping adds a float instead of matching on [`Inst`];
+//! - operand forms are pre-classified (e.g. whether an ALU op masks an
+//!   address register for SFI dependency accounting) so `step` dispatches
+//!   on a compact enum.
+//!
+//! The decoded stream is index-1:1 with the function body: `Label`
+//! markers decode to [`DecodedOp::Skip`] slots, so
+//! [`memsentry_ir::CodeAddr`] encodings, tracer indices and code-pointer
+//! range checks are unchanged. A jump to a label missing from its
+//! function decodes to [`DecodedOp::BadLabel`], which raises
+//! [`crate::Trap::BadLabel`] if executed — hostile IR traps instead of
+//! panicking, and decoding itself is infallible.
+
+use memsentry_ir::{AluOp, Cond, FuncId, Function, Inst, Label, Program, Reg};
+
+use crate::cost::CostModel;
+
+/// One decoded instruction slot: the fused static cycle charge plus the
+/// compact operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecodedInst {
+    /// Precomputed [`CostModel::inst_cost`] of the source instruction.
+    pub cost: f64,
+    /// The pre-classified operation.
+    pub op: DecodedOp,
+}
+
+/// The compact, pre-classified operation form dispatched by the
+/// interpreter hot loop. Mirrors [`Inst`] with control transfers resolved
+/// to instruction indices.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DecodedOp {
+    /// `dst <- imm`.
+    MovImm { dst: Reg, imm: u64 },
+    /// `dst <- src`.
+    Mov { dst: Reg, src: Reg },
+    /// `dst <- base + offset`.
+    Lea { dst: Reg, base: Reg, offset: i64 },
+    /// `dst <- dst op src`; `masks` pre-classifies `And` for the SFI
+    /// load-dependency model.
+    AluReg {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        masks: bool,
+    },
+    /// `dst <- dst op imm`.
+    AluImm {
+        op: AluOp,
+        dst: Reg,
+        imm: u64,
+        masks: bool,
+    },
+    /// 8-byte load.
+    Load { dst: Reg, addr: Reg, offset: i64 },
+    /// 8-byte store.
+    Store { src: Reg, addr: Reg, offset: i64 },
+    /// `Label`, `Nop` or `MFence`: nothing to execute (costs still apply).
+    Skip,
+    /// Unconditional branch to a resolved instruction index.
+    Jmp { target: u32 },
+    /// Conditional branch to a resolved instruction index.
+    JmpIf {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        target: u32,
+    },
+    /// A branch whose label does not exist in the function; traps with
+    /// [`crate::Trap::BadLabel`] when (and only when) executed.
+    BadLabel { label: Label },
+    /// Direct call.
+    Call { callee: FuncId },
+    /// Indirect call through a code pointer.
+    CallIndirect { target: Reg },
+    /// Return.
+    Ret,
+    /// System call.
+    Syscall { nr: u64 },
+    /// Allocator call.
+    Alloc { size: Reg },
+    /// Allocator release.
+    Free { ptr: Reg },
+    /// Stop the machine.
+    Halt,
+    /// Load a bound register.
+    BndMk { bnd: u8, lower: u64, upper: u64 },
+    /// Upper-bound check.
+    BndCu { bnd: u8, reg: Reg },
+    /// Lower-bound check.
+    BndCl { bnd: u8, reg: Reg },
+    /// Read `pkru`.
+    RdPkru { dst: Reg },
+    /// Write `pkru`.
+    WrPkru { src: Reg },
+    /// EPT switch.
+    VmFunc { eptp: u32 },
+    /// Hypercall.
+    VmCall { nr: u64 },
+    /// Stage AES keys from `ymm` to `xmm`.
+    YmmToXmm,
+    /// `AesKeygen` / `AesImc`: key material derived in registers, cycles
+    /// only.
+    AesSetup,
+    /// In-place region encryption/decryption.
+    AesRegion {
+        base: Reg,
+        chunks: u32,
+        decrypt: bool,
+    },
+    /// Enclave entry.
+    SgxEnter,
+    /// Enclave exit.
+    SgxExit,
+}
+
+/// Lowers one function body; the result is index-1:1 with `func.body`.
+fn decode_function(func: &Function, cost: &CostModel) -> Vec<DecodedInst> {
+    let labels = func.label_table();
+    let resolve = |l: Label, on_target: &dyn Fn(u32) -> DecodedOp| match labels.get(&l) {
+        Some(&idx) => on_target(idx),
+        None => DecodedOp::BadLabel { label: l },
+    };
+    func.body
+        .iter()
+        .map(|node| {
+            let inst = node.inst;
+            let op = match inst {
+                Inst::MovImm { dst, imm } => DecodedOp::MovImm { dst, imm },
+                Inst::Mov { dst, src } => DecodedOp::Mov { dst, src },
+                Inst::Lea { dst, base, offset } => DecodedOp::Lea { dst, base, offset },
+                Inst::AluReg { op, dst, src } => DecodedOp::AluReg {
+                    op,
+                    dst,
+                    src,
+                    masks: op == AluOp::And,
+                },
+                Inst::AluImm { op, dst, imm } => DecodedOp::AluImm {
+                    op,
+                    dst,
+                    imm,
+                    masks: op == AluOp::And,
+                },
+                Inst::Load { dst, addr, offset } => DecodedOp::Load { dst, addr, offset },
+                Inst::Store { src, addr, offset } => DecodedOp::Store { src, addr, offset },
+                Inst::Label(_) | Inst::Nop | Inst::MFence => DecodedOp::Skip,
+                Inst::Jmp(l) => resolve(l, &|target| DecodedOp::Jmp { target }),
+                Inst::JmpIf { cond, a, b, target } => {
+                    resolve(target, &|target| DecodedOp::JmpIf { cond, a, b, target })
+                }
+                Inst::Call(callee) => DecodedOp::Call { callee },
+                Inst::CallIndirect { target } => DecodedOp::CallIndirect { target },
+                Inst::Ret => DecodedOp::Ret,
+                Inst::Syscall { nr } => DecodedOp::Syscall { nr },
+                Inst::Alloc { size } => DecodedOp::Alloc { size },
+                Inst::Free { ptr } => DecodedOp::Free { ptr },
+                Inst::Halt => DecodedOp::Halt,
+                Inst::BndMk { bnd, lower, upper } => DecodedOp::BndMk { bnd, lower, upper },
+                Inst::BndCu { bnd, reg } => DecodedOp::BndCu { bnd, reg },
+                Inst::BndCl { bnd, reg } => DecodedOp::BndCl { bnd, reg },
+                Inst::RdPkru { dst } => DecodedOp::RdPkru { dst },
+                Inst::WrPkru { src } => DecodedOp::WrPkru { src },
+                Inst::VmFunc { eptp } => DecodedOp::VmFunc { eptp },
+                Inst::VmCall { nr } => DecodedOp::VmCall { nr },
+                Inst::YmmToXmm { .. } => DecodedOp::YmmToXmm,
+                Inst::AesKeygen | Inst::AesImc => DecodedOp::AesSetup,
+                Inst::AesRegion {
+                    base,
+                    chunks,
+                    decrypt,
+                } => DecodedOp::AesRegion {
+                    base,
+                    chunks,
+                    decrypt,
+                },
+                Inst::SgxEnter => DecodedOp::SgxEnter,
+                Inst::SgxExit => DecodedOp::SgxExit,
+            };
+            DecodedInst {
+                cost: cost.inst_cost(&inst),
+                op,
+            }
+        })
+        .collect()
+}
+
+/// Lowers every function of `program`, indexed by
+/// [`FuncId`](memsentry_ir::FuncId).
+pub(crate) fn decode_program(program: &Program, cost: &CostModel) -> Vec<Vec<DecodedInst>> {
+    program
+        .functions
+        .iter()
+        .map(|f| decode_function(f, cost))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::FunctionBuilder;
+
+    #[test]
+    fn decoded_stream_is_index_identical_to_body() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.push(Inst::Nop);
+        b.bind(l);
+        b.push(Inst::Jmp(l));
+        let f = b.finish();
+        let decoded = decode_function(&f, &CostModel::default());
+        assert_eq!(decoded.len(), f.body.len());
+        // The label marker slot decodes to Skip; the jump resolves to the
+        // marker's index.
+        let marker = f.label_table()[&l];
+        assert!(matches!(decoded[marker as usize].op, DecodedOp::Skip));
+        match decoded.last().unwrap().op {
+            DecodedOp::Jmp { target } => assert_eq!(target, marker),
+            ref other => panic!("expected resolved Jmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_cost_matches_inst_cost() {
+        let cost = CostModel::default();
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::AesRegion {
+            base: Reg::Rax,
+            chunks: 4,
+            decrypt: false,
+        });
+        b.push(Inst::Halt);
+        let f = b.finish();
+        for (d, node) in decode_function(&f, &cost).iter().zip(&f.body) {
+            assert_eq!(d.cost.to_bits(), cost.inst_cost(&node.inst).to_bits());
+        }
+    }
+
+    #[test]
+    fn unresolved_label_decodes_to_bad_label() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Jmp(Label(999)));
+        b.push(Inst::Halt);
+        let decoded = decode_function(&b.finish(), &CostModel::default());
+        assert!(matches!(
+            decoded[0].op,
+            DecodedOp::BadLabel { label: Label(999) }
+        ));
+    }
+}

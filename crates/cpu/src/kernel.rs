@@ -128,6 +128,13 @@ impl SyscallHandler for DefaultKernel {
                     _ => "defense",
                 },
             }),
+            // The permission-changing calls below are safe against the
+            // MMU's translation memo without explicit hooks: the memo is
+            // only consulted on a TLB hit whose PTE is bit-identical to
+            // the snapshot, so `mprotect`/`pkey_mprotect` PTE rewrites
+            // (which also shoot down the affected TLB entries) and
+            // `switch_view` (compared via the memo's view id) can never
+            // revive a stale translation.
             nr::MPROTECT => {
                 self.mprotects += 1;
                 let prot = match args[2] {

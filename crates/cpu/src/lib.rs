@@ -22,6 +22,7 @@
 //! calls the paper's techniques and baselines need.
 
 pub mod cost;
+pub(crate) mod decode;
 pub mod heap;
 pub mod kernel;
 pub mod machine;

@@ -6,14 +6,21 @@
 //! implemented here with their architectural semantics: MPX bound
 //! registers, the `pkru` register, `vmfunc` EPT switching, and AES-NI
 //! region encryption.
-
-use std::collections::HashMap;
+//!
+//! Execution runs on the pre-decoded streams built by the crate-private
+//! `decode` module at construction: branch targets are already
+//! instruction indices and
+//! the static cycle charge is fused into each decoded slot, so the hot
+//! loop never consults a label table or the cost-model match. The
+//! original [`Program`] is kept (immutable) for code-pointer range checks
+//! and introspection.
 
 use memsentry_aes::{Block, RegionCipher};
-use memsentry_ir::{AluOp, CodeAddr, Inst, Label, Program, Reg};
+use memsentry_ir::{AluOp, CodeAddr, Program, Reg};
 use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr};
 
 use crate::cost::CostModel;
+use crate::decode::{decode_program, DecodedInst, DecodedOp};
 use crate::heap::{BumpAllocator, HeapPolicy};
 use crate::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutcome};
 use crate::stats::ExecStats;
@@ -90,7 +97,8 @@ pub struct Machine {
     bnd: [(u64, u64); 4],
     pub(crate) pc: CodeAddr,
     program: Program,
-    label_tables: Vec<HashMap<Label, u32>>,
+    /// Pre-decoded bodies, index-1:1 with each function's `body`.
+    code: Vec<Vec<DecodedInst>>,
     cost: CostModel,
     stats: ExecStats,
     syscall: Option<Box<dyn SyscallHandler>>,
@@ -133,7 +141,7 @@ impl Machine {
             stack_pages,
             PageFlags::rw(),
         );
-        let label_tables = program.functions.iter().map(|f| f.label_table()).collect();
+        let code = decode_program(&program, &config.cost);
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = STACK_TOP - 64;
         Self {
@@ -142,7 +150,7 @@ impl Machine {
             bnd: [(0, u64::MAX); 4],
             pc: CodeAddr::entry(program.entry),
             program,
-            label_tables,
+            code,
             cost: config.cost,
             stats: ExecStats::default(),
             syscall: Some(Box::new(DefaultKernel::new())),
@@ -319,12 +327,12 @@ impl Machine {
         }
     }
 
-    fn label_target(&self, func: memsentry_ir::FuncId, label: Label) -> u32 {
-        self.label_tables[func.0 as usize][&label]
-    }
-
     fn push_u64(&mut self, value: u64) -> Result<(), Trap> {
-        let rsp = self.regs[Reg::Rsp.index()] - 8;
+        let rsp = self.regs[Reg::Rsp.index()]
+            .checked_sub(8)
+            .ok_or(Trap::StackUnderflow {
+                rsp: self.regs[Reg::Rsp.index()],
+            })?;
         self.regs[Reg::Rsp.index()] = rsp;
         self.space.write_u64(VirtAddr(rsp), value)?;
         Ok(())
@@ -369,47 +377,59 @@ impl Machine {
         Ok(())
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction from the pre-decoded stream.
     pub fn step(&mut self) -> Result<(), Trap> {
         if self.stats.instructions >= self.fuel {
             return Err(Trap::OutOfFuel);
         }
         let func = self.pc.func;
-        let body = &self.program.func(func).body;
-        let node = match body.get(self.pc.index as usize) {
-            Some(n) => *n,
+        let decoded = match self
+            .code
+            .get(func.0 as usize)
+            .and_then(|body| body.get(self.pc.index as usize))
+        {
+            Some(d) => *d,
             None => {
                 return Err(Trap::BadCodePointer {
                     value: self.pc.encode(),
                 })
             }
         };
-        let inst = node.inst;
         self.pc.index += 1;
         self.stats.instructions += 1;
-        self.stats.cycles += self.cost.inst_cost(&inst);
+        self.stats.cycles += decoded.cost;
 
         let mut next_masked = None;
-        match inst {
-            Inst::MovImm { dst, imm } => self.regs[dst.index()] = imm,
-            Inst::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
-            Inst::Lea { dst, base, offset } => {
+        match decoded.op {
+            DecodedOp::MovImm { dst, imm } => self.regs[dst.index()] = imm,
+            DecodedOp::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            DecodedOp::Lea { dst, base, offset } => {
                 self.regs[dst.index()] = self.regs[base.index()].wrapping_add(offset as u64);
             }
-            Inst::AluReg { op, dst, src } => {
+            DecodedOp::AluReg {
+                op,
+                dst,
+                src,
+                masks,
+            } => {
                 let b = self.regs[src.index()];
                 self.alu(op, dst, b);
-                if op == AluOp::And {
+                if masks {
                     next_masked = Some(dst);
                 }
             }
-            Inst::AluImm { op, dst, imm } => {
+            DecodedOp::AluImm {
+                op,
+                dst,
+                imm,
+                masks,
+            } => {
                 self.alu(op, dst, imm);
-                if op == AluOp::And {
+                if masks {
                     next_masked = Some(dst);
                 }
             }
-            Inst::Load { dst, addr, offset } => {
+            DecodedOp::Load { dst, addr, offset } => {
                 if self.last_masked == Some(addr) {
                     self.stats.cycles += self.cost.sfi_load_dependency;
                 }
@@ -425,16 +445,15 @@ impl Machine {
                     );
                 }
                 self.check_epc(va.0)?;
-                let mut buf = [0u8; 8];
-                let info = self.space.read(va, &mut buf)?;
+                let (value, info) = self.space.read_u64_info(va)?;
                 if !info.tlb_hit {
                     self.stats.cycles += info.walk_levels as f64 * self.cost.walk_per_level;
                 }
                 self.stats.cycles += self.cost.miss_penalty(info.hit_level);
-                self.regs[dst.index()] = u64::from_le_bytes(buf);
+                self.regs[dst.index()] = value;
                 self.stats.loads += 1;
             }
-            Inst::Store { src, addr, offset } => {
+            DecodedOp::Store { src, addr, offset } => {
                 let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
                 if let Some(t) = self.tracer.as_mut() {
                     t.record(
@@ -453,23 +472,27 @@ impl Machine {
                 }
                 // Stores retire through the store buffer; only a sliver of
                 // the miss latency is exposed.
-                self.stats.cycles += 0.3 * self.cost.miss_penalty(info.hit_level);
+                self.stats.cycles +=
+                    self.cost.store_buffer_exposure * self.cost.miss_penalty(info.hit_level);
                 self.stats.stores += 1;
             }
-            Inst::Label(_) | Inst::Nop | Inst::MFence => {}
-            Inst::Jmp(l) => self.pc.index = self.label_target(func, l),
-            Inst::JmpIf { cond, a, b, target } => {
+            DecodedOp::Skip => {}
+            DecodedOp::Jmp { target } => self.pc.index = target,
+            DecodedOp::JmpIf { cond, a, b, target } => {
                 if cond.eval(self.regs[a.index()], self.regs[b.index()]) {
-                    self.pc.index = self.label_target(func, target);
+                    self.pc.index = target;
                 }
             }
-            Inst::Call(callee) => {
+            DecodedOp::BadLabel { label } => {
+                return Err(Trap::BadLabel { label: label.0 });
+            }
+            DecodedOp::Call { callee } => {
                 let ret = self.pc.encode();
                 self.push_u64(ret)?;
                 self.pc = CodeAddr::entry(callee);
                 self.stats.calls += 1;
             }
-            Inst::CallIndirect { target } => {
+            DecodedOp::CallIndirect { target } => {
                 let value = self.regs[target.index()];
                 let dest = CodeAddr::decode(value).ok_or(Trap::BadCodePointer { value })?;
                 if dest.func.0 as usize >= self.program.functions.len() {
@@ -480,7 +503,7 @@ impl Machine {
                 self.pc = dest;
                 self.stats.indirect_calls += 1;
             }
-            Inst::Ret => {
+            DecodedOp::Ret => {
                 let value = self.pop_u64()?;
                 let dest = CodeAddr::decode(value).ok_or(Trap::BadCodePointer { value })?;
                 if dest.func.0 as usize >= self.program.functions.len()
@@ -491,11 +514,11 @@ impl Machine {
                 self.pc = dest;
                 self.stats.rets += 1;
             }
-            Inst::Syscall { nr } => {
+            DecodedOp::Syscall { nr } => {
                 self.stats.syscalls += 1;
                 self.dispatch_syscall(nr)?;
             }
-            Inst::Alloc { size } => {
+            DecodedOp::Alloc { size } => {
                 let size = self.regs[size.index()];
                 let mut heap = self.heap.take().expect("heap");
                 let ptr = heap.alloc(&mut self.space, size);
@@ -503,18 +526,18 @@ impl Machine {
                 self.regs[Reg::Rax.index()] = ptr;
                 self.stats.allocator_calls += 1;
             }
-            Inst::Free { ptr } => {
+            DecodedOp::Free { ptr } => {
                 let p = self.regs[ptr.index()];
                 let mut heap = self.heap.take().expect("heap");
                 heap.free(&mut self.space, p);
                 self.heap = Some(heap);
                 self.stats.allocator_calls += 1;
             }
-            Inst::Halt => self.halted = Some(self.regs[Reg::Rax.index()]),
-            Inst::BndMk { bnd, lower, upper } => {
+            DecodedOp::Halt => self.halted = Some(self.regs[Reg::Rax.index()]),
+            DecodedOp::BndMk { bnd, lower, upper } => {
                 self.bnd[bnd as usize] = (lower, upper);
             }
-            Inst::BndCu { bnd, reg } => {
+            DecodedOp::BndCu { bnd, reg } => {
                 self.stats.bound_checks += 1;
                 let v = self.regs[reg.index()];
                 let (_, upper) = self.bnd[bnd as usize];
@@ -526,7 +549,7 @@ impl Machine {
                     });
                 }
             }
-            Inst::BndCl { bnd, reg } => {
+            DecodedOp::BndCl { bnd, reg } => {
                 self.stats.bound_checks += 1;
                 let v = self.regs[reg.index()];
                 let (lower, _) = self.bnd[bnd as usize];
@@ -538,14 +561,14 @@ impl Machine {
                     });
                 }
             }
-            Inst::RdPkru { dst } => {
+            DecodedOp::RdPkru { dst } => {
                 self.regs[dst.index()] = self.space.pkru.0 as u64;
             }
-            Inst::WrPkru { src } => {
+            DecodedOp::WrPkru { src } => {
                 self.space.pkru = memsentry_mmu::Pkru(self.regs[src.index()] as u32);
                 self.stats.wrpkrus += 1;
             }
-            Inst::VmFunc { eptp } => {
+            DecodedOp::VmFunc { eptp } => {
                 if !self.in_vm {
                     return Err(Trap::VmError {
                         reason: "vmfunc outside VM",
@@ -561,7 +584,7 @@ impl Machine {
                 }
                 self.stats.vmfuncs += 1;
             }
-            Inst::VmCall { nr } => {
+            DecodedOp::VmCall { nr } => {
                 if !self.in_vm {
                     return Err(Trap::VmError {
                         reason: "vmcall outside VM",
@@ -583,14 +606,14 @@ impl Machine {
                     SyscallOutcome::Exit(code) => self.halted = Some(code),
                 }
             }
-            Inst::YmmToXmm { .. } => {
+            DecodedOp::YmmToXmm => {
                 self.keys_in_xmm = true;
             }
-            Inst::AesKeygen | Inst::AesImc => {
+            DecodedOp::AesSetup => {
                 // Key material is derived in registers; semantically the
                 // cipher is already installed, these charge cycles.
             }
-            Inst::AesRegion {
+            DecodedOp::AesRegion {
                 base,
                 chunks,
                 decrypt,
@@ -612,11 +635,11 @@ impl Machine {
                 self.space.write(va, &buf)?;
                 self.stats.aes_chunks += chunks as u64;
             }
-            Inst::SgxEnter => {
+            DecodedOp::SgxEnter => {
                 self.in_enclave = true;
                 self.stats.sgx_transitions += 1;
             }
-            Inst::SgxExit => {
+            DecodedOp::SgxExit => {
                 self.in_enclave = false;
             }
         }
@@ -642,7 +665,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memsentry_ir::{Cond, FuncId, FunctionBuilder};
+    use memsentry_ir::{Cond, FuncId, FunctionBuilder, Inst, Label};
     use memsentry_mmu::SENSITIVE_BASE;
 
     fn run_main(build: impl FnOnce(&mut FunctionBuilder)) -> (RunOutcome, Machine) {
@@ -1289,5 +1312,46 @@ mod tests {
         vm.run().expect_exit();
         assert!(vm.cycles() > native.cycles() + 400.0);
         assert_eq!(vm.stats().vmcalls, 1);
+    }
+
+    #[test]
+    fn push_with_tiny_rsp_traps_instead_of_panicking() {
+        // Hostile IR points rsp below 8 and then calls; the push must
+        // raise StackUnderflow rather than wrap or panic.
+        let mut p = Program::new();
+        let mut callee = FunctionBuilder::new("callee");
+        callee.push(Inst::Ret);
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rsp,
+            imm: 4,
+        });
+        main.push(Inst::Call(FuncId(1)));
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        p.add_function(callee.finish());
+        let mut m = Machine::new(p);
+        assert_eq!(*m.run().expect_trap(), Trap::StackUnderflow { rsp: 4 });
+    }
+
+    #[test]
+    fn branch_to_unbound_label_traps_instead_of_panicking() {
+        // A jump to a label never bound in the function decodes to a
+        // BadLabel slot and traps only if actually executed.
+        let (out, _) = run_main(|b| {
+            b.push(Inst::Jmp(Label(999)));
+            b.push(Inst::Halt);
+        });
+        assert_eq!(*out.expect_trap(), Trap::BadLabel { label: 999 });
+    }
+
+    #[test]
+    fn unexecuted_bad_label_is_harmless() {
+        // The same unbound label is fine when control never reaches it.
+        let (out, _) = run_main(|b| {
+            b.push(Inst::Halt);
+            b.push(Inst::Jmp(Label(999)));
+        });
+        assert_eq!(out.expect_exit(), 0);
     }
 }

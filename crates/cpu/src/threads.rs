@@ -107,6 +107,15 @@ impl Machine {
     }
 
     /// Parks the active thread's state and activates thread `tid`.
+    ///
+    /// Restoring `pkru` here writes [`memsentry_mmu::AddressSpace::pkru`]
+    /// directly
+    /// (there is no `wrpkru` instruction involved), which is safe against
+    /// the MMU's per-access-kind translation memo: the memo validates by
+    /// *comparing* its `pkru` snapshot on every lookup rather than
+    /// relying on writers to invalidate it, so a context switch to a
+    /// thread with different key rights simply stops the memo from
+    /// matching.
     fn switch_thread(&mut self, tid: usize) {
         if tid == self.active_thread {
             return;

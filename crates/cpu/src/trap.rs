@@ -48,6 +48,18 @@ pub enum Trap {
         /// The number.
         nr: u64,
     },
+    /// A push underflowed the stack pointer (`rsp < 8`) — hostile IR, not
+    /// a panic.
+    StackUnderflow {
+        /// The stack pointer at the faulting push.
+        rsp: u64,
+    },
+    /// A branch targeted a label that does not exist in its function —
+    /// hostile IR, not a panic.
+    BadLabel {
+        /// The unresolved label number.
+        label: u32,
+    },
     /// The program executed its instruction budget without halting.
     OutOfFuel,
     /// A defense runtime detected tampering (e.g. shadow-stack mismatch)
@@ -80,6 +92,10 @@ impl core::fmt::Display for Trap {
                 write!(f, "EPC access outside enclave at {addr:#x}")
             }
             Trap::BadSyscall { nr } => write!(f, "bad syscall {nr}"),
+            Trap::StackUnderflow { rsp } => {
+                write!(f, "stack underflow: push with rsp={rsp:#x}")
+            }
+            Trap::BadLabel { label } => write!(f, "branch to unknown label L{label}"),
             Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
             Trap::DefenseAbort { defense } => write!(f, "{defense}: tampering detected"),
         }

@@ -3,15 +3,20 @@
 //! Frames are allocated lazily: the guest can map any physical frame and the
 //! backing storage appears on first touch. A bump frame allocator hands out
 //! fresh frames for page tables and anonymous mappings.
-
-use std::collections::HashMap;
+//!
+//! Frame numbers are dense small integers (the bump allocator starts at 1),
+//! so the backing store is a `Vec` indexed by frame number rather than a
+//! hash map: the simulator's memory pipeline resolves a frame with one
+//! bounds-checked index instead of a hash per byte.
 
 use crate::addr::{PhysAddr, PAGE_SIZE};
 
-/// Simulated physical memory: a sparse map from frame number to 4 KiB frame.
+/// Simulated physical memory: lazily materialized 4 KiB frames indexed by
+/// frame number.
 #[derive(Debug, Default)]
 pub struct PhysMemory {
-    frames: HashMap<u64, Box<[u8]>>,
+    frames: Vec<Option<Box<[u8]>>>,
+    materialized: usize,
     next_free_pfn: u64,
 }
 
@@ -20,7 +25,8 @@ impl PhysMemory {
     /// frame 1 (frame 0 is reserved so a zero PTE can never look mapped).
     pub fn new() -> Self {
         Self {
-            frames: HashMap::new(),
+            frames: Vec::new(),
+            materialized: 0,
             next_free_pfn: 1,
         }
     }
@@ -29,50 +35,81 @@ impl PhysMemory {
     pub fn alloc_frame(&mut self) -> PhysAddr {
         let pfn = self.next_free_pfn;
         self.next_free_pfn += 1;
-        self.frames
-            .insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        // Materialize eagerly and zero: the frame is about to be used as a
+        // page table or mapped memory, even if a stray demand touch already
+        // materialized it.
+        self.frame_mut(pfn).fill(0);
         PhysAddr(pfn << 12)
     }
 
     /// Number of frames currently materialized.
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        self.materialized
     }
 
     fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
-        self.frames
-            .entry(pfn)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let idx = pfn as usize;
+        if idx >= self.frames.len() {
+            self.frames.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.frames[idx];
+        if slot.is_none() {
+            *slot = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            self.materialized += 1;
+        }
+        slot.as_mut().unwrap()
     }
 
     /// Reads `buf.len()` bytes starting at `addr`, crossing frames as needed.
     pub fn read(&mut self, addr: PhysAddr, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let pos = addr.0 + i as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = addr.0 + done as u64;
             let off = (pos & (PAGE_SIZE - 1)) as usize;
-            *b = self.frame_mut(pos >> 12)[off];
+            let in_frame = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let frame = self.frame_mut(pos >> 12);
+            buf[done..done + in_frame].copy_from_slice(&frame[off..off + in_frame]);
+            done += in_frame;
         }
     }
 
     /// Writes `buf` starting at `addr`, crossing frames as needed.
     pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) {
-        for (i, &b) in buf.iter().enumerate() {
-            let pos = addr.0 + i as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = addr.0 + done as u64;
             let off = (pos & (PAGE_SIZE - 1)) as usize;
-            self.frame_mut(pos >> 12)[off] = b;
+            let in_frame = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let frame = self.frame_mut(pos >> 12);
+            frame[off..off + in_frame].copy_from_slice(&buf[done..done + in_frame]);
+            done += in_frame;
         }
     }
 
     /// Reads a little-endian u64 at `addr`.
     pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
-        let mut buf = [0u8; 8];
-        self.read(addr, &mut buf);
-        u64::from_le_bytes(buf)
+        if addr.frame_offset() <= PAGE_SIZE - 8 {
+            let off = addr.frame_offset() as usize;
+            let frame = self.frame_mut(addr.pfn());
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&frame[off..off + 8]);
+            u64::from_le_bytes(buf)
+        } else {
+            let mut buf = [0u8; 8];
+            self.read(addr, &mut buf);
+            u64::from_le_bytes(buf)
+        }
     }
 
     /// Writes a little-endian u64 at `addr`.
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
-        self.write(addr, &value.to_le_bytes());
+        if addr.frame_offset() <= PAGE_SIZE - 8 {
+            let off = addr.frame_offset() as usize;
+            let frame = self.frame_mut(addr.pfn());
+            frame[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write(addr, &value.to_le_bytes());
+        }
     }
 }
 
@@ -129,5 +166,27 @@ mod tests {
         pm.read(f, &mut buf);
         assert_eq!(buf, [8, 7, 6, 5, 4, 3, 2, 1]);
         assert_eq!(pm.read_u64(f), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn u64_accessors_cross_frame_boundary() {
+        let mut pm = PhysMemory::new();
+        let base = PhysAddr((7 << 12) + PAGE_SIZE - 3);
+        pm.write_u64(base, 0x0102_0304_0506_0708);
+        assert_eq!(pm.read_u64(base), 0x0102_0304_0506_0708);
+        let mut buf = [0u8; 8];
+        pm.read(base, &mut buf);
+        assert_eq!(buf, [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn untouched_frames_stay_unmaterialized() {
+        let mut pm = PhysMemory::new();
+        pm.alloc_frame();
+        assert_eq!(pm.frame_count(), 1);
+        // A demand touch far past the allocator cursor materializes only
+        // that frame.
+        pm.write(PhysAddr(99 << 12), &[1]);
+        assert_eq!(pm.frame_count(), 2);
     }
 }

@@ -7,13 +7,21 @@
 //! VM). Each stage can raise a typed [`Fault`], which is precisely how the
 //! paper's domain-based techniques turn an attacker's stray access into a
 //! deterministic crash instead of a silent leak.
+//!
+//! Two fast paths keep the pipeline cheap without changing its observable
+//! behavior: u64 loads/stores that stay within one page skip the generic
+//! byte-range loop ([`AddressSpace::read_u64_info`]), and a small
+//! per-access-kind translation memo lets back-to-back accesses to the
+//! same page skip the permission / protection-key / EPT stages after a TLB
+//! hit. Both are validated by value comparison, so every mapping, `pkru`,
+//! view, EPT or TLB event makes them fall back to the full pipeline.
 
 use crate::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use crate::cache::{CacheHierarchy, CacheStats, HitLevel};
 use crate::ept::{EptAccess, EptSet, EptViolation};
 use crate::phys::PhysMemory;
 use crate::pkey::Pkru;
-use crate::pte::PageFlags;
+use crate::pte::{PageFlags, Pte};
 use crate::tlb::{Tlb, TlbStats};
 use crate::walk::PageTable;
 
@@ -106,6 +114,28 @@ pub struct AccessInfo {
     pub hit_level: HitLevel,
 }
 
+/// One remembered translation: the last page checked for a given access
+/// kind, so back-to-back accesses to the same page skip the permission /
+/// protection-key / EPT stages of [`AddressSpace::check_page`].
+///
+/// A memo entry never *overrides* the TLB: it is only consulted after a
+/// TLB hit, and only when its cached PTE is bit-identical to the one the
+/// TLB returned. Validity is established by value comparison rather than
+/// invalidation hooks — the entry additionally snapshots the active view,
+/// the `pkru` register and the EPT mutation epoch, so any mapping change
+/// (which flushes the TLB entry), `wrpkru`, view switch, EPT switch or
+/// TLB flush makes the comparison fail and the access falls back to the
+/// full check pipeline. Faulting accesses never populate the memo.
+#[derive(Debug, Clone, Copy)]
+struct TranslationMemo {
+    view: u16,
+    vpn: u64,
+    pte: Pte,
+    pkru: Pkru,
+    ept_epoch: u64,
+    pa_page: u64,
+}
+
 /// A full simulated address space.
 ///
 /// # Examples
@@ -138,6 +168,11 @@ pub struct AddressSpace {
     ept: Option<EptSet>,
     cache: CacheHierarchy,
     mprotect_calls: u64,
+    /// Last translated page per data-access kind (`[read, write]`).
+    memo: [Option<TranslationMemo>; 2],
+    /// Bumped on every avenue of EPT mutation (`install_ept`, `ept_mut`);
+    /// memo entries from older epochs are ignored.
+    ept_epoch: u64,
 }
 
 impl Default for AddressSpace {
@@ -160,17 +195,25 @@ impl AddressSpace {
             ept: None,
             cache: CacheHierarchy::new(),
             mprotect_calls: 0,
+            memo: [None, None],
+            ept_epoch: 0,
         }
     }
 
     /// Installs an EPT set: the process now runs inside the VM and every
     /// access is additionally translated through the active EPT.
     pub fn install_ept(&mut self, ept: EptSet) {
+        self.ept_epoch += 1;
         self.ept = Some(ept);
     }
 
     /// Access to the installed EPT set, if any.
+    ///
+    /// Conservatively treated as an EPT mutation (the caller may switch
+    /// the active EPT or change mappings), so the translation memo stops
+    /// trusting entries from before this call.
     pub fn ept_mut(&mut self) -> Option<&mut EptSet> {
+        self.ept_epoch += 1;
         self.ept.as_mut()
     }
 
@@ -335,6 +378,15 @@ impl AddressSpace {
 
     // --- user-side checked access ------------------------------------------
 
+    /// Memo slot for an access kind; fetches are rare enough not to memo.
+    fn memo_slot(access: Access) -> Option<usize> {
+        match access {
+            Access::Read => Some(0),
+            Access::Write => Some(1),
+            Access::Fetch => None,
+        }
+    }
+
     fn check_page(
         &mut self,
         va: VirtAddr,
@@ -370,6 +422,25 @@ impl AddressSpace {
                 )
             }
         };
+        // Fast path: the memo remembers the last page that passed the full
+        // check for this access kind. It only ever confirms what the TLB
+        // just served (same PTE bits) under the same protection state
+        // (view, pkru, EPT epoch), so the outcome — including the faulting
+        // behavior — is identical to the checks below.
+        if info.tlb_hit {
+            if let Some(slot) = Self::memo_slot(access) {
+                if let Some(m) = self.memo[slot] {
+                    if m.vpn == vpn
+                        && m.view == self.active_view
+                        && m.pte == pte
+                        && m.pkru == self.pkru
+                        && m.ept_epoch == self.ept_epoch
+                    {
+                        return Ok((PhysAddr(m.pa_page + va.page_offset()), info));
+                    }
+                }
+            }
+        }
         let flags = pte.flags();
         let denied = match access {
             Access::Read => !flags.user,
@@ -404,6 +475,16 @@ impl AddressSpace {
             }
             None => gpa,
         };
+        if let Some(slot) = Self::memo_slot(access) {
+            self.memo[slot] = Some(TranslationMemo {
+                view: self.active_view,
+                vpn,
+                pte,
+                pkru: self.pkru,
+                ept_epoch: self.ept_epoch,
+                pa_page: hpa.0 & !(PAGE_SIZE - 1),
+            });
+        }
         Ok((hpa, info))
     }
 
@@ -453,14 +534,44 @@ impl AddressSpace {
 
     /// Checked read of a little-endian u64.
     pub fn read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault> {
-        let mut buf = [0u8; 8];
-        self.read(va, &mut buf)?;
-        Ok(u64::from_le_bytes(buf))
+        self.read_u64_info(va).map(|(v, _)| v)
+    }
+
+    /// Checked read of a little-endian u64, returning the [`AccessInfo`]
+    /// used for cycle accounting.
+    ///
+    /// This is the simulator's load fast path: a u64 that does not cross
+    /// a page boundary takes one page check, one cache access and one
+    /// frame copy — bypassing the generic byte-range loop of
+    /// [`AddressSpace::read`] with identical statistics and fault
+    /// behavior (a single-page access runs exactly one iteration of that
+    /// loop). Page-crossing accesses fall back to the generic path.
+    pub fn read_u64_info(&mut self, va: VirtAddr) -> Result<(u64, AccessInfo), Fault> {
+        if va.page_offset() <= PAGE_SIZE - 8 {
+            let (pa, mut info) = self.check_page(va, Access::Read)?;
+            info.hit_level = self.cache.access(pa.0);
+            Ok((self.pm.read_u64(pa), info))
+        } else {
+            let mut buf = [0u8; 8];
+            let info = self.read(va, &mut buf)?;
+            Ok((u64::from_le_bytes(buf), info))
+        }
     }
 
     /// Checked write of a little-endian u64.
+    ///
+    /// Single-page writes take the same fast path as
+    /// [`AddressSpace::read_u64_info`]; page-crossing writes fall back to
+    /// the generic [`AddressSpace::write`] loop.
     pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<AccessInfo, Fault> {
-        self.write(va, &value.to_le_bytes())
+        if va.page_offset() <= PAGE_SIZE - 8 {
+            let (pa, mut info) = self.check_page(va, Access::Write)?;
+            info.hit_level = self.cache.access(pa.0);
+            self.pm.write_u64(pa, value);
+            Ok(info)
+        } else {
+            self.write(va, &value.to_le_bytes())
+        }
     }
 }
 
@@ -715,6 +826,85 @@ mod tests {
             s.read_u64(VirtAddr(0x7000)),
             Err(Fault::PkeyDenied { key: 3, .. })
         ));
+    }
+
+    #[test]
+    fn memo_never_outlives_a_pkru_change() {
+        // Prime the read memo, then revoke the key: the memoized
+        // translation must not serve the now-forbidden access.
+        let mut s = space_with_page(0x9000, PageFlags::rw());
+        s.pkey_mprotect(VirtAddr(0x9000), PAGE_SIZE, 5);
+        s.read_u64(VirtAddr(0x9000)).unwrap();
+        s.read_u64(VirtAddr(0x9008)).unwrap(); // memo hit
+        s.pkru = Pkru::deny_key(5);
+        assert!(matches!(
+            s.read_u64(VirtAddr(0x9010)),
+            Err(Fault::PkeyDenied { key: 5, .. })
+        ));
+        // Reopening the key restores the access (and re-primes the memo).
+        s.pkru = Pkru::allow_all();
+        s.read_u64(VirtAddr(0x9018)).unwrap();
+    }
+
+    #[test]
+    fn memo_never_outlives_an_ept_switch() {
+        // After a successful access in the secret domain, switching the
+        // EPT back must fault again: the memoized host translation from
+        // the secret EPT is stale.
+        let mut s = space_with_page(SENSITIVE_BASE, PageFlags::rw());
+        s.write_u64(VirtAddr(SENSITIVE_BASE), 0x5afe).unwrap();
+        let mut ept = EptSet::new(2, true);
+        for gpfn in 0..64 {
+            ept.mark_secret(gpfn, 1);
+        }
+        s.install_ept(ept);
+        s.ept_mut().unwrap().vmfunc_switch(1);
+        assert_eq!(s.read_u64(VirtAddr(SENSITIVE_BASE)).unwrap(), 0x5afe);
+        assert_eq!(s.read_u64(VirtAddr(SENSITIVE_BASE)).unwrap(), 0x5afe);
+        s.ept_mut().unwrap().vmfunc_switch(0);
+        assert!(matches!(
+            s.read_u64(VirtAddr(SENSITIVE_BASE)),
+            Err(Fault::Ept(_))
+        ));
+    }
+
+    #[test]
+    fn memo_never_outlives_a_view_switch() {
+        // The same vpn maps to different frames in two views; repeated
+        // accesses across switches must read each view's own frame.
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0xa000), PAGE_SIZE, PageFlags::rw());
+        let secure = s.add_view();
+        s.write_u64(VirtAddr(0xa000), 1).unwrap();
+        s.write_u64(VirtAddr(0xa008), 1).unwrap(); // memo hit in view 0
+        s.switch_view(secure);
+        // Same frame is shared after add_view; remap view `secure` to a
+        // fresh frame so the views diverge.
+        s.unmap_region(VirtAddr(0xa000), PAGE_SIZE);
+        s.map_region(VirtAddr(0xa000), PAGE_SIZE, PageFlags::rw());
+        s.write_u64(VirtAddr(0xa000), 2).unwrap();
+        assert_eq!(s.read_u64(VirtAddr(0xa000)).unwrap(), 2);
+        s.switch_view(0);
+        assert_eq!(s.read_u64(VirtAddr(0xa000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn u64_fast_path_matches_generic_reads() {
+        // The u64 fast path and the generic byte loop must agree on both
+        // value and reported access info, including at the page-crossing
+        // boundary where the fast path falls back.
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0xb000), 2 * PAGE_SIZE, PageFlags::rw());
+        for off in [0u64, 8, 4088, 4089, 4096] {
+            let va = VirtAddr(0xb000 + off);
+            s.write_u64(va, 0x1122_3344_5566_7700 + off).unwrap();
+            let (v, info) = s.read_u64_info(va).unwrap();
+            assert_eq!(v, 0x1122_3344_5566_7700 + off, "offset {off}");
+            let mut buf = [0u8; 8];
+            let ginfo = s.read(va, &mut buf).unwrap();
+            assert_eq!(u64::from_le_bytes(buf), v, "offset {off}");
+            assert_eq!(info, ginfo, "offset {off}");
+        }
     }
 
     #[test]

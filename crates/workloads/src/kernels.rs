@@ -780,4 +780,33 @@ mod tests {
         let (ml, ms) = run_stats(&matmul_kernel(10, 5));
         assert!(ml / ms.max(1.0) > sl / ss, "matmul more load-biased");
     }
+
+    #[test]
+    fn golden_execution_stats_are_bit_exact() {
+        // Golden determinism anchor for the simulator: the exact counters
+        // and cycle bits of one fixed kernel. Any change to decoding, the
+        // cost model, the memory fast paths or the TLB that moves *any* of
+        // these values is a semantic change, not an optimization, and must
+        // be called out in EXPERIMENTS.md. (The kernel inputs come from the
+        // local xorshift generator, so this is stable across platforms.)
+        let k = sort_kernel(64, 7);
+        let mut m = Machine::new(k.program.clone());
+        k.prepare(&mut m);
+        assert_eq!(m.run().expect_exit(), 13_916_426);
+        let s = m.stats();
+        assert_eq!(
+            s.cycles.to_bits(),
+            0x40b0_0214_7ae1_473b,
+            "cycles = {}",
+            s.cycles
+        );
+        assert_eq!(s.instructions, 7638);
+        assert_eq!(s.loads, 1022);
+        assert_eq!(s.stores, 900);
+        let t = m.space.tlb_stats();
+        assert_eq!(
+            (t.hits, t.misses, t.flushes, t.page_flushes),
+            (1921, 1, 0, 0)
+        );
+    }
 }

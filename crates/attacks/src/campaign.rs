@@ -1,0 +1,502 @@
+//! The fault-injection campaign: asynchronous events inside domain
+//! windows.
+//!
+//! The paper's Table 2 measures what each technique costs; this module
+//! measures what each technique *risks*. Domain-based isolation opens a
+//! window — the span between the open and close sequences — during which
+//! the safe region is plainly accessible. A synchronous attacker is
+//! stopped by the instrumentation itself, but an **asynchronous** one (a
+//! signal handler planted by the attacker, a hostile sibling thread
+//! scheduled mid-window) executes *between* the victim's instructions,
+//! where no instrumentation runs.
+//!
+//! The campaign makes that residual surface measurable and deterministic:
+//! for every technique it builds a victim with one instrumented window
+//! around a privileged access, snapshots the prepared machine once
+//! ([`memsentry_cpu::Machine::snapshot`]), and then sweeps an injected
+//! event ([`memsentry_cpu::EventAction::Signal`] or
+//! [`memsentry_cpu::EventAction::Preempt`]) into **every** instruction
+//! boundary of the run, classifying each interruption:
+//!
+//! * [`Outcome::Trapped`] — the hostile code faulted (the technique held).
+//! * [`Outcome::Survived`] — the run finished but the attacker learned
+//!   nothing (e.g. crypt leaked only ciphertext).
+//! * [`Outcome::Exposed`] — the attacker exfiltrated the region's secret.
+//!
+//! A window-aware kernel scrubs the domain to the technique's closed
+//! state before running untrusted interrupt-context code
+//! ([`HandlerMode::Scrub`], via
+//! [`memsentry::MemSentry::signal_closure`]); [`HandlerMode::Broken`]
+//! models a runtime that forgets, and is the regression the campaign must
+//! flag: every domain-based technique shows a non-empty exposure window
+//! (MPK's *preemption* window is the exception — `pkru` is per-thread
+//! state, so a sibling thread never inherits the open window).
+
+use memsentry::{Application, FrameworkError, MemSentry, Technique};
+use memsentry_cpu::{EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap};
+use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
+
+/// The 64-bit secret planted in the safe region.
+pub const SECRET: u64 = 0x5ec2_e7c0_ffee;
+
+/// Ordinary page the hostile handler/thread exfiltrates into.
+pub const MAILBOX: u64 = 0x30_0000;
+
+/// Function ids in the campaign victim.
+mod funcs {
+    use memsentry_ir::FuncId;
+    /// The hostile signal handler: read the region, exfiltrate, return.
+    pub const HANDLER: FuncId = FuncId(1);
+    /// The hostile sibling thread: same body, but halts.
+    pub const READER: FuncId = FuncId(2);
+}
+
+/// Whether the simulated kernel scrubs the domain around asynchronous
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandlerMode {
+    /// Window-aware delivery: force-close the domain first, reopen after.
+    Scrub,
+    /// Broken runtime: hostile code runs with whatever state the victim
+    /// had mid-instruction.
+    Broken,
+}
+
+impl HandlerMode {
+    /// Display name used by reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HandlerMode::Scrub => "scrub",
+            HandlerMode::Broken => "broken",
+        }
+    }
+}
+
+/// How one injected interruption ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The hostile code trapped; the technique held even mid-window.
+    Trapped,
+    /// The run completed but the mailbox does not hold the secret.
+    Survived,
+    /// The mailbox holds the secret: the window was open to the attacker.
+    Exposed,
+}
+
+/// One sweep point: an event injected at instruction boundary `offset`.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Boundary index relative to the prepared-machine snapshot (the
+    /// event fired before the `offset`-th instruction of the run).
+    pub offset: u64,
+    /// Simulated cycles already retired at that boundary in the clean
+    /// (uninterrupted) run.
+    pub cycles: f64,
+    /// The classification of the interrupted run.
+    pub outcome: Outcome,
+}
+
+/// The full sweep for one technique × event kind × handler mode.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The technique under test.
+    pub technique: Technique,
+    /// Scrubbed or broken delivery.
+    pub mode: HandlerMode,
+    /// One entry per instruction boundary of the clean run, in order.
+    pub points: Vec<SweepPoint>,
+    /// Total cycles of the clean run (the boundary after the last
+    /// instruction).
+    pub total_cycles: f64,
+    /// Instructions the simulator retired producing this report (the
+    /// clean run plus every injected run), for harness throughput
+    /// accounting.
+    pub sim_instructions: u64,
+}
+
+impl CampaignReport {
+    /// Number of boundaries classified [`Outcome::Exposed`].
+    pub fn exposed(&self) -> usize {
+        self.count(Outcome::Exposed)
+    }
+
+    /// Number of boundaries with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.points.iter().filter(|p| p.outcome == outcome).count()
+    }
+
+    /// The exposure window in cycles: the summed cycle spans of every
+    /// instruction whose leading boundary is [`Outcome::Exposed`] — i.e.
+    /// how long (in simulated time) the region stood open to an
+    /// asynchronous attacker per window execution.
+    pub fn exposure_cycles(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.outcome == Outcome::Exposed {
+                let next = self
+                    .points
+                    .get(i + 1)
+                    .map_or(self.total_cycles, |n| n.cycles);
+                total += next - p.cycles;
+            }
+        }
+        total
+    }
+}
+
+/// Errors from building or driving a campaign victim.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Instrumentation or machine preparation failed.
+    Framework(FrameworkError),
+    /// The *uninterrupted* run trapped — the victim itself is broken.
+    CleanRun {
+        /// The technique whose victim misbehaved.
+        technique: Technique,
+        /// The trap the clean run hit.
+        trap: Trap,
+    },
+}
+
+impl core::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CampaignError::Framework(e) => write!(f, "campaign victim: {e}"),
+            CampaignError::CleanRun { technique, trap } => {
+                write!(f, "clean run under {technique} trapped: {trap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<FrameworkError> for CampaignError {
+    fn from(e: FrameworkError) -> Self {
+        CampaignError::Framework(e)
+    }
+}
+
+/// The techniques the campaign sweeps: every domain-based technique plus
+/// the mprotect baseline (address-based techniques have no window).
+pub const WINDOWED_TECHNIQUES: [Technique; 6] = [
+    Technique::Mpk,
+    Technique::Vmfunc,
+    Technique::Crypt,
+    Technique::Sgx,
+    Technique::PageTableSwitch,
+    Technique::MprotectBaseline,
+];
+
+/// The victim program: main performs one privileged (instrumented) load
+/// of the region; the handler and reader are the attacker's asynchronous
+/// code — deliberately *uninstrumented*, because interrupt-context code
+/// is outside the compiler's reach.
+fn build_program(region_base: u64) -> Program {
+    let mut p = Program::new();
+
+    let mut main = FunctionBuilder::new("main");
+    main.push(Inst::MovImm {
+        dst: Reg::Rbx,
+        imm: region_base,
+    });
+    // Pre-window slack so the sweep shows closed-state boundaries on both
+    // sides of the window (live values ride in rbx/rbp/r12 per the
+    // register discipline).
+    main.push(Inst::MovImm {
+        dst: Reg::Rbp,
+        imm: 1,
+    });
+    main.push(Inst::MovImm {
+        dst: Reg::R12,
+        imm: 2,
+    });
+    // The instrumented window: open sequence, this load, close sequence.
+    main.push_privileged(Inst::Load {
+        dst: Reg::R8,
+        addr: Reg::Rbx,
+        offset: 0,
+    });
+    main.push(Inst::MovImm {
+        dst: Reg::Rax,
+        imm: 0,
+    });
+    main.push(Inst::Halt);
+    p.add_function(main.finish());
+
+    let mut handler = FunctionBuilder::new("hostile_handler");
+    handler.push(Inst::MovImm {
+        dst: Reg::Rdi,
+        imm: region_base,
+    });
+    handler.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::Rdi,
+        offset: 0,
+    });
+    handler.push(Inst::MovImm {
+        dst: Reg::Rsi,
+        imm: MAILBOX,
+    });
+    handler.push(Inst::Store {
+        src: Reg::Rax,
+        addr: Reg::Rsi,
+        offset: 0,
+    });
+    handler.push(Inst::Syscall {
+        nr: memsentry_cpu::kernel::nr::SIGRETURN,
+    });
+    // Unreachable: sigreturn transfers control back to the victim.
+    handler.push(Inst::Halt);
+    p.add_function(handler.finish());
+
+    let mut reader = FunctionBuilder::new("hostile_reader");
+    reader.push(Inst::MovImm {
+        dst: Reg::Rdi,
+        imm: region_base,
+    });
+    reader.push(Inst::Load {
+        dst: Reg::Rax,
+        addr: Reg::Rdi,
+        offset: 0,
+    });
+    reader.push(Inst::MovImm {
+        dst: Reg::Rsi,
+        imm: MAILBOX,
+    });
+    reader.push(Inst::Store {
+        src: Reg::Rax,
+        addr: Reg::Rsi,
+        offset: 0,
+    });
+    reader.push(Inst::Halt);
+    p.add_function(reader.finish());
+
+    p
+}
+
+/// Builds the prepared victim machine: region mapped and protected,
+/// secret planted (through the technique's at-rest representation),
+/// mailbox mapped in every view, hostile reader thread spawned parked.
+fn build_victim(technique: Technique) -> Result<(Machine, MemSentry, usize), CampaignError> {
+    let fw = MemSentry::new(technique, 64);
+    let mut program = build_program(fw.layout().base);
+    fw.instrument(&mut program, Application::ProgramData)?;
+    let mut m = Machine::new(program);
+    // Map the mailbox *before* prepare_machine so view-forking techniques
+    // (page-table switch) carry it into the secure view too.
+    m.space
+        .map_region(VirtAddr(MAILBOX), PAGE_SIZE, PageFlags::rw());
+    fw.prepare_machine(&mut m)?;
+    fw.write_region(&mut m, 0, &SECRET.to_le_bytes());
+    // The sibling inherits the spawner's (closed) pkru, like clone(2).
+    let reader_tid = m.spawn_thread(funcs::READER, [0; 3]);
+    Ok((m, fw, reader_tid))
+}
+
+/// Classifies one interrupted run.
+fn classify(m: &mut Machine, out: RunOutcome) -> Outcome {
+    match out {
+        RunOutcome::Trapped(_) => Outcome::Trapped,
+        RunOutcome::Exited(_) => {
+            let mut buf = [0u8; 8];
+            m.space.peek(VirtAddr(MAILBOX), &mut buf);
+            if u64::from_le_bytes(buf) == SECRET {
+                Outcome::Exposed
+            } else {
+                Outcome::Survived
+            }
+        }
+    }
+}
+
+/// Runs the sweep: one clean stepped run to learn the boundary → cycle
+/// mapping, then one restored run per boundary with the event injected.
+fn sweep(
+    mut m: Machine,
+    technique: Technique,
+    mode: HandlerMode,
+    make_schedule: impl Fn(u64) -> EventSchedule,
+) -> Result<CampaignReport, CampaignError> {
+    let snap = m.snapshot();
+    let mut boundary_cycles = vec![m.cycles()];
+    while !m.is_halted() {
+        if let Err(trap) = m.step() {
+            return Err(CampaignError::CleanRun { technique, trap });
+        }
+        boundary_cycles.push(m.cycles());
+    }
+    let total_cycles = m.cycles();
+    let boundaries = boundary_cycles.len() - 1;
+    let mut sim_instructions = boundaries as u64;
+
+    let mut points = Vec::with_capacity(boundaries);
+    for offset in 0..boundaries as u64 {
+        m.restore(&snap);
+        m.set_event_schedule(make_schedule(snap.instructions() + offset));
+        let out = m.run();
+        sim_instructions += m.stats().instructions.saturating_sub(snap.instructions());
+        points.push(SweepPoint {
+            offset,
+            cycles: boundary_cycles[offset as usize],
+            outcome: classify(&mut m, out),
+        });
+    }
+    Ok(CampaignReport {
+        technique,
+        mode,
+        points,
+        total_cycles,
+        sim_instructions,
+    })
+}
+
+/// Sweeps a hostile **signal handler** into every instruction boundary of
+/// the victim's run.
+pub fn sweep_signals(
+    technique: Technique,
+    mode: HandlerMode,
+) -> Result<CampaignReport, CampaignError> {
+    let (mut m, fw, _) = build_victim(technique)?;
+    m.set_signal_policy(SignalPolicy {
+        handler: funcs::HANDLER,
+        scrub: mode == HandlerMode::Scrub,
+    });
+    m.set_domain_closure(fw.signal_closure());
+    sweep(m, technique, mode, |at| {
+        EventSchedule::at(at, EventAction::Signal)
+    })
+}
+
+/// Sweeps a forced **preemption** into a hostile sibling thread at every
+/// instruction boundary of the victim's run.
+pub fn sweep_preemption(
+    technique: Technique,
+    mode: HandlerMode,
+) -> Result<CampaignReport, CampaignError> {
+    let (mut m, fw, reader_tid) = build_victim(technique)?;
+    m.set_domain_closure(fw.signal_closure());
+    let scrub = mode == HandlerMode::Scrub;
+    sweep(m, technique, mode, move |at| {
+        EventSchedule::at(
+            at,
+            EventAction::Preempt {
+                to: reader_tid,
+                quantum: 64,
+                scrub,
+            },
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrubbed_signal_delivery_never_exposes_any_technique() {
+        for technique in WINDOWED_TECHNIQUES {
+            let report = sweep_signals(technique, HandlerMode::Scrub).unwrap();
+            assert_eq!(
+                report.exposed(),
+                0,
+                "technique {technique} exposed {} boundaries despite scrubbing",
+                report.exposed()
+            );
+        }
+    }
+
+    #[test]
+    fn broken_delivery_exposes_the_window() {
+        // The mandated regression: a runtime that forgets to scrub leaks
+        // through every domain-based window.
+        for technique in WINDOWED_TECHNIQUES {
+            let report = sweep_signals(technique, HandlerMode::Broken).unwrap();
+            assert!(
+                report.exposed() > 0,
+                "technique {technique}: broken delivery must expose the window"
+            );
+            assert!(
+                report.exposure_cycles() > 0.0,
+                "technique {technique}: exposure window must span cycles"
+            );
+            // ... but only the window: boundaries outside it stay closed.
+            assert!(
+                report.exposed() < report.points.len(),
+                "technique {technique}: exposure must be confined to the window"
+            );
+        }
+    }
+
+    #[test]
+    fn signals_outside_the_window_hit_the_closed_domain() {
+        // Boundary 0 is before the program's first instruction: the region
+        // is at rest. Faulting techniques trap the hostile handler; crypt
+        // hands it ciphertext.
+        for technique in WINDOWED_TECHNIQUES {
+            let report = sweep_signals(technique, HandlerMode::Broken).unwrap();
+            let first = report.points[0].outcome;
+            if technique == Technique::Crypt {
+                assert_eq!(first, Outcome::Survived, "crypt leaks only ciphertext");
+            } else {
+                assert_eq!(first, Outcome::Trapped, "technique {technique}");
+            }
+        }
+    }
+
+    #[test]
+    fn scrubbed_crypt_handler_sees_only_ciphertext() {
+        let report = sweep_signals(Technique::Crypt, HandlerMode::Scrub).unwrap();
+        // Every boundary survives (the handler reads ciphertext, never
+        // faults) and none exposes the plaintext.
+        assert_eq!(report.count(Outcome::Survived), report.points.len());
+    }
+
+    #[test]
+    fn mpk_preemption_window_is_thread_local() {
+        // pkru is per-logical-processor state: the sibling thread's own
+        // (closed) pkru applies, so even an unscrubbed context switch
+        // mid-window leaks nothing.
+        let report = sweep_preemption(Technique::Mpk, HandlerMode::Broken).unwrap();
+        assert_eq!(report.exposed(), 0, "MPK windows must be thread-local");
+    }
+
+    #[test]
+    fn shared_state_techniques_expose_under_broken_preemption() {
+        // EPT views, page-table views, in-place plaintext and the global
+        // enclave mode are process-wide: an unscrubbed preemption
+        // mid-window hands the sibling the open domain.
+        for technique in [
+            Technique::Vmfunc,
+            Technique::PageTableSwitch,
+            Technique::Crypt,
+        ] {
+            let report = sweep_preemption(technique, HandlerMode::Broken).unwrap();
+            assert!(
+                report.exposed() > 0,
+                "technique {technique}: shared window state must expose"
+            );
+        }
+    }
+
+    #[test]
+    fn scrubbed_preemption_never_exposes() {
+        for technique in WINDOWED_TECHNIQUES {
+            let report = sweep_preemption(technique, HandlerMode::Scrub).unwrap();
+            assert_eq!(report.exposed(), 0, "technique {technique}");
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = sweep_signals(Technique::Mpk, HandlerMode::Broken).unwrap();
+        let b = sweep_signals(Technique::Mpk, HandlerMode::Broken).unwrap();
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+}

@@ -24,14 +24,22 @@
 //!   the harness.
 //! * [`jitrop`] — JIT-ROP-style code scanning against diversified,
 //!   materialized code; stopped by Readactor-style XoM.
+//! * [`campaign`] — the deterministic fault-injection campaign: hostile
+//!   signal handlers and preemptions swept into every instruction
+//!   boundary of each technique's domain window.
 
 pub mod bypass;
+pub mod campaign;
 pub mod jitrop;
 pub mod primitive;
 pub mod probing;
 pub mod victim;
 
 pub use bypass::{attack, AttackOutcome, AttackResult};
+pub use campaign::{
+    sweep_preemption, sweep_signals, CampaignError, CampaignReport, HandlerMode, Outcome,
+    SweepPoint, WINDOWED_TECHNIQUES,
+};
 pub use jitrop::{jitrop_attack, DiversifiedVictim, JitRopResult};
 pub use primitive::{ArbitraryRw, Probe};
 pub use probing::{allocation_oracle_probes, linear_scan, spray_and_probe};

@@ -273,6 +273,15 @@ fn main() {
         },
     );
 
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "fault_matrix.txt",
+        || memsentry_bench::faults::fault_matrix(&session),
+    );
+
     let wall = started.elapsed().as_secs_f64();
     let sim_instructions = session.sim_instructions();
     let per_sec = sim_instructions as f64 / wall.max(f64::MIN_POSITIVE);

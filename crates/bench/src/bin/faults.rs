@@ -1,0 +1,13 @@
+//! The fault-injection matrix: hostile signals and preemptions swept
+//! into every instruction boundary of each technique's domain window.
+//! Args: `[--jobs N]` (superblocks are irrelevant here: the sweep covers
+//! every boundary of a fixed single-window victim).
+use memsentry_bench::cli;
+use memsentry_bench::faults::fault_matrix;
+
+fn main() {
+    let args = cli::parse_or_exit("faults [--jobs N]");
+    let session = args.session();
+    let matrix = cli::ok_or_exit(fault_matrix(&session));
+    print!("{matrix}");
+}

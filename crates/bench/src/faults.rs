@@ -1,0 +1,179 @@
+//! The fault-injection matrix artifact (`results/fault_matrix.txt`).
+//!
+//! A companion to the paper's Table 2: where Table 2 maps defense classes
+//! to the *synchronous* instrumentation points each technique must pay
+//! for, this matrix measures each technique's *asynchronous* residual —
+//! what a hostile signal handler or a preempting sibling thread sees when
+//! it interrupts the instrumented domain window at every possible
+//! instruction boundary ([`memsentry_attacks::campaign`]).
+//!
+//! Rows are `event kind × delivery mode × technique`; columns count the
+//! swept boundaries by classification and give the exposure window in
+//! simulated cycles. Every cell is memoized on the shared
+//! [`Session`] (`Session::measure_aux`) and the grid fans out over the
+//! session's workers, with rows reassembled in fixed order — so serial
+//! and parallel runs produce byte-identical artifacts, like every other
+//! stage.
+
+use memsentry::Technique;
+use memsentry_attacks::campaign::{
+    self, CampaignError, CampaignReport, HandlerMode, Outcome, WINDOWED_TECHNIQUES,
+};
+
+use crate::measure::{AuxMeasurement, Session};
+use crate::runner::{CellFailure, MeasureError};
+
+/// Which asynchronous event class a row injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A hostile signal handler delivered mid-run.
+    Signal,
+    /// A forced context switch into a hostile sibling thread.
+    Preemption,
+}
+
+impl EventKind {
+    /// Display name used in the artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Signal => "signal",
+            EventKind::Preemption => "preempt",
+        }
+    }
+}
+
+/// Maps a campaign failure into the harness's structured cell error.
+fn cell_error(kind: EventKind, mode: HandlerMode, e: CampaignError) -> MeasureError {
+    let (technique, failure) = match e {
+        CampaignError::Framework(fe) => (None, CellFailure::from(fe)),
+        CampaignError::CleanRun { technique, trap } => {
+            (Some(technique), CellFailure::Trapped(trap))
+        }
+    };
+    MeasureError {
+        benchmark: "fault-campaign",
+        config: match technique {
+            Some(t) => format!("{}/{}/{t}", kind.name(), mode.name()),
+            None => format!("{}/{}", kind.name(), mode.name()),
+        },
+        failure,
+    }
+}
+
+/// Renders one matrix row from a sweep report.
+fn render_row(kind: EventKind, report: &CampaignReport) -> String {
+    format!(
+        "{:<8} {:<7} {:<9} {:>10} {:>8} {:>9} {:>8} {:>14.1}\n",
+        kind.name(),
+        report.mode.name(),
+        report.technique.name(),
+        report.points.len(),
+        report.count(Outcome::Trapped),
+        report.count(Outcome::Survived),
+        report.count(Outcome::Exposed),
+        report.exposure_cycles(),
+    )
+}
+
+/// One campaign sweep as a memoized auxiliary session cell.
+fn sweep_cell(
+    session: &Session,
+    kind: EventKind,
+    mode: HandlerMode,
+    technique: Technique,
+) -> Result<AuxMeasurement, MeasureError> {
+    let key = format!(
+        "faults/{}/{}/{}",
+        kind.name(),
+        mode.name(),
+        technique.name()
+    );
+    session.measure_aux(&key, || {
+        let report = match kind {
+            EventKind::Signal => campaign::sweep_signals(technique, mode),
+            EventKind::Preemption => campaign::sweep_preemption(technique, mode),
+        }
+        .map_err(|e| cell_error(kind, mode, e))?;
+        Ok(AuxMeasurement {
+            text: render_row(kind, &report),
+            sim_instructions: report.sim_instructions,
+        })
+    })
+}
+
+/// Computes the full fault matrix, fanning the sweeps out over the
+/// session's workers. The artifact is byte-identical for any `--jobs`
+/// value.
+///
+/// # Errors
+///
+/// Returns the failure of the first broken cell in row order.
+pub fn fault_matrix(session: &Session) -> Result<String, MeasureError> {
+    let mut cells: Vec<(EventKind, HandlerMode, Technique)> = Vec::new();
+    for kind in [EventKind::Signal, EventKind::Preemption] {
+        for mode in [HandlerMode::Scrub, HandlerMode::Broken] {
+            for technique in WINDOWED_TECHNIQUES {
+                cells.push((kind, mode, technique));
+            }
+        }
+    }
+    let rows = session.parallel_map(&cells, |&(kind, mode, technique)| {
+        sweep_cell(session, kind, mode, technique)
+    });
+    let mut out = String::from(
+        "fault-injection matrix: a hostile signal handler (or preempting\n\
+         sibling thread) swept into every instruction boundary of one\n\
+         instrumented window; scrub = window-aware kernel closes the domain\n\
+         around the event, broken = it does not (async companion to Table 2)\n\
+         \n\
+         event    mode    technique  boundaries  trapped  survived  exposed  exposure(cyc)\n",
+    );
+    for row in rows {
+        out.push_str(&row?.text);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic_across_job_counts() {
+        let serial = fault_matrix(&Session::with_jobs(1)).unwrap();
+        let parallel = fault_matrix(&Session::with_jobs(4)).unwrap();
+        assert_eq!(serial, parallel, "artifact must not depend on --jobs");
+    }
+
+    #[test]
+    fn matrix_covers_the_grid_and_counts_work() {
+        let session = Session::with_jobs(2);
+        let matrix = fault_matrix(&session).unwrap();
+        let rows = matrix
+            .lines()
+            .filter(|l| l.starts_with("signal") || l.starts_with("preempt"))
+            .count();
+        assert_eq!(rows, 2 * 2 * WINDOWED_TECHNIQUES.len());
+        assert_eq!(session.simulations(), rows as u64);
+        assert!(session.sim_instructions() > 0);
+        // Regeneration is served entirely from the cache.
+        let again = fault_matrix(&session).unwrap();
+        assert_eq!(again, matrix);
+        assert_eq!(session.simulations(), rows as u64);
+        assert_eq!(session.cache_hits(), rows as u64);
+    }
+
+    #[test]
+    fn scrubbed_rows_expose_nothing_and_broken_signal_rows_do() {
+        let matrix = fault_matrix(&Session::with_jobs(1)).unwrap();
+        for line in matrix.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.get(1) == Some(&"scrub") {
+                assert_eq!(fields[6], "0", "scrubbed row exposes: {line}");
+            }
+            if fields.first() == Some(&"signal") && fields.get(1) == Some(&"broken") {
+                assert_ne!(fields[6], "0", "broken signal row must expose: {line}");
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`tables`] — Tables 1-4 as printable text.
 //! * [`extras`] — the mprotect 20-50x baseline, the crypt region-size
 //!   scaling study, and the SafeStack case study (§6.2).
+//! * [`faults`] — the fault-injection matrix: hostile signal handlers
+//!   and preemptions swept into every instruction boundary of each
+//!   technique's domain window (async companion to Table 2).
 //!
 //! Binaries under `src/bin/` print each artifact; `cargo bench` runs the
 //! same computations under Criterion for wall-clock tracking.
@@ -23,6 +26,7 @@
 pub mod ablation;
 pub mod cli;
 pub mod extras;
+pub mod faults;
 pub mod figures;
 pub mod kernels_study;
 pub mod measure;
@@ -30,5 +34,5 @@ pub mod report;
 pub mod runner;
 pub mod tables;
 
-pub use measure::Session;
+pub use measure::{AuxMeasurement, Session};
 pub use runner::{overhead, run_config, CellFailure, ExperimentConfig, MeasureError, Measurement};

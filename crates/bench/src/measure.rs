@@ -38,6 +38,22 @@ type CellKey = (&'static str, u32, ExperimentConfig);
 /// What a cell resolves to (cached verbatim, including failures).
 type CellResult = Result<Measurement, MeasureError>;
 
+/// An auxiliary measurement: an artifact cell whose unit of work is not a
+/// `(profile, superblocks, config)` workload run — e.g. one
+/// fault-injection sweep of the campaign. The session memoizes these
+/// under a caller-chosen string key with the same semantics as workload
+/// cells (failures cached, instruction work counted once).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxMeasurement {
+    /// The rendered cell content (one or more artifact lines).
+    pub text: String,
+    /// Instructions the simulator retired producing the cell.
+    pub sim_instructions: u64,
+}
+
+/// What an auxiliary cell resolves to (cached verbatim).
+type AuxResult = Result<AuxMeasurement, MeasureError>;
+
 /// A concurrency-safe, memoizing measurement session.
 ///
 /// Create one per harness invocation and route every measurement through
@@ -46,6 +62,7 @@ type CellResult = Result<Measurement, MeasureError>;
 pub struct Session {
     jobs: usize,
     cells: Mutex<HashMap<CellKey, Arc<OnceLock<CellResult>>>>,
+    aux_cells: Mutex<HashMap<String, Arc<OnceLock<AuxResult>>>>,
     simulations: AtomicU64,
     baseline_runs: AtomicU64,
     cache_hits: AtomicU64,
@@ -74,6 +91,7 @@ impl Session {
         Self {
             jobs: jobs.max(1),
             cells: Mutex::new(HashMap::new()),
+            aux_cells: Mutex::new(HashMap::new()),
             simulations: AtomicU64::new(0),
             baseline_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -140,6 +158,43 @@ impl Session {
             if let Ok(m) = &result {
                 self.sim_instructions
                     .fetch_add(m.stats.instructions, Ordering::Relaxed);
+            }
+            result
+        });
+        if !fresh {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Memoizes an auxiliary cell under `key`: `produce` runs at most
+    /// once per distinct key for the session's lifetime; concurrent
+    /// requests for an in-flight key block on the first computation.
+    /// Fresh cells count toward [`Session::simulations`] and add their
+    /// instruction work to [`Session::sim_instructions`]; replays count
+    /// as [`Session::cache_hits`]. Failures are cached and replayed like
+    /// successes, exactly as for workload cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly cached) [`MeasureError`] of the cell.
+    pub fn measure_aux(
+        &self,
+        key: &str,
+        produce: impl FnOnce() -> Result<AuxMeasurement, MeasureError>,
+    ) -> Result<AuxMeasurement, MeasureError> {
+        let slot = {
+            let mut cells = self.aux_cells.lock().unwrap();
+            Arc::clone(cells.entry(key.to_string()).or_default())
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            let result = produce();
+            if let Ok(m) = &result {
+                self.sim_instructions
+                    .fetch_add(m.sim_instructions, Ordering::Relaxed);
             }
             result
         });
@@ -361,6 +416,49 @@ mod tests {
             .measure(&SPEC2006[0], SB, ExperimentConfig::Baseline)
             .unwrap();
         assert_eq!(session.sim_instructions(), m.stats.instructions);
+    }
+
+    #[test]
+    fn aux_cells_memoize_and_count_work_once() {
+        let session = Session::with_jobs(1);
+        let calls = std::cell::Cell::new(0u32);
+        let produce = || {
+            calls.set(calls.get() + 1);
+            Ok(AuxMeasurement {
+                text: "row\n".into(),
+                sim_instructions: 42,
+            })
+        };
+        let a = session.measure_aux("cell", produce).unwrap();
+        assert_eq!(a.text, "row\n");
+        assert_eq!(session.sim_instructions(), 42);
+        assert_eq!(session.simulations(), 1);
+        let b = session.measure_aux("cell", produce).unwrap();
+        assert_eq!(b, a, "replayed from cache");
+        assert_eq!(calls.get(), 1, "produced exactly once");
+        assert_eq!(session.cache_hits(), 1);
+        assert_eq!(session.sim_instructions(), 42, "replays add no work");
+    }
+
+    #[test]
+    fn aux_failures_are_cached_too() {
+        let session = Session::with_jobs(1);
+        let calls = std::cell::Cell::new(0u32);
+        let produce = || {
+            calls.set(calls.get() + 1);
+            Err(MeasureError {
+                benchmark: "aux",
+                config: "broken".into(),
+                failure: CellFailure::Unsupported {
+                    technique: Technique::Sfi,
+                    operation: "nothing",
+                },
+            })
+        };
+        let first = session.measure_aux("bad", produce).unwrap_err();
+        let again = session.measure_aux("bad", produce).unwrap_err();
+        assert_eq!(again, first);
+        assert_eq!(calls.get(), 1, "failure replayed, not recomputed");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use memsentry_aes::RegionCipher;
 use memsentry_check::{AddressPolicy, CheckPolicy};
-use memsentry_cpu::{Machine, Trap};
+use memsentry_cpu::{DomainClosure, Machine, Trap};
 use memsentry_hv::DuneSandbox;
 use memsentry_ir::Program;
 use memsentry_mmu::{PageFlags, Pkru, Prot, VirtAddr, PAGE_SIZE};
@@ -133,6 +133,47 @@ impl MemSentry {
             Technique::MprotectBaseline => Some(DomainSequences::mprotect(&self.layout)),
             Technique::PageTableSwitch => Some(DomainSequences::page_table_switch(&self.layout)),
             _ => None,
+        }
+    }
+
+    /// The technique's *closed* domain state for asynchronous-event
+    /// scrubbing ([`memsentry_cpu::DomainClosure`]): what a window-aware
+    /// kernel must impose before running a signal handler (or a sibling
+    /// thread) that interrupts an open domain window, and revert on
+    /// return. Address-based and probabilistic techniques have no domain
+    /// window, so their closure is empty (scrubbing is a no-op).
+    pub fn signal_closure(&self) -> DomainClosure {
+        let pages = self.layout.len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        match self.technique {
+            Technique::Mpk => DomainClosure {
+                pkru: Some(Pkru::deny_key(self.layout.pkey)),
+                ..DomainClosure::default()
+            },
+            Technique::Vmfunc => DomainClosure {
+                // EPT view 0 is the default view without the safe region;
+                // the Dune sandbox's secure view is `layout.secure_ept`.
+                ept: Some(0),
+                ..DomainClosure::default()
+            },
+            Technique::PageTableSwitch => DomainClosure {
+                // View 0 never maps the region (prepare_machine unmaps it
+                // there); the secure view is `layout.secure_ept`.
+                view: Some(0),
+                ..DomainClosure::default()
+            },
+            Technique::Sgx => DomainClosure {
+                enclave: true,
+                ..DomainClosure::default()
+            },
+            Technique::Crypt => DomainClosure {
+                crypt: Some((self.layout.base, self.layout.chunks())),
+                ..DomainClosure::default()
+            },
+            Technique::MprotectBaseline => DomainClosure {
+                mprotect: Some((self.layout.base, pages)),
+                ..DomainClosure::default()
+            },
+            Technique::Sfi | Technique::Mpx | Technique::InfoHiding => DomainClosure::default(),
         }
     }
 
@@ -480,6 +521,28 @@ mod tests {
         let mut bytes = [0u8; 8];
         m.space.peek(VirtAddr(layout.base), &mut bytes);
         assert_ne!(u64::from_le_bytes(bytes), 7, "region rests encrypted");
+    }
+
+    #[test]
+    fn signal_closures_match_prepared_state() {
+        let fw = MemSentry::new(Technique::Mpk, 64);
+        assert_eq!(
+            fw.signal_closure().pkru,
+            Some(Pkru::deny_key(fw.layout().pkey))
+        );
+        let fw = MemSentry::new(Technique::Crypt, 64);
+        assert_eq!(fw.signal_closure().crypt, Some((fw.layout().base, 4)));
+        let fw = MemSentry::new(Technique::MprotectBaseline, 64);
+        assert_eq!(
+            fw.signal_closure().mprotect,
+            Some((fw.layout().base, PAGE_SIZE))
+        );
+        assert!(MemSentry::new(Technique::Sgx, 64).signal_closure().enclave);
+        assert_eq!(
+            MemSentry::new(Technique::Sfi, 64).signal_closure(),
+            DomainClosure::default(),
+            "address-based techniques have no window to scrub"
+        );
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Deterministic fault injection: asynchronous events at instruction
+//! boundaries.
+//!
+//! Real systems deliver signals, preempt threads and fail allocations at
+//! points the program cannot predict; the safe-region techniques must keep
+//! the region closed across all of them (paper §3.1 discusses the domain
+//! *window* — the span between opening and closing the region — as the
+//! residual attack surface of crypto- and permission-based protection).
+//! This module makes those asynchronous hazards reproducible: a seeded
+//! [`EventSchedule`] is consulted by [`crate::Machine::step`] at every
+//! instruction boundary and fires exactly once per event, so a run with a
+//! given program, schedule and seed is bit-for-bit deterministic.
+//!
+//! Three event families are modelled:
+//!
+//! * **Signals** ([`EventAction::Signal`]): the machine pushes an
+//!   architectural frame (registers, bound registers, program counter),
+//!   optionally force-closes the protection domain to the technique's
+//!   closed state (the [`DomainClosure`]), and enters the handler named by
+//!   the installed [`SignalPolicy`]. The handler returns with the
+//!   `sigreturn` system call ([`crate::kernel::nr::SIGRETURN`]), which
+//!   pops the frame and reopens the domain exactly as it was.
+//! * **Preemption** ([`EventAction::Preempt`]): the scheduler forcibly
+//!   switches to a sibling thread for a quantum, optionally scrubbing
+//!   shared domain state first (per-thread state such as `pkru` is saved
+//!   and restored by the context switch itself, like the hardware does).
+//! * **Faults** ([`EventAction::Write`], [`EventAction::FailAllocs`]): a
+//!   single attacker write (the `memsentry-attacks` arbitrary-write
+//!   primitive delivered asynchronously) or forced allocation failures
+//!   surfacing as [`crate::Trap::OutOfMemory`].
+
+use memsentry_ir::FuncId;
+use memsentry_mmu::{Pkru, Prot};
+
+/// What an injected event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventAction {
+    /// Deliver a simulated signal to the active thread via the installed
+    /// [`SignalPolicy`]. Without a policy the event is dropped (like a
+    /// signal with no handler registered and `SIG_IGN` disposition).
+    Signal,
+    /// Force a context switch to thread `to` for `quantum` instructions,
+    /// then switch back. `scrub` selects whether the scheduler closes the
+    /// shared domain state (the installed [`DomainClosure`]) around the
+    /// preemption — the discipline a window-aware runtime must implement.
+    /// Invalid targets (out of range, already-halted, the active thread)
+    /// drop the event.
+    Preempt {
+        /// Thread id to run during the preemption.
+        to: usize,
+        /// Sibling instructions to execute before switching back.
+        quantum: u64,
+        /// Close the shared domain state around the preemption.
+        scrub: bool,
+    },
+    /// A single asynchronous attacker write of `value` to `addr`,
+    /// bypassing permission checks (the arbitrary-write primitive fired
+    /// from a concurrent context). Writes to unmapped addresses are
+    /// silently dropped, like a racing write that loses.
+    Write {
+        /// Target virtual address.
+        addr: u64,
+        /// 64-bit value written.
+        value: u64,
+    },
+    /// Force the next `count` heap allocations to fail with
+    /// [`crate::Trap::OutOfMemory`].
+    FailAllocs {
+        /// How many subsequent allocations fail.
+        count: u64,
+    },
+}
+
+/// One scheduled event: `action` fires at the boundary *before* the
+/// instruction that would retire as number `at` (so `at == 0` fires before
+/// the first instruction and `at == stats.instructions` fires next).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Retired-instruction index the event fires at.
+    pub at: u64,
+    /// What happens.
+    pub action: EventAction,
+}
+
+/// A deterministic, one-shot schedule of injected events.
+///
+/// Events are sorted by instruction index at construction and consumed in
+/// order; each fires exactly once. The schedule is consulted with a single
+/// comparison per instruction, so an installed (even exhausted) schedule
+/// costs the hot loop almost nothing.
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    events: Vec<Event>,
+    next: usize,
+}
+
+impl EventSchedule {
+    /// Builds a schedule from `events` (sorted internally; ties fire in
+    /// the given order).
+    pub fn new(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events, next: 0 }
+    }
+
+    /// Convenience: a single `action` at instruction index `at`.
+    pub fn at(at: u64, action: EventAction) -> Self {
+        Self::new(vec![Event { at, action }])
+    }
+
+    /// `count` signal deliveries at deterministic pseudo-random indices in
+    /// `[lo, hi)`, derived from `seed` with an xorshift generator — the
+    /// same seed always produces the same schedule.
+    pub fn seeded_signals(seed: u64, count: usize, lo: u64, hi: u64) -> Self {
+        let span = hi.saturating_sub(lo).max(1);
+        // SplitMix the seed so adjacent seeds diverge, then xorshift
+        // (which needs a nonzero state) for the stream.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut state = (state ^ (state >> 31)) | 1;
+        let events = (0..count)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Event {
+                    at: lo + state % span,
+                    action: EventAction::Signal,
+                }
+            })
+            .collect();
+        Self::new(events)
+    }
+
+    /// Events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Pops every event due at instruction index `now` (one per call; the
+    /// machine loops until `None`).
+    pub(crate) fn pop_due(&mut self, now: u64) -> Option<EventAction> {
+        let e = self.events.get(self.next)?;
+        if e.at <= now {
+            self.next += 1;
+            Some(e.action)
+        } else {
+            None
+        }
+    }
+}
+
+/// How the simulated kernel delivers signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalPolicy {
+    /// Handler entry point. The handler runs on the interrupted thread's
+    /// stack and must return with the `sigreturn` system call
+    /// ([`crate::kernel::nr::SIGRETURN`]); halting inside the handler ends
+    /// the process like `_exit` from a real handler would.
+    pub handler: FuncId,
+    /// Whether delivery force-closes the protection domain (the installed
+    /// [`DomainClosure`]) before entering the handler. `false` models a
+    /// broken runtime that leaves the window open — the regression case
+    /// the fault campaign must flag as exposed.
+    pub scrub: bool,
+}
+
+/// The technique's *closed* domain state, imposed when a window must be
+/// force-closed (signal delivery, window-aware preemption) and reverted
+/// when it reopens. Each field is the closed state for one technique;
+/// unrelated fields stay `None`/`false` and are untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DomainClosure {
+    /// MPK: `pkru` value with the safe region's key denied.
+    pub pkru: Option<Pkru>,
+    /// VMFUNC: EPT index of the view without the safe region.
+    pub ept: Option<usize>,
+    /// Page-table switch: view index without the safe region.
+    pub view: Option<u16>,
+    /// SGX: leave the enclave (`in_enclave = false`).
+    pub enclave: bool,
+    /// Crypt: `(base, chunks)` of the region to re-encrypt; staged `xmm`
+    /// keys are also cleared (parked back in `ymm`).
+    pub crypt: Option<(u64, u32)>,
+    /// mprotect baseline: `(base, len)` to scrub to `PROT_NONE`.
+    pub mprotect: Option<(u64, u64)>,
+}
+
+/// Architectural domain state captured by a forced closure, so the window
+/// reopens exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SavedDomain {
+    pub(crate) pkru: Pkru,
+    pub(crate) ept: Option<usize>,
+    pub(crate) view: Option<u16>,
+    pub(crate) in_enclave: bool,
+    /// `(base, chunks)` re-encrypted on closure — decrypted on reopen.
+    pub(crate) crypt: Option<(u64, u32)>,
+    pub(crate) keys_in_xmm: bool,
+    /// `(base, len, prot)` scrubbed to `PROT_NONE` — re-protected on
+    /// reopen.
+    pub(crate) mprotect: Option<(u64, u64, Prot)>,
+}
+
+/// A machine-side signal frame: what `sigreturn` pops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SignalFrame {
+    pub(crate) regs: [u64; 16],
+    pub(crate) bnd: [(u64, u64); 4],
+    pub(crate) pc: memsentry_ir::CodeAddr,
+    pub(crate) last_masked: Option<memsentry_ir::Reg>,
+    pub(crate) saved: Option<SavedDomain>,
+}
+
+/// In-flight forced preemption: who to resume and when.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreemptState {
+    pub(crate) resume: usize,
+    pub(crate) remaining: u64,
+    pub(crate) saved: Option<SavedDomain>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_fires_once() {
+        let mut s = EventSchedule::new(vec![
+            Event {
+                at: 10,
+                action: EventAction::Signal,
+            },
+            Event {
+                at: 3,
+                action: EventAction::FailAllocs { count: 1 },
+            },
+        ]);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.pop_due(2), None);
+        assert_eq!(s.pop_due(3), Some(EventAction::FailAllocs { count: 1 }));
+        assert_eq!(s.pop_due(3), None);
+        assert_eq!(s.pop_due(50), Some(EventAction::Signal));
+        assert_eq!(s.pop_due(50), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_in_range() {
+        let a = EventSchedule::seeded_signals(42, 16, 100, 200);
+        let b = EventSchedule::seeded_signals(42, 16, 100, 200);
+        assert_eq!(a.events, b.events);
+        assert!(a.events.iter().all(|e| (100..200).contains(&e.at)));
+        let c = EventSchedule::seeded_signals(43, 16, 100, 200);
+        assert_ne!(a.events, c.events, "different seeds differ");
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut s = EventSchedule::new(vec![
+            Event {
+                at: 5,
+                action: EventAction::Signal,
+            },
+            Event {
+                at: 5,
+                action: EventAction::FailAllocs { count: 2 },
+            },
+        ]);
+        assert_eq!(s.pop_due(5), Some(EventAction::Signal));
+        assert_eq!(s.pop_due(5), Some(EventAction::FailAllocs { count: 2 }));
+    }
+}

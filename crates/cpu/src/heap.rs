@@ -15,17 +15,22 @@ pub const HEAP_BASE: u64 = 0x2000_0000_0000;
 
 /// What an allocator policy can do: map pages and hand out addresses.
 pub trait HeapPolicy: std::fmt::Debug {
-    /// Allocates `size` bytes, mapping backing pages as needed.
-    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64;
+    /// Allocates `size` bytes, mapping backing pages as needed. Returns
+    /// `None` when the simulated physical memory is exhausted (the machine
+    /// surfaces that as [`crate::trap::Trap::OutOfMemory`]).
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> Option<u64>;
     /// Frees the allocation at `ptr`. Unknown pointers are ignored (like
     /// glibc, the simulation does not crash on a bad free; defenses may).
     fn free(&mut self, space: &mut AddressSpace, ptr: u64);
     /// Bytes currently live (for tests and leak checks).
     fn live_bytes(&self) -> u64;
+    /// Clones the policy (including its free lists and any RNG state) for
+    /// machine snapshots; `Box<dyn HeapPolicy>` cannot derive `Clone`.
+    fn box_clone(&self) -> Box<dyn HeapPolicy>;
 }
 
 /// The default bump allocator with size-classed free lists.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BumpAllocator {
     next: u64,
     mapped_until: u64,
@@ -56,28 +61,33 @@ impl BumpAllocator {
         size.max(16).next_power_of_two()
     }
 
-    fn ensure_mapped(&mut self, space: &mut AddressSpace, end: u64) {
+    fn ensure_mapped(&mut self, space: &mut AddressSpace, end: u64) -> bool {
         while self.mapped_until < end {
-            space.map_region(VirtAddr(self.mapped_until), PAGE_SIZE, PageFlags::rw());
+            if !space.try_map_region(VirtAddr(self.mapped_until), PAGE_SIZE, PageFlags::rw()) {
+                return false;
+            }
             self.mapped_until += PAGE_SIZE;
         }
+        true
     }
 }
 
 impl HeapPolicy for BumpAllocator {
-    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64 {
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> Option<u64> {
         let class = Self::size_class(size);
         let ptr = if let Some(ptr) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
             ptr
         } else {
             let ptr = self.next;
+            if !self.ensure_mapped(space, ptr + class) {
+                return None;
+            }
             self.next += class;
-            self.ensure_mapped(space, self.next);
             ptr
         };
         self.sizes.insert(ptr, class);
         self.live += class;
-        ptr
+        Some(ptr)
     }
 
     fn free(&mut self, _space: &mut AddressSpace, ptr: u64) {
@@ -90,6 +100,10 @@ impl HeapPolicy for BumpAllocator {
     fn live_bytes(&self) -> u64 {
         self.live
     }
+
+    fn box_clone(&self) -> Box<dyn HeapPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -100,8 +114,8 @@ mod tests {
     fn allocations_are_disjoint_and_mapped() {
         let mut space = AddressSpace::new();
         let mut heap = BumpAllocator::new();
-        let a = heap.alloc(&mut space, 64);
-        let b = heap.alloc(&mut space, 64);
+        let a = heap.alloc(&mut space, 64).unwrap();
+        let b = heap.alloc(&mut space, 64).unwrap();
         assert!(b >= a + 64 || a >= b + 64);
         space.write_u64(VirtAddr(a), 1).unwrap();
         space.write_u64(VirtAddr(b), 2).unwrap();
@@ -112,9 +126,9 @@ mod tests {
     fn free_then_alloc_reuses_block() {
         let mut space = AddressSpace::new();
         let mut heap = BumpAllocator::new();
-        let a = heap.alloc(&mut space, 100);
+        let a = heap.alloc(&mut space, 100).unwrap();
         heap.free(&mut space, a);
-        let b = heap.alloc(&mut space, 100);
+        let b = heap.alloc(&mut space, 100).unwrap();
         assert_eq!(a, b, "size-class free list should recycle");
     }
 
@@ -122,9 +136,9 @@ mod tests {
     fn live_bytes_tracks_rounded_sizes() {
         let mut space = AddressSpace::new();
         let mut heap = BumpAllocator::new();
-        let a = heap.alloc(&mut space, 100); // class 128
+        let a = heap.alloc(&mut space, 100).unwrap(); // class 128
         assert_eq!(heap.live_bytes(), 128);
-        heap.alloc(&mut space, 16); // class 16
+        heap.alloc(&mut space, 16).unwrap(); // class 16
         assert_eq!(heap.live_bytes(), 144);
         heap.free(&mut space, a);
         assert_eq!(heap.live_bytes(), 16);
@@ -134,17 +148,44 @@ mod tests {
     fn double_free_is_ignored() {
         let mut space = AddressSpace::new();
         let mut heap = BumpAllocator::new();
-        let a = heap.alloc(&mut space, 32);
+        let a = heap.alloc(&mut space, 32).unwrap();
         heap.free(&mut space, a);
         heap.free(&mut space, a);
         assert_eq!(heap.live_bytes(), 0);
     }
 
     #[test]
+    fn frame_exhaustion_fails_cleanly() {
+        let mut space = AddressSpace::new();
+        space.set_frame_limit(Some(16));
+        let mut heap = BumpAllocator::new();
+        let mut failed = false;
+        for _ in 0..64 {
+            if heap.alloc(&mut space, PAGE_SIZE).is_none() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "the frame cap must surface as a failed alloc");
+    }
+
+    #[test]
+    fn clone_preserves_free_lists() {
+        let mut space = AddressSpace::new();
+        let mut heap = BumpAllocator::new();
+        let a = heap.alloc(&mut space, 64).unwrap();
+        heap.free(&mut space, a);
+        let mut copy = heap.box_clone();
+        assert_eq!(copy.live_bytes(), heap.live_bytes());
+        // The clone recycles the freed block exactly like the original.
+        assert_eq!(copy.alloc(&mut space, 64), heap.alloc(&mut space, 64));
+    }
+
+    #[test]
     fn large_allocation_spans_pages() {
         let mut space = AddressSpace::new();
         let mut heap = BumpAllocator::new();
-        let a = heap.alloc(&mut space, 3 * PAGE_SIZE);
+        let a = heap.alloc(&mut space, 3 * PAGE_SIZE).unwrap();
         // Touch first and last byte.
         space.write(VirtAddr(a), &[1]).unwrap();
         space.write(VirtAddr(a + 3 * PAGE_SIZE - 1), &[2]).unwrap();

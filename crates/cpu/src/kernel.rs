@@ -73,6 +73,10 @@ pub mod nr {
     /// `switch_view` without PCID: the `cr3` write flushes the whole TLB
     /// (pre-Westmere behaviour; kept for the PCID-value ablation).
     pub const SWITCH_VIEW_FLUSH: u64 = 13;
+    /// `sigreturn()` — pops the newest signal frame pushed by the
+    /// fault-injection engine. Handled architecturally by the machine
+    /// (before VM hypercall conversion), never dispatched to a handler.
+    pub const SIGRETURN: u64 = 14;
 }
 
 /// The default kernel: implements the handful of calls the paper's

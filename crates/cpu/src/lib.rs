@@ -23,6 +23,7 @@
 
 pub mod cost;
 pub(crate) mod decode;
+pub mod events;
 pub mod heap;
 pub mod kernel;
 pub mod machine;
@@ -31,9 +32,10 @@ pub mod threads;
 pub mod trap;
 
 pub use cost::CostModel;
+pub use events::{DomainClosure, Event, EventAction, EventSchedule, SignalPolicy};
 pub use heap::{BumpAllocator, HeapPolicy};
 pub use kernel::{DefaultKernel, HypercallHandler, SyscallHandler};
-pub use machine::{AccessTracer, Machine, MachineConfig, RunOutcome};
+pub use machine::{AccessTracer, Machine, MachineConfig, MachineSnapshot, RunOutcome};
 pub use stats::ExecStats;
 pub use threads::ThreadCtx;
 pub use trap::Trap;

@@ -17,13 +17,17 @@
 
 use memsentry_aes::{Block, RegionCipher};
 use memsentry_ir::{AluOp, CodeAddr, Program, Reg};
-use memsentry_mmu::{AddressSpace, PageFlags, VirtAddr};
+use memsentry_mmu::{AddressSpace, PageFlags, Prot, VirtAddr};
 
 use crate::cost::CostModel;
 use crate::decode::{decode_program, DecodedInst, DecodedOp};
+use crate::events::{
+    DomainClosure, EventAction, EventSchedule, PreemptState, SavedDomain, SignalFrame, SignalPolicy,
+};
 use crate::heap::{BumpAllocator, HeapPolicy};
 use crate::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutcome};
 use crate::stats::ExecStats;
+use crate::threads::ThreadCtx;
 use crate::trap::Trap;
 
 /// Top of the simulated stack (just below the 64 TB sensitive boundary).
@@ -114,8 +118,14 @@ pub struct Machine {
     in_enclave: bool,
     tracer: Option<Box<dyn AccessTracer>>,
     syscall_passthrough: bool,
-    pub(crate) threads: Vec<crate::threads::ThreadCtx>,
+    pub(crate) threads: Vec<ThreadCtx>,
     pub(crate) active_thread: usize,
+    events: Option<EventSchedule>,
+    signal_policy: Option<SignalPolicy>,
+    signal_frames: Vec<SignalFrame>,
+    domain_closure: Option<DomainClosure>,
+    preempt: Option<PreemptState>,
+    forced_alloc_failures: u64,
 }
 
 /// A PIN-like dynamic tracing hook: observes every data access with the
@@ -168,6 +178,12 @@ impl Machine {
             syscall_passthrough: false,
             threads: Vec::new(),
             active_thread: 0,
+            events: None,
+            signal_policy: None,
+            signal_frames: Vec::new(),
+            domain_closure: None,
+            preempt: None,
+            forced_alloc_failures: 0,
         }
     }
 
@@ -238,6 +254,14 @@ impl Machine {
     /// Replaces the heap allocator policy.
     pub fn set_heap(&mut self, heap: Box<dyn HeapPolicy>) {
         self.heap = Some(heap);
+    }
+
+    /// Replaces the instruction budget: the machine traps with
+    /// [`Trap::OutOfFuel`] once `fuel` instructions have retired. The
+    /// budget is an absolute retired-instruction count, not a delta from
+    /// the current position.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
     }
 
     /// Installs the AES key for the crypt technique. Round keys are
@@ -364,7 +388,9 @@ impl Machine {
             self.hypercall = Some(handler);
             r?
         } else {
-            let mut handler = self.syscall.take().expect("syscall handler");
+            let mut handler = self.syscall.take().ok_or(Trap::Reentrancy {
+                resource: "syscall handler",
+            })?;
             let r = handler.syscall(&mut self.space, nr, args);
             self.stats.cycles += handler.cost_hint(nr);
             self.syscall = Some(handler);
@@ -381,6 +407,9 @@ impl Machine {
     pub fn step(&mut self) -> Result<(), Trap> {
         if self.stats.instructions >= self.fuel {
             return Err(Trap::OutOfFuel);
+        }
+        if self.events.is_some() {
+            self.poll_events()?;
         }
         let func = self.pc.func;
         let decoded = match self
@@ -516,19 +545,37 @@ impl Machine {
             }
             DecodedOp::Syscall { nr } => {
                 self.stats.syscalls += 1;
-                self.dispatch_syscall(nr)?;
+                if nr == crate::kernel::nr::SIGRETURN {
+                    // Architectural, not a kernel service: pops the signal
+                    // frame even inside the VM (where ordinary syscalls
+                    // become hypercalls).
+                    self.sigreturn()?;
+                } else {
+                    self.dispatch_syscall(nr)?;
+                }
             }
             DecodedOp::Alloc { size } => {
                 let size = self.regs[size.index()];
-                let mut heap = self.heap.take().expect("heap");
-                let ptr = heap.alloc(&mut self.space, size);
+                let mut heap = self
+                    .heap
+                    .take()
+                    .ok_or(Trap::Reentrancy { resource: "heap" })?;
+                let ptr = if self.forced_alloc_failures > 0 {
+                    self.forced_alloc_failures -= 1;
+                    None
+                } else {
+                    heap.alloc(&mut self.space, size)
+                };
                 self.heap = Some(heap);
-                self.regs[Reg::Rax.index()] = ptr;
                 self.stats.allocator_calls += 1;
+                self.regs[Reg::Rax.index()] = ptr.ok_or(Trap::OutOfMemory)?;
             }
             DecodedOp::Free { ptr } => {
                 let p = self.regs[ptr.index()];
-                let mut heap = self.heap.take().expect("heap");
+                let mut heap = self
+                    .heap
+                    .take()
+                    .ok_or(Trap::Reentrancy { resource: "heap" })?;
                 heap.free(&mut self.space, p);
                 self.heap = Some(heap);
                 self.stats.allocator_calls += 1;
@@ -644,6 +691,9 @@ impl Machine {
             }
         }
         self.last_masked = next_masked;
+        if self.preempt.is_some() {
+            self.tick_preempt();
+        }
         Ok(())
     }
 
@@ -659,6 +709,345 @@ impl Machine {
             AluOp::Shr => a.wrapping_shr(b as u32 & 63),
             AluOp::Mul => a.wrapping_mul(b),
         };
+    }
+
+    // --- fault injection ----------------------------------------------------
+
+    /// Installs (replacing) the event schedule consulted at every
+    /// instruction boundary. See [`crate::events`].
+    pub fn set_event_schedule(&mut self, schedule: EventSchedule) {
+        self.events = Some(schedule);
+    }
+
+    /// Installs the signal-delivery policy used by
+    /// [`EventAction::Signal`] events.
+    pub fn set_signal_policy(&mut self, policy: SignalPolicy) {
+        self.signal_policy = Some(policy);
+    }
+
+    /// Declares the technique's closed domain state, used to scrub the
+    /// window on signal delivery and window-aware preemption.
+    pub fn set_domain_closure(&mut self, closure: DomainClosure) {
+        self.domain_closure = Some(closure);
+    }
+
+    /// Number of signal frames currently live (nested deliveries).
+    pub fn signal_depth(&self) -> usize {
+        self.signal_frames.len()
+    }
+
+    /// Injected events not yet fired (0 when no schedule is installed).
+    pub fn pending_events(&self) -> usize {
+        self.events.as_ref().map_or(0, EventSchedule::remaining)
+    }
+
+    /// Fires every event due at the current instruction boundary.
+    fn poll_events(&mut self) -> Result<(), Trap> {
+        loop {
+            let now = self.stats.instructions;
+            let action = match self.events.as_mut().and_then(|s| s.pop_due(now)) {
+                Some(a) => a,
+                None => return Ok(()),
+            };
+            match action {
+                EventAction::Signal => self.deliver_signal()?,
+                EventAction::Preempt { to, quantum, scrub } => {
+                    self.deliver_preempt(to, quantum, scrub);
+                }
+                EventAction::Write { addr, value } => {
+                    // A racing write to an unmapped address simply misses.
+                    self.space.poke(VirtAddr(addr), &value.to_le_bytes());
+                }
+                EventAction::FailAllocs { count } => self.forced_alloc_failures += count,
+            }
+        }
+    }
+
+    /// Pushes an architectural signal frame, optionally force-closes the
+    /// domain, and enters the handler. Without an installed policy the
+    /// signal is dropped.
+    fn deliver_signal(&mut self) -> Result<(), Trap> {
+        let policy = match self.signal_policy {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        if policy.handler.0 as usize >= self.program.functions.len() {
+            return Err(Trap::BadCodePointer {
+                value: CodeAddr::entry(policy.handler).encode(),
+            });
+        }
+        let closure = self.domain_closure;
+        let saved = if policy.scrub {
+            closure.map(|c| self.close_domain(&c))
+        } else {
+            None
+        };
+        self.signal_frames.push(SignalFrame {
+            regs: self.regs,
+            bnd: self.bnd,
+            pc: self.pc,
+            last_masked: self.last_masked,
+            saved,
+        });
+        self.pc = CodeAddr::entry(policy.handler);
+        self.stats.signals += 1;
+        // Delivery enters and leaves the kernel once, like a syscall.
+        self.stats.cycles += self.cost.syscall;
+        Ok(())
+    }
+
+    /// `sigreturn`: pops the newest signal frame, reopening the domain if
+    /// delivery closed it. With no frame live this is hostile or buggy
+    /// code and traps as a bad syscall.
+    fn sigreturn(&mut self) -> Result<(), Trap> {
+        let frame = self.signal_frames.pop().ok_or(Trap::BadSyscall {
+            nr: crate::kernel::nr::SIGRETURN,
+        })?;
+        if let Some(saved) = frame.saved {
+            self.reopen_domain(&saved);
+        }
+        self.regs = frame.regs;
+        self.bnd = frame.bnd;
+        self.pc = frame.pc;
+        self.last_masked = frame.last_masked;
+        Ok(())
+    }
+
+    /// Forced context switch to `to` for `quantum` instructions. Invalid
+    /// targets and nested preemptions drop the event (the scheduler never
+    /// preempts into a halted or nonexistent thread).
+    fn deliver_preempt(&mut self, to: usize, quantum: u64, scrub: bool) {
+        self.ensure_main_slot();
+        if to >= self.threads.len() || to == self.active_thread || self.preempt.is_some() {
+            return;
+        }
+        if self.threads[to].halted.is_some() {
+            return;
+        }
+        let closure = self.domain_closure;
+        let saved = if scrub {
+            closure.map(|c| self.close_domain(&c))
+        } else {
+            None
+        };
+        let resume = self.active_thread;
+        self.switch_thread(to);
+        self.preempt = Some(PreemptState {
+            resume,
+            remaining: quantum.max(1),
+            saved,
+        });
+        self.stats.preemptions += 1;
+        self.stats.cycles += self.cost.syscall;
+    }
+
+    /// Counts down an in-flight preemption and switches back to the
+    /// preempted thread when the quantum expires (or the sibling halts).
+    fn tick_preempt(&mut self) {
+        if let Some(p) = &mut self.preempt {
+            if self.halted.is_none() {
+                p.remaining = p.remaining.saturating_sub(1);
+                if p.remaining > 0 {
+                    return;
+                }
+            }
+        }
+        if let Some(p) = self.preempt.take() {
+            self.switch_thread(p.resume);
+            if let Some(saved) = p.saved {
+                self.reopen_domain(&saved);
+            }
+        }
+    }
+
+    /// Imposes the closed domain state, returning what it displaced.
+    fn close_domain(&mut self, c: &DomainClosure) -> SavedDomain {
+        let mut saved = SavedDomain {
+            pkru: self.space.pkru,
+            ept: None,
+            view: None,
+            in_enclave: self.in_enclave,
+            crypt: None,
+            keys_in_xmm: self.keys_in_xmm,
+            mprotect: None,
+        };
+        if let Some(pkru) = c.pkru {
+            self.space.pkru = pkru;
+        }
+        if let Some(closed) = c.ept {
+            if let Some(ept) = self.space.ept_mut() {
+                saved.ept = Some(ept.active_index());
+                ept.vmfunc_switch(closed);
+            }
+        }
+        if let Some(closed) = c.view {
+            saved.view = Some(self.space.active_view());
+            self.space.switch_view(closed);
+        }
+        if c.enclave {
+            self.in_enclave = false;
+        }
+        if let Some((base, chunks)) = c.crypt {
+            // Sealing is unconditional: encrypt-then-decrypt is the
+            // identity, so a window that was already closed (ciphertext in
+            // memory) round-trips through double encryption untouched by
+            // the time it is reopened.
+            if self.crypt_region_raw(base, chunks, false) {
+                saved.crypt = Some((base, chunks));
+            }
+            self.keys_in_xmm = false;
+        }
+        if let Some((base, len)) = c.mprotect {
+            if let Some(flags) = self.space.page_flags(VirtAddr(base)) {
+                let prot = if flags.writable {
+                    Prot::ReadWrite
+                } else if flags.present {
+                    Prot::Read
+                } else {
+                    Prot::None
+                };
+                saved.mprotect = Some((base, len, prot));
+                self.space.mprotect(VirtAddr(base), len, Prot::None);
+            }
+        }
+        saved
+    }
+
+    /// Reverts a forced closure, restoring the window exactly as it was.
+    fn reopen_domain(&mut self, saved: &SavedDomain) {
+        self.space.pkru = saved.pkru;
+        if let Some(index) = saved.ept {
+            if let Some(ept) = self.space.ept_mut() {
+                ept.vmfunc_switch(index);
+            }
+        }
+        if let Some(view) = saved.view {
+            self.space.switch_view(view);
+        }
+        self.in_enclave = saved.in_enclave;
+        if let Some((base, chunks)) = saved.crypt {
+            self.keys_in_xmm = saved.keys_in_xmm;
+            self.crypt_region_raw(base, chunks, true);
+        } else {
+            self.keys_in_xmm = saved.keys_in_xmm;
+        }
+        if let Some((base, len, prot)) = saved.mprotect {
+            self.space.mprotect(VirtAddr(base), len, prot);
+        }
+    }
+
+    /// Encrypts or decrypts a region through `peek`/`poke`, charging no
+    /// cycles or stats — this models the kernel/runtime doing the work on
+    /// the program's behalf during delivery, not program instructions.
+    fn crypt_region_raw(&mut self, base: u64, chunks: u32, decrypt: bool) -> bool {
+        let cipher = match &self.cipher {
+            Some(c) => c.clone(),
+            None => return false,
+        };
+        let mut buf = vec![0u8; chunks as usize * 16];
+        if !self.space.peek(VirtAddr(base), &mut buf) {
+            return false;
+        }
+        if decrypt {
+            cipher.decrypt_region(&mut buf);
+        } else {
+            cipher.encrypt_region(&mut buf);
+        }
+        self.space.poke(VirtAddr(base), &buf)
+    }
+
+    // --- snapshot / restore -------------------------------------------------
+
+    /// Captures the machine's full mutable architectural state so one
+    /// decoded program can be swept across thousands of injection points
+    /// without re-running setup. The immutable program, cost model and the
+    /// syscall/hypercall/tracer hooks are *not* captured — they are either
+    /// constant or cost-inert, and stay on the machine across restores.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            space: self.space.clone(),
+            regs: self.regs,
+            bnd: self.bnd,
+            pc: self.pc,
+            stats: self.stats,
+            halted: self.halted,
+            in_vm: self.in_vm,
+            keys_in_xmm: self.keys_in_xmm,
+            last_masked: self.last_masked,
+            epc: self.epc,
+            in_enclave: self.in_enclave,
+            syscall_passthrough: self.syscall_passthrough,
+            forced_alloc_failures: self.forced_alloc_failures,
+            threads: self.threads.clone(),
+            active_thread: self.active_thread,
+            heap: self.heap.as_ref().map(|h| h.box_clone()),
+            cipher: self.cipher.clone(),
+        }
+    }
+
+    /// Rewinds the machine to `snap`. All transient injection state (the
+    /// event schedule, live signal frames, in-flight preemption) is
+    /// cleared; install a fresh schedule after restoring to sweep the next
+    /// injection point.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.space = snap.space.clone();
+        self.regs = snap.regs;
+        self.bnd = snap.bnd;
+        self.pc = snap.pc;
+        self.stats = snap.stats;
+        self.halted = snap.halted;
+        self.in_vm = snap.in_vm;
+        self.keys_in_xmm = snap.keys_in_xmm;
+        self.last_masked = snap.last_masked;
+        self.epc = snap.epc;
+        self.in_enclave = snap.in_enclave;
+        self.syscall_passthrough = snap.syscall_passthrough;
+        self.forced_alloc_failures = snap.forced_alloc_failures;
+        self.threads = snap.threads.clone();
+        self.active_thread = snap.active_thread;
+        self.heap = snap.heap.as_ref().map(|h| h.box_clone());
+        self.cipher = snap.cipher.clone();
+        self.events = None;
+        self.signal_frames.clear();
+        self.preempt = None;
+    }
+}
+
+/// A deep copy of a [`Machine`]'s mutable architectural state: address
+/// space (page tables, physical frames, TLB, caches, EPTs), registers,
+/// statistics, threads, heap policy and cipher. Created by
+/// [`Machine::snapshot`], consumed (repeatedly) by [`Machine::restore`].
+#[derive(Debug)]
+pub struct MachineSnapshot {
+    space: AddressSpace,
+    regs: [u64; 16],
+    bnd: [(u64, u64); 4],
+    pc: CodeAddr,
+    stats: ExecStats,
+    halted: Option<u64>,
+    in_vm: bool,
+    keys_in_xmm: bool,
+    last_masked: Option<Reg>,
+    epc: Option<(u64, u64)>,
+    in_enclave: bool,
+    syscall_passthrough: bool,
+    forced_alloc_failures: u64,
+    threads: Vec<ThreadCtx>,
+    active_thread: usize,
+    heap: Option<Box<dyn HeapPolicy>>,
+    cipher: Option<RegionCipher>,
+}
+
+impl MachineSnapshot {
+    /// Retired-instruction count at capture time (sweep offsets are
+    /// scheduled relative to this).
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Simulated cycles at capture time.
+    pub fn cycles(&self) -> f64 {
+        self.stats.cycles
     }
 }
 
@@ -1353,5 +1742,316 @@ mod tests {
             b.push(Inst::Jmp(Label(999)));
         });
         assert_eq!(out.expect_exit(), 0);
+    }
+
+    // --- fault injection ----------------------------------------------------
+
+    use crate::events::{EventAction, EventSchedule, SignalPolicy};
+    use memsentry_mmu::Pkru;
+
+    const SECRET_ADDR: u64 = 0x10_0000;
+    const MAILBOX: u64 = 0x20_0000;
+    const SECRET_VALUE: u64 = 0x5ec2e7;
+
+    /// main opens an MPK window (pkey 2), counts 5 + 8 into rbx, closes
+    /// the window and exits with rbx. A hostile handler reads the secret
+    /// and copies it to the mailbox before `sigreturn`.
+    fn mpk_signal_machine(scrub: bool, at: u64) -> Machine {
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::R9,
+            imm: 0,
+        });
+        main.push(Inst::WrPkru { src: Reg::R9 });
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 5,
+        });
+        for _ in 0..8 {
+            main.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+        }
+        main.push(Inst::MovImm {
+            dst: Reg::R9,
+            imm: Pkru::deny_key(2).0 as u64,
+        });
+        main.push(Inst::WrPkru { src: Reg::R9 });
+        main.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::Rbx,
+        });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut h = FunctionBuilder::new("handler");
+        h.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SECRET_ADDR,
+        });
+        h.push(Inst::Load {
+            dst: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        h.push(Inst::MovImm {
+            dst: Reg::Rdx,
+            imm: MAILBOX,
+        });
+        h.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rdx,
+            offset: 0,
+        });
+        h.push(Inst::Syscall {
+            nr: crate::kernel::nr::SIGRETURN,
+        });
+        h.push(Inst::Halt);
+        p.add_function(h.finish());
+        let mut m = Machine::new(p);
+        m.space
+            .map_region(VirtAddr(SECRET_ADDR), 4096, PageFlags::rw());
+        m.space.map_region(VirtAddr(MAILBOX), 4096, PageFlags::rw());
+        m.space.pkey_mprotect(VirtAddr(SECRET_ADDR), 4096, 2);
+        m.space.pkru = Pkru::deny_key(2);
+        m.space
+            .poke(VirtAddr(SECRET_ADDR), &SECRET_VALUE.to_le_bytes());
+        m.set_signal_policy(SignalPolicy {
+            handler: FuncId(1),
+            scrub,
+        });
+        m.set_domain_closure(crate::events::DomainClosure {
+            pkru: Some(Pkru::deny_key(2)),
+            ..Default::default()
+        });
+        m.set_event_schedule(EventSchedule::at(at, EventAction::Signal));
+        m
+    }
+
+    #[test]
+    fn scrubbed_signal_handler_cannot_see_through_the_window() {
+        // The signal lands mid-window, but delivery scrubs pkru to the
+        // closed state: the hostile handler's read traps.
+        let mut m = mpk_signal_machine(true, 6);
+        let out = m.run();
+        assert!(
+            matches!(
+                out.expect_trap(),
+                Trap::Mmu(memsentry_mmu::Fault::PkeyDenied { key: 2, .. })
+            ),
+            "got {out:?}"
+        );
+        assert_eq!(m.stats().signals, 1);
+        assert_eq!(m.signal_depth(), 1, "trap left the frame live");
+    }
+
+    #[test]
+    fn broken_handler_leaks_and_sigreturn_still_restores_context() {
+        // Without scrubbing, the handler reads the secret through the open
+        // window — and sigreturn must still restore rbx so main's count
+        // finishes correctly.
+        let mut m = mpk_signal_machine(false, 6);
+        assert_eq!(m.run().expect_exit(), 13, "rbx restored after handler");
+        let mut leaked = [0u8; 8];
+        assert!(m.space.peek(VirtAddr(MAILBOX), &mut leaked));
+        assert_eq!(u64::from_le_bytes(leaked), SECRET_VALUE, "window leaked");
+        assert_eq!(m.signal_depth(), 0);
+    }
+
+    #[test]
+    fn signal_outside_the_window_is_harmless_even_unscrubbed() {
+        // Delivered before the window opens (at 0), the closed pkru is
+        // architecturally in force: no scrub needed for the read to trap.
+        let mut m = mpk_signal_machine(false, 0);
+        let out = m.run();
+        assert!(matches!(
+            out.expect_trap(),
+            Trap::Mmu(memsentry_mmu::Fault::PkeyDenied { key: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn sigreturn_without_frame_traps() {
+        let (out, _) = run_main(|b| {
+            b.push(Inst::Syscall {
+                nr: crate::kernel::nr::SIGRETURN,
+            });
+            b.push(Inst::Halt);
+        });
+        assert_eq!(out.expect_trap(), &Trap::BadSyscall { nr: 14 });
+    }
+
+    #[test]
+    fn injected_write_lands_between_instructions() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: MAILBOX,
+        });
+        b.push(Inst::Nop);
+        b.push(Inst::Nop);
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.space.map_region(VirtAddr(MAILBOX), 4096, PageFlags::rw());
+        m.set_event_schedule(EventSchedule::at(
+            2,
+            EventAction::Write {
+                addr: MAILBOX,
+                value: 99,
+            },
+        ));
+        assert_eq!(m.run().expect_exit(), 99);
+    }
+
+    #[test]
+    fn forced_alloc_failure_traps_out_of_memory() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 64,
+        });
+        b.push(Inst::Alloc { size: Reg::Rdi });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut m = Machine::new(p);
+        m.set_event_schedule(EventSchedule::at(0, EventAction::FailAllocs { count: 1 }));
+        assert_eq!(m.run().expect_trap(), &Trap::OutOfMemory);
+        // A second machine with no injection allocates fine.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 64,
+        });
+        b.push(Inst::Alloc { size: Reg::Rdi });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        Machine::new(p).run().expect_exit();
+    }
+
+    #[test]
+    fn forced_preemption_runs_the_sibling_and_resumes() {
+        // main counts 20 adds into rbx; the injected preemption runs the
+        // worker (which posts 7 to the mailbox) mid-count, then main
+        // finishes unperturbed.
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 0,
+        });
+        for _ in 0..20 {
+            main.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+        }
+        main.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::Rbx,
+        });
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut w = FunctionBuilder::new("worker");
+        w.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: MAILBOX,
+        });
+        w.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 7,
+        });
+        w.push(Inst::Store {
+            src: Reg::Rcx,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        w.push(Inst::Halt);
+        p.add_function(w.finish());
+        let mut m = Machine::new(p);
+        m.space.map_region(VirtAddr(MAILBOX), 4096, PageFlags::rw());
+        let tid = m.spawn_thread(FuncId(1), [0; 3]);
+        m.set_event_schedule(EventSchedule::at(
+            5,
+            EventAction::Preempt {
+                to: tid,
+                quantum: 16,
+                scrub: false,
+            },
+        ));
+        assert_eq!(m.run().expect_exit(), 20);
+        let mut posted = [0u8; 8];
+        assert!(m.space.peek(VirtAddr(MAILBOX), &mut posted));
+        assert_eq!(u64::from_le_bytes(posted), 7, "sibling ran mid-window");
+        assert_eq!(m.stats().preemptions, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_is_bit_identical() {
+        let sum_program = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            let top = b.new_label();
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 0,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: 11,
+            });
+            b.bind(top);
+            b.push(Inst::AluReg {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                imm: 1,
+            });
+            b.push(Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::Rbx,
+                b: Reg::Rcx,
+                target: top,
+            });
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            p
+        };
+        let mut reference = Machine::new(sum_program());
+        assert_eq!(reference.run().expect_exit(), 55);
+        let golden = *reference.stats();
+
+        let mut m = Machine::new(sum_program());
+        for _ in 0..7 {
+            m.step().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.instructions(), 7);
+        assert_eq!(m.run().expect_exit(), 55);
+        assert_eq!(*m.stats(), golden, "snapshot capture must not perturb");
+
+        // Restore and re-run from the middle: bit-identical again.
+        m.restore(&snap);
+        assert_eq!(m.run().expect_exit(), 55);
+        assert_eq!(*m.stats(), golden, "restore + continue must reproduce");
     }
 }

@@ -36,6 +36,10 @@ pub struct ExecStats {
     pub allocator_calls: u64,
     /// Enclave entries (`SgxEnter`).
     pub sgx_transitions: u64,
+    /// Injected signals delivered (fault-injection engine).
+    pub signals: u64,
+    /// Injected forced preemptions (fault-injection engine).
+    pub preemptions: u64,
     /// Total simulated cycles.
     pub cycles: f64,
 }

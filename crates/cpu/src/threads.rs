@@ -66,7 +66,7 @@ impl Machine {
     }
 
     /// Slot 0 mirrors the main thread; create it lazily.
-    fn ensure_main_slot(&mut self) {
+    pub(crate) fn ensure_main_slot(&mut self) {
         if self.threads.is_empty() {
             self.threads.push(ThreadCtx {
                 regs: self.regs,
@@ -116,7 +116,7 @@ impl Machine {
     /// relying on writers to invalidate it, so a context switch to a
     /// thread with different key rights simply stops the memo from
     /// matching.
-    fn switch_thread(&mut self, tid: usize) {
+    pub(crate) fn switch_thread(&mut self, tid: usize) {
         if tid == self.active_thread {
             return;
         }

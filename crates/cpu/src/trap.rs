@@ -62,6 +62,16 @@ pub enum Trap {
     },
     /// The program executed its instruction budget without halting.
     OutOfFuel,
+    /// An allocation failed: the physical frame allocator is exhausted or
+    /// the fault-injection engine forced the failure.
+    OutOfMemory,
+    /// Re-entrant use of a machine resource that does not support nesting
+    /// (e.g. a heap hook calling back into `malloc`, or a syscall handler
+    /// issuing a syscall). Previously an `expect` panic; now a typed trap.
+    Reentrancy {
+        /// Which resource was re-entered.
+        resource: &'static str,
+    },
     /// A defense runtime detected tampering (e.g. shadow-stack mismatch)
     /// and aborted the process.
     DefenseAbort {
@@ -97,6 +107,10 @@ impl core::fmt::Display for Trap {
             }
             Trap::BadLabel { label } => write!(f, "branch to unknown label L{label}"),
             Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::OutOfMemory => write!(f, "out of memory"),
+            Trap::Reentrancy { resource } => {
+                write!(f, "re-entrant use of {resource}")
+            }
             Trap::DefenseAbort { defense } => write!(f, "{defense}: tampering detected"),
         }
     }

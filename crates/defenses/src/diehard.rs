@@ -27,7 +27,7 @@ const OVERPROVISION: usize = 2;
 /// Initial slots per miniheap.
 const INITIAL_SLOTS: usize = 64;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MiniHeap {
     base: u64,
     slot_size: u64,
@@ -36,7 +36,7 @@ struct MiniHeap {
 }
 
 /// The randomized allocator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DieHardAllocator {
     rng: StdRng,
     miniheaps: HashMap<u64, Vec<MiniHeap>>,
@@ -61,17 +61,24 @@ impl DieHardAllocator {
         size.max(16).next_power_of_two()
     }
 
-    fn new_miniheap(&mut self, space: &mut AddressSpace, class: u64, slots: usize) -> MiniHeap {
+    fn new_miniheap(
+        &mut self,
+        space: &mut AddressSpace,
+        class: u64,
+        slots: usize,
+    ) -> Option<MiniHeap> {
         let span = (class * slots as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let base = self.cursor;
+        if !space.try_map_region(VirtAddr(base), span, PageFlags::rw()) {
+            return None;
+        }
         self.cursor += span;
-        space.map_region(VirtAddr(base), span, PageFlags::rw());
-        MiniHeap {
+        Some(MiniHeap {
             base,
             slot_size: class,
             occupied: vec![false; slots],
             live: 0,
-        }
+        })
     }
 
     fn total_slots(heaps: &[MiniHeap]) -> (usize, usize) {
@@ -83,7 +90,7 @@ impl DieHardAllocator {
 }
 
 impl HeapPolicy for DieHardAllocator {
-    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> u64 {
+    fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> Option<u64> {
         let class = Self::class_of(size);
         // Grow when load factor would exceed 1/OVERPROVISION.
         let need_grow = match self.miniheaps.get(&class) {
@@ -99,11 +106,13 @@ impl HeapPolicy for DieHardAllocator {
                 .get(&class)
                 .map(|h| Self::total_slots(h).0.max(INITIAL_SLOTS))
                 .unwrap_or(INITIAL_SLOTS);
-            let heap = self.new_miniheap(space, class, slots);
+            let heap = self.new_miniheap(space, class, slots)?;
             self.miniheaps.entry(class).or_default().push(heap);
         }
-        // Uniform random probing over all slots of the class.
-        let heaps = self.miniheaps.get_mut(&class).expect("miniheaps");
+        // Uniform random probing over all slots of the class. The load
+        // factor is kept at or below 1/OVERPROVISION, so the probe loop
+        // terminates with probability 1 and quickly in expectation.
+        let heaps = self.miniheaps.get_mut(&class)?;
         let total: usize = heaps.iter().map(|h| h.occupied.len()).sum();
         loop {
             let mut idx = self.rng.gen_range(0..total);
@@ -115,7 +124,7 @@ impl HeapPolicy for DieHardAllocator {
                         let ptr = heap.base + idx as u64 * heap.slot_size;
                         self.sizes.insert(ptr, class);
                         self.live_bytes += class;
-                        return ptr;
+                        return Some(ptr);
                     }
                     break;
                 }
@@ -148,6 +157,10 @@ impl HeapPolicy for DieHardAllocator {
     fn live_bytes(&self) -> u64 {
         self.live_bytes
     }
+
+    fn box_clone(&self) -> Box<dyn HeapPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +178,7 @@ mod tests {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for i in 0..200 {
             let size = 16 + (i % 5) * 24;
-            let p = d.alloc(&mut s, size as u64);
+            let p = d.alloc(&mut s, size as u64).unwrap();
             let class = DieHardAllocator::class_of(size as u64);
             for &(b, e) in &spans {
                 assert!(p + class <= b || p >= e, "overlap at {p:#x}");
@@ -180,13 +193,13 @@ mod tests {
         let mut s2 = space();
         let mut a = DieHardAllocator::new(1);
         let mut b = DieHardAllocator::new(2);
-        let pa: Vec<u64> = (0..16).map(|_| a.alloc(&mut s1, 32)).collect();
-        let pb: Vec<u64> = (0..16).map(|_| b.alloc(&mut s2, 32)).collect();
+        let pa: Vec<u64> = (0..16).map(|_| a.alloc(&mut s1, 32).unwrap()).collect();
+        let pb: Vec<u64> = (0..16).map(|_| b.alloc(&mut s2, 32).unwrap()).collect();
         assert_ne!(pa, pb, "different seeds, different placements");
         // Same seed reproduces exactly.
         let mut s3 = space();
         let mut c = DieHardAllocator::new(1);
-        let pc: Vec<u64> = (0..16).map(|_| c.alloc(&mut s3, 32)).collect();
+        let pc: Vec<u64> = (0..16).map(|_| c.alloc(&mut s3, 32).unwrap()).collect();
         assert_eq!(pa, pc);
     }
 
@@ -196,7 +209,7 @@ mod tests {
         // consecutive allocations rarely sit next to each other.
         let mut s = space();
         let mut d = DieHardAllocator::new(7);
-        let ptrs: Vec<u64> = (0..64).map(|_| d.alloc(&mut s, 32)).collect();
+        let ptrs: Vec<u64> = (0..64).map(|_| d.alloc(&mut s, 32).unwrap()).collect();
         let adjacent = ptrs
             .windows(2)
             .filter(|w| w[1] == w[0] + 32 || w[0] == w[1] + 32)
@@ -208,7 +221,7 @@ mod tests {
     fn free_releases_and_double_free_is_tolerated() {
         let mut s = space();
         let mut d = DieHardAllocator::new(3);
-        let p = d.alloc(&mut s, 64);
+        let p = d.alloc(&mut s, 64).unwrap();
         assert_eq!(d.live_bytes(), 64);
         d.free(&mut s, p);
         assert_eq!(d.live_bytes(), 0);
@@ -222,7 +235,7 @@ mod tests {
         let mut s = space();
         let mut d = DieHardAllocator::new(4);
         for _ in 0..500 {
-            d.alloc(&mut s, 32);
+            d.alloc(&mut s, 32).unwrap();
         }
         let heaps = &d.miniheaps[&32];
         let (slots, live) = DieHardAllocator::total_slots(heaps);
@@ -235,7 +248,7 @@ mod tests {
         let mut s = space();
         let mut d = DieHardAllocator::new(5);
         for _ in 0..32 {
-            let p = d.alloc(&mut s, 100);
+            let p = d.alloc(&mut s, 100).unwrap();
             s.write_u64(VirtAddr(p), p).unwrap();
             assert_eq!(s.read_u64(VirtAddr(p)).unwrap(), p);
         }

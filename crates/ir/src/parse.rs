@@ -101,15 +101,21 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
+    // Truncated lines must error, never index out of bounds.
+    let arg = |i: usize| -> Result<&str, ParseError> {
+        args.get(i)
+            .copied()
+            .ok_or_else(|| err(line, format!("'{op}' is missing operand {}", i + 1)))
+    };
     let alu = |op: AluOp| -> Result<Inst, ParseError> {
-        let dst = parse_reg(args[0], line)?;
-        if let Ok(src) = parse_reg(args[1], line) {
+        let dst = parse_reg(arg(0)?, line)?;
+        if let Ok(src) = parse_reg(arg(1)?, line) {
             Ok(Inst::AluReg { op, dst, src })
         } else {
             Ok(Inst::AluImm {
                 op,
                 dst,
-                imm: parse_u64(args[1], line)?,
+                imm: parse_u64(arg(1)?, line)?,
             })
         }
     };
@@ -145,9 +151,9 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
             }
         }
         "lea" => {
-            let (base, offset) = parse_mem(args[1], line)?;
+            let (base, offset) = parse_mem(arg(1)?, line)?;
             Ok(Inst::Lea {
-                dst: parse_reg(args[0], line)?,
+                dst: parse_reg(arg(0)?, line)?,
                 base,
                 offset,
             })
@@ -160,7 +166,7 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
         "shl" => alu(AluOp::Shl),
         "shr" => alu(AluOp::Shr),
         "mul" => alu(AluOp::Mul),
-        "jmp" => Ok(Inst::Jmp(parse_label(args[0], line)?)),
+        "jmp" => Ok(Inst::Jmp(parse_label(arg(0)?, line)?)),
         "jeq" | "jne" | "jlt" | "jle" | "jgt" | "jge" => {
             let cond = match op {
                 "jeq" => Cond::Eq,
@@ -172,13 +178,13 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
             };
             Ok(Inst::JmpIf {
                 cond,
-                a: parse_reg(args[0], line)?,
-                b: parse_reg(args[1], line)?,
-                target: parse_label(args[2], line)?,
+                a: parse_reg(arg(0)?, line)?,
+                b: parse_reg(arg(1)?, line)?,
+                target: parse_label(arg(2)?, line)?,
             })
         }
         "call" => {
-            let target = args[0];
+            let target = arg(0)?;
             if let Some(reg) = target.strip_prefix('*') {
                 Ok(Inst::CallIndirect {
                     target: parse_reg(reg, line)?,
@@ -207,23 +213,23 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
         }
         "ret" => Ok(Inst::Ret),
         "syscall" => Ok(Inst::Syscall {
-            nr: parse_u64(args[0], line)?,
+            nr: parse_u64(arg(0)?, line)?,
         }),
         "hlt" => Ok(Inst::Halt),
         "nop" => Ok(Inst::Nop),
         "bndmk" => {
             // bndmk bnd0, [lo, hi]
-            let bnd = args[0]
+            let bnd = arg(0)?
                 .strip_prefix("bnd")
                 .and_then(|n| n.parse().ok())
                 .ok_or_else(|| err(line, "bad bound register"))?;
-            let lower = parse_u64(args[1].trim_start_matches('['), line)?;
-            let upper = parse_u64(args[2].trim_end_matches(']'), line)?;
+            let lower = parse_u64(arg(1)?.trim_start_matches('['), line)?;
+            let upper = parse_u64(arg(2)?.trim_end_matches(']'), line)?;
             Ok(Inst::BndMk { bnd, lower, upper })
         }
         "bndcu" | "bndcl" => {
-            let reg = parse_reg(args[0], line)?;
-            let bnd = args[1]
+            let reg = parse_reg(arg(0)?, line)?;
+            let bnd = arg(1)?
                 .strip_prefix("bnd")
                 .and_then(|n| n.parse().ok())
                 .ok_or_else(|| err(line, "bad bound register"))?;
@@ -234,20 +240,20 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
             })
         }
         "rdpkru" => Ok(Inst::RdPkru {
-            dst: parse_reg(args[0], line)?,
+            dst: parse_reg(arg(0)?, line)?,
         }),
         "wrpkru" => Ok(Inst::WrPkru {
-            src: parse_reg(args[0], line)?,
+            src: parse_reg(arg(0)?, line)?,
         }),
         "mfence" => Ok(Inst::MFence),
         "vmfunc" => Ok(Inst::VmFunc {
-            eptp: parse_u64(args[1], line)? as u32,
+            eptp: parse_u64(arg(1)?, line)? as u32,
         }),
         "vmcall" => Ok(Inst::VmCall {
-            nr: parse_u64(args[0], line)?,
+            nr: parse_u64(arg(0)?, line)?,
         }),
         "vextracti128" => {
-            let count = args[0]
+            let count = arg(0)?
                 .strip_prefix('x')
                 .and_then(|n| n.parse().ok())
                 .ok_or_else(|| err(line, "bad key count"))?;
@@ -255,8 +261,8 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
         }
         "aesenc" | "aesdec" => {
             // aesenc [r10], 4 chunks
-            let (base, _) = parse_mem(args[0], line)?;
-            let chunks = args[1]
+            let (base, _) = parse_mem(arg(0)?, line)?;
+            let chunks = arg(1)?
                 .split_whitespace()
                 .next()
                 .and_then(|n| n.parse().ok())
@@ -444,6 +450,31 @@ fn1 <rt> [privileged]:
         let e = parse_program(text).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn truncated_operand_lists_error_instead_of_panicking() {
+        for inst in [
+            "add rax",
+            "lea rcx",
+            "jmp",
+            "jeq rax, rbx",
+            "call",
+            "syscall",
+            "bndmk bnd0",
+            "bndmk bnd0, [0x0",
+            "bndcu rax",
+            "rdpkru",
+            "wrpkru",
+            "vmfunc 0x0",
+            "vmcall",
+            "vextracti128",
+            "aesenc [r10]",
+        ] {
+            let text = format!("fn0 <f>:\n    {inst}\n");
+            let e = parse_program(&text).unwrap_err();
+            assert_eq!(e.line, 2, "{inst}: {e}");
+        }
     }
 
     #[test]

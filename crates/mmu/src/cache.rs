@@ -39,7 +39,7 @@ pub struct CacheStats {
 }
 
 /// One set-associative LRU cache level.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Level {
     sets: Vec<Vec<u64>>, // most-recently-used first
     assoc: usize,
@@ -75,7 +75,7 @@ impl Level {
 }
 
 /// The full hierarchy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     l1: Level,
     l2: Level,

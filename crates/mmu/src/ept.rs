@@ -70,7 +70,7 @@ impl EptEntry {
 }
 
 /// One extended page table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Ept {
     entries: HashMap<u64, Option<EptEntry>>,
 }
@@ -106,7 +106,7 @@ impl Ept {
 }
 
 /// The hypervisor's list of EPTs plus the active pointer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EptSet {
     epts: Vec<Ept>,
     active: usize,

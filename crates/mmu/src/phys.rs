@@ -13,11 +13,12 @@ use crate::addr::{PhysAddr, PAGE_SIZE};
 
 /// Simulated physical memory: lazily materialized 4 KiB frames indexed by
 /// frame number.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PhysMemory {
     frames: Vec<Option<Box<[u8]>>>,
     materialized: usize,
     next_free_pfn: u64,
+    frame_limit: Option<u64>,
 }
 
 impl PhysMemory {
@@ -28,18 +29,49 @@ impl PhysMemory {
             frames: Vec::new(),
             materialized: 0,
             next_free_pfn: 1,
+            frame_limit: None,
         }
     }
 
+    /// Caps the bump allocator at `limit` frames total (counting the
+    /// reserved frame 0). `None` removes the cap. Used to model physical
+    /// memory exhaustion: once the cap is hit, [`Self::try_alloc_frame`]
+    /// returns `None` and mapping paths surface a typed out-of-memory
+    /// error instead of allocating forever.
+    pub fn set_frame_limit(&mut self, limit: Option<u64>) {
+        self.frame_limit = limit;
+    }
+
     /// Allocates a fresh, zeroed frame and returns its base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame limit is set and exhausted; setup-time callers
+    /// (page-table construction for trusted mappings) are expected to run
+    /// before any limit is imposed. Fallible callers use
+    /// [`Self::try_alloc_frame`].
     pub fn alloc_frame(&mut self) -> PhysAddr {
+        match self.try_alloc_frame() {
+            Some(pa) => pa,
+            None => panic!("physical frame allocator exhausted (limit hit at setup time)"),
+        }
+    }
+
+    /// Allocates a fresh, zeroed frame, or `None` once the configured
+    /// frame limit is exhausted.
+    pub fn try_alloc_frame(&mut self) -> Option<PhysAddr> {
+        if let Some(limit) = self.frame_limit {
+            if self.next_free_pfn >= limit {
+                return None;
+            }
+        }
         let pfn = self.next_free_pfn;
         self.next_free_pfn += 1;
         // Materialize eagerly and zero: the frame is about to be used as a
         // page table or mapped memory, even if a stray demand touch already
         // materialized it.
         self.frame_mut(pfn).fill(0);
-        PhysAddr(pfn << 12)
+        Some(PhysAddr(pfn << 12))
     }
 
     /// Number of frames currently materialized.
@@ -54,10 +86,9 @@ impl PhysMemory {
         }
         let slot = &mut self.frames[idx];
         if slot.is_none() {
-            *slot = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
             self.materialized += 1;
         }
-        slot.as_mut().unwrap()
+        slot.get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Reads `buf.len()` bytes starting at `addr`, crossing frames as needed.
@@ -177,6 +208,27 @@ mod tests {
         let mut buf = [0u8; 8];
         pm.read(base, &mut buf);
         assert_eq!(buf, [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn frame_limit_bounds_the_allocator() {
+        let mut pm = PhysMemory::new();
+        pm.set_frame_limit(Some(3));
+        // Frames 1 and 2 fit under the cap of 3 (frame 0 is reserved).
+        assert!(pm.try_alloc_frame().is_some());
+        assert!(pm.try_alloc_frame().is_some());
+        assert!(pm.try_alloc_frame().is_none());
+        // Lifting the cap resumes allocation.
+        pm.set_frame_limit(None);
+        assert!(pm.try_alloc_frame().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn infallible_alloc_panics_at_the_limit() {
+        let mut pm = PhysMemory::new();
+        pm.set_frame_limit(Some(1));
+        pm.alloc_frame();
     }
 
     #[test]

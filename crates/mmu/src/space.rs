@@ -156,7 +156,7 @@ struct TranslationMemo {
 ///     Err(Fault::PkeyDenied { key: 3, .. })
 /// ));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     pm: PhysMemory,
     views: Vec<PageTable>,
@@ -242,6 +242,13 @@ impl AddressSpace {
         self.mprotect_calls
     }
 
+    /// Caps the physical frame allocator at `limit` frames total; `None`
+    /// removes the cap. Once exhausted, [`Self::try_map_region`] fails
+    /// (typed out-of-memory) while the trusted setup-time paths panic.
+    pub fn set_frame_limit(&mut self, limit: Option<u64>) {
+        self.pm.set_frame_limit(limit);
+    }
+
     fn pt(&self) -> PageTable {
         self.views[self.active_view as usize]
     }
@@ -304,6 +311,30 @@ impl AddressSpace {
         }
     }
 
+    /// Fallible variant of [`Self::map_region`]: returns `false` when the
+    /// physical frame allocator is exhausted (the pages mapped before the
+    /// exhaustion point stay mapped). The heap uses this so running out
+    /// of simulated RAM surfaces as a typed allocation failure rather
+    /// than a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not page aligned, like [`Self::map_region`].
+    pub fn try_map_region(&mut self, start: VirtAddr, len: u64, flags: PageFlags) -> bool {
+        assert_eq!(start.page_offset(), 0, "map_region requires page alignment");
+        let pages = len.div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            if self
+                .pt()
+                .try_map_anon(&mut self.pm, VirtAddr(start.0 + i * PAGE_SIZE), flags)
+                .is_none()
+            {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Unmaps the pages covering `[start, start+len)` and flushes the TLB.
     pub fn unmap_region(&mut self, start: VirtAddr, len: u64) {
         let pages = len.div_ceil(PAGE_SIZE);
@@ -348,6 +379,16 @@ impl AddressSpace {
         let pt = self.pt();
         pt.translate(&mut self.pm, va.page_base())
             .map(|pa| pa.pfn())
+    }
+
+    /// Kernel-side probe of the leaf page flags for `va` in the active
+    /// view (no TLB, memo or cache side effects — the walk reads only
+    /// simulated physical memory, which carries no statistics). The
+    /// signal-delivery engine uses this to record a region's protection
+    /// before scrubbing it to `PROT_NONE` so `sigreturn` can restore it.
+    pub fn page_flags(&mut self, va: VirtAddr) -> Option<PageFlags> {
+        let pt = self.pt();
+        pt.walk(&mut self.pm, va).map(|res| res.pte.flags())
     }
 
     /// Kernel-side (unchecked) write, used to initialize memory contents.

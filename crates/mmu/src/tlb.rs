@@ -37,7 +37,7 @@ struct TlbEntry {
 }
 
 /// A direct-mapped, PCID-tagged translation lookaside buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<TlbEntry>,
     stats: TlbStats,

@@ -88,6 +88,25 @@ impl PageTable {
         Self::entry_addr(table, va, 0)
     }
 
+    /// Fallible variant of `walk_or_create`: `None` once the frame
+    /// allocator is exhausted. Intermediate tables created before the
+    /// exhaustion point stay in place (they are valid, just empty).
+    fn try_walk_or_create(&self, pm: &mut PhysMemory, va: VirtAddr) -> Option<PhysAddr> {
+        let mut table = self.root;
+        for level in (1..LEVELS).rev() {
+            let entry_addr = Self::entry_addr(table, va, level);
+            let pte = Pte(pm.read_u64(entry_addr));
+            table = if pte.present() {
+                pte.addr()
+            } else {
+                let next = pm.try_alloc_frame()?;
+                pm.write_u64(entry_addr, Pte::table(next).0);
+                next
+            };
+        }
+        Some(Self::entry_addr(table, va, 0))
+    }
+
     /// Maps the page containing `va` to `frame` with `flags`.
     ///
     /// Remapping an already-mapped page overwrites the previous entry (the
@@ -102,6 +121,22 @@ impl PageTable {
         let frame = pm.alloc_frame();
         self.map(pm, va, frame, flags);
         frame
+    }
+
+    /// Fallible variant of [`Self::map_anon`]: returns `None` when the
+    /// physical frame allocator is exhausted (see
+    /// [`PhysMemory::set_frame_limit`]) instead of panicking, so demand
+    /// paths can surface a typed out-of-memory error.
+    pub fn try_map_anon(
+        &self,
+        pm: &mut PhysMemory,
+        va: VirtAddr,
+        flags: PageFlags,
+    ) -> Option<PhysAddr> {
+        let leaf = self.try_walk_or_create(pm, va)?;
+        let frame = pm.try_alloc_frame()?;
+        pm.write_u64(leaf, Pte::leaf(frame, flags).0);
+        Some(frame)
     }
 
     /// Removes the mapping of the page containing `va`; returns the frame

@@ -5,10 +5,24 @@
 //!
 //! ```text
 //! msentry run <file>                         execute a listing
+//!   [--fuel N]                               trap with a distinct "out of
+//!                                            fuel" diagnostic (exit 2)
+//!                                            after N retired instructions
+//!   [--inject SPEC]...                       inject asynchronous events:
+//!                                            signal@N, preempt@N:TO,QUANTUM,
+//!                                            write@N:ADDR,VALUE,
+//!                                            alloc-fail@N:COUNT (N = retired-
+//!                                            instruction boundary)
+//!   [--handler FN] [--no-scrub]              signal handler function index;
+//!                                            scrubbed delivery unless
+//!                                            --no-scrub
 //! msentry instrument <file> -t <technique> -a <application>
 //!                                            print the instrumented listing
 //! msentry protect <file> -t <technique> -a <application>
-//!                                            instrument AND run
+//!                                            instrument AND run (accepts the
+//!                                            same --fuel/--inject options;
+//!                                            scrubbed delivery closes to the
+//!                                            technique's domain closure)
 //! msentry check <file> [--address r|w|rw]    parse + verify + isolation
 //!                                            soundness analysis (domain
 //!                                            windows, ERIM gadget scan,
@@ -32,8 +46,10 @@
 use std::process::ExitCode;
 
 use memsentry_repro::check::{check_program, AddressPolicy, CheckPolicy};
-use memsentry_repro::cpu::{Machine, RunOutcome};
-use memsentry_repro::ir::{parse_program, print::format_program, verify, Program};
+use memsentry_repro::cpu::{
+    Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
+};
+use memsentry_repro::ir::{parse_program, print::format_program, verify, FuncId, Program};
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
 
 fn technique_from(name: &str) -> Option<Technique> {
@@ -78,7 +94,96 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn run_machine(framework: Option<&MemSentry>, program: Program) -> ExitCode {
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+    .map_err(|_| format!("bad number '{s}'"))
+}
+
+/// Parses one `--inject` spec (`KIND@INDEX[:ARGS]`) into a scheduled
+/// event at retired-instruction boundary `INDEX`.
+fn parse_inject(spec: &str) -> Result<Event, String> {
+    let bad = || {
+        format!(
+            "bad inject spec '{spec}' (try: signal@N, preempt@N:TO,QUANTUM, \
+             write@N:ADDR,VALUE, alloc-fail@N:COUNT)"
+        )
+    };
+    let (kind, rest) = spec.split_once('@').ok_or_else(bad)?;
+    let (at, args) = match rest.split_once(':') {
+        Some((at, args)) => (parse_u64(at)?, Some(args)),
+        None => (parse_u64(rest)?, None),
+    };
+    let action = match (kind, args) {
+        ("signal", None) => EventAction::Signal,
+        ("preempt", Some(args)) => {
+            let (to, quantum) = args.split_once(',').ok_or_else(bad)?;
+            EventAction::Preempt {
+                to: parse_u64(to)? as usize,
+                quantum: parse_u64(quantum)?,
+                scrub: true,
+            }
+        }
+        ("write", Some(args)) => {
+            let (addr, value) = args.split_once(',').ok_or_else(bad)?;
+            EventAction::Write {
+                addr: parse_u64(addr)?,
+                value: parse_u64(value)?,
+            }
+        }
+        ("alloc-fail", Some(count)) => EventAction::FailAllocs {
+            count: parse_u64(count)?,
+        },
+        _ => return Err(bad()),
+    };
+    Ok(Event { at, action })
+}
+
+/// Run-time options shared by `run` and `protect`.
+#[derive(Default)]
+struct RunOptions {
+    fuel: Option<u64>,
+    events: Vec<Event>,
+    handler: Option<FuncId>,
+    scrub: bool,
+}
+
+impl RunOptions {
+    fn from_args(args: &[String]) -> Result<Self, String> {
+        let fuel = match flag(args, "--fuel") {
+            Some(n) => Some(parse_u64(&n)?),
+            None => None,
+        };
+        let events = flag_values(args, "--inject")
+            .iter()
+            .map(|s| parse_inject(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let handler = match flag(args, "--handler") {
+            Some(n) => Some(FuncId(parse_u64(&n)? as u32)),
+            None => None,
+        };
+        Ok(Self {
+            fuel,
+            events,
+            handler,
+            scrub: !args.iter().any(|a| a == "--no-scrub"),
+        })
+    }
+}
+
+fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOptions) -> ExitCode {
     let mut machine = Machine::new(program);
     if let Some(fw) = framework {
         if let Err(e) = fw.prepare_machine(&mut machine) {
@@ -86,14 +191,44 @@ fn run_machine(framework: Option<&MemSentry>, program: Program) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match machine.run() {
+    if let Some(fuel) = opts.fuel {
+        machine.set_fuel(fuel);
+    }
+    if !opts.events.is_empty() {
+        machine.set_event_schedule(EventSchedule::new(opts.events.clone()));
+        if let Some(fw) = framework {
+            machine.set_domain_closure(fw.signal_closure());
+        }
+    }
+    if let Some(handler) = opts.handler {
+        machine.set_signal_policy(SignalPolicy {
+            handler,
+            scrub: opts.scrub,
+        });
+    }
+    let outcome = machine.run();
+    let stats = machine.stats();
+    if stats.signals > 0 || stats.preemptions > 0 {
+        println!(
+            "delivered {} signal(s), {} preemption(s)",
+            stats.signals, stats.preemptions
+        );
+    }
+    match outcome {
         RunOutcome::Exited(code) => {
             println!(
                 "exited with {code:#x} after {} instructions ({:.0} cycles)",
-                machine.stats().instructions,
+                stats.instructions,
                 machine.cycles()
             );
             ExitCode::SUCCESS
+        }
+        RunOutcome::Trapped(Trap::OutOfFuel) => {
+            eprintln!(
+                "out of fuel: {} instructions retired without halting (raise --fuel)",
+                stats.instructions
+            );
+            ExitCode::from(2)
         }
         RunOutcome::Trapped(t) => {
             println!("trapped: {t}");
@@ -105,7 +240,8 @@ fn run_machine(framework: Option<&MemSentry>, program: Program) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msentry <run|check|instrument|protect|techniques> [<file>] \
-         [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>]"
+         [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>] \
+         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub]"
     );
     ExitCode::FAILURE
 }
@@ -165,8 +301,15 @@ fn main() -> ExitCode {
                 eprintln!("{path}: {} finding(s)", report.findings.len());
                 return ExitCode::FAILURE;
             }
+            let opts = match RunOptions::from_args(&args) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if cmd == "run" {
-                return run_machine(None, program);
+                return run_machine(None, program, &opts);
             }
             // instrument / protect
             let technique = match flag(&args, "-t").as_deref().map(technique_from) {
@@ -203,7 +346,7 @@ fn main() -> ExitCode {
                 print!("{}", format_program(&program));
                 return ExitCode::SUCCESS;
             }
-            run_machine(Some(&framework), program)
+            run_machine(Some(&framework), program, &opts)
         }
         _ => usage(),
     }

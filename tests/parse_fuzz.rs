@@ -1,0 +1,135 @@
+//! The IR parser never panics on corrupted listings.
+//!
+//! `tests/properties.rs::parser_is_panic_free` fuzzes over short random
+//! ASCII; these tests start from the *real* listings under `tests/data/`
+//! (including the deliberately-broken `bad_*.ms` mutation corpus) and
+//! corrupt them the way truncated files, bad merges and bit flips do —
+//! every prefix, deterministic byte mutations, and line-level edits.
+//! Corrupted listings reach much deeper parser states than random text:
+//! almost every line looks like an instruction. The parser must return
+//! `Err`, never panic, and anything it accepts must still round-trip
+//! through the printer.
+
+use std::fs;
+use std::path::PathBuf;
+
+use memsentry_repro::ir::{parse_program, print::format_program};
+
+/// Every `.ms` listing checked into `tests/data/`.
+fn corpus() -> Vec<(PathBuf, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let mut listings: Vec<(PathBuf, String)> = fs::read_dir(&dir)
+        .expect("tests/data exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ms"))
+        .map(|p| {
+            let text = fs::read_to_string(&p).expect("readable listing");
+            (p, text)
+        })
+        .collect();
+    listings.sort();
+    assert!(!listings.is_empty(), "corpus must not be empty");
+    listings
+}
+
+/// Parses, and re-parses the printed form of anything accepted. The
+/// value of these tests is that this returns at all (no panic).
+fn exercise(text: &str) {
+    if let Ok(p) = parse_program(text) {
+        let printed = format_program(&p);
+        let reparsed = parse_program(&printed).expect("printer output parses");
+        assert_eq!(reparsed, p, "accepted listings round-trip");
+    }
+}
+
+/// A tiny deterministic xorshift generator, so failures reproduce.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[test]
+fn every_truncation_of_every_listing_is_survivable() {
+    for (_, text) in corpus() {
+        for cut in 0..=text.len() {
+            if text.is_char_boundary(cut) {
+                exercise(&text[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn byte_mutations_are_survivable() {
+    for (path, text) in corpus() {
+        let mut rng = XorShift(0x5eed ^ text.len() as u64);
+        for _ in 0..500 {
+            let mut bytes = text.clone().into_bytes();
+            // One to three point mutations: overwrite, insert or delete.
+            for _ in 0..1 + rng.below(3) {
+                let i = rng.below(bytes.len());
+                match rng.below(3) {
+                    0 => bytes[i] = (rng.next() & 0xff) as u8,
+                    1 => bytes.insert(i, (rng.next() & 0x7f) as u8),
+                    _ => {
+                        bytes.remove(i);
+                    }
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes);
+            exercise(&mutated);
+        }
+        // Parsers often index into tokens; make sure a pure-garbage tail
+        // after a valid prefix is survivable too.
+        let mut tail = text.clone();
+        tail.push_str("\n\u{FFFD}\0\t mov [[[");
+        exercise(&tail);
+        assert!(!path.as_os_str().is_empty());
+    }
+}
+
+#[test]
+fn line_level_edits_are_survivable() {
+    let listings = corpus();
+    for (_, text) in &listings {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut rng = XorShift(0xbad5eed ^ lines.len() as u64);
+        for _ in 0..200 {
+            let mut edited: Vec<&str> = lines.clone();
+            match rng.below(4) {
+                // Drop a line (loses labels, headers, terminators).
+                0 => {
+                    edited.remove(rng.below(edited.len()));
+                }
+                // Duplicate a line (duplicate labels and headers).
+                1 => {
+                    let i = rng.below(edited.len());
+                    edited.insert(i, edited[i]);
+                }
+                // Swap two lines (instructions before their header).
+                2 => {
+                    let (i, j) = (rng.below(edited.len()), rng.below(edited.len()));
+                    edited.swap(i, j);
+                }
+                // Splice in a line from another corpus file.
+                _ => {
+                    let (_, donor) = &listings[rng.below(listings.len())];
+                    let donor_lines: Vec<&str> = donor.lines().collect();
+                    let i = rng.below(edited.len());
+                    edited[i] = donor_lines[rng.below(donor_lines.len())];
+                }
+            }
+            exercise(&edited.join("\n"));
+        }
+    }
+}

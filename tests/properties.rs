@@ -241,6 +241,29 @@ proptest! {
         };
         prop_assert_eq!(cycles(&a), cycles(&b));
     }
+    /// Restoring a machine mid-run and continuing yields bit-identical
+    /// statistics to an uninterrupted run — the access pattern the fault
+    /// campaign's injection sweep relies on (golden cases live in
+    /// `tests/snapshot_restore.rs`).
+    #[test]
+    fn snapshot_restore_replays_bit_identically(which in 0usize..19, boundary in 1u64..400) {
+        use memsentry_repro::workloads::{Workload, WorkloadSpec, SPEC2006};
+        let w = Workload::build(WorkloadSpec { profile: SPEC2006[which], superblocks: 1 });
+        let mut m = Machine::new(w.program.clone());
+        w.prepare(&mut m);
+        for _ in 0..boundary {
+            if m.is_halted() { break; }
+            m.step().expect("clean run");
+        }
+        let snap = m.snapshot();
+        m.run().expect_exit();
+        let reference = (*m.stats(), m.cycles());
+        m.restore(&snap);
+        prop_assert_eq!(m.stats().instructions, snap.instructions());
+        m.run().expect_exit();
+        prop_assert_eq!((*m.stats(), m.cycles()), reference);
+    }
+
     /// print -> parse round-trips arbitrary programs (fuzzed over the
     /// instruction space).
     #[test]

@@ -1,0 +1,139 @@
+//! Snapshot/restore determinism of the simulated machine.
+//!
+//! The fault-injection campaign (`memsentry_attacks::campaign`) leans on
+//! `Machine::snapshot`/`restore` to sweep one decoded program across
+//! thousands of injection points, so a restored machine must be
+//! *bit-identical* to the original: same retirement order, same cycle
+//! accounting, same architectural and protection-domain state. These are
+//! the root-level guarantees:
+//!
+//! * **Golden**: an MPK-instrumented listing and a calibrated workload
+//!   both replay to the exact same exit code, statistics and cycle count
+//!   after a mid-run restore, any number of times.
+//! * **Isolation**: events injected after a snapshot (and the damage they
+//!   do) never leak through `restore` — the schedule is cleared and the
+//!   memory image rewound.
+//! * **Sweep** (randomized): snapshots taken at deterministic
+//!   pseudo-random boundaries all replay identically, the exact access
+//!   pattern the campaign performs.
+
+use memsentry_repro::cpu::{EventAction, EventSchedule, ExecStats, Machine};
+use memsentry_repro::ir::parse_program;
+use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+use memsentry_repro::workloads::{Workload, WorkloadSpec, SPEC2006};
+
+/// Runs the machine to completion and captures everything observable.
+fn finish(m: &mut Machine) -> (u64, ExecStats, f64) {
+    let code = m.run().expect_exit();
+    (code, *m.stats(), m.cycles())
+}
+
+/// Steps `n` instructions (the program must not halt first).
+fn step_n(m: &mut Machine, n: u64) {
+    for _ in 0..n {
+        assert!(!m.is_halted(), "snapshot point inside the program");
+        m.step().expect("clean prefix");
+    }
+}
+
+/// An MPK-protected machine running the golden shadow-stack listing.
+fn mpk_machine() -> (Machine, MemSentry) {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/shadow_demo.ms"
+    ))
+    .expect("golden listing");
+    let mut program = parse_program(&text).expect("golden listing parses");
+    let fw = MemSentry::new(Technique::Mpk, 4096);
+    fw.instrument(&mut program, Application::ShadowStack)
+        .expect("instruments");
+    let mut m = Machine::new(program);
+    fw.prepare_machine(&mut m).expect("prepares");
+    (m, fw)
+}
+
+#[test]
+fn golden_listing_replays_bit_identically() {
+    let (mut m, _fw) = mpk_machine();
+    step_n(&mut m, 3);
+    let snap = m.snapshot();
+    let reference = finish(&mut m);
+    for _ in 0..3 {
+        m.restore(&snap);
+        assert_eq!(m.stats().instructions, snap.instructions());
+        assert_eq!(m.cycles(), snap.cycles());
+        assert_eq!(finish(&mut m), reference, "replay diverged");
+    }
+}
+
+#[test]
+fn calibrated_workload_replays_bit_identically() {
+    let w = Workload::build(WorkloadSpec {
+        profile: SPEC2006[0],
+        superblocks: 1,
+    });
+    let mut m = Machine::new(w.program.clone());
+    w.prepare(&mut m);
+    step_n(&mut m, 500);
+    let snap = m.snapshot();
+    let reference = finish(&mut m);
+    m.restore(&snap);
+    assert_eq!(finish(&mut m), reference, "workload replay diverged");
+}
+
+#[test]
+fn injected_events_and_their_damage_do_not_leak_through_restore() {
+    let (mut m, fw) = mpk_machine();
+    step_n(&mut m, 2);
+    let snap = m.snapshot();
+    let reference = finish(&mut m);
+
+    // Corrupt the run: an asynchronous attacker write into the safe
+    // region right after the snapshot point.
+    m.restore(&snap);
+    m.set_event_schedule(EventSchedule::at(
+        snap.instructions(),
+        EventAction::Write {
+            addr: fw.layout().base,
+            value: 0xdead_beef,
+        },
+    ));
+    let _ = m.run();
+
+    // The restore rewinds the memory image and clears the schedule.
+    m.restore(&snap);
+    assert_eq!(finish(&mut m), reference, "corruption leaked through");
+}
+
+#[test]
+fn random_snapshot_boundaries_all_replay_identically() {
+    let w = Workload::build(WorkloadSpec {
+        profile: SPEC2006[1],
+        superblocks: 1,
+    });
+    let mut m = Machine::new(w.program.clone());
+    w.prepare(&mut m);
+    let reference = finish(&mut m);
+    let total = reference.1.instructions;
+
+    // Deterministic xorshift, so a failing boundary reproduces.
+    let mut state: u64 = 0x5eed_0001;
+    for _ in 0..12 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let boundary = state % total;
+        let mut m = Machine::new(w.program.clone());
+        w.prepare(&mut m);
+        step_n(&mut m, boundary);
+        let snap = m.snapshot();
+        let finished = finish(&mut m);
+        assert_eq!(finished, reference, "stepped run diverged at {boundary}");
+        m.restore(&snap);
+        assert_eq!(
+            finish(&mut m),
+            reference,
+            "restored run diverged at {boundary}"
+        );
+    }
+}

@@ -34,11 +34,27 @@
 
 use memsentry::{Application, FrameworkError, MemSentry, Technique};
 use memsentry_cpu::{EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap};
-use memsentry_ir::{FunctionBuilder, Inst, Program, Reg};
+use memsentry_ir::{AluOp, Cond, FunctionBuilder, Inst, Program, Reg};
 use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
 
 /// The 64-bit secret planted in the safe region.
 pub const SECRET: u64 = 0x5ec2_e7c0_ffee;
+
+/// Iterations of the victim's pre-window compute loop. The loop gives the
+/// sweep a realistically long run (thousands of boundaries) so the
+/// checkpointed replay path is actually exercised — with only the handful
+/// of window instructions, every boundary would sit inside the first
+/// checkpoint interval.
+const PREFIX_ITERS: u64 = 1000;
+
+/// Spacing, in instruction boundaries, between the incremental
+/// [`memsentry_cpu::Machine::snapshot`]s taken during the clean mapping
+/// run. Replay cost per injected boundary is bounded by `K - 1` (mean
+/// `K/2`) while snapshot memory grows as `boundaries / K`; 64 keeps both
+/// small for sweep lengths up to millions of instructions (snapshots are
+/// cheap because physical frames are lazily materialized — only touched
+/// pages are cloned).
+const CHECKPOINT_SPACING: u64 = 64;
 
 /// Ordinary page the hostile handler/thread exfiltrates into.
 pub const MAILBOX: u64 = 0x30_0000;
@@ -113,6 +129,15 @@ pub struct CampaignReport {
     /// clean run plus every injected run), for harness throughput
     /// accounting.
     pub sim_instructions: u64,
+    /// Snapshots taken during the clean mapping run (the start snapshot
+    /// plus one per [`CHECKPOINT_SPACING`] boundaries).
+    pub checkpoints: u64,
+    /// Clean-prefix instructions re-executed across all injected runs
+    /// (from the serving checkpoint to the injection boundary).
+    pub replayed_instructions: u64,
+    /// Replay instructions avoided relative to restarting every injected
+    /// run from the start snapshot.
+    pub saved_instructions: u64,
 }
 
 impl CampaignReport {
@@ -212,6 +237,35 @@ fn build_program(region_base: u64) -> Program {
         dst: Reg::R12,
         imm: 2,
     });
+    // Pre-window compute phase: a bounded loop long enough that the sweep
+    // spans many checkpoint intervals. rax/rcx/rdx are dead once the loop
+    // exits, so the instrumentation's clobber set stays respected.
+    main.push(Inst::MovImm {
+        dst: Reg::Rcx,
+        imm: PREFIX_ITERS,
+    });
+    main.push(Inst::MovImm {
+        dst: Reg::Rdx,
+        imm: 0,
+    });
+    let top = main.new_label();
+    main.bind(top);
+    main.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: Reg::Rax,
+        imm: 3,
+    });
+    main.push(Inst::AluImm {
+        op: AluOp::Sub,
+        dst: Reg::Rcx,
+        imm: 1,
+    });
+    main.push(Inst::JmpIf {
+        cond: Cond::Ne,
+        a: Reg::Rcx,
+        b: Reg::Rdx,
+        target: top,
+    });
     // The instrumented window: open sequence, this load, close sequence.
     main.push_privileged(Inst::Load {
         dst: Reg::R8,
@@ -295,52 +349,140 @@ fn build_victim(technique: Technique) -> Result<(Machine, MemSentry, usize), Cam
     Ok((m, fw, reader_tid))
 }
 
-/// Classifies one interrupted run.
+/// Did the mailbox end up holding the secret?
+fn peek_mailbox(m: &mut Machine) -> Outcome {
+    let mut buf = [0u8; 8];
+    m.space.peek(VirtAddr(MAILBOX), &mut buf);
+    if u64::from_le_bytes(buf) == SECRET {
+        Outcome::Exposed
+    } else {
+        Outcome::Survived
+    }
+}
+
+/// Classifies one interrupted run that was driven to completion.
 fn classify(m: &mut Machine, out: RunOutcome) -> Outcome {
     match out {
         RunOutcome::Trapped(_) => Outcome::Trapped,
-        RunOutcome::Exited(_) => {
-            let mut buf = [0u8; 8];
-            m.space.peek(VirtAddr(MAILBOX), &mut buf);
-            if u64::from_le_bytes(buf) == SECRET {
-                Outcome::Exposed
-            } else {
-                Outcome::Survived
-            }
+        RunOutcome::Exited(_) => peek_mailbox(m),
+    }
+}
+
+/// How injected runs get back to their injection boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Replay {
+    /// Restore the nearest preceding incremental checkpoint, then stop
+    /// the injected run as soon as the event has fully resolved (the
+    /// default). Turns the sweep from O(n²) into O(n·K).
+    Checkpointed,
+    /// Restore the start snapshot and run every injected run to
+    /// completion — the quadratic reference path, selectable with
+    /// `MSENTRY_NO_CHECKPOINT=1` so CI can diff the two matrices for
+    /// byte-equality.
+    FromStart,
+}
+
+fn replay_strategy() -> Replay {
+    if std::env::var_os("MSENTRY_NO_CHECKPOINT").is_some() {
+        Replay::FromStart
+    } else {
+        Replay::Checkpointed
+    }
+}
+
+/// Drives one injected run: fast-forward (batched, event-free) to the
+/// injection boundary, then step until the outcome is decided.
+///
+/// With [`Replay::Checkpointed`] the run stops early at *quiescence* — no
+/// pending events, no signal frame, no in-flight preemption. That is
+/// outcome-neutral for the campaign's event kinds because both resolve by
+/// restoring the victim's interrupted context exactly (`sigreturn` pops
+/// the architectural frame; the context switch back restores per-thread
+/// state and reverts any scrub closure), so the continuation *is* the
+/// verified clean suffix: it never touches the mailbox and exits normally.
+/// Classifying at quiescence therefore equals classifying at exit — the
+/// `checkpointed_sweeps_match_from_start_replay` test and the CI faults
+/// job both hold the two paths to byte-equality.
+fn run_injected(
+    m: &mut Machine,
+    technique: Technique,
+    replay: Replay,
+    at: u64,
+) -> Result<Outcome, CampaignError> {
+    if let Err(trap) = m.run_until(at) {
+        // The replayed span is a prefix of the verified clean run; a trap
+        // here means snapshot/restore lost machine state.
+        return Err(CampaignError::CleanRun { technique, trap });
+    }
+    if replay == Replay::FromStart {
+        let out = m.run();
+        return Ok(classify(m, out));
+    }
+    loop {
+        if m.is_halted()
+            || (m.pending_events() == 0 && m.signal_depth() == 0 && !m.preempt_active())
+        {
+            return Ok(peek_mailbox(m));
+        }
+        if m.step().is_err() {
+            return Ok(Outcome::Trapped);
         }
     }
 }
 
-/// Runs the sweep: one clean stepped run to learn the boundary → cycle
-/// mapping, then one restored run per boundary with the event injected.
-fn sweep(
+/// Runs the sweep: one clean run to learn the boundary → cycle mapping
+/// (checkpointing the machine every [`CHECKPOINT_SPACING`] boundaries),
+/// then one replayed run per boundary with the event injected, each
+/// served from the nearest preceding checkpoint.
+fn sweep_with(
     mut m: Machine,
     technique: Technique,
     mode: HandlerMode,
+    replay: Replay,
     make_schedule: impl Fn(u64) -> EventSchedule,
 ) -> Result<CampaignReport, CampaignError> {
-    let snap = m.snapshot();
+    let start = m.stats().instructions;
+    let mut checkpoints = vec![m.snapshot()];
     let mut boundary_cycles = vec![m.cycles()];
     while !m.is_halted() {
-        if let Err(trap) = m.step() {
+        if let Err(trap) = m.run_until(m.stats().instructions + 1) {
             return Err(CampaignError::CleanRun { technique, trap });
         }
         boundary_cycles.push(m.cycles());
+        let boundary = boundary_cycles.len() as u64 - 1;
+        if replay == Replay::Checkpointed
+            && !m.is_halted()
+            && boundary % CHECKPOINT_SPACING == 0
+        {
+            checkpoints.push(m.snapshot());
+        }
     }
     let total_cycles = m.cycles();
-    let boundaries = boundary_cycles.len() - 1;
+    // A victim that is already halted (or halts without retiring anything)
+    // has zero injectable boundaries: report an empty sweep rather than
+    // underflowing the capacity/loop arithmetic below.
+    let boundaries = boundary_cycles.len().saturating_sub(1);
     let mut sim_instructions = boundaries as u64;
+    let mut replayed_instructions = 0u64;
+    let mut saved_instructions = 0u64;
 
     let mut points = Vec::with_capacity(boundaries);
     for offset in 0..boundaries as u64 {
-        m.restore(&snap);
-        m.set_event_schedule(make_schedule(snap.instructions() + offset));
-        let out = m.run();
-        sim_instructions += m.stats().instructions.saturating_sub(snap.instructions());
+        let ck = match replay {
+            Replay::Checkpointed => &checkpoints[(offset / CHECKPOINT_SPACING) as usize],
+            Replay::FromStart => &checkpoints[0],
+        };
+        m.restore(ck);
+        let at = start + offset;
+        m.set_event_schedule(make_schedule(at));
+        let outcome = run_injected(&mut m, technique, replay, at)?;
+        sim_instructions += m.stats().instructions.saturating_sub(ck.instructions());
+        replayed_instructions += at - ck.instructions();
+        saved_instructions += ck.instructions() - start;
         points.push(SweepPoint {
             offset,
             cycles: boundary_cycles[offset as usize],
-            outcome: classify(&mut m, out),
+            outcome,
         });
     }
     Ok(CampaignReport {
@@ -349,6 +491,9 @@ fn sweep(
         points,
         total_cycles,
         sim_instructions,
+        checkpoints: checkpoints.len() as u64,
+        replayed_instructions,
+        saved_instructions,
     })
 }
 
@@ -358,13 +503,21 @@ pub fn sweep_signals(
     technique: Technique,
     mode: HandlerMode,
 ) -> Result<CampaignReport, CampaignError> {
+    sweep_signals_with(technique, mode, replay_strategy())
+}
+
+fn sweep_signals_with(
+    technique: Technique,
+    mode: HandlerMode,
+    replay: Replay,
+) -> Result<CampaignReport, CampaignError> {
     let (mut m, fw, _) = build_victim(technique)?;
     m.set_signal_policy(SignalPolicy {
         handler: funcs::HANDLER,
         scrub: mode == HandlerMode::Scrub,
     });
     m.set_domain_closure(fw.signal_closure());
-    sweep(m, technique, mode, |at| {
+    sweep_with(m, technique, mode, replay, |at| {
         EventSchedule::at(at, EventAction::Signal)
     })
 }
@@ -375,10 +528,18 @@ pub fn sweep_preemption(
     technique: Technique,
     mode: HandlerMode,
 ) -> Result<CampaignReport, CampaignError> {
+    sweep_preemption_with(technique, mode, replay_strategy())
+}
+
+fn sweep_preemption_with(
+    technique: Technique,
+    mode: HandlerMode,
+    replay: Replay,
+) -> Result<CampaignReport, CampaignError> {
     let (mut m, fw, reader_tid) = build_victim(technique)?;
     m.set_domain_closure(fw.signal_closure());
     let scrub = mode == HandlerMode::Scrub;
-    sweep(m, technique, mode, move |at| {
+    sweep_with(m, technique, mode, replay, move |at| {
         EventSchedule::at(
             at,
             EventAction::Preempt {
@@ -498,5 +659,95 @@ mod tests {
             assert_eq!(x.outcome, y.outcome);
             assert_eq!(x.cycles, y.cycles);
         }
+    }
+
+    #[test]
+    fn zero_boundary_victim_yields_an_empty_report() {
+        // A machine that has already halted has no injectable boundaries;
+        // the sweep must report that as empty instead of underflowing.
+        let mut p = Program::new();
+        let mut main = FunctionBuilder::new("main");
+        main.push(Inst::Halt);
+        p.add_function(main.finish());
+        let mut m = Machine::new(p);
+        assert!(matches!(m.run(), RunOutcome::Exited(_)));
+        assert!(m.is_halted());
+        let report = sweep_with(
+            m,
+            Technique::Mpk,
+            HandlerMode::Broken,
+            Replay::Checkpointed,
+            |at| EventSchedule::at(at, EventAction::Signal),
+        )
+        .unwrap();
+        assert!(report.points.is_empty());
+        assert_eq!(report.sim_instructions, 0);
+        assert_eq!(report.replayed_instructions, 0);
+        assert_eq!(report.saved_instructions, 0);
+        assert_eq!(report.exposure_cycles(), 0.0);
+    }
+
+    #[test]
+    fn checkpointed_sweeps_match_from_start_replay() {
+        // The O(n·K) checkpoint-and-early-stop path must classify every
+        // boundary exactly like the quadratic restore-from-start path, for
+        // every technique and both event kinds.
+        for technique in WINDOWED_TECHNIQUES {
+            for kind in ["signal", "preempt"] {
+                let run = |replay| match kind {
+                    "signal" => sweep_signals_with(technique, HandlerMode::Broken, replay),
+                    _ => sweep_preemption_with(technique, HandlerMode::Broken, replay),
+                };
+                let fast = run(Replay::Checkpointed).unwrap();
+                let slow = run(Replay::FromStart).unwrap();
+                assert_eq!(
+                    fast.points.len(),
+                    slow.points.len(),
+                    "{technique}/{kind}: boundary count"
+                );
+                assert_eq!(
+                    fast.total_cycles.to_bits(),
+                    slow.total_cycles.to_bits(),
+                    "{technique}/{kind}: total cycles"
+                );
+                for (x, y) in fast.points.iter().zip(&slow.points) {
+                    assert_eq!(x.offset, y.offset, "{technique}/{kind}");
+                    assert_eq!(
+                        x.cycles.to_bits(),
+                        y.cycles.to_bits(),
+                        "{technique}/{kind} offset {}",
+                        x.offset
+                    );
+                    assert_eq!(
+                        x.outcome, y.outcome,
+                        "{technique}/{kind} offset {}",
+                        x.offset
+                    );
+                }
+                assert!(
+                    fast.sim_instructions < slow.sim_instructions / 4,
+                    "{technique}/{kind}: checkpointing must cut simulated work \
+                     (fast {} vs slow {})",
+                    fast.sim_instructions,
+                    slow.sim_instructions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_accounting_is_consistent() {
+        let report = sweep_signals(Technique::Mpk, HandlerMode::Broken).unwrap();
+        let n = report.points.len() as u64;
+        assert!(n > 2 * CHECKPOINT_SPACING, "victim long enough to checkpoint");
+        // One start snapshot plus one per full spacing interval reached
+        // before the halt boundary.
+        assert_eq!(report.checkpoints, 1 + (n - 1) / CHECKPOINT_SPACING);
+        // Replay distance per boundary is bounded by the spacing.
+        assert!(report.replayed_instructions < n * CHECKPOINT_SPACING);
+        // Σ (checkpoint - start) over boundaries served from checkpoint i
+        // — what the from-start path would have replayed extra.
+        let expected_saved: u64 = (0..n).map(|b| (b / CHECKPOINT_SPACING) * CHECKPOINT_SPACING).sum();
+        assert_eq!(report.saved_instructions, expected_saved);
     }
 }

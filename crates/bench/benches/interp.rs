@@ -87,5 +87,36 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workload_throughput, bench_kernel_throughput);
+fn bench_fault_sweep(c: &mut Criterion) {
+    // One full checkpointed fault-injection sweep (clean mapping run plus
+    // one replayed run per boundary) — the unit of work behind every cell
+    // of `results/fault_matrix.txt`. Throughput is boundaries swept per
+    // second; the wall-clock gain of checkpoint-served replays over
+    // from-start replays is recorded in `BENCH_horizon.json`.
+    use memsentry_attacks::campaign::{sweep_signals, HandlerMode};
+
+    let boundaries = sweep_signals(Technique::Mpk, HandlerMode::Broken)
+        .expect("sweep")
+        .points
+        .len() as u64;
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(boundaries));
+    group.bench_function("faults_sweep", |b| {
+        b.iter(|| {
+            sweep_signals(black_box(Technique::Mpk), HandlerMode::Broken)
+                .expect("sweep")
+                .points
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_throughput,
+    bench_kernel_throughput,
+    bench_fault_sweep
+);
 criterion_main!(benches);

@@ -298,6 +298,14 @@ fn main() {
         "{sim_instructions} instructions simulated ({:.2} Minst/s aggregate)",
         per_sec / 1e6
     );
+    let ck = session.checkpoint_stats();
+    println!(
+        "{} checkpoints served {} replays (mean replay {:.1} insts, {} insts saved vs from-start)",
+        ck.taken,
+        ck.replays,
+        ck.mean_replay(),
+        ck.saved_instructions
+    );
     if args.json {
         let summary = serde_json::json!({
             "superblocks": sb,
@@ -308,6 +316,13 @@ fn main() {
             "cache_hits": session.cache_hits(),
             "sim_instructions": sim_instructions,
             "sim_instructions_per_sec": per_sec,
+            "checkpoints": {
+                "taken": ck.taken,
+                "replays": ck.replays,
+                "mean_replay_instructions": ck.mean_replay(),
+                "replayed_instructions": ck.replayed_instructions,
+                "saved_instructions": ck.saved_instructions,
+            },
             "artifacts": records
                 .iter()
                 .map(|r| {

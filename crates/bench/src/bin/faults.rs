@@ -10,4 +10,15 @@ fn main() {
     let session = args.session();
     let matrix = cli::ok_or_exit(fault_matrix(&session));
     print!("{matrix}");
+    // Replay accounting goes to stderr so stdout stays the byte-exact
+    // artifact CI diffs across --jobs values and replay strategies.
+    let ck = session.checkpoint_stats();
+    eprintln!(
+        "{} sim insts; {} checkpoints served {} replays (mean replay {:.1}, {} insts saved)",
+        session.sim_instructions(),
+        ck.taken,
+        ck.replays,
+        ck.mean_replay(),
+        ck.saved_instructions
+    );
 }

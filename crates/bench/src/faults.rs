@@ -20,7 +20,7 @@ use memsentry_attacks::campaign::{
     self, CampaignError, CampaignReport, HandlerMode, Outcome, WINDOWED_TECHNIQUES,
 };
 
-use crate::measure::{AuxMeasurement, Session};
+use crate::measure::{AuxMeasurement, CheckpointStats, Session};
 use crate::runner::{CellFailure, MeasureError};
 
 /// Which asynchronous event class a row injects.
@@ -97,6 +97,12 @@ fn sweep_cell(
         Ok(AuxMeasurement {
             text: render_row(kind, &report),
             sim_instructions: report.sim_instructions,
+            checkpoints: CheckpointStats {
+                taken: report.checkpoints,
+                replays: report.points.len() as u64,
+                replayed_instructions: report.replayed_instructions,
+                saved_instructions: report.saved_instructions,
+            },
         })
     })
 }
@@ -156,11 +162,18 @@ mod tests {
         assert_eq!(rows, 2 * 2 * WINDOWED_TECHNIQUES.len());
         assert_eq!(session.simulations(), rows as u64);
         assert!(session.sim_instructions() > 0);
+        // The checkpointed sweeps report their replay accounting.
+        let ck = session.checkpoint_stats();
+        assert!(ck.taken > 0, "sweeps must checkpoint");
+        assert!(ck.replays > 0);
+        assert!(ck.saved_instructions > ck.replayed_instructions);
+        assert!(ck.mean_replay() > 0.0);
         // Regeneration is served entirely from the cache.
         let again = fault_matrix(&session).unwrap();
         assert_eq!(again, matrix);
         assert_eq!(session.simulations(), rows as u64);
         assert_eq!(session.cache_hits(), rows as u64);
+        assert_eq!(session.checkpoint_stats(), ck, "replays add no work");
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod report;
 pub mod runner;
 pub mod tables;
 
-pub use measure::{AuxMeasurement, Session};
+pub use measure::{AuxMeasurement, CheckpointStats, Session};
 pub use runner::{overhead, run_config, CellFailure, ExperimentConfig, MeasureError, Measurement};

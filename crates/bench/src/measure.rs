@@ -49,6 +49,39 @@ pub struct AuxMeasurement {
     pub text: String,
     /// Instructions the simulator retired producing the cell.
     pub sim_instructions: u64,
+    /// Incremental-checkpoint accounting for cells that replay snapshots
+    /// (zero for cells that don't checkpoint).
+    pub checkpoints: CheckpointStats,
+}
+
+/// Work accounting for auxiliary cells that serve replays from
+/// incremental snapshots (the fault campaign's checkpointed sweeps).
+/// Summed across a session's fresh aux cells and reported by `--bin all`
+/// next to the simulation/cache summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots taken during clean mapping runs.
+    pub taken: u64,
+    /// Injected runs served by restoring a snapshot.
+    pub replays: u64,
+    /// Clean-prefix instructions re-executed between the serving
+    /// checkpoint and the injection boundary.
+    pub replayed_instructions: u64,
+    /// Replay instructions avoided relative to restarting every injected
+    /// run from the start snapshot.
+    pub saved_instructions: u64,
+}
+
+impl CheckpointStats {
+    /// Mean replay distance (instructions re-executed per served replay);
+    /// zero when nothing replayed.
+    pub fn mean_replay(&self) -> f64 {
+        if self.replays == 0 {
+            0.0
+        } else {
+            self.replayed_instructions as f64 / self.replays as f64
+        }
+    }
 }
 
 /// What an auxiliary cell resolves to (cached verbatim).
@@ -67,6 +100,10 @@ pub struct Session {
     baseline_runs: AtomicU64,
     cache_hits: AtomicU64,
     sim_instructions: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    checkpoint_replays: AtomicU64,
+    replayed_instructions: AtomicU64,
+    saved_instructions: AtomicU64,
 }
 
 impl Default for Session {
@@ -96,6 +133,10 @@ impl Session {
             baseline_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_instructions: AtomicU64::new(0),
+            checkpoints_taken: AtomicU64::new(0),
+            checkpoint_replays: AtomicU64::new(0),
+            replayed_instructions: AtomicU64::new(0),
+            saved_instructions: AtomicU64::new(0),
         }
     }
 
@@ -125,6 +166,18 @@ impl Session {
     /// of the interpreter-throughput summary `--bin all` prints.
     pub fn sim_instructions(&self) -> u64 {
         self.sim_instructions.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated incremental-checkpoint accounting across every fresh
+    /// aux cell of the session (replays add nothing, like
+    /// [`Session::sim_instructions`]).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            replays: self.checkpoint_replays.load(Ordering::Relaxed),
+            replayed_instructions: self.replayed_instructions.load(Ordering::Relaxed),
+            saved_instructions: self.saved_instructions.load(Ordering::Relaxed),
+        }
     }
 
     /// Measures one cell, simulating at most once per distinct
@@ -195,6 +248,14 @@ impl Session {
             if let Ok(m) = &result {
                 self.sim_instructions
                     .fetch_add(m.sim_instructions, Ordering::Relaxed);
+                self.checkpoints_taken
+                    .fetch_add(m.checkpoints.taken, Ordering::Relaxed);
+                self.checkpoint_replays
+                    .fetch_add(m.checkpoints.replays, Ordering::Relaxed);
+                self.replayed_instructions
+                    .fetch_add(m.checkpoints.replayed_instructions, Ordering::Relaxed);
+                self.saved_instructions
+                    .fetch_add(m.checkpoints.saved_instructions, Ordering::Relaxed);
             }
             result
         });
@@ -422,22 +483,32 @@ mod tests {
     fn aux_cells_memoize_and_count_work_once() {
         let session = Session::with_jobs(1);
         let calls = std::cell::Cell::new(0u32);
+        let stats = CheckpointStats {
+            taken: 3,
+            replays: 10,
+            replayed_instructions: 320,
+            saved_instructions: 1280,
+        };
         let produce = || {
             calls.set(calls.get() + 1);
             Ok(AuxMeasurement {
                 text: "row\n".into(),
                 sim_instructions: 42,
+                checkpoints: stats,
             })
         };
         let a = session.measure_aux("cell", produce).unwrap();
         assert_eq!(a.text, "row\n");
         assert_eq!(session.sim_instructions(), 42);
         assert_eq!(session.simulations(), 1);
+        assert_eq!(session.checkpoint_stats(), stats);
         let b = session.measure_aux("cell", produce).unwrap();
         assert_eq!(b, a, "replayed from cache");
         assert_eq!(calls.get(), 1, "produced exactly once");
         assert_eq!(session.cache_hits(), 1);
         assert_eq!(session.sim_instructions(), 42, "replays add no work");
+        assert_eq!(session.checkpoint_stats(), stats, "replays add no work");
+        assert_eq!(session.checkpoint_stats().mean_replay(), 32.0);
     }
 
     #[test]

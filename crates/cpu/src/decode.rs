@@ -21,6 +21,15 @@
 //! function decodes to [`DecodedOp::BadLabel`], which raises
 //! [`crate::Trap::BadLabel`] if executed — hostile IR traps instead of
 //! panicking, and decoding itself is infallible.
+//!
+//! On top of the flat stream, decoding groups each body into straight-line
+//! **basic blocks** for the event-horizon executor: [`DecodedFunction::
+//! block_ends`] maps every instruction index to one past the nearest
+//! block terminator at or after it (branches, calls, returns, syscalls,
+//! hypercalls and halts — everything that can move the program counter
+//! non-sequentially or stop the machine). Inside a block the machine can
+//! retire instructions back-to-back with no per-instruction fetch bounds
+//! check, fuel check or event poll; see `Machine::run_until`.
 
 use memsentry_ir::{AluOp, Cond, FuncId, Function, Inst, Label, Program, Reg};
 
@@ -125,6 +134,53 @@ pub(crate) enum DecodedOp {
     SgxExit,
 }
 
+/// One pre-decoded function: the flat instruction stream plus the
+/// basic-block partition the event-horizon executor batches over.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodedFunction {
+    /// Decoded slots, index-1:1 with the function body.
+    pub insts: Vec<DecodedInst>,
+    /// `block_ends[i]` is one past the index of the first block terminator
+    /// at or after `i` — the exclusive end of the straight-line run that
+    /// starts at `i`. A trailing run with no terminator ends at
+    /// `insts.len()`; executing past it raises the same
+    /// [`crate::Trap::BadCodePointer`] the per-instruction fetch would.
+    pub block_ends: Vec<u32>,
+}
+
+/// Whether `op` ends a basic block: everything that can change the
+/// program counter non-sequentially, halt the machine, or hand control to
+/// a handler (syscalls/hypercalls may exit or — via `sigreturn` — jump).
+/// Ops that merely *trap* need not end a block: a trap aborts the whole
+/// batched run, so no instruction after it executes either way.
+fn is_block_end(op: &DecodedOp) -> bool {
+    matches!(
+        op,
+        DecodedOp::Jmp { .. }
+            | DecodedOp::JmpIf { .. }
+            | DecodedOp::BadLabel { .. }
+            | DecodedOp::Call { .. }
+            | DecodedOp::CallIndirect { .. }
+            | DecodedOp::Ret
+            | DecodedOp::Syscall { .. }
+            | DecodedOp::VmCall { .. }
+            | DecodedOp::Halt
+    )
+}
+
+/// Computes [`DecodedFunction::block_ends`] with one backward scan.
+fn block_ends(insts: &[DecodedInst]) -> Vec<u32> {
+    let mut ends = vec![0u32; insts.len()];
+    let mut end = insts.len() as u32;
+    for (i, d) in insts.iter().enumerate().rev() {
+        if is_block_end(&d.op) {
+            end = i as u32 + 1;
+        }
+        ends[i] = end;
+    }
+    ends
+}
+
 /// Lowers one function body; the result is index-1:1 with `func.body`.
 fn decode_function(func: &Function, cost: &CostModel) -> Vec<DecodedInst> {
     let labels = func.label_table();
@@ -197,11 +253,15 @@ fn decode_function(func: &Function, cost: &CostModel) -> Vec<DecodedInst> {
 
 /// Lowers every function of `program`, indexed by
 /// [`FuncId`](memsentry_ir::FuncId).
-pub(crate) fn decode_program(program: &Program, cost: &CostModel) -> Vec<Vec<DecodedInst>> {
+pub(crate) fn decode_program(program: &Program, cost: &CostModel) -> Vec<DecodedFunction> {
     program
         .functions
         .iter()
-        .map(|f| decode_function(f, cost))
+        .map(|f| {
+            let insts = decode_function(f, cost);
+            let block_ends = block_ends(&insts);
+            DecodedFunction { insts, block_ends }
+        })
         .collect()
 }
 
@@ -252,6 +312,60 @@ mod tests {
         let f = b.finish();
         for (d, node) in decode_function(&f, &cost).iter().zip(&f.body) {
             assert_eq!(d.cost.to_bits(), cost.inst_cost(&node.inst).to_bits());
+        }
+    }
+
+    #[test]
+    fn block_ends_partition_at_terminators() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        }); // 0: straight
+        b.push(Inst::Jmp(l)); // 1: terminator
+        b.bind(l); // 2: Label marker (straight)
+        b.push(Inst::Nop); // 3: straight
+        b.push(Inst::Halt); // 4: terminator
+        let insts = decode_function(&b.finish(), &CostModel::default());
+        assert_eq!(block_ends(&insts), vec![2, 2, 5, 5, 5]);
+    }
+
+    #[test]
+    fn trailing_run_without_terminator_ends_at_body_length() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Nop);
+        b.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 7,
+        });
+        let insts = decode_function(&b.finish(), &CostModel::default());
+        assert_eq!(block_ends(&insts), vec![2, 2]);
+    }
+
+    #[test]
+    fn every_index_maps_to_a_valid_block_end() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.bind(l);
+        b.push(Inst::Syscall { nr: 0 });
+        b.push(Inst::Call(memsentry_ir::FuncId(0)));
+        b.push(Inst::Ret);
+        b.push(Inst::JmpIf {
+            cond: memsentry_ir::Cond::Eq,
+            a: Reg::Rax,
+            b: Reg::Rbx,
+            target: l,
+        });
+        b.push(Inst::Halt);
+        let insts = decode_function(&b.finish(), &CostModel::default());
+        let ends = block_ends(&insts);
+        for (i, &e) in ends.iter().enumerate() {
+            assert!(e as usize > i && e as usize <= insts.len(), "{i} -> {e}");
+            // Only the last instruction of a block is a terminator.
+            for d in &insts[i..e as usize - 1] {
+                assert!(!is_block_end(&d.op), "terminator mid-block at {i}");
+            }
         }
     }
 

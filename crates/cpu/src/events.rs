@@ -137,6 +137,14 @@ impl EventSchedule {
         self.events.len() - self.next
     }
 
+    /// Instruction index of the next unfired event, if any. After the
+    /// machine has drained everything due at boundary `now` this is
+    /// strictly greater than `now`, which is what makes it a safe
+    /// execution *horizon*: no event can fire before it.
+    pub(crate) fn next_at(&self) -> Option<u64> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
     /// Pops every event due at instruction index `now` (one per call; the
     /// machine loops until `None`).
     pub(crate) fn pop_due(&mut self, now: u64) -> Option<EventAction> {

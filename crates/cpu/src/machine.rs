@@ -16,11 +16,11 @@
 //! and introspection.
 
 use memsentry_aes::{Block, RegionCipher};
-use memsentry_ir::{AluOp, CodeAddr, Program, Reg};
+use memsentry_ir::{AluOp, CodeAddr, FuncId, Program, Reg};
 use memsentry_mmu::{AddressSpace, PageFlags, Prot, VirtAddr};
 
 use crate::cost::CostModel;
-use crate::decode::{decode_program, DecodedInst, DecodedOp};
+use crate::decode::{decode_program, DecodedFunction, DecodedOp};
 use crate::events::{
     DomainClosure, EventAction, EventSchedule, PreemptState, SavedDomain, SignalFrame, SignalPolicy,
 };
@@ -29,6 +29,12 @@ use crate::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutc
 use crate::stats::ExecStats;
 use crate::threads::ThreadCtx;
 use crate::trap::Trap;
+
+/// Process-unique snapshot ids: [`Machine::restore`] uses them to detect
+/// consecutive restores from the *same* snapshot and switch to the
+/// incremental (dirty-tracked) restore path. Only compared for equality,
+/// so the allocation order never influences simulation output.
+static NEXT_SNAPSHOT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Top of the simulated stack (just below the 64 TB sensitive boundary).
 pub const STACK_TOP: u64 = 0x3f00_0000_0000;
@@ -101,8 +107,9 @@ pub struct Machine {
     bnd: [(u64, u64); 4],
     pub(crate) pc: CodeAddr,
     program: Program,
-    /// Pre-decoded bodies, index-1:1 with each function's `body`.
-    code: Vec<Vec<DecodedInst>>,
+    /// Pre-decoded bodies (instruction streams plus basic-block bounds),
+    /// index-1:1 with each function's `body`.
+    code: Vec<DecodedFunction>,
     cost: CostModel,
     stats: ExecStats,
     syscall: Option<Box<dyn SyscallHandler>>,
@@ -126,6 +133,11 @@ pub struct Machine {
     domain_closure: Option<DomainClosure>,
     preempt: Option<PreemptState>,
     forced_alloc_failures: u64,
+    /// Id of the snapshot this machine was last restored from, if any.
+    /// While it matches the snapshot passed to [`Machine::restore`], the
+    /// restore runs incrementally off the address space's dirty tracking
+    /// instead of deep-cloning the space.
+    restored_from: Option<u64>,
 }
 
 /// A PIN-like dynamic tracing hook: observes every data access with the
@@ -184,6 +196,7 @@ impl Machine {
             domain_closure: None,
             preempt: None,
             forced_alloc_failures: 0,
+            restored_from: None,
         }
     }
 
@@ -338,17 +351,116 @@ impl Machine {
     }
 
     /// Runs to completion (halt, trap, or fuel exhaustion).
+    ///
+    /// This is [`Machine::run_until`] with an unreachable stop boundary;
+    /// every caller that previously looped on [`Machine::step`] goes
+    /// through the same single execution loop.
     pub fn run(&mut self) -> RunOutcome {
-        loop {
-            match self.step() {
-                Ok(()) => {
-                    if let Some(code) = self.halted {
-                        return RunOutcome::Exited(code);
-                    }
-                }
-                Err(t) => return RunOutcome::Trapped(t),
-            }
+        match self.run_until(u64::MAX) {
+            Ok(()) => RunOutcome::Exited(self.halted.unwrap_or(0)),
+            Err(t) => RunOutcome::Trapped(t),
         }
+    }
+
+    /// The single execution loop: runs until the active thread halts, a
+    /// trap is raised, or `stats.instructions` reaches `stop` (an absolute
+    /// retired-instruction boundary, like event and fuel indices).
+    ///
+    /// Execution proceeds in **event-horizon batches**: each loop
+    /// iteration computes a horizon — the nearest of `stop`, the fuel
+    /// budget and the next scheduled event — and retires whole
+    /// straight-line basic blocks up to it with no per-instruction fuel
+    /// check, event poll or fetch bounds check. Events still land exactly
+    /// at their scheduled boundary: the horizon computation guarantees no
+    /// event is due strictly before it, and everything due *at* a boundary
+    /// fires before the next instruction executes, exactly as the
+    /// per-instruction [`Machine::step`] path does. (Events due exactly at
+    /// `stop` fire at the start of the next execution call, matching a
+    /// caller that stops stepping at `stop`.) During an in-flight forced
+    /// preemption the machine drops to per-instruction stepping, because
+    /// the quantum counts down per retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] that ended the run, including
+    /// [`Trap::OutOfFuel`] once `stats.instructions` reaches the fuel
+    /// budget with the machine still running.
+    pub fn run_until(&mut self, stop: u64) -> Result<(), Trap> {
+        while self.halted.is_none() && self.stats.instructions < stop {
+            if self.stats.instructions >= self.fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            if self.events.is_some() {
+                self.poll_events()?;
+            }
+            if self.preempt.is_some() {
+                // Forced preemption: the quantum is per-instruction state,
+                // so tick it the way the slow path always has.
+                self.step_slow()?;
+                continue;
+            }
+            let mut horizon = stop.min(self.fuel);
+            if let Some(at) = self.events.as_ref().and_then(EventSchedule::next_at) {
+                // poll_events drained everything due at the current
+                // boundary, so `at` is strictly ahead of us.
+                horizon = horizon.min(at);
+            }
+            self.run_blocks(horizon)?;
+        }
+        Ok(())
+    }
+
+    /// The tight inner loop: retires whole basic blocks until the machine
+    /// halts or `stats.instructions` reaches `horizon`. The caller
+    /// guarantees no event is due and no preemption is in flight before
+    /// `horizon`, and that `horizon <= fuel`.
+    fn run_blocks(&mut self, horizon: u64) -> Result<(), Trap> {
+        // The decoded code is immutable during execution but the borrow
+        // checker cannot see that through `&mut self`; park it locally for
+        // the duration of the batch. `exec_op` never touches `self.code`.
+        let code = std::mem::take(&mut self.code);
+        let r = self.run_blocks_inner(&code, horizon);
+        self.code = code;
+        r
+    }
+
+    fn run_blocks_inner(&mut self, code: &[DecodedFunction], horizon: u64) -> Result<(), Trap> {
+        while self.halted.is_none() && self.stats.instructions < horizon {
+            let func = self.pc.func;
+            let start = self.pc.index as usize;
+            let f = match code.get(func.0 as usize) {
+                Some(f) if start < f.insts.len() => f,
+                _ => {
+                    return Err(Trap::BadCodePointer {
+                        value: self.pc.encode(),
+                    })
+                }
+            };
+            // One bounds decision per block: run to the block terminator,
+            // or to the horizon if it cuts the block short (the truncated
+            // slice then contains only straight-line ops).
+            let budget = horizon - self.stats.instructions;
+            let mut end = f.block_ends[start] as usize;
+            if (end - start) as u64 > budget {
+                end = start + budget as usize;
+            }
+            // `stats.instructions` is not observable mid-block (no event
+            // poll, fuel check or handler runs inside the slice), so the
+            // counter is settled once per block — per-instruction on a
+            // trap exit, in one add on the straight-line exit. Cycle
+            // accumulation order is untouched: bit-identity of the f64
+            // total requires the same adds in the same sequence.
+            for (i, d) in f.insts[start..end].iter().enumerate() {
+                self.pc.index += 1;
+                self.stats.cycles += d.cost;
+                if let Err(t) = self.exec_op(func, &d.op) {
+                    self.stats.instructions += i as u64 + 1;
+                    return Err(t);
+                }
+            }
+            self.stats.instructions += (end - start) as u64;
+        }
+        Ok(())
     }
 
     fn push_u64(&mut self, value: u64) -> Result<(), Trap> {
@@ -404,6 +516,17 @@ impl Machine {
     }
 
     /// Executes one instruction from the pre-decoded stream.
+    ///
+    /// Semantically one iteration of the horizon executor with a
+    /// one-instruction horizon: fuel check, event poll, fetch, execute,
+    /// preemption tick — in exactly that order. [`Machine::run_until`] is
+    /// bit-for-bit equivalent to looping on `step` (property-tested in
+    /// `tests/properties.rs`); `step` remains for callers that need
+    /// per-instruction observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the instruction (or a delivered event) raised.
     pub fn step(&mut self) -> Result<(), Trap> {
         if self.stats.instructions >= self.fuel {
             return Err(Trap::OutOfFuel);
@@ -411,11 +534,17 @@ impl Machine {
         if self.events.is_some() {
             self.poll_events()?;
         }
+        self.step_slow()
+    }
+
+    /// Fetch + execute + preemption tick for one instruction, with no
+    /// fuel or event consultation (the caller has already done both).
+    fn step_slow(&mut self) -> Result<(), Trap> {
         let func = self.pc.func;
         let decoded = match self
             .code
             .get(func.0 as usize)
-            .and_then(|body| body.get(self.pc.index as usize))
+            .and_then(|f| f.insts.get(self.pc.index as usize))
         {
             Some(d) => *d,
             None => {
@@ -427,9 +556,19 @@ impl Machine {
         self.pc.index += 1;
         self.stats.instructions += 1;
         self.stats.cycles += decoded.cost;
+        self.exec_op(func, &decoded.op)?;
+        if self.preempt.is_some() {
+            self.tick_preempt();
+        }
+        Ok(())
+    }
 
+    /// Executes one already-fetched instruction. `pc.index` has been
+    /// advanced past it and its static cost charged; `func` is the
+    /// function it was fetched from (for tracer code addresses).
+    fn exec_op(&mut self, func: FuncId, op: &DecodedOp) -> Result<(), Trap> {
         let mut next_masked = None;
-        match decoded.op {
+        match *op {
             DecodedOp::MovImm { dst, imm } => self.regs[dst.index()] = imm,
             DecodedOp::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
             DecodedOp::Lea { dst, base, offset } => {
@@ -691,9 +830,6 @@ impl Machine {
             }
         }
         self.last_masked = next_masked;
-        if self.preempt.is_some() {
-            self.tick_preempt();
-        }
         Ok(())
     }
 
@@ -739,6 +875,13 @@ impl Machine {
     /// Injected events not yet fired (0 when no schedule is installed).
     pub fn pending_events(&self) -> usize {
         self.events.as_ref().map_or(0, EventSchedule::remaining)
+    }
+
+    /// Whether a forced preemption is in flight (a sibling thread is
+    /// running out an injected quantum). Sweep harnesses use this to tell
+    /// when an injected event has fully resolved.
+    pub fn preempt_active(&self) -> bool {
+        self.preempt.is_some()
     }
 
     /// Fires every event due at the current instruction boundary.
@@ -965,6 +1108,7 @@ impl Machine {
     /// constant or cost-inert, and stay on the machine across restores.
     pub fn snapshot(&self) -> MachineSnapshot {
         MachineSnapshot {
+            id: NEXT_SNAPSHOT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             space: self.space.clone(),
             regs: self.regs,
             bnd: self.bnd,
@@ -989,8 +1133,26 @@ impl Machine {
     /// event schedule, live signal frames, in-flight preemption) is
     /// cleared; install a fresh schedule after restoring to sweep the next
     /// injection point.
+    ///
+    /// Consecutive restores from the *same* snapshot — the checkpoint-
+    /// served fault sweep restores from one checkpoint for a whole run of
+    /// adjacent injection offsets — take an incremental path: the first
+    /// restore deep-clones the address space and starts dirty tracking on
+    /// it, and each subsequent restore copies back only the physical
+    /// frames and cache sets touched since ([`AddressSpace::restore_from`]),
+    /// instead of reallocating the whole hierarchy. Both paths leave the
+    /// machine in bit-identical state; the dirty tracking is sound
+    /// because every in-tree mutation of the space goes through
+    /// `AddressSpace` methods (syscall and hypercall handlers receive
+    /// `&mut AddressSpace`, not raw parts).
     pub fn restore(&mut self, snap: &MachineSnapshot) {
-        self.space = snap.space.clone();
+        if self.restored_from == Some(snap.id) {
+            self.space.restore_from(&snap.space);
+        } else {
+            self.space = snap.space.clone();
+            self.space.start_restore_tracking();
+            self.restored_from = Some(snap.id);
+        }
         self.regs = snap.regs;
         self.bnd = snap.bnd;
         self.pc = snap.pc;
@@ -1019,6 +1181,7 @@ impl Machine {
 /// [`Machine::snapshot`], consumed (repeatedly) by [`Machine::restore`].
 #[derive(Debug)]
 pub struct MachineSnapshot {
+    id: u64,
     space: AddressSpace,
     regs: [u64; 16],
     bnd: [(u64, u64); 4],
@@ -2053,5 +2216,359 @@ mod tests {
         m.restore(&snap);
         assert_eq!(m.run().expect_exit(), 55);
         assert_eq!(*m.stats(), golden, "restore + continue must reproduce");
+    }
+
+    #[test]
+    fn incremental_restore_is_bit_identical_to_full_restore() {
+        // Two machines built identically, snapshotted at the same point.
+        // `a` restores from its snapshot twice — the second restore takes
+        // the incremental dirty-tracked path — while `b2` performs a
+        // single full (deep-clone) restore from an equivalent snapshot.
+        // Their post-run states must be indistinguishable.
+        let mut a = equivalence_machine(3, None);
+        let mut b = equivalence_machine(3, None);
+        for _ in 0..5 {
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        let snap_a = a.snapshot();
+        let snap_b = b.snapshot();
+
+        a.restore(&snap_a); // full clone, starts dirty tracking
+        let _ = a.run(); // dirties frames, cache sets, TLB, stats
+        assert_eq!(a.restored_from, Some(snap_a.id));
+        a.restore(&snap_a); // incremental path
+        let _ = a.run();
+
+        let mut b2 = equivalence_machine(3, None);
+        b2.restore(&snap_b); // id mismatch on a fresh machine: full clone
+        let _ = b2.run();
+
+        assert_machines_identical(&a, &b2, "incremental vs full restore");
+        let mut mem_a = [0u8; 64];
+        let mut mem_b = [0u8; 64];
+        assert!(a.space.peek(VirtAddr(SCRATCH), &mut mem_a));
+        assert!(b2.space.peek(VirtAddr(SCRATCH), &mut mem_b));
+        assert_eq!(mem_a, mem_b, "scratch memory after incremental restore");
+    }
+
+    // --- horizon executor ⇔ per-step equivalence ---------------------------
+
+    /// Deterministic xorshift stream for the randomized equivalence
+    /// tests (no external RNG dependency, reproducible failures).
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    const SCRATCH: u64 = 0x20_0000;
+
+    /// A random but always-terminating program: a bounded loop of random
+    /// straight-line ops (including masking ALU ops for the SFI
+    /// dependency path and loads/stores), an optional call, plus a
+    /// hostile-ish signal handler and a sibling thread for injections.
+    fn random_program(seed: u64) -> Program {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SCRATCH,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 2 + xorshift(&mut s) % 5,
+        });
+        b.push(Inst::MovImm {
+            dst: Reg::Rdx,
+            imm: 0,
+        });
+        let top = b.new_label();
+        b.bind(top);
+        for _ in 0..1 + xorshift(&mut s) % 6 {
+            match xorshift(&mut s) % 6 {
+                0 => b.push(Inst::MovImm {
+                    dst: Reg::Rax,
+                    imm: xorshift(&mut s) % 1000,
+                }),
+                1 => b.push(Inst::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    imm: 3,
+                }),
+                // `And` marks the register masked: the following load (if
+                // any) takes the SFI dependency charge in both executors.
+                2 => b.push(Inst::AluImm {
+                    op: AluOp::And,
+                    dst: Reg::Rbx,
+                    imm: !0xfff | SCRATCH,
+                }),
+                3 => b.push(Inst::Load {
+                    dst: Reg::R8,
+                    addr: Reg::Rbx,
+                    offset: (xorshift(&mut s) % 64 * 8) as i64,
+                }),
+                4 => b.push(Inst::Store {
+                    src: Reg::Rax,
+                    addr: Reg::Rbx,
+                    offset: (xorshift(&mut s) % 64 * 8) as i64,
+                }),
+                _ => b.push(Inst::Nop),
+            };
+        }
+        if xorshift(&mut s) % 2 == 0 {
+            b.push(Inst::Call(FuncId(1)));
+        }
+        b.push(Inst::AluImm {
+            op: AluOp::Sub,
+            dst: Reg::Rcx,
+            imm: 1,
+        });
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rcx,
+            b: Reg::Rdx,
+            target: top,
+        });
+        b.push(Inst::Mov {
+            dst: Reg::Rax,
+            src: Reg::Rcx,
+        });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+
+        let mut helper = FunctionBuilder::new("helper");
+        helper.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::R9,
+            imm: 1,
+        });
+        helper.push(Inst::Ret);
+        p.add_function(helper.finish());
+
+        // Handler reads through the interrupted rbx: at boundary 0 that is
+        // still 0, so early deliveries trap — in both executors alike.
+        let mut h = FunctionBuilder::new("handler");
+        h.push(Inst::Load {
+            dst: Reg::R10,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        h.push(Inst::Syscall {
+            nr: crate::kernel::nr::SIGRETURN,
+        });
+        h.push(Inst::Halt);
+        p.add_function(h.finish());
+
+        let mut w = FunctionBuilder::new("sibling");
+        w.push(Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: SCRATCH,
+        });
+        w.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 8,
+        });
+        w.push(Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        w.push(Inst::Store {
+            src: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 8,
+        });
+        w.push(Inst::Halt);
+        p.add_function(w.finish());
+        p
+    }
+
+    fn equivalence_machine(seed: u64, schedule: Option<EventSchedule>) -> Machine {
+        let mut m = Machine::new(random_program(seed));
+        m.space
+            .map_region(VirtAddr(SCRATCH), 4096, PageFlags::rw());
+        m.spawn_thread(FuncId(3), [0; 3]);
+        m.set_signal_policy(SignalPolicy {
+            handler: FuncId(2),
+            scrub: false,
+        });
+        if let Some(s) = schedule {
+            m.set_event_schedule(s);
+        }
+        m
+    }
+
+    /// The reference executor the horizon path must match bit-for-bit:
+    /// the historical per-instruction driver.
+    fn run_stepping(m: &mut Machine) -> RunOutcome {
+        loop {
+            match m.step() {
+                Ok(()) => {
+                    if let Some(code) = m.halted {
+                        return RunOutcome::Exited(code);
+                    }
+                }
+                Err(t) => return RunOutcome::Trapped(t),
+            }
+        }
+    }
+
+    #[track_caller]
+    fn assert_machines_identical(a: &Machine, b: &Machine, ctx: &str) {
+        assert_eq!(a.stats, b.stats, "stats diverge: {ctx}");
+        assert_eq!(
+            a.stats.cycles.to_bits(),
+            b.stats.cycles.to_bits(),
+            "cycle bits diverge: {ctx}"
+        );
+        assert_eq!(a.regs, b.regs, "registers diverge: {ctx}");
+        assert_eq!(a.pc, b.pc, "pc diverges: {ctx}");
+        assert_eq!(a.halted, b.halted, "halt state diverges: {ctx}");
+        assert_eq!(a.space.pkru, b.space.pkru, "pkru diverges: {ctx}");
+        assert_eq!(a.last_masked, b.last_masked, "last_masked diverges: {ctx}");
+        assert_eq!(a.active_thread, b.active_thread, "thread diverges: {ctx}");
+    }
+
+    #[test]
+    fn horizon_execution_matches_stepping_with_events_everywhere() {
+        // Sweep every event kind into *every* boundary of each random
+        // program — including boundary 0 (before the first instruction),
+        // block boundaries, the final instruction, and past the halt —
+        // and require the batched executor to match the per-step driver
+        // on exact stats, registers, pc and outcome.
+        for seed in 0..6u64 {
+            let mut clean = equivalence_machine(seed, None);
+            let n = match clean.run() {
+                RunOutcome::Exited(_) => clean.stats.instructions,
+                RunOutcome::Trapped(t) => panic!("clean run trapped: {t} (seed {seed})"),
+            };
+            for at in 0..=n + 2 {
+                for kind in 0..4u64 {
+                    let action = match kind {
+                        0 => EventAction::Signal,
+                        1 => EventAction::Write {
+                            addr: SCRATCH + 16,
+                            value: at,
+                        },
+                        2 => EventAction::FailAllocs { count: 1 },
+                        _ => EventAction::Preempt {
+                            to: 1,
+                            quantum: 3,
+                            scrub: at % 2 == 0,
+                        },
+                    };
+                    let schedule = EventSchedule::at(at, action);
+                    let mut fast = equivalence_machine(seed, Some(schedule.clone()));
+                    let mut slow = equivalence_machine(seed, Some(schedule));
+                    let ra = fast.run();
+                    let rb = run_stepping(&mut slow);
+                    let ctx = format!("seed {seed} at {at} kind {kind}");
+                    assert_eq!(ra, rb, "outcome diverges: {ctx}");
+                    assert_machines_identical(&fast, &slow, &ctx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_execution_matches_stepping_with_stacked_events() {
+        // Multiple events, including ties on one boundary and one past
+        // the halt.
+        for seed in 0..6u64 {
+            let mut clean = equivalence_machine(seed, None);
+            clean.run().expect_exit();
+            let n = clean.stats.instructions;
+            let events = vec![
+                crate::events::Event {
+                    at: 0,
+                    action: EventAction::Write {
+                        addr: SCRATCH,
+                        value: 7,
+                    },
+                },
+                crate::events::Event {
+                    at: n / 2,
+                    action: EventAction::Signal,
+                },
+                crate::events::Event {
+                    at: n / 2,
+                    action: EventAction::FailAllocs { count: 2 },
+                },
+                crate::events::Event {
+                    at: n.saturating_sub(1),
+                    action: EventAction::Preempt {
+                        to: 1,
+                        quantum: 5,
+                        scrub: false,
+                    },
+                },
+                crate::events::Event {
+                    at: n + 10,
+                    action: EventAction::Signal,
+                },
+            ];
+            let mut fast = equivalence_machine(seed, Some(EventSchedule::new(events.clone())));
+            let mut slow = equivalence_machine(seed, Some(EventSchedule::new(events)));
+            let ra = fast.run();
+            let rb = run_stepping(&mut slow);
+            let ctx = format!("seed {seed} stacked");
+            assert_eq!(ra, rb, "outcome diverges: {ctx}");
+            assert_machines_identical(&fast, &slow, &ctx);
+            assert_eq!(fast.pending_events(), slow.pending_events(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn horizon_fuel_exhaustion_matches_stepping() {
+        for seed in 0..4u64 {
+            let mut clean = equivalence_machine(seed, None);
+            clean.run().expect_exit();
+            let n = clean.stats.instructions;
+            for fuel in [0, 1, n / 2, n.saturating_sub(1), n, n + 5] {
+                let mut fast = equivalence_machine(seed, None);
+                let mut slow = equivalence_machine(seed, None);
+                fast.set_fuel(fuel);
+                slow.set_fuel(fuel);
+                let ra = fast.run();
+                let rb = run_stepping(&mut slow);
+                let ctx = format!("seed {seed} fuel {fuel}");
+                assert_eq!(ra, rb, "outcome diverges: {ctx}");
+                assert_machines_identical(&fast, &slow, &ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_stops_exactly_at_the_boundary() {
+        let mut m = equivalence_machine(1, None);
+        m.run_until(5).unwrap();
+        assert_eq!(m.stats.instructions, 5);
+        // An event due exactly at the stop boundary has not fired yet...
+        m.set_event_schedule(EventSchedule::at(5, EventAction::Write {
+            addr: SCRATCH + 32,
+            value: 9,
+        }));
+        assert_eq!(m.pending_events(), 1);
+        // ...and fires before the next instruction once execution resumes.
+        m.run_until(6).unwrap();
+        assert_eq!(m.pending_events(), 0);
+        assert_eq!(m.stats.instructions, 6);
+        let mut buf = [0u8; 8];
+        m.space.peek(VirtAddr(SCRATCH + 32), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 9);
+    }
+
+    #[test]
+    fn run_until_at_current_boundary_is_a_no_op() {
+        let mut m = equivalence_machine(2, None);
+        m.run_until(3).unwrap();
+        let stats = m.stats;
+        m.run_until(3).unwrap();
+        m.run_until(2).unwrap();
+        assert_eq!(m.stats, stats);
     }
 }

@@ -148,13 +148,12 @@ impl Machine {
                     continue;
                 }
                 all_done = false;
-                for _ in 0..quantum {
-                    if self.is_halted() {
-                        break;
-                    }
-                    if let Err(t) = self.step() {
-                        return RunOutcome::Trapped(t);
-                    }
+                // One quantum through the single execution loop: runs at
+                // block speed until the thread halts or the quantum's
+                // instruction boundary is reached.
+                let target = self.stats().instructions.saturating_add(quantum);
+                if let Err(t) = self.run_until(target) {
+                    return RunOutcome::Trapped(t);
                 }
             }
             if all_done {

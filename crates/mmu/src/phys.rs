@@ -19,6 +19,15 @@ pub struct PhysMemory {
     materialized: usize,
     next_free_pfn: u64,
     frame_limit: Option<u64>,
+    /// Dirty-frame tracking for [`Self::restore_from`]: while `tracking`
+    /// is on, every frame handed out by `frame_mut` (i.e. every frame a
+    /// read, write or allocation touches) is recorded in `dirty`, with
+    /// `dirty_bits` deduplicating the list. The fields are bookkeeping,
+    /// not memory contents — two memories with equal frames are
+    /// semantically equal regardless of their tracking state.
+    tracking: bool,
+    dirty: Vec<u64>,
+    dirty_bits: Vec<u64>,
 }
 
 impl PhysMemory {
@@ -30,7 +39,53 @@ impl PhysMemory {
             materialized: 0,
             next_free_pfn: 1,
             frame_limit: None,
+            tracking: false,
+            dirty: Vec::new(),
+            dirty_bits: Vec::new(),
         }
+    }
+
+    /// Starts (or restarts) dirty-frame tracking: the dirty list is
+    /// cleared and every frame touched from now on is recorded, so a
+    /// later [`Self::restore_from`] can rewind by copying only those
+    /// frames. Call this at the moment `self` is byte-identical to the
+    /// memory it will later be rewound to.
+    pub fn start_tracking(&mut self) {
+        self.tracking = true;
+        for w in &mut self.dirty_bits {
+            *w = 0;
+        }
+        self.dirty.clear();
+    }
+
+    /// Rewinds `self` to the state of `src` by copying back only the
+    /// frames dirtied since [`Self::start_tracking`] (or the previous
+    /// `restore_from`) — the incremental counterpart of a full clone.
+    ///
+    /// Correctness precondition: `self` was byte-identical to `src` when
+    /// tracking last (re)started and has only been mutated through this
+    /// type's methods since; every such mutation passes through
+    /// `frame_mut` and is therefore in the dirty list. The dirty list is
+    /// cleared afterwards, so consecutive rewinds to the same `src` keep
+    /// working.
+    pub fn restore_from(&mut self, src: &PhysMemory) {
+        for i in 0..self.dirty.len() {
+            let idx = self.dirty[i] as usize;
+            match src.frames.get(idx).and_then(|s| s.as_deref()) {
+                Some(sf) => match &mut self.frames[idx] {
+                    Some(f) => f.copy_from_slice(sf),
+                    slot => *slot = Some(Box::from(sf)),
+                },
+                None => self.frames[idx] = None,
+            }
+        }
+        for w in &mut self.dirty_bits {
+            *w = 0;
+        }
+        self.dirty.clear();
+        self.materialized = src.materialized;
+        self.next_free_pfn = src.next_free_pfn;
+        self.frame_limit = src.frame_limit;
     }
 
     /// Caps the bump allocator at `limit` frames total (counting the
@@ -79,8 +134,20 @@ impl PhysMemory {
         self.materialized
     }
 
+    #[inline]
     fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
         let idx = pfn as usize;
+        if self.tracking {
+            let w = idx >> 6;
+            if w >= self.dirty_bits.len() {
+                self.dirty_bits.resize(w + 1, 0);
+            }
+            let bit = 1u64 << (idx & 63);
+            if self.dirty_bits[w] & bit == 0 {
+                self.dirty_bits[w] |= bit;
+                self.dirty.push(pfn);
+            }
+        }
         if idx >= self.frames.len() {
             self.frames.resize_with(idx + 1, || None);
         }
@@ -118,8 +185,20 @@ impl PhysMemory {
     }
 
     /// Reads a little-endian u64 at `addr`.
+    #[inline]
     pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
         if addr.frame_offset() <= PAGE_SIZE - 8 {
+            // A pure read of an already-materialized frame changes no
+            // state, so it can skip `frame_mut`'s dirty-tracking and
+            // materialization bookkeeping entirely.
+            if let Some(Some(frame)) = self.frames.get(addr.pfn() as usize) {
+                let off = addr.frame_offset() as usize;
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&frame[off..off + 8]);
+                return u64::from_le_bytes(buf);
+            }
+            // Unmaterialized: demand-materialize (a state change, so it
+            // goes through the tracked accessor) and read the zeros.
             let off = addr.frame_offset() as usize;
             let frame = self.frame_mut(addr.pfn());
             let mut buf = [0u8; 8];
@@ -133,6 +212,7 @@ impl PhysMemory {
     }
 
     /// Writes a little-endian u64 at `addr`.
+    #[inline]
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
         if addr.frame_offset() <= PAGE_SIZE - 8 {
             let off = addr.frame_offset() as usize;
@@ -229,6 +309,50 @@ mod tests {
         let mut pm = PhysMemory::new();
         pm.set_frame_limit(Some(1));
         pm.alloc_frame();
+    }
+
+    #[test]
+    fn tracked_restore_rewinds_exactly_to_the_source() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc_frame();
+        let b = pm.alloc_frame();
+        pm.write(a, b"before");
+        let src = pm.clone();
+        pm.start_tracking();
+
+        // Mutate existing frames, materialize a new one, and move the
+        // allocator cursor; the delta restore must revert all of it.
+        pm.write(a, b"mutated");
+        pm.write(b, &[9u8; 64]);
+        pm.write(PhysAddr(77 << 12), &[1]);
+        pm.alloc_frame();
+        pm.restore_from(&src);
+
+        let mut buf = [0u8; 6];
+        pm.read(a, &mut buf);
+        assert_eq!(&buf, b"before");
+        let mut buf = [0u8; 64];
+        pm.read(b, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+        assert_eq!(pm.next_free_pfn, src.next_free_pfn);
+        // The demand-touched frame 77 is de-materialized again (the reads
+        // above only touched the already-materialized a and b).
+        assert_eq!(pm.frame_count(), src.frame_count());
+    }
+
+    #[test]
+    fn repeated_tracked_restores_keep_working() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc_frame();
+        pm.write_u64(a, 1);
+        let src = pm.clone();
+        pm.start_tracking();
+        for round in 2..6u64 {
+            pm.write_u64(a, round);
+            pm.write(PhysAddr(a.0 + 512), &[round as u8; 16]);
+            pm.restore_from(&src);
+            assert_eq!(pm.read_u64(a), 1, "round {round}");
+        }
     }
 
     #[test]

@@ -35,11 +35,13 @@ impl Pkru {
     }
 
     /// Whether reads (any access) to pages with `key` are disabled.
+    #[inline]
     pub fn access_disabled(self, key: u8) -> bool {
         self.0 & Self::bit(key, false) != 0
     }
 
     /// Whether writes to pages with `key` are disabled.
+    #[inline]
     pub fn write_disabled(self, key: u8) -> bool {
         self.0 & Self::bit(key, true) != 0
     }
@@ -66,6 +68,7 @@ impl Pkru {
     ///
     /// Key 0 is subject to the same bits as the others; the kernel simply
     /// never disables it for ordinary memory.
+    #[inline]
     pub fn permits(self, key: u8, write: bool) -> bool {
         if self.access_disabled(key) {
             return false;

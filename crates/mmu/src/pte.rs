@@ -87,16 +87,19 @@ impl Pte {
     }
 
     /// Whether the entry is present.
+    #[inline]
     pub fn present(self) -> bool {
         self.0 & BIT_PRESENT != 0
     }
 
     /// Physical address this entry points at (frame or next table).
+    #[inline]
     pub fn addr(self) -> PhysAddr {
         PhysAddr(self.0 & ADDR_MASK)
     }
 
     /// Decodes the permission/status flags.
+    #[inline]
     pub fn flags(self) -> PageFlags {
         PageFlags {
             present: self.present(),
@@ -133,6 +136,7 @@ impl Pte {
     }
 
     /// The MPK protection key (0..15) of this page.
+    #[inline]
     pub fn pkey(self) -> u8 {
         ((self.0 & PKEY_MASK) >> PKEY_SHIFT) as u8
     }

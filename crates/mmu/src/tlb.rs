@@ -68,6 +68,7 @@ impl Tlb {
 
     /// Looks up the leaf PTE cached for `vpn` in address space `pcid`,
     /// recording a hit or miss.
+    #[inline]
     pub fn lookup(&mut self, pcid: u16, vpn: u64) -> Option<Pte> {
         let slot = (vpn as usize) % TLB_ENTRIES;
         let e = self.entries[slot];
@@ -81,6 +82,7 @@ impl Tlb {
     }
 
     /// Installs a translation after a successful walk.
+    #[inline]
     pub fn insert(&mut self, pcid: u16, vpn: u64, pte: Pte) {
         let slot = (vpn as usize) % TLB_ENTRIES;
         self.entries[slot] = TlbEntry {
@@ -112,6 +114,15 @@ impl Tlb {
     /// Returns the accumulated statistics.
     pub fn stats(&self) -> TlbStats {
         self.stats
+    }
+
+    /// Copies `src`'s entries and statistics into `self` without
+    /// reallocating (both TLBs have the fixed [`TLB_ENTRIES`] geometry).
+    /// The allocation-free counterpart of `*self = src.clone()`, used by
+    /// the snapshot engine's delta restore.
+    pub fn restore_from(&mut self, src: &Tlb) {
+        self.entries.copy_from_slice(&src.entries);
+        self.stats = src.stats;
     }
 }
 
@@ -184,6 +195,23 @@ mod tests {
         assert_eq!(tlb.stats().page_flushes, 1);
         tlb.flush_page(999); // empty slot
         assert_eq!(tlb.stats().page_flushes, 2);
+    }
+
+    #[test]
+    fn restore_from_copies_entries_and_stats() {
+        let mut src = Tlb::new();
+        src.insert(0, 3, pte());
+        src.lookup(0, 3);
+        src.lookup(0, 4);
+        let mut t = Tlb::new();
+        t.insert(1, 9, pte());
+        t.restore_from(&src);
+        assert_eq!(t.lookup(1, 9), None, "old entry must be gone");
+        // Account for the miss the probe above just recorded.
+        let mut expect = src.stats();
+        expect.misses += 1;
+        assert_eq!(t.stats(), expect);
+        assert_eq!(t.lookup(0, 3), Some(pte()));
     }
 
     #[test]

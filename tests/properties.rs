@@ -377,6 +377,99 @@ proptest! {
         prop_assert_eq!(m.run().expect_exit(), baseline);
     }
 
+    /// The event-horizon block executor (`Machine::run` /
+    /// `Machine::run_until`) retires bit-identical statistics to driving
+    /// the same machine one `step()` at a time, across random programs ×
+    /// random event schedules — events landing on block boundaries, the
+    /// first and last instruction, and past the halt (the in-crate seeded
+    /// twin exhaustively sweeps every boundary; this fuzzes the space).
+    #[test]
+    fn horizon_execution_matches_stepping(
+        ops in proptest::collection::vec((0u8..6, 0u64..64, any::<u64>()), 1..50),
+        events in proptest::collection::vec((0u8..4, 0u64..120), 0..6),
+    ) {
+        use memsentry_repro::cpu::{Event, EventAction, EventSchedule, RunOutcome, SignalPolicy};
+
+        const SCRATCH: u64 = 0x20_0000;
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset }),
+                    1 => b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset }),
+                    2 => b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm }),
+                    // Masking marks rbx for the SFI dependency charge while
+                    // keeping it a valid scratch address.
+                    3 => b.push(Inst::AluImm { op: AluOp::And, dst: Reg::Rbx, imm: !0xfff | SCRATCH }),
+                    4 => b.push(Inst::Call(FuncId(1))),
+                    _ => b.push(Inst::Nop),
+                };
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut helper = FunctionBuilder::new("helper");
+            helper.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+            helper.push(Inst::Ret);
+            p.add_function(helper.finish());
+            let mut handler = FunctionBuilder::new("handler");
+            handler.push(Inst::Load { dst: Reg::R10, addr: Reg::Rbx, offset: 0 });
+            handler.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::SIGRETURN });
+            handler.push(Inst::Halt);
+            p.add_function(handler.finish());
+            let mut sibling = FunctionBuilder::new("sibling");
+            sibling.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            sibling.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: 1 });
+            sibling.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Halt);
+            p.add_function(sibling.finish());
+            p
+        };
+        let schedule = EventSchedule::new(
+            events
+                .iter()
+                .map(|&(kind, at)| Event {
+                    at,
+                    action: match kind {
+                        0 => EventAction::Signal,
+                        1 => EventAction::Write { addr: SCRATCH + 16, value: at },
+                        2 => EventAction::FailAllocs { count: 1 },
+                        _ => EventAction::Preempt { to: 1, quantum: 3, scrub: at % 2 == 0 },
+                    },
+                })
+                .collect(),
+        );
+        let machine = || {
+            let mut m = Machine::new(build());
+            m.space.map_region(VirtAddr(SCRATCH), PAGE_SIZE, PageFlags::rw());
+            m.spawn_thread(FuncId(3), [0; 3]);
+            m.set_signal_policy(SignalPolicy { handler: FuncId(2), scrub: false });
+            m.set_event_schedule(schedule.clone());
+            m
+        };
+        let mut fast = machine();
+        let batched = fast.run();
+        let mut slow = machine();
+        let stepped = loop {
+            match slow.step() {
+                Ok(()) => {
+                    if let Some(code) = slow.exit_code() {
+                        break RunOutcome::Exited(code);
+                    }
+                }
+                Err(t) => break RunOutcome::Trapped(t),
+            }
+        };
+        prop_assert_eq!(batched, stepped);
+        prop_assert_eq!(fast.stats(), slow.stats());
+        prop_assert_eq!(fast.cycles().to_bits(), slow.cycles().to_bits());
+        prop_assert_eq!(fast.pending_events(), slow.pending_events());
+        prop_assert_eq!(fast.signal_depth(), slow.signal_depth());
+    }
+
     /// Every technique's instrumentation is checker-clean on every
     /// workload profile and application: the isolation soundness analyses
     /// never false-positive on programs the shipped passes produce.

@@ -330,13 +330,28 @@ fn build_program(region_base: u64) -> Program {
     p
 }
 
+/// The instrumented campaign victim for `technique` — the exact program
+/// (and therefore the exact domain windows) the fault sweeps drive.
+/// Exposed so the static exposure analysis can bound the same code whose
+/// exposure the campaign measures. Deterministic per technique.
+pub fn victim_program(technique: Technique) -> Result<Program, CampaignError> {
+    let fw = MemSentry::new(technique, 64);
+    instrumented_victim(&fw)
+}
+
+/// The victim program instrumented under an existing framework instance.
+fn instrumented_victim(fw: &MemSentry) -> Result<Program, CampaignError> {
+    let mut program = build_program(fw.layout().base);
+    fw.instrument(&mut program, Application::ProgramData)?;
+    Ok(program)
+}
+
 /// Builds the prepared victim machine: region mapped and protected,
 /// secret planted (through the technique's at-rest representation),
 /// mailbox mapped in every view, hostile reader thread spawned parked.
 fn build_victim(technique: Technique) -> Result<(Machine, MemSentry, usize), CampaignError> {
     let fw = MemSentry::new(technique, 64);
-    let mut program = build_program(fw.layout().base);
-    fw.instrument(&mut program, Application::ProgramData)?;
+    let program = instrumented_victim(&fw)?;
     let mut m = Machine::new(program);
     // Map the mailbox *before* prepare_machine so view-forking techniques
     // (page-table switch) carry it into the secure view too.

@@ -282,6 +282,15 @@ fn main() {
         || memsentry_bench::faults::fault_matrix(&session),
     );
 
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "exposure_static.txt",
+        || memsentry_bench::exposure::exposure_static(&session),
+    );
+
     let wall = started.elapsed().as_secs_f64();
     let sim_instructions = session.sim_instructions();
     let per_sec = sim_instructions as f64 / wall.max(f64::MIN_POSITIVE);

@@ -75,8 +75,10 @@ fn render_row(kind: EventKind, report: &CampaignReport) -> String {
     )
 }
 
-/// One campaign sweep as a memoized auxiliary session cell.
-fn sweep_cell(
+/// One campaign sweep as a memoized auxiliary session cell. Shared with
+/// the static-exposure cross-validation ([`crate::exposure`]), which
+/// pairs each row with its static bound without re-running the sweep.
+pub(crate) fn sweep_cell(
     session: &Session,
     kind: EventKind,
     mode: HandlerMode,

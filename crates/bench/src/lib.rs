@@ -19,12 +19,16 @@
 //! * [`faults`] — the fault-injection matrix: hostile signal handlers
 //!   and preemptions swept into every instruction boundary of each
 //!   technique's domain window (async companion to Table 2).
+//! * [`exposure`] — static exposure-window bounds from the
+//!   `memsentry-check` interprocedural analyzer, cross-validated against
+//!   the fault matrix (static bound must dominate measured exposure).
 //!
 //! Binaries under `src/bin/` print each artifact; `cargo bench` runs the
 //! same computations under Criterion for wall-clock tracking.
 
 pub mod ablation;
 pub mod cli;
+pub mod exposure;
 pub mod extras;
 pub mod faults;
 pub mod figures;

@@ -5,6 +5,10 @@
 //! ISboxing mask (`and reg, MASK`) or an MPX upper-bound check
 //! (`bndcu reg`) establishes it; *any* other write to the register —
 //! including loads into it, moves, and the clobbers of calls — kills it.
+//! Direct calls kill only the callee cone's transitive write set from
+//! [`crate::summary::Summaries`] (indirect calls and world switches
+//! still kill everything), and kernel crossings kill the full
+//! `rax`/`rdi`/`rsi`/`rdx` ABI clobber set rather than `rax` alone.
 //! The join is intersection: a register is checked at a merge point only
 //! if it is checked on every incoming path. An access is accepted only at
 //! displacement 0 from a checked register, because a checked value is
@@ -21,6 +25,7 @@ use memsentry_mmu::addr::{SENSITIVE_BASE, SFI_MASK};
 
 use crate::diag::{Finding, FindingKind};
 use crate::policy::AddressPolicy;
+use crate::summary::{Summaries, KERNEL_CLOBBERS};
 
 /// The ISboxing truncation mask (32-bit address-size prefix). Mirrors
 /// `memsentry_passes::address::ISBOXING_MASK`, which this crate cannot
@@ -53,23 +58,10 @@ impl JoinLattice for Checked {
     }
 }
 
-/// The register `inst` writes, for kill purposes (`None` when it writes
-/// no general-purpose register).
-fn written_reg(inst: &Inst) -> Option<Reg> {
-    match *inst {
-        Inst::MovImm { dst, .. }
-        | Inst::Mov { dst, .. }
-        | Inst::Lea { dst, .. }
-        | Inst::AluReg { dst, .. }
-        | Inst::AluImm { dst, .. }
-        | Inst::Load { dst, .. }
-        | Inst::RdPkru { dst } => Some(dst),
-        _ => None,
-    }
-}
+use crate::summary::written_reg;
 
 /// Applies one instruction to the checked state.
-fn transfer(state: &mut Checked, inst: &Inst) {
+fn transfer(state: &mut Checked, inst: &Inst, summaries: &Summaries) {
     match *inst {
         // A masking AND establishes the fact...
         Inst::AluImm {
@@ -80,12 +72,31 @@ fn transfer(state: &mut Checked, inst: &Inst) {
         // ...a bound check proves the register without modifying it...
         Inst::BndCu { reg, .. } => state.set(reg),
         Inst::BndCl { .. } | Inst::BndMk { .. } => {}
-        // ...calls and world switches may rewrite anything...
-        Inst::Call(_) | Inst::CallIndirect { .. } | Inst::SgxEnter | Inst::SgxExit => {
+        // ...a direct call kills exactly what its summary says the callee
+        // cone may write...
+        Inst::Call(f) => {
+            let s = summaries.get(f);
+            if s.writes_all {
+                *state = Checked::NONE;
+            } else {
+                for reg in s.writes.iter() {
+                    state.clear(reg);
+                }
+            }
+        }
+        // ...unknown targets and world switches may rewrite anything...
+        Inst::CallIndirect { .. } | Inst::SgxEnter | Inst::SgxExit => {
             *state = Checked::NONE;
         }
-        // ...the kernel and allocator return in `rax`.
-        Inst::Syscall { .. } | Inst::Alloc { .. } | Inst::VmCall { .. } => state.clear(Reg::Rax),
+        // ...and a kernel crossing clobbers the return register *and* the
+        // argument registers `rdi`/`rsi`/`rdx` (the mprotect-class calls
+        // documented in CLAUDE.md rewrite all four; no syscall promises
+        // to preserve them).
+        Inst::Syscall { .. } | Inst::Alloc { .. } | Inst::Free { .. } | Inst::VmCall { .. } => {
+            for reg in KERNEL_CLOBBERS {
+                state.clear(reg);
+            }
+        }
         _ => {
             if let Some(dst) = written_reg(inst) {
                 state.clear(dst);
@@ -102,6 +113,7 @@ fn walk_block(
     range: (usize, usize),
     entry: Checked,
     mode: AddressPolicy,
+    summaries: &Summaries,
     mut findings: Option<&mut Vec<Finding>>,
 ) -> Checked {
     let mut state = entry;
@@ -127,7 +139,7 @@ fn walk_block(
                 }
             }
         }
-        transfer(&mut state, &node.inst);
+        transfer(&mut state, &node.inst, summaries);
     }
     state
 }
@@ -176,12 +188,22 @@ fn check_function(
     func: FuncId,
     f: &Function,
     mode: AddressPolicy,
+    summaries: &Summaries,
     findings: &mut Vec<Finding>,
 ) {
     let cfg = Cfg::build(f);
     let states = forward_fixpoint(&cfg, Checked::NONE, |block, s| {
         let b = &cfg.blocks[block.0];
-        walk_block(program, func, &f.body, (b.start, b.end), *s, mode, None)
+        walk_block(
+            program,
+            func,
+            &f.body,
+            (b.start, b.end),
+            *s,
+            mode,
+            summaries,
+            None,
+        )
     });
     for (block, entry) in cfg.blocks.iter().zip(&states) {
         let Some(entry) = entry else { continue };
@@ -192,22 +214,33 @@ fn check_function(
             (block.start, block.end),
             *entry,
             mode,
+            summaries,
             Some(findings),
         );
     }
 }
 
-/// Runs the address checker over every non-privileged function.
-pub fn check_addresses(program: &Program, mode: AddressPolicy) -> Vec<Finding> {
+/// Runs the address checker over every non-privileged function, killing
+/// checked facts across direct calls per the callee's summary.
+pub fn check_addresses_with(
+    program: &Program,
+    mode: AddressPolicy,
+    summaries: &Summaries,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (i, f) in program.functions.iter().enumerate() {
         if f.privileged {
             continue;
         }
-        check_function(program, FuncId(i as u32), f, mode, &mut findings);
+        check_function(program, FuncId(i as u32), f, mode, summaries, &mut findings);
     }
     check_bound_setup(program, &mut findings);
     findings
+}
+
+/// Runs the address checker with freshly computed summaries.
+pub fn check_addresses(program: &Program, mode: AddressPolicy) -> Vec<Finding> {
+    check_addresses_with(program, mode, &Summaries::compute(program))
 }
 
 #[cfg(test)]

@@ -77,6 +77,11 @@ pub struct Finding {
     pub inst: String,
     /// Human-readable explanation.
     pub message: String,
+    /// For window findings: the instruction index of the open sequence
+    /// that produced the exposed window, when it is statically known
+    /// (same basic block — always the case for straight-line
+    /// instrumentation).
+    pub window: Option<usize>,
 }
 
 impl Finding {
@@ -96,7 +101,14 @@ impl Finding {
             index,
             inst: format_inst(&f.body[index].inst),
             message: message.into(),
+            window: None,
         }
+    }
+
+    /// Attaches the open-site index of the window this finding exposes.
+    pub fn with_window(mut self, open_site: Option<usize>) -> Self {
+        self.window = open_site;
+        self
     }
 }
 
@@ -106,7 +118,11 @@ impl core::fmt::Display for Finding {
             f,
             "fn{} <{}> @{}: [{}] {}: `{}`",
             self.func.0, self.func_name, self.index, self.kind, self.message, self.inst
-        )
+        )?;
+        if let Some(open) = self.window {
+            write!(f, " (window opened @{open})")?;
+        }
+        Ok(())
     }
 }
 

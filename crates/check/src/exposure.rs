@@ -1,0 +1,543 @@
+//! Static exposure-window bounds: worst-case cycles and event-deliverable
+//! instruction boundaries for every domain window a program opens.
+//!
+//! A verified window still exposes the safe region between its open and
+//! close sequences — a hostile signal or preemption delivered at any
+//! instruction boundary inside it lands with the region accessible. The
+//! fault-injection campaign *measures* that exposure dynamically; this
+//! module *bounds* it statically, per syntactic open site:
+//!
+//! * the bound walks every path from the open sequence until a blessed
+//!   close sequence completes, summing pessimistic per-instruction costs
+//!   from [`memsentry_cpu::cost::CostModel`] (loads charged a full TLB
+//!   walk plus a DRAM miss, syscalls the worst kernel path) and taking
+//!   the maximum over branches;
+//! * a direct call to an `open_safe` callee (see [`crate::summary`])
+//!   contributes the callee's own worst-case body cost, transitively;
+//! * anything that prevents a finite bound — a cycle inside the window,
+//!   a call to a non-open-safe callee, falling off the function, or any
+//!   leak the window checker would flag — yields
+//!   [`ExposureBound::Unbounded`] rather than a wrong number.
+//!
+//! The companion bench artifact (`results/exposure_static.txt`) pairs
+//! these bounds with the measured exposure of the fault matrix and
+//! asserts `static >= measured` for every row.
+
+use std::collections::HashMap;
+
+use memsentry_cpu::cost::CostModel;
+use memsentry_ir::{FuncId, Function, Inst, Program};
+use memsentry_mmu::HitLevel;
+
+use crate::sequence::{match_sequence, SeqKind, SeqTech};
+use crate::summary::Summaries;
+
+/// The static exposure of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExposureBound {
+    /// Every path from the open site reaches a close sequence.
+    Finite {
+        /// Worst-case cycles the region stays accessible.
+        cycles: f64,
+        /// Worst-case count of instruction boundaries inside the window
+        /// where an asynchronous event can be delivered.
+        boundaries: u64,
+    },
+    /// No finite bound (cycle inside the window, non-open-safe call, or
+    /// a path that never closes — the window checker flags those).
+    Unbounded,
+}
+
+impl ExposureBound {
+    /// The bound's cycle count, if finite.
+    pub fn cycles(self) -> Option<f64> {
+        match self {
+            ExposureBound::Finite { cycles, .. } => Some(cycles),
+            ExposureBound::Unbounded => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ExposureBound {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExposureBound::Finite { cycles, boundaries } => {
+                write!(f, "{cycles:.1} cycles / {boundaries} boundaries")
+            }
+            ExposureBound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// One syntactic open site and its bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowExposure {
+    /// Function containing the open sequence.
+    pub func: FuncId,
+    /// Its name, for reports.
+    pub func_name: String,
+    /// Instruction index of the open sequence's first instruction.
+    pub open_at: usize,
+    /// The technique whose sequence opens the window.
+    pub tech: SeqTech,
+    /// The static bound.
+    pub bound: ExposureBound,
+}
+
+/// A (cycles, boundaries) pair; `None` stands for unbounded.
+type Cost = Option<(f64, u64)>;
+
+fn add(a: Cost, cycles: f64, boundaries: u64) -> Cost {
+    a.map(|(c, b)| (c + cycles, b + boundaries))
+}
+
+/// Worst (cycle-wise) of two path costs; unbounded dominates.
+fn worst(a: Cost, b: Cost) -> Cost {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.0 >= y.0 { x } else { y }),
+        _ => None,
+    }
+}
+
+/// Pessimistic cycle charge for one instruction: the static cost plus
+/// every dynamic adder the simulator could apply — a full 4-level page
+/// walk and a DRAM-serviced miss for memory accesses, the SFI mask
+/// dependency for loads, and the worst kernel path for crossings.
+fn worst_cost(cost: &CostModel, inst: &Inst) -> f64 {
+    let dram = cost.miss_penalty(HitLevel::Dram);
+    let base = cost.inst_cost(inst);
+    match inst {
+        Inst::Load { .. } => cost.sfi_load_dependency + 4.0 * cost.walk_per_level + dram + base,
+        Inst::Store { .. } => {
+            4.0 * cost.walk_per_level + cost.store_buffer_exposure * dram + base
+        }
+        Inst::Syscall { .. } => (cost.vmcall - cost.syscall).max(0.0) + cost.mprotect_kernel + base,
+        Inst::VmCall { .. } => cost.mprotect_kernel + base,
+        _ => base,
+    }
+}
+
+/// Per-program memoized exposure solver.
+struct Solver<'a> {
+    program: &'a Program,
+    cost: &'a CostModel,
+    summaries: &'a Summaries,
+    /// Worst cost from (func, index) to the end of the open window.
+    open_memo: HashMap<(u32, usize), Cost>,
+    open_stack: Vec<(u32, usize)>,
+    /// Worst full-body cost of an open-safe callee from (func, index).
+    body_memo: HashMap<(u32, usize), Cost>,
+    body_stack: Vec<(u32, usize)>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(program: &'a Program, cost: &'a CostModel, summaries: &'a Summaries) -> Self {
+        Solver {
+            program,
+            cost,
+            summaries,
+            open_memo: HashMap::new(),
+            open_stack: Vec::new(),
+            body_memo: HashMap::new(),
+            body_stack: Vec::new(),
+        }
+    }
+
+    /// Worst cost from `body[pos]` of `func` until a close sequence
+    /// completes, with the window open throughout.
+    fn open_cost(&mut self, func: FuncId, f: &Function, labels: &HashMap<u32, usize>, pos: usize) -> Cost {
+        let key = (func.0, pos);
+        if let Some(&hit) = self.open_memo.get(&key) {
+            return hit;
+        }
+        if self.open_stack.contains(&key) {
+            // A cycle with the window open: no finite bound.
+            return None;
+        }
+        self.open_stack.push(key);
+        let result = self.open_cost_inner(func, f, labels, pos);
+        self.open_stack.pop();
+        self.open_memo.insert(key, result);
+        result
+    }
+
+    fn open_cost_inner(
+        &mut self,
+        func: FuncId,
+        f: &Function,
+        labels: &HashMap<u32, usize>,
+        pos: usize,
+    ) -> Cost {
+        let body = &f.body;
+        if pos >= body.len() {
+            return None; // Fell off the function with the window open.
+        }
+        if let Some(m) = match_sequence(body, pos, body.len()) {
+            return match m.kind {
+                // The close sequence's own instructions are still inside
+                // the window: the switch lands at its end.
+                SeqKind::Close => Some(self.sequence_cost(body, pos, m.len)),
+                SeqKind::Open => None, // Double open: checker territory.
+            };
+        }
+        let inst = &body[pos].inst;
+        match *inst {
+            Inst::Jmp(l) => {
+                let target = *labels.get(&l.0)? ;
+                let rest = self.open_cost(func, f, labels, target);
+                add(rest, worst_cost(self.cost, inst), 1)
+            }
+            Inst::JmpIf { target, .. } => {
+                let t = *labels.get(&target.0)?;
+                let taken = self.open_cost(func, f, labels, t);
+                let fall = self.open_cost(func, f, labels, pos + 1);
+                add(worst(taken, fall), worst_cost(self.cost, inst), 1)
+            }
+            Inst::Call(callee) if self.summaries.get(callee).open_safe => {
+                let inside = self.body_cost(callee);
+                let rest = self.open_cost(func, f, labels, pos + 1);
+                match (inside, rest) {
+                    (Some((ic, ib)), Some((rc, rb))) => Some((
+                        worst_cost(self.cost, inst) + ic + rc,
+                        1 + ib + rb,
+                    )),
+                    _ => None,
+                }
+            }
+            // Any other control transfer or protection crossing while
+            // open is a leak (the window checker reports it); there is
+            // no meaningful finite bound.
+            Inst::Call(_)
+            | Inst::CallIndirect { .. }
+            | Inst::Ret
+            | Inst::Halt
+            | Inst::Syscall { .. }
+            | Inst::Alloc { .. }
+            | Inst::Free { .. }
+            | Inst::VmCall { .. } => None,
+            _ => {
+                let rest = self.open_cost(func, f, labels, pos + 1);
+                add(rest, worst_cost(self.cost, inst), 1)
+            }
+        }
+    }
+
+    /// Worst cost of the blessed sequence `body[at .. at+len]` itself.
+    fn sequence_cost(&self, body: &[memsentry_ir::InstNode], at: usize, len: usize) -> (f64, u64) {
+        let cycles = body[at..at + len]
+            .iter()
+            .map(|n| worst_cost(self.cost, &n.inst))
+            .sum();
+        (cycles, len as u64)
+    }
+
+    /// Worst-case cost of running `callee` to its `ret`. Only consulted
+    /// for open-safe callees, whose bodies contain no events, domain
+    /// switches or indirect calls; loops still yield `None`.
+    fn body_cost(&mut self, callee: FuncId) -> Cost {
+        let Some(f) = self.program.functions.get(callee.0 as usize) else {
+            return None;
+        };
+        let labels: HashMap<u32, usize> = f
+            .label_table()
+            .into_iter()
+            .map(|(l, i)| (l.0, i as usize))
+            .collect();
+        self.body_cost_at(callee, f, &labels, 0)
+    }
+
+    fn body_cost_at(
+        &mut self,
+        func: FuncId,
+        f: &Function,
+        labels: &HashMap<u32, usize>,
+        pos: usize,
+    ) -> Cost {
+        let key = (func.0, pos);
+        if let Some(&hit) = self.body_memo.get(&key) {
+            return hit;
+        }
+        if self.body_stack.contains(&key) {
+            return None;
+        }
+        self.body_stack.push(key);
+        let result = self.body_cost_at_inner(func, f, labels, pos);
+        self.body_stack.pop();
+        self.body_memo.insert(key, result);
+        result
+    }
+
+    fn body_cost_at_inner(
+        &mut self,
+        func: FuncId,
+        f: &Function,
+        labels: &HashMap<u32, usize>,
+        pos: usize,
+    ) -> Cost {
+        let body = &f.body;
+        if pos >= body.len() {
+            return None;
+        }
+        let inst = &body[pos].inst;
+        match *inst {
+            Inst::Ret => Some((worst_cost(self.cost, inst), 1)),
+            Inst::Jmp(l) => {
+                let target = *labels.get(&l.0)?;
+                let rest = self.body_cost_at(func, f, labels, target);
+                add(rest, worst_cost(self.cost, inst), 1)
+            }
+            Inst::JmpIf { target, .. } => {
+                let t = *labels.get(&target.0)?;
+                let taken = self.body_cost_at(func, f, labels, t);
+                let fall = self.body_cost_at(func, f, labels, pos + 1);
+                add(worst(taken, fall), worst_cost(self.cost, inst), 1)
+            }
+            Inst::Call(callee) => {
+                let inside = self.body_cost(callee);
+                let rest = self.body_cost_at(func, f, labels, pos + 1);
+                match (inside, rest) {
+                    (Some((ic, ib)), Some((rc, rb))) => {
+                        Some((worst_cost(self.cost, inst) + ic + rc, 1 + ib + rb))
+                    }
+                    _ => None,
+                }
+            }
+            // Open-safe bodies cannot contain these; be conservative if
+            // asked anyway.
+            Inst::CallIndirect { .. }
+            | Inst::Halt
+            | Inst::Syscall { .. }
+            | Inst::Alloc { .. }
+            | Inst::Free { .. }
+            | Inst::VmCall { .. } => None,
+            _ => {
+                let rest = self.body_cost_at(func, f, labels, pos + 1);
+                add(rest, worst_cost(self.cost, inst), 1)
+            }
+        }
+    }
+}
+
+/// Enumerates every syntactic open site of `program` and computes its
+/// static exposure bound. The open sequence's own cost is included in
+/// the bound (the switch may land before its final instruction, so this
+/// only ever over-approximates), making the result a sound upper bound
+/// on measured exposure for checker-clean programs.
+pub fn exposure_windows(program: &Program, cost: &CostModel) -> Vec<WindowExposure> {
+    let summaries = Summaries::compute(program);
+    let mut solver = Solver::new(program, cost, &summaries);
+    let mut out = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        let func = FuncId(fi as u32);
+        let labels: HashMap<u32, usize> = f
+            .label_table()
+            .into_iter()
+            .map(|(l, i)| (l.0, i as usize))
+            .collect();
+        let body = &f.body;
+        let mut i = 0;
+        while i < body.len() {
+            let Some(m) = match_sequence(body, i, body.len()) else {
+                i += 1;
+                continue;
+            };
+            if m.kind == SeqKind::Open {
+                let (seq_cycles, seq_boundaries) = solver.sequence_cost(body, i, m.len);
+                let tail = solver.open_cost(func, f, &labels, i + m.len);
+                let bound = match add(tail, seq_cycles, seq_boundaries) {
+                    Some((cycles, boundaries)) => ExposureBound::Finite { cycles, boundaries },
+                    None => ExposureBound::Unbounded,
+                };
+                out.push(WindowExposure {
+                    func,
+                    func_name: f.name.clone(),
+                    open_at: i,
+                    tech: m.tech,
+                    bound,
+                });
+            }
+            i += m.len;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{AluOp, Cond, FunctionBuilder, Inst, Reg};
+
+    fn mpk_open() -> [Inst; 4] {
+        [
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::R9,
+                imm: !0xc,
+            },
+            Inst::WrPkru { src: Reg::R9 },
+            Inst::MFence,
+        ]
+    }
+
+    fn mpk_close() -> [Inst; 4] {
+        [
+            Inst::RdPkru { dst: Reg::R9 },
+            Inst::AluImm {
+                op: AluOp::Or,
+                dst: Reg::R9,
+                imm: 0xc,
+            },
+            Inst::WrPkru { src: Reg::R9 },
+            Inst::MFence,
+        ]
+    }
+
+    fn program_of(body: Vec<Inst>) -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        for inst in body {
+            b.push(inst);
+        }
+        p.add_function(b.finish());
+        p
+    }
+
+    #[test]
+    fn straight_line_window_has_the_summed_bound() {
+        let cost = CostModel::default();
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Nop);
+        body.extend(mpk_close());
+        body.push(Inst::Halt);
+        let windows = exposure_windows(&program_of(body), &cost);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].open_at, 0);
+        assert_eq!(windows[0].tech, SeqTech::Mpk);
+        let ExposureBound::Finite { cycles, boundaries } = windows[0].bound else {
+            panic!("expected finite bound, got {:?}", windows[0].bound);
+        };
+        // Open sequence + nop + close sequence, all straight-line costs.
+        let seq = cost.rdpkru + cost.alu + cost.wrpkru + cost.mfence;
+        let expected = 2.0 * seq + cost.nop;
+        assert!((cycles - expected).abs() < 1e-9, "{cycles} vs {expected}");
+        assert_eq!(boundaries, 9);
+    }
+
+    #[test]
+    fn branchier_path_takes_the_worst_arm() {
+        let cost = CostModel::default();
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let heavy = b.new_label();
+        let join = b.new_label();
+        for i in mpk_open() {
+            b.push(i);
+        }
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rbx,
+            b: Reg::Rbp,
+            target: heavy,
+        });
+        b.push(Inst::Jmp(join));
+        b.bind(heavy);
+        b.push(Inst::Load {
+            dst: Reg::Rax,
+            addr: Reg::Rbx,
+            offset: 0,
+        });
+        b.bind(join);
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let windows = exposure_windows(&p, &cost);
+        assert_eq!(windows.len(), 1);
+        let cycles = windows[0].bound.cycles().expect("finite");
+        // The worst arm carries the fully-pessimized load.
+        let load_worst = worst_cost(
+            &cost,
+            &Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            },
+        );
+        assert!(cycles > load_worst, "{cycles} must include {load_worst}");
+    }
+
+    #[test]
+    fn loop_inside_the_window_is_unbounded() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        let top = b.new_label();
+        for i in mpk_open() {
+            b.push(i);
+        }
+        b.bind(top);
+        b.push(Inst::Nop);
+        b.push(Inst::JmpIf {
+            cond: Cond::Ne,
+            a: Reg::Rbx,
+            b: Reg::Rbp,
+            target: top,
+        });
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let windows = exposure_windows(&p, &CostModel::default());
+        assert_eq!(windows[0].bound, ExposureBound::Unbounded);
+    }
+
+    #[test]
+    fn open_safe_call_contributes_its_body_cost() {
+        let cost = CostModel::default();
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        for i in mpk_open() {
+            b.push(i);
+        }
+        b.push(Inst::Call(FuncId(1)));
+        for i in mpk_close() {
+            b.push(i);
+        }
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut leaf = FunctionBuilder::new("leaf");
+        leaf.push(Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 3,
+        });
+        leaf.push(Inst::Ret);
+        p.add_function(leaf.finish());
+
+        let windows = exposure_windows(&p, &cost);
+        assert_eq!(windows.len(), 1);
+        let cycles = windows[0].bound.cycles().expect("open-safe call is finite");
+        let seq = cost.rdpkru + cost.alu + cost.wrpkru + cost.mfence;
+        let expected = 2.0 * seq + cost.call + cost.mov_imm + cost.ret;
+        assert!((cycles - expected).abs() < 1e-9, "{cycles} vs {expected}");
+    }
+
+    #[test]
+    fn call_to_unsafe_callee_is_unbounded() {
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Call(FuncId(0))); // Self-recursive: never open-safe.
+        body.extend(mpk_close());
+        body.push(Inst::Halt);
+        let windows = exposure_windows(&program_of(body), &CostModel::default());
+        assert_eq!(windows[0].bound, ExposureBound::Unbounded);
+    }
+
+    #[test]
+    fn unclosed_window_is_unbounded() {
+        let mut body: Vec<Inst> = mpk_open().to_vec();
+        body.push(Inst::Halt);
+        let windows = exposure_windows(&program_of(body), &CostModel::default());
+        assert_eq!(windows[0].bound, ExposureBound::Unbounded);
+    }
+}

@@ -1,0 +1,165 @@
+//! Structured (JSON) rendering of checker results for `msentry check
+//! --json`.
+//!
+//! Hand-rolled emission — the schema is small and stable, and the CLI
+//! must not pull a serialization dependency into the measurement path.
+//! The document shape (documented in DESIGN.md):
+//!
+//! ```json
+//! {
+//!   "file": "prog.ms",
+//!   "clean": false,
+//!   "functions": 2,
+//!   "instructions": 12,
+//!   "findings": [
+//!     { "kind": "domain-leak", "function": 0, "function_name": "main",
+//!       "index": 5, "window": 0, "inst": "hlt", "message": "..." }
+//!   ],
+//!   "windows": [
+//!     { "function": 0, "function_name": "main", "open_at": 0,
+//!       "technique": "MPK", "cycles": 201.2, "boundaries": 9 }
+//!   ]
+//! }
+//! ```
+//!
+//! `window` is the open-site instruction index when statically known,
+//! else `null`; an unbounded window has `"cycles": null` and
+//! `"boundaries": null`.
+
+use memsentry_ir::Program;
+
+use crate::diag::CheckReport;
+use crate::exposure::{ExposureBound, WindowExposure};
+
+/// Escapes `s` for a JSON string literal (quotes, backslashes, control
+/// characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full `msentry check --json` document: the report's
+/// findings plus the static exposure bound of every window.
+pub fn check_json(
+    file: &str,
+    program: &Program,
+    report: &CheckReport,
+    windows: &[WindowExposure],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", escape(file)));
+    out.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    out.push_str(&format!(
+        "  \"functions\": {},\n",
+        program.functions.len()
+    ));
+    out.push_str(&format!(
+        "  \"instructions\": {},\n",
+        program.inst_count()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let window = match f.window {
+            Some(w) => w.to_string(),
+            None => "null".into(),
+        };
+        out.push_str(&format!(
+            "    {{ \"kind\": \"{}\", \"function\": {}, \"function_name\": \"{}\", \
+             \"index\": {}, \"window\": {window}, \"inst\": \"{}\", \"message\": \"{}\" }}",
+            f.kind,
+            f.func.0,
+            escape(&f.func_name),
+            f.index,
+            escape(&f.inst),
+            escape(&f.message),
+        ));
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"windows\": [");
+    for (i, w) in windows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let (cycles, boundaries) = match w.bound {
+            ExposureBound::Finite { cycles, boundaries } => {
+                (format!("{cycles:.1}"), boundaries.to_string())
+            }
+            ExposureBound::Unbounded => ("null".into(), "null".into()),
+        };
+        out.push_str(&format!(
+            "    {{ \"function\": {}, \"function_name\": \"{}\", \"open_at\": {}, \
+             \"technique\": \"{}\", \"cycles\": {cycles}, \"boundaries\": {boundaries} }}",
+            w.func.0,
+            escape(&w.func_name),
+            w.open_at,
+            w.tech.name(),
+        ));
+    }
+    out.push_str(if windows.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_program, exposure_windows, CheckPolicy};
+    use memsentry_cpu::cost::CostModel;
+    use memsentry_ir::{FunctionBuilder, Inst, Reg};
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::WrPkru { src: Reg::Rax });
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        p
+    }
+
+    #[test]
+    fn renders_findings_with_locations() {
+        let p = program();
+        let report = check_program(&p, &CheckPolicy::universal());
+        let windows = exposure_windows(&p, &CostModel::default());
+        let json = check_json("demo.ms", &p, &report, &windows);
+        assert!(json.contains("\"file\": \"demo.ms\""), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"kind\": \"stray-domain-switch\""), "{json}");
+        assert!(json.contains("\"function\": 0"), "{json}");
+        assert!(json.contains("\"index\": 0"), "{json}");
+        assert!(json.contains("\"window\": null"), "{json}");
+        assert!(json.contains("\"windows\": []"), "{json}");
+    }
+
+    #[test]
+    fn clean_program_renders_empty_findings() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let report = check_program(&p, &CheckPolicy::universal());
+        let json = check_json("ok.ms", &p, &report, &[]);
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"findings\": [],"), "{json}");
+    }
+
+    #[test]
+    fn escapes_quotes_and_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -28,13 +28,22 @@
 //!   of its address register, with no intervening clobber. Opt-in via
 //!   [`CheckPolicy`], since uninstrumented programs legitimately fail it.
 //!
-//! Known incompleteness (documented, deliberate): the analyses are
-//! intra-procedural (calls conservatively kill checked-address facts and
-//! must occur with the window closed, so no cross-function state
-//! arises); blessed sequences are matched structurally, so immediates —
-//! pkey masks, region bases, view ids — are not compared against a
-//! layout; and liveness of `rbx`/`rbp`/`r12` is assumed rather than
-//! computed, matching the repo's documented register discipline.
+//! The window and address analyses are *interprocedural*: a call graph
+//! ([`memsentry_ir::CallGraph`]) and bottom-up per-function summaries
+//! ([`summary`]) let a window legally span a direct call into a callee
+//! whose summary proves it neither switches domains nor leaves
+//! instrumented code, and let calls kill only the checked-address facts
+//! the callee cone can actually write. Recursion and indirect calls stay
+//! conservative: never open-safe, writes-everything. On top of the
+//! verified windows, [`exposure`] computes a static worst-case
+//! cycle-weighted exposure bound per window, cross-validated against
+//! measured exposure from the fault-injection campaign.
+//!
+//! Known incompleteness (documented, deliberate): blessed sequences are
+//! matched structurally, so immediates — pkey masks, region bases, view
+//! ids — are not compared against a layout; and liveness of
+//! `rbx`/`rbp`/`r12` is assumed rather than computed, matching the
+//! repo's documented register discipline.
 //!
 //! # Example
 //!
@@ -54,22 +63,31 @@
 
 pub mod address;
 pub mod diag;
+pub mod exposure;
+pub mod json;
 pub mod policy;
 pub mod sequence;
+pub mod summary;
 pub mod window;
 
 pub use diag::{CheckReport, Finding, FindingKind};
+pub use exposure::{exposure_windows, ExposureBound, WindowExposure};
+pub use json::check_json;
 pub use policy::{AddressPolicy, CheckPolicy};
 pub use sequence::{match_sequence, SeqKind, SeqMatch, SeqTech};
+pub use summary::{FuncSummary, Summaries};
 
 use memsentry_ir::Program;
 
 /// Runs every analysis selected by `policy` and returns the combined
-/// report, ordered by function and instruction index.
+/// report, ordered by function and instruction index. Per-function
+/// summaries are computed once and shared by the window and address
+/// analyses.
 pub fn check_program(program: &Program, policy: &CheckPolicy) -> CheckReport {
-    let mut findings = window::check_windows(program);
+    let summaries = Summaries::compute(program);
+    let mut findings = window::check_windows_with(program, &summaries);
     if let Some(mode) = policy.address {
-        findings.extend(address::check_addresses(program, mode));
+        findings.extend(address::check_addresses_with(program, mode, &summaries));
     }
     findings.sort_by_key(|f| (f.func, f.index, f.kind));
     CheckReport { findings }

@@ -1,0 +1,348 @@
+//! Per-function domain-window summaries for interprocedural checking.
+//!
+//! The intraprocedural checker had one blanket rule: any call while the
+//! window is open is a [`crate::FindingKind::DomainLeak`]. That is sound
+//! but rejects legitimate instrumentation layouts — a leaf helper called
+//! from inside an open window leaks nothing if it neither switches
+//! domains nor leaves instrumented code. This module computes, bottom-up
+//! over [`memsentry_ir::CallGraph`], the facts the callers need:
+//!
+//! * **`open_safe`** — the function may execute while the caller's window
+//!   is open: it contains no domain-switch or key-reload instruction (so
+//!   it can neither widen nor close the caller's window), no syscall,
+//!   allocator call, `hlt` or indirect call (so control never leaves
+//!   instrumented code while the region is exposed), it is not
+//!   (mutually) recursive, and every direct callee is itself
+//!   `open_safe`. The window checker then permits `call f` inside a
+//!   window exactly when `f` is `open_safe`.
+//! * **`writes`** / **`writes_all`** — the transitive register write set,
+//!   so the address checker kills only the facts a direct call can
+//!   actually destroy instead of clearing every checked register.
+//!   Syscalls, allocator calls and vmcalls contribute the kernel-ABI
+//!   clobbers `rax`/`rdi`/`rsi`/`rdx`; an indirect call or SGX world
+//!   switch anywhere in the callee cone degrades to `writes_all`.
+//!
+//! Recursion and indirect calls stay conservative by construction:
+//! recursive functions are never `open_safe`, and unknown callees write
+//! everything. [`Summaries::conservative`] produces the pre-summary
+//! oracle (nothing `open_safe`, everything written) — property tests use
+//! it to show the summary checker only ever *removes* findings relative
+//! to the intraprocedural one.
+
+use memsentry_ir::{CallGraph, FuncId, Inst, Program, Reg};
+
+use crate::sequence::gadget_class;
+
+/// A small register set (bitmask over [`Reg::ALL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: Self = RegSet(0);
+
+    /// Inserts one register.
+    pub fn insert(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// In-place union; reports whether `self` grew.
+    pub fn union_with(&mut self, other: Self) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Iterates the members in [`Reg::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+/// What one function guarantees to its callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncSummary {
+    /// Callable while the caller's domain window is open (see module
+    /// docs for the exact conditions).
+    pub open_safe: bool,
+    /// Contains a domain-switch, key-reload or blessed-sequence
+    /// instruction anywhere in its own body (not transitively).
+    pub touches_domain: bool,
+    /// Contains a syscall, allocator call, `hlt` or indirect call in its
+    /// own body.
+    pub has_exit_event: bool,
+    /// Part of a call-graph cycle (self- or mutual recursion).
+    pub recursive: bool,
+    /// Registers the function (or any transitive direct callee) may
+    /// write. Meaningless when [`FuncSummary::writes_all`] is set.
+    pub writes: RegSet,
+    /// The callee cone contains an indirect call or SGX world switch, so
+    /// any register may be rewritten.
+    pub writes_all: bool,
+}
+
+impl FuncSummary {
+    /// The no-information summary: assume the worst on every axis.
+    pub const WORST: Self = FuncSummary {
+        open_safe: false,
+        touches_domain: true,
+        has_exit_event: true,
+        recursive: false,
+        writes: RegSet::EMPTY,
+        writes_all: true,
+    };
+}
+
+/// The register `inst` writes, for summary purposes.
+pub(crate) fn written_reg(inst: &Inst) -> Option<Reg> {
+    match *inst {
+        Inst::MovImm { dst, .. }
+        | Inst::Mov { dst, .. }
+        | Inst::Lea { dst, .. }
+        | Inst::AluReg { dst, .. }
+        | Inst::AluImm { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::RdPkru { dst } => Some(dst),
+        _ => None,
+    }
+}
+
+/// Registers a kernel crossing (syscall/allocator/vmcall) may rewrite:
+/// the return register plus the first three argument registers
+/// (CLAUDE.md documents `rdi`/`rsi`/`rdx` clobbers for `mprotect`-class
+/// calls; the kernel ABI makes no promise about them for any other
+/// syscall either).
+pub(crate) const KERNEL_CLOBBERS: [Reg; 4] = [Reg::Rax, Reg::Rdi, Reg::Rsi, Reg::Rdx];
+
+/// Summaries for every function of one program, indexed by [`FuncId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summaries {
+    items: Vec<FuncSummary>,
+}
+
+impl Summaries {
+    /// Computes summaries bottom-up over the call graph.
+    pub fn compute(program: &Program) -> Self {
+        let graph = CallGraph::build(program);
+        let n = program.functions.len();
+
+        // Local (non-transitive) facts per function.
+        let mut local_writes = vec![RegSet::EMPTY; n];
+        let mut local_all = vec![false; n];
+        let mut touches_domain = vec![false; n];
+        let mut has_exit_event = vec![false; n];
+        for (i, f) in program.functions.iter().enumerate() {
+            for node in &f.body {
+                let inst = &node.inst;
+                if gadget_class(inst).is_some() {
+                    touches_domain[i] = true;
+                }
+                match inst {
+                    Inst::Syscall { .. }
+                    | Inst::Alloc { .. }
+                    | Inst::Free { .. }
+                    | Inst::Halt
+                    | Inst::CallIndirect { .. } => {
+                        has_exit_event[i] = true;
+                    }
+                    _ => {}
+                }
+                match inst {
+                    Inst::CallIndirect { .. } | Inst::SgxEnter | Inst::SgxExit => {
+                        local_all[i] = true;
+                    }
+                    Inst::Syscall { .. }
+                    | Inst::Alloc { .. }
+                    | Inst::Free { .. }
+                    | Inst::VmCall { .. } => {
+                        for reg in KERNEL_CLOBBERS {
+                            local_writes[i].insert(reg);
+                        }
+                    }
+                    _ => {
+                        if let Some(dst) = written_reg(inst) {
+                            local_writes[i].insert(dst);
+                        }
+                    }
+                }
+            }
+        }
+
+        // `open_safe` in one bottom-up pass: callees of a non-recursive
+        // function precede it in Tarjan emission order, and members of a
+        // cycle are disqualified outright.
+        let mut open_safe = vec![false; n];
+        for &f in graph.bottom_up() {
+            let i = f.0 as usize;
+            open_safe[i] = !touches_domain[i]
+                && !has_exit_event[i]
+                && !graph.is_recursive(f)
+                && !graph.has_indirect_call(f)
+                && graph.callees(f).iter().all(|c| open_safe[c.0 as usize]);
+        }
+
+        // Transitive write sets to a fixpoint (recursion converges: sets
+        // only grow and are bounded by the register file).
+        let mut writes = local_writes;
+        let mut writes_all = local_all;
+        loop {
+            let mut changed = false;
+            for &f in graph.bottom_up() {
+                let i = f.0 as usize;
+                for &c in graph.callees(f) {
+                    let ci = c.0 as usize;
+                    if writes_all[ci] && !writes_all[i] {
+                        writes_all[i] = true;
+                        changed = true;
+                    }
+                    let callee = writes[ci];
+                    if writes[i].union_with(callee) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let items = (0..n)
+            .map(|i| FuncSummary {
+                open_safe: open_safe[i],
+                touches_domain: touches_domain[i],
+                has_exit_event: has_exit_event[i],
+                recursive: graph.is_recursive(FuncId(i as u32)),
+                writes: writes[i],
+                writes_all: writes_all[i],
+            })
+            .collect();
+        Summaries { items }
+    }
+
+    /// The pre-summary oracle: no function is `open_safe` and every call
+    /// kills every checked fact. Running the checkers with this yields
+    /// exactly the old intraprocedural behavior.
+    pub fn conservative(program: &Program) -> Self {
+        Summaries {
+            items: vec![FuncSummary::WORST; program.functions.len()],
+        }
+    }
+
+    /// The summary for `f` (the worst-case summary for out-of-range ids,
+    /// which parsed-but-unresolved listings can produce).
+    pub fn get(&self, f: FuncId) -> &FuncSummary {
+        self.items.get(f.0 as usize).unwrap_or(&FuncSummary::WORST)
+    }
+
+    /// Iterates `(id, summary)` in function order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FuncSummary)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FuncId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsentry_ir::{FunctionBuilder, Program};
+
+    fn leaf(name: &str, body: Vec<Inst>) -> memsentry_ir::Function {
+        let mut b = FunctionBuilder::new(name);
+        for inst in body {
+            b.push(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn pure_leaf_is_open_safe() {
+        let mut p = Program::new();
+        p.add_function(leaf("main", vec![Inst::Call(FuncId(1)), Inst::Halt]));
+        p.add_function(leaf(
+            "helper",
+            vec![
+                Inst::MovImm {
+                    dst: Reg::Rax,
+                    imm: 1,
+                },
+                Inst::Ret,
+            ],
+        ));
+        let s = Summaries::compute(&p);
+        assert!(s.get(FuncId(1)).open_safe);
+        assert!(!s.get(FuncId(0)).open_safe, "main halts");
+        assert!(s.get(FuncId(1)).writes.contains(Reg::Rax));
+        assert!(!s.get(FuncId(1)).writes.contains(Reg::Rbx));
+        assert!(!s.get(FuncId(1)).writes_all);
+    }
+
+    #[test]
+    fn open_safety_is_transitive() {
+        let mut p = Program::new();
+        p.add_function(leaf("a", vec![Inst::Call(FuncId(1)), Inst::Ret]));
+        p.add_function(leaf("b", vec![Inst::Call(FuncId(2)), Inst::Ret]));
+        p.add_function(leaf("c", vec![Inst::Syscall { nr: 2 }, Inst::Ret]));
+        let s = Summaries::compute(&p);
+        assert!(!s.get(FuncId(2)).open_safe, "syscall leaves the program");
+        assert!(!s.get(FuncId(1)).open_safe, "b inherits c's unsafety");
+        assert!(!s.get(FuncId(0)).open_safe);
+        // ...and the kernel clobbers propagate transitively too.
+        for reg in KERNEL_CLOBBERS {
+            assert!(s.get(FuncId(0)).writes.contains(reg), "{reg} via b -> c");
+        }
+    }
+
+    #[test]
+    fn domain_touching_callee_is_not_open_safe() {
+        let mut p = Program::new();
+        p.add_function(leaf(
+            "switcher",
+            vec![Inst::WrPkru { src: Reg::R9 }, Inst::Ret],
+        ));
+        let s = Summaries::compute(&p);
+        assert!(!s.get(FuncId(0)).open_safe);
+        assert!(s.get(FuncId(0)).touches_domain);
+    }
+
+    #[test]
+    fn recursion_disqualifies_open_safety() {
+        let mut p = Program::new();
+        p.add_function(leaf("a", vec![Inst::Call(FuncId(1)), Inst::Ret]));
+        p.add_function(leaf("b", vec![Inst::Call(FuncId(0)), Inst::Ret]));
+        let s = Summaries::compute(&p);
+        assert!(s.get(FuncId(0)).recursive && s.get(FuncId(1)).recursive);
+        assert!(!s.get(FuncId(0)).open_safe && !s.get(FuncId(1)).open_safe);
+    }
+
+    #[test]
+    fn indirect_call_degrades_to_writes_all() {
+        let mut p = Program::new();
+        p.add_function(leaf("a", vec![Inst::Call(FuncId(1)), Inst::Ret]));
+        p.add_function(leaf(
+            "b",
+            vec![Inst::CallIndirect { target: Reg::Rax }, Inst::Ret],
+        ));
+        let s = Summaries::compute(&p);
+        assert!(s.get(FuncId(1)).writes_all);
+        assert!(s.get(FuncId(0)).writes_all, "inherited from b");
+        assert!(!s.get(FuncId(0)).open_safe);
+    }
+
+    #[test]
+    fn conservative_oracle_assumes_the_worst() {
+        let mut p = Program::new();
+        p.add_function(leaf("leaf", vec![Inst::Ret]));
+        let s = Summaries::conservative(&p);
+        assert!(!s.get(FuncId(0)).open_safe);
+        assert!(s.get(FuncId(0)).writes_all);
+        // Out-of-range lookups are worst-case too, never a panic.
+        assert_eq!(*s.get(FuncId(99)), FuncSummary::WORST);
+    }
+}

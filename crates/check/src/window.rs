@@ -9,12 +9,17 @@
 //!
 //! * **Window state** is a three-point lattice `Closed < Open <
 //!   Conflict`, solved by forward dataflow over the CFG. An *event* —
-//!   call, indirect call, return, syscall, allocator call or `halt` —
+//!   indirect call, return, syscall, allocator call or `halt` —
 //!   while the window is (possibly) open is a [`FindingKind::DomainLeak`]:
 //!   control leaves the instrumented path with the safe region exposed.
-//!   Re-opening an open window is a [`FindingKind::DoubleOpen`], closing
-//!   a closed one an [`FindingKind::UnmatchedClose`], and a merge point
-//!   whose predecessors disagree is a [`FindingKind::AmbiguousWindow`].
+//!   A *direct* call is judged interprocedurally: it is legal inside a
+//!   window when the callee's [`crate::summary::FuncSummary`] proves it
+//!   `open_safe` (no domain switches, no exit events, not recursive,
+//!   transitively); otherwise the leak names the callee and the
+//!   disqualifying fact. Re-opening an open window is a
+//!   [`FindingKind::DoubleOpen`], closing a closed one an
+//!   [`FindingKind::UnmatchedClose`], and a merge point whose
+//!   predecessors disagree is a [`FindingKind::AmbiguousWindow`].
 //! * **Gadgets**: any domain-switch or key-reload instruction outside a
 //!   blessed sequence is flagged
 //!   ([`FindingKind::StrayDomainSwitch`]/[`FindingKind::StrayKeyReload`]),
@@ -29,6 +34,7 @@ use memsentry_mmu::addr::SFI_MASK;
 
 use crate::diag::{Finding, FindingKind};
 use crate::sequence::{gadget_class, match_sequence, SeqKind, SeqMatch};
+use crate::summary::Summaries;
 
 /// Registers the surrounding program keeps live across instrumentation
 /// points (CLAUDE.md register discipline) — instrumentation must never
@@ -57,12 +63,25 @@ impl JoinLattice for Window {
 }
 
 /// Whether `inst` transfers control or crosses a protection boundary —
-/// the points the paper instruments (Table 1) plus program exit.
+/// the points the paper instruments (Table 1) plus program exit. Direct
+/// calls are handled separately, against the callee's summary.
 fn is_event(inst: &Inst) -> bool {
-    inst.is_call_or_ret()
+    matches!(inst, Inst::CallIndirect { .. } | Inst::Ret | Inst::Halt)
         || inst.is_syscall()
         || inst.is_allocator_call()
-        || matches!(inst, Inst::Halt)
+}
+
+/// Why `callee` cannot run inside an open window, for the leak message.
+fn unsafe_reason(s: &crate::summary::FuncSummary) -> &'static str {
+    if s.touches_domain {
+        "it contains domain-switch or key-reload instructions"
+    } else if s.has_exit_event {
+        "it reaches a syscall, allocator call, halt or indirect call"
+    } else if s.recursive {
+        "it is (mutually) recursive"
+    } else {
+        "a transitive callee is not open-safe"
+    }
 }
 
 /// Walks one basic block from `entry`, returning the exit state. When
@@ -74,10 +93,15 @@ fn walk_block(
     body: &[InstNode],
     range: (usize, usize),
     entry: Window,
+    summaries: &Summaries,
     mut findings: Option<&mut Vec<Finding>>,
 ) -> Window {
     let (start, end) = range;
     let mut state = entry;
+    // Index of the open sequence that produced the current Open state,
+    // when it sits in this block (straight-line instrumentation always
+    // does); carried onto leak findings as the window id.
+    let mut open_site: Option<usize> = None;
     let mut report = |f: Finding| {
         if let Some(sink) = findings.as_deref_mut() {
             sink.push(f);
@@ -120,15 +144,19 @@ fn walk_block(
             match kind {
                 SeqKind::Open => {
                     if state == Window::Open {
-                        report(Finding::at(
-                            program,
-                            func,
-                            i,
-                            FindingKind::DoubleOpen,
-                            format!("{} open while the domain is already open", tech.name()),
-                        ));
+                        report(
+                            Finding::at(
+                                program,
+                                func,
+                                i,
+                                FindingKind::DoubleOpen,
+                                format!("{} open while the domain is already open", tech.name()),
+                            )
+                            .with_window(open_site),
+                        );
                     }
                     state = Window::Open;
+                    open_site = Some(i);
                 }
                 SeqKind::Close => {
                     if state == Window::Closed {
@@ -141,6 +169,7 @@ fn walk_block(
                         ));
                     }
                     state = Window::Closed;
+                    open_site = None;
                 }
             }
             i += len;
@@ -165,19 +194,39 @@ fn walk_block(
             )),
             None => {}
         }
-        if is_event(&node.inst) && state != Window::Closed {
+        if state != Window::Closed {
             let how = if state == Window::Open {
                 "open"
             } else {
                 "possibly open"
             };
-            report(Finding::at(
-                program,
-                func,
-                i,
-                FindingKind::DomainLeak,
-                format!("safe region is {how} across this instruction"),
-            ));
+            let leak = match node.inst {
+                Inst::Call(callee) => {
+                    let s = summaries.get(callee);
+                    (!s.open_safe).then(|| {
+                        let name = program
+                            .functions
+                            .get(callee.0 as usize)
+                            .map(|f| f.name.as_str())
+                            .unwrap_or("?");
+                        format!(
+                            "safe region is {how} across call to fn{} <{}>, \
+                             which is not open-safe: {}",
+                            callee.0,
+                            name,
+                            unsafe_reason(s)
+                        )
+                    })
+                }
+                _ => is_event(&node.inst)
+                    .then(|| format!("safe region is {how} across this instruction")),
+            };
+            if let Some(message) = leak {
+                report(
+                    Finding::at(program, func, i, FindingKind::DomainLeak, message)
+                        .with_window(open_site),
+                );
+            }
         }
         // Address-check cluster discipline: a `lea` that feeds a mask or
         // bound check is instrumentation scratch and must not be a live
@@ -216,11 +265,25 @@ fn checks_register(inst: &Inst, reg: Reg) -> bool {
 }
 
 /// Runs the window/gadget/discipline analyses over one function.
-fn check_function(program: &Program, func: FuncId, f: &Function, findings: &mut Vec<Finding>) {
+fn check_function(
+    program: &Program,
+    func: FuncId,
+    f: &Function,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
     let cfg = Cfg::build(f);
     let states = forward_fixpoint(&cfg, Window::Closed, |block, s| {
         let b = &cfg.blocks[block.0];
-        walk_block(program, func, &f.body, (b.start, b.end), *s, None)
+        walk_block(
+            program,
+            func,
+            &f.body,
+            (b.start, b.end),
+            *s,
+            summaries,
+            None,
+        )
     });
     for (block, entry) in cfg.blocks.iter().zip(&states) {
         // Unreachable blocks are dead code: nothing they do can leak.
@@ -231,18 +294,25 @@ fn check_function(program: &Program, func: FuncId, f: &Function, findings: &mut 
             &f.body,
             (block.start, block.end),
             *entry,
+            summaries,
             Some(findings),
         );
     }
 }
 
-/// Runs the universal analyses over every function of `program`.
-pub fn check_windows(program: &Program) -> Vec<Finding> {
+/// Runs the universal analyses over every function of `program`, judging
+/// calls inside windows against the given per-function summaries.
+pub fn check_windows_with(program: &Program, summaries: &Summaries) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (i, f) in program.functions.iter().enumerate() {
-        check_function(program, FuncId(i as u32), f, &mut findings);
+        check_function(program, FuncId(i as u32), f, summaries, &mut findings);
     }
     findings
+}
+
+/// Runs the universal analyses with freshly computed summaries.
+pub fn check_windows(program: &Program) -> Vec<Finding> {
+    check_windows_with(program, &Summaries::compute(program))
 }
 
 #[cfg(test)]

@@ -1,0 +1,244 @@
+//! The whole-program call graph.
+//!
+//! `memsentry-check`'s interprocedural analyses need three facts about
+//! every function: who it calls directly, whether it performs indirect
+//! calls (targets unresolvable statically), and whether it participates
+//! in recursion. [`CallGraph::build`] collects direct-call edges from
+//! [`Inst::Call`], flags [`Inst::CallIndirect`], and runs Tarjan's
+//! strongly-connected-components algorithm over the edges so clients can
+//! both detect recursion ([`CallGraph::is_recursive`]) and process
+//! functions bottom-up — callees before callers — via
+//! [`CallGraph::bottom_up`], the order in which per-function summaries
+//! compose.
+//!
+//! Edges to function ids outside the program (which [`crate::verify`]
+//! rejects) are dropped, so the graph is well-defined even for programs
+//! that fail structural verification.
+
+use crate::func::{FuncId, Program};
+use crate::inst::Inst;
+
+/// The direct-call graph of a program, with recursion and indirect-call
+/// facts precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// Deduplicated direct callees per function, in first-call order.
+    callees: Vec<Vec<FuncId>>,
+    /// Whether the function contains an indirect call.
+    has_indirect: Vec<bool>,
+    /// Whether the function calls itself, directly or through a cycle.
+    in_cycle: Vec<bool>,
+    /// Functions in bottom-up (reverse-topological) order of the SCC
+    /// condensation: every direct callee of `f` outside `f`'s own SCC
+    /// appears before `f`.
+    order: Vec<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut has_indirect = vec![false; n];
+        for (i, f) in program.functions.iter().enumerate() {
+            for node in &f.body {
+                match node.inst {
+                    Inst::Call(target) if (target.0 as usize) < n => {
+                        if !callees[i].contains(&target) {
+                            callees[i].push(target);
+                        }
+                    }
+                    Inst::CallIndirect { .. } => has_indirect[i] = true,
+                    _ => {}
+                }
+            }
+        }
+        let (in_cycle, order) = condense(&callees, n);
+        Self {
+            callees,
+            has_indirect,
+            in_cycle,
+            order,
+        }
+    }
+
+    /// The deduplicated direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.0 as usize]
+    }
+
+    /// Whether `f` contains an indirect call.
+    pub fn has_indirect_call(&self, f: FuncId) -> bool {
+        self.has_indirect[f.0 as usize]
+    }
+
+    /// Whether `f` can re-enter itself: it calls itself directly or sits
+    /// in a multi-function call cycle.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.in_cycle[f.0 as usize]
+    }
+
+    /// Every function, callees before callers (functions in the same
+    /// call cycle appear adjacent, in an arbitrary internal order).
+    pub fn bottom_up(&self) -> &[FuncId] {
+        &self.order
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative), returning per-function cycle
+/// membership and the bottom-up function order. Tarjan emits each SCC
+/// only after every SCC reachable from it, so the emission order *is*
+/// the bottom-up order.
+fn condense(callees: &[Vec<FuncId>], n: usize) -> (Vec<bool>, Vec<FuncId>) {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut in_cycle = vec![false; n];
+    let mut order: Vec<FuncId> = Vec::with_capacity(n);
+
+    // Explicit DFS frames: (node, next-callee-position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if let Some(&FuncId(w)) = callees[v].get(*pos) {
+                *pos += 1;
+                let w = w as usize;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                // Pop the SCC rooted at v.
+                let mut members = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on_stack[w] = false;
+                    members.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let self_loop = members.len() == 1 && callees[v].contains(&FuncId(v as u32));
+                let cyclic = members.len() > 1 || self_loop;
+                for &m in &members {
+                    in_cycle[m] = cyclic;
+                    order.push(FuncId(m as u32));
+                }
+            }
+        }
+    }
+    (in_cycle, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::reg::Reg;
+
+    fn program(edges: &[&[u32]], indirect: &[usize]) -> Program {
+        let mut p = Program::new();
+        for (i, callees) in edges.iter().enumerate() {
+            let mut b = FunctionBuilder::new(format!("f{i}"));
+            for &c in *callees {
+                b.push(Inst::Call(FuncId(c)));
+            }
+            if indirect.contains(&i) {
+                b.push(Inst::CallIndirect { target: Reg::Rax });
+            }
+            if i == 0 {
+                b.push(Inst::Halt);
+            } else {
+                b.push(Inst::Ret);
+            }
+            p.add_function(b.finish());
+        }
+        p
+    }
+
+    #[test]
+    fn straight_chain_orders_bottom_up() {
+        let p = program(&[&[1], &[2], &[]], &[]);
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees(FuncId(0)), &[FuncId(1)]);
+        assert_eq!(g.bottom_up(), &[FuncId(2), FuncId(1), FuncId(0)]);
+        assert!(!g.is_recursive(FuncId(0)));
+        assert!(!g.has_indirect_call(FuncId(0)));
+    }
+
+    #[test]
+    fn self_call_is_recursive() {
+        let p = program(&[&[0]], &[]);
+        let g = CallGraph::build(&p);
+        assert!(g.is_recursive(FuncId(0)));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_cycle() {
+        // 0 -> 1 <-> 2, plus a leaf 3 called from 2.
+        let p = program(&[&[1], &[2], &[1, 3], &[]], &[]);
+        let g = CallGraph::build(&p);
+        assert!(!g.is_recursive(FuncId(0)));
+        assert!(g.is_recursive(FuncId(1)));
+        assert!(g.is_recursive(FuncId(2)));
+        assert!(!g.is_recursive(FuncId(3)));
+        let order = g.bottom_up();
+        let pos = |f: u32| order.iter().position(|x| x.0 == f).unwrap();
+        assert!(pos(3) < pos(1) && pos(3) < pos(2), "{order:?}");
+        assert!(pos(1) < pos(0) && pos(2) < pos(0), "{order:?}");
+    }
+
+    #[test]
+    fn indirect_calls_are_flagged_per_function() {
+        let p = program(&[&[1], &[]], &[1]);
+        let g = CallGraph::build(&p);
+        assert!(!g.has_indirect_call(FuncId(0)));
+        assert!(g.has_indirect_call(FuncId(1)));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_calls_are_cleaned() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::Call(FuncId(1)));
+        b.push(Inst::Call(FuncId(1)));
+        b.push(Inst::Call(FuncId(7))); // dangling: dropped
+        b.push(Inst::Halt);
+        p.add_function(b.finish());
+        let mut leaf = FunctionBuilder::new("leaf");
+        leaf.push(Inst::Ret);
+        p.add_function(leaf.finish());
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees(FuncId(0)), &[FuncId(1)]);
+    }
+
+    #[test]
+    fn empty_program_builds() {
+        let g = CallGraph::build(&Program::new());
+        assert!(g.bottom_up().is_empty());
+    }
+}

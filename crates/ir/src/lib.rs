@@ -10,6 +10,8 @@
 //! * [`reg`] — the architectural register file names.
 //! * [`cfg`] / [`dataflow`] — basic-block discovery and a forward
 //!   worklist solver, the analysis substrate for `memsentry-check`.
+//! * [`callgraph`] — the whole-program direct-call graph with recursion
+//!   and indirect-call facts, for interprocedural summaries.
 //! * [`inst`] — the instruction set, including the repurposed hardware
 //!   operations (`bndcu`/`bndcl`, `rdpkru`/`wrpkru`, `vmfunc`, `vmcall`,
 //!   AES region ops) that the instrumentation passes insert.
@@ -22,6 +24,7 @@
 //! instrumenting privileged accesses, domain-based passes wrap them with
 //! domain switches.
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod func;
@@ -31,6 +34,7 @@ pub mod print;
 pub mod reg;
 pub mod verify;
 
+pub use callgraph::CallGraph;
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use dataflow::{forward_fixpoint, JoinLattice};
 pub use func::{CodeAddr, FuncId, Function, FunctionBuilder, Program};

@@ -25,10 +25,20 @@
 //!                                            technique's domain closure)
 //! msentry check <file> [--address r|w|rw]    parse + verify + isolation
 //!                                            soundness analysis (domain
-//!                                            windows, ERIM gadget scan,
-//!                                            register discipline; --address
+//!                                            windows — interprocedural via
+//!                                            per-function summaries — ERIM
+//!                                            gadget scan, register
+//!                                            discipline; --address
 //!                                            additionally requires SFI/MPX
 //!                                            checks on loads/stores)
+//!   [--json]                                 structured findings + static
+//!                                            window exposure bounds (schema
+//!                                            in DESIGN.md)
+//!   [--exposure]                             append per-window worst-case
+//!                                            static exposure bounds
+//!   [--summaries]                            append per-function summaries
+//!                                            (open-safe, exit events,
+//!                                            write sets)
 //! msentry techniques                         list techniques (Table 3)
 //! ```
 //!
@@ -45,7 +55,10 @@
 
 use std::process::ExitCode;
 
-use memsentry_repro::check::{check_program, AddressPolicy, CheckPolicy};
+use memsentry_repro::check::{
+    check_json, check_program, exposure_windows, AddressPolicy, CheckPolicy, Summaries,
+};
+use memsentry_repro::cpu::cost::CostModel;
 use memsentry_repro::cpu::{
     Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
 };
@@ -241,6 +254,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: msentry <run|check|instrument|protect|techniques> [<file>] \
          [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>] \
+         [--json] [--exposure] [--summaries] \
          [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub]"
     );
     ExitCode::FAILURE
@@ -287,19 +301,61 @@ fn main() -> ExitCode {
                     CheckPolicy::universal()
                 };
                 let report = check_program(&program, &policy);
+                let status = if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+                if args.iter().any(|a| a == "--json") {
+                    let windows = exposure_windows(&program, &CostModel::default());
+                    println!("{}", check_json(path, &program, &report, &windows));
+                    return status;
+                }
                 if report.is_clean() {
                     println!(
                         "{path}: ok ({} functions, {} instructions)",
                         program.functions.len(),
                         program.inst_count()
                     );
-                    return ExitCode::SUCCESS;
+                } else {
+                    for finding in &report.findings {
+                        println!("{path}: {finding}");
+                    }
+                    eprintln!("{path}: {} finding(s)", report.findings.len());
                 }
-                for finding in &report.findings {
-                    println!("{path}: {finding}");
+                if args.iter().any(|a| a == "--exposure") {
+                    for w in exposure_windows(&program, &CostModel::default()) {
+                        println!(
+                            "{path}: window fn{} <{}> @{} [{}]: {}",
+                            w.func.0,
+                            w.func_name,
+                            w.open_at,
+                            w.tech.name(),
+                            w.bound
+                        );
+                    }
                 }
-                eprintln!("{path}: {} finding(s)", report.findings.len());
-                return ExitCode::FAILURE;
+                if args.iter().any(|a| a == "--summaries") {
+                    for (id, s) in Summaries::compute(&program).iter() {
+                        let writes: Vec<String> = if s.writes_all {
+                            vec!["*".into()]
+                        } else {
+                            s.writes.iter().map(|r| r.to_string()).collect()
+                        };
+                        println!(
+                            "{path}: summary fn{} <{}>: open-safe={} touches-domain={} \
+                             exit-events={} recursive={} writes={{{}}}",
+                            id.0,
+                            program.func(id).name,
+                            s.open_safe,
+                            s.touches_domain,
+                            s.has_exit_event,
+                            s.recursive,
+                            writes.join(",")
+                        );
+                    }
+                }
+                return status;
             }
             let opts = match RunOptions::from_args(&args) {
                 Ok(o) => o,

@@ -1,0 +1,158 @@
+//! Table-driven `msentry check` verdicts for every listing in
+//! `tests/data/` — the mutation corpus the CI `checker` job replays.
+//!
+//! Every `.ms` file must have a row here (asserted by reading the
+//! directory), so adding a corpus file without recording its expected
+//! verdict fails the suite rather than silently going untested.
+
+use std::process::Command;
+
+const MSENTRY: &str = env!("CARGO_BIN_EXE_msentry");
+const DATA: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
+
+/// Expected verdict for one corpus file.
+struct Case {
+    file: &'static str,
+    /// Extra `msentry check` arguments (address mode for the files whose
+    /// defect only exists under address checking).
+    args: &'static [&'static str],
+    /// Whether the checker must accept the listing.
+    clean: bool,
+    /// Snippets the combined stdout+stderr must contain.
+    expect: &'static [&'static str],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        file: "shadow_demo.ms",
+        args: &[],
+        clean: true,
+        expect: &["3 functions"],
+    },
+    Case {
+        file: "privileged_demo.ms",
+        args: &[],
+        clean: true,
+        expect: &["ok"],
+    },
+    Case {
+        file: "good_interproc.ms",
+        args: &[],
+        clean: true,
+        expect: &["2 functions"],
+    },
+    Case {
+        file: "bad_stray_wrpkru.ms",
+        args: &[],
+        clean: false,
+        expect: &["stray-domain-switch", "fn0 <main> @1"],
+    },
+    Case {
+        file: "bad_clobber.ms",
+        args: &[],
+        clean: false,
+        expect: &["clobbered-live-register", "rbx"],
+    },
+    Case {
+        file: "bad_missing_mask.ms",
+        args: &["--address", "w"],
+        clean: false,
+        expect: &["unchecked-store", "rbx"],
+    },
+    Case {
+        file: "bad_unclosed_domain.ms",
+        args: &[],
+        clean: false,
+        expect: &["domain-leak", "fn0 <main> @5", "window opened @0"],
+    },
+    Case {
+        file: "bad_interproc_leak.ms",
+        args: &[],
+        clean: false,
+        expect: &["domain-leak", "fn1 <opener> @4", "`ret`"],
+    },
+    Case {
+        file: "bad_interproc_reopen.ms",
+        args: &[],
+        clean: false,
+        expect: &[
+            "call to fn1 <closer>, which is not open-safe",
+            "unmatched-close",
+            "fn1 <closer> @8",
+        ],
+    },
+    Case {
+        file: "bad_interproc_indirect.ms",
+        args: &["--address", "rw"],
+        clean: false,
+        expect: &["unchecked-store", "r11", "@6"],
+    },
+    Case {
+        file: "bad_syscall_clobber.ms",
+        args: &["--address", "w"],
+        clean: false,
+        expect: &["unchecked-store", "rdi", "@6"],
+    },
+];
+
+fn run_check(file: &str, args: &[&str]) -> (bool, String) {
+    let out = Command::new(MSENTRY)
+        .arg("check")
+        .arg(format!("{DATA}/{file}"))
+        .args(args)
+        .output()
+        .expect("spawn msentry");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn every_corpus_file_has_a_recorded_verdict() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(DATA)
+        .expect("read tests/data")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ms"))
+        .collect();
+    on_disk.sort();
+    let mut in_table: Vec<String> = CASES.iter().map(|c| c.file.to_string()).collect();
+    in_table.sort();
+    assert_eq!(
+        on_disk, in_table,
+        "tests/data and the verdict table must cover the same files"
+    );
+}
+
+#[test]
+fn corpus_verdicts_match() {
+    for case in CASES {
+        let (ok, text) = run_check(case.file, case.args);
+        assert_eq!(
+            ok, case.clean,
+            "{}: expected clean={} but got:\n{text}",
+            case.file, case.clean
+        );
+        for needle in case.expect {
+            assert!(
+                text.contains(needle),
+                "{}: missing '{needle}' in:\n{text}",
+                case.file
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_files_stay_bad_without_address_mode_only_when_windowed() {
+    // The address-mode corpus files are well-formed programs absent the
+    // address policy; the windowed corpus files are wrong under the
+    // default policy already.
+    for file in ["bad_interproc_indirect.ms", "bad_syscall_clobber.ms"] {
+        let (ok, text) = run_check(file, &[]);
+        assert!(ok, "{file} must pass the default policy:\n{text}");
+    }
+}

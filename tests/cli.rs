@@ -49,8 +49,79 @@ fn check_flags_the_unclosed_domain() {
     let (ok, text) = run(&["check", &data("bad_unclosed_domain.ms")]);
     assert!(!ok, "{text}");
     assert!(text.contains("domain-leak"), "{text}");
-    assert!(text.contains("fn0 <main> @4"), "{text}");
-    assert!(text.contains("call"), "{text}");
+    assert!(text.contains("fn0 <main> @5"), "{text}");
+    assert!(text.contains("hlt"), "{text}");
+    assert!(text.contains("window opened @0"), "{text}");
+}
+
+#[test]
+fn check_accepts_a_window_spanning_an_open_safe_call() {
+    // The old intraprocedural checker rejected any call inside a window;
+    // the summary-based checker proves fn1 <leaf> open-safe.
+    let (ok, text) = run(&["check", &data("good_interproc.ms")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("2 functions"), "{text}");
+}
+
+#[test]
+fn check_explains_the_non_open_safe_callee() {
+    let (ok, text) = run(&["check", &data("bad_interproc_reopen.ms")]);
+    assert!(!ok, "{text}");
+    assert!(
+        text.contains("call to fn1 <closer>, which is not open-safe"),
+        "{text}"
+    );
+    assert!(
+        text.contains("domain-switch or key-reload instructions"),
+        "{text}"
+    );
+}
+
+#[test]
+fn check_flags_the_kernel_clobbered_address_fact() {
+    // Syscalls clobber the full kernel ABI set (rax/rdi/rsi/rdx), not
+    // just rax: the rdi-based check must not survive the crossing.
+    let path = data("bad_syscall_clobber.ms");
+    let (ok, text) = run(&["check", &path]);
+    assert!(ok, "{text}");
+    let (ok, text) = run(&["check", &path, "--address", "w"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("unchecked-store"), "{text}");
+    assert!(text.contains("rdi"), "{text}");
+    assert!(text.contains("@6"), "{text}");
+}
+
+#[test]
+fn check_emits_structured_json() {
+    let (ok, text) = run(&["check", &data("good_interproc.ms"), "--json"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("\"clean\": true"), "{text}");
+    assert!(text.contains("\"findings\": []"), "{text}");
+    assert!(text.contains("\"technique\": \"mpk\""), "{text}");
+    assert!(text.contains("\"boundaries\": 11"), "{text}");
+
+    let (ok, text) = run(&["check", &data("bad_unclosed_domain.ms"), "--json"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("\"kind\": \"domain-leak\""), "{text}");
+    assert!(text.contains("\"window\": 0"), "{text}");
+    assert!(text.contains("\"cycles\": null"), "{text}");
+}
+
+#[test]
+fn check_reports_exposure_and_summaries() {
+    let (ok, text) = run(&[
+        "check",
+        &data("good_interproc.ms"),
+        "--exposure",
+        "--summaries",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("window fn0 <main> @0 [mpk]:"), "{text}");
+    assert!(text.contains("cycles"), "{text}");
+    assert!(
+        text.contains("summary fn1 <leaf>: open-safe=true"),
+        "{text}"
+    );
 }
 
 #[test]

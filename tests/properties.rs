@@ -518,4 +518,109 @@ proptest! {
             );
         }
     }
+
+    /// The interprocedural checker is monotone against the conservative
+    /// every-call-is-hostile oracle (the old intraprocedural behavior):
+    /// computing real per-function summaries only ever *removes* window
+    /// and address findings, never adds them — fuzzed over random
+    /// multi-function programs mixing blessed sequences, calls, kernel
+    /// crossings and checked/unchecked accesses.
+    #[test]
+    fn summaries_only_remove_findings(
+        funcs in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, 0u32..8), 1..10),
+            1..4,
+        ),
+    ) {
+        use memsentry_repro::check::{address, window, AddressPolicy, Summaries};
+
+        let n = funcs.len() as u32;
+        let mut p = Program::new();
+        for (fi, ops) in funcs.iter().enumerate() {
+            let mut b = FunctionBuilder::new(format!("f{fi}"));
+            for (k, x) in ops {
+                match k {
+                    0 => {
+                        // Blessed MPK open sequence.
+                        b.push(Inst::RdPkru { dst: Reg::R9 });
+                        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::R9, imm: !0xc });
+                        b.push(Inst::WrPkru { src: Reg::R9 });
+                        b.push(Inst::MFence);
+                    }
+                    1 => {
+                        // Blessed MPK close sequence.
+                        b.push(Inst::RdPkru { dst: Reg::R9 });
+                        b.push(Inst::AluImm { op: AluOp::Or, dst: Reg::R9, imm: 0xc });
+                        b.push(Inst::WrPkru { src: Reg::R9 });
+                        b.push(Inst::MFence);
+                    }
+                    2 => { b.push(Inst::Call(FuncId(x % n))); }
+                    3 => { b.push(Inst::Syscall { nr: u64::from(x % 4) }); }
+                    4 => {
+                        // SFI-checked store.
+                        b.push(Inst::AluImm {
+                            op: AluOp::And,
+                            dst: Reg::R11,
+                            imm: 0x3fff_ffff_ffff,
+                        });
+                        b.push(Inst::Store { src: Reg::Rax, addr: Reg::R11, offset: 0 });
+                    }
+                    5 => { b.push(Inst::Store { src: Reg::Rax, addr: Reg::R11, offset: 8 }); }
+                    6 => { b.push(Inst::MovImm { dst: Reg::Rax, imm: u64::from(*x) }); }
+                    _ => { b.push(Inst::Nop); }
+                }
+            }
+            b.push(if fi == 0 { Inst::Halt } else { Inst::Ret });
+            p.add_function(b.finish());
+        }
+        let computed = Summaries::compute(&p);
+        let conservative = Summaries::conservative(&p);
+        let with = |s: &Summaries| {
+            let mut v = window::check_windows_with(&p, s);
+            v.extend(address::check_addresses_with(&p, AddressPolicy::READ_WRITE, s));
+            v.into_iter().map(|f| (f.func, f.index, f.kind)).collect::<Vec<_>>()
+        };
+        let refined = with(&computed);
+        let oracle = with(&conservative);
+        for k in &refined {
+            prop_assert!(
+                oracle.contains(k),
+                "finding {k:?} is absent under the conservative oracle"
+            );
+        }
+    }
+
+    /// print -> parse round-trips multi-function programs fuzzed over the
+    /// interprocedural call shapes (direct and indirect calls, allocator
+    /// calls, returns) the summary checker analyzes.
+    #[test]
+    fn call_shape_listing_roundtrip(
+        funcs in proptest::collection::vec(
+            proptest::collection::vec((0u8..6, 0usize..16, any::<u32>()), 1..12),
+            1..5,
+        ),
+    ) {
+        use memsentry_repro::ir::{parse_program, print::format_program, Function, InstNode};
+        let n = funcs.len() as u32;
+        let reg = |i: usize| Reg::ALL[i];
+        let mut p = Program::new();
+        for (fi, body) in funcs.iter().enumerate() {
+            let mut f = Function::new(format!("f{fi}"));
+            for (k, a, imm) in body {
+                let inst = match k {
+                    0 => Inst::Call(FuncId(imm % n)),
+                    1 => Inst::CallIndirect { target: reg(*a) },
+                    2 => Inst::Ret,
+                    3 => Inst::Alloc { size: reg(*a) },
+                    4 => Inst::Free { ptr: reg(*a) },
+                    _ => Inst::Nop,
+                };
+                f.body.push(InstNode { inst, privileged: imm % 2 == 0 });
+            }
+            f.body.push(InstNode::plain(if fi == 0 { Inst::Halt } else { Inst::Ret }));
+            p.add_function(f);
+        }
+        let text = format_program(&p);
+        prop_assert_eq!(parse_program(&text).unwrap(), p);
+    }
 }

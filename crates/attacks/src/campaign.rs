@@ -33,6 +33,7 @@
 //! state, so a sibling thread never inherits the open window).
 
 use memsentry::{Application, FrameworkError, MemSentry, Technique};
+use memsentry_cpu::replay::{bisect_first, Recording, ReplayError};
 use memsentry_cpu::{EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap};
 use memsentry_ir::{AluOp, Cond, FunctionBuilder, Inst, Program, Reg};
 use memsentry_mmu::{PageFlags, VirtAddr, PAGE_SIZE};
@@ -182,6 +183,14 @@ pub enum CampaignError {
         /// The trap the clean run hit.
         trap: Trap,
     },
+    /// Rewinding the recorded clean run failed — snapshot/restore lost
+    /// machine state.
+    Replay {
+        /// The technique whose recording misbehaved.
+        technique: Technique,
+        /// The underlying replay failure.
+        error: ReplayError,
+    },
 }
 
 impl core::fmt::Display for CampaignError {
@@ -190,6 +199,9 @@ impl core::fmt::Display for CampaignError {
             CampaignError::Framework(e) => write!(f, "campaign victim: {e}"),
             CampaignError::CleanRun { technique, trap } => {
                 write!(f, "clean run under {technique} trapped: {trap}")
+            }
+            CampaignError::Replay { technique, error } => {
+                write!(f, "replay under {technique} failed: {error}")
             }
         }
     }
@@ -445,10 +457,47 @@ fn run_injected(
     }
 }
 
-/// Runs the sweep: one clean run to learn the boundary → cycle mapping
-/// (checkpointing the machine every [`CHECKPOINT_SPACING`] boundaries),
-/// then one replayed run per boundary with the event injected, each
-/// served from the nearest preceding checkpoint.
+/// The checkpoint spacing a replay strategy asks the recorder for: a
+/// spacing of [`u64::MAX`] keeps only the start snapshot, which *is* the
+/// quadratic from-start reference path.
+fn spacing_for(replay: Replay) -> u64 {
+    match replay {
+        Replay::Checkpointed => CHECKPOINT_SPACING,
+        Replay::FromStart => u64::MAX,
+    }
+}
+
+/// Records the victim's clean run on the shared recorder, surfacing a
+/// trapped clean run as [`CampaignError::CleanRun`]. A clean recording
+/// checkpoints at every reached spacing multiple (the victim runs no
+/// events, so the recorder's quiescence condition never skips one) —
+/// exactly the checkpoint stream the sweeps historically built by hand.
+fn record_clean(
+    m: &mut Machine,
+    technique: Technique,
+    replay: Replay,
+) -> Result<Recording, CampaignError> {
+    let rec = Recording::capture(m, spacing_for(replay), &[]);
+    if let RunOutcome::Trapped(trap) = rec.outcome() {
+        return Err(CampaignError::CleanRun {
+            technique,
+            trap: trap.clone(),
+        });
+    }
+    Ok(rec)
+}
+
+/// Lifts a replay failure (which only a snapshot/restore defect can
+/// produce) into a campaign error.
+fn replay_error(technique: Technique, error: ReplayError) -> CampaignError {
+    CampaignError::Replay { technique, error }
+}
+
+/// Runs the sweep on the shared recorder: one recorded clean run to learn
+/// the boundary → cycle mapping (checkpointing every
+/// [`CHECKPOINT_SPACING`] boundaries), then one replayed run per boundary
+/// with the event injected, each served from the nearest preceding
+/// checkpoint.
 fn sweep_with(
     mut m: Machine,
     technique: Technique,
@@ -456,37 +505,19 @@ fn sweep_with(
     replay: Replay,
     make_schedule: impl Fn(u64) -> EventSchedule,
 ) -> Result<CampaignReport, CampaignError> {
-    let start = m.stats().instructions;
-    let mut checkpoints = vec![m.snapshot()];
-    let mut boundary_cycles = vec![m.cycles()];
-    while !m.is_halted() {
-        if let Err(trap) = m.run_until(m.stats().instructions + 1) {
-            return Err(CampaignError::CleanRun { technique, trap });
-        }
-        boundary_cycles.push(m.cycles());
-        let boundary = boundary_cycles.len() as u64 - 1;
-        if replay == Replay::Checkpointed
-            && !m.is_halted()
-            && boundary % CHECKPOINT_SPACING == 0
-        {
-            checkpoints.push(m.snapshot());
-        }
-    }
-    let total_cycles = m.cycles();
+    let rec = record_clean(&mut m, technique, replay)?;
+    let start = rec.start();
     // A victim that is already halted (or halts without retiring anything)
-    // has zero injectable boundaries: report an empty sweep rather than
-    // underflowing the capacity/loop arithmetic below.
-    let boundaries = boundary_cycles.len().saturating_sub(1);
-    let mut sim_instructions = boundaries as u64;
+    // has zero injectable boundaries: the loop below is empty and the
+    // report stays empty rather than underflowing.
+    let boundaries = rec.boundaries();
+    let mut sim_instructions = boundaries;
     let mut replayed_instructions = 0u64;
     let mut saved_instructions = 0u64;
 
-    let mut points = Vec::with_capacity(boundaries);
-    for offset in 0..boundaries as u64 {
-        let ck = match replay {
-            Replay::Checkpointed => &checkpoints[(offset / CHECKPOINT_SPACING) as usize],
-            Replay::FromStart => &checkpoints[0],
-        };
+    let mut points = Vec::with_capacity(boundaries as usize);
+    for offset in 0..boundaries {
+        let ck = rec.nearest_checkpoint(offset);
         m.restore(ck);
         let at = start + offset;
         m.set_event_schedule(make_schedule(at));
@@ -496,7 +527,7 @@ fn sweep_with(
         saved_instructions += ck.instructions() - start;
         points.push(SweepPoint {
             offset,
-            cycles: boundary_cycles[offset as usize],
+            cycles: rec.cycles_at(offset),
             outcome,
         });
     }
@@ -504,9 +535,9 @@ fn sweep_with(
         technique,
         mode,
         points,
-        total_cycles,
+        total_cycles: rec.total_cycles(),
         sim_instructions,
-        checkpoints: checkpoints.len() as u64,
+        checkpoints: rec.checkpoint_count(),
         replayed_instructions,
         saved_instructions,
     })
@@ -555,6 +586,118 @@ fn sweep_preemption_with(
     m.set_domain_closure(fw.signal_closure());
     let scrub = mode == HandlerMode::Scrub;
     sweep_with(m, technique, mode, replay, move |at| {
+        EventSchedule::at(
+            at,
+            EventAction::Preempt {
+                to: reader_tid,
+                quantum: 64,
+                scrub,
+            },
+        )
+    })
+}
+
+/// Result of bisecting one technique × event kind × handler mode for its
+/// first exposed boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectReport {
+    /// The technique under test.
+    pub technique: Technique,
+    /// Scrubbed or broken delivery.
+    pub mode: HandlerMode,
+    /// The first boundary classified [`Outcome::Exposed`], if any.
+    pub first_exposed: Option<u64>,
+    /// Injected runs the bisection needed (a linear scan needs
+    /// `boundaries`).
+    pub probes: u64,
+    /// Boundaries in the clean run.
+    pub boundaries: u64,
+    /// Instructions the simulator retired producing this report (the
+    /// recorded clean run plus every probe).
+    pub sim_instructions: u64,
+    /// Checkpoints the recording holds.
+    pub checkpoints: u64,
+    /// Clean-prefix instructions re-executed across all probes.
+    pub replayed_instructions: u64,
+    /// Replay instructions avoided relative to serving every probe from
+    /// the start snapshot.
+    pub saved_instructions: u64,
+}
+
+/// Binary-searches the sweep for its first exposed boundary without
+/// classifying every boundary: each probe rewinds the shared recording to
+/// the candidate boundary ([`Recording::seek`]), injects the event there,
+/// and asks whether the outcome is [`Outcome::Exposed`]. A domain window
+/// opens once and closes once per victim execution, so the exposed
+/// boundaries form one contiguous run and
+/// [`memsentry_cpu::replay::bisect_first`]'s search applies; equivalence
+/// with the linear sweep is pinned per technique × event kind in this
+/// module's tests.
+fn bisect_with(
+    mut m: Machine,
+    technique: Technique,
+    mode: HandlerMode,
+    replay: Replay,
+    make_schedule: impl Fn(u64) -> EventSchedule,
+) -> Result<BisectReport, CampaignError> {
+    let rec = record_clean(&mut m, technique, replay)?;
+    let start = rec.start();
+    let boundaries = rec.boundaries();
+    let mut sim_instructions = boundaries;
+    let mut replayed_instructions = 0u64;
+    let mut saved_instructions = 0u64;
+    let (first_exposed, probes) = bisect_first(boundaries, |offset| -> Result<bool, CampaignError> {
+        let ck_instructions = rec.nearest_checkpoint(offset).instructions();
+        rec.seek(&mut m, offset)
+            .map_err(|e| replay_error(technique, e))?;
+        let at = start + offset;
+        m.set_event_schedule(make_schedule(at));
+        let outcome = run_injected(&mut m, technique, replay, at)?;
+        sim_instructions += m.stats().instructions.saturating_sub(ck_instructions);
+        replayed_instructions += at - ck_instructions;
+        saved_instructions += ck_instructions - start;
+        Ok(outcome == Outcome::Exposed)
+    })?;
+    Ok(BisectReport {
+        technique,
+        mode,
+        first_exposed,
+        probes,
+        boundaries,
+        sim_instructions,
+        checkpoints: rec.checkpoint_count(),
+        replayed_instructions,
+        saved_instructions,
+    })
+}
+
+/// Bisects for the first boundary where a hostile **signal handler**
+/// exposes the secret.
+pub fn bisect_signals(
+    technique: Technique,
+    mode: HandlerMode,
+) -> Result<BisectReport, CampaignError> {
+    let (mut m, fw, _) = build_victim(technique)?;
+    m.set_signal_policy(SignalPolicy {
+        handler: funcs::HANDLER,
+        scrub: mode == HandlerMode::Scrub,
+    });
+    m.set_domain_closure(fw.signal_closure());
+    bisect_with(m, technique, mode, replay_strategy(), |at| {
+        EventSchedule::at(at, EventAction::Signal)
+    })
+}
+
+/// Bisects for the first boundary where a forced **preemption** into the
+/// hostile sibling thread exposes the secret.
+pub fn bisect_preemption(
+    technique: Technique,
+    mode: HandlerMode,
+) -> Result<BisectReport, CampaignError> {
+    let (mut m, fw, reader_tid) = build_victim(technique)?;
+    m.set_domain_closure(fw.signal_closure());
+    let scrub = mode == HandlerMode::Scrub;
+    bisect_with(m, technique, mode, replay_strategy(), move |at| {
         EventSchedule::at(
             at,
             EventAction::Preempt {
@@ -746,6 +889,45 @@ mod tests {
                     fast.sim_instructions,
                     slow.sim_instructions
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_matches_linear_scan_for_every_technique_and_kind() {
+        // The bisected first-exposed boundary must equal the first
+        // Exposed point of the full linear sweep for every technique ×
+        // event kind × handler mode — including the no-exposure cases,
+        // where the bisection must have probed exhaustively to prove it.
+        for technique in WINDOWED_TECHNIQUES {
+            for mode in [HandlerMode::Broken, HandlerMode::Scrub] {
+                for kind in ["signal", "preempt"] {
+                    let sweep = match kind {
+                        "signal" => sweep_signals(technique, mode),
+                        _ => sweep_preemption(technique, mode),
+                    }
+                    .unwrap();
+                    let linear = sweep
+                        .points
+                        .iter()
+                        .find(|p| p.outcome == Outcome::Exposed)
+                        .map(|p| p.offset);
+                    let report = match kind {
+                        "signal" => bisect_signals(technique, mode),
+                        _ => bisect_preemption(technique, mode),
+                    }
+                    .unwrap();
+                    let label = format!("{technique}/{}/{kind}", mode.name());
+                    assert_eq!(report.first_exposed, linear, "{label}");
+                    assert_eq!(report.boundaries, sweep.points.len() as u64, "{label}");
+                    assert!(report.probes <= report.boundaries, "{label}");
+                    if report.first_exposed.is_none() {
+                        assert_eq!(
+                            report.probes, report.boundaries,
+                            "{label}: proving no exposure requires probing every boundary"
+                        );
+                    }
+                }
             }
         }
     }

@@ -291,6 +291,15 @@ fn main() {
         || memsentry_bench::exposure::exposure_static(&session),
     );
 
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "bisect.txt",
+        || memsentry_bench::bisect::bisect_matrix(&session),
+    );
+
     let wall = started.elapsed().as_secs_f64();
     let sim_instructions = session.sim_instructions();
     let per_sec = sim_instructions as f64 / wall.max(f64::MIN_POSITIVE);

@@ -1,0 +1,25 @@
+//! The exposure-bisection matrix: binary search for the first
+//! instruction boundary where an injected event leaves each technique's
+//! domain window exposed, cross-checked against the linear sweep.
+//! Args: `[--jobs N]` (superblocks are irrelevant here: the search runs
+//! over a fixed single-window victim).
+use memsentry_bench::bisect::bisect_matrix;
+use memsentry_bench::cli;
+
+fn main() {
+    let args = cli::parse_or_exit("bisect [--jobs N]");
+    let session = args.session();
+    let matrix = cli::ok_or_exit(bisect_matrix(&session));
+    print!("{matrix}");
+    // Replay accounting goes to stderr so stdout stays the byte-exact
+    // artifact CI diffs across --jobs values and replay strategies.
+    let ck = session.checkpoint_stats();
+    eprintln!(
+        "{} sim insts; {} checkpoints served {} replays (mean replay {:.1}, {} insts saved)",
+        session.sim_instructions(),
+        ck.taken,
+        ck.replays,
+        ck.mean_replay(),
+        ck.saved_instructions
+    );
+}

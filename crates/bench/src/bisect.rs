@@ -1,0 +1,222 @@
+//! The exposure-bisection artifact (`results/bisect.txt`).
+//!
+//! The fault matrix ([`crate::faults`]) classifies *every* instruction
+//! boundary of each technique's domain window by linear sweep. This
+//! stage answers the narrower forensic question — *where does the
+//! window first open?* — with the record-replay bisection from
+//! [`memsentry_cpu::replay::bisect_first`]: binary search over the
+//! recorded clean run, each probe served by the nearest checkpoint, so
+//! the first exposed boundary is found in far fewer injected runs than
+//! one per boundary.
+//!
+//! Every cell runs the linear sweep alongside the bisection and
+//! cross-checks the two first-exposed answers in the `agree` column;
+//! the tests (and the CI `replay` job) require every row to agree.
+//! Cells are memoized on the shared [`Session`] and the grid fans out
+//! over its workers with rows reassembled in fixed order, so serial and
+//! parallel runs produce byte-identical artifacts.
+
+use memsentry::Technique;
+use memsentry_attacks::campaign::{
+    self, BisectReport, CampaignReport, HandlerMode, Outcome, WINDOWED_TECHNIQUES,
+};
+
+use crate::faults::{cell_error, EventKind};
+use crate::measure::{AuxMeasurement, CheckpointStats, Session};
+use crate::runner::MeasureError;
+
+/// Renders a first-exposed boundary offset (`-` when the window never
+/// opened).
+fn fmt_first(first: Option<u64>) -> String {
+    match first {
+        Some(b) => b.to_string(),
+        None => "-".into(),
+    }
+}
+
+/// The first exposed boundary of a linear sweep, by offset order.
+fn linear_first(report: &CampaignReport) -> Option<u64> {
+    report
+        .points
+        .iter()
+        .find(|p| p.outcome == Outcome::Exposed)
+        .map(|p| p.offset)
+}
+
+/// Renders one matrix row from the paired sweep and bisection reports.
+fn render_row(
+    kind: EventKind,
+    sweep: &CampaignReport,
+    bisect: &BisectReport,
+    linear: Option<u64>,
+) -> String {
+    format!(
+        "{:<8} {:<7} {:<9} {:>10} {:>6} {:>6} {:>6} {:>6}\n",
+        kind.name(),
+        sweep.mode.name(),
+        sweep.technique.name(),
+        bisect.boundaries,
+        fmt_first(bisect.first_exposed),
+        bisect.probes,
+        fmt_first(linear),
+        if bisect.first_exposed == linear {
+            "yes"
+        } else {
+            "NO"
+        },
+    )
+}
+
+/// One bisection cell as a memoized auxiliary session cell: the linear
+/// sweep (ground truth) plus the binary search, with both runs' work
+/// folded into the cell's accounting.
+pub(crate) fn bisect_cell(
+    session: &Session,
+    kind: EventKind,
+    mode: HandlerMode,
+    technique: Technique,
+) -> Result<AuxMeasurement, MeasureError> {
+    let key = format!(
+        "bisect/{}/{}/{}",
+        kind.name(),
+        mode.name(),
+        technique.name()
+    );
+    session.measure_aux(&key, || {
+        let sweep = match kind {
+            EventKind::Signal => campaign::sweep_signals(technique, mode),
+            EventKind::Preemption => campaign::sweep_preemption(technique, mode),
+        }
+        .map_err(|e| cell_error(kind, mode, e))?;
+        let bisect = match kind {
+            EventKind::Signal => campaign::bisect_signals(technique, mode),
+            EventKind::Preemption => campaign::bisect_preemption(technique, mode),
+        }
+        .map_err(|e| cell_error(kind, mode, e))?;
+        let linear = linear_first(&sweep);
+        Ok(AuxMeasurement {
+            text: render_row(kind, &sweep, &bisect, linear),
+            sim_instructions: sweep.sim_instructions + bisect.sim_instructions,
+            checkpoints: CheckpointStats {
+                taken: sweep.checkpoints + bisect.checkpoints,
+                replays: sweep.points.len() as u64 + bisect.probes,
+                replayed_instructions: sweep.replayed_instructions
+                    + bisect.replayed_instructions,
+                saved_instructions: sweep.saved_instructions + bisect.saved_instructions,
+            },
+        })
+    })
+}
+
+/// Computes the full bisection matrix, fanning the cells out over the
+/// session's workers. The artifact is byte-identical for any `--jobs`
+/// value.
+///
+/// # Errors
+///
+/// Returns the failure of the first broken cell in row order.
+pub fn bisect_matrix(session: &Session) -> Result<String, MeasureError> {
+    let mut cells: Vec<(EventKind, HandlerMode, Technique)> = Vec::new();
+    for kind in [EventKind::Signal, EventKind::Preemption] {
+        for mode in [HandlerMode::Scrub, HandlerMode::Broken] {
+            for technique in WINDOWED_TECHNIQUES {
+                cells.push((kind, mode, technique));
+            }
+        }
+    }
+    let rows = session.parallel_map(&cells, |&(kind, mode, technique)| {
+        bisect_cell(session, kind, mode, technique)
+    });
+    let mut out = String::from(
+        "exposure bisection: binary search over the recorded clean run for\n\
+         the first instruction boundary where the injected event leaves the\n\
+         window exposed, served from nearest-checkpoint replay; `first` and\n\
+         `linear` are the bisected and linearly-swept answers (offset, or -\n\
+         when the window never opens) and must agree on every row; `probes`\n\
+         counts injected runs the search needed vs one per boundary linearly\n\
+         \n\
+         event    mode    technique  boundaries  first  probes  linear  agree\n",
+    );
+    for row in rows {
+        out.push_str(&row?.text);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_is_deterministic_across_job_counts() {
+        let serial = bisect_matrix(&Session::with_jobs(1)).unwrap();
+        let parallel = bisect_matrix(&Session::with_jobs(4)).unwrap();
+        assert_eq!(serial, parallel, "artifact must not depend on --jobs");
+    }
+
+    #[test]
+    fn every_row_agrees_with_the_linear_scan() {
+        let session = Session::with_jobs(2);
+        let matrix = bisect_matrix(&session).unwrap();
+        let mut rows = 0;
+        for line in matrix.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.first() != Some(&"signal") && fields.first() != Some(&"preempt") {
+                continue;
+            }
+            rows += 1;
+            assert_eq!(fields[7], "yes", "bisection must match the sweep: {line}");
+            let boundaries: u64 = fields[3].parse().unwrap();
+            let probes: u64 = fields[5].parse().unwrap();
+            assert!(probes <= boundaries, "never worse than linear: {line}");
+            if fields[4] == "-" {
+                assert_eq!(
+                    probes, boundaries,
+                    "proving no exposure requires probing every boundary: {line}"
+                );
+            }
+        }
+        assert_eq!(rows, 2 * 2 * WINDOWED_TECHNIQUES.len());
+        // Regeneration is served entirely from the cache.
+        let again = bisect_matrix(&session).unwrap();
+        assert_eq!(again, matrix);
+        assert_eq!(session.cache_hits(), rows as u64);
+    }
+
+    #[test]
+    fn first_exposed_is_consistent_with_the_fault_matrix() {
+        let session = Session::with_jobs(2);
+        let bisect = bisect_matrix(&session).unwrap();
+        let faults = crate::faults::fault_matrix(&session).unwrap();
+        // Index fault-matrix exposed counts by (kind, mode, technique).
+        let mut exposed: Vec<(String, bool)> = Vec::new();
+        for line in faults.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.first() != Some(&"signal") && fields.first() != Some(&"preempt") {
+                continue;
+            }
+            let key = format!("{}/{}/{}", fields[0], fields[1], fields[2]);
+            exposed.push((key, fields[6] != "0"));
+        }
+        let mut checked = 0;
+        for line in bisect.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.first() != Some(&"signal") && fields.first() != Some(&"preempt") {
+                continue;
+            }
+            let key = format!("{}/{}/{}", fields[0], fields[1], fields[2]);
+            let any_exposed = exposed
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, e)| e)
+                .expect("fault matrix covers the same grid");
+            assert_eq!(
+                fields[4] != "-",
+                any_exposed,
+                "bisection found a first boundary iff the sweep exposed any: {key}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 2 * 2 * WINDOWED_TECHNIQUES.len());
+    }
+}

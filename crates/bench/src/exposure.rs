@@ -55,6 +55,7 @@ fn campaign_error(technique: Technique, workload: &str, e: CampaignError) -> Mea
     let failure = match e {
         CampaignError::Framework(fe) => CellFailure::from(fe),
         CampaignError::CleanRun { trap, .. } => CellFailure::Trapped(trap),
+        CampaignError::Replay { error, .. } => CellFailure::Replay(error),
     };
     MeasureError {
         benchmark: "exposure-static",

@@ -43,11 +43,15 @@ impl EventKind {
 }
 
 /// Maps a campaign failure into the harness's structured cell error.
-fn cell_error(kind: EventKind, mode: HandlerMode, e: CampaignError) -> MeasureError {
+/// Shared with the bisection artifact ([`crate::bisect`]).
+pub(crate) fn cell_error(kind: EventKind, mode: HandlerMode, e: CampaignError) -> MeasureError {
     let (technique, failure) = match e {
         CampaignError::Framework(fe) => (None, CellFailure::from(fe)),
         CampaignError::CleanRun { technique, trap } => {
             (Some(technique), CellFailure::Trapped(trap))
+        }
+        CampaignError::Replay { technique, error } => {
+            (Some(technique), CellFailure::Replay(error))
         }
     };
     MeasureError {

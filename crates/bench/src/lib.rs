@@ -19,6 +19,9 @@
 //! * [`faults`] — the fault-injection matrix: hostile signal handlers
 //!   and preemptions swept into every instruction boundary of each
 //!   technique's domain window (async companion to Table 2).
+//! * [`bisect`] — the exposure-bisection matrix: binary search over the
+//!   recorded clean run for the first boundary where an injected event
+//!   leaves the window exposed, cross-checked against the linear sweep.
 //! * [`exposure`] — static exposure-window bounds from the
 //!   `memsentry-check` interprocedural analyzer, cross-validated against
 //!   the fault matrix (static bound must dominate measured exposure).
@@ -27,6 +30,7 @@
 //! same computations under Criterion for wall-clock tracking.
 
 pub mod ablation;
+pub mod bisect;
 pub mod cli;
 pub mod exposure;
 pub mod extras;

@@ -79,6 +79,8 @@ pub enum CellFailure {
     },
     /// The (instrumented) program trapped instead of exiting.
     Trapped(Trap),
+    /// Rewinding a recorded run failed (snapshot/restore lost state).
+    Replay(memsentry_cpu::replay::ReplayError),
 }
 
 impl core::fmt::Display for CellFailure {
@@ -91,6 +93,7 @@ impl core::fmt::Display for CellFailure {
                 operation,
             } => write!(f, "technique {technique} does not support {operation}"),
             CellFailure::Trapped(t) => write!(f, "program trapped: {t}"),
+            CellFailure::Replay(e) => write!(f, "replay failed: {e}"),
         }
     }
 }

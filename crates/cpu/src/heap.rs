@@ -27,6 +27,15 @@ pub trait HeapPolicy: std::fmt::Debug {
     /// Clones the policy (including its free lists and any RNG state) for
     /// machine snapshots; `Box<dyn HeapPolicy>` cannot derive `Clone`.
     fn box_clone(&self) -> Box<dyn HeapPolicy>;
+    /// Feeds the policy's semantic state into `d` for
+    /// [`crate::Machine::state_digest`]. The default digests only
+    /// [`Self::live_bytes`] — heap *contents* live in simulated physical
+    /// memory and are covered by the address-space digest — but policies
+    /// with replay-relevant internal state (the default allocator's bump
+    /// cursor and free lists) should override it.
+    fn digest_into(&self, d: &mut memsentry_mmu::Digest) {
+        d.write_u64(self.live_bytes());
+    }
 }
 
 /// The default bump allocator with size-classed free lists.
@@ -103,6 +112,31 @@ impl HeapPolicy for BumpAllocator {
 
     fn box_clone(&self) -> Box<dyn HeapPolicy> {
         Box::new(self.clone())
+    }
+
+    fn digest_into(&self, d: &mut memsentry_mmu::Digest) {
+        d.write_u64(self.next);
+        d.write_u64(self.mapped_until);
+        // The hash maps iterate in arbitrary order; sort for determinism.
+        let mut classes: Vec<u64> = self.free_lists.keys().copied().collect();
+        classes.sort_unstable();
+        d.write_u64(classes.len() as u64);
+        for class in classes {
+            d.write_u64(class);
+            let list = &self.free_lists[&class];
+            d.write_u64(list.len() as u64);
+            for &ptr in list {
+                d.write_u64(ptr);
+            }
+        }
+        let mut live: Vec<(u64, u64)> = self.sizes.iter().map(|(&p, &c)| (p, c)).collect();
+        live.sort_unstable();
+        d.write_u64(live.len() as u64);
+        for (ptr, class) in live {
+            d.write_u64(ptr);
+            d.write_u64(class);
+        }
+        d.write_u64(self.live);
     }
 }
 

@@ -20,6 +20,11 @@
 //! System calls go to a pluggable [`kernel::SyscallHandler`]; the default
 //! kernel implements `exit`, `write`, `mprotect` and `pkey_mprotect` — the
 //! calls the paper's techniques and baselines need.
+//!
+//! The [`replay`] module layers deterministic record-replay on top of
+//! [`machine::Machine::snapshot`]/`restore`: a captured [`replay::Recording`]
+//! rewinds the machine to any instruction boundary bit-exactly, and powers
+//! exposure bisection and the crash-consistency sweep.
 
 pub mod cost;
 pub(crate) mod decode;
@@ -27,6 +32,7 @@ pub mod events;
 pub mod heap;
 pub mod kernel;
 pub mod machine;
+pub mod replay;
 pub mod stats;
 pub mod threads;
 pub mod trap;
@@ -36,6 +42,7 @@ pub use events::{DomainClosure, Event, EventAction, EventSchedule, SignalPolicy}
 pub use heap::{BumpAllocator, HeapPolicy};
 pub use kernel::{DefaultKernel, HypercallHandler, SyscallHandler};
 pub use machine::{AccessTracer, Machine, MachineConfig, MachineSnapshot, RunOutcome};
+pub use replay::{bisect_first, crash_sweep, CrashSweepReport, CrashViolation, Recording, ReplayError};
 pub use stats::ExecStats;
 pub use threads::ThreadCtx;
 pub use trap::Trap;

@@ -317,6 +317,12 @@ impl Machine {
         self.bnd[i]
     }
 
+    /// The current program counter (next instruction to execute); the
+    /// `msentry replay` state printer reports it per boundary.
+    pub fn pc(&self) -> CodeAddr {
+        self.pc
+    }
+
     /// Execution statistics so far.
     pub fn stats(&self) -> &ExecStats {
         &self.stats
@@ -1172,6 +1178,109 @@ impl Machine {
         self.events = None;
         self.signal_frames.clear();
         self.preempt = None;
+    }
+
+    /// Hashes the machine's full semantic state into one deterministic
+    /// 64-bit value: registers, bounds, the program counter, every
+    /// [`ExecStats`] counter (cycles by bit pattern), halt status, all
+    /// mode flags, the thread table, the heap policy, injection depth
+    /// (live signal frames, unfired events, in-flight preemption) and the
+    /// address-space digest. Bookkeeping that cannot affect future
+    /// execution — dirty-tracking lists, the translation memo, snapshot
+    /// identity — is deliberately excluded, so a machine rewound via
+    /// checkpoint + delta restore and a machine run from the start digest
+    /// identically exactly when they are observationally identical. The
+    /// replay subsystem's equality assertions are built on this.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = memsentry_mmu::Digest::new();
+        for &r in &self.regs {
+            d.write_u64(r);
+        }
+        for &(lo, hi) in &self.bnd {
+            d.write_u64(lo);
+            d.write_u64(hi);
+        }
+        d.write_u64(self.pc.func.0 as u64);
+        d.write_u64(self.pc.index as u64);
+        let s = &self.stats;
+        for counter in [
+            s.instructions,
+            s.loads,
+            s.stores,
+            s.calls,
+            s.indirect_calls,
+            s.rets,
+            s.syscalls,
+            s.vmcalls,
+            s.vmfuncs,
+            s.wrpkrus,
+            s.bound_checks,
+            s.aes_chunks,
+            s.allocator_calls,
+            s.sgx_transitions,
+            s.signals,
+            s.preemptions,
+            s.cycles.to_bits(),
+        ] {
+            d.write_u64(counter);
+        }
+        match self.halted {
+            Some(code) => {
+                d.write_u8(1);
+                d.write_u64(code);
+            }
+            None => d.write_u8(0),
+        }
+        d.write_u8(self.in_vm as u8);
+        d.write_u8(self.keys_in_xmm as u8);
+        d.write_u8(self.in_enclave as u8);
+        d.write_u8(self.syscall_passthrough as u8);
+        d.write_u8(self.cipher.is_some() as u8);
+        match self.last_masked {
+            Some(reg) => {
+                d.write_u8(1);
+                d.write_u64(reg.index() as u64);
+            }
+            None => d.write_u8(0),
+        }
+        match self.epc {
+            Some((lo, hi)) => {
+                d.write_u8(1);
+                d.write_u64(lo);
+                d.write_u64(hi);
+            }
+            None => d.write_u8(0),
+        }
+        d.write_u64(self.forced_alloc_failures);
+        d.write_u64(self.threads.len() as u64);
+        for t in &self.threads {
+            for &r in &t.regs {
+                d.write_u64(r);
+            }
+            d.write_u64(t.pc.func.0 as u64);
+            d.write_u64(t.pc.index as u64);
+            d.write_u64(t.pkru.0 as u64);
+            match t.halted {
+                Some(code) => {
+                    d.write_u8(1);
+                    d.write_u64(code);
+                }
+                None => d.write_u8(0),
+            }
+            d.write_u64(t.stack_base);
+        }
+        d.write_u64(self.active_thread as u64);
+        d.write_u64(self.signal_depth() as u64);
+        d.write_u64(self.pending_events() as u64);
+        d.write_u8(self.preempt_active() as u8);
+        if let Some(heap) = &self.heap {
+            d.write_u8(1);
+            heap.digest_into(&mut d);
+        } else {
+            d.write_u8(0);
+        }
+        self.space.digest_into(&mut d);
+        d.finish()
     }
 }
 

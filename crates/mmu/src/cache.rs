@@ -9,6 +9,8 @@
 //! Geometry is Skylake-like: 32 KiB 8-way L1D, 256 KiB 8-way L2, 8 MiB
 //! 16-way L3, 64-byte lines.
 
+use crate::digest::Digest;
+
 /// Cache line size in bytes.
 pub const LINE: u64 = 64;
 
@@ -106,6 +108,19 @@ impl Level {
         self.dirty.clear();
     }
 
+    /// Feeds the level's semantic state — every set's tag vector in MRU
+    /// order — into `d`. Tracking bookkeeping is excluded (set contents
+    /// define equality, per the field docs).
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_u64(self.sets.len() as u64);
+        for set in &self.sets {
+            d.write_u64(set.len() as u64);
+            for &tag in set {
+                d.write_u64(tag);
+            }
+        }
+    }
+
     /// Rewinds only the sets dirtied since tracking (re)started; `src`
     /// must be the state `self` had at that moment (same geometry).
     fn restore_from(&mut self, src: &Level) {
@@ -170,6 +185,18 @@ impl CacheHierarchy {
     /// Accumulated per-level counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Feeds the hierarchy's semantic state (all three levels' set
+    /// contents plus the hit counters) into `d`.
+    pub fn digest_into(&self, d: &mut Digest) {
+        self.l1.digest_into(d);
+        self.l2.digest_into(d);
+        self.l3.digest_into(d);
+        d.write_u64(self.stats.l1);
+        d.write_u64(self.stats.l2);
+        d.write_u64(self.stats.l3);
+        d.write_u64(self.stats.dram);
     }
 
     /// Starts (or restarts) dirty-set tracking on every level so a later

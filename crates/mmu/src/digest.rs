@@ -1,0 +1,113 @@
+//! A tiny structural digest for semantic machine state.
+//!
+//! The replay subsystem (`memsentry-cpu`'s `replay` module) needs to
+//! compare "is the machine at boundary *N* reached via checkpoint +
+//! delta-restore bit-identical to the same boundary reached from the
+//! start?" without holding two full machines alive. Rather than derive
+//! `Hash` — which would drag bookkeeping fields (dirty-frame lists,
+//! translation memos, LRU statistics epochs) into the comparison — each
+//! state-bearing type exposes a `digest_into` method that feeds exactly
+//! its *semantic* state into this digest, in a documented, stable order.
+//!
+//! The hash itself is FNV-1a over 64 bits: not cryptographic, but
+//! deterministic across platforms and runs (no `RandomState`), cheap,
+//! and entirely dependency-free. Collisions are astronomically unlikely
+//! for the test-sized states compared here, and every digest equality
+//! asserted in tests is backed by an independent field-by-field check in
+//! at least one proptest.
+
+/// An incremental FNV-1a 64-bit hasher with a stable, seedless basis.
+///
+/// Feed state with [`Digest::write_u64`] / [`Digest::write_bytes`] and
+/// extract the value with [`Digest::finish`]. Two digests are comparable
+/// only if both sides fed the same field sequence — the per-type
+/// `digest_into` methods define that sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// A fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feeds one byte.
+    #[inline]
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= byte as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a `u64` as eight little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Feeds a byte slice, length-prefixed so adjacent slices cannot
+    /// alias (`[a,b] ++ [c]` digests differently from `[a] ++ [b,c]`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_the_offset_basis() {
+        assert_eq!(Digest::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut d = Digest::new();
+        d.write_u8(b'a');
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut ab = Digest::new();
+        ab.write_u64(1);
+        ab.write_u64(2);
+        let mut ba = Digest::new();
+        ba.write_u64(2);
+        ba.write_u64(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_adjacent_slices() {
+        let mut split = Digest::new();
+        split.write_bytes(&[1, 2]);
+        split.write_bytes(&[3]);
+        let mut shifted = Digest::new();
+        shifted.write_bytes(&[1]);
+        shifted.write_bytes(&[2, 3]);
+        assert_ne!(split.finish(), shifted.finish());
+    }
+}

@@ -94,6 +94,28 @@ impl Ept {
         self.entries.insert(gpfn, None);
     }
 
+    /// Feeds the table's mappings into `d` in sorted-gpfn order (the
+    /// backing map iterates in arbitrary order, so sorting keeps the
+    /// digest deterministic).
+    pub fn digest_into(&self, d: &mut crate::digest::Digest) {
+        let mut gpfns: Vec<u64> = self.entries.keys().copied().collect();
+        gpfns.sort_unstable();
+        d.write_u64(gpfns.len() as u64);
+        for gpfn in gpfns {
+            d.write_u64(gpfn);
+            match self.entries[&gpfn] {
+                Some(e) => {
+                    d.write_u8(1);
+                    d.write_u64(e.hpfn);
+                    d.write_u8(e.read as u8);
+                    d.write_u8(e.write as u8);
+                    d.write_u8(e.exec as u8);
+                }
+                None => d.write_u8(0),
+            }
+        }
+    }
+
     /// Number of populated (or denied) slots.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -144,6 +166,18 @@ impl EptSet {
     /// Index of the active EPT.
     pub fn active_index(&self) -> usize {
         self.active
+    }
+
+    /// Feeds the whole EPTP list (every table, the active pointer, the
+    /// fill policy and the switch counter) into `d`.
+    pub fn digest_into(&self, d: &mut crate::digest::Digest) {
+        d.write_u64(self.epts.len() as u64);
+        for ept in &self.epts {
+            ept.digest_into(d);
+        }
+        d.write_u64(self.active as u64);
+        d.write_u8(self.demand_fill as u8);
+        d.write_u64(self.switches);
     }
 
     /// Number of `vmfunc` switches performed.

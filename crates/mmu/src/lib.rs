@@ -23,11 +23,16 @@
 //!   (TLB -> page walk -> pkey check -> optional EPT check) that the CPU
 //!   performs loads and stores through, plus an `mprotect`-style interface
 //!   used by the paper's page-permission baseline.
+//! * [`digest`] — a deterministic structural hasher; each type above feeds
+//!   its *semantic* state (never restore-tracking or memo bookkeeping)
+//!   into a [`digest::Digest`], which the replay subsystem uses to assert
+//!   bit-equality between rewound and from-start machine states.
 //!
 //! All checks return typed [`Fault`]s; nothing panics on a bad guest access.
 
 pub mod addr;
 pub mod cache;
+pub mod digest;
 pub mod ept;
 pub mod phys;
 pub mod pkey;
@@ -38,6 +43,7 @@ pub mod walk;
 
 pub use addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE, SENSITIVE_BASE, VA_BITS};
 pub use cache::{CacheHierarchy, CacheStats, HitLevel};
+pub use digest::Digest;
 pub use ept::{EptSet, EptViolation};
 pub use phys::PhysMemory;
 pub use pkey::{Pkru, PKEY_COUNT};

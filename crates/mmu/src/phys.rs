@@ -10,6 +10,7 @@
 //! bounds-checked index instead of a hash per byte.
 
 use crate::addr::{PhysAddr, PAGE_SIZE};
+use crate::digest::Digest;
 
 /// Simulated physical memory: lazily materialized 4 KiB frames indexed by
 /// frame number.
@@ -156,6 +157,35 @@ impl PhysMemory {
             self.materialized += 1;
         }
         slot.get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Feeds the memory's semantic state into `d`: every materialized
+    /// frame with nonzero content (as `(pfn, bytes)` in frame order),
+    /// the count of such frames, the allocator cursor, and the frame
+    /// limit. A frame that is materialized but all-zero digests the same
+    /// as an unmaterialized one — demand materialization is an
+    /// implementation artifact, not guest-visible state — and the
+    /// dirty-tracking bookkeeping is excluded entirely.
+    pub fn digest_into(&self, d: &mut Digest) {
+        let mut nonzero = 0u64;
+        for (pfn, frame) in self.frames.iter().enumerate() {
+            if let Some(frame) = frame {
+                if frame.iter().any(|&b| b != 0) {
+                    nonzero += 1;
+                    d.write_u64(pfn as u64);
+                    d.write_bytes(frame);
+                }
+            }
+        }
+        d.write_u64(nonzero);
+        d.write_u64(self.next_free_pfn);
+        match self.frame_limit {
+            Some(limit) => {
+                d.write_u8(1);
+                d.write_u64(limit);
+            }
+            None => d.write_u8(0),
+        }
     }
 
     /// Reads `buf.len()` bytes starting at `addr`, crossing frames as needed.

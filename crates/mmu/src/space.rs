@@ -602,6 +602,34 @@ impl AddressSpace {
         }
     }
 
+    /// Feeds the space's semantic state into `d`: physical memory, the
+    /// cache hierarchy, the TLB, every view's root frame (page-table
+    /// *contents* live in physical frames and are covered by the memory
+    /// digest), the active view, PKRU, the EPTP list, and the `mprotect`
+    /// counter. The translation memo and its epoch are excluded — the
+    /// memo is a pure cache validated against the fields above on every
+    /// consultation, so two spaces differing only in memo state are
+    /// observationally identical.
+    pub fn digest_into(&self, d: &mut crate::digest::Digest) {
+        self.pm.digest_into(d);
+        self.cache.digest_into(d);
+        self.tlb.digest_into(d);
+        d.write_u64(self.views.len() as u64);
+        for view in &self.views {
+            d.write_u64(view.root().0);
+        }
+        d.write_u64(self.active_view as u64);
+        d.write_u64(self.pkru.0 as u64);
+        match &self.ept {
+            Some(ept) => {
+                d.write_u8(1);
+                ept.digest_into(d);
+            }
+            None => d.write_u8(0),
+        }
+        d.write_u64(self.mprotect_calls);
+    }
+
     // --- incremental snapshot/restore support -------------------------------
 
     /// Starts (or restarts) dirty tracking on the physical memory and the

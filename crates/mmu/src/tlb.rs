@@ -7,6 +7,7 @@
 //! using the PCID feature" alternative of paper §3.1). The TLB is modeled
 //! explicitly and its hit/miss counts feed the cycle cost model.
 
+use crate::digest::Digest;
 use crate::pte::Pte;
 
 /// Number of TLB entries (a Skylake-ish L1 dTLB).
@@ -114,6 +115,24 @@ impl Tlb {
     /// Returns the accumulated statistics.
     pub fn stats(&self) -> TlbStats {
         self.stats
+    }
+
+    /// Feeds the TLB's semantic state into `d`: every valid entry as
+    /// `(slot, pcid, vpn, pte)` plus the statistics. Invalid slots digest
+    /// identically regardless of the stale tag bits they retain.
+    pub fn digest_into(&self, d: &mut Digest) {
+        for (slot, e) in self.entries.iter().enumerate() {
+            if e.valid {
+                d.write_u64(slot as u64);
+                d.write_u64(e.pcid as u64);
+                d.write_u64(e.vpn);
+                d.write_u64(e.pte.0);
+            }
+        }
+        d.write_u64(self.stats.hits);
+        d.write_u64(self.stats.misses);
+        d.write_u64(self.stats.flushes);
+        d.write_u64(self.stats.page_flushes);
     }
 
     /// Copies `src`'s entries and statistics into `self` without

@@ -23,6 +23,31 @@
 //!                                            same --fuel/--inject options;
 //!                                            scrubbed delivery closes to the
 //!                                            technique's domain closure)
+//! msentry replay <file> --at N               record the run once (checkpoint
+//!                                            stream + event schedule), rewind
+//!                                            bit-exactly to boundary N, and
+//!                                            print architectural state,
+//!                                            domain-window status and stats
+//!   [-t <technique> [-a <application>]]      instrument + prepare like
+//!                                            `protect` before recording
+//!   [--fuel N] [--inject SPEC]...            same options as `run`; injected
+//!   [--handler FN] [--no-scrub]              events are part of the recording
+//!                                            and replay deterministically
+//!   [--spacing K]                            checkpoint every K boundaries
+//!                                            (default 64)
+//!   [--bisect]                               binary-search the first boundary
+//!                                            where the --inject event (its @N
+//!                                            re-aimed per probe) leaves the
+//!                                            mailbox holding the secret
+//!   [--mailbox ADDR] [--secret VALUE]        exposure oracle for --bisect
+//!                                            (defaults: the fault campaign's
+//!                                            mailbox/secret)
+//!   [--crash-sweep]                          inject a crash at every boundary
+//!                                            (drop live state, recover from
+//!                                            the nearest checkpoint) and
+//!                                            assert the recovered state
+//!                                            digests equal to a crash-free
+//!                                            reference run
 //! msentry check <file> [--address r|w|rw]    parse + verify + isolation
 //!                                            soundness analysis (domain
 //!                                            windows — interprocedural via
@@ -55,14 +80,17 @@
 
 use std::process::ExitCode;
 
+use memsentry_repro::attacks::campaign;
 use memsentry_repro::check::{
     check_json, check_program, exposure_windows, AddressPolicy, CheckPolicy, Summaries,
 };
 use memsentry_repro::cpu::cost::CostModel;
+use memsentry_repro::cpu::replay::{bisect_first, crash_sweep, Recording, ReplayError};
 use memsentry_repro::cpu::{
     Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
 };
-use memsentry_repro::ir::{parse_program, print::format_program, verify, FuncId, Program};
+use memsentry_repro::ir::{parse_program, print::format_program, verify, FuncId, Program, Reg};
+use memsentry_repro::mmu::VirtAddr;
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
 
 fn technique_from(name: &str) -> Option<Technique> {
@@ -134,30 +162,35 @@ fn parse_inject(spec: &str) -> Result<Event, String> {
              write@N:ADDR,VALUE, alloc-fail@N:COUNT)"
         )
     };
+    // Funnel every numeric field through this so a malformed number —
+    // trailing garbage (`signal@5x`), an overflowing index, an empty
+    // field — surfaces as the full "bad inject spec" diagnostic with the
+    // spec grammar, not a bare "bad number".
+    let num = |s: &str| parse_u64(s).map_err(|_| bad());
     let (kind, rest) = spec.split_once('@').ok_or_else(bad)?;
     let (at, args) = match rest.split_once(':') {
-        Some((at, args)) => (parse_u64(at)?, Some(args)),
-        None => (parse_u64(rest)?, None),
+        Some((at, args)) => (num(at)?, Some(args)),
+        None => (num(rest)?, None),
     };
     let action = match (kind, args) {
         ("signal", None) => EventAction::Signal,
         ("preempt", Some(args)) => {
             let (to, quantum) = args.split_once(',').ok_or_else(bad)?;
             EventAction::Preempt {
-                to: parse_u64(to)? as usize,
-                quantum: parse_u64(quantum)?,
+                to: num(to)? as usize,
+                quantum: num(quantum)?,
                 scrub: true,
             }
         }
         ("write", Some(args)) => {
             let (addr, value) = args.split_once(',').ok_or_else(bad)?;
             EventAction::Write {
-                addr: parse_u64(addr)?,
-                value: parse_u64(value)?,
+                addr: num(addr)?,
+                value: num(value)?,
             }
         }
         ("alloc-fail", Some(count)) => EventAction::FailAllocs {
-            count: parse_u64(count)?,
+            count: num(count)?,
         },
         _ => return Err(bad()),
     };
@@ -252,12 +285,258 @@ fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOption
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: msentry <run|check|instrument|protect|techniques> [<file>] \
+        "usage: msentry <run|replay|check|instrument|protect|techniques> [<file>] \
          [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>] \
          [--json] [--exposure] [--summaries] \
-         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub]"
+         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub] \
+         [--at <boundary>] [--spacing <k>] [--bisect] [--mailbox <addr>] \
+         [--secret <value>] [--crash-sweep]"
     );
     ExitCode::FAILURE
+}
+
+/// The `replay` subcommand: record the run once (checkpoint stream plus
+/// event schedule), then rewind to a boundary, bisect exposure, or sweep
+/// crash recovery over every boundary.
+fn replay_cmd(args: &[String], mut program: Program, opts: &RunOptions) -> ExitCode {
+    // With -t the listing is instrumented and prepared exactly like
+    // `protect`, so the recording has real domain windows to inspect.
+    let framework = match flag(args, "-t").as_deref().map(technique_from) {
+        Some(Some(technique)) => {
+            let application = match flag(args, "-a").as_deref().map(application_from) {
+                Some(Some(a)) => a,
+                None => Application::ProgramData,
+                Some(None) => {
+                    eprintln!("unknown -a <application> (try: shadow-stack, cfi, cpi, heap, data)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let region = flag(args, "--region")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4096);
+            let fw = MemSentry::new(technique, region);
+            if let Err(e) = fw.instrument(&mut program, application) {
+                eprintln!("instrumentation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Some(fw)
+        }
+        Some(None) => {
+            eprintln!(
+                "unknown -t <technique> (try: mpk, mpx, sfi, vmfunc, crypt, sgx, mprotect, pts)"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let mut m = Machine::new(program);
+    if let Some(fw) = &framework {
+        if let Err(e) = fw.prepare_machine(&mut m) {
+            eprintln!("prepare failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        m.set_domain_closure(fw.signal_closure());
+    }
+    if let Some(fuel) = opts.fuel {
+        m.set_fuel(fuel);
+    }
+    if let Some(handler) = opts.handler {
+        m.set_signal_policy(SignalPolicy {
+            handler,
+            scrub: opts.scrub,
+        });
+    }
+    let spacing = match flag(args, "--spacing") {
+        Some(s) => match parse_u64(&s) {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bad --spacing '{s}' (want a positive boundary count)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 64,
+    };
+    let bisect = args.iter().any(|a| a == "--bisect");
+    // --bisect records the *clean* run and injects per probe; the other
+    // modes bake the --inject schedule into the recording itself.
+    let recorded: &[Event] = if bisect { &[] } else { &opts.events };
+    let rec = Recording::capture(&mut m, spacing, recorded);
+    eprintln!(
+        "recorded {} boundaries, {} checkpoint(s), spacing {spacing}",
+        rec.boundaries(),
+        rec.checkpoint_count()
+    );
+    match rec.outcome() {
+        RunOutcome::Exited(code) => eprintln!("recorded run exits with {code:#x}"),
+        RunOutcome::Trapped(Trap::OutOfFuel) => eprintln!(
+            "recorded run is out of fuel after {} instructions (raise --fuel)",
+            rec.boundaries()
+        ),
+        RunOutcome::Trapped(t) => eprintln!("recorded run traps: {t}"),
+    }
+    if args.iter().any(|a| a == "--crash-sweep") {
+        return run_crash_sweep(&rec, &mut m);
+    }
+    if bisect {
+        return run_bisect(args, &rec, &mut m, opts);
+    }
+    match flag(args, "--at") {
+        Some(at) => {
+            let at = match parse_u64(&at) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = rec.seek(&mut m, at) {
+                eprintln!("replay: {e}");
+                return ExitCode::FAILURE;
+            }
+            print_state(&m, &rec, at);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("replay needs one of --at <boundary>, --bisect, --crash-sweep");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints architectural state, domain-window status and stats of the
+/// machine rewound to boundary `at`.
+fn print_state(m: &Machine, rec: &Recording, at: u64) {
+    let pc = m.pc();
+    println!(
+        "boundary {at} of {}: {} instructions retired, {:.0} cycles",
+        rec.boundaries(),
+        m.stats().instructions,
+        m.cycles()
+    );
+    println!(
+        "pc fn{} <{}> +{}{}",
+        pc.func.0,
+        m.program().func(pc.func).name,
+        pc.index,
+        if m.is_halted() { " (halted)" } else { "" }
+    );
+    for row in Reg::ALL.chunks(4) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|&r| format!("{r}={:#018x}", m.reg(r)))
+            .collect();
+        println!("  {}", cells.join("  "));
+    }
+    println!(
+        "domain: pkru={:#010x} in_vm={} in_enclave={}",
+        m.space.pkru.0,
+        m.in_vm(),
+        m.in_enclave()
+    );
+    println!(
+        "events: pending={} signal_depth={} preempt_active={}",
+        m.pending_events(),
+        m.signal_depth(),
+        m.preempt_active()
+    );
+    let s = m.stats();
+    println!(
+        "stats: loads={} stores={} calls={} syscalls={} wrpkrus={} vmfuncs={} \
+         aes_chunks={} sgx_transitions={} signals={} preemptions={}",
+        s.loads,
+        s.stores,
+        s.calls,
+        s.syscalls,
+        s.wrpkrus,
+        s.vmfuncs,
+        s.aes_chunks,
+        s.sgx_transitions,
+        s.signals,
+        s.preemptions
+    );
+    println!("state digest {:#018x}", m.state_digest());
+}
+
+/// Drives the crash-consistency sweep and renders the report.
+fn run_crash_sweep(rec: &Recording, m: &mut Machine) -> ExitCode {
+    match crash_sweep(rec, m) {
+        Ok(report) if report.is_consistent() => {
+            println!(
+                "crash sweep: {} boundaries, {} checkpoint(s), every recovery bit-exact",
+                report.boundaries, report.checkpoints
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                println!(
+                    "boundary {}: recovered {:#018x}, expected {:#018x}",
+                    v.boundary, v.recovered, v.expected
+                );
+            }
+            eprintln!(
+                "crash sweep: {} recovery violation(s)",
+                report.violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("crash sweep failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Binary-searches the first boundary where the injected event leaves the
+/// mailbox holding the secret — the fault campaign's exposure oracle.
+fn run_bisect(args: &[String], rec: &Recording, m: &mut Machine, opts: &RunOptions) -> ExitCode {
+    let Some(template) = opts.events.first() else {
+        eprintln!("--bisect needs an --inject spec; its @N is re-aimed at every probed boundary");
+        return ExitCode::FAILURE;
+    };
+    let mailbox = match flag(args, "--mailbox").as_deref().map(parse_u64) {
+        Some(Ok(a)) => a,
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => campaign::MAILBOX,
+    };
+    let secret = match flag(args, "--secret").as_deref().map(parse_u64) {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => campaign::SECRET,
+    };
+    let n = rec.boundaries();
+    let result = bisect_first(n, |b| {
+        rec.seek(m, b)?;
+        let mut event = *template;
+        event.at = rec.start() + b;
+        m.set_event_schedule(EventSchedule::new(vec![event]));
+        // A trapped probe counts as "not exposed" unless the mailbox
+        // already holds the secret at the trap point.
+        let _ = m.run();
+        let mut buf = [0u8; 8];
+        m.space.peek(VirtAddr(mailbox), &mut buf);
+        Ok::<bool, ReplayError>(u64::from_le_bytes(buf) == secret)
+    });
+    match result {
+        Ok((Some(first), probes)) => {
+            println!("first exposed boundary: {first} (of {n}; {probes} probes vs {n} linear)");
+            ExitCode::SUCCESS
+        }
+        Ok((None, probes)) => {
+            println!("no exposed boundary in 0..{n} ({probes} probes)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bisect failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -271,7 +550,7 @@ fn main() -> ExitCode {
             println!("plus extensions: PTS (page-table switching, PCID)");
             ExitCode::SUCCESS
         }
-        "run" | "check" | "instrument" | "protect" => {
+        "run" | "replay" | "check" | "instrument" | "protect" => {
             let Some(path) = args.get(1) else {
                 return usage();
             };
@@ -366,6 +645,9 @@ fn main() -> ExitCode {
             };
             if cmd == "run" {
                 return run_machine(None, program, &opts);
+            }
+            if cmd == "replay" {
+                return replay_cmd(&args, program, &opts);
             }
             // instrument / protect
             let technique = match flag(&args, "-t").as_deref().map(technique_from) {

@@ -19,6 +19,21 @@ fn run(args: &[&str]) -> (bool, String) {
     (out.status.success(), text)
 }
 
+/// Like [`run`] but reporting the raw exit code, for paths with
+/// distinct codes (out-of-fuel exits 2).
+fn run_code(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(MSENTRY)
+        .args(args)
+        .output()
+        .expect("spawn msentry");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code(), text)
+}
+
 fn data(name: &str) -> String {
     format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
 }
@@ -192,6 +207,134 @@ fn protect_runs_under_each_technique() {
             );
         }
     }
+}
+
+#[test]
+fn malformed_inject_specs_are_rejected_loudly() {
+    // Every malformed shape — trailing garbage after the index, a
+    // missing :ARGS clause, a missing tuple field, an overflowing
+    // number, an unknown kind — gets the full spec-grammar diagnostic.
+    for spec in [
+        "signal@5x",
+        "signal@",
+        "preempt@5",
+        "preempt@5:3",
+        "write@5:1",
+        "alloc-fail@5",
+        "signal@99999999999999999999999",
+        "write@5:0x10000,1z",
+        "quantum-leap@5",
+        "signal",
+    ] {
+        let (ok, text) = run(&["run", DEMO, "--inject", spec]);
+        assert!(!ok, "'{spec}' must be rejected: {text}");
+        assert!(
+            text.contains("bad inject spec") && text.contains("signal@N"),
+            "'{spec}' must get the spec-grammar diagnostic: {text}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_inject_specs_still_parse() {
+    let (ok, text) = run(&["run", DEMO, "--inject", "write@2:0x7000,0x2a"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("exited with"), "{text}");
+}
+
+#[test]
+fn out_of_fuel_exits_2_with_a_distinct_diagnostic() {
+    let (code, text) = run_code(&["run", DEMO, "--fuel", "0"]);
+    assert_eq!(code, Some(2), "{text}");
+    assert!(
+        text.contains("out of fuel: 0 instructions retired without halting"),
+        "{text}"
+    );
+    assert!(text.contains("raise --fuel"), "{text}");
+}
+
+#[test]
+fn fuel_equal_to_the_retired_count_suffices() {
+    // Self-calibrating: learn the listing's instruction count from a
+    // free run, then pin the fuel boundary exactly — n completes,
+    // n-1 is out of fuel (exit 2).
+    let (ok, text) = run(&["run", DEMO]);
+    assert!(ok, "{text}");
+    let n: u64 = text
+        .split("after ")
+        .nth(1)
+        .and_then(|r| r.split(' ').next())
+        .and_then(|w| w.parse().ok())
+        .expect("run reports its instruction count");
+    let (code, text) = run_code(&["run", DEMO, "--fuel", &n.to_string()]);
+    assert_eq!(code, Some(0), "fuel == retired count must complete: {text}");
+    let (code, text) = run_code(&["run", DEMO, "--fuel", &(n - 1).to_string()]);
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains(&format!("out of fuel: {}", n - 1)), "{text}");
+}
+
+#[test]
+fn replay_at_prints_the_boundary_state() {
+    let (ok, text) = run(&["replay", DEMO, "--at", "3"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("recorded "), "{text}");
+    assert!(text.contains("boundary 3 of "), "{text}");
+    assert!(text.contains("pc fn"), "{text}");
+    assert!(text.contains("rax="), "{text}");
+    assert!(text.contains("domain: pkru="), "{text}");
+    assert!(text.contains("state digest 0x"), "{text}");
+}
+
+#[test]
+fn replay_under_a_technique_inspects_the_instrumented_run() {
+    let (ok, text) = run(&["replay", PRIV_DEMO, "-t", "mpk", "--at", "5"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("boundary 5 of "), "{text}");
+    assert!(text.contains("stats:"), "{text}");
+}
+
+#[test]
+fn replay_past_the_end_errors_cleanly() {
+    let (ok, text) = run(&["replay", DEMO, "--at", "999999"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("past the end of the run"), "{text}");
+}
+
+#[test]
+fn replay_needs_a_mode() {
+    let (ok, text) = run(&["replay", DEMO]);
+    assert!(!ok, "{text}");
+    assert!(
+        text.contains("--at <boundary>, --bisect, --crash-sweep"),
+        "{text}"
+    );
+}
+
+#[test]
+fn replay_crash_sweep_reports_bit_exact_recovery() {
+    for extra in [&[][..], &["-t", "mpk"][..]] {
+        let mut args = vec!["replay", PRIV_DEMO, "--crash-sweep"];
+        args.extend_from_slice(extra);
+        let (ok, text) = run(&args);
+        assert!(ok, "{extra:?}: {text}");
+        assert!(text.contains("every recovery bit-exact"), "{extra:?}: {text}");
+    }
+}
+
+#[test]
+fn replay_bisect_needs_an_inject_template() {
+    let (ok, text) = run(&["replay", DEMO, "--bisect"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("--bisect needs an --inject spec"), "{text}");
+}
+
+#[test]
+fn replay_bisect_proves_the_clean_listing_unexposed() {
+    // The demo listing never writes the campaign secret anywhere, so the
+    // search must probe to exhaustion and report no exposed boundary.
+    let (ok, text) = run(&["replay", DEMO, "--bisect", "--inject", "signal@0"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("no exposed boundary in 0.."), "{text}");
 }
 
 #[test]

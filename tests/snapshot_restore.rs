@@ -16,6 +16,12 @@
 //! * **Sweep** (randomized): snapshots taken at deterministic
 //!   pseudo-random boundaries all replay identically, the exact access
 //!   pattern the campaign performs.
+//! * **Interleaving** (property): restores of two or more snapshots in
+//!   any order — the access pattern of the record-replay `seek` path —
+//!   each land bit-identical to a fresh clone stepped straight to that
+//!   boundary, no matter what ran (or was restored) in between.
+
+use proptest::prelude::*;
 
 use memsentry_repro::cpu::{EventAction, EventSchedule, ExecStats, Machine};
 use memsentry_repro::ir::parse_program;
@@ -103,6 +109,77 @@ fn injected_events_and_their_damage_do_not_leak_through_restore() {
     // The restore rewinds the memory image and clears the schedule.
     m.restore(&snap);
     assert_eq!(finish(&mut m), reference, "corruption leaked through");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interleaved restores across ≥2 snapshots: the incremental
+    /// `restored_from` path in `Machine::restore` must reproduce each
+    /// snapshot bit-exactly however the restore order mixes them —
+    /// exactly what `Recording::seek` does when replay boundaries hop
+    /// between checkpoints. Every restore is checked against a fresh
+    /// clone stepped straight to the same boundary.
+    #[test]
+    fn interleaved_restores_match_fresh_clone_restores(
+        seed_a in 1u64..10_000,
+        seed_b in 1u64..10_000,
+        order in proptest::collection::vec(any::<bool>(), 2..8),
+        dirty in 0u64..5,
+    ) {
+        let (mut m, _fw) = mpk_machine();
+        let total = finish(&mut m).1.instructions;
+        let lo = 1 + seed_a.min(seed_b) % (total - 1);
+        let hi = 1 + seed_a.max(seed_b) % (total - 1);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+
+        // Reference state at each boundary, from fresh clones.
+        let fresh = |boundary: u64| {
+            let (mut c, _fw) = mpk_machine();
+            step_n(&mut c, boundary);
+            (c.state_digest(), *c.stats(), c.cycles())
+        };
+        let expect_lo = fresh(lo);
+        let expect_hi = fresh(hi);
+
+        // One live machine, two snapshots along its own run.
+        let (mut m, _fw) = mpk_machine();
+        step_n(&mut m, lo);
+        let snap_lo = m.snapshot();
+        step_n(&mut m, hi - lo);
+        let snap_hi = m.snapshot();
+
+        for &pick_hi in &order {
+            let (snap, expect) = if pick_hi {
+                (&snap_hi, &expect_hi)
+            } else {
+                (&snap_lo, &expect_lo)
+            };
+            m.restore(snap);
+            prop_assert_eq!(m.state_digest(), expect.0, "digest diverged");
+            prop_assert_eq!(*m.stats(), expect.1);
+            prop_assert_eq!(m.cycles(), expect.2);
+            // Dirty the machine before the next restore so each
+            // iteration restores across genuinely different state.
+            for _ in 0..dirty {
+                if m.is_halted() {
+                    break;
+                }
+                m.step().expect("clean run");
+            }
+        }
+
+        // And a full run from either snapshot still completes exactly
+        // like an undisturbed machine.
+        let reference = {
+            let (mut c, _fw) = mpk_machine();
+            finish(&mut c)
+        };
+        m.restore(&snap_lo);
+        prop_assert_eq!(finish(&mut m), reference);
+        m.restore(&snap_hi);
+        prop_assert_eq!(finish(&mut m), reference);
+    }
 }
 
 #[test]

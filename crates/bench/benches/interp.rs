@@ -72,6 +72,53 @@ fn bench_workload_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_configs(c: &mut Criterion) {
+    // The threaded-code engine ablation: the same gobmk workload driven
+    // by the compiled chains with superinstruction fusion (the default),
+    // by the compiled chains with fusion disabled (every op a single
+    // dispatch), and by the per-instruction decoded stepper
+    // (`MSENTRY_NO_THREADED`'s path). The fused-vs-unfused gap prices the
+    // measured pair set of EXPERIMENTS.md; the headline before/after is
+    // recorded in `BENCH_threaded.json`.
+    use memsentry_cpu::MachineConfig;
+
+    let profile = BenchProfile::by_name("gobmk").unwrap();
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks: SUPERBLOCKS,
+    });
+    let instructions = {
+        let mut m = Machine::new(workload.program.clone());
+        workload.prepare(&mut m);
+        m.run().expect_exit();
+        m.stats().instructions
+    };
+    let mut group = c.benchmark_group("interp");
+    group.throughput(Throughput::Elements(instructions));
+    for (name, threaded, fusion) in [
+        ("gobmk_threaded_fused", true, true),
+        ("gobmk_threaded_unfused", true, false),
+        ("gobmk_stepped", false, false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::with_config(
+                    black_box(workload.program.clone()),
+                    MachineConfig {
+                        threaded,
+                        fusion,
+                        ..MachineConfig::default()
+                    },
+                );
+                workload.prepare(&mut m);
+                m.run().expect_exit();
+                m.stats().instructions
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_kernel_throughput(c: &mut Criterion) {
     // A genuine (non-synthetic) program, load/store and branch heavy.
     let kernel = sort_kernel(256, 3);
@@ -116,6 +163,7 @@ fn bench_fault_sweep(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_workload_throughput,
+    bench_engine_configs,
     bench_kernel_throughput,
     bench_fault_sweep
 );

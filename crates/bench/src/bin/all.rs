@@ -9,7 +9,9 @@
 //! determinism job diffs `--jobs 1` against the parallel default).
 //! Progress, per-artifact wall-clock and per-artifact simulated
 //! instruction counts go to stdout, and the final summary reports
-//! aggregate interpreter throughput (simulated instructions per second).
+//! interpreter throughput (simulated instructions per second) — the
+//! aggregate plus the event-free vs in-sweep split, since whole-workload
+//! figure cells and boundary-cut injection sweeps are different regimes.
 //! `--json` additionally prints the whole summary as one JSON object on
 //! stdout (nothing extra is written into `results/`, which must stay
 //! byte-determined by the measurement inputs alone). A failing artifact
@@ -35,6 +37,11 @@ struct StageRecord {
     name: String,
     seconds: f64,
     sim_instructions: u64,
+    /// In-sweep share of `sim_instructions` (instructions retired inside
+    /// checkpointed injection sweeps this stage forced; zero for pure
+    /// event-free stages). Stages run serially, so the per-stage
+    /// wall-clock splits exactly along this line.
+    sweep_instructions: u64,
 }
 
 /// Times one artifact, writes it on success, records the failure
@@ -51,16 +58,19 @@ fn stage(
 ) {
     let started = Instant::now();
     let insts_before = session.sim_instructions();
+    let sweep_before = session.sweep_instructions();
     match produce() {
         Ok(content) => {
             fs::write(out.join(name), content).expect("write result");
             let seconds = started.elapsed().as_secs_f64();
             let sim_instructions = session.sim_instructions() - insts_before;
+            let sweep_instructions = session.sweep_instructions() - sweep_before;
             println!("wrote results/{name}  ({seconds:.2}s, {sim_instructions} sim insts)");
             records.push(StageRecord {
                 name: name.to_string(),
                 seconds,
                 sim_instructions,
+                sweep_instructions,
             });
         }
         Err(e) => {
@@ -127,15 +137,18 @@ fn main() {
     for (n, figure_fn, target) in figure_fns {
         let computed = Instant::now();
         let insts_before = session.sim_instructions();
+        let sweep_before = session.sweep_instructions();
         match figure_fn(&session, sb) {
             Ok(fig) => {
                 let seconds = computed.elapsed().as_secs_f64();
                 let sim_instructions = session.sim_instructions() - insts_before;
+                let sweep_instructions = session.sweep_instructions() - sweep_before;
                 println!("computed figure {n}  ({seconds:.2}s, {sim_instructions} sim insts)");
                 records.push(StageRecord {
                     name: format!("fig{n}"),
                     seconds,
                     sim_instructions,
+                    sweep_instructions,
                 });
                 stage(
                     out,
@@ -316,6 +329,35 @@ fn main() {
         "{sim_instructions} instructions simulated ({:.2} Minst/s aggregate)",
         per_sec / 1e6
     );
+    // Event-free vs in-sweep throughput: whole-workload figure/table
+    // cells run the threaded engine with no injection boundaries, while
+    // the campaign sweeps cut and replay execution at every boundary —
+    // two very different regimes one aggregate number would blur. Stages
+    // run serially, so attributing each stage's wall-clock to whichever
+    // regime it exercised (a stage with any sweep work counts as
+    // in-sweep) splits the time exactly.
+    let sweep_insts = session.sweep_instructions();
+    let free_insts = session.event_free_instructions();
+    let sweep_secs: f64 = records
+        .iter()
+        .filter(|r| r.sweep_instructions > 0)
+        .map(|r| r.seconds)
+        .sum();
+    let free_secs: f64 = records
+        .iter()
+        .filter(|r| r.sweep_instructions == 0)
+        .map(|r| r.seconds)
+        .sum();
+    let free_per_sec = free_insts as f64 / free_secs.max(f64::MIN_POSITIVE);
+    let sweep_per_sec = sweep_insts as f64 / sweep_secs.max(f64::MIN_POSITIVE);
+    println!(
+        "  event-free {free_insts} insts in {free_secs:.1}s ({:.2} Minst/s)",
+        free_per_sec / 1e6
+    );
+    println!(
+        "  in-sweep   {sweep_insts} insts in {sweep_secs:.1}s ({:.2} Minst/s)",
+        sweep_per_sec / 1e6
+    );
     let ck = session.checkpoint_stats();
     println!(
         "{} checkpoints served {} replays (mean replay {:.1} insts, {} insts saved vs from-start)",
@@ -334,6 +376,16 @@ fn main() {
             "cache_hits": session.cache_hits(),
             "sim_instructions": sim_instructions,
             "sim_instructions_per_sec": per_sec,
+            "event_free": {
+                "instructions": free_insts,
+                "seconds": free_secs,
+                "instructions_per_sec": free_per_sec,
+            },
+            "in_sweep": {
+                "instructions": sweep_insts,
+                "seconds": sweep_secs,
+                "instructions_per_sec": sweep_per_sec,
+            },
             "checkpoints": {
                 "taken": ck.taken,
                 "replays": ck.replays,
@@ -348,6 +400,7 @@ fn main() {
                         "name": r.name,
                         "seconds": r.seconds,
                         "sim_instructions": r.sim_instructions,
+                        "sweep_instructions": r.sweep_instructions,
                     })
                 })
                 .collect::<Vec<_>>(),

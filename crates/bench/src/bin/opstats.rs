@@ -1,0 +1,29 @@
+//! Prints the retired op-pair histogram for every workload profile
+//! (plus representative instrumented configurations), the measurement
+//! that pins the threaded-code engine's superinstruction fusion set.
+//!
+//! ```text
+//! opstats [superblocks]   # default 8
+//! ```
+
+use memsentry_bench::cli;
+use memsentry_bench::opstats;
+
+fn main() {
+    let args = match cli::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("opstats: {e}");
+            eprintln!("usage: opstats [superblocks] [--jobs N]");
+            std::process::exit(2);
+        }
+    };
+    let superblocks = args.superblocks_or(8);
+    match opstats::profile_grid(superblocks) {
+        Ok(rows) => print!("{}", opstats::render(&rows, 8)),
+        Err(e) => {
+            eprintln!("opstats: {e}");
+            std::process::exit(1);
+        }
+    }
+}

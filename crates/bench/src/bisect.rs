@@ -100,8 +100,7 @@ pub(crate) fn bisect_cell(
             checkpoints: CheckpointStats {
                 taken: sweep.checkpoints + bisect.checkpoints,
                 replays: sweep.points.len() as u64 + bisect.probes,
-                replayed_instructions: sweep.replayed_instructions
-                    + bisect.replayed_instructions,
+                replayed_instructions: sweep.replayed_instructions + bisect.replayed_instructions,
                 saved_instructions: sweep.saved_instructions + bisect.saved_instructions,
             },
         })

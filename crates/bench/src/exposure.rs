@@ -251,13 +251,12 @@ mod tests {
         let static_rows = art
             .lines()
             .take_while(|l| !l.starts_with("static bound vs measured"))
-            .filter(|l| {
-                WINDOWED_TECHNIQUES
-                    .iter()
-                    .any(|t| l.starts_with(t.name()))
-            })
+            .filter(|l| WINDOWED_TECHNIQUES.iter().any(|t| l.starts_with(t.name())))
             .count();
-        assert_eq!(static_rows, WINDOWED_TECHNIQUES.len() * (1 + PROFILES.len()));
+        assert_eq!(
+            static_rows,
+            WINDOWED_TECHNIQUES.len() * (1 + PROFILES.len())
+        );
     }
 
     #[test]

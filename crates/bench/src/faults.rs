@@ -50,9 +50,7 @@ pub(crate) fn cell_error(kind: EventKind, mode: HandlerMode, e: CampaignError) -
         CampaignError::CleanRun { technique, trap } => {
             (Some(technique), CellFailure::Trapped(trap))
         }
-        CampaignError::Replay { technique, error } => {
-            (Some(technique), CellFailure::Replay(error))
-        }
+        CampaignError::Replay { technique, error } => (Some(technique), CellFailure::Replay(error)),
     };
     MeasureError {
         benchmark: "fault-campaign",

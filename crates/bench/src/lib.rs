@@ -25,6 +25,8 @@
 //! * [`exposure`] — static exposure-window bounds from the
 //!   `memsentry-check` interprocedural analyzer, cross-validated against
 //!   the fault matrix (static bound must dominate measured exposure).
+//! * [`opstats`] — the retired op-pair profiler that pins the
+//!   threaded-code engine's superinstruction fusion set.
 //!
 //! Binaries under `src/bin/` print each artifact; `cargo bench` runs the
 //! same computations under Criterion for wall-clock tracking.
@@ -38,6 +40,7 @@ pub mod faults;
 pub mod figures;
 pub mod kernels_study;
 pub mod measure;
+pub mod opstats;
 pub mod report;
 pub mod runner;
 pub mod tables;

@@ -100,6 +100,7 @@ pub struct Session {
     baseline_runs: AtomicU64,
     cache_hits: AtomicU64,
     sim_instructions: AtomicU64,
+    sweep_instructions: AtomicU64,
     checkpoints_taken: AtomicU64,
     checkpoint_replays: AtomicU64,
     replayed_instructions: AtomicU64,
@@ -133,6 +134,7 @@ impl Session {
             baseline_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_instructions: AtomicU64::new(0),
+            sweep_instructions: AtomicU64::new(0),
             checkpoints_taken: AtomicU64::new(0),
             checkpoint_replays: AtomicU64::new(0),
             replayed_instructions: AtomicU64::new(0),
@@ -166,6 +168,23 @@ impl Session {
     /// of the interpreter-throughput summary `--bin all` prints.
     pub fn sim_instructions(&self) -> u64 {
         self.sim_instructions.load(Ordering::Relaxed)
+    }
+
+    /// The in-sweep share of [`Session::sim_instructions`]: instructions
+    /// retired producing auxiliary cells (the checkpointed
+    /// injection-sweep campaigns), where execution is cut at every
+    /// boundary for injection and replay. The remainder —
+    /// [`Session::event_free_instructions`] — retired in whole-workload
+    /// figure/table cells where the threaded engine runs event-free.
+    pub fn sweep_instructions(&self) -> u64 {
+        self.sweep_instructions.load(Ordering::Relaxed)
+    }
+
+    /// The event-free share of [`Session::sim_instructions`]:
+    /// instructions retired by whole-workload measurement cells (no
+    /// injection boundaries), the hot path of every figure and table.
+    pub fn event_free_instructions(&self) -> u64 {
+        self.sim_instructions() - self.sweep_instructions()
     }
 
     /// Aggregated incremental-checkpoint accounting across every fresh
@@ -247,6 +266,8 @@ impl Session {
             let result = produce();
             if let Ok(m) = &result {
                 self.sim_instructions
+                    .fetch_add(m.sim_instructions, Ordering::Relaxed);
+                self.sweep_instructions
                     .fetch_add(m.sim_instructions, Ordering::Relaxed);
                 self.checkpoints_taken
                     .fetch_add(m.checkpoints.taken, Ordering::Relaxed);

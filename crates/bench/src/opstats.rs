@@ -1,0 +1,171 @@
+//! The retired op-pair profiler (`--bin opstats`).
+//!
+//! Steps every SPEC profile's baseline workload — plus a few
+//! representative instrumented configurations — through the
+//! per-instruction interpreter, recording which op kinds retire back to
+//! back ([`memsentry_cpu::opstats`]). The printed tables justify and pin
+//! the superinstruction fusion set of the threaded-code engine
+//! (`cpu::compile`): only *sequential* pairs (second op at the next
+//! instruction index) are fusion candidates, and only pairs that
+//! dominate the retired mix pay for a fused dispatch arm.
+//!
+//! This is a profiling tool, not a `results/` artifact: output goes to
+//! stdout and the pinned table lives in EXPERIMENTS.md.
+
+use memsentry::Technique;
+use memsentry_cpu::{tally_run, OpPairTally};
+use memsentry_passes::{AddressKind, InstrumentMode, SwitchPoints};
+use memsentry_workloads::SPEC2006;
+
+use crate::runner::{prepare_cell, CellFailure, ExperimentConfig, MeasureError};
+
+/// One profiled row: a workload × configuration cell and its histogram.
+#[derive(Debug)]
+pub struct ProfiledRow {
+    /// `benchmark/config` label.
+    pub label: String,
+    /// The retired-pair histogram.
+    pub tally: OpPairTally,
+}
+
+/// The instrumented configurations profiled alongside the baselines:
+/// one per fusion-candidate family (SFI mask+load, MPX bound+access,
+/// MPK `wrpkru` brackets at call/ret and at syscalls).
+fn instrumented_configs() -> Vec<(&'static str, ExperimentConfig)> {
+    vec![
+        (
+            "sfi-rw",
+            ExperimentConfig::Address {
+                kind: AddressKind::Sfi,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        ),
+        (
+            "mpx-rw",
+            ExperimentConfig::Address {
+                kind: AddressKind::Mpx,
+                mode: InstrumentMode::READ_WRITE,
+            },
+        ),
+        (
+            "mpk@callret",
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::CallRet,
+                region_len: 4096,
+            },
+        ),
+        (
+            "mpk@syscall",
+            ExperimentConfig::Domain {
+                technique: Technique::Mpk,
+                points: SwitchPoints::Syscall,
+                region_len: 4096,
+            },
+        ),
+    ]
+}
+
+/// Profiles one cell: builds the instrumented machine and steps it to
+/// completion under the pair tally.
+///
+/// # Errors
+///
+/// Returns a [`MeasureError`] if instrumentation fails or the stepped
+/// program traps.
+pub fn tally_cell(
+    profile: &memsentry_workloads::BenchProfile,
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> Result<OpPairTally, MeasureError> {
+    let mut machine = prepare_cell(profile, superblocks, config)?;
+    let (tally, trap) = tally_run(&mut machine);
+    match trap {
+        Some(t) => Err(MeasureError {
+            benchmark: profile.short_name(),
+            config: config.label(),
+            failure: CellFailure::Trapped(t),
+        }),
+        None => Ok(tally),
+    }
+}
+
+/// Profiles the full grid: every SPEC profile baseline plus the
+/// instrumented gobmk rows, at `superblocks` superblocks each.
+///
+/// # Errors
+///
+/// Propagates the first [`MeasureError`] of any cell.
+pub fn profile_grid(superblocks: u32) -> Result<Vec<ProfiledRow>, MeasureError> {
+    let mut rows = Vec::new();
+    for profile in &SPEC2006 {
+        let tally = tally_cell(profile, superblocks, ExperimentConfig::Baseline)?;
+        rows.push(ProfiledRow {
+            label: format!("{}/baseline", profile.short_name()),
+            tally,
+        });
+    }
+    let gobmk = SPEC2006
+        .iter()
+        .find(|p| p.short_name() == "gobmk")
+        .expect("gobmk profile present");
+    for (label, config) in instrumented_configs() {
+        let tally = tally_cell(gobmk, superblocks, config)?;
+        rows.push(ProfiledRow {
+            label: format!("gobmk/{label}"),
+            tally,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the profiled rows: per-row top sequential pairs with their
+/// share of retired instructions, then the all-rows aggregate.
+pub fn render(rows: &[ProfiledRow], top: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "retired op-pair histogram (sequential pairs; share of retired instructions)"
+    );
+    let _ = writeln!(out);
+    let mut aggregate = OpPairTally::new();
+    for row in rows {
+        aggregate.merge(&row.tally);
+        let total = row.tally.total();
+        let seq = row.tally.total_sequential();
+        let xfer = row.tally.total_transfer();
+        let _ = writeln!(
+            out,
+            "{:<18} {total:>9} insts  ({:.1}% of pairs cross a control transfer)",
+            row.label,
+            100.0 * xfer as f64 / (seq + xfer).max(1) as f64
+        );
+        for p in row.tally.top_sequential(top) {
+            let _ = writeln!(
+                out,
+                "    {:<22} {:>9}  {:>5.1}%",
+                format!("{}+{}", p.first.name(), p.second.name()),
+                p.count,
+                100.0 * p.count as f64 / total.max(1) as f64
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let total = aggregate.total();
+    let _ = writeln!(
+        out,
+        "aggregate ({} rows, {total} instructions): top sequential pairs",
+        rows.len()
+    );
+    for p in aggregate.top_sequential(top) {
+        let _ = writeln!(
+            out,
+            "    {:<22} {:>9}  {:>5.1}%",
+            format!("{}+{}", p.first.name(), p.second.name()),
+            p.count,
+            100.0 * p.count as f64 / total.max(1) as f64
+        );
+    }
+    out
+}

@@ -147,18 +147,21 @@ pub struct Measurement {
     pub stats: ExecStats,
 }
 
-/// Runs `profile` for `superblocks` iterations under `config`.
+/// Builds the ready-to-run machine for one measurement cell: generates
+/// the workload, applies the configuration's instrumentation, and
+/// prepares the machine (technique state plus workload data pages) —
+/// everything [`run_config`] does short of running. The op-pair profiler
+/// (`--bin opstats`) steps the same machine per-instruction instead.
 ///
 /// # Errors
 ///
-/// Returns a [`MeasureError`] if instrumentation fails or the program
-/// traps; the error carries the benchmark, the configuration label and
-/// the typed failure detail.
-pub fn run_config(
+/// Returns a [`MeasureError`] if the workload cannot be instrumented for
+/// `config`.
+pub fn prepare_cell(
     profile: &BenchProfile,
     superblocks: u32,
     config: ExperimentConfig,
-) -> Result<Measurement, MeasureError> {
+) -> Result<Machine, MeasureError> {
     let fail = |failure: CellFailure| MeasureError {
         benchmark: profile.short_name(),
         config: config.label(),
@@ -197,6 +200,27 @@ pub fn run_config(
             .map_err(|e| fail(e.into()))?;
     }
     workload.prepare(&mut machine);
+    Ok(machine)
+}
+
+/// Runs `profile` for `superblocks` iterations under `config`.
+///
+/// # Errors
+///
+/// Returns a [`MeasureError`] if instrumentation fails or the program
+/// traps; the error carries the benchmark, the configuration label and
+/// the typed failure detail.
+pub fn run_config(
+    profile: &BenchProfile,
+    superblocks: u32,
+    config: ExperimentConfig,
+) -> Result<Measurement, MeasureError> {
+    let fail = |failure: CellFailure| MeasureError {
+        benchmark: profile.short_name(),
+        config: config.label(),
+        failure,
+    };
+    let mut machine = prepare_cell(profile, superblocks, config)?;
     if let RunOutcome::Trapped(trap) = machine.run() {
         return Err(fail(CellFailure::Trapped(trap)));
     }

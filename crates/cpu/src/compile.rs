@@ -1,0 +1,1986 @@
+//! The threaded-code execution engine.
+//!
+//! On top of the flat [`DecodedInst`] streams built by `decode`, this
+//! stage compiles every basic-block *entry point* into a
+//! [`CompiledRun`]: a chain of pre-bound operations ([`COp`]) covering
+//! the straight-line ops from the entry to the block terminator, with
+//! operand forms resolved at compile time — direct-call return addresses
+//! pre-encoded, SFI mask/load dependencies pre-classified, and the
+//! dominant consecutive op pairs of the workload profiles fused into
+//! single-dispatch superinstructions. `Machine::run_until` drives whole
+//! compiled runs per dispatch instead of matching on [`DecodedOp`] per
+//! instruction; see `Machine::exec_chain` below for the executor.
+//!
+//! # Fusion set
+//!
+//! Pinned by the retired op-pair histogram (`memsentry-bench --bin
+//! opstats`, table in EXPERIMENTS.md). Aggregate over the 19 SPEC
+//! profiles plus instrumented rows, the dominant *sequential* pairs are
+//! `aluimm+aluimm` (34.8%), `load+aluimm` (17.1%), `aluimm+load`
+//! (15.7%), `load+load` (8.2%), the `store`×`aluimm` pairs (~4% each)
+//! and, under address-based instrumentation, `lea+mask`/`lea+bndcu`
+//! (20.3%) and `mask+load`/`bndcu+load` (15.7%). Those families — every
+//! sequential pair over 2% aggregate or 5% in an instrumented row — are
+//! the fused variants below. Two candidates named up front by the
+//! profiles did *not* survive the measurement: compare+branch
+//! (`movimm+jmpif`) retires once per generated loop iteration (<0.1%)
+//! and `wrpkru` bracket pairs peak at 2.9% (`wrpkru+skip` under MPK
+//! call/ret), both below threshold, so neither is fused.
+//!
+//! # Cost accounting
+//!
+//! The split is architectural state vs cost bookkeeping, not a per-block
+//! cost sum: every op still adds its static charge to the cycle counter
+//! in retirement order, because f64 addition is non-associative and the
+//! cycle total must stay bit-identical to the per-instruction stepper
+//! (summing a block's static charges once and settling them in one add
+//! would change the rounding sequence). The counter itself rides in an
+//! executor-local f64 — same adds, same order, settled to
+//! `stats.cycles` on every exit — so the loop-carried FP dependency
+//! stays in a register instead of a memory round trip per op. What
+//! *is* lifted out of the per-op path is the integer bookkeeping: the
+//! pc, `last_masked` and
+//! the retired-instruction count live in executor locals for the whole
+//! *chain* of compiled runs — a taken branch falls straight into its
+//! target's run — and are settled only when the chain hands control
+//! back (horizon, halt, trap, or a pc without a compiled run). Dynamic
+//! charges (MMU walks, cache miss penalties, the store-buffer sliver,
+//! event costs) stay on their existing paths.
+
+use memsentry_ir::{AluOp, CodeAddr, Cond, FuncId, Label, Reg};
+use memsentry_mmu::{Pkru, VirtAddr};
+
+use crate::decode::{DecodedFunction, DecodedInst, DecodedOp};
+use crate::machine::Machine;
+use crate::trap::Trap;
+
+/// A pre-bound operation: one (or, fused, two) source instruction(s)
+/// with operands resolved at compile time. Static cycle charges ride
+/// along so the executor never consults the decoded stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum COp {
+    /// `dst <- imm`.
+    MovImm { dst: Reg, imm: u64, cost: f64 },
+    /// `dst <- src`.
+    Mov { dst: Reg, src: Reg, cost: f64 },
+    /// `dst <- base + offset`.
+    Lea {
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        cost: f64,
+    },
+    /// `dst <- dst op src`.
+    AluReg {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        masks: bool,
+        cost: f64,
+    },
+    /// `dst <- dst op imm`.
+    AluImm {
+        op: AluOp,
+        dst: Reg,
+        imm: u64,
+        masks: bool,
+        cost: f64,
+    },
+    /// 8-byte load.
+    Load {
+        dst: Reg,
+        addr: Reg,
+        offset: i64,
+        cost: f64,
+    },
+    /// 8-byte store.
+    Store {
+        src: Reg,
+        addr: Reg,
+        offset: i64,
+        cost: f64,
+    },
+    /// Label/nop/fence slot: cycles only.
+    Skip { cost: f64 },
+    /// Load a bound register.
+    BndMk {
+        bnd: u8,
+        lower: u64,
+        upper: u64,
+        cost: f64,
+    },
+    /// Upper-bound check.
+    BndCu { bnd: u8, reg: Reg, cost: f64 },
+    /// Lower-bound check.
+    BndCl { bnd: u8, reg: Reg, cost: f64 },
+    /// Read `pkru`.
+    RdPkru { dst: Reg, cost: f64 },
+    /// Write `pkru`.
+    WrPkru { src: Reg, cost: f64 },
+    /// Unconditional branch (terminator).
+    Jmp { target: u32, cost: f64 },
+    /// Conditional branch (terminator).
+    JmpIf {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        target: u32,
+        cost: f64,
+    },
+    /// Unresolved branch label (terminator; traps when executed).
+    BadLabel { label: Label, cost: f64 },
+    /// Direct call with the return address pre-encoded (terminator).
+    Call { callee: FuncId, ret: u64, cost: f64 },
+    /// Indirect call with the return address pre-encoded (terminator).
+    CallIndirect { target: Reg, ret: u64, cost: f64 },
+    /// Return (terminator).
+    Ret { cost: f64 },
+    /// Stop the machine (terminator).
+    Halt { cost: f64 },
+    /// Straight-line op outside the hot set (allocator, EPT switch, AES
+    /// region, SGX/key staging): delegates to `exec_op` with the pc and
+    /// `last_masked` synced around the call.
+    Generic { inst: DecodedInst },
+    /// Block-terminating op outside the hot set (syscall, hypercall):
+    /// delegates to `exec_op`, which may redirect the pc or halt.
+    GenericEnd { inst: DecodedInst },
+
+    // --- fused superinstructions (see module docs for the data) -------
+    /// `aluimm+aluimm` — the dominant pair in every profile (34.8%
+    /// aggregate): the generated ALU filler runs back to back.
+    AluImmAluImm {
+        op1: AluOp,
+        dst1: Reg,
+        imm1: u64,
+        cost1: f64,
+        op2: AluOp,
+        dst2: Reg,
+        imm2: u64,
+        masks2: bool,
+        cost2: f64,
+    },
+    /// `aluimm+load` (15.7%); also covers the SFI `mask+load` bracket —
+    /// `sfi` pre-resolves the load's mask dependency on the first op and
+    /// `mid` is the masked state between the two (the `last_masked`
+    /// value a fault in the load must leave behind).
+    AluImmLoad {
+        op1: AluOp,
+        dst1: Reg,
+        imm1: u64,
+        cost1: f64,
+        dst2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+        mid: Option<Reg>,
+        sfi: bool,
+    },
+    /// `load+aluimm` (17.1%).
+    LoadAluImm {
+        dst1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        op2: AluOp,
+        dst2: Reg,
+        imm2: u64,
+        masks2: bool,
+        cost2: f64,
+    },
+    /// `load+load` (8.2%): the second load can never carry an SFI
+    /// dependency (a load clears the masked state).
+    LoadLoad {
+        dst1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        dst2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `aluimm+store` (4.1%); `mid` as in [`COp::AluImmLoad`].
+    AluImmStore {
+        op1: AluOp,
+        dst1: Reg,
+        imm1: u64,
+        cost1: f64,
+        src2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+        mid: Option<Reg>,
+    },
+    /// `store+aluimm` (4.3%).
+    StoreAluImm {
+        src1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        op2: AluOp,
+        dst2: Reg,
+        imm2: u64,
+        masks2: bool,
+        cost2: f64,
+    },
+    /// `store+load` (2.1%).
+    StoreLoad {
+        src1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        dst2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `load+store` (2.0%).
+    LoadStore {
+        dst1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        src2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `lea+aluimm` — the SFI `lea+mask` bracket (20.3% under sfi-rw).
+    LeaAluImm {
+        dst1: Reg,
+        base1: Reg,
+        offset1: i64,
+        cost1: f64,
+        op2: AluOp,
+        dst2: Reg,
+        imm2: u64,
+        masks2: bool,
+        cost2: f64,
+    },
+    /// `aluimm+lea` (12.9% under sfi-rw).
+    AluImmLea {
+        op1: AluOp,
+        dst1: Reg,
+        imm1: u64,
+        cost1: f64,
+        dst2: Reg,
+        base2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `load+lea` (5.6% under sfi-rw).
+    LoadLea {
+        dst1: Reg,
+        addr1: Reg,
+        offset1: i64,
+        cost1: f64,
+        dst2: Reg,
+        base2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `lea+bndcu` — the MPX bracket (20.3% under mpx-rw).
+    LeaBndCu {
+        dst1: Reg,
+        base1: Reg,
+        offset1: i64,
+        cost1: f64,
+        bnd2: u8,
+        reg2: Reg,
+        cost2: f64,
+    },
+    /// `bndcu+load` (15.7% under mpx-rw).
+    BndCuLoad {
+        bnd1: u8,
+        reg1: Reg,
+        cost1: f64,
+        dst2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+    /// `bndcu+store` (4.5% under mpx-rw).
+    BndCuStore {
+        bnd1: u8,
+        reg1: Reg,
+        cost1: f64,
+        src2: Reg,
+        addr2: Reg,
+        offset2: i64,
+        cost2: f64,
+    },
+}
+
+/// One compiled basic-block entry: the pre-bound op chain from the entry
+/// index to the block terminator.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRun {
+    /// The op chain; fused entries cover two source instructions.
+    pub ops: Box<[COp]>,
+    /// Source instructions covered (the run's retirement count).
+    pub n_insts: u32,
+}
+
+/// One compiled function: `runs[i]` holds the compiled run for
+/// instruction index `i` when `i` is a block entry point (function
+/// entry, post-terminator fall-through, or branch target), `None`
+/// otherwise. Mid-block indexes reached by a replay seek or a horizon
+/// cut execute on the decoded fallback path until the next entry point.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompiledFunction {
+    /// Per-index compiled runs (entry points only).
+    pub runs: Vec<Option<CompiledRun>>,
+}
+
+/// Whether `op` ends a basic block (mirrors `decode::is_block_end`,
+/// which stays the single source of truth via `block_ends`).
+fn ends_block(ends: &[u32], i: usize) -> bool {
+    ends[i] as usize == i + 1
+}
+
+/// Block entry points of one decoded function: the function entry,
+/// every post-terminator index, and every branch target.
+fn entry_points(f: &DecodedFunction) -> Vec<bool> {
+    let len = f.insts.len();
+    let mut leader = vec![false; len];
+    if len > 0 {
+        leader[0] = true;
+    }
+    for (i, d) in f.insts.iter().enumerate() {
+        if ends_block(&f.block_ends, i) && i + 1 < len {
+            leader[i + 1] = true;
+        }
+        match d.op {
+            DecodedOp::Jmp { target } | DecodedOp::JmpIf { target, .. } => {
+                if (target as usize) < len {
+                    leader[target as usize] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    leader
+}
+
+/// Compiles one straight-line op into its pre-bound single form. `i` is
+/// the op's instruction index (for pre-encoded return addresses).
+fn single(func: FuncId, i: u32, d: &DecodedInst) -> COp {
+    let cost = d.cost;
+    let ret = || CodeAddr { func, index: i + 1 }.encode();
+    match d.op {
+        DecodedOp::MovImm { dst, imm } => COp::MovImm { dst, imm, cost },
+        DecodedOp::Mov { dst, src } => COp::Mov { dst, src, cost },
+        DecodedOp::Lea { dst, base, offset } => COp::Lea {
+            dst,
+            base,
+            offset,
+            cost,
+        },
+        DecodedOp::AluReg {
+            op,
+            dst,
+            src,
+            masks,
+        } => COp::AluReg {
+            op,
+            dst,
+            src,
+            masks,
+            cost,
+        },
+        DecodedOp::AluImm {
+            op,
+            dst,
+            imm,
+            masks,
+        } => COp::AluImm {
+            op,
+            dst,
+            imm,
+            masks,
+            cost,
+        },
+        DecodedOp::Load { dst, addr, offset } => COp::Load {
+            dst,
+            addr,
+            offset,
+            cost,
+        },
+        DecodedOp::Store { src, addr, offset } => COp::Store {
+            src,
+            addr,
+            offset,
+            cost,
+        },
+        DecodedOp::Skip => COp::Skip { cost },
+        DecodedOp::BndMk { bnd, lower, upper } => COp::BndMk {
+            bnd,
+            lower,
+            upper,
+            cost,
+        },
+        DecodedOp::BndCu { bnd, reg } => COp::BndCu { bnd, reg, cost },
+        DecodedOp::BndCl { bnd, reg } => COp::BndCl { bnd, reg, cost },
+        DecodedOp::RdPkru { dst } => COp::RdPkru { dst, cost },
+        DecodedOp::WrPkru { src } => COp::WrPkru { src, cost },
+        DecodedOp::Jmp { target } => COp::Jmp { target, cost },
+        DecodedOp::JmpIf { cond, a, b, target } => COp::JmpIf {
+            cond,
+            a,
+            b,
+            target,
+            cost,
+        },
+        DecodedOp::BadLabel { label } => COp::BadLabel { label, cost },
+        DecodedOp::Call { callee } => COp::Call {
+            callee,
+            ret: ret(),
+            cost,
+        },
+        DecodedOp::CallIndirect { target } => COp::CallIndirect {
+            target,
+            ret: ret(),
+            cost,
+        },
+        DecodedOp::Ret => COp::Ret { cost },
+        DecodedOp::Halt => COp::Halt { cost },
+        DecodedOp::Syscall { .. } | DecodedOp::VmCall { .. } => COp::GenericEnd { inst: *d },
+        DecodedOp::Alloc { .. }
+        | DecodedOp::Free { .. }
+        | DecodedOp::VmFunc { .. }
+        | DecodedOp::YmmToXmm
+        | DecodedOp::AesSetup
+        | DecodedOp::AesRegion { .. }
+        | DecodedOp::SgxEnter
+        | DecodedOp::SgxExit => COp::Generic { inst: *d },
+    }
+}
+
+/// Attempts to fuse the consecutive straight-line pair `(a, b)` into a
+/// superinstruction. Only the measured dominant families fuse; anything
+/// else dispatches singly.
+fn try_fuse(a: &DecodedInst, b: &DecodedInst) -> Option<COp> {
+    let (ca, cb) = (a.cost, b.cost);
+    match (a.op, b.op) {
+        (
+            DecodedOp::AluImm {
+                op: op1,
+                dst: dst1,
+                imm: imm1,
+                ..
+            },
+            DecodedOp::AluImm {
+                op: op2,
+                dst: dst2,
+                imm: imm2,
+                masks: masks2,
+            },
+        ) => Some(COp::AluImmAluImm {
+            op1,
+            dst1,
+            imm1,
+            cost1: ca,
+            op2,
+            dst2,
+            imm2,
+            masks2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::AluImm {
+                op: op1,
+                dst: dst1,
+                imm: imm1,
+                masks: masks1,
+            },
+            DecodedOp::Load {
+                dst: dst2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => {
+            let mid = if masks1 { Some(dst1) } else { None };
+            Some(COp::AluImmLoad {
+                op1,
+                dst1,
+                imm1,
+                cost1: ca,
+                dst2,
+                addr2,
+                offset2,
+                cost2: cb,
+                mid,
+                sfi: mid == Some(addr2),
+            })
+        }
+        (
+            DecodedOp::Load {
+                dst: dst1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::AluImm {
+                op: op2,
+                dst: dst2,
+                imm: imm2,
+                masks: masks2,
+            },
+        ) => Some(COp::LoadAluImm {
+            dst1,
+            addr1,
+            offset1,
+            cost1: ca,
+            op2,
+            dst2,
+            imm2,
+            masks2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Load {
+                dst: dst1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::Load {
+                dst: dst2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::LoadLoad {
+            dst1,
+            addr1,
+            offset1,
+            cost1: ca,
+            dst2,
+            addr2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::AluImm {
+                op: op1,
+                dst: dst1,
+                imm: imm1,
+                masks: masks1,
+            },
+            DecodedOp::Store {
+                src: src2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::AluImmStore {
+            op1,
+            dst1,
+            imm1,
+            cost1: ca,
+            src2,
+            addr2,
+            offset2,
+            cost2: cb,
+            mid: if masks1 { Some(dst1) } else { None },
+        }),
+        (
+            DecodedOp::Store {
+                src: src1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::AluImm {
+                op: op2,
+                dst: dst2,
+                imm: imm2,
+                masks: masks2,
+            },
+        ) => Some(COp::StoreAluImm {
+            src1,
+            addr1,
+            offset1,
+            cost1: ca,
+            op2,
+            dst2,
+            imm2,
+            masks2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Store {
+                src: src1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::Load {
+                dst: dst2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::StoreLoad {
+            src1,
+            addr1,
+            offset1,
+            cost1: ca,
+            dst2,
+            addr2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Load {
+                dst: dst1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::Store {
+                src: src2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::LoadStore {
+            dst1,
+            addr1,
+            offset1,
+            cost1: ca,
+            src2,
+            addr2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Lea {
+                dst: dst1,
+                base: base1,
+                offset: offset1,
+            },
+            DecodedOp::AluImm {
+                op: op2,
+                dst: dst2,
+                imm: imm2,
+                masks: masks2,
+            },
+        ) => Some(COp::LeaAluImm {
+            dst1,
+            base1,
+            offset1,
+            cost1: ca,
+            op2,
+            dst2,
+            imm2,
+            masks2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::AluImm {
+                op: op1,
+                dst: dst1,
+                imm: imm1,
+                ..
+            },
+            DecodedOp::Lea {
+                dst: dst2,
+                base: base2,
+                offset: offset2,
+            },
+        ) => Some(COp::AluImmLea {
+            op1,
+            dst1,
+            imm1,
+            cost1: ca,
+            dst2,
+            base2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Load {
+                dst: dst1,
+                addr: addr1,
+                offset: offset1,
+            },
+            DecodedOp::Lea {
+                dst: dst2,
+                base: base2,
+                offset: offset2,
+            },
+        ) => Some(COp::LoadLea {
+            dst1,
+            addr1,
+            offset1,
+            cost1: ca,
+            dst2,
+            base2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::Lea {
+                dst: dst1,
+                base: base1,
+                offset: offset1,
+            },
+            DecodedOp::BndCu {
+                bnd: bnd2,
+                reg: reg2,
+            },
+        ) => Some(COp::LeaBndCu {
+            dst1,
+            base1,
+            offset1,
+            cost1: ca,
+            bnd2,
+            reg2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::BndCu {
+                bnd: bnd1,
+                reg: reg1,
+            },
+            DecodedOp::Load {
+                dst: dst2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::BndCuLoad {
+            bnd1,
+            reg1,
+            cost1: ca,
+            dst2,
+            addr2,
+            offset2,
+            cost2: cb,
+        }),
+        (
+            DecodedOp::BndCu {
+                bnd: bnd1,
+                reg: reg1,
+            },
+            DecodedOp::Store {
+                src: src2,
+                addr: addr2,
+                offset: offset2,
+            },
+        ) => Some(COp::BndCuStore {
+            bnd1,
+            reg1,
+            cost1: ca,
+            src2,
+            addr2,
+            offset2,
+            cost2: cb,
+        }),
+        _ => None,
+    }
+}
+
+/// Compiles the run starting at entry point `start` of function `func`.
+fn compile_run(func: FuncId, f: &DecodedFunction, start: usize, fuse: bool) -> CompiledRun {
+    let end = f.block_ends[start] as usize;
+    let mut ops = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Terminators never fuse (they settle the run themselves), so a
+        // pair is only attempted while both ops sit strictly inside the
+        // straight-line body.
+        if fuse
+            && i + 2 <= end
+            && !ends_block(&f.block_ends, i)
+            && !ends_block(&f.block_ends, i + 1)
+        {
+            if let Some(fused) = try_fuse(&f.insts[i], &f.insts[i + 1]) {
+                ops.push(fused);
+                i += 2;
+                continue;
+            }
+        }
+        ops.push(single(func, i as u32, &f.insts[i]));
+        i += 1;
+    }
+    CompiledRun {
+        ops: ops.into_boxed_slice(),
+        n_insts: (end - start) as u32,
+    }
+}
+
+/// Compiles every block entry point of every decoded function. `fuse`
+/// selects superinstruction fusion (off: single-op dispatch only — the
+/// unfused ablation benchmarked in `benches/interp.rs`).
+pub(crate) fn compile_program(code: &[DecodedFunction], fuse: bool) -> Vec<CompiledFunction> {
+    code.iter()
+        .enumerate()
+        .map(|(fid, f)| {
+            let func = FuncId(fid as u32);
+            let leaders = entry_points(f);
+            CompiledFunction {
+                runs: leaders
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &is_leader)| is_leader.then(|| compile_run(func, f, i, fuse)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// The compiled-run executor. Lives here rather than in `machine.rs` so
+// the whole threaded engine — compiler and executor — reads as one unit;
+// it reaches the machine's crate-private state directly.
+impl Machine {
+    /// The load body shared by every compiled arm: identical charge order
+    /// to the interpreter's `DecodedOp::Load` (SFI dependency stall, EPC
+    /// check, translate/read, walk and miss charges, retire), with the
+    /// SFI predicate pre-resolved by the caller. The compiled path never
+    /// runs under a tracer, so the per-access tracer hook is elided.
+    #[inline(always)]
+    fn c_load(
+        &mut self,
+        cycles: &mut f64,
+        dst: Reg,
+        addr: Reg,
+        offset: i64,
+        sfi: bool,
+    ) -> Result<(), Trap> {
+        if sfi {
+            *cycles += self.cost.sfi_load_dependency;
+        }
+        let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
+        self.check_epc(va.0)?;
+        let (value, info) = self.space.read_u64_info(va)?;
+        if !info.tlb_hit {
+            *cycles += info.walk_levels as f64 * self.cost.walk_per_level;
+        }
+        *cycles += self.cost.miss_penalty(info.hit_level);
+        self.regs[dst.index()] = value;
+        self.stats.loads += 1;
+        Ok(())
+    }
+
+    /// The store body shared by every compiled arm; mirrors
+    /// `DecodedOp::Store` (store-buffer sliver of the miss latency).
+    #[inline(always)]
+    fn c_store(&mut self, cycles: &mut f64, src: Reg, addr: Reg, offset: i64) -> Result<(), Trap> {
+        let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
+        self.check_epc(va.0)?;
+        let info = self.space.write_u64(va, self.regs[src.index()])?;
+        if !info.tlb_hit {
+            *cycles += info.walk_levels as f64 * self.cost.walk_per_level;
+        }
+        *cycles += self.cost.store_buffer_exposure * self.cost.miss_penalty(info.hit_level);
+        self.stats.stores += 1;
+        Ok(())
+    }
+
+    /// The upper-bound-check body; mirrors `DecodedOp::BndCu` (the check
+    /// counts even when it faults).
+    #[inline(always)]
+    fn c_bndcu(&mut self, bnd: u8, reg: Reg) -> Result<(), Trap> {
+        self.stats.bound_checks += 1;
+        let v = self.regs[reg.index()];
+        let (_, upper) = self.bnd[bnd as usize];
+        if v > upper {
+            return Err(Trap::BoundRange {
+                reg,
+                value: v,
+                bound: upper,
+            });
+        }
+        Ok(())
+    }
+
+    /// Settles architectural state after a trap at source index
+    /// `fault_idx` of a run entered at `leader`: the faulting instruction
+    /// retires (`step` counts it), the pc points past it, and
+    /// `last_masked` reverts to its value *before* the faulting op — the
+    /// interpreter skips its `last_masked` write on the error path.
+    /// `retired` is the chain's deferred retired-instruction count as of
+    /// the run's leader.
+    #[cold]
+    fn run_trap(
+        &mut self,
+        func: FuncId,
+        leader: u32,
+        fault_idx: u32,
+        retired: u64,
+        cycles: f64,
+        masked: Option<Reg>,
+        trap: Trap,
+    ) -> Trap {
+        self.stats.instructions = retired + u64::from(fault_idx - leader + 1);
+        self.stats.cycles = cycles;
+        self.pc = CodeAddr {
+            func,
+            index: fault_idx + 1,
+        };
+        self.last_masked = masked;
+        trap
+    }
+
+    /// Chains compiled runs back to back from the current pc until the
+    /// machine halts, a trap fires, the retired-instruction count reaches
+    /// `horizon`, or the pc lands somewhere without a compiled run that
+    /// fits the remaining budget (mid-block entry, budget-cut block, or
+    /// one past the function end). On every exit the pc, `last_masked`
+    /// and `stats.instructions` are settled exactly as the
+    /// per-instruction path would have left them (property-tested in
+    /// `tests/properties.rs` over random programs × event schedules).
+    ///
+    /// The architectural-state/cost split: the pc (`func`, `entry`,
+    /// `idx`), the SFI masked state (`masked`) and the retired count
+    /// (`retired`) live in locals across block boundaries — a taken
+    /// branch falls straight into its target's compiled run without a
+    /// round trip through machine state, which is where the threaded
+    /// engine earns its dispatch win. None of that state is observable
+    /// mid-chain: the caller guarantees no event boundary, fuel boundary
+    /// or preemption falls before `horizon`, and syscall/hypercall
+    /// handlers see only the address space. The f64 cycle counter is
+    /// *not* batched: every op adds its static charge in retirement
+    /// order, because f64 addition is non-associative and the total must
+    /// stay bit-identical to the stepper. Dynamic charges (MMU walks,
+    /// miss penalties, SFI stalls) ride inside the op bodies on their
+    /// existing paths.
+    pub(crate) fn exec_chain(
+        &mut self,
+        compiled: &[CompiledFunction],
+        horizon: u64,
+    ) -> Result<(), Trap> {
+        let mut func = self.pc.func;
+        let mut entry = self.pc.index;
+        let mut retired = self.stats.instructions;
+        let mut masked: Option<Reg> = self.last_masked;
+        // The f64 cycle counter rides in a register for the whole
+        // chain: same adds in the same retirement order, settled on
+        // every exit, so the total stays bit-identical while the
+        // loop-carried FP dependency stops going through memory.
+        let mut cycles = self.stats.cycles;
+        'chain: loop {
+            let run = match compiled
+                .get(func.0 as usize)
+                .and_then(|cf| cf.runs.get(entry as usize))
+                .and_then(Option::as_ref)
+            {
+                Some(r) if u64::from(r.n_insts) <= horizon - retired => r,
+                _ => {
+                    // No compiled run here, or it would overrun the
+                    // horizon: settle and hand back to the decoded path.
+                    self.pc = CodeAddr { func, index: entry };
+                    self.stats.instructions = retired;
+                    self.last_masked = masked;
+                    self.stats.cycles = cycles;
+                    return Ok(());
+                }
+            };
+            let leader = entry;
+            let mut idx = leader;
+            for cop in run.ops.iter() {
+                match *cop {
+                    COp::MovImm { dst, imm, cost } => {
+                        cycles += cost;
+                        self.regs[dst.index()] = imm;
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::Mov { dst, src, cost } => {
+                        cycles += cost;
+                        self.regs[dst.index()] = self.regs[src.index()];
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::Lea {
+                        dst,
+                        base,
+                        offset,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        self.regs[dst.index()] =
+                            self.regs[base.index()].wrapping_add(offset as u64);
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::AluReg {
+                        op,
+                        dst,
+                        src,
+                        masks,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        let b = self.regs[src.index()];
+                        self.alu(op, dst, b);
+                        masked = if masks { Some(dst) } else { None };
+                        idx += 1;
+                    }
+                    COp::AluImm {
+                        op,
+                        dst,
+                        imm,
+                        masks,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        self.alu(op, dst, imm);
+                        masked = if masks { Some(dst) } else { None };
+                        idx += 1;
+                    }
+                    COp::Load {
+                        dst,
+                        addr,
+                        offset,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        if let Err(t) =
+                            self.c_load(&mut cycles, dst, addr, offset, masked == Some(addr))
+                        {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::Store {
+                        src,
+                        addr,
+                        offset,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        if let Err(t) = self.c_store(&mut cycles, src, addr, offset) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::Skip { cost } => {
+                        cycles += cost;
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::BndMk {
+                        bnd,
+                        lower,
+                        upper,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        self.bnd[bnd as usize] = (lower, upper);
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::BndCu { bnd, reg, cost } => {
+                        cycles += cost;
+                        if let Err(t) = self.c_bndcu(bnd, reg) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::BndCl { bnd, reg, cost } => {
+                        cycles += cost;
+                        self.stats.bound_checks += 1;
+                        let v = self.regs[reg.index()];
+                        let (lower, _) = self.bnd[bnd as usize];
+                        if v < lower {
+                            let t = Trap::BoundRange {
+                                reg,
+                                value: v,
+                                bound: lower,
+                            };
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::RdPkru { dst, cost } => {
+                        cycles += cost;
+                        self.regs[dst.index()] = self.space.pkru.0 as u64;
+                        masked = None;
+                        idx += 1;
+                    }
+                    COp::WrPkru { src, cost } => {
+                        cycles += cost;
+                        self.space.pkru = Pkru(self.regs[src.index()] as u32);
+                        self.stats.wrpkrus += 1;
+                        masked = None;
+                        idx += 1;
+                    }
+
+                    // --- terminators: chain into the next run -------------
+                    COp::Jmp { target, cost } => {
+                        cycles += cost;
+                        retired += u64::from(idx - leader + 1);
+                        entry = target;
+                        masked = None;
+                        continue 'chain;
+                    }
+                    COp::JmpIf {
+                        cond,
+                        a,
+                        b,
+                        target,
+                        cost,
+                    } => {
+                        cycles += cost;
+                        let taken = cond.eval(self.regs[a.index()], self.regs[b.index()]);
+                        retired += u64::from(idx - leader + 1);
+                        entry = if taken { target } else { idx + 1 };
+                        masked = None;
+                        continue 'chain;
+                    }
+                    COp::BadLabel { label, cost } => {
+                        cycles += cost;
+                        let t = Trap::BadLabel { label: label.0 };
+                        return Err(self.run_trap(func, leader, idx, retired, cycles, masked, t));
+                    }
+                    COp::Call { callee, ret, cost } => {
+                        cycles += cost;
+                        if let Err(t) = self.push_u64(ret) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        self.stats.calls += 1;
+                        retired += u64::from(idx - leader + 1);
+                        func = callee;
+                        entry = 0;
+                        masked = None;
+                        continue 'chain;
+                    }
+                    COp::CallIndirect { target, ret, cost } => {
+                        cycles += cost;
+                        let value = self.regs[target.index()];
+                        let dest = match CodeAddr::decode(value) {
+                            Some(d) if (d.func.0 as usize) < self.program.functions.len() => d,
+                            _ => {
+                                let t = Trap::BadCodePointer { value };
+                                return Err(
+                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                );
+                            }
+                        };
+                        if let Err(t) = self.push_u64(ret) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        self.stats.indirect_calls += 1;
+                        retired += u64::from(idx - leader + 1);
+                        func = dest.func;
+                        entry = dest.index;
+                        masked = None;
+                        continue 'chain;
+                    }
+                    COp::Ret { cost } => {
+                        cycles += cost;
+                        let value = match self.pop_u64() {
+                            Ok(v) => v,
+                            Err(t) => {
+                                return Err(
+                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                )
+                            }
+                        };
+                        let dest = match CodeAddr::decode(value) {
+                            Some(d)
+                                if (d.func.0 as usize) < self.program.functions.len()
+                                    && d.index as usize <= self.program.func(d.func).body.len() =>
+                            {
+                                d
+                            }
+                            _ => {
+                                let t = Trap::BadCodePointer { value };
+                                return Err(
+                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                );
+                            }
+                        };
+                        self.stats.rets += 1;
+                        retired += u64::from(idx - leader + 1);
+                        func = dest.func;
+                        entry = dest.index;
+                        masked = None;
+                        continue 'chain;
+                    }
+                    COp::Halt { cost } => {
+                        cycles += cost;
+                        self.halted = Some(self.regs[Reg::Rax.index()]);
+                        self.stats.cycles = cycles;
+                        self.pc = CodeAddr {
+                            func,
+                            index: idx + 1,
+                        };
+                        self.stats.instructions = retired + u64::from(idx - leader + 1);
+                        self.last_masked = None;
+                        return Ok(());
+                    }
+
+                    // --- out-of-hot-set delegation ------------------------
+                    COp::Generic { inst } => {
+                        // Sync the pc and masked state the interpreter arm
+                        // expects, run it, and read the masked state back.
+                        self.pc = CodeAddr {
+                            func,
+                            index: idx + 1,
+                        };
+                        self.last_masked = masked;
+                        // The delegated op may charge dynamic costs to the
+                        // memory counter itself: sync the accumulator in,
+                        // run it, and read the total back out.
+                        cycles += inst.cost;
+                        self.stats.cycles = cycles;
+                        match self.exec_op(func, &inst.op) {
+                            Ok(()) => {
+                                masked = self.last_masked;
+                                cycles = self.stats.cycles;
+                                idx += 1;
+                            }
+                            Err(t) => {
+                                // `exec_op` already left the pc and
+                                // `last_masked` exactly as the stepper's
+                                // error path does; only the retired count
+                                // still needs settling.
+                                self.stats.instructions = retired + u64::from(idx - leader + 1);
+                                return Err(t);
+                            }
+                        }
+                    }
+                    COp::GenericEnd { inst } => {
+                        // Terminator delegation (syscall, hypercall): the op
+                        // may redirect the pc (sigreturn) or halt, so nothing
+                        // may be written after it — the chain ends here
+                        // rather than guessing where the pc went.
+                        self.pc = CodeAddr {
+                            func,
+                            index: idx + 1,
+                        };
+                        self.last_masked = masked;
+                        cycles += inst.cost;
+                        self.stats.cycles = cycles;
+                        let r = self.exec_op(func, &inst.op);
+                        self.stats.instructions = retired + u64::from(idx - leader + 1);
+                        return r;
+                    }
+
+                    // --- fused superinstructions --------------------------
+                    COp::AluImmAluImm {
+                        op1,
+                        dst1,
+                        imm1,
+                        cost1,
+                        op2,
+                        dst2,
+                        imm2,
+                        masks2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        self.alu(op1, dst1, imm1);
+                        cycles += cost2;
+                        self.alu(op2, dst2, imm2);
+                        masked = if masks2 { Some(dst2) } else { None };
+                        idx += 2;
+                    }
+                    COp::AluImmLoad {
+                        op1,
+                        dst1,
+                        imm1,
+                        cost1,
+                        dst2,
+                        addr2,
+                        offset2,
+                        cost2,
+                        mid,
+                        sfi,
+                    } => {
+                        cycles += cost1;
+                        self.alu(op1, dst1, imm1);
+                        cycles += cost2;
+                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, sfi) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                mid,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::LoadAluImm {
+                        dst1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        op2,
+                        dst2,
+                        imm2,
+                        masks2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) =
+                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
+                        {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        self.alu(op2, dst2, imm2);
+                        masked = if masks2 { Some(dst2) } else { None };
+                        idx += 2;
+                    }
+                    COp::LoadLoad {
+                        dst1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        dst2,
+                        addr2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) =
+                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
+                        {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        // A load clears the masked state, so the second load
+                        // can never see an SFI dependency.
+                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::AluImmStore {
+                        op1,
+                        dst1,
+                        imm1,
+                        cost1,
+                        src2,
+                        addr2,
+                        offset2,
+                        cost2,
+                        mid,
+                    } => {
+                        cycles += cost1;
+                        self.alu(op1, dst1, imm1);
+                        cycles += cost2;
+                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                mid,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::StoreAluImm {
+                        src1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        op2,
+                        dst2,
+                        imm2,
+                        masks2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) = self.c_store(&mut cycles, src1, addr1, offset1) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        self.alu(op2, dst2, imm2);
+                        masked = if masks2 { Some(dst2) } else { None };
+                        idx += 2;
+                    }
+                    COp::StoreLoad {
+                        src1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        dst2,
+                        addr2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) = self.c_store(&mut cycles, src1, addr1, offset1) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::LoadStore {
+                        dst1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        src2,
+                        addr2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) =
+                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
+                        {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::LeaAluImm {
+                        dst1,
+                        base1,
+                        offset1,
+                        cost1,
+                        op2,
+                        dst2,
+                        imm2,
+                        masks2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        self.regs[dst1.index()] =
+                            self.regs[base1.index()].wrapping_add(offset1 as u64);
+                        cycles += cost2;
+                        self.alu(op2, dst2, imm2);
+                        masked = if masks2 { Some(dst2) } else { None };
+                        idx += 2;
+                    }
+                    COp::AluImmLea {
+                        op1,
+                        dst1,
+                        imm1,
+                        cost1,
+                        dst2,
+                        base2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        self.alu(op1, dst1, imm1);
+                        cycles += cost2;
+                        self.regs[dst2.index()] =
+                            self.regs[base2.index()].wrapping_add(offset2 as u64);
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::LoadLea {
+                        dst1,
+                        addr1,
+                        offset1,
+                        cost1,
+                        dst2,
+                        base2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) =
+                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
+                        {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        self.regs[dst2.index()] =
+                            self.regs[base2.index()].wrapping_add(offset2 as u64);
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::LeaBndCu {
+                        dst1,
+                        base1,
+                        offset1,
+                        cost1,
+                        bnd2,
+                        reg2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        self.regs[dst1.index()] =
+                            self.regs[base1.index()].wrapping_add(offset1 as u64);
+                        cycles += cost2;
+                        if let Err(t) = self.c_bndcu(bnd2, reg2) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::BndCuLoad {
+                        bnd1,
+                        reg1,
+                        cost1,
+                        dst2,
+                        addr2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) = self.c_bndcu(bnd1, reg1) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        // A bound check clears the masked state, so the load
+                        // half carries no SFI dependency.
+                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                    COp::BndCuStore {
+                        bnd1,
+                        reg1,
+                        cost1,
+                        src2,
+                        addr2,
+                        offset2,
+                        cost2,
+                    } => {
+                        cycles += cost1;
+                        if let Err(t) = self.c_bndcu(bnd1, reg1) {
+                            return Err(
+                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                            );
+                        }
+                        cycles += cost2;
+                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                            return Err(self.run_trap(
+                                func,
+                                leader,
+                                idx + 1,
+                                retired,
+                                cycles,
+                                None,
+                                t,
+                            ));
+                        }
+                        masked = None;
+                        idx += 2;
+                    }
+                }
+            }
+            // Trailing run with no terminator: fall through to the next
+            // index with the masked state intact, exactly like the
+            // decoded path (the chain lookup then either enters the next
+            // run or settles so the next fetch raises `BadCodePointer`
+            // if the body simply ends).
+            retired += u64::from(idx - leader);
+            entry = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::decode::decode_program;
+    use crate::machine::{Machine, MachineConfig};
+    use memsentry_ir::{Function, FunctionBuilder, Inst, Program};
+
+    fn engine(threaded: bool, fusion: bool) -> MachineConfig {
+        MachineConfig {
+            threaded,
+            fusion,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Runs the same program on the stepped, unfused-threaded and
+    /// fused-threaded engines and asserts every observable — outcome,
+    /// stats (cycles bit-exact via `PartialEq` on the same add
+    /// sequence), pc and full state digest — is identical.
+    fn assert_engines_agree(build: impl Fn(&mut Program)) -> Machine {
+        let run = |config: MachineConfig| {
+            let mut p = Program::new();
+            build(&mut p);
+            let mut m = Machine::with_config(p, config);
+            let out = m.run();
+            (out, m)
+        };
+        let (out_s, m_s) = run(engine(false, false));
+        let (out_u, m_u) = run(engine(true, false));
+        let (out_f, m_f) = run(engine(true, true));
+        assert_eq!(out_s, out_u, "stepped vs threaded-unfused outcome");
+        assert_eq!(out_s, out_f, "stepped vs threaded-fused outcome");
+        for (label, m) in [("unfused", &m_u), ("fused", &m_f)] {
+            assert_eq!(m_s.stats(), m.stats(), "stats ({label})");
+            assert_eq!(
+                m_s.cycles().to_bits(),
+                m.cycles().to_bits(),
+                "cycle bits ({label})"
+            );
+            assert_eq!(m_s.pc(), m.pc(), "pc ({label})");
+            assert_eq!(m_s.state_digest(), m.state_digest(), "digest ({label})");
+        }
+        m_f
+    }
+
+    fn main_only(build: impl Fn(&mut FunctionBuilder)) -> impl Fn(&mut Program) {
+        move |p: &mut Program| {
+            let mut b = FunctionBuilder::new("main");
+            build(&mut b);
+            p.add_function(b.finish());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_fused_families_and_loops() {
+        let m = assert_engines_agree(main_only(|b| {
+            let top = b.new_label();
+            // Scratch buffer on the mapped stack, below the live frame.
+            b.push(Inst::Lea {
+                dst: Reg::Rbx,
+                base: Reg::Rsp,
+                offset: -256,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 0,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::Rcx,
+                imm: 10,
+            });
+            b.push(Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: u64::MAX,
+            });
+            b.bind(top);
+            // store+aluimm, aluimm+store material.
+            b.push(Inst::Store {
+                src: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 3,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Xor,
+                dst: Reg::Rax,
+                imm: 1,
+            });
+            // SFI bracket: the mask feeds the load's address register, so
+            // the fused pair must keep the dependency charge.
+            b.push(Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::Rbx,
+                imm: u64::MAX,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rdx,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rsi,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            // MPX bracket: lea+bndcu then the checked access.
+            b.push(Inst::Lea {
+                dst: Reg::Rdi,
+                base: Reg::Rbx,
+                offset: 8,
+            });
+            b.push(Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rdi,
+            });
+            b.push(Inst::Store {
+                src: Reg::Rdx,
+                addr: Reg::Rdi,
+                offset: 0,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Sub,
+                dst: Reg::Rcx,
+                imm: 1,
+            });
+            b.push(Inst::MovImm {
+                dst: Reg::R8,
+                imm: 0,
+            });
+            b.push(Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::Rcx,
+                b: Reg::R8,
+                target: top,
+            });
+            b.push(Inst::Halt);
+        }));
+        assert!(m.stats().loads > 0 && m.stats().stores > 0);
+        assert!(m.stats().bound_checks > 0);
+    }
+
+    #[test]
+    fn engines_agree_on_calls_and_returns() {
+        assert_engines_agree(|p| {
+            let mut callee = FunctionBuilder::new("callee");
+            callee.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 41,
+            });
+            callee.push(Inst::Ret);
+            let mut main = FunctionBuilder::new("main");
+            main.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 1,
+            });
+            main.push(Inst::Call(FuncId(1)));
+            main.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: CodeAddr::entry(FuncId(1)).encode(),
+            });
+            main.push(Inst::CallIndirect { target: Reg::Rbx });
+            main.push(Inst::Halt);
+            p.add_function(main.finish());
+            p.add_function(callee.finish());
+        });
+    }
+
+    #[test]
+    fn engines_agree_on_fault_inside_fused_pair() {
+        // The faulting load sits in the second half of an aluimm+load
+        // superinstruction; the trap must retire the faulting op, leave
+        // the pc past it and report the same state everywhere.
+        let m = assert_engines_agree(main_only(|b| {
+            b.push(Inst::MovImm {
+                dst: Reg::Rbx,
+                imm: 0x100,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                imm: 8,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::Halt);
+        }));
+        assert_eq!(m.pc().index, 3);
+    }
+
+    #[test]
+    fn engines_agree_on_bound_trap_inside_fused_pair() {
+        assert_engines_agree(main_only(|b| {
+            b.push(Inst::BndMk {
+                bnd: 0,
+                lower: 0,
+                upper: 0x1000,
+            });
+            b.push(Inst::Lea {
+                dst: Reg::Rdi,
+                base: Reg::Rsp,
+                offset: 0,
+            });
+            b.push(Inst::BndCu {
+                bnd: 0,
+                reg: Reg::Rdi,
+            });
+            b.push(Inst::Halt);
+        }));
+    }
+
+    #[test]
+    fn engines_agree_when_fuel_cuts_a_block() {
+        // An absolute fuel boundary lands mid-block: the threaded engine
+        // must fall back to the decoded slice and stop on the same
+        // instruction with the same partial state.
+        let run = |threaded: bool| {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            for i in 0..20 {
+                b.push(Inst::MovImm {
+                    dst: Reg::Rax,
+                    imm: i,
+                });
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut m = Machine::with_config(p, engine(threaded, true));
+            m.set_fuel(7);
+            let out = m.run();
+            (out, m.pc(), m.stats().clone(), m.state_digest())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    fn decode_main(build: impl Fn(&mut FunctionBuilder)) -> Vec<crate::decode::DecodedFunction> {
+        let mut b = FunctionBuilder::new("main");
+        build(&mut b);
+        let f: Function = b.finish();
+        let mut p = Program::new();
+        p.add_function(f);
+        decode_program(&p, &CostModel::default())
+    }
+
+    #[test]
+    fn dominant_pairs_fuse_and_retirement_counts_cover_the_block() {
+        let code = decode_main(|b| {
+            b.push(Inst::AluImm {
+                op: AluOp::And,
+                dst: Reg::Rbx,
+                imm: !0xfff,
+            });
+            b.push(Inst::Load {
+                dst: Reg::Rax,
+                addr: Reg::Rbx,
+                offset: 0,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            });
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 2,
+            });
+            b.push(Inst::Halt);
+        });
+        let compiled = compile_program(&code, true);
+        let run = compiled[0].runs[0].as_ref().expect("entry run");
+        assert_eq!(run.n_insts, 5);
+        // mask+load fuses with the SFI dependency pre-resolved; the two
+        // trailing adds fuse as aluimm+aluimm.
+        assert!(matches!(
+            run.ops[0],
+            COp::AluImmLoad {
+                sfi: true,
+                mid: Some(Reg::Rbx),
+                ..
+            }
+        ));
+        assert!(matches!(run.ops[1], COp::AluImmAluImm { .. }));
+        assert!(matches!(run.ops[2], COp::Halt { .. }));
+
+        let unfused = compile_program(&code, false);
+        let run = unfused[0].runs[0].as_ref().expect("entry run");
+        assert_eq!(run.n_insts, 5);
+        assert_eq!(run.ops.len(), 5);
+    }
+
+    #[test]
+    fn branch_targets_get_their_own_runs() {
+        let code = decode_main(|b| {
+            let top = b.new_label();
+            b.push(Inst::MovImm {
+                dst: Reg::Rax,
+                imm: 0,
+            });
+            b.bind(top); // index 1: branch target mid-function
+            b.push(Inst::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            });
+            b.push(Inst::JmpIf {
+                cond: Cond::Ne,
+                a: Reg::Rax,
+                b: Reg::Rbx,
+                target: top,
+            });
+            b.push(Inst::Halt);
+        });
+        let compiled = compile_program(&code, true);
+        // Body layout: 0 movimm | 1 label marker (branch target) |
+        // 2 aluimm | 3 jmpif | 4 halt.
+        let runs = &compiled[0].runs;
+        assert!(runs[0].is_some(), "function entry");
+        assert!(runs[1].is_some(), "branch target");
+        assert!(runs[2].is_none(), "mid-block index");
+        assert!(runs[3].is_none(), "terminator mid-block");
+        assert!(runs[4].is_some(), "post-terminator fall-through");
+    }
+}

@@ -26,12 +26,14 @@
 //! rewinds the machine to any instruction boundary bit-exactly, and powers
 //! exposure bisection and the crash-consistency sweep.
 
+pub(crate) mod compile;
 pub mod cost;
 pub(crate) mod decode;
 pub mod events;
 pub mod heap;
 pub mod kernel;
 pub mod machine;
+pub mod opstats;
 pub mod replay;
 pub mod stats;
 pub mod threads;
@@ -42,7 +44,10 @@ pub use events::{DomainClosure, Event, EventAction, EventSchedule, SignalPolicy}
 pub use heap::{BumpAllocator, HeapPolicy};
 pub use kernel::{DefaultKernel, HypercallHandler, SyscallHandler};
 pub use machine::{AccessTracer, Machine, MachineConfig, MachineSnapshot, RunOutcome};
-pub use replay::{bisect_first, crash_sweep, CrashSweepReport, CrashViolation, Recording, ReplayError};
+pub use opstats::{tally_run, OpKind, OpPairTally, PairCount};
+pub use replay::{
+    bisect_first, crash_sweep, CrashSweepReport, CrashViolation, Recording, ReplayError,
+};
 pub use stats::ExecStats;
 pub use threads::ThreadCtx;
 pub use trap::Trap;

@@ -19,6 +19,7 @@ use memsentry_aes::{Block, RegionCipher};
 use memsentry_ir::{AluOp, CodeAddr, FuncId, Program, Reg};
 use memsentry_mmu::{AddressSpace, PageFlags, Prot, VirtAddr};
 
+use crate::compile::{compile_program, CompiledFunction};
 use crate::cost::CostModel;
 use crate::decode::{decode_program, DecodedFunction, DecodedOp};
 use crate::events::{
@@ -51,6 +52,20 @@ pub struct MachineConfig {
     pub fuel: u64,
     /// The cycle cost model.
     pub cost: CostModel,
+    /// Drive execution through the threaded-code engine: basic-block
+    /// entry points are compiled to pre-bound op chains at construction
+    /// (the crate-private `compile` stage) and `run_until` dispatches
+    /// whole compiled runs instead of matching per decoded instruction.
+    /// Defaults to on unless the `MSENTRY_NO_THREADED` environment
+    /// variable is set — the escape hatch (mirroring
+    /// `MSENTRY_NO_CHECKPOINT`) that forces the per-instruction decoded
+    /// path everywhere for A/B determinism checks.
+    pub threaded: bool,
+    /// Fuse dominant consecutive op pairs into single-dispatch
+    /// superinstructions when compiling (no effect with `threaded` off).
+    /// Default on; the unfused engine is the ablation tracked in
+    /// `benches/interp.rs`.
+    pub fusion: bool,
 }
 
 impl Default for MachineConfig {
@@ -59,6 +74,8 @@ impl Default for MachineConfig {
             stack_size: STACK_SIZE,
             fuel: 200_000_000,
             cost: CostModel::default(),
+            threaded: std::env::var_os("MSENTRY_NO_THREADED").is_none(),
+            fusion: true,
         }
     }
 }
@@ -104,21 +121,25 @@ pub struct Machine {
     /// The address space (public: harnesses map regions directly).
     pub space: AddressSpace,
     pub(crate) regs: [u64; 16],
-    bnd: [(u64, u64); 4],
+    pub(crate) bnd: [(u64, u64); 4],
     pub(crate) pc: CodeAddr,
-    program: Program,
+    pub(crate) program: Program,
     /// Pre-decoded bodies (instruction streams plus basic-block bounds),
     /// index-1:1 with each function's `body`.
     code: Vec<DecodedFunction>,
-    cost: CostModel,
-    stats: ExecStats,
+    /// Threaded-code runs compiled from `code` at construction (empty
+    /// with [`MachineConfig::threaded`] off). Immutable derived data like
+    /// `code` itself: excluded from snapshots and the state digest.
+    compiled: Vec<CompiledFunction>,
+    pub(crate) cost: CostModel,
+    pub(crate) stats: ExecStats,
     syscall: Option<Box<dyn SyscallHandler>>,
     hypercall: Option<Box<dyn HypercallHandler>>,
     in_vm: bool,
     heap: Option<Box<dyn HeapPolicy>>,
     cipher: Option<RegionCipher>,
     keys_in_xmm: bool,
-    last_masked: Option<Reg>,
+    pub(crate) last_masked: Option<Reg>,
     pub(crate) halted: Option<u64>,
     fuel: u64,
     epc: Option<(u64, u64)>,
@@ -164,6 +185,11 @@ impl Machine {
             PageFlags::rw(),
         );
         let code = decode_program(&program, &config.cost);
+        let compiled = if config.threaded {
+            compile_program(&code, config.fusion)
+        } else {
+            Vec::new()
+        };
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = STACK_TOP - 64;
         Self {
@@ -173,6 +199,7 @@ impl Machine {
             pc: CodeAddr::entry(program.entry),
             program,
             code,
+            compiled,
             cost: config.cost,
             stats: ExecStats::default(),
             syscall: Some(Box::new(DefaultKernel::new())),
@@ -231,7 +258,7 @@ impl Machine {
         self.in_enclave
     }
 
-    fn check_epc(&self, va: u64) -> Result<(), Trap> {
+    pub(crate) fn check_epc(&self, va: u64) -> Result<(), Trap> {
         if let Some((lo, hi)) = self.epc {
             if va >= lo && va < hi && !self.in_enclave {
                 return Err(Trap::EpcAccessOutsideEnclave { addr: va });
@@ -421,17 +448,40 @@ impl Machine {
     /// guarantees no event is due and no preemption is in flight before
     /// `horizon`, and that `horizon <= fuel`.
     fn run_blocks(&mut self, horizon: u64) -> Result<(), Trap> {
-        // The decoded code is immutable during execution but the borrow
-        // checker cannot see that through `&mut self`; park it locally for
-        // the duration of the batch. `exec_op` never touches `self.code`.
+        // The decoded and compiled code are immutable during execution but
+        // the borrow checker cannot see that through `&mut self`; park
+        // them locally for the duration of the batch. `exec_op` and
+        // `exec_chain` never touch `self.code` or `self.compiled`.
         let code = std::mem::take(&mut self.code);
-        let r = self.run_blocks_inner(&code, horizon);
+        let compiled = std::mem::take(&mut self.compiled);
+        let r = self.run_blocks_inner(&code, &compiled, horizon);
         self.code = code;
+        self.compiled = compiled;
         r
     }
 
-    fn run_blocks_inner(&mut self, code: &[DecodedFunction], horizon: u64) -> Result<(), Trap> {
+    fn run_blocks_inner(
+        &mut self,
+        code: &[DecodedFunction],
+        compiled: &[CompiledFunction],
+        horizon: u64,
+    ) -> Result<(), Trap> {
         while self.halted.is_none() && self.stats.instructions < horizon {
+            // Threaded fast path: chain compiled blocks back to back —
+            // the pc, masked state and retired count stay in locals
+            // across taken branches — until the horizon, a halt, or a pc
+            // without a compiled run that fits the remaining budget
+            // (mid-block entry from a replay seek or horizon cut). No
+            // tracer may be observing (the compiled arms skip the
+            // per-access tracer hook). The decoded slice below then
+            // handles exactly one block, which keeps injection-boundary
+            // semantics without compiled duplicates.
+            if self.tracer.is_none() {
+                self.exec_chain(compiled, horizon)?;
+                if self.halted.is_some() || self.stats.instructions >= horizon {
+                    return Ok(());
+                }
+            }
             let func = self.pc.func;
             let start = self.pc.index as usize;
             let f = match code.get(func.0 as usize) {
@@ -469,7 +519,7 @@ impl Machine {
         Ok(())
     }
 
-    fn push_u64(&mut self, value: u64) -> Result<(), Trap> {
+    pub(crate) fn push_u64(&mut self, value: u64) -> Result<(), Trap> {
         let rsp = self.regs[Reg::Rsp.index()]
             .checked_sub(8)
             .ok_or(Trap::StackUnderflow {
@@ -480,7 +530,7 @@ impl Machine {
         Ok(())
     }
 
-    fn pop_u64(&mut self) -> Result<u64, Trap> {
+    pub(crate) fn pop_u64(&mut self) -> Result<u64, Trap> {
         let rsp = self.regs[Reg::Rsp.index()];
         let v = self.space.read_u64(VirtAddr(rsp))?;
         self.regs[Reg::Rsp.index()] = rsp + 8;
@@ -543,6 +593,34 @@ impl Machine {
         self.step_slow()
     }
 
+    /// The pre-execute half of [`Machine::step`] — fuel check plus event
+    /// poll — split out for the op-pair profiler, which must classify the
+    /// op that will *actually* execute (a delivered signal redirects the
+    /// pc to the handler before the fetch).
+    pub(crate) fn profile_poll(&mut self) -> Result<(), Trap> {
+        if self.stats.instructions >= self.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        if self.events.is_some() {
+            self.poll_events()?;
+        }
+        Ok(())
+    }
+
+    /// The execute half of [`Machine::step`] for the op-pair profiler.
+    pub(crate) fn profile_exec(&mut self) -> Result<(), Trap> {
+        self.step_slow()
+    }
+
+    /// Classifies the op the next fetch would execute, or `None` if that
+    /// fetch faults.
+    pub(crate) fn current_op_kind(&self) -> Option<crate::opstats::OpKind> {
+        self.code
+            .get(self.pc.func.0 as usize)
+            .and_then(|f| f.insts.get(self.pc.index as usize))
+            .map(|d| crate::opstats::OpKind::of(&d.op))
+    }
+
     /// Fetch + execute + preemption tick for one instruction, with no
     /// fuel or event consultation (the caller has already done both).
     fn step_slow(&mut self) -> Result<(), Trap> {
@@ -572,7 +650,7 @@ impl Machine {
     /// Executes one already-fetched instruction. `pc.index` has been
     /// advanced past it and its static cost charged; `func` is the
     /// function it was fetched from (for tracer code addresses).
-    fn exec_op(&mut self, func: FuncId, op: &DecodedOp) -> Result<(), Trap> {
+    pub(crate) fn exec_op(&mut self, func: FuncId, op: &DecodedOp) -> Result<(), Trap> {
         let mut next_masked = None;
         match *op {
             DecodedOp::MovImm { dst, imm } => self.regs[dst.index()] = imm,
@@ -839,7 +917,7 @@ impl Machine {
         Ok(())
     }
 
-    fn alu(&mut self, op: AluOp, dst: Reg, b: u64) {
+    pub(crate) fn alu(&mut self, op: AluOp, dst: Reg, b: u64) {
         let a = self.regs[dst.index()];
         self.regs[dst.index()] = match op {
             AluOp::Add => a.wrapping_add(b),
@@ -2498,8 +2576,7 @@ mod tests {
 
     fn equivalence_machine(seed: u64, schedule: Option<EventSchedule>) -> Machine {
         let mut m = Machine::new(random_program(seed));
-        m.space
-            .map_region(VirtAddr(SCRATCH), 4096, PageFlags::rw());
+        m.space.map_region(VirtAddr(SCRATCH), 4096, PageFlags::rw());
         m.spawn_thread(FuncId(3), [0; 3]);
         m.set_signal_policy(SignalPolicy {
             handler: FuncId(2),
@@ -2657,10 +2734,13 @@ mod tests {
         m.run_until(5).unwrap();
         assert_eq!(m.stats.instructions, 5);
         // An event due exactly at the stop boundary has not fired yet...
-        m.set_event_schedule(EventSchedule::at(5, EventAction::Write {
-            addr: SCRATCH + 32,
-            value: 9,
-        }));
+        m.set_event_schedule(EventSchedule::at(
+            5,
+            EventAction::Write {
+                addr: SCRATCH + 32,
+                value: 9,
+            },
+        ));
         assert_eq!(m.pending_events(), 1);
         // ...and fires before the next instruction once execution resumes.
         m.run_until(6).unwrap();

@@ -500,11 +500,7 @@ mod tests {
             rec.seek(&mut m, b).unwrap();
             let reference = fresh_at(30, &[], b);
             assert_eq!(m.stats(), reference.stats(), "boundary {b}");
-            assert_eq!(
-                m.state_digest(),
-                reference.state_digest(),
-                "boundary {b}"
-            );
+            assert_eq!(m.state_digest(), reference.state_digest(), "boundary {b}");
         }
     }
 
@@ -552,11 +548,7 @@ mod tests {
         for b in [0, 39, 40, 41, 64, 89, 90, 91, rec.boundaries()] {
             rec.seek(&mut m, b).unwrap();
             let reference = fresh_at(30, &events, b);
-            assert_eq!(
-                m.state_digest(),
-                reference.state_digest(),
-                "boundary {b}"
-            );
+            assert_eq!(m.state_digest(), reference.state_digest(), "boundary {b}");
         }
     }
 
@@ -605,7 +597,10 @@ mod tests {
             memsentry_mmu::PageFlags::rw(),
         );
         let rec = Recording::capture(&mut m, 16, &[]);
-        assert!(matches!(rec.outcome(), RunOutcome::Trapped(Trap::OutOfFuel)));
+        assert!(matches!(
+            rec.outcome(),
+            RunOutcome::Trapped(Trap::OutOfFuel)
+        ));
         assert_eq!(rec.boundaries(), 50, "every fueled instruction recorded");
         // Seeking to the exhaustion boundary replays without re-trapping:
         // run_until stops at the boundary before the fuel check would
@@ -652,8 +647,8 @@ mod tests {
 
     #[test]
     fn bisect_is_cheap_for_wide_windows() {
-        let (first, probes) = bisect_first(4096, |b| Ok::<bool, ()>((1000..3000).contains(&b)))
-            .unwrap();
+        let (first, probes) =
+            bisect_first(4096, |b| Ok::<bool, ()>((1000..3000).contains(&b))).unwrap();
         assert_eq!(first, Some(1000));
         assert!(
             probes < 64,

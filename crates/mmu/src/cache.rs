@@ -41,16 +41,26 @@ pub struct CacheStats {
 }
 
 /// One set-associative LRU cache level.
+///
+/// Tag storage is one flat set-major array (`assoc` slots per set,
+/// MRU-first within a set) rather than a `Vec` per set: an 8-way set's
+/// tags span exactly one 64-byte host line, so the lookup scan touches a
+/// single cache line with no per-set pointer chase — this sits on the
+/// simulator's per-memory-access hot path.
 #[derive(Debug, Clone)]
 struct Level {
-    sets: Vec<Vec<u64>>, // most-recently-used first
+    /// `n_sets * assoc` tag slots, set-major, MRU-first; only the first
+    /// `lens[set]` slots of a set are live.
+    tags: Box<[u64]>,
+    /// Live ways per set (`<= assoc`, which is at most 16).
+    lens: Box<[u8]>,
     assoc: usize,
     set_mask: u64,
     /// Dirty-set tracking for delta restores: while `tracking` is on,
     /// every set an access touches is recorded in `dirty` (deduplicated
     /// by `dirty_bits`), so a rewind copies back a handful of sets
-    /// instead of reallocating all of them. Bookkeeping only — set
-    /// contents define equality.
+    /// instead of all of them. Bookkeeping only — set contents define
+    /// equality.
     tracking: bool,
     dirty: Vec<u32>,
     dirty_bits: Vec<u64>,
@@ -60,8 +70,10 @@ impl Level {
     fn new(size_bytes: u64, assoc: usize) -> Self {
         let sets = (size_bytes / LINE / assoc as u64).max(1);
         assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        assert!(assoc <= u8::MAX as usize, "way count must fit a u8");
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            tags: vec![0; sets as usize * assoc].into_boxed_slice(),
+            lens: vec![0; sets as usize].into_boxed_slice(),
             assoc,
             set_mask: sets - 1,
             tracking: false,
@@ -71,7 +83,7 @@ impl Level {
     }
 
     /// Looks up (and on miss, fills) `line`; returns whether it hit.
-    #[inline]
+    #[inline(always)]
     fn access(&mut self, line: u64) -> bool {
         let idx = (line & self.set_mask) as usize;
         if self.tracking {
@@ -81,20 +93,42 @@ impl Level {
                 self.dirty.push(idx as u32);
             }
         }
-        let set = &mut self.sets[idx];
+        let base = idx * self.assoc;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            // Move-to-front via a single overlapping rotate instead of
-            // `remove` + `insert(0)` (two memmoves): identical MRU order.
-            set[..=pos].rotate_right(1);
+            // Manual move-to-front: shift the tags above the hit down a
+            // slot and refile the hit at the head — identical MRU order
+            // to a by-one rotate, but a MRU-position hit (`pos == 0`,
+            // the common case) does no work, where the generic
+            // `rotate_right` stays an outlined call on this hot path.
+            let mut i = pos;
+            while i > 0 {
+                set[i] = set[i - 1];
+                i -= 1;
+            }
+            set[0] = line;
             true
         } else {
-            if set.len() == self.assoc {
-                // Evict the LRU tail and make room at the front in one
-                // rotate; the rotated-around tail is overwritten.
-                set.rotate_right(1);
+            if len == self.assoc {
+                // Evict: shift everything down a slot (the LRU tail
+                // falls off) and fill the head.
+                let mut i = len - 1;
+                while i > 0 {
+                    set[i] = set[i - 1];
+                    i -= 1;
+                }
                 set[0] = line;
             } else {
-                set.insert(0, line);
+                // Fill: shift the live tags right one slot, grow the
+                // set, and fill the head.
+                let mut i = len;
+                while i > 0 {
+                    self.tags[base + i] = self.tags[base + i - 1];
+                    i -= 1;
+                }
+                self.tags[base] = line;
+                self.lens[idx] = len as u8 + 1;
             }
             false
         }
@@ -108,14 +142,16 @@ impl Level {
         self.dirty.clear();
     }
 
-    /// Feeds the level's semantic state — every set's tag vector in MRU
-    /// order — into `d`. Tracking bookkeeping is excluded (set contents
-    /// define equality, per the field docs).
+    /// Feeds the level's semantic state — every set's tags in MRU order
+    /// — into `d`. Tracking bookkeeping and dead tag slots are excluded
+    /// (live set contents define equality, per the field docs). The byte
+    /// stream is identical to the earlier `Vec<Vec<u64>>` layout's.
     fn digest_into(&self, d: &mut Digest) {
-        d.write_u64(self.sets.len() as u64);
-        for set in &self.sets {
-            d.write_u64(set.len() as u64);
-            for &tag in set {
+        d.write_u64(self.lens.len() as u64);
+        for (idx, &len) in self.lens.iter().enumerate() {
+            d.write_u64(u64::from(len));
+            let base = idx * self.assoc;
+            for &tag in &self.tags[base..base + len as usize] {
                 d.write_u64(tag);
             }
         }
@@ -126,7 +162,9 @@ impl Level {
     fn restore_from(&mut self, src: &Level) {
         for i in 0..self.dirty.len() {
             let idx = self.dirty[i] as usize;
-            self.sets[idx].clone_from(&src.sets[idx]);
+            let base = idx * self.assoc;
+            self.tags[base..base + self.assoc].copy_from_slice(&src.tags[base..base + self.assoc]);
+            self.lens[idx] = src.lens[idx];
         }
         for w in &mut self.dirty_bits {
             *w = 0;
@@ -163,7 +201,7 @@ impl CacheHierarchy {
 
     /// Accesses the line containing physical address `pa`, filling all
     /// levels on the way in (inclusive hierarchy).
-    #[inline]
+    #[inline(always)]
     pub fn access(&mut self, pa: u64) -> HitLevel {
         let line = pa / LINE;
         if self.l1.access(line) {

@@ -215,7 +215,7 @@ impl PhysMemory {
     }
 
     /// Reads a little-endian u64 at `addr`.
-    #[inline]
+    #[inline(always)]
     pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
         if addr.frame_offset() <= PAGE_SIZE - 8 {
             // A pure read of an already-materialized frame changes no
@@ -242,7 +242,7 @@ impl PhysMemory {
     }
 
     /// Writes a little-endian u64 at `addr`.
-    #[inline]
+    #[inline(always)]
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
         if addr.frame_offset() <= PAGE_SIZE - 8 {
             let off = addr.frame_offset() as usize;

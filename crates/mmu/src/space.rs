@@ -428,7 +428,7 @@ impl AddressSpace {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn check_page(
         &mut self,
         va: VirtAddr,
@@ -589,7 +589,7 @@ impl AddressSpace {
     /// [`AddressSpace::read`] with identical statistics and fault
     /// behavior (a single-page access runs exactly one iteration of that
     /// loop). Page-crossing accesses fall back to the generic path.
-    #[inline]
+    #[inline(always)]
     pub fn read_u64_info(&mut self, va: VirtAddr) -> Result<(u64, AccessInfo), Fault> {
         if va.page_offset() <= PAGE_SIZE - 8 {
             let (pa, mut info) = self.check_page(va, Access::Read)?;
@@ -674,7 +674,7 @@ impl AddressSpace {
     /// Single-page writes take the same fast path as
     /// [`AddressSpace::read_u64_info`]; page-crossing writes fall back to
     /// the generic [`AddressSpace::write`] loop.
-    #[inline]
+    #[inline(always)]
     pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<AccessInfo, Fault> {
         if va.page_offset() <= PAGE_SIZE - 8 {
             let (pa, mut info) = self.check_page(va, Access::Write)?;

@@ -69,7 +69,7 @@ impl Tlb {
 
     /// Looks up the leaf PTE cached for `vpn` in address space `pcid`,
     /// recording a hit or miss.
-    #[inline]
+    #[inline(always)]
     pub fn lookup(&mut self, pcid: u16, vpn: u64) -> Option<Pte> {
         let slot = (vpn as usize) % TLB_ENTRIES;
         let e = self.entries[slot];

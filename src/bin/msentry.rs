@@ -16,6 +16,13 @@
 //!   [--handler FN] [--no-scrub]              signal handler function index;
 //!                                            scrubbed delivery unless
 //!                                            --no-scrub
+//!   [--op-stats]                             step the per-instruction
+//!                                            interpreter recording the
+//!                                            retired op-pair histogram
+//!                                            (the measurement behind the
+//!                                            threaded engine's fusion set)
+//!                                            and print the top sequential
+//!                                            pairs after the run
 //! msentry instrument <file> -t <technique> -a <application>
 //!                                            print the instrumented listing
 //! msentry protect <file> -t <technique> -a <application>
@@ -87,11 +94,11 @@ use memsentry_repro::check::{
 use memsentry_repro::cpu::cost::CostModel;
 use memsentry_repro::cpu::replay::{bisect_first, crash_sweep, Recording, ReplayError};
 use memsentry_repro::cpu::{
-    Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
+    tally_run, Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
 };
 use memsentry_repro::ir::{parse_program, print::format_program, verify, FuncId, Program, Reg};
-use memsentry_repro::mmu::VirtAddr;
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
+use memsentry_repro::mmu::VirtAddr;
 
 fn technique_from(name: &str) -> Option<Technique> {
     Some(match name.to_ascii_lowercase().as_str() {
@@ -189,9 +196,7 @@ fn parse_inject(spec: &str) -> Result<Event, String> {
                 value: num(value)?,
             }
         }
-        ("alloc-fail", Some(count)) => EventAction::FailAllocs {
-            count: num(count)?,
-        },
+        ("alloc-fail", Some(count)) => EventAction::FailAllocs { count: num(count)? },
         _ => return Err(bad()),
     };
     Ok(Event { at, action })
@@ -204,6 +209,7 @@ struct RunOptions {
     events: Vec<Event>,
     handler: Option<FuncId>,
     scrub: bool,
+    op_stats: bool,
 }
 
 impl RunOptions {
@@ -225,6 +231,7 @@ impl RunOptions {
             events,
             handler,
             scrub: !args.iter().any(|a| a == "--no-scrub"),
+            op_stats: args.iter().any(|a| a == "--op-stats"),
         })
     }
 }
@@ -252,7 +259,19 @@ fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOption
             scrub: opts.scrub,
         });
     }
-    let outcome = machine.run();
+    let outcome = if opts.op_stats {
+        // Profiling steps the per-instruction interpreter (`tally_run`),
+        // which retires the same stream as `run` — so the histogram is
+        // exact and the exit/trap reporting below stays identical.
+        let (tally, trap) = tally_run(&mut machine);
+        print_op_stats(&tally);
+        match trap {
+            Some(t) => RunOutcome::Trapped(t),
+            None => RunOutcome::Exited(machine.exit_code().unwrap_or(0)),
+        }
+    } else {
+        machine.run()
+    };
     let stats = machine.stats();
     if stats.signals > 0 || stats.preemptions > 0 {
         println!(
@@ -283,12 +302,35 @@ fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOption
     }
 }
 
+/// Prints the retired op-pair histogram recorded by `--op-stats`: totals,
+/// the sequential/control-transfer split, and the top sequential pairs
+/// with their share of retired instructions (the same shares the bench
+/// profiler prints, so the fusion-set table in EXPERIMENTS.md can be
+/// cross-checked against any hand-written listing).
+fn print_op_stats(tally: &memsentry_repro::cpu::OpPairTally) {
+    let total = tally.total();
+    let seq = tally.total_sequential();
+    let xfer = tally.total_transfer();
+    println!(
+        "op-stats: {total} instruction(s) retired; {seq} sequential pair(s), \
+         {xfer} across control transfers"
+    );
+    for p in tally.top_sequential(10) {
+        println!(
+            "    {:<22} {:>9}  {:>5.1}%",
+            format!("{}+{}", p.first.name(), p.second.name()),
+            p.count,
+            100.0 * p.count as f64 / total.max(1) as f64
+        );
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msentry <run|replay|check|instrument|protect|techniques> [<file>] \
          [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>] \
          [--json] [--exposure] [--summaries] \
-         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub] \
+         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub] [--op-stats] \
          [--at <boundary>] [--spacing <k>] [--bisect] [--mailbox <addr>] \
          [--secret <value>] [--crash-sweep]"
     );

@@ -470,6 +470,116 @@ proptest! {
         prop_assert_eq!(fast.signal_depth(), slow.signal_depth());
     }
 
+    /// The threaded-code engine is invisible: over random programs,
+    /// random event schedules, and every address-based instrumentation
+    /// flavour (whose mask/bound sequences exercise the fused
+    /// superinstruction arms), a threaded `run`, an unthreaded `run`,
+    /// and the per-instruction stepper finish with identical outcomes,
+    /// `Stats`, cycle bits, and full machine-state digests.
+    #[test]
+    fn threaded_engine_matches_stepping_under_events_and_instrumentation(
+        ops in proptest::collection::vec((0u8..7, 0u64..64, any::<u64>()), 1..50),
+        events in proptest::collection::vec((0u8..4, 0u64..150), 0..5),
+        flavour in 0u8..4,
+    ) {
+        use memsentry_repro::cpu::{
+            Event, EventAction, EventSchedule, MachineConfig, RunOutcome, SignalPolicy,
+        };
+
+        const SCRATCH: u64 = 0x20_0000;
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset }),
+                    1 => b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset }),
+                    2 => b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm }),
+                    3 => b.push(Inst::AluImm { op: AluOp::And, dst: Reg::Rbx, imm: !0xfff | SCRATCH }),
+                    4 => b.push(Inst::Lea { dst: Reg::Rcx, base: Reg::Rbx, offset }),
+                    5 => b.push(Inst::Call(FuncId(1))),
+                    _ => b.push(Inst::Nop),
+                };
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut helper = FunctionBuilder::new("helper");
+            helper.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+            helper.push(Inst::Ret);
+            p.add_function(helper.finish());
+            let mut handler = FunctionBuilder::new("handler");
+            handler.push(Inst::Load { dst: Reg::R10, addr: Reg::Rbx, offset: 0 });
+            handler.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::SIGRETURN });
+            handler.push(Inst::Halt);
+            p.add_function(handler.finish());
+            let mut sibling = FunctionBuilder::new("sibling");
+            sibling.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            sibling.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: 1 });
+            sibling.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Halt);
+            p.add_function(sibling.finish());
+            match flavour {
+                0 => {}
+                1 => AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+                2 => AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+                _ => AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+            }
+            p
+        };
+        let schedule = EventSchedule::new(
+            events
+                .iter()
+                .map(|&(kind, at)| Event {
+                    at,
+                    action: match kind {
+                        0 => EventAction::Signal,
+                        1 => EventAction::Write { addr: SCRATCH + 16, value: at },
+                        2 => EventAction::FailAllocs { count: 1 },
+                        _ => EventAction::Preempt { to: 1, quantum: 3, scrub: at % 2 == 0 },
+                    },
+                })
+                .collect(),
+        );
+        let machine = |threaded: bool| {
+            let mut m = Machine::with_config(
+                build(),
+                MachineConfig { threaded, ..MachineConfig::default() },
+            );
+            m.space.map_region(VirtAddr(SCRATCH), PAGE_SIZE, PageFlags::rw());
+            m.spawn_thread(FuncId(3), [0; 3]);
+            m.set_signal_policy(SignalPolicy { handler: FuncId(2), scrub: false });
+            m.set_event_schedule(schedule.clone());
+            m
+        };
+        let mut threaded = machine(true);
+        let fast = threaded.run();
+        let mut unthreaded = machine(false);
+        prop_assert_eq!(fast.clone(), unthreaded.run());
+        let mut slow = machine(false);
+        let stepped = loop {
+            match slow.step() {
+                Ok(()) => {
+                    if let Some(code) = slow.exit_code() {
+                        break RunOutcome::Exited(code);
+                    }
+                }
+                Err(t) => break RunOutcome::Trapped(t),
+            }
+        };
+        prop_assert_eq!(fast, stepped);
+        for other in [&unthreaded, &slow] {
+            prop_assert_eq!(threaded.stats(), other.stats());
+            prop_assert_eq!(threaded.cycles().to_bits(), other.cycles().to_bits());
+            prop_assert_eq!(threaded.state_digest(), other.state_digest());
+        }
+    }
+
     /// Every technique's instrumentation is checker-clean on every
     /// workload profile and application: the isolation soundness analyses
     /// never false-positive on programs the shipped passes produce.

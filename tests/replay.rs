@@ -51,7 +51,11 @@ fn mpk_machine() -> (Machine, MemSentry) {
 
 /// A fresh machine identical to `build()`'s output, run straight to
 /// `boundary` under `events`.
-fn fresh_at(build: &dyn Fn() -> Machine, events: &[memsentry_repro::cpu::Event], boundary: u64) -> (u64, f64, u64) {
+fn fresh_at(
+    build: &dyn Fn() -> Machine,
+    events: &[memsentry_repro::cpu::Event],
+    boundary: u64,
+) -> (u64, f64, u64) {
     let mut m = build();
     if !events.is_empty() {
         m.set_event_schedule(EventSchedule::new(events.to_vec()));
@@ -176,6 +180,52 @@ fn fuel_is_an_exact_retired_instruction_budget() {
             end: n - 1,
         })
     );
+}
+
+#[test]
+fn recordings_are_engine_independent() {
+    // The threaded-code engine and the per-instruction stepper must feed
+    // `Recording` identical checkpoint streams: capturing the same
+    // instrumented run (with a hostile mid-run write) under both engines
+    // and seeking every boundary must observe bit-identical machines —
+    // same retired count, cycle bits, and full `state_digest`.
+    let build = |threaded: bool| {
+        let mut program = listing("shadow_demo.ms");
+        let fw = MemSentry::new(Technique::Mpk, 4096);
+        fw.instrument(&mut program, Application::ShadowStack)
+            .expect("instruments");
+        let mut m = Machine::with_config(
+            program,
+            MachineConfig {
+                threaded,
+                ..MachineConfig::default()
+            },
+        );
+        fw.prepare_machine(&mut m).expect("prepares");
+        (m, fw)
+    };
+    let (mut threaded_m, fw) = build(true);
+    let events = vec![memsentry_repro::cpu::Event {
+        at: 5,
+        action: EventAction::Write {
+            addr: fw.layout().base,
+            value: 0xdead_beef,
+        },
+    }];
+    let (mut stepped_m, _fw) = build(false);
+    let threaded = Recording::capture(&mut threaded_m, 4, &events);
+    let stepped = Recording::capture(&mut stepped_m, 4, &events);
+    assert_eq!(threaded.outcome(), stepped.outcome());
+    assert_eq!(threaded.boundaries(), stepped.boundaries());
+    for boundary in 0..=threaded.boundaries() {
+        threaded.seek(&mut threaded_m, boundary).expect("in range");
+        stepped.seek(&mut stepped_m, boundary).expect("in range");
+        assert_eq!(
+            observe(&threaded_m),
+            observe(&stepped_m),
+            "engines diverged at boundary {boundary}"
+        );
+    }
 }
 
 #[test]

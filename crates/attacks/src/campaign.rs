@@ -61,7 +61,7 @@ const CHECKPOINT_SPACING: u64 = 64;
 pub const MAILBOX: u64 = 0x30_0000;
 
 /// Function ids in the campaign victim.
-mod funcs {
+pub(crate) mod funcs {
     use memsentry_ir::FuncId;
     /// The hostile signal handler: read the region, exfiltrate, return.
     pub const HANDLER: FuncId = FuncId(1);
@@ -377,7 +377,7 @@ fn build_victim(technique: Technique) -> Result<(Machine, MemSentry, usize), Cam
 }
 
 /// Did the mailbox end up holding the secret?
-fn peek_mailbox(m: &mut Machine) -> Outcome {
+pub(crate) fn peek_mailbox(m: &mut Machine) -> Outcome {
     let mut buf = [0u8; 8];
     m.space.peek(VirtAddr(MAILBOX), &mut buf);
     if u64::from_le_bytes(buf) == SECRET {

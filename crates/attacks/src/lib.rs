@@ -27,9 +27,13 @@
 //! * [`campaign`] — the deterministic fault-injection campaign: hostile
 //!   signal handlers and preemptions swept into every instruction
 //!   boundary of each technique's domain window.
+//! * [`chaos`] — the seeded chaos campaign: recurring/compound event
+//!   storms against a window-per-iteration victim, with four
+//!   determinism-and-exposure oracles per run.
 
 pub mod bypass;
 pub mod campaign;
+pub mod chaos;
 pub mod jitrop;
 pub mod primitive;
 pub mod probing;
@@ -40,6 +44,7 @@ pub use campaign::{
     sweep_preemption, sweep_signals, CampaignError, CampaignReport, HandlerMode, Outcome,
     SweepPoint, WINDOWED_TECHNIQUES,
 };
+pub use chaos::{run_storm, StormEnd, StormIntensity, StormRun, INTENSITIES, STORM_SEEDS};
 pub use jitrop::{jitrop_attack, DiversifiedVictim, JitRopResult};
 pub use primitive::{ArbitraryRw, Probe};
 pub use probing::{allocation_oracle_probes, linear_scan, spray_and_probe};

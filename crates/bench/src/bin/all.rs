@@ -313,6 +313,15 @@ fn main() {
         || memsentry_bench::bisect::bisect_matrix(&session),
     );
 
+    stage(
+        out,
+        &session,
+        &mut records,
+        &mut failures,
+        "chaos_matrix.txt",
+        || memsentry_bench::chaos::chaos_matrix(&session),
+    );
+
     let wall = started.elapsed().as_secs_f64();
     let sim_instructions = session.sim_instructions();
     let per_sec = sim_instructions as f64 / wall.max(f64::MIN_POSITIVE);

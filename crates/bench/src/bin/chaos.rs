@@ -1,0 +1,24 @@
+//! The chaos matrix: seeded recurring/compound event storms against each
+//! technique's windowed victim, with per-run exposure and replay oracles.
+//! Args: `[--jobs N]` (superblocks are irrelevant here: every storm runs
+//! a fixed victim to completion).
+use memsentry_bench::chaos::chaos_matrix;
+use memsentry_bench::cli;
+
+fn main() {
+    let args = cli::parse_or_exit("chaos [--jobs N]");
+    let session = args.session();
+    let matrix = cli::ok_or_exit(chaos_matrix(&session));
+    print!("{matrix}");
+    // Replay accounting goes to stderr so stdout stays the byte-exact
+    // artifact CI diffs across --jobs values and engine modes.
+    let ck = session.checkpoint_stats();
+    eprintln!(
+        "{} sim insts; {} checkpoints served {} replays (mean replay {:.1}, {} insts saved)",
+        session.sim_instructions(),
+        ck.taken,
+        ck.replays,
+        ck.mean_replay(),
+        ck.saved_instructions
+    );
+}

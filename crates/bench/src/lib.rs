@@ -22,6 +22,9 @@
 //! * [`bisect`] — the exposure-bisection matrix: binary search over the
 //!   recorded clean run for the first boundary where an injected event
 //!   leaves the window exposed, cross-checked against the linear sweep.
+//! * [`chaos`] — the chaos matrix: seeded recurring/compound event
+//!   storms against a window-per-iteration victim, with exposure,
+//!   snapshot/restore and crash-recovery oracles per run.
 //! * [`exposure`] — static exposure-window bounds from the
 //!   `memsentry-check` interprocedural analyzer, cross-validated against
 //!   the fault matrix (static bound must dominate measured exposure).
@@ -33,6 +36,7 @@
 
 pub mod ablation;
 pub mod bisect;
+pub mod chaos;
 pub mod cli;
 pub mod exposure;
 pub mod extras;

@@ -40,10 +40,16 @@ pub mod threads;
 pub mod trap;
 
 pub use cost::CostModel;
-pub use events::{DomainClosure, Event, EventAction, EventSchedule, SignalPolicy};
+pub use events::{
+    seeded_offsets, DomainClosure, Event, EventAction, EventSchedule, SignalPolicy, StreamSource,
+    TriggerKind,
+};
 pub use heap::{BumpAllocator, HeapPolicy};
 pub use kernel::{DefaultKernel, HypercallHandler, SyscallHandler};
-pub use machine::{AccessTracer, Machine, MachineConfig, MachineSnapshot, RunOutcome};
+pub use machine::{
+    AccessTracer, Machine, MachineConfig, MachineSnapshot, RunOutcome,
+    DEFAULT_SIGNAL_DEPTH_LIMIT,
+};
 pub use opstats::{tally_run, OpKind, OpPairTally, PairCount};
 pub use replay::{
     bisect_first, crash_sweep, CrashSweepReport, CrashViolation, Recording, ReplayError,

@@ -23,7 +23,8 @@ use crate::compile::{compile_program, CompiledFunction};
 use crate::cost::CostModel;
 use crate::decode::{decode_program, DecodedFunction, DecodedOp};
 use crate::events::{
-    DomainClosure, EventAction, EventSchedule, PreemptState, SavedDomain, SignalFrame, SignalPolicy,
+    DomainClosure, EventAction, EventSchedule, PreemptState, SavedDomain, SignalFrame,
+    SignalPolicy, TriggerKind,
 };
 use crate::heap::{BumpAllocator, HeapPolicy};
 use crate::kernel::{DefaultKernel, HypercallHandler, SyscallHandler, SyscallOutcome};
@@ -42,6 +43,12 @@ pub const STACK_TOP: u64 = 0x3f00_0000_0000;
 
 /// Default stack size.
 pub const STACK_SIZE: u64 = 1 << 20;
+
+/// Default nesting limit for signal delivery: pushing a frame on top of
+/// this many live frames raises [`Trap::Reentrancy`] instead — a real
+/// runtime's sigaltstack would overflow long before unbounded nesting.
+/// [`Machine::set_signal_depth_limit`] overrides it per machine.
+pub const DEFAULT_SIGNAL_DEPTH_LIMIT: usize = 16;
 
 /// Machine construction parameters.
 #[derive(Debug)]
@@ -150,6 +157,7 @@ pub struct Machine {
     pub(crate) active_thread: usize,
     events: Option<EventSchedule>,
     signal_policy: Option<SignalPolicy>,
+    signal_depth_limit: usize,
     signal_frames: Vec<SignalFrame>,
     domain_closure: Option<DomainClosure>,
     preempt: Option<PreemptState>,
@@ -159,6 +167,16 @@ pub struct Machine {
     /// restore runs incrementally off the address space's dirty tracking
     /// instead of deep-cloning the space.
     restored_from: Option<u64>,
+}
+
+/// How one fired event resolved inside the poll: actually delivered
+/// (arms compound triggers), dropped (counted in
+/// [`ExecStats::dropped_events`]), or deferred to a per-thread pending
+/// queue (resolved later, at preemption switch-back).
+enum Delivery {
+    Delivered,
+    Dropped,
+    Deferred,
 }
 
 /// A PIN-like dynamic tracing hook: observes every data access with the
@@ -219,6 +237,7 @@ impl Machine {
             active_thread: 0,
             events: None,
             signal_policy: None,
+            signal_depth_limit: DEFAULT_SIGNAL_DEPTH_LIMIT,
             signal_frames: Vec::new(),
             domain_closure: None,
             preempt: None,
@@ -642,7 +661,7 @@ impl Machine {
         self.stats.cycles += decoded.cost;
         self.exec_op(func, &decoded.op)?;
         if self.preempt.is_some() {
-            self.tick_preempt();
+            self.tick_preempt()?;
         }
         Ok(())
     }
@@ -939,10 +958,31 @@ impl Machine {
         self.events = Some(schedule);
     }
 
+    /// The live event schedule, if one is installed — its cursors (fired
+    /// one-shots, stream positions) reflect the run so far. The replay
+    /// recorder clones this at each checkpoint so a seek can reinstall
+    /// the exact mid-storm schedule state.
+    pub fn event_schedule(&self) -> Option<&EventSchedule> {
+        self.events.as_ref()
+    }
+
     /// Installs the signal-delivery policy used by
     /// [`EventAction::Signal`] events.
     pub fn set_signal_policy(&mut self, policy: SignalPolicy) {
         self.signal_policy = Some(policy);
+    }
+
+    /// Overrides the signal nesting limit
+    /// ([`DEFAULT_SIGNAL_DEPTH_LIMIT`]): a delivery that would push a
+    /// frame on top of `limit` live frames raises [`Trap::Reentrancy`].
+    /// Configuration, like the policy itself: not captured by snapshots.
+    pub fn set_signal_depth_limit(&mut self, limit: usize) {
+        self.signal_depth_limit = limit;
+    }
+
+    /// The current signal nesting limit.
+    pub fn signal_depth_limit(&self) -> usize {
+        self.signal_depth_limit
     }
 
     /// Declares the technique's closed domain state, used to scrub the
@@ -968,7 +1008,16 @@ impl Machine {
         self.preempt.is_some()
     }
 
-    /// Fires every event due at the current instruction boundary.
+    /// Signals queued on per-thread pending queues (they arrive while a
+    /// forced preemption is in flight and deliver at switch-back).
+    pub fn queued_signals(&self) -> u64 {
+        self.threads.iter().map(|t| t.pending_signals).sum()
+    }
+
+    /// Fires every event due at the current instruction boundary. Each
+    /// actual delivery is reported back to the schedule so compound
+    /// [`crate::events::StreamSource::After`] triggers can arm; dropped
+    /// events are counted in [`ExecStats::dropped_events`] instead.
     fn poll_events(&mut self) -> Result<(), Trap> {
         loop {
             let now = self.stats.instructions;
@@ -976,31 +1025,71 @@ impl Machine {
                 Some(a) => a,
                 None => return Ok(()),
             };
-            match action {
-                EventAction::Signal => self.deliver_signal()?,
+            let kind = action.kind();
+            let outcome = match action {
+                EventAction::Signal => {
+                    if let Some(p) = &self.preempt {
+                        // The signal targets the interrupted thread: park
+                        // it on that thread's pending queue; it delivers
+                        // at switch-back, not on the hostile sibling.
+                        let resume = p.resume;
+                        self.threads[resume].pending_signals += 1;
+                        Delivery::Deferred
+                    } else if self.deliver_signal()? {
+                        Delivery::Delivered
+                    } else {
+                        Delivery::Dropped
+                    }
+                }
                 EventAction::Preempt { to, quantum, scrub } => {
-                    self.deliver_preempt(to, quantum, scrub);
+                    if self.deliver_preempt(to, quantum, scrub) {
+                        Delivery::Delivered
+                    } else {
+                        Delivery::Dropped
+                    }
                 }
                 EventAction::Write { addr, value } => {
                     // A racing write to an unmapped address simply misses.
-                    self.space.poke(VirtAddr(addr), &value.to_le_bytes());
+                    if self.space.poke(VirtAddr(addr), &value.to_le_bytes()) {
+                        Delivery::Delivered
+                    } else {
+                        Delivery::Dropped
+                    }
                 }
-                EventAction::FailAllocs { count } => self.forced_alloc_failures += count,
+                EventAction::FailAllocs { count } => {
+                    self.forced_alloc_failures += count;
+                    Delivery::Delivered
+                }
+            };
+            match outcome {
+                Delivery::Delivered => {
+                    if let Some(s) = self.events.as_mut() {
+                        s.note_delivery(kind, now);
+                    }
+                }
+                Delivery::Dropped => self.stats.dropped_events += 1,
+                Delivery::Deferred => {}
             }
         }
     }
 
     /// Pushes an architectural signal frame, optionally force-closes the
-    /// domain, and enters the handler. Without an installed policy the
-    /// signal is dropped.
-    fn deliver_signal(&mut self) -> Result<(), Trap> {
+    /// domain, and enters the handler. Returns `false` (dropped) without
+    /// an installed policy; nesting past the depth limit raises
+    /// [`Trap::Reentrancy`].
+    fn deliver_signal(&mut self) -> Result<bool, Trap> {
         let policy = match self.signal_policy {
             Some(p) => p,
-            None => return Ok(()),
+            None => return Ok(false),
         };
         if policy.handler.0 as usize >= self.program.functions.len() {
             return Err(Trap::BadCodePointer {
                 value: CodeAddr::entry(policy.handler).encode(),
+            });
+        }
+        if self.signal_frames.len() >= self.signal_depth_limit {
+            return Err(Trap::Reentrancy {
+                resource: "signal delivery",
             });
         }
         let closure = self.domain_closure;
@@ -1020,7 +1109,7 @@ impl Machine {
         self.stats.signals += 1;
         // Delivery enters and leaves the kernel once, like a syscall.
         self.stats.cycles += self.cost.syscall;
-        Ok(())
+        Ok(true)
     }
 
     /// `sigreturn`: pops the newest signal frame, reopening the domain if
@@ -1042,14 +1131,15 @@ impl Machine {
 
     /// Forced context switch to `to` for `quantum` instructions. Invalid
     /// targets and nested preemptions drop the event (the scheduler never
-    /// preempts into a halted or nonexistent thread).
-    fn deliver_preempt(&mut self, to: usize, quantum: u64, scrub: bool) {
+    /// preempts into a halted or nonexistent thread); drops return
+    /// `false` so the poll can count them.
+    fn deliver_preempt(&mut self, to: usize, quantum: u64, scrub: bool) -> bool {
         self.ensure_main_slot();
         if to >= self.threads.len() || to == self.active_thread || self.preempt.is_some() {
-            return;
+            return false;
         }
         if self.threads[to].halted.is_some() {
-            return;
+            return false;
         }
         let closure = self.domain_closure;
         let saved = if scrub {
@@ -1066,16 +1156,20 @@ impl Machine {
         });
         self.stats.preemptions += 1;
         self.stats.cycles += self.cost.syscall;
+        true
     }
 
     /// Counts down an in-flight preemption and switches back to the
-    /// preempted thread when the quantum expires (or the sibling halts).
-    fn tick_preempt(&mut self) {
+    /// preempted thread when the quantum expires (or the sibling halts),
+    /// then drains that thread's pending signal queue — a drained
+    /// delivery can trap (reentrancy limit, bad handler), which is why
+    /// the tick is fallible.
+    fn tick_preempt(&mut self) -> Result<(), Trap> {
         if let Some(p) = &mut self.preempt {
             if self.halted.is_none() {
                 p.remaining = p.remaining.saturating_sub(1);
                 if p.remaining > 0 {
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -1084,7 +1178,28 @@ impl Machine {
             if let Some(saved) = p.saved {
                 self.reopen_domain(&saved);
             }
+            self.drain_pending_signals()?;
         }
+        Ok(())
+    }
+
+    /// Delivers every signal queued on the active thread (they arrived
+    /// while it was preempted). Deliveries stack frames in queue order;
+    /// each successful one arms compound triggers like a direct delivery.
+    fn drain_pending_signals(&mut self) -> Result<(), Trap> {
+        let tid = self.active_thread;
+        while self.threads.get(tid).is_some_and(|t| t.pending_signals > 0) {
+            self.threads[tid].pending_signals -= 1;
+            if self.deliver_signal()? {
+                let now = self.stats.instructions;
+                if let Some(s) = self.events.as_mut() {
+                    s.note_delivery(TriggerKind::Signal, now);
+                }
+            } else {
+                self.stats.dropped_events += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Imposes the closed domain state, returning what it displaced.
@@ -1256,6 +1371,11 @@ impl Machine {
         self.events = None;
         self.signal_frames.clear();
         self.preempt = None;
+        // Pending per-thread signal queues reference the cleared
+        // preemption; a restore clears all storm state.
+        for t in &mut self.threads {
+            t.pending_signals = 0;
+        }
     }
 
     /// Hashes the machine's full semantic state into one deterministic
@@ -1298,6 +1418,7 @@ impl Machine {
             s.sgx_transitions,
             s.signals,
             s.preemptions,
+            s.dropped_events,
             s.cycles.to_bits(),
         ] {
             d.write_u64(counter);
@@ -1346,10 +1467,18 @@ impl Machine {
                 None => d.write_u8(0),
             }
             d.write_u64(t.stack_base);
+            d.write_u64(t.pending_signals);
         }
         d.write_u64(self.active_thread as u64);
         d.write_u64(self.signal_depth() as u64);
         d.write_u64(self.pending_events() as u64);
+        // Stream cursors are mutable state: a storm that has fired k
+        // times differs from one that has fired k+1. No-stream schedules
+        // contribute the same bytes as an absent schedule.
+        match &self.events {
+            Some(s) => s.digest_streams_into(&mut d),
+            None => d.write_u64(0),
+        }
         d.write_u8(self.preempt_active() as u8);
         if let Some(heap) = &self.heap {
             d.write_u8(1);

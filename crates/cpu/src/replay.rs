@@ -15,16 +15,22 @@
 //!
 //! * **Checkpoints are quiescent.** A snapshot does not capture live
 //!   signal frames, in-flight preemptions or the event schedule (restore
-//!   clears all three), so [`Recording::capture`] only checkpoints at
-//!   boundaries where no signal frame is live and no preemption is in
-//!   flight. Pending *future* events are fine: they are re-derived from
-//!   the recorded schedule at seek time.
-//! * **The schedule suffix is exact.** An event due at boundary `B`
+//!   clears all three, along with per-thread pending signal queues —
+//!   which can only be nonempty while a preemption is in flight), so
+//!   [`Recording::capture`] only checkpoints at boundaries where no
+//!   signal frame is live and no preemption is in flight. Pending
+//!   *future* events are fine: they are re-derived from the recorded
+//!   schedule state at seek time.
+//! * **The schedule state is exact.** An event due at boundary `B`
 //!   fires at the start of the next execution call, so a checkpoint
 //!   taken on returning from `run_until(B)` has fired exactly the events
-//!   with `at < B`. Seeking reinstalls the events with `at >=` the
-//!   checkpoint boundary and replays forward, firing each exactly once —
-//!   the same once the original run fired it.
+//!   with `at < B` — and each stream's cursor sits exactly where the
+//!   original run left it. The recorder clones the machine's live
+//!   [`EventSchedule`] alongside every checkpoint; seeking reinstalls
+//!   that clone and replays forward, firing each one-shot exactly once
+//!   and resuming every recurring/compound stream mid-flight. For a
+//!   plain one-shot list the clone's cursor is equivalent to the events
+//!   with `at >=` the checkpoint boundary, the pre-stream suffix filter.
 
 use crate::events::{Event, EventSchedule};
 use crate::machine::{Machine, MachineSnapshot, RunOutcome};
@@ -78,6 +84,10 @@ pub struct Recording {
     /// `(boundary, snapshot)` pairs in increasing boundary order;
     /// index 0 is always `(0, start snapshot)`.
     checkpoints: Vec<(u64, MachineSnapshot)>,
+    /// The machine's live schedule state (one-shot cursor + stream
+    /// cursors) cloned at each checkpoint, index-parallel with
+    /// `checkpoints`. `None` when the run had no schedule installed.
+    checkpoint_schedules: Vec<Option<EventSchedule>>,
     /// Simulated cycle count at each boundary `0..=boundaries`.
     boundary_cycles: Vec<f64>,
     /// The schedule the run was recorded under (empty for a clean run).
@@ -89,13 +99,15 @@ pub struct Recording {
 impl Recording {
     /// Records `m`'s run to completion (halt or trap), checkpointing
     /// every `spacing` boundaries. `events` is installed as the machine's
-    /// schedule before running (pass `&[]` for a clean run) and kept so
-    /// [`Recording::seek`] can reinstall the unfired suffix; the
-    /// schedule's fields are crate-private, which is why capture takes
-    /// the raw event list. A `spacing` of [`u64::MAX`] records only the
-    /// start snapshot — every seek then replays from the start, the
-    /// quadratic reference mode the campaign exposes as
-    /// `MSENTRY_NO_CHECKPOINT`.
+    /// one-shot schedule before running; pass `&[]` to record under
+    /// whatever schedule is already installed (none for a clean run, or
+    /// a storm schedule with recurring/compound streams the caller set
+    /// up via [`Machine::set_event_schedule`]). Either way every
+    /// checkpoint carries a clone of the live schedule state, so
+    /// [`Recording::seek`] resumes it exactly. A `spacing` of
+    /// [`u64::MAX`] records only the start snapshot — every seek then
+    /// replays from the start, the quadratic reference mode the campaign
+    /// exposes as `MSENTRY_NO_CHECKPOINT`.
     ///
     /// The machine is left at the end of the run; a trapping run (fuel
     /// exhaustion included) still yields a recording whose boundaries
@@ -107,6 +119,7 @@ impl Recording {
             m.set_event_schedule(EventSchedule::new(events.to_vec()));
         }
         let mut checkpoints = vec![(0u64, m.snapshot())];
+        let mut checkpoint_schedules = vec![m.event_schedule().cloned()];
         let mut boundary_cycles = vec![m.cycles()];
         let outcome = loop {
             if m.is_halted() {
@@ -123,11 +136,13 @@ impl Recording {
                 && !m.preempt_active()
             {
                 checkpoints.push((boundary, m.snapshot()));
+                checkpoint_schedules.push(m.event_schedule().cloned());
             }
         };
         Recording {
             start,
             checkpoints,
+            checkpoint_schedules,
             boundary_cycles,
             events: events.to_vec(),
             outcome,
@@ -178,12 +193,18 @@ impl Recording {
     ///
     /// Panics if `boundary > boundaries()`.
     pub fn nearest_checkpoint(&self, boundary: u64) -> &MachineSnapshot {
+        &self.checkpoints[self.nearest_checkpoint_index(boundary)].1
+    }
+
+    /// Index into the checkpoint stream of the nearest checkpoint at or
+    /// before `boundary`.
+    fn nearest_checkpoint_index(&self, boundary: u64) -> usize {
         assert!(
             boundary <= self.boundaries(),
             "boundary {boundary} past end {}",
             self.boundaries()
         );
-        let idx = match self
+        match self
             .checkpoints
             .binary_search_by_key(&boundary, |(b, _)| *b)
         {
@@ -191,8 +212,7 @@ impl Recording {
             // The start snapshot sits at boundary 0, so the insertion
             // point is never 0 for a miss.
             Err(i) => i - 1,
-        };
-        &self.checkpoints[idx].1
+        }
     }
 
     /// The event schedule the run was recorded under.
@@ -201,11 +221,12 @@ impl Recording {
     }
 
     /// Rewinds `m` to `boundary`: restores the nearest preceding
-    /// checkpoint, reinstalls the unfired suffix of the recorded event
-    /// schedule, and re-executes the deterministic gap. On success the
-    /// machine is bit-identical (see [`Machine::state_digest`]) to a
-    /// from-start run stopped at the same boundary; `tests/replay.rs`
-    /// property-tests that over the mutation corpus.
+    /// checkpoint, reinstalls that checkpoint's recorded schedule state
+    /// (unfired one-shots and mid-flight stream cursors alike), and
+    /// re-executes the deterministic gap. On success the machine is
+    /// bit-identical (see [`Machine::state_digest`]) to a from-start run
+    /// stopped at the same boundary; `tests/replay.rs` property-tests
+    /// that over the mutation corpus.
     ///
     /// `m` must be the machine the recording was captured from (or a
     /// clone sharing its program and configuration); seeks may be issued
@@ -226,17 +247,10 @@ impl Recording {
                 end,
             });
         }
-        let ck = self.nearest_checkpoint(boundary);
-        m.restore(ck);
-        let resume = ck.instructions();
-        let suffix: Vec<Event> = self
-            .events
-            .iter()
-            .filter(|e| e.at >= resume)
-            .copied()
-            .collect();
-        if !suffix.is_empty() {
-            m.set_event_schedule(EventSchedule::new(suffix));
+        let idx = self.nearest_checkpoint_index(boundary);
+        m.restore(&self.checkpoints[idx].1);
+        if let Some(schedule) = &self.checkpoint_schedules[idx] {
+            m.set_event_schedule(schedule.clone());
         }
         if let Err(trap) = m.run_until(self.start + boundary) {
             return Err(ReplayError::Diverged {

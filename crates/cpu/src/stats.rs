@@ -40,6 +40,12 @@ pub struct ExecStats {
     pub signals: u64,
     /// Injected forced preemptions (fault-injection engine).
     pub preemptions: u64,
+    /// Injected events that fired but could not be delivered — a signal
+    /// with no policy installed, a preemption into an invalid/halted/
+    /// already-preempting target, an asynchronous write that missed
+    /// unmapped memory. Silent drops read as "survived" in sweeps, so
+    /// they are counted and surfaced by the CLI.
+    pub dropped_events: u64,
     /// Total simulated cycles.
     pub cycles: f64,
 }

@@ -32,6 +32,10 @@ pub struct ThreadCtx {
     pub(crate) pkru: Pkru,
     pub(crate) halted: Option<u64>,
     pub(crate) stack_base: u64,
+    /// Signals queued while the thread was forcibly preempted; delivered
+    /// in order at switch-back. Part of [`crate::MachineSnapshot`] (the
+    /// thread table is cloned whole) and of `Machine::state_digest`.
+    pub(crate) pending_signals: u64,
 }
 
 /// Gap kept between thread stacks (a guard page's worth).
@@ -60,6 +64,7 @@ impl Machine {
             pkru: self.space.pkru,
             halted: None,
             stack_base,
+            pending_signals: 0,
         };
         self.threads.push(ctx);
         self.threads.len() - 1
@@ -74,6 +79,7 @@ impl Machine {
                 pkru: self.space.pkru,
                 halted: self.halted,
                 stack_base: STACK_TOP - STACK_SIZE,
+                pending_signals: 0,
             });
             self.active_thread = 0;
         }

@@ -12,7 +12,22 @@
 //!                                            signal@N, preempt@N:TO,QUANTUM,
 //!                                            write@N:ADDR,VALUE,
 //!                                            alloc-fail@N:COUNT (N = retired-
-//!                                            instruction boundary)
+//!                                            instruction boundary); or event
+//!                                            STREAMS — KIND@every:PERIOD[,ARGS]
+//!                                            (recurring, first firing at
+//!                                            PERIOD), KIND@burst:AT,COUNT,GAP
+//!                                            [,ARGS] (COUNT firings GAP apart
+//!                                            starting at AT), and
+//!                                            KIND@after:TRIGGER+DELAY[,ARGS]
+//!                                            (compound: fires DELAY insts
+//!                                            after the first actual delivery
+//!                                            of a TRIGGER-kind event) — with
+//!                                            the same per-kind ARGS as the
+//!                                            one-shot forms
+//!   [--storm-seed S]                         deterministically jitter every
+//!                                            recurring (every:) stream's
+//!                                            phase by a seeded offset in
+//!                                            [0, PERIOD) — same S, same storm
 //!   [--handler FN] [--no-scrub]              signal handler function index;
 //!                                            scrubbed delivery unless
 //!                                            --no-scrub
@@ -44,8 +59,12 @@
 //!                                            (default 64)
 //!   [--bisect]                               binary-search the first boundary
 //!                                            where the --inject event (its @N
+//!                                            — or a recurring stream's phase —
 //!                                            re-aimed per probe) leaves the
-//!                                            mailbox holding the secret
+//!                                            mailbox holding the secret;
+//!                                            after: specs are rejected (their
+//!                                            firing is keyed to a delivery,
+//!                                            not a boundary)
 //!   [--mailbox ADDR] [--secret VALUE]        exposure oracle for --bisect
 //!                                            (defaults: the fault campaign's
 //!                                            mailbox/secret)
@@ -94,7 +113,8 @@ use memsentry_repro::check::{
 use memsentry_repro::cpu::cost::CostModel;
 use memsentry_repro::cpu::replay::{bisect_first, crash_sweep, Recording, ReplayError};
 use memsentry_repro::cpu::{
-    tally_run, Event, EventAction, EventSchedule, Machine, RunOutcome, SignalPolicy, Trap,
+    seeded_offsets, tally_run, Event, EventAction, EventSchedule, Machine, RunOutcome,
+    SignalPolicy, StreamSource, Trap, TriggerKind,
 };
 use memsentry_repro::ir::{parse_program, print::format_program, verify, FuncId, Program, Reg};
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
@@ -160,13 +180,24 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     .map_err(|_| format!("bad number '{s}'"))
 }
 
-/// Parses one `--inject` spec (`KIND@INDEX[:ARGS]`) into a scheduled
-/// event at retired-instruction boundary `INDEX`.
-fn parse_inject(spec: &str) -> Result<Event, String> {
+/// One parsed `--inject` spec: a one-shot event or a stream source.
+#[derive(Clone, Copy)]
+enum InjectSpec {
+    /// `KIND@N[:ARGS]` — fires once at a retired-instruction boundary.
+    Once(Event),
+    /// `KIND@every:…`, `KIND@burst:…`, `KIND@after:…`.
+    Stream(StreamSource),
+}
+
+/// Parses one `--inject` spec: a one-shot event at a retired-instruction
+/// boundary (`KIND@INDEX[:ARGS]`) or a stream (`KIND@every:PERIOD[,ARGS]`,
+/// `KIND@burst:AT,COUNT,GAP[,ARGS]`, `KIND@after:TRIGGER+DELAY[,ARGS]`).
+fn parse_inject(spec: &str) -> Result<InjectSpec, String> {
     let bad = || {
         format!(
             "bad inject spec '{spec}' (try: signal@N, preempt@N:TO,QUANTUM, \
-             write@N:ADDR,VALUE, alloc-fail@N:COUNT)"
+             write@N:ADDR,VALUE, alloc-fail@N:COUNT; streams: KIND@every:PERIOD[,ARGS], \
+             KIND@burst:AT,COUNT,GAP[,ARGS], KIND@after:TRIGGER+DELAY[,ARGS])"
         )
     };
     // Funnel every numeric field through this so a malformed number —
@@ -175,38 +206,109 @@ fn parse_inject(spec: &str) -> Result<Event, String> {
     // spec grammar, not a bare "bad number".
     let num = |s: &str| parse_u64(s).map_err(|_| bad());
     let (kind, rest) = spec.split_once('@').ok_or_else(bad)?;
+    // Every spec shape funnels its per-kind trailing fields through this,
+    // so one-shot and stream forms share one argument grammar.
+    let action = |fields: &[&str]| -> Result<EventAction, String> {
+        Ok(match (kind, fields) {
+            ("signal", []) => EventAction::Signal,
+            ("preempt", [to, quantum]) => EventAction::Preempt {
+                to: num(to)? as usize,
+                quantum: num(quantum)?,
+                scrub: true,
+            },
+            ("write", [addr, value]) => EventAction::Write {
+                addr: num(addr)?,
+                value: num(value)?,
+            },
+            ("alloc-fail", [count]) => EventAction::FailAllocs { count: num(count)? },
+            _ => return Err(bad()),
+        })
+    };
+    if let Some(body) = rest.strip_prefix("every:") {
+        let fields: Vec<&str> = body.split(',').collect();
+        let [period, args @ ..] = fields.as_slice() else {
+            return Err(bad());
+        };
+        return Ok(InjectSpec::Stream(StreamSource::Every {
+            period: num(period)?.max(1),
+            // First firing one full period in; --storm-seed jitters this.
+            phase: num(period)?.max(1),
+            limit: None,
+            action: action(args)?,
+        }));
+    }
+    if let Some(body) = rest.strip_prefix("burst:") {
+        let fields: Vec<&str> = body.split(',').collect();
+        let [at, count, gap, args @ ..] = fields.as_slice() else {
+            return Err(bad());
+        };
+        return Ok(InjectSpec::Stream(StreamSource::Every {
+            period: num(gap)?.max(1),
+            phase: num(at)?,
+            limit: Some(num(count)?),
+            action: action(args)?,
+        }));
+    }
+    if let Some(body) = rest.strip_prefix("after:") {
+        let (head, args) = match body.split_once(',') {
+            Some((head, args)) => (head, Some(args)),
+            None => (body, None),
+        };
+        let (trigger, delay) = head.split_once('+').ok_or_else(bad)?;
+        let trigger = match trigger {
+            "signal" => TriggerKind::Signal,
+            "preempt" => TriggerKind::Preempt,
+            "write" => TriggerKind::Write,
+            "alloc-fail" => TriggerKind::AllocFail,
+            _ => return Err(bad()),
+        };
+        let fields: Vec<&str> = args.map(|a| a.split(',').collect()).unwrap_or_default();
+        return Ok(InjectSpec::Stream(StreamSource::After {
+            trigger,
+            delay: num(delay)?,
+            action: action(&fields)?,
+        }));
+    }
     let (at, args) = match rest.split_once(':') {
         Some((at, args)) => (num(at)?, Some(args)),
         None => (num(rest)?, None),
     };
-    let action = match (kind, args) {
-        ("signal", None) => EventAction::Signal,
-        ("preempt", Some(args)) => {
-            let (to, quantum) = args.split_once(',').ok_or_else(bad)?;
-            EventAction::Preempt {
-                to: num(to)? as usize,
-                quantum: num(quantum)?,
-                scrub: true,
-            }
-        }
-        ("write", Some(args)) => {
-            let (addr, value) = args.split_once(',').ok_or_else(bad)?;
-            EventAction::Write {
-                addr: num(addr)?,
-                value: num(value)?,
-            }
-        }
-        ("alloc-fail", Some(count)) => EventAction::FailAllocs { count: num(count)? },
-        _ => return Err(bad()),
-    };
-    Ok(Event { at, action })
+    let fields: Vec<&str> = args.map(|a| a.split(',').collect()).unwrap_or_default();
+    Ok(InjectSpec::Once(Event {
+        at,
+        action: action(&fields)?,
+    }))
+}
+
+/// Renders a spec the way the user would write it, for the unfired-event
+/// warnings.
+fn describe_stream(s: &StreamSource) -> String {
+    match *s {
+        StreamSource::Every {
+            period,
+            phase,
+            limit: None,
+            action,
+        } => format!("{}@every:{period} (phase {phase})", action.kind().name()),
+        StreamSource::Every {
+            period,
+            phase,
+            limit: Some(n),
+            action,
+        } => format!("{}@burst:{phase},{n},{period}", action.kind().name()),
+        StreamSource::After {
+            trigger,
+            delay,
+            action,
+        } => format!("{}@after:{}+{delay}", action.kind().name(), trigger.name()),
+    }
 }
 
 /// Run-time options shared by `run` and `protect`.
 #[derive(Default)]
 struct RunOptions {
     fuel: Option<u64>,
-    events: Vec<Event>,
+    specs: Vec<InjectSpec>,
     handler: Option<FuncId>,
     scrub: bool,
     op_stats: bool,
@@ -218,22 +320,84 @@ impl RunOptions {
             Some(n) => Some(parse_u64(&n)?),
             None => None,
         };
-        let events = flag_values(args, "--inject")
+        let mut specs = flag_values(args, "--inject")
             .iter()
             .map(|s| parse_inject(s))
             .collect::<Result<Vec<_>, _>>()?;
+        if let Some(seed) = flag(args, "--storm-seed") {
+            let seed = parse_u64(&seed)?;
+            // Jitter each recurring stream's phase by a seeded offset in
+            // [0, period) — bursts and compound triggers keep their exact
+            // user-given anchor.
+            let mut nth = 0u64;
+            for spec in &mut specs {
+                if let InjectSpec::Stream(StreamSource::Every {
+                    period,
+                    phase,
+                    limit: None,
+                    ..
+                }) = spec
+                {
+                    *phase += seeded_offsets(seed.wrapping_add(nth), 1, 0, *period)[0];
+                    nth += 1;
+                }
+            }
+        }
         let handler = match flag(args, "--handler") {
             Some(n) => Some(FuncId(parse_u64(&n)? as u32)),
             None => None,
         };
         Ok(Self {
             fuel,
-            events,
+            specs,
             handler,
             scrub: !args.iter().any(|a| a == "--no-scrub"),
             op_stats: args.iter().any(|a| a == "--op-stats"),
         })
     }
+
+    /// The one-shot events among the parsed specs, in spec order.
+    fn events(&self) -> Vec<Event> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                InjectSpec::Once(e) => Some(*e),
+                InjectSpec::Stream(_) => None,
+            })
+            .collect()
+    }
+
+    /// The stream sources among the parsed specs, in spec order.
+    fn streams(&self) -> Vec<StreamSource> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                InjectSpec::Once(_) => None,
+                InjectSpec::Stream(src) => Some(*src),
+            })
+            .collect()
+    }
+}
+
+/// Rejects a `--handler` that names a function the listing does not
+/// define — up front, with the available functions, instead of trapping
+/// mid-run on the first delivery.
+fn validate_handler(program: &Program, handler: Option<FuncId>) -> Result<(), String> {
+    let Some(h) = handler else { return Ok(()) };
+    if (h.0 as usize) < program.functions.len() {
+        return Ok(());
+    }
+    let have: Vec<String> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| format!("fn{i} <{}>", f.name))
+        .collect();
+    Err(format!(
+        "--handler fn{}: no such function in the listing (have: {})",
+        h.0,
+        have.join(", ")
+    ))
 }
 
 fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOptions) -> ExitCode {
@@ -247,8 +411,8 @@ fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOption
     if let Some(fuel) = opts.fuel {
         machine.set_fuel(fuel);
     }
-    if !opts.events.is_empty() {
-        machine.set_event_schedule(EventSchedule::new(opts.events.clone()));
+    if !opts.specs.is_empty() {
+        machine.set_event_schedule(EventSchedule::with_streams(opts.events(), opts.streams()));
         if let Some(fw) = framework {
             machine.set_domain_closure(fw.signal_closure());
         }
@@ -277,6 +441,33 @@ fn run_machine(framework: Option<&MemSentry>, program: Program, opts: &RunOption
         println!(
             "delivered {} signal(s), {} preemption(s)",
             stats.signals, stats.preemptions
+        );
+    }
+    // The injection post-mortem: anything scheduled that never happened
+    // is almost always a mis-aimed spec, so say so loudly.
+    if let Some(schedule) = machine.event_schedule() {
+        for e in schedule.unfired() {
+            eprintln!(
+                "warning: injected event {}@{} never fired (run ended at boundary {})",
+                e.action.kind().name(),
+                e.at,
+                stats.instructions
+            );
+        }
+        for (source, fired) in schedule.streams() {
+            if fired == 0 {
+                eprintln!(
+                    "warning: injected stream {} never fired (run ended at boundary {})",
+                    describe_stream(&source),
+                    stats.instructions
+                );
+            }
+        }
+    }
+    if stats.dropped_events > 0 {
+        eprintln!(
+            "warning: {} event(s) fired but could not be delivered (dropped)",
+            stats.dropped_events
         );
     }
     match outcome {
@@ -330,7 +521,8 @@ fn usage() -> ExitCode {
         "usage: msentry <run|replay|check|instrument|protect|techniques> [<file>] \
          [-t <technique>] [-a <application>] [--region <bytes>] [--address <r|w|rw>] \
          [--json] [--exposure] [--summaries] \
-         [--fuel <n>] [--inject <spec>]... [--handler <fn>] [--no-scrub] [--op-stats] \
+         [--fuel <n>] [--inject <spec>]... [--storm-seed <s>] [--handler <fn>] [--no-scrub] \
+         [--op-stats] \
          [--at <boundary>] [--spacing <k>] [--bisect] [--mailbox <addr>] \
          [--secret <value>] [--crash-sweep]"
     );
@@ -400,9 +592,13 @@ fn replay_cmd(args: &[String], mut program: Program, opts: &RunOptions) -> ExitC
     };
     let bisect = args.iter().any(|a| a == "--bisect");
     // --bisect records the *clean* run and injects per probe; the other
-    // modes bake the --inject schedule into the recording itself.
-    let recorded: &[Event] = if bisect { &[] } else { &opts.events };
-    let rec = Recording::capture(&mut m, spacing, recorded);
+    // modes bake the --inject schedule (one-shots and streams alike) into
+    // the recording itself — checkpoints carry the schedule cursors, so
+    // seeks land mid-storm bit-exactly.
+    if !bisect && !opts.specs.is_empty() {
+        m.set_event_schedule(EventSchedule::with_streams(opts.events(), opts.streams()));
+    }
+    let rec = Recording::capture(&mut m, spacing, &[]);
     eprintln!(
         "recorded {} boundaries, {} checkpoint(s), spacing {spacing}",
         rec.boundaries(),
@@ -532,10 +728,20 @@ fn run_crash_sweep(rec: &Recording, m: &mut Machine) -> ExitCode {
 /// Binary-searches the first boundary where the injected event leaves the
 /// mailbox holding the secret — the fault campaign's exposure oracle.
 fn run_bisect(args: &[String], rec: &Recording, m: &mut Machine, opts: &RunOptions) -> ExitCode {
-    let Some(template) = opts.events.first() else {
-        eprintln!("--bisect needs an --inject spec; its @N is re-aimed at every probed boundary");
+    let Some(template) = opts.specs.first().copied() else {
+        eprintln!(
+            "--bisect needs an --inject spec; its @N (or a stream's phase) is \
+             re-aimed at every probed boundary"
+        );
         return ExitCode::FAILURE;
     };
+    if let InjectSpec::Stream(StreamSource::After { .. }) = template {
+        eprintln!(
+            "--bisect cannot re-aim an after: spec (it fires relative to a \
+             delivery, not a boundary); bisect the trigger stream instead"
+        );
+        return ExitCode::FAILURE;
+    }
     let mailbox = match flag(args, "--mailbox").as_deref().map(parse_u64) {
         Some(Ok(a)) => a,
         Some(Err(e)) => {
@@ -555,9 +761,30 @@ fn run_bisect(args: &[String], rec: &Recording, m: &mut Machine, opts: &RunOptio
     let n = rec.boundaries();
     let result = bisect_first(n, |b| {
         rec.seek(m, b)?;
-        let mut event = *template;
-        event.at = rec.start() + b;
-        m.set_event_schedule(EventSchedule::new(vec![event]));
+        let schedule = match template {
+            InjectSpec::Once(mut event) => {
+                event.at = rec.start() + b;
+                EventSchedule::new(vec![event])
+            }
+            // A recurring/burst stream is re-phased so its first firing
+            // lands exactly at the probed boundary.
+            InjectSpec::Stream(StreamSource::Every {
+                period,
+                limit,
+                action,
+                ..
+            }) => EventSchedule::with_streams(
+                Vec::new(),
+                vec![StreamSource::Every {
+                    period,
+                    phase: rec.start() + b,
+                    limit,
+                    action,
+                }],
+            ),
+            InjectSpec::Stream(StreamSource::After { .. }) => unreachable!("rejected above"),
+        };
+        m.set_event_schedule(schedule);
         // A trapped probe counts as "not exposed" unless the mailbox
         // already holds the secret at the trap point.
         let _ = m.run();
@@ -685,6 +912,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Err(e) = validate_handler(&program, opts.handler) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             if cmd == "run" {
                 return run_machine(None, program, &opts);
             }

@@ -243,6 +243,90 @@ fn well_formed_inject_specs_still_parse() {
 }
 
 #[test]
+fn malformed_stream_specs_are_rejected_loudly() {
+    // The stream forms share the one-shot forms' per-kind argument
+    // grammar and the same diagnostic: a missing period, a burst without
+    // its gap, an after: without +DELAY, an unknown trigger, stray or
+    // missing action fields.
+    for spec in [
+        "signal@every:",
+        "signal@every:3,4",
+        "preempt@every:5,1",
+        "signal@burst:1,2",
+        "write@after:signal",
+        "signal@after:quantum+1",
+        "alloc-fail@after:signal+2",
+    ] {
+        let (ok, text) = run(&["run", DEMO, "--inject", spec]);
+        assert!(!ok, "'{spec}' must be rejected: {text}");
+        assert!(
+            text.contains("bad inject spec") && text.contains("signal@N"),
+            "'{spec}' must get the spec-grammar diagnostic: {text}"
+        );
+    }
+}
+
+#[test]
+fn unfired_injected_events_warn_on_exit() {
+    // A one-shot aimed past the end of the run, a recurring stream whose
+    // phase is never reached, and a compound trigger that never arms all
+    // get named in the exit warning.
+    let (ok, text) = run(&["run", DEMO, "--inject", "signal@1000"]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("injected event signal@1000 never fired"),
+        "{text}"
+    );
+    let (ok, text) = run(&[
+        "run",
+        DEMO,
+        "--inject",
+        "signal@every:1000",
+        "--inject",
+        "write@after:preempt+1,0x7000,0x2a",
+    ]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("injected stream signal@every:1000") && text.contains("never fired"),
+        "{text}"
+    );
+    assert!(text.contains("write@after:preempt+1"), "{text}");
+}
+
+#[test]
+fn dropped_deliveries_warn_on_exit() {
+    // Signals fire on schedule but no handler is installed, so every
+    // delivery drops — and the run says so instead of exiting silently.
+    let (ok, text) = run(&["run", DEMO, "--inject", "signal@every:3"]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("could not be delivered (dropped)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn nonexistent_handler_is_rejected_by_name() {
+    // Satellite: a --handler naming a function the listing doesn't
+    // define fails up front, listing what the listing does have,
+    // instead of trapping on the first delivery.
+    let (ok, text) = run(&["run", DEMO, "--handler", "9", "--inject", "signal@2"]);
+    assert!(!ok, "{text}");
+    assert!(
+        text.contains("--handler fn9: no such function"),
+        "{text}"
+    );
+    assert!(text.contains("fn0 <main>"), "{text}");
+}
+
+#[test]
+fn storm_seed_jitters_deterministically() {
+    let first = run(&["run", DEMO, "--inject", "signal@every:3", "--storm-seed", "7"]);
+    let second = run(&["run", DEMO, "--inject", "signal@every:3", "--storm-seed", "7"]);
+    assert_eq!(first.1, second.1, "same seed, same storm");
+}
+
+#[test]
 fn out_of_fuel_exits_2_with_a_distinct_diagnostic() {
     let (code, text) = run_code(&["run", DEMO, "--fuel", "0"]);
     assert_eq!(code, Some(2), "{text}");
@@ -335,6 +419,43 @@ fn replay_bisect_proves_the_clean_listing_unexposed() {
     let (ok, text) = run(&["replay", DEMO, "--bisect", "--inject", "signal@0"]);
     assert!(ok, "{text}");
     assert!(text.contains("no exposed boundary in 0.."), "{text}");
+}
+
+#[test]
+fn replay_bisect_re_aims_a_recurring_stream() {
+    // An every: template is re-phased so its first firing lands at each
+    // probed boundary; the clean listing still exposes nothing.
+    let (ok, text) = run(&["replay", DEMO, "--bisect", "--inject", "signal@every:2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("no exposed boundary in 0.."), "{text}");
+}
+
+#[test]
+fn replay_bisect_rejects_compound_specs() {
+    // An after: spec fires relative to a delivery, not a boundary —
+    // there is nothing to re-aim.
+    let (ok, text) = run(&[
+        "replay",
+        DEMO,
+        "--bisect",
+        "--inject",
+        "write@after:signal+1,0x7000,0x2a",
+    ]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("cannot re-aim an after: spec"), "{text}");
+}
+
+#[test]
+fn replay_seeks_bit_exactly_into_a_storm() {
+    // The recording carries the stream cursors, so a seek lands
+    // mid-handler with the delivery state replayed, not reset.
+    let (ok, text) = run(&[
+        "replay", DEMO, "--inject", "signal@every:2", "--handler", "1", "--at", "5",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("boundary 5 of "), "{text}");
+    assert!(text.contains("signals=2"), "{text}");
+    assert!(text.contains("signal_depth=2"), "{text}");
 }
 
 #[test]

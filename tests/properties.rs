@@ -580,6 +580,248 @@ proptest! {
         }
     }
 
+    /// Storm schedules are as safe as one-shots: over random programs and
+    /// random recurring/burst/compound stream specs, the machine never
+    /// panics — every run ends in a normal exit or a typed trap — and the
+    /// threaded engine retires an identical storm boundary-for-boundary:
+    /// state digests are equal at every retired-instruction boundary, not
+    /// just at the end.
+    #[test]
+    fn storms_never_panic_and_engines_agree(
+        ops in proptest::collection::vec((0u8..6, 0u64..64, any::<u64>()), 1..40),
+        sig_period in 1u64..24,
+        pre_period in 1u64..32,
+        burst in (0u64..60, 0u64..6, 1u64..4),
+        delay in 0u64..8,
+        seed in any::<u64>(),
+        depth_limit in 1usize..6,
+    ) {
+        use memsentry_repro::cpu::{
+            seeded_offsets, EventAction, EventSchedule, MachineConfig, RunOutcome, SignalPolicy,
+            StreamSource, TriggerKind,
+        };
+
+        const SCRATCH: u64 = 0x20_0000;
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset }),
+                    1 => b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset }),
+                    2 => b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm }),
+                    3 => b.push(Inst::AluImm { op: AluOp::And, dst: Reg::Rbx, imm: !0xfff | SCRATCH }),
+                    4 => b.push(Inst::Call(FuncId(1))),
+                    _ => b.push(Inst::Nop),
+                };
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut helper = FunctionBuilder::new("helper");
+            helper.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+            helper.push(Inst::Ret);
+            p.add_function(helper.finish());
+            let mut handler = FunctionBuilder::new("handler");
+            handler.push(Inst::Load { dst: Reg::R10, addr: Reg::Rbx, offset: 0 });
+            handler.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::SIGRETURN });
+            handler.push(Inst::Halt);
+            p.add_function(handler.finish());
+            let mut sibling = FunctionBuilder::new("sibling");
+            sibling.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            sibling.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Halt);
+            p.add_function(sibling.finish());
+            p
+        };
+        let jitter = seeded_offsets(seed, 2, 0, sig_period);
+        let mut streams = vec![
+            StreamSource::Every {
+                period: sig_period,
+                phase: jitter[0],
+                limit: None,
+                action: EventAction::Signal,
+            },
+            StreamSource::Every {
+                period: pre_period,
+                phase: jitter[1],
+                limit: None,
+                action: EventAction::Preempt { to: 1, quantum: 3, scrub: seed % 2 == 0 },
+            },
+            StreamSource::After {
+                trigger: TriggerKind::Signal,
+                delay,
+                action: EventAction::Signal,
+            },
+            StreamSource::After {
+                trigger: TriggerKind::Preempt,
+                delay,
+                action: EventAction::Write { addr: SCRATCH + 16, value: seed },
+            },
+        ];
+        // count == 0 is "no burst" — Every with limit Some(0) is born
+        // exhausted, which is itself worth covering.
+        let (at, count, gap) = burst;
+        streams.push(StreamSource::Every {
+            period: gap,
+            phase: at,
+            limit: Some(count),
+            action: EventAction::Signal,
+        });
+        let schedule = EventSchedule::with_streams(Vec::new(), streams);
+        let machine = |threaded: bool| {
+            let mut m = Machine::with_config(
+                build(),
+                MachineConfig { threaded, ..MachineConfig::default() },
+            );
+            m.space.map_region(VirtAddr(SCRATCH), PAGE_SIZE, PageFlags::rw());
+            m.spawn_thread(FuncId(3), [0; 3]);
+            m.set_signal_policy(SignalPolicy { handler: FuncId(2), scrub: false });
+            m.set_signal_depth_limit(depth_limit);
+            m.set_event_schedule(schedule.clone());
+            m.set_fuel(5_000);
+            m
+        };
+        let mut a = machine(true);
+        let mut b = machine(false);
+        let end = loop {
+            prop_assert_eq!(a.state_digest(), b.state_digest());
+            if a.is_halted() {
+                break RunOutcome::Exited(a.exit_code().unwrap_or(0));
+            }
+            let n = a.stats().instructions;
+            let ra = a.run_until(n + 1);
+            let rb = b.run_until(n + 1);
+            prop_assert_eq!(ra.clone(), rb);
+            if let Err(t) = ra {
+                break RunOutcome::Trapped(t);
+            }
+        };
+        // Reaching a RunOutcome at all IS the no-panic oracle; a typed
+        // trap (reentrancy overflow, out of fuel) is a legitimate end.
+        drop(end);
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.cycles().to_bits(), b.cycles().to_bits());
+    }
+
+    /// Quiescent snapshot/restore under a storm is bit-exact, and restore
+    /// clears every piece of transient storm state — queued per-thread
+    /// signals, handler depth, active preemption — so the rewound machine
+    /// re-derives the storm's future from the reinstalled schedule alone:
+    /// resuming from the snapshot finishes identically to a run that was
+    /// never interrupted.
+    #[test]
+    fn restore_is_bit_exact_and_clears_storm_state(
+        ops in proptest::collection::vec((0u8..6, 0u64..64, any::<u64>()), 4..40),
+        sig_period in 1u64..16,
+        pre_period in 2u64..24,
+        delay in 0u64..6,
+        seed in any::<u64>(),
+    ) {
+        use memsentry_repro::cpu::{
+            EventAction, EventSchedule, SignalPolicy, StreamSource, TriggerKind,
+        };
+
+        const SCRATCH: u64 = 0x20_0000;
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset }),
+                    1 => b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset }),
+                    2 => b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm }),
+                    3 => b.push(Inst::AluImm { op: AluOp::And, dst: Reg::Rbx, imm: !0xfff | SCRATCH }),
+                    4 => b.push(Inst::Call(FuncId(1))),
+                    _ => b.push(Inst::Nop),
+                };
+            }
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut helper = FunctionBuilder::new("helper");
+            helper.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+            helper.push(Inst::Ret);
+            p.add_function(helper.finish());
+            let mut handler = FunctionBuilder::new("handler");
+            handler.push(Inst::Load { dst: Reg::R10, addr: Reg::Rbx, offset: 0 });
+            handler.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::SIGRETURN });
+            handler.push(Inst::Halt);
+            p.add_function(handler.finish());
+            let mut sibling = FunctionBuilder::new("sibling");
+            sibling.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            sibling.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Halt);
+            p.add_function(sibling.finish());
+            p
+        };
+        let schedule = EventSchedule::with_streams(
+            Vec::new(),
+            vec![
+                StreamSource::Every {
+                    period: sig_period,
+                    phase: seed % sig_period,
+                    limit: None,
+                    action: EventAction::Signal,
+                },
+                StreamSource::Every {
+                    period: pre_period,
+                    phase: 1,
+                    limit: None,
+                    action: EventAction::Preempt { to: 1, quantum: 2, scrub: true },
+                },
+                StreamSource::After {
+                    trigger: TriggerKind::Signal,
+                    delay,
+                    action: EventAction::Write { addr: SCRATCH + 16, value: seed },
+                },
+            ],
+        );
+        let machine = || {
+            let mut m = Machine::new(build());
+            m.space.map_region(VirtAddr(SCRATCH), PAGE_SIZE, PageFlags::rw());
+            m.spawn_thread(FuncId(3), [0; 3]);
+            m.set_signal_policy(SignalPolicy { handler: FuncId(2), scrub: false });
+            m.set_event_schedule(schedule.clone());
+            m.set_fuel(5_000);
+            m
+        };
+        // Run the reference twin straight to its end.
+        let mut twin = machine();
+        let undisturbed = twin.run();
+        // Run the probed machine to the first quiescent mid-storm
+        // boundary, rewind from further downstream, and resume.
+        let mut m = machine();
+        let mut mark = None;
+        loop {
+            if m.is_halted() || m.run_until(m.stats().instructions + 1).is_err() {
+                break;
+            }
+            if m.signal_depth() == 0 && !m.preempt_active() && m.stats().instructions >= sig_period
+            {
+                mark = Some((m.snapshot(), m.event_schedule().cloned(), m.state_digest()));
+                break;
+            }
+        }
+        if let Some((snap, sched, digest)) = mark {
+            let _ = m.run_until(m.stats().instructions + 40);
+            m.restore(&snap);
+            if let Some(s) = sched {
+                m.set_event_schedule(s);
+            }
+            prop_assert_eq!(m.state_digest(), digest, "quiescent restore must be bit-exact");
+            prop_assert_eq!(m.signal_depth(), 0);
+            prop_assert!(!m.preempt_active());
+            prop_assert_eq!(m.queued_signals(), 0);
+            prop_assert_eq!(m.run(), undisturbed);
+            prop_assert_eq!(m.state_digest(), twin.state_digest());
+            prop_assert_eq!(m.stats(), twin.stats());
+        }
+    }
+
     /// Every technique's instrumentation is checker-clean on every
     /// workload profile and application: the isolation soundness analyses
     /// never false-positive on programs the shipped passes produce.

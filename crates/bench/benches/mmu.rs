@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks for the MMU access pipeline.
+//!
+//! These isolate the layers of the memory fast path that the
+//! generation-validated inline translation caches collapse:
+//!
+//! * `ic_hit` — steady-state hits through a compiled op's IC slot: one
+//!   generation compare, one page-range compare, one PKRU compare, then
+//!   the physical access. The ceiling the hot loop runs at.
+//! * `tlb_hit` — the same access stream through the full
+//!   `check_page` pipeline (translation memo + TLB), i.e. what every
+//!   access paid before the IC and what `MSENTRY_NO_INLINE_CACHE=1`
+//!   still pays.
+//! * `walk` — a stride that defeats the 64-entry direct-mapped TLB, so
+//!   every access page-walks: the slow floor of the pipeline.
+//! * `invalidation_storm` — a generation bump (`mprotect`) before every
+//!   round of probes, so each IC probe is born stale and pays compare +
+//!   full path + refill: the worst case the one-branch validity check
+//!   was designed to keep cheap.
+//! * `hot_loop_ic_on` / `hot_loop_ic_off` — the end-to-end gobmk
+//!   workload under the threaded engine with the IC enabled and
+//!   disabled; the headline before/after recorded in `BENCH_mmu.json`.
+//!
+//! `cargo bench --bench mmu` reproduces all of them.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use memsentry_cpu::{Machine, MachineConfig};
+use memsentry_mmu::{
+    AddressSpace, PageFlags, Prot, TransCacheEntry, VirtAddr, PAGE_SIZE,
+};
+use memsentry_workloads::{BenchProfile, Workload, WorkloadSpec};
+
+/// Base of the mapped window the space-level benches probe.
+const BASE: u64 = 0x100_0000;
+/// Pages in the walk bench: twice the TLB's 64 sets, so every slot
+/// holds the wrong vpn by the time a round revisits it.
+const WALK_PAGES: u64 = 128;
+/// Accesses per measured round in the steady-state benches.
+const ROUND: u64 = 4096;
+
+fn space_with_pages(pages: u64) -> AddressSpace {
+    let mut space = AddressSpace::new();
+    space.map_region(VirtAddr(BASE), pages * PAGE_SIZE, PageFlags::rw());
+    space
+}
+
+fn bench_ic_hit(c: &mut Criterion) {
+    let mut space = space_with_pages(1);
+    let mut e = TransCacheEntry::INVALID;
+    // Warm the slot so the measured loop is pure hits.
+    space
+        .ic_read_u64(VirtAddr(BASE), &mut e)
+        .expect("mapped page");
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(ROUND));
+    group.bench_function("ic_hit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ROUND {
+                let va = VirtAddr(BASE + (i % 512) * 8);
+                let (v, _) = space.ic_read_u64(black_box(va), &mut e).expect("hit");
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_tlb_hit(c: &mut Criterion) {
+    let mut space = space_with_pages(1);
+    // Warm the memo and TLB so the measured loop is the steady-state
+    // full pipeline, not cold walks.
+    space.read_u64_info(VirtAddr(BASE)).expect("mapped page");
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(ROUND));
+    group.bench_function("tlb_hit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ROUND {
+                let va = VirtAddr(BASE + (i % 512) * 8);
+                let (v, _) = space.read_u64_info(black_box(va)).expect("hit");
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut space = space_with_pages(WALK_PAGES);
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(WALK_PAGES));
+    group.bench_function("walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in 0..WALK_PAGES {
+                let va = VirtAddr(BASE + p * PAGE_SIZE);
+                let (v, _) = space.read_u64_info(black_box(va)).expect("mapped");
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_invalidation_storm(c: &mut Criterion) {
+    // 64 IC slots over 64 distinct (TLB-conflict-free) pages, like 64
+    // compiled memory ops each owning a slot. A generation bump before
+    // every round leaves all of them stale, so each probe pays the
+    // failed validity compare, the full pipeline, and the refill.
+    let mut space = space_with_pages(64);
+    let mut slots = vec![TransCacheEntry::INVALID; 64];
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("invalidation_storm", |b| {
+        b.iter(|| {
+            space.mprotect(VirtAddr(BASE), PAGE_SIZE, Prot::ReadWrite);
+            let mut acc = 0u64;
+            for (p, e) in slots.iter_mut().enumerate() {
+                let va = VirtAddr(BASE + p as u64 * PAGE_SIZE);
+                let (v, _) = space.ic_read_u64(black_box(va), e).expect("mapped");
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    // End to end: the gobmk synthetic workload under the threaded
+    // engine, inline caches on (the default) and off (the
+    // `MSENTRY_NO_INLINE_CACHE=1` escape hatch).
+    let profile = BenchProfile::by_name("gobmk").unwrap();
+    let workload = Workload::build(WorkloadSpec {
+        profile: *profile,
+        superblocks: 10,
+    });
+    let instructions = {
+        let mut m = Machine::new(workload.program.clone());
+        workload.prepare(&mut m);
+        m.run().expect_exit();
+        m.stats().instructions
+    };
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(instructions));
+    for (name, inline_cache) in [("hot_loop_ic_on", true), ("hot_loop_ic_off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::with_config(
+                    black_box(workload.program.clone()),
+                    MachineConfig {
+                        threaded: true,
+                        inline_cache,
+                        ..MachineConfig::default()
+                    },
+                );
+                workload.prepare(&mut m);
+                m.run().expect_exit();
+                m.stats().instructions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ic_hit,
+    bench_tlb_hit,
+    bench_walk,
+    bench_invalidation_storm,
+    bench_hot_loop
+);
+criterion_main!(benches);

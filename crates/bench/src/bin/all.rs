@@ -375,6 +375,20 @@ fn main() {
         ck.mean_replay(),
         ck.saved_instructions
     );
+    // Translation fast-path rates over the workload cells: how many
+    // address translations the inline caches and the two-entry memo
+    // absorbed before the full check_page pipeline ran. The lookup
+    // denominator (TLB hits + misses) is mode-invariant, so these rates
+    // compare directly across MSENTRY_NO_INLINE_CACHE runs while the
+    // artifact bytes stay identical.
+    let tr = session.translation_stats();
+    let lookups = tr.lookups.max(1) as f64;
+    println!(
+        "translation: {} lookups, {:.1}% inline-cache hits, {:.1}% memo hits",
+        tr.lookups,
+        100.0 * tr.ic_hits as f64 / lookups,
+        100.0 * tr.memo_hits as f64 / lookups
+    );
     if args.json {
         let summary = serde_json::json!({
             "superblocks": sb,
@@ -394,6 +408,13 @@ fn main() {
                 "instructions": sweep_insts,
                 "seconds": sweep_secs,
                 "instructions_per_sec": sweep_per_sec,
+            },
+            "translation": {
+                "lookups": tr.lookups,
+                "inline_cache_hits": tr.ic_hits,
+                "memo_hits": tr.memo_hits,
+                "inline_cache_hit_rate": tr.ic_hits as f64 / lookups,
+                "memo_hit_rate": tr.memo_hits as f64 / lookups,
             },
             "checkpoints": {
                 "taken": ck.taken,

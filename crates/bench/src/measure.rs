@@ -101,6 +101,9 @@ pub struct Session {
     cache_hits: AtomicU64,
     sim_instructions: AtomicU64,
     sweep_instructions: AtomicU64,
+    ic_hits: AtomicU64,
+    memo_hits: AtomicU64,
+    translation_lookups: AtomicU64,
     checkpoints_taken: AtomicU64,
     checkpoint_replays: AtomicU64,
     replayed_instructions: AtomicU64,
@@ -135,6 +138,9 @@ impl Session {
             cache_hits: AtomicU64::new(0),
             sim_instructions: AtomicU64::new(0),
             sweep_instructions: AtomicU64::new(0),
+            ic_hits: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            translation_lookups: AtomicU64::new(0),
             checkpoints_taken: AtomicU64::new(0),
             checkpoint_replays: AtomicU64::new(0),
             replayed_instructions: AtomicU64::new(0),
@@ -187,6 +193,22 @@ impl Session {
         self.sim_instructions() - self.sweep_instructions()
     }
 
+    /// Aggregated translation fast-path telemetry across every fresh
+    /// workload cell of the session (cache hits add nothing, like
+    /// [`Session::sim_instructions`]): inline-cache hits, translation-
+    /// memo hits and total TLB lookups. The lookup denominator counts
+    /// TLB hits + misses, which is invariant under
+    /// `MSENTRY_NO_INLINE_CACHE` (an inline-cache hit charges the TLB
+    /// hit the full pipeline would have recorded), so the hit *rates*
+    /// are directly comparable across modes.
+    pub fn translation_stats(&self) -> memsentry_mmu::TranslationStats {
+        memsentry_mmu::TranslationStats {
+            ic_hits: self.ic_hits.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            lookups: self.translation_lookups.load(Ordering::Relaxed),
+        }
+    }
+
     /// Aggregated incremental-checkpoint accounting across every fresh
     /// aux cell of the session (replays add nothing, like
     /// [`Session::sim_instructions`]).
@@ -230,6 +252,12 @@ impl Session {
             if let Ok(m) = &result {
                 self.sim_instructions
                     .fetch_add(m.stats.instructions, Ordering::Relaxed);
+                self.ic_hits
+                    .fetch_add(m.translation.ic_hits, Ordering::Relaxed);
+                self.memo_hits
+                    .fetch_add(m.translation.memo_hits, Ordering::Relaxed);
+                self.translation_lookups
+                    .fetch_add(m.translation.lookups, Ordering::Relaxed);
             }
             result
         });

@@ -9,6 +9,7 @@
 
 use memsentry::{FrameworkError, MemSentry, SafeRegionLayout, Technique};
 use memsentry_cpu::{ExecStats, Machine, RunOutcome, Trap};
+use memsentry_mmu::TranslationStats;
 use memsentry_passes::{
     AddressBasedPass, AddressKind, InstrumentMode, Pass, PassError, PassFailure, SwitchPoints,
 };
@@ -145,6 +146,11 @@ pub struct Measurement {
     pub cycles: f64,
     /// Full execution statistics.
     pub stats: ExecStats,
+    /// Translation fast-path telemetry (inline-cache/memo hits vs total
+    /// lookups) for the run. Pure counters reported in `--bin all`'s
+    /// simulation summary; they never enter artifact bytes, which must
+    /// stay identical with `MSENTRY_NO_INLINE_CACHE=1`.
+    pub translation: TranslationStats,
 }
 
 /// Builds the ready-to-run machine for one measurement cell: generates
@@ -224,6 +230,7 @@ pub fn run_config(
     if let RunOutcome::Trapped(trap) = machine.run() {
         return Err(fail(CellFailure::Trapped(trap)));
     }
+    let translation = machine.space.translation_stats();
     let mut stats = *machine.stats();
     // crypt confiscates the ymm uppers for the whole execution: the
     // benchmark's vector code pays a static penalty (paper §6.2). Applied
@@ -239,6 +246,7 @@ pub fn run_config(
     Ok(Measurement {
         cycles: stats.cycles,
         stats,
+        translation,
     })
 }
 

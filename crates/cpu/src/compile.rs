@@ -39,13 +39,32 @@
 //! `stats.cycles` on every exit — so the loop-carried FP dependency
 //! stays in a register instead of a memory round trip per op. What
 //! *is* lifted out of the per-op path is the integer bookkeeping: the
-//! pc, `last_masked` and
-//! the retired-instruction count live in executor locals for the whole
+//! pc, `last_masked`,
+//! the retired-instruction count and the retired load/store counts live
+//! in executor locals for the whole
 //! *chain* of compiled runs — a taken branch falls straight into its
 //! target's run — and are settled only when the chain hands control
-//! back (horizon, halt, trap, or a pc without a compiled run). Dynamic
+//! back (horizon, halt, trap, or a pc without a compiled run) or
+//! around a `Generic` delegation, whose `exec_op` body reads `stats`
+//! directly. Dynamic
 //! charges (MMU walks, cache miss penalties, the store-buffer sliver,
 //! event costs) stay on their existing paths.
+//!
+//! # Inline translation caches
+//!
+//! Every compiled memory op owns one
+//! [`memsentry_mmu::TransCacheEntry`] slot in the machine's side table
+//! (`Machine::ic`, indexed `ic_base[func] + source index`): a
+//! generation-valid same-page probe goes straight to physical memory
+//! through [`memsentry_mmu::AddressSpace::ic_read_u64`] /
+//! [`ic_write_u64`](memsentry_mmu::AddressSpace::ic_write_u64),
+//! skipping the full `check_page` pipeline while reporting the
+//! identical `AccessInfo` and TLB-hit statistic it would have
+//! produced. The slots are pure memo state — excluded from snapshots
+//! and the digest, orphaned wholesale by the address space's mutation
+//! generation counter — and `MSENTRY_NO_INLINE_CACHE=1`
+//! ([`MachineConfig::inline_cache`](crate::machine::MachineConfig))
+//! leaves the table empty so every probe takes the full path.
 
 use memsentry_ir::{AluOp, CodeAddr, Cond, FuncId, Label, Reg};
 use memsentry_mmu::{Pkru, VirtAddr};
@@ -830,10 +849,20 @@ impl Machine {
     /// check, translate/read, walk and miss charges, retire), with the
     /// SFI predicate pre-resolved by the caller. The compiled path never
     /// runs under a tracer, so the per-access tracer hook is elided.
+    ///
+    /// `slot` names the op's inline translation-cache entry: a
+    /// generation-valid same-page hit skips `check_page` entirely and
+    /// reports the `AccessInfo` the full pipeline would have (TLB hit,
+    /// no walk), so the charges below are unchanged. With the cache
+    /// disabled the `ic` table is empty, every slot lookup misses, and
+    /// the full path runs as before. The retired-load count batches in
+    /// the caller's `loads` local, settled per chain exit.
     #[inline(always)]
     fn c_load(
         &mut self,
         cycles: &mut f64,
+        loads: &mut u64,
+        slot: u32,
         dst: Reg,
         addr: Reg,
         offset: i64,
@@ -844,28 +873,44 @@ impl Machine {
         }
         let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
         self.check_epc(va.0)?;
-        let (value, info) = self.space.read_u64_info(va)?;
+        let (value, info) = match self.ic.get_mut(slot as usize) {
+            Some(e) => self.space.ic_read_u64(va, e)?,
+            None => self.space.read_u64_info(va)?,
+        };
         if !info.tlb_hit {
             *cycles += info.walk_levels as f64 * self.cost.walk_per_level;
         }
         *cycles += self.cost.miss_penalty(info.hit_level);
         self.regs[dst.index()] = value;
-        self.stats.loads += 1;
+        *loads += 1;
         Ok(())
     }
 
     /// The store body shared by every compiled arm; mirrors
     /// `DecodedOp::Store` (store-buffer sliver of the miss latency).
+    /// Inline-cache slot and batched `stores` count as in
+    /// [`Machine::c_load`].
     #[inline(always)]
-    fn c_store(&mut self, cycles: &mut f64, src: Reg, addr: Reg, offset: i64) -> Result<(), Trap> {
+    fn c_store(
+        &mut self,
+        cycles: &mut f64,
+        stores: &mut u64,
+        slot: u32,
+        src: Reg,
+        addr: Reg,
+        offset: i64,
+    ) -> Result<(), Trap> {
         let va = VirtAddr(self.regs[addr.index()].wrapping_add(offset as u64));
         self.check_epc(va.0)?;
-        let info = self.space.write_u64(va, self.regs[src.index()])?;
+        let info = match self.ic.get_mut(slot as usize) {
+            Some(e) => self.space.ic_write_u64(va, self.regs[src.index()], e)?,
+            None => self.space.write_u64(va, self.regs[src.index()])?,
+        };
         if !info.tlb_hit {
             *cycles += info.walk_levels as f64 * self.cost.walk_per_level;
         }
         *cycles += self.cost.store_buffer_exposure * self.cost.miss_penalty(info.hit_level);
-        self.stats.stores += 1;
+        *stores += 1;
         Ok(())
     }
 
@@ -892,8 +937,10 @@ impl Machine {
     /// `last_masked` reverts to its value *before* the faulting op — the
     /// interpreter skips its `last_masked` write on the error path.
     /// `retired` is the chain's deferred retired-instruction count as of
-    /// the run's leader.
+    /// the run's leader; `loads`/`stores` are the chain's batched
+    /// retired-access deltas, settled here like the cycle counter.
     #[cold]
+    #[allow(clippy::too_many_arguments)]
     fn run_trap(
         &mut self,
         func: FuncId,
@@ -901,11 +948,15 @@ impl Machine {
         fault_idx: u32,
         retired: u64,
         cycles: f64,
+        loads: u64,
+        stores: u64,
         masked: Option<Reg>,
         trap: Trap,
     ) -> Trap {
         self.stats.instructions = retired + u64::from(fault_idx - leader + 1);
         self.stats.cycles = cycles;
+        self.stats.loads += loads;
+        self.stats.stores += stores;
         self.pc = CodeAddr {
             func,
             index: fault_idx + 1,
@@ -951,6 +1002,15 @@ impl Machine {
         // every exit, so the total stays bit-identical while the
         // loop-carried FP dependency stops going through memory.
         let mut cycles = self.stats.cycles;
+        // Retired-access counts batch as chain-local *deltas* (integer
+        // adds commute, unlike the cycle f64), settled wherever the
+        // cycle counter is and flushed around `exec_op` delegation,
+        // which reads `stats` directly.
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        // First inline-cache slot of the current function; a compiled
+        // memory op at index `i` owns slot `icb + i`.
+        let mut icb = self.ic_slot_base(func);
         'chain: loop {
             let run = match compiled
                 .get(func.0 as usize)
@@ -965,6 +1025,8 @@ impl Machine {
                     self.stats.instructions = retired;
                     self.last_masked = masked;
                     self.stats.cycles = cycles;
+                    self.stats.loads += loads;
+                    self.stats.stores += stores;
                     return Ok(());
                 }
             };
@@ -1028,11 +1090,17 @@ impl Machine {
                         cost,
                     } => {
                         cycles += cost;
-                        if let Err(t) =
-                            self.c_load(&mut cycles, dst, addr, offset, masked == Some(addr))
-                        {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx,
+                            dst,
+                            addr,
+                            offset,
+                            masked == Some(addr),
+                        ) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         masked = None;
@@ -1045,9 +1113,11 @@ impl Machine {
                         cost,
                     } => {
                         cycles += cost;
-                        if let Err(t) = self.c_store(&mut cycles, src, addr, offset) {
+                        if let Err(t) =
+                            self.c_store(&mut cycles, &mut stores, icb + idx, src, addr, offset)
+                        {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         masked = None;
@@ -1073,7 +1143,7 @@ impl Machine {
                         cycles += cost;
                         if let Err(t) = self.c_bndcu(bnd, reg) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         masked = None;
@@ -1091,7 +1161,7 @@ impl Machine {
                                 bound: lower,
                             };
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         masked = None;
@@ -1136,19 +1206,20 @@ impl Machine {
                     COp::BadLabel { label, cost } => {
                         cycles += cost;
                         let t = Trap::BadLabel { label: label.0 };
-                        return Err(self.run_trap(func, leader, idx, retired, cycles, masked, t));
+                        return Err(self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t));
                     }
                     COp::Call { callee, ret, cost } => {
                         cycles += cost;
                         if let Err(t) = self.push_u64(ret) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         self.stats.calls += 1;
                         retired += u64::from(idx - leader + 1);
                         func = callee;
                         entry = 0;
+                        icb = self.ic_slot_base(func);
                         masked = None;
                         continue 'chain;
                     }
@@ -1160,19 +1231,20 @@ impl Machine {
                             _ => {
                                 let t = Trap::BadCodePointer { value };
                                 return Err(
-                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                    self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                                 );
                             }
                         };
                         if let Err(t) = self.push_u64(ret) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         self.stats.indirect_calls += 1;
                         retired += u64::from(idx - leader + 1);
                         func = dest.func;
                         entry = dest.index;
+                        icb = self.ic_slot_base(func);
                         masked = None;
                         continue 'chain;
                     }
@@ -1182,7 +1254,7 @@ impl Machine {
                             Ok(v) => v,
                             Err(t) => {
                                 return Err(
-                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                    self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                                 )
                             }
                         };
@@ -1196,7 +1268,7 @@ impl Machine {
                             _ => {
                                 let t = Trap::BadCodePointer { value };
                                 return Err(
-                                    self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                    self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                                 );
                             }
                         };
@@ -1204,6 +1276,7 @@ impl Machine {
                         retired += u64::from(idx - leader + 1);
                         func = dest.func;
                         entry = dest.index;
+                        icb = self.ic_slot_base(func);
                         masked = None;
                         continue 'chain;
                     }
@@ -1211,6 +1284,8 @@ impl Machine {
                         cycles += cost;
                         self.halted = Some(self.regs[Reg::Rax.index()]);
                         self.stats.cycles = cycles;
+                        self.stats.loads += loads;
+                        self.stats.stores += stores;
                         self.pc = CodeAddr {
                             func,
                             index: idx + 1,
@@ -1231,9 +1306,15 @@ impl Machine {
                         self.last_masked = masked;
                         // The delegated op may charge dynamic costs to the
                         // memory counter itself: sync the accumulator in,
-                        // run it, and read the total back out.
+                        // run it, and read the total back out. The access
+                        // deltas flush the same way (the op may read or
+                        // digest `stats`) and restart from zero.
                         cycles += inst.cost;
                         self.stats.cycles = cycles;
+                        self.stats.loads += loads;
+                        self.stats.stores += stores;
+                        loads = 0;
+                        stores = 0;
                         match self.exec_op(func, &inst.op) {
                             Ok(()) => {
                                 masked = self.last_masked;
@@ -1262,6 +1343,8 @@ impl Machine {
                         self.last_masked = masked;
                         cycles += inst.cost;
                         self.stats.cycles = cycles;
+                        self.stats.loads += loads;
+                        self.stats.stores += stores;
                         let r = self.exec_op(func, &inst.op);
                         self.stats.instructions = retired + u64::from(idx - leader + 1);
                         return r;
@@ -1301,13 +1384,23 @@ impl Machine {
                         cycles += cost1;
                         self.alu(op1, dst1, imm1);
                         cycles += cost2;
-                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, sfi) {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx + 1,
+                            dst2,
+                            addr2,
+                            offset2,
+                            sfi,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 mid,
                                 t,
                             ));
@@ -1327,11 +1420,17 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) =
-                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
-                        {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx,
+                            dst1,
+                            addr1,
+                            offset1,
+                            masked == Some(addr1),
+                        ) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
@@ -1350,23 +1449,39 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) =
-                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
-                        {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx,
+                            dst1,
+                            addr1,
+                            offset1,
+                            masked == Some(addr1),
+                        ) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
                         // A load clears the masked state, so the second load
                         // can never see an SFI dependency.
-                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx + 1,
+                            dst2,
+                            addr2,
+                            offset2,
+                            false,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));
@@ -1388,13 +1503,22 @@ impl Machine {
                         cycles += cost1;
                         self.alu(op1, dst1, imm1);
                         cycles += cost2;
-                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                        if let Err(t) = self.c_store(
+                            &mut cycles,
+                            &mut stores,
+                            icb + idx + 1,
+                            src2,
+                            addr2,
+                            offset2,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 mid,
                                 t,
                             ));
@@ -1414,9 +1538,11 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) = self.c_store(&mut cycles, src1, addr1, offset1) {
+                        if let Err(t) =
+                            self.c_store(&mut cycles, &mut stores, icb + idx, src1, addr1, offset1)
+                        {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
@@ -1435,19 +1561,31 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) = self.c_store(&mut cycles, src1, addr1, offset1) {
+                        if let Err(t) =
+                            self.c_store(&mut cycles, &mut stores, icb + idx, src1, addr1, offset1)
+                        {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
-                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx + 1,
+                            dst2,
+                            addr2,
+                            offset2,
+                            false,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));
@@ -1466,21 +1604,36 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) =
-                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
-                        {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx,
+                            dst1,
+                            addr1,
+                            offset1,
+                            masked == Some(addr1),
+                        ) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
-                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                        if let Err(t) = self.c_store(
+                            &mut cycles,
+                            &mut stores,
+                            icb + idx + 1,
+                            src2,
+                            addr2,
+                            offset2,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));
@@ -1536,11 +1689,17 @@ impl Machine {
                         cost2,
                     } => {
                         cycles += cost1;
-                        if let Err(t) =
-                            self.c_load(&mut cycles, dst1, addr1, offset1, masked == Some(addr1))
-                        {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx,
+                            dst1,
+                            addr1,
+                            offset1,
+                            masked == Some(addr1),
+                        ) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
@@ -1569,6 +1728,8 @@ impl Machine {
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));
@@ -1588,19 +1749,29 @@ impl Machine {
                         cycles += cost1;
                         if let Err(t) = self.c_bndcu(bnd1, reg1) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
                         // A bound check clears the masked state, so the load
                         // half carries no SFI dependency.
-                        if let Err(t) = self.c_load(&mut cycles, dst2, addr2, offset2, false) {
+                        if let Err(t) = self.c_load(
+                            &mut cycles,
+                            &mut loads,
+                            icb + idx + 1,
+                            dst2,
+                            addr2,
+                            offset2,
+                            false,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));
@@ -1620,17 +1791,26 @@ impl Machine {
                         cycles += cost1;
                         if let Err(t) = self.c_bndcu(bnd1, reg1) {
                             return Err(
-                                self.run_trap(func, leader, idx, retired, cycles, masked, t)
+                                self.run_trap(func, leader, idx, retired, cycles, loads, stores, masked, t)
                             );
                         }
                         cycles += cost2;
-                        if let Err(t) = self.c_store(&mut cycles, src2, addr2, offset2) {
+                        if let Err(t) = self.c_store(
+                            &mut cycles,
+                            &mut stores,
+                            icb + idx + 1,
+                            src2,
+                            addr2,
+                            offset2,
+                        ) {
                             return Err(self.run_trap(
                                 func,
                                 leader,
                                 idx + 1,
                                 retired,
                                 cycles,
+                                loads,
+                                stores,
                                 None,
                                 t,
                             ));

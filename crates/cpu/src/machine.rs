@@ -17,7 +17,7 @@
 
 use memsentry_aes::{Block, RegionCipher};
 use memsentry_ir::{AluOp, CodeAddr, FuncId, Program, Reg};
-use memsentry_mmu::{AddressSpace, PageFlags, Prot, VirtAddr};
+use memsentry_mmu::{AddressSpace, PageFlags, Prot, TransCacheEntry, VirtAddr};
 
 use crate::compile::{compile_program, CompiledFunction};
 use crate::cost::CostModel;
@@ -73,6 +73,17 @@ pub struct MachineConfig {
     /// Default on; the unfused engine is the ablation tracked in
     /// `benches/interp.rs`.
     pub fusion: bool,
+    /// Give every compiled memory op an inline translation-cache slot
+    /// ([`memsentry_mmu::TransCacheEntry`]): a generation-valid same-page
+    /// hit goes straight to physical memory, skipping the full
+    /// `check_page` pipeline (no effect with `threaded` off — the decoded
+    /// path has no per-op slots). Pure memo state: excluded from
+    /// snapshots and the state digest, invalidated wholesale by the
+    /// address space's mutation generation counter. Defaults to on unless
+    /// the `MSENTRY_NO_INLINE_CACHE` environment variable is set — the
+    /// escape hatch mirroring `MSENTRY_NO_THREADED` that the determinism
+    /// CI job uses for full-`results/` A/B diffs.
+    pub inline_cache: bool,
 }
 
 impl Default for MachineConfig {
@@ -83,6 +94,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             threaded: std::env::var_os("MSENTRY_NO_THREADED").is_none(),
             fusion: true,
+            inline_cache: std::env::var_os("MSENTRY_NO_INLINE_CACHE").is_none(),
         }
     }
 }
@@ -138,6 +150,17 @@ pub struct Machine {
     /// with [`MachineConfig::threaded`] off). Immutable derived data like
     /// `code` itself: excluded from snapshots and the state digest.
     compiled: Vec<CompiledFunction>,
+    /// Inline translation-cache slots, one per source instruction index
+    /// of every function (compiled memory ops index it as `ic_base[func]
+    /// + idx`; empty with the cache disabled, which makes every probe
+    /// miss to the full path). Pure memo state validated by the address
+    /// space's mutation generation: excluded from snapshots and the
+    /// state digest, orphaned wholesale on restore by the generation
+    /// bump — never cleared entry by entry.
+    pub(crate) ic: Box<[TransCacheEntry]>,
+    /// Per-function first-slot offsets into `ic` (prefix sums over
+    /// instruction counts; empty when `ic` is).
+    ic_base: Box<[u32]>,
     pub(crate) cost: CostModel,
     pub(crate) stats: ExecStats,
     syscall: Option<Box<dyn SyscallHandler>>,
@@ -208,6 +231,20 @@ impl Machine {
         } else {
             Vec::new()
         };
+        let (ic, ic_base) = if config.threaded && config.inline_cache {
+            let mut base = Vec::with_capacity(code.len());
+            let mut total = 0u32;
+            for f in &code {
+                base.push(total);
+                total += f.insts.len() as u32;
+            }
+            (
+                vec![TransCacheEntry::INVALID; total as usize].into_boxed_slice(),
+                base.into_boxed_slice(),
+            )
+        } else {
+            (Box::default(), Box::default())
+        };
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = STACK_TOP - 64;
         Self {
@@ -218,6 +255,8 @@ impl Machine {
             program,
             code,
             compiled,
+            ic,
+            ic_base,
             cost: config.cost,
             stats: ExecStats::default(),
             syscall: Some(Box::new(DefaultKernel::new())),
@@ -244,6 +283,14 @@ impl Machine {
             forced_alloc_failures: 0,
             restored_from: None,
         }
+    }
+
+    /// First inline-cache slot of `func` (0 with the cache disabled —
+    /// every probe then falls off the empty `ic` table and takes the
+    /// full path, so the base value is irrelevant).
+    #[inline(always)]
+    pub(crate) fn ic_slot_base(&self, func: FuncId) -> u32 {
+        self.ic_base.get(func.0 as usize).copied().unwrap_or(0)
     }
 
     /// Whether the active thread has halted.
@@ -1348,7 +1395,14 @@ impl Machine {
         if self.restored_from == Some(snap.id) {
             self.space.restore_from(&snap.space);
         } else {
+            // The clone carries the snapshot's generation, which may sit
+            // at or behind the one this machine's inline-cache slots were
+            // stamped against; force it strictly past both timelines so
+            // every stale slot is orphaned (the delta path above does the
+            // same inside `restore_from`).
+            let pre_restore_gen = self.space.generation();
             self.space = snap.space.clone();
+            self.space.bump_generation_past(pre_restore_gen);
             self.space.start_restore_tracking();
             self.restored_from = Some(snap.id);
         }

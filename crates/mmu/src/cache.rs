@@ -173,6 +173,10 @@ impl Level {
     }
 }
 
+/// "No line" sentinel for the same-line short-circuit (no physical
+/// address maps to it: `pa / LINE` cannot reach `u64::MAX`).
+const NO_LINE: u64 = u64::MAX;
+
 /// The full hierarchy.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
@@ -180,6 +184,16 @@ pub struct CacheHierarchy {
     l2: Level,
     l3: Level,
     stats: CacheStats,
+    /// Same-line short-circuit: the line most recently accessed, which
+    /// by construction sits at MRU position of its L1 set (a hit moves
+    /// it to the head, a miss fills at the head). A repeat access to it
+    /// is a position-0 L1 hit that mutates no set contents, so
+    /// [`Self::access`] serves it with a single compare and the `l1`
+    /// counter bump — provably the same observable outcome as the full
+    /// lookup. Pure memo state: excluded from [`Self::digest_into`] and
+    /// reset by [`Self::restore_from`] (a rewind changes set contents
+    /// out from under it).
+    last_line: u64,
 }
 
 impl Default for CacheHierarchy {
@@ -196,6 +210,7 @@ impl CacheHierarchy {
             l2: Level::new(256 << 10, 8),
             l3: Level::new(8 << 20, 16),
             stats: CacheStats::default(),
+            last_line: NO_LINE,
         }
     }
 
@@ -204,6 +219,15 @@ impl CacheHierarchy {
     #[inline(always)]
     pub fn access(&mut self, pa: u64) -> HitLevel {
         let line = pa / LINE;
+        if line == self.last_line {
+            // Repeat access to the line at MRU of its L1 set: the full
+            // lookup would hit at position 0 and mutate nothing (the
+            // dirty-set mark it skips is restore bookkeeping, and an
+            // unmutated set needs none).
+            self.stats.l1 += 1;
+            return HitLevel::L1;
+        }
+        self.last_line = line;
         if self.l1.access(line) {
             self.stats.l1 += 1;
             return HitLevel::L1;
@@ -258,6 +282,8 @@ impl CacheHierarchy {
         self.l2.restore_from(&src.l2);
         self.l3.restore_from(&src.l3);
         self.stats = src.stats;
+        // The rewind may have changed the memoized line's set.
+        self.last_line = NO_LINE;
     }
 }
 
@@ -351,6 +377,36 @@ mod tests {
             assert_eq!(c.stats(), full.stats(), "round {round} after probe");
             c.restore_from(&src);
         }
+    }
+
+    #[test]
+    fn same_line_short_circuit_is_observationally_invisible() {
+        // Two hierarchies with identical set contents but divergent
+        // short-circuit memo state (one was rewound, clearing it) must
+        // digest identically and behave identically forever after —
+        // including on the repeat accesses the memo serves.
+        let dig = |c: &CacheHierarchy| {
+            let mut d = Digest::new();
+            c.digest_into(&mut d);
+            d.finish()
+        };
+        let mut a = CacheHierarchy::new();
+        for i in 0..200u64 {
+            a.access(i * LINE);
+        }
+        a.access(0); // memo = line 0
+        let snap = a.clone();
+        let mut b = snap.clone(); // memo intact
+        a.start_tracking();
+        a.restore_from(&snap); // memo cleared, contents unchanged
+        assert_eq!(dig(&a), dig(&b), "memo state must not digest");
+        assert_eq!(a.stats(), b.stats());
+        // Repeats, conflicting lines, repeats again: identical outcomes.
+        for pa in [0u64, 0, 8, 64, 64, 0, 4096, 4096, 4096, 0, 8] {
+            assert_eq!(a.access(pa), b.access(pa), "pa {pa:#x}");
+        }
+        assert_eq!(dig(&a), dig(&b));
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

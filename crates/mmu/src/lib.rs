@@ -48,6 +48,6 @@ pub use ept::{EptSet, EptViolation};
 pub use phys::PhysMemory;
 pub use pkey::{Pkru, PKEY_COUNT};
 pub use pte::{PageFlags, Pte};
-pub use space::{Access, AddressSpace, Fault, Prot};
+pub use space::{Access, AddressSpace, Fault, Prot, TransCacheEntry, TranslationStats};
 pub use tlb::{Tlb, TlbStats};
 pub use walk::PageTable;

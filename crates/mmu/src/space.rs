@@ -8,13 +8,19 @@
 //! paper's domain-based techniques turn an attacker's stray access into a
 //! deterministic crash instead of a silent leak.
 //!
-//! Two fast paths keep the pipeline cheap without changing its observable
-//! behavior: u64 loads/stores that stay within one page skip the generic
-//! byte-range loop ([`AddressSpace::read_u64_info`]), and a small
+//! Three fast paths keep the pipeline cheap without changing its
+//! observable behavior: u64 loads/stores that stay within one page skip
+//! the generic byte-range loop ([`AddressSpace::read_u64_info`]); a small
 //! per-access-kind translation memo lets back-to-back accesses to the
 //! same page skip the permission / protection-key / EPT stages after a TLB
-//! hit. Both are validated by value comparison, so every mapping, `pkru`,
-//! view, EPT or TLB event makes them fall back to the full pipeline.
+//! hit; and per-compiled-op inline translation caches
+//! ([`TransCacheEntry`], probed via [`AddressSpace::ic_read_u64`] /
+//! [`AddressSpace::ic_write_u64`]) let the threaded execution engine skip
+//! [`AddressSpace::check_page`] entirely on a repeat same-page access.
+//! The memo is validated by value comparison; the inline caches are
+//! validated by a single **mutation generation** counter (plus a `pkru`
+//! value compare), so every mapping, `pkru`, view, EPT or TLB event makes
+//! all of them fall back to the full pipeline.
 
 use crate::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use crate::cache::{CacheHierarchy, CacheStats, HitLevel};
@@ -136,6 +142,79 @@ struct TranslationMemo {
     pa_page: u64,
 }
 
+/// One inline translation-cache slot: a remembered `(page, frame)`
+/// translation owned by a single compiled memory op of the threaded
+/// execution engine, validated in one branch against the space's
+/// [mutation generation](AddressSpace::generation) plus a `pkru` value
+/// compare.
+///
+/// Validity argument: an entry is filled only after the full
+/// [`AddressSpace::check_page`] pipeline accepted an access of this op's
+/// kind to this page, and it stamps the generation *after* any TLB insert
+/// that access performed. Every avenue that could change what the full
+/// pipeline would do — `mprotect`/`pkey_mprotect`, map/unmap, view
+/// switches, EPT mutation, TLB flushes *and every TLB insert* (a silent
+/// conflict eviction would otherwise turn the next real probe into a
+/// miss with different statistics) — bumps the generation, and `pkru`
+/// (written directly by `wrpkru`/thread switches) is compared by value.
+/// So a generation-valid hit implies the TLB still holds this page's
+/// entry with the same PTE: the full pipeline would take its TLB-hit
+/// path, pass the same permission checks, and produce the same physical
+/// address — the hit path reproduces exactly that (one TLB hit
+/// statistic, one cache access, same data), skipping only re-derivation.
+///
+/// Entries are pure memo state: excluded from `digest_into` and never
+/// captured by machine snapshots; `Machine::restore` orphans them by
+/// forcing the space generation past every value handed out on either
+/// timeline (see [`AddressSpace::restore_from`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TransCacheEntry {
+    /// Space generation at fill; `u64::MAX` is the never-valid sentinel.
+    gen: u64,
+    /// `pkru` value at fill (compared, not invalidated on write).
+    pkru: Pkru,
+    /// Virtual page base the entry translates.
+    page: u64,
+    /// Host-physical page base it translates to.
+    pa_page: u64,
+}
+
+impl TransCacheEntry {
+    /// The never-valid entry every slot starts as.
+    pub const INVALID: Self = Self {
+        gen: u64::MAX,
+        pkru: Pkru(0),
+        page: 0,
+        pa_page: 0,
+    };
+
+    /// Resets the slot to [`Self::INVALID`].
+    pub fn invalidate(&mut self) {
+        self.gen = u64::MAX;
+    }
+}
+
+impl Default for TransCacheEntry {
+    fn default() -> Self {
+        Self::INVALID
+    }
+}
+
+/// Translation fast-path telemetry (pure counters, excluded from the
+/// digest): how many accesses each layer served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Translations served end-to-end by an inline cache slot (the
+    /// threaded engine's per-compiled-op fast path).
+    pub ic_hits: u64,
+    /// TLB-hit translations whose permission/EPT stages were skipped by
+    /// the two-entry translation memo.
+    pub memo_hits: u64,
+    /// Total translated accesses (TLB hits + misses; inline-cache hits
+    /// record a TLB hit, so they are included).
+    pub lookups: u64,
+}
+
 /// A full simulated address space.
 ///
 /// # Examples
@@ -173,6 +252,20 @@ pub struct AddressSpace {
     /// Bumped on every avenue of EPT mutation (`install_ept`, `ept_mut`);
     /// memo entries from older epochs are ignored.
     ept_epoch: u64,
+    /// The mutation generation validating every [`TransCacheEntry`]:
+    /// bumped by anything that could change what the full translation
+    /// pipeline does — mapping changes, `mprotect`/`pkey_mprotect`, view
+    /// switches, EPT mutation, TLB flushes and TLB inserts — and forced
+    /// past both timelines' values on [`Self::restore_from`]. `pkru`
+    /// deliberately does *not* bump it; inline-cache entries compare the
+    /// register by value instead, like the memo (see `cpu::threads`).
+    gen: u64,
+    /// Accesses served end-to-end by an inline cache slot (telemetry,
+    /// excluded from the digest).
+    ic_hits: u64,
+    /// TLB-hit accesses whose permission stages the memo skipped
+    /// (telemetry, excluded from the digest).
+    memo_hits: u64,
 }
 
 impl Default for AddressSpace {
@@ -197,23 +290,33 @@ impl AddressSpace {
             mprotect_calls: 0,
             memo: [None, None],
             ept_epoch: 0,
+            gen: 0,
+            ic_hits: 0,
+            memo_hits: 0,
         }
+    }
+
+    /// The current mutation generation (see [`TransCacheEntry`]).
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Installs an EPT set: the process now runs inside the VM and every
     /// access is additionally translated through the active EPT.
     pub fn install_ept(&mut self, ept: EptSet) {
         self.ept_epoch += 1;
+        self.gen += 1;
         self.ept = Some(ept);
     }
 
     /// Access to the installed EPT set, if any.
     ///
     /// Conservatively treated as an EPT mutation (the caller may switch
-    /// the active EPT or change mappings), so the translation memo stops
-    /// trusting entries from before this call.
+    /// the active EPT or change mappings), so the translation memo and
+    /// the inline caches stop trusting entries from before this call.
     pub fn ept_mut(&mut self) -> Option<&mut EptSet> {
         self.ept_epoch += 1;
+        self.gen += 1;
         self.ept.as_mut()
     }
 
@@ -234,6 +337,7 @@ impl AddressSpace {
 
     /// Flushes the whole TLB (a `cr3` write without PCID).
     pub fn flush_tlb(&mut self) {
+        self.gen += 1;
         self.tlb.flush_all();
     }
 
@@ -270,6 +374,7 @@ impl AddressSpace {
     /// then-active view, so views can diverge — the mechanism behind the
     /// kernel-assisted page-table-switching technique.
     pub fn add_view(&mut self) -> u16 {
+        self.gen += 1;
         let new_pt = PageTable::new(&mut self.pm);
         for (va, pte) in self.pt().mappings(&mut self.pm) {
             let flags = pte.flags();
@@ -286,6 +391,7 @@ impl AddressSpace {
     /// tagged entries). Returns `false` for an unknown view.
     pub fn switch_view(&mut self, view: u16) -> bool {
         if (view as usize) < self.views.len() {
+            self.gen += 1;
             self.active_view = view;
             true
         } else {
@@ -304,6 +410,7 @@ impl AddressSpace {
     /// (trusted) operation in the simulation.
     pub fn map_region(&mut self, start: VirtAddr, len: u64, flags: PageFlags) {
         assert_eq!(start.page_offset(), 0, "map_region requires page alignment");
+        self.gen += 1;
         let pages = len.div_ceil(PAGE_SIZE);
         for i in 0..pages {
             self.pt()
@@ -322,6 +429,7 @@ impl AddressSpace {
     /// Panics if `start` is not page aligned, like [`Self::map_region`].
     pub fn try_map_region(&mut self, start: VirtAddr, len: u64, flags: PageFlags) -> bool {
         assert_eq!(start.page_offset(), 0, "map_region requires page alignment");
+        self.gen += 1;
         let pages = len.div_ceil(PAGE_SIZE);
         for i in 0..pages {
             if self
@@ -337,6 +445,7 @@ impl AddressSpace {
 
     /// Unmaps the pages covering `[start, start+len)` and flushes the TLB.
     pub fn unmap_region(&mut self, start: VirtAddr, len: u64) {
+        self.gen += 1;
         let pages = len.div_ceil(PAGE_SIZE);
         for i in 0..pages {
             let va = VirtAddr(start.page_base().0 + i * PAGE_SIZE);
@@ -349,6 +458,7 @@ impl AddressSpace {
     /// affected TLB entries. Returns `false` if any page was unmapped.
     pub fn mprotect(&mut self, start: VirtAddr, len: u64, prot: Prot) -> bool {
         self.mprotect_calls += 1;
+        self.gen += 1;
         let pages = len.div_ceil(PAGE_SIZE).max(1);
         let mut ok = true;
         for i in 0..pages {
@@ -361,6 +471,7 @@ impl AddressSpace {
 
     /// `pkey_mprotect(2)`: assigns protection key `key` to a range.
     pub fn pkey_mprotect(&mut self, start: VirtAddr, len: u64, key: u8) -> bool {
+        self.gen += 1;
         let pages = len.div_ceil(PAGE_SIZE).max(1);
         let mut ok = true;
         for i in 0..pages {
@@ -453,7 +564,12 @@ impl AddressSpace {
                     .walk(&mut self.pm, va)
                     .ok_or(Fault::NotMapped { addr: va, access })?;
                 pt.update_leaf(&mut self.pm, va, |p| p.mark_used(access == Access::Write));
+                // A TLB insert can silently evict a conflicting entry
+                // (direct-mapped, no eviction statistic), turning some
+                // other page's next real probe into a miss — so inserts
+                // invalidate the inline caches like any other mutation.
                 self.tlb.insert(self.active_view, vpn, res.pte);
+                self.gen += 1;
                 (
                     res.pte,
                     AccessInfo {
@@ -478,6 +594,7 @@ impl AddressSpace {
                         && m.pkru == self.pkru
                         && m.ept_epoch == self.ept_epoch
                     {
+                        self.memo_hits += 1;
                         return Ok((PhysAddr(m.pa_page + va.page_offset()), info));
                     }
                 }
@@ -556,22 +673,27 @@ impl AddressSpace {
         kind: Access,
         mut touch: impl FnMut(&mut PhysMemory, PhysAddr, std::ops::Range<usize>),
     ) -> Result<AccessInfo, Fault> {
-        let mut done = 0u64;
-        let mut first_info: Option<AccessInfo> = None;
+        // Even a zero-length access is a permission probe of its page:
+        // translation and every protection stage run exactly as for a
+        // one-byte access — only the data transfer (and with it the data
+        // cache) is skipped, the same convention `check_fetch` uses.
+        let (pa, mut first) = self.check_page(va, kind)?;
+        if len == 0 {
+            return Ok(first);
+        }
+        first.hit_level = self.cache.access(pa.0);
+        let in_page = (PAGE_SIZE - va.page_offset()).min(len);
+        touch(&mut self.pm, pa, 0..in_page as usize);
+        let mut done = in_page;
         while done < len {
             let cur = VirtAddr(va.0 + done);
             let in_page = (PAGE_SIZE - cur.page_offset()).min(len - done);
-            let (pa, mut info) = self.check_page(cur, kind)?;
-            info.hit_level = self.cache.access(pa.0);
-            first_info.get_or_insert(info);
+            let (pa, _) = self.check_page(cur, kind)?;
+            self.cache.access(pa.0);
             touch(&mut self.pm, pa, done as usize..(done + in_page) as usize);
             done += in_page;
         }
-        Ok(first_info.unwrap_or(AccessInfo {
-            tlb_hit: true,
-            walk_levels: 0,
-            hit_level: HitLevel::L1,
-        }))
+        Ok(first)
     }
 
     /// Checked read of a little-endian u64.
@@ -602,14 +724,113 @@ impl AddressSpace {
         }
     }
 
+    /// [`Self::read_u64_info`] through a compiled op's inline
+    /// translation-cache slot.
+    ///
+    /// On a generation-valid same-page hit this skips
+    /// [`Self::check_page`] entirely — one TLB-hit statistic (the full
+    /// pipeline would hit, see [`TransCacheEntry`]), the real cache
+    /// access, and the frame read — with bit-identical observable state.
+    /// On a miss it takes the full path and refills the slot from the
+    /// translation memo the full path just validated.
+    #[inline(always)]
+    pub fn ic_read_u64(
+        &mut self,
+        va: VirtAddr,
+        e: &mut TransCacheEntry,
+    ) -> Result<(u64, AccessInfo), Fault> {
+        // One subtract-compare covers "same page" and "u64 fits".
+        if e.gen == self.gen && va.0.wrapping_sub(e.page) <= PAGE_SIZE - 8 && e.pkru == self.pkru {
+            self.ic_hits += 1;
+            self.tlb.note_hit();
+            let pa = PhysAddr(e.pa_page + (va.0 - e.page));
+            let hit_level = self.cache.access(pa.0);
+            return Ok((
+                self.pm.read_u64(pa),
+                AccessInfo {
+                    tlb_hit: true,
+                    walk_levels: 0,
+                    hit_level,
+                },
+            ));
+        }
+        let r = self.read_u64_info(va)?;
+        self.ic_refill(va, 0, e);
+        Ok(r)
+    }
+
+    /// [`Self::write_u64`] through a compiled op's inline
+    /// translation-cache slot; see [`Self::ic_read_u64`].
+    #[inline(always)]
+    pub fn ic_write_u64(
+        &mut self,
+        va: VirtAddr,
+        value: u64,
+        e: &mut TransCacheEntry,
+    ) -> Result<AccessInfo, Fault> {
+        if e.gen == self.gen && va.0.wrapping_sub(e.page) <= PAGE_SIZE - 8 && e.pkru == self.pkru {
+            self.ic_hits += 1;
+            self.tlb.note_hit();
+            let pa = PhysAddr(e.pa_page + (va.0 - e.page));
+            let hit_level = self.cache.access(pa.0);
+            self.pm.write_u64(pa, value);
+            return Ok(AccessInfo {
+                tlb_hit: true,
+                walk_levels: 0,
+                hit_level,
+            });
+        }
+        let r = self.write_u64(va, value)?;
+        self.ic_refill(va, 1, e);
+        Ok(r)
+    }
+
+    /// Refills an inline-cache slot after a successful full-path access,
+    /// from the translation memo that access just validated or filled.
+    /// The generation is stamped *after* any TLB insert the access
+    /// performed, so a later generation-equal probe implies the entry is
+    /// still TLB-resident. Page-crossing accesses leave the memo on their
+    /// last page, so the `vpn` compare skips them.
+    #[inline]
+    fn ic_refill(&mut self, va: VirtAddr, slot: usize, e: &mut TransCacheEntry) {
+        if va.page_offset() <= PAGE_SIZE - 8 {
+            if let Some(m) = self.memo[slot] {
+                if m.vpn == va.vpn()
+                    && m.view == self.active_view
+                    && m.pkru == self.pkru
+                    && m.ept_epoch == self.ept_epoch
+                {
+                    *e = TransCacheEntry {
+                        gen: self.gen,
+                        pkru: self.pkru,
+                        page: va.page_base().0,
+                        pa_page: m.pa_page,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The translation fast-path telemetry so far (pure counters; see
+    /// [`TranslationStats`]).
+    pub fn translation_stats(&self) -> TranslationStats {
+        let tlb = self.tlb.stats();
+        TranslationStats {
+            ic_hits: self.ic_hits,
+            memo_hits: self.memo_hits,
+            lookups: tlb.hits + tlb.misses,
+        }
+    }
+
     /// Feeds the space's semantic state into `d`: physical memory, the
     /// cache hierarchy, the TLB, every view's root frame (page-table
     /// *contents* live in physical frames and are covered by the memory
     /// digest), the active view, PKRU, the EPTP list, and the `mprotect`
-    /// counter. The translation memo and its epoch are excluded — the
-    /// memo is a pure cache validated against the fields above on every
-    /// consultation, so two spaces differing only in memo state are
-    /// observationally identical.
+    /// counter. The translation memo and its epoch, the mutation
+    /// generation, and the fast-path hit counters are excluded — all of
+    /// them are pure cache/telemetry state validated against (or derived
+    /// from) the fields above, so two spaces differing only in that
+    /// state are observationally identical.
     pub fn digest_into(&self, d: &mut crate::digest::Digest) {
         self.pm.digest_into(d);
         self.cache.digest_into(d);
@@ -667,6 +888,21 @@ impl AddressSpace {
         self.mprotect_calls = src.mprotect_calls;
         self.memo = src.memo;
         self.ept_epoch = src.ept_epoch;
+        // Rewinding is a translation mutation like any other — and the
+        // generation must also move *past* both timelines' values, never
+        // backwards, or an inline-cache entry filled on the abandoned
+        // timeline could compare equal to a later re-reached count.
+        self.gen = self.gen.max(src.gen) + 1;
+        self.ic_hits = src.ic_hits;
+        self.memo_hits = src.memo_hits;
+    }
+
+    /// Forces the mutation generation strictly past `floor` (and past its
+    /// own current value). `Machine::restore` uses this after replacing
+    /// the space with a snapshot clone, so inline-cache entries filled on
+    /// the abandoned timeline can never compare valid again.
+    pub fn bump_generation_past(&mut self, floor: u64) {
+        self.gen = self.gen.max(floor) + 1;
     }
 
     /// Checked write of a little-endian u64.
@@ -1062,6 +1298,113 @@ mod tests {
             assert_eq!(s.mprotect_calls(), full.mprotect_calls());
             assert_eq!(s.pkru, full.pkru);
         }
+    }
+
+    #[test]
+    fn zero_length_access_still_checks_the_page() {
+        // Regression: a zero-length access used to fabricate a successful
+        // `AccessInfo` without running any permission check.
+        let mut s = AddressSpace::new();
+        assert!(matches!(
+            s.read(VirtAddr(0x5000), &mut []),
+            Err(Fault::NotMapped { .. })
+        ));
+        let mut s = space_with_page(0x5000, PageFlags::ro());
+        assert!(matches!(
+            s.write(VirtAddr(0x5000), &[]),
+            Err(Fault::Protection {
+                access: Access::Write,
+                ..
+            })
+        ));
+        // A permitted zero-length probe succeeds with real translation
+        // info and, like `check_fetch`, touches no data cache.
+        let mut s = space_with_page(0x5000, PageFlags::rw());
+        let before = s.cache_stats();
+        let info = s.read(VirtAddr(0x5000), &mut []).unwrap();
+        assert!(!info.tlb_hit, "first touch walks");
+        assert_eq!(s.cache_stats(), before, "no data transfer, no cache");
+    }
+
+    #[test]
+    fn inline_cache_hit_is_observationally_identical() {
+        // Drive one space through the IC entry and a twin through the
+        // full path: values, faults and *digested* statistics must agree.
+        let mut a = space_with_page(0xc000, PageFlags::rw());
+        let mut b = space_with_page(0xc000, PageFlags::rw());
+        let mut e = TransCacheEntry::INVALID;
+        for i in 0..6u64 {
+            let va = VirtAddr(0xc000 + i * 8);
+            a.ic_write_u64(va, i, &mut e).unwrap();
+            b.write_u64(va, i).unwrap();
+        }
+        assert!(a.translation_stats().ic_hits >= 4, "entry must hit");
+        let mut e = TransCacheEntry::INVALID;
+        for i in 0..6u64 {
+            let va = VirtAddr(0xc000 + i * 8);
+            assert_eq!(a.ic_read_u64(va, &mut e).unwrap().0, i);
+            assert_eq!(b.read_u64(va).unwrap(), i);
+        }
+        assert_eq!(a.tlb_stats(), b.tlb_stats());
+        assert_eq!(a.cache_stats(), b.cache_stats());
+    }
+
+    #[test]
+    fn inline_cache_never_outlives_mutations() {
+        let mut s = space_with_page(0xd000, PageFlags::rw());
+        let mut e = TransCacheEntry::INVALID;
+        s.ic_write_u64(VirtAddr(0xd000), 1, &mut e).unwrap();
+        s.ic_write_u64(VirtAddr(0xd008), 2, &mut e).unwrap(); // filled
+        // mprotect bumps the generation: the stale writable entry must
+        // not serve the now read-only page.
+        s.mprotect(VirtAddr(0xd000), PAGE_SIZE, Prot::Read);
+        assert!(matches!(
+            s.ic_write_u64(VirtAddr(0xd010), 3, &mut e),
+            Err(Fault::Protection { .. })
+        ));
+        // Same for a pkru revocation on a read entry (value compare, no
+        // generation bump).
+        let mut s = space_with_page(0xd000, PageFlags::rw());
+        s.pkey_mprotect(VirtAddr(0xd000), PAGE_SIZE, 6);
+        let mut e = TransCacheEntry::INVALID;
+        s.ic_read_u64(VirtAddr(0xd000), &mut e).unwrap();
+        s.ic_read_u64(VirtAddr(0xd008), &mut e).unwrap();
+        let gen = s.generation();
+        s.pkru = Pkru::deny_key(6);
+        assert_eq!(s.generation(), gen, "pkru writes do not bump the gen");
+        assert!(matches!(
+            s.ic_read_u64(VirtAddr(0xd010), &mut e),
+            Err(Fault::PkeyDenied { key: 6, .. })
+        ));
+        // And a TLB insert for an unrelated page invalidates too (silent
+        // conflict evictions make anything less unsound).
+        let mut s = AddressSpace::new();
+        s.map_region(VirtAddr(0xe000), PAGE_SIZE, PageFlags::rw());
+        s.map_region(VirtAddr(0xf000), PAGE_SIZE, PageFlags::rw());
+        let mut e = TransCacheEntry::INVALID;
+        s.ic_write_u64(VirtAddr(0xe000), 1, &mut e).unwrap();
+        let gen = s.generation();
+        s.read_u64(VirtAddr(0xf000)).unwrap(); // walk + insert
+        assert!(s.generation() > gen);
+    }
+
+    #[test]
+    fn restore_moves_the_generation_past_both_timelines() {
+        let mut s = space_with_page(0x1000, PageFlags::rw());
+        let src = s.clone();
+        s.start_restore_tracking();
+        let mut e = TransCacheEntry::INVALID;
+        s.ic_write_u64(VirtAddr(0x1000), 1, &mut e).unwrap();
+        s.ic_write_u64(VirtAddr(0x1008), 2, &mut e).unwrap(); // filled
+        let filled_at = s.generation();
+        s.restore_from(&src);
+        assert!(
+            s.generation() > filled_at,
+            "restore must orphan entries from the abandoned timeline"
+        );
+        // The stale entry misses and the access re-derives the *rewound*
+        // contents, not the abandoned timeline's write.
+        assert_eq!(s.ic_read_u64(VirtAddr(0x1000), &mut e).unwrap().0, 0);
     }
 
     #[test]

@@ -82,6 +82,18 @@ impl Tlb {
         }
     }
 
+    /// Records a hit without probing the entry array.
+    ///
+    /// The inline translation cache's generation check has already
+    /// established that the entry is resident and would hit (see
+    /// `space::TransCacheEntry`), so its fast path charges the hit
+    /// statistic — which is part of the machine digest — without paying
+    /// for the probe.
+    #[inline(always)]
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Installs a translation after a successful walk.
     #[inline]
     pub fn insert(&mut self, pcid: u16, vpn: u64, pte: Pte) {

@@ -6,7 +6,7 @@ use memsentry_repro::aes::{
     decrypt_block, encrypt_block, DecKeySchedule, KeySchedule, RegionCipher,
 };
 use memsentry_repro::cpu::Machine;
-use memsentry_repro::ir::{AluOp, CodeAddr, FuncId, FunctionBuilder, Inst, Program, Reg};
+use memsentry_repro::ir::{AluOp, CodeAddr, Cond, FuncId, FunctionBuilder, Inst, Program, Reg};
 use memsentry_repro::memsentry::{HiddenRegion, SafeRegionAllocator};
 use memsentry_repro::mmu::addr::SFI_MASK;
 use memsentry_repro::mmu::{
@@ -974,5 +974,260 @@ proptest! {
         }
         let text = format_program(&p);
         prop_assert_eq!(parse_program(&text).unwrap(), p);
+    }
+}
+
+proptest! {
+    /// The inline translation caches are invisible: over random looping
+    /// programs whose op mix includes in-block space mutators (`wrpkru`,
+    /// `vmfunc` EPT switches, `mprotect` syscalls — the instructions the
+    /// protection techniques actually emit), random event storms
+    /// (signals, thread preemptions, attacker writes), and every
+    /// address-based instrumentation flavour, an IC-enabled machine and
+    /// an `MSENTRY_NO_INLINE_CACHE=1` machine agree exactly. Three
+    /// phases: (1) full batched `run`s — the only mode in which
+    /// `exec_chain` gets a budget big enough to probe and warm the IC
+    /// slots, so the loop's later trips revalidate warm entries right
+    /// after an in-block mutation went by — compared on outcome, `Stats`,
+    /// cycle bits and digest; (2) per-boundary lockstep with externally
+    /// driven mutations between instructions (`mprotect`,
+    /// `pkey_mprotect`, raw PKRU rewrites, `add_view`/`switch_view`,
+    /// hypervisor-side EPT edits, TLB flushes), digests compared at every
+    /// boundary; (3) `Recording::seek` — whose gap re-execution re-enters
+    /// compiled blocks mid-stream with restore-orphaned slots — pinned to
+    /// the exact digests of a linear no-IC run.
+    #[test]
+    fn inline_cache_is_invisible_under_mutation_storms(
+        ops in proptest::collection::vec((0u8..10, 0u64..64, any::<u64>()), 1..40),
+        events in proptest::collection::vec((0u8..3, 0u64..120), 0..4),
+        muts in proptest::collection::vec((0u8..8, 0u64..200), 0..8),
+        probes in proptest::collection::vec(0u64..300, 1..6),
+        flavour in 0u8..4,
+    ) {
+        use memsentry_repro::cpu::{
+            Event, EventAction, EventSchedule, MachineConfig, Recording, SignalPolicy,
+        };
+        use memsentry_repro::mmu::ept::EptEntry;
+        use memsentry_repro::mmu::{EptSet, Prot};
+
+        const SCRATCH: u64 = 0x20_0000;
+        const SCRATCH2: u64 = 0x21_0000;
+        let build = || {
+            let mut p = Program::new();
+            let mut b = FunctionBuilder::new("main");
+            b.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            // A counted loop re-executes every compiled op, so IC slots
+            // warm on trip one and must serve (or soundly refuse) hits on
+            // the later trips that the mutations interleave with. `Rbp`
+            // and `R12` are the live-across-instrumentation registers.
+            b.push(Inst::MovImm { dst: Reg::Rbp, imm: 0 });
+            b.push(Inst::MovImm { dst: Reg::R12, imm: 4 });
+            let top = b.new_label();
+            b.bind(top);
+            for (op, slot, imm) in &ops {
+                let offset = (slot * 8) as i64;
+                match op {
+                    0 => {
+                        b.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset });
+                    }
+                    1 => {
+                        b.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset });
+                    }
+                    2 => {
+                        b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rax, imm: *imm });
+                    }
+                    3 => {
+                        b.push(Inst::AluImm { op: AluOp::And, dst: Reg::Rbx, imm: !0xfff | SCRATCH });
+                    }
+                    4 => {
+                        b.push(Inst::Lea { dst: Reg::Rcx, base: Reg::Rbx, offset });
+                    }
+                    5 => {
+                        b.push(Inst::Call(FuncId(1)));
+                    }
+                    6 => {
+                        b.push(Inst::Nop);
+                    }
+                    7 => {
+                        // In-block PKRU rewrite: toggles an unused key's
+                        // bits, so access verdicts are unchanged but every
+                        // warm IC entry's PKRU stamp goes stale mid-chain.
+                        b.push(Inst::MovImm {
+                            dst: Reg::Rcx,
+                            imm: if slot % 2 == 0 { 0 } else { 0b11 << 30 },
+                        });
+                        b.push(Inst::WrPkru { src: Reg::Rcx });
+                    }
+                    8 => {
+                        b.push(Inst::VmFunc { eptp: (slot % 2) as u32 });
+                    }
+                    _ => {
+                        // In-block mprotect syscall on the page the
+                        // program never touches: a pure generation bump.
+                        b.push(Inst::MovImm { dst: Reg::Rdi, imm: SCRATCH2 });
+                        b.push(Inst::MovImm { dst: Reg::Rsi, imm: PAGE_SIZE });
+                        b.push(Inst::MovImm { dst: Reg::Rdx, imm: 2 });
+                        b.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::MPROTECT });
+                    }
+                };
+            }
+            b.push(Inst::AluImm { op: AluOp::Add, dst: Reg::Rbp, imm: 1 });
+            b.push(Inst::JmpIf { cond: Cond::Ne, a: Reg::Rbp, b: Reg::R12, target: top });
+            b.push(Inst::Halt);
+            p.add_function(b.finish());
+            let mut helper = FunctionBuilder::new("helper");
+            helper.push(Inst::AluImm { op: AluOp::Add, dst: Reg::R9, imm: 1 });
+            helper.push(Inst::Ret);
+            p.add_function(helper.finish());
+            let mut handler = FunctionBuilder::new("handler");
+            handler.push(Inst::Load { dst: Reg::R10, addr: Reg::Rbx, offset: 0 });
+            handler.push(Inst::Syscall { nr: memsentry_repro::cpu::kernel::nr::SIGRETURN });
+            handler.push(Inst::Halt);
+            p.add_function(handler.finish());
+            let mut sibling = FunctionBuilder::new("sibling");
+            sibling.push(Inst::MovImm { dst: Reg::Rbx, imm: SCRATCH });
+            sibling.push(Inst::Load { dst: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Store { src: Reg::Rax, addr: Reg::Rbx, offset: 8 });
+            sibling.push(Inst::Halt);
+            p.add_function(sibling.finish());
+            match flavour {
+                0 => {}
+                1 => AddressBasedPass::new(AddressKind::Sfi, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+                2 => AddressBasedPass::new(AddressKind::Mpx, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+                _ => AddressBasedPass::new(AddressKind::MpxDual, InstrumentMode::READ_WRITE)
+                    .run(&mut p).unwrap(),
+            }
+            p
+        };
+        let schedule = EventSchedule::new(
+            events
+                .iter()
+                .map(|&(kind, at)| Event {
+                    at,
+                    action: match kind {
+                        0 => EventAction::Signal,
+                        1 => EventAction::Write { addr: SCRATCH + 16, value: at },
+                        _ => EventAction::Preempt { to: 1, quantum: 3, scrub: at % 2 == 0 },
+                    },
+                })
+                .collect(),
+        );
+        let machine = |inline_cache: bool| {
+            let mut m = Machine::with_config(
+                build(),
+                MachineConfig { threaded: true, inline_cache, ..MachineConfig::default() },
+            );
+            m.space.map_region(VirtAddr(SCRATCH), PAGE_SIZE, PageFlags::rw());
+            m.space.map_region(VirtAddr(SCRATCH2), PAGE_SIZE, PageFlags::rw());
+            m.space.install_ept(EptSet::new(2, true));
+            m.set_in_vm(true);
+            m.set_syscall_passthrough(true);
+            m.spawn_thread(FuncId(3), [0; 3]);
+            m.set_signal_policy(SignalPolicy { handler: FuncId(2), scrub: false });
+            m.set_event_schedule(schedule.clone());
+            m.set_fuel(5_000);
+            m
+        };
+        // Mutations are applied from outside the run, between retired
+        // instructions, identically to both machines. Each either bumps
+        // the mutation generation, rewrites PKRU, or rewrites memory the
+        // program observes — the three ways a cached translation can go
+        // stale.
+        let apply = |m: &mut Machine, kind: u8, at: u64| match kind {
+            0 => {
+                m.space.mprotect(VirtAddr(SCRATCH), PAGE_SIZE, Prot::ReadWrite);
+            }
+            1 => {
+                m.space.mprotect(VirtAddr(SCRATCH2), PAGE_SIZE, Prot::Read);
+            }
+            2 => {
+                m.space.pkey_mprotect(VirtAddr(SCRATCH), PAGE_SIZE, 1);
+            }
+            3 => {
+                // wrpkru toggling an unused key's bits: access verdicts
+                // are unchanged but every cached PKRU stamp goes stale.
+                let pkru = m.space.pkru;
+                m.space.pkru = Pkru(pkru.0 ^ (0b11 << 30));
+            }
+            4 => {
+                let v = m.space.add_view();
+                m.space.switch_view(v);
+            }
+            5 => {
+                if let Some(set) = m.space.ept_mut() {
+                    if at % 2 == 0 {
+                        set.vmfunc_switch((at as usize / 2) % 2);
+                    } else {
+                        set.ept_mut(1).map(0x900 + at, EptEntry::identity(0x900 + at));
+                    }
+                }
+            }
+            6 => {
+                m.space.flush_tlb();
+            }
+            _ => {
+                let _ = m.space.write(VirtAddr(SCRATCH + 24), &at.to_le_bytes());
+            }
+        };
+        // Phase 1: full batched runs, where the compiled chains actually
+        // warm and revalidate the inline caches across loop trips.
+        let mut fa = machine(true);
+        let oa = fa.run();
+        let mut fb = machine(false);
+        prop_assert_eq!(oa, fb.run());
+        prop_assert_eq!(fa.stats(), fb.stats());
+        prop_assert_eq!(fa.cycles().to_bits(), fb.cycles().to_bits());
+        prop_assert_eq!(fa.state_digest(), fb.state_digest());
+        // Phase 2: per-boundary lockstep with external mutations.
+        let mut a = machine(true);
+        let mut b = machine(false);
+        loop {
+            prop_assert_eq!(a.state_digest(), b.state_digest());
+            if a.is_halted() {
+                break;
+            }
+            let n = a.stats().instructions;
+            for &(kind, at) in &muts {
+                if at == n {
+                    apply(&mut a, kind, at);
+                    apply(&mut b, kind, at);
+                }
+            }
+            let ra = a.run_until(n + 1);
+            let rb = b.run_until(n + 1);
+            prop_assert_eq!(ra.clone(), rb);
+            if ra.is_err() {
+                break;
+            }
+        }
+        prop_assert_eq!(a.state_digest(), b.state_digest());
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.cycles().to_bits(), b.cycles().to_bits());
+
+        // Phase 3: seeks re-enter compiled blocks mid-stream after
+        // `restore` orphaned every cache slot; each must land on the
+        // exact digest the no-IC linear run retired at that boundary.
+        let mut c = machine(true);
+        let rec = Recording::capture(&mut c, 3, &[]);
+        let mut d = machine(false);
+        let mut digests = vec![d.state_digest()];
+        loop {
+            if d.is_halted() {
+                break;
+            }
+            let n = d.stats().instructions;
+            if d.run_until(n + 1).is_err() {
+                break;
+            }
+            digests.push(d.state_digest());
+        }
+        prop_assert_eq!(digests.len() as u64, rec.boundaries() + 1);
+        for &p in &probes {
+            let boundary = p % (rec.boundaries() + 1);
+            prop_assert!(rec.seek(&mut c, boundary).is_ok());
+            prop_assert_eq!(c.state_digest(), digests[boundary as usize]);
+        }
     }
 }

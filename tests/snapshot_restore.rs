@@ -20,10 +20,15 @@
 //!   any order — the access pattern of the record-replay `seek` path —
 //!   each land bit-identical to a fresh clone stepped straight to that
 //!   boundary, no matter what ran (or was restored) in between.
+//! * **Memo purity** (property): the inline translation caches and the
+//!   same-line cache memo are pure accelerators — excluded from digests
+//!   and snapshots, and orphaned by `restore` even when the abandoned
+//!   timeline warmed them under newer generations or a different PKRU.
 
 use proptest::prelude::*;
 
-use memsentry_repro::cpu::{EventAction, EventSchedule, ExecStats, Machine};
+use memsentry_repro::cpu::{EventAction, EventSchedule, ExecStats, Machine, MachineConfig};
+use memsentry_repro::mmu::{Pkru, Prot, VirtAddr, PAGE_SIZE};
 use memsentry_repro::ir::parse_program;
 use memsentry_repro::memsentry::{Application, MemSentry, Technique};
 use memsentry_repro::workloads::{Workload, WorkloadSpec, SPEC2006};
@@ -44,6 +49,12 @@ fn step_n(m: &mut Machine, n: u64) {
 
 /// An MPK-protected machine running the golden shadow-stack listing.
 fn mpk_machine() -> (Machine, MemSentry) {
+    mpk_machine_with(MachineConfig::default())
+}
+
+/// Same golden machine under an explicit [`MachineConfig`] (the memo
+/// purity property pits inline-cache-enabled against disabled runs).
+fn mpk_machine_with(config: MachineConfig) -> (Machine, MemSentry) {
     let text = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/tests/data/shadow_demo.ms"
@@ -53,7 +64,7 @@ fn mpk_machine() -> (Machine, MemSentry) {
     let fw = MemSentry::new(Technique::Mpk, 4096);
     fw.instrument(&mut program, Application::ShadowStack)
         .expect("instruments");
-    let mut m = Machine::new(program);
+    let mut m = Machine::with_config(program, config);
     fw.prepare_machine(&mut m).expect("prepares");
     (m, fw)
 }
@@ -179,6 +190,86 @@ proptest! {
         prop_assert_eq!(finish(&mut m), reference);
         m.restore(&snap_hi);
         prop_assert_eq!(finish(&mut m), reference);
+    }
+
+    /// The inline translation caches and the same-line cache memo are
+    /// pure: a warm-IC machine digests identically to a disabled-IC
+    /// machine at the same boundary (exclusion from `state_digest`), a
+    /// snapshot taken with warm memos restores bit-exactly (exclusion
+    /// from `MachineSnapshot`), and `restore` orphans every slot — even
+    /// after the abandoned timeline kept executing, re-warmed slots
+    /// under newer generations, and mutated PKRU or page protections so
+    /// a stale entry would vouch for the wrong verdict.
+    #[test]
+    fn inline_cache_and_line_memo_are_pure_and_orphaned_by_restore(
+        boundary in 1u64..200,
+        extra in 1u64..60,
+        toggle_pkru in any::<bool>(),
+    ) {
+        let reference = {
+            let (mut m, _fw) = mpk_machine();
+            finish(&mut m)
+        };
+        let total = reference.1.instructions;
+        let at = 1 + boundary % (total - 1);
+
+        // Warm machine: compiled engine with inline caches live.
+        let (mut warm, fw) = mpk_machine_with(MachineConfig {
+            threaded: true,
+            inline_cache: true,
+            ..MachineConfig::default()
+        });
+        prop_assert!(warm.run_until(at).is_ok());
+        // Cold oracle: the escape hatch (`MSENTRY_NO_INLINE_CACHE=1`).
+        let (mut cold, _fw) = mpk_machine_with(MachineConfig {
+            threaded: true,
+            inline_cache: false,
+            ..MachineConfig::default()
+        });
+        prop_assert!(cold.run_until(at).is_ok());
+        prop_assert_eq!(warm.state_digest(), cold.state_digest());
+
+        let snap = warm.snapshot();
+
+        // Abandoned timeline: keep retiring so slots re-warm, then
+        // mutate the space — newer generations and a different PKRU now
+        // stamp the memos — and warm them once more.
+        for _ in 0..extra {
+            if warm.is_halted() {
+                break;
+            }
+            let n = warm.stats().instructions;
+            let _ = warm.run_until(n + 1);
+        }
+        if toggle_pkru {
+            let pkru = warm.space.pkru;
+            warm.space.pkru = Pkru(pkru.0 ^ (0b11 << 30));
+        } else {
+            warm.space
+                .mprotect(VirtAddr(fw.layout().base), PAGE_SIZE, Prot::ReadWrite);
+        }
+        let _ = warm.run();
+
+        // Restore must orphan everything: the rewound machine digests
+        // like the never-disturbed cold machine at every remaining
+        // boundary and finishes exactly like the reference run.
+        warm.restore(&snap);
+        loop {
+            prop_assert_eq!(warm.state_digest(), cold.state_digest());
+            if warm.is_halted() {
+                break;
+            }
+            let n = warm.stats().instructions;
+            let ra = warm.run_until(n + 1);
+            let rb = cold.run_until(n + 1);
+            prop_assert_eq!(ra.clone(), rb);
+            if ra.is_err() {
+                break;
+            }
+        }
+        prop_assert_eq!(warm.exit_code(), cold.exit_code());
+        prop_assert_eq!(*warm.stats(), reference.1);
+        prop_assert_eq!(warm.cycles(), reference.2);
     }
 }
 
